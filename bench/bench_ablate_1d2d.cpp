@@ -1,0 +1,43 @@
+// Section III motivation ablation: 1D vs 2D separator layout (paper Fig. 1
+// vs Figs. 3/4). In the 1D layout every separator block column is factored
+// by a single thread (the paper's "block [A17 A77] limits performance"); the
+// 2D algorithm distributes the off-diagonal pieces so only the root diagonal
+// factor stays serial. We compare schedule-model speedups.
+#include <cstdio>
+
+#include "basker/bench_support/harness.hpp"
+#include "basker/bench_support/report.hpp"
+#include "basker/gen/suite.hpp"
+
+namespace bb = basker::bench;
+
+int main() {
+  const double scale = basker::gen::bench_scale();
+  std::printf("== Ablation: 1D vs 2D separator factorization (model speedup vs KLU) ==\n\n");
+  const std::vector<basker::Int> cores{1, 2, 4, 8, 16};
+  std::vector<std::string> headers{"matrix", "layout"};
+  for (basker::Int p : cores) headers.push_back("p=" + std::to_string(p));
+  bb::Table table(headers);
+
+  for (const auto& name : {"G2_Circuit", "bcircuit", "Freescale1"}) {
+    const basker::Csc a = basker::gen::make_by_name(name, scale);
+    const auto klu = bb::run_solver(bb::SolverKind::kKlu, a, 1, bb::kSandyBridge);
+    if (!klu.ok()) continue;
+    for (const auto kind : {bb::SolverKind::kBasker, bb::SolverKind::kBasker1d}) {
+      std::vector<std::string> row{name,
+                                   kind == bb::SolverKind::kBasker ? "2D" : "1D"};
+      for (basker::Int p : cores) {
+        const auto r = bb::run_solver(kind, a, p, bb::kSandyBridge);
+        row.push_back(r.ok() ? bb::fmt_fixed(klu.model_work / r.model_work, 2)
+                             : "fail");
+      }
+      table.add_row(std::move(row));
+    }
+  }
+  table.print();
+  std::printf(
+      "\nShape check (paper Fig. 1 vs Fig. 3): the 1D layout saturates as the\n"
+      "separator block column becomes the serial bottleneck; the 2D layout\n"
+      "keeps scaling because only the small root diagonal block is serial.\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Ordering ablation: the design choices DESIGN.md calls out. How much of
+// Basker's |L+U| and work comes from each ordering stage? Toggles: MWCM
+// (bottleneck matching) vs plain cardinality matching, BTF on/off, and
+// minimum-degree leaf ordering on/off.
+#include <cstdio>
+
+#include "basker/bench_support/report.hpp"
+#include "basker/core/basker.hpp"
+#include "basker/gen/suite.hpp"
+
+namespace bb = basker::bench;
+
+namespace {
+
+struct Config {
+  const char* name;
+  basker::BaskerOptions opt;
+};
+
+}  // namespace
+
+int main() {
+  const double scale = basker::gen::bench_scale();
+  std::printf("== Ordering ablation (Basker, 8 threads) ==\n\n");
+
+  basker::BaskerOptions base;
+  base.nthreads = 8;
+  basker::BaskerOptions no_mwcm = base;
+  no_mwcm.use_mwcm = false;
+  basker::BaskerOptions no_btf = base;
+  no_btf.use_btf = false;
+  basker::BaskerOptions no_leaf_md = base;
+  no_leaf_md.order_leaves = false;
+
+  const std::vector<Config> configs{
+      {"full", base},
+      {"-MWCM (cardinality only)", no_mwcm},
+      {"-BTF", no_btf},
+      {"-leaf min-degree", no_leaf_md},
+  };
+
+  bb::Table table({"matrix", "config", "|L+U|", "flops", "pivot growth"});
+  for (const auto& name : {"circuit_4", "Xyce0", "scircuit", "G2_Circuit"}) {
+    const basker::Csc a = basker::gen::make_by_name(name, scale);
+    for (const auto& config : configs) {
+      basker::Basker solver(config.opt);
+      if (solver.factor(a) != basker::Status::kOk) {
+        table.add_row({name, config.name, "fail", "-", "-"});
+        continue;
+      }
+      table.add_row({
+          name,
+          config.name,
+          bb::fmt_sci(static_cast<double>(solver.stats().nnz_lu)),
+          bb::fmt_sci(solver.stats().factor_flops),
+          bb::fmt_sci(solver.stats().pivot_growth),
+      });
+    }
+  }
+  table.print();
+  std::printf(
+      "\nExpected: dropping BTF inflates |L+U| on block-structured circuit\n"
+      "matrices; dropping leaf min-degree inflates the ND part's fill;\n"
+      "dropping MWCM raises pivot growth (weaker diagonals).\n");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Figure 6 reproduction: speedup of Basker and PMKL relative to serial KLU
+// on the six selected matrices. (a) SandyBridge, 1-16 cores; (b) Xeon Phi
+// model, 1-32 cores. Speedup(matrix, solver, p) = T_model(KLU, 1) /
+// T_model(solver, p) on the same platform model, exactly the paper's
+// metric with the schedule model substituting for the multicore testbeds.
+#include <cstdio>
+
+#include "basker/bench_support/harness.hpp"
+#include "basker/bench_support/report.hpp"
+#include "basker/gen/suite.hpp"
+
+namespace bb = basker::bench;
+
+namespace {
+
+void run_platform(const bb::Platform& platform, const std::vector<basker::Int>& cores,
+                  double scale) {
+  std::printf("-- %s: speedup vs KLU --\n", platform.name);
+  std::vector<std::string> headers{"matrix", "solver"};
+  for (basker::Int p : cores) headers.push_back("p=" + std::to_string(p));
+  bb::Table table(headers);
+
+  for (const auto& name : basker::gen::fig56_names()) {
+    const basker::Csc a = basker::gen::make_by_name(name, scale);
+    const auto klu = bb::run_solver(bb::SolverKind::kKlu, a, 1, platform);
+    if (!klu.ok()) continue;
+    for (const auto kind : {bb::SolverKind::kBasker, bb::SolverKind::kPardiso}) {
+      std::vector<std::string> row{name, bb::solver_name(kind)};
+      for (basker::Int p : cores) {
+        const auto r = bb::run_solver(kind, a, p, platform);
+        row.push_back(r.ok() ? bb::fmt_fixed(klu.model_work / r.model_work, 2)
+                             : "fail");
+      }
+      table.add_row(std::move(row));
+    }
+  }
+  table.print();
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  const double scale = basker::gen::bench_scale();
+  std::printf("== Figure 6: speedup relative to serial KLU ==\n\n");
+  run_platform(bb::kSandyBridge, {1, 2, 4, 8, 16}, scale);
+  run_platform(bb::kXeonPhi, {1, 2, 4, 8, 16, 32}, scale);
+  std::printf(
+      "Shape checks (paper Fig. 6): Basker beats PMKL on the low-fill five\n"
+      "matrices on SandyBridge (PMKL < 1x serial there, capped ~2.3x);\n"
+      "PMKL wins only the high-fill Xyce3; on Phi the supernodal advantage\n"
+      "on high fill grows while Basker still wins the low-fill matrices.\n");
+  return 0;
+}

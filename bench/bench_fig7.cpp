@@ -1,0 +1,56 @@
+// Figure 7 reproduction: performance profiles over the whole 22-matrix
+// suite. (a) serial on SandyBridge (KLU, PMKL, Basker); (b) 16 SandyBridge
+// cores (Basker, PMKL); (c) 32 Xeon Phi cores (Basker, PMKL). A point
+// (x, y) means: for fraction y of the suite the solver is within x times
+// the best solver's (modeled) time.
+#include <cstdio>
+
+#include "basker/bench_support/harness.hpp"
+#include "basker/bench_support/report.hpp"
+#include "basker/gen/suite.hpp"
+
+namespace bb = basker::bench;
+
+namespace {
+
+const std::vector<double> kGrid{1.0, 1.5, 2.0, 3.0, 4.0, 5.0, 6.0, 8.0, 10.0, 20.0};
+
+void profile(const char* title, const std::vector<bb::SolverKind>& solvers,
+             basker::Int threads, const bb::Platform& platform, double scale) {
+  std::printf("-- %s --\n", title);
+  std::vector<std::vector<double>> times(solvers.size());
+  for (const auto& entry : basker::gen::table1_suite()) {
+    const basker::Csc a = entry.make(scale);
+    for (size_t s = 0; s < solvers.size(); ++s) {
+      const basker::Int p = solvers[s] == bb::SolverKind::kKlu ? 1 : threads;
+      const auto r = bb::run_solver(solvers[s], a, p, platform);
+      times[s].push_back(r.ok() ? r.model_work : -1.0);
+    }
+  }
+  std::vector<std::string> names;
+  for (auto kind : solvers) names.push_back(bb::solver_name(kind));
+  bb::print_profile(names, bb::performance_profile(times, kGrid));
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  const double scale = basker::gen::bench_scale();
+  std::printf("== Figure 7: performance profiles over the 22-matrix suite ==\n\n");
+  profile("(a) serial, SandyBridge",
+          {bb::SolverKind::kBasker, bb::SolverKind::kPardiso, bb::SolverKind::kKlu},
+          1, bb::kSandyBridge, scale);
+  profile("(b) 16 cores, SandyBridge",
+          {bb::SolverKind::kBasker, bb::SolverKind::kPardiso}, 16, bb::kSandyBridge,
+          scale);
+  profile("(c) 32 cores, Xeon Phi model",
+          {bb::SolverKind::kBasker, bb::SolverKind::kPardiso}, 32, bb::kXeonPhi,
+          scale);
+  std::printf(
+      "Shape checks (paper Fig. 7): (a) Basker best on ~70-77%% of the\n"
+      "suite, PMKL best on the ~30%% high-fill tail; (b) Basker best on\n"
+      "~75-80%%; (c) Basker best on ~70%% while PMKL closes in on high-fill\n"
+      "matrices.\n");
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Google-benchmark microbenchmarks of the substrate kernels the solvers are
+// built from: Gilbert-Peierls factorization, sparse mat-vec, the orderings.
+// These are the per-flop rates behind every table in the paper.
+#include <benchmark/benchmark.h>
+
+#include "basker/gen/generators.hpp"
+#include "basker/graph/btf.hpp"
+#include "basker/graph/matching.hpp"
+#include "basker/graph/mindeg.hpp"
+#include "basker/graph/nd.hpp"
+#include "basker/lu/gp.hpp"
+#include "basker/sparse/ops.hpp"
+
+namespace {
+
+using namespace basker;
+
+Csc bench_matrix(Int n) {
+  gen::CircuitParams p;
+  p.n = n;
+  p.btf_frac = 0.3;
+  p.core = gen::CoreTopology::kGrid;
+  p.seed = 99;
+  return gen::circuit(p);
+}
+
+void BM_GilbertPeierls(benchmark::State& state) {
+  const Csc a = gen::mesh2d(static_cast<Int>(state.range(0)),
+                            static_cast<Int>(state.range(0)), 0.1, 3);
+  GpEngine engine;
+  double flops = 0.0;
+  for (auto _ : state) {
+    LuMatrix l, u;
+    engine.reset_flops();
+    benchmark::DoNotOptimize(engine.factor_block(a, l, u, 4 * a.nnz(), {}));
+    flops = engine.flops();
+  }
+  state.counters["flops"] = flops;
+  state.counters["flop_rate"] =
+      benchmark::Counter(flops, benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_GilbertPeierls)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_Spmv(benchmark::State& state) {
+  const Csc a = bench_matrix(static_cast<Int>(state.range(0)));
+  const std::vector<Scalar> x = gen::random_rhs(a.ncols, 1);
+  std::vector<Scalar> y;
+  for (auto _ : state) {
+    spmv(a, x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.counters["nnz"] = static_cast<double>(a.nnz());
+}
+BENCHMARK(BM_Spmv)->Arg(2000)->Arg(10000);
+
+void BM_BottleneckMatching(benchmark::State& state) {
+  const Csc a = bench_matrix(static_cast<Int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bottleneck_matching(a).size);
+  }
+}
+BENCHMARK(BM_BottleneckMatching)->Arg(2000)->Arg(8000);
+
+void BM_BtfScc(benchmark::State& state) {
+  const Csc a = bench_matrix(static_cast<Int>(state.range(0)));
+  const Matching m = max_cardinality_matching(a);
+  const Csc matched = permute(a, m.row_of_col, {});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(btf_order(matched).num_blocks());
+  }
+}
+BENCHMARK(BM_BtfScc)->Arg(2000)->Arg(8000);
+
+void BM_MinDegree(benchmark::State& state) {
+  const Csc g = symmetrize_pattern(
+      gen::mesh2d(static_cast<Int>(state.range(0)),
+                  static_cast<Int>(state.range(0)), 0.0, 4));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(min_degree_order(g).size());
+  }
+}
+BENCHMARK(BM_MinDegree)->Arg(24)->Arg(48);
+
+void BM_NestedDissection(benchmark::State& state) {
+  const Csc g = symmetrize_pattern(
+      gen::mesh2d(static_cast<Int>(state.range(0)),
+                  static_cast<Int>(state.range(0)), 0.0, 4));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nested_dissect(g, 3).perm.size());
+  }
+}
+BENCHMARK(BM_NestedDissection)->Arg(24)->Arg(48);
+
+}  // namespace
+
+BENCHMARK_MAIN();

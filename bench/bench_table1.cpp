@@ -1,0 +1,58 @@
+// Table I reproduction: the 22-matrix circuit/power-grid suite with
+// |L+U| for KLU, the supernodal PMKL stand-in and Basker, the fine-BTF row
+// percentage, BTF block count and KLU fill-in density. Cells show
+// "ours (paper)". Paper matrices come from the UF collection / Xyce; ours
+// are the structural analogues of DESIGN.md §3.1 at ~1/64 dimension.
+#include <cstdio>
+
+#include "basker/bench_support/harness.hpp"
+#include "basker/bench_support/report.hpp"
+#include "basker/gen/suite.hpp"
+
+namespace bb = basker::bench;
+
+int main() {
+  const double scale = basker::gen::bench_scale();
+  std::printf("== Table I: test suite, |L+U| and BTF structure (scale %.2f) ==\n",
+              scale);
+  std::printf("cells: ours (paper)\n\n");
+  bb::Table table({"matrix", "n", "|A|", "KLU |L+U|", "PMKL |L+U|",
+                   "Basker |L+U|", "BTF %", "blocks", "fill"});
+
+  for (const auto& entry : basker::gen::table1_suite()) {
+    std::fprintf(stderr, "[table1] %s...\n", entry.name.c_str());
+    const basker::Csc a = entry.make(scale);
+    const auto klu = bb::run_solver(bb::SolverKind::kKlu, a, 1, bb::kSandyBridge);
+    const auto pmkl = bb::run_solver(bb::SolverKind::kPardiso, a, 8, bb::kSandyBridge);
+    const auto bskr = bb::run_solver(bb::SolverKind::kBasker, a, 8, bb::kSandyBridge);
+    auto ours_paper = [](double ours, double paper) {
+      return bb::fmt_sci(ours) + " (" + bb::fmt_sci(paper) + ")";
+    };
+    const double fill = klu.ok() && a.nnz() > 0
+                            ? static_cast<double>(klu.nnz_lu) / a.nnz()
+                            : 0.0;
+    table.add_row({
+        entry.name,
+        ours_paper(a.ncols, entry.paper.n),
+        ours_paper(static_cast<double>(a.nnz()), entry.paper.nnz),
+        klu.ok() ? ours_paper(static_cast<double>(klu.nnz_lu), entry.paper.klu_lu)
+                 : "fail",
+        pmkl.ok() ? ours_paper(static_cast<double>(pmkl.nnz_lu), entry.paper.pmkl_lu)
+                  : "fail",
+        bskr.ok()
+            ? ours_paper(static_cast<double>(bskr.nnz_lu), entry.paper.basker_lu)
+            : "fail",
+        bb::fmt_fixed(bskr.btf_pct, 1) + " (" +
+            bb::fmt_fixed(entry.paper.btf_pct, 1) + ")",
+        ours_paper(bskr.nblocks, entry.paper.btf_blocks),
+        bb::fmt_fixed(fill, 1) + " (" + bb::fmt_fixed(entry.paper.fill, 1) + ")",
+    });
+  }
+  table.print();
+  std::printf(
+      "\nShape checks (paper): Basker/KLU need fewer |L+U| than PMKL on\n"
+      "fill density < 4 rows; PMKL is competitive or smaller above the\n"
+      "double line (hcircuit onward); BTF%% and block counts match the\n"
+      "structural class of each analogue.\n");
+  return 0;
+}

@@ -1,0 +1,128 @@
+// Section V-F reproduction: a transient-analysis sequence of matrices with
+// a fixed pattern and changing values (the Xyce1 circuit). One symbolic
+// analysis is reused across the whole sequence; every step is a numeric
+// refactorization + solve. Paper: 1000 matrices, Basker 175.21 s vs KLU
+// 914.77 s vs PMKL 951.34 s (5.43x / 5.22x). We run a scaled-down sequence
+// (BASKER_XYCE_STEPS, default 200) on the Xyce1 structural analogue and
+// compare total refactorization times — measured serial work for KLU/PMKL,
+// schedule model at 8 threads for Basker's parallel speedup component.
+#include <cstdio>
+#include <cstdlib>
+
+#include "basker/bench_support/model.hpp"
+#include "basker/bench_support/report.hpp"
+#include "basker/common/prng.hpp"
+#include "basker/core/basker.hpp"
+#include "basker/gen/generators.hpp"
+#include "basker/gen/suite.hpp"
+#include "basker/klu/klu.hpp"
+#include "basker/sn/sn.hpp"
+
+namespace bb = basker::bench;
+using basker::Csc;
+using basker::Int;
+using basker::Scalar;
+using basker::Status;
+
+namespace {
+
+Int num_steps() {
+  const char* env = std::getenv("BASKER_XYCE_STEPS");
+  if (env == nullptr) return 200;
+  const int v = std::atoi(env);
+  return v > 0 ? v : 200;
+}
+
+}  // namespace
+
+int main() {
+  const double scale = basker::gen::bench_scale();
+  const Int steps = num_steps();
+  std::printf("== Xyce transient sequence (Xyce1 analogue, %d steps) ==\n\n",
+              static_cast<int>(steps));
+
+  Csc a = basker::gen::make_by_name("Xyce1", scale);
+
+  // Pre-generate the value sequence so generation cost stays out of the
+  // timed loops and all solvers see identical matrices.
+  std::vector<Csc> sequence;
+  sequence.reserve(static_cast<size_t>(steps));
+  {
+    basker::Prng rng(2024);
+    Csc step = a;
+    for (Int s = 0; s < steps; ++s) {
+      basker::gen::revalue(step, rng, 0.3);
+      sequence.push_back(step);
+    }
+  }
+
+  double klu_total = 0.0, pmkl_total = 0.0;
+  double basker_total_measured = 0.0, basker_total_model = 0.0;
+  const double rate = bb::calibrate_flop_rate();
+
+  {
+    basker::KluSolver klu;
+    if (klu.factor(a) != Status::kOk) {
+      std::printf("KLU factor failed\n");
+      return 1;
+    }
+    for (const Csc& step : sequence) {
+      if (klu.refactor(step) != Status::kOk) {
+        std::printf("KLU refactor failed\n");
+        return 1;
+      }
+      klu_total += klu.stats().factor_seconds;
+    }
+  }
+  {
+    basker::SnOptions opt;
+    opt.nthreads = 8;
+    basker::SnSolver pmkl(opt);
+    if (pmkl.factor(a) != Status::kOk) {
+      std::printf("PMKL factor failed\n");
+      return 1;
+    }
+    for (const Csc& step : sequence) {
+      if (pmkl.refactor(step) != Status::kOk) {
+        std::printf("PMKL refactor failed\n");
+        return 1;
+      }
+      // Serial measured time would be fair only on a 16-core host; model
+      // the level-set schedule at 8 workers instead.
+      pmkl_total += bb::sn_model_work(pmkl.stats().tasks, 8, bb::kSandyBridge) / rate;
+    }
+  }
+  {
+    basker::BaskerOptions opt;
+    opt.nthreads = 8;
+    basker::Basker bskr(opt);
+    if (bskr.factor(a) != Status::kOk) {
+      std::printf("Basker factor failed\n");
+      return 1;
+    }
+    for (const Csc& step : sequence) {
+      if (bskr.refactor(step) != Status::kOk) {
+        std::printf("Basker refactor failed\n");
+        return 1;
+      }
+      basker_total_measured += bskr.stats().factor_seconds;
+      basker_total_model +=
+          bb::basker_model_work(bskr.stats(), bb::kSandyBridge) / rate;
+    }
+  }
+
+  bb::Table table({"solver", "total numeric s (model @8 cores)", "vs Basker"});
+  table.add_row({"Basker (8t)", bb::fmt_fixed(basker_total_model, 3), "1.00x"});
+  table.add_row({"KLU", bb::fmt_fixed(klu_total, 3),
+                 bb::fmt_ratio(klu_total / basker_total_model)});
+  table.add_row({"PMKL (8t)", bb::fmt_fixed(pmkl_total, 3),
+                 bb::fmt_ratio(pmkl_total / basker_total_model)});
+  table.print();
+  std::printf("\n(measured Basker wall on this 1-core host: %.3f s)\n",
+              basker_total_measured);
+  std::printf(
+      "Shape check (paper V-F over 1000 steps): Basker 175.21 s vs KLU\n"
+      "914.77 s (5.22x) vs PMKL 951.34 s (5.43x) - Basker clearly fastest,\n"
+      "KLU and PMKL comparable to each other.\n");
+  return 0;
+}

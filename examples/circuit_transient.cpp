@@ -1,0 +1,124 @@
+// Transient simulation of a nonlinear circuit — the workload Basker was
+// built for (paper §V-F: Xyce generates millions of same-pattern matrices).
+//
+// The circuit is a chain of nodes with cubic (nonlinear) conductances
+// between neighbours, linear leakage and capacitance to ground, a supply
+// rail touching every 16th node, and a current source driving node 0.
+// Backward-Euler time stepping; each step runs Newton iterations whose
+// Jacobians share one fixed pattern, so the symbolic analysis is done once
+// and every Newton matrix is a numeric refactorization.
+//
+//   ./examples/circuit_transient [nodes] [steps]
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "basker/core/basker.hpp"
+#include "basker/sparse/coo.hpp"
+#include "basker/sparse/ops.hpp"
+
+using namespace basker;
+
+namespace {
+
+struct Circuit {
+  Int n = 2000;              // nodes (excluding ground)
+  Scalar g0 = 1e-3;          // linear part of the chain conductance
+  Scalar beta = 2e-2;        // cubic coefficient: i = g0 dv + beta dv^3
+  Scalar g_leak = 1e-4;      // node-to-ground leakage
+  Scalar c = 1e-6;           // node capacitance
+  Scalar g_rail = 5e-3;      // rail hookup conductance
+  Int rail_stride = 16;
+  Scalar i_src = 1e-3;       // source current into node 0
+  Int rail() const { return n - 1; }
+};
+
+/// f(v) = element currents + C (v - v_prev)/dt - sources; J = df/dv.
+/// Assembly stamps both in one pass; the Jacobian pattern never changes.
+void assemble(const Circuit& ckt, const std::vector<Scalar>& v,
+              const std::vector<Scalar>& v_prev, Scalar dt, Triplets& jac,
+              std::vector<Scalar>& f) {
+  const Int n = ckt.n;
+  f.assign(static_cast<size_t>(n), 0.0);
+  auto stamp_conductance = [&](Int a, Int b, Scalar i_ab, Scalar g_small) {
+    // Current i_ab flows a -> b; g_small is d(i_ab)/d(v_a - v_b).
+    f[a] += i_ab;
+    f[b] -= i_ab;
+    jac.add(a, a, g_small);
+    jac.add(b, b, g_small);
+    jac.add(a, b, -g_small);
+    jac.add(b, a, -g_small);
+  };
+  for (Int k = 0; k + 1 < n; ++k) {
+    const Scalar dv = v[k] - v[k + 1];
+    stamp_conductance(k, k + 1, ckt.g0 * dv + ckt.beta * dv * dv * dv,
+                      ckt.g0 + 3.0 * ckt.beta * dv * dv);
+  }
+  for (Int k = 0; k < n; ++k) {
+    // Leakage and capacitor to ground (ground is eliminated).
+    f[k] += ckt.g_leak * v[k] + ckt.c * (v[k] - v_prev[k]) / dt;
+    jac.add(k, k, ckt.g_leak + ckt.c / dt);
+    if (k % ckt.rail_stride == 0 && k != ckt.rail()) {
+      const Scalar dv = v[k] - v[ckt.rail()];
+      stamp_conductance(k, ckt.rail(), ckt.g_rail * dv, ckt.g_rail);
+    }
+  }
+  f[0] -= ckt.i_src;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Circuit ckt;
+  if (argc > 1) ckt.n = std::max(16, std::atoi(argv[1]));
+  Int steps = argc > 2 ? std::max(1, std::atoi(argv[2])) : 25;
+  const Scalar dt = 1e-5;
+
+  std::printf("transient: %d nodes, %d time steps, dt = %.1e\n", ckt.n,
+              static_cast<int>(steps), dt);
+
+  std::vector<Scalar> v(static_cast<size_t>(ckt.n), 0.0);
+  std::vector<Scalar> v_prev = v;
+  std::vector<Scalar> f;
+
+  BaskerOptions options;
+  options.nthreads = 4;
+  Basker solver(options);
+
+  bool analyzed = false;
+  Int total_newton = 0;
+  double factor_seconds = 0.0;
+
+  for (Int step = 0; step < steps; ++step) {
+    v_prev = v;
+    for (Int newton = 0; newton < 50; ++newton) {
+      Triplets jac(ckt.n, ckt.n);
+      assemble(ckt, v, v_prev, dt, jac, f);
+      Scalar fnorm = 0.0;
+      for (Scalar fi : f) fnorm = std::max(fnorm, std::abs(fi));
+      if (fnorm < 1e-12) break;
+      const Csc j = jac.to_csc();
+      const Status s = analyzed ? solver.refactor(j) : solver.factor(j);
+      if (s != Status::kOk) {
+        std::printf("step %d: factorization failed: %s\n",
+                    static_cast<int>(step), to_string(s));
+        return 1;
+      }
+      analyzed = true;
+      factor_seconds += solver.stats().factor_seconds;
+      ++total_newton;
+      // Newton update: J dv = -f.
+      for (Scalar& fi : f) fi = -fi;
+      if (solver.solve(f) != Status::kOk) return 1;
+      for (Int k = 0; k < ckt.n; ++k) v[k] += f[k];
+    }
+  }
+  std::printf("node0 voltage after %d steps: %.6f V\n", static_cast<int>(steps),
+              v[0]);
+  std::printf("%d Newton factorizations, %.3fs numeric total "
+              "(1 symbolic analysis, %lld |L+U|)\n",
+              static_cast<int>(total_newton), factor_seconds,
+              static_cast<long long>(solver.stats().nnz_lu));
+  return 0;
+}

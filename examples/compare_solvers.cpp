@@ -1,0 +1,52 @@
+// Compare all three solver families on one matrix from the paper's suite:
+// KLU (serial Gilbert-Peierls + BTF), the supernodal PMKL stand-in, and
+// Basker. Prints factor size, flops, measured serial time and the modeled
+// 8-core time.
+//
+//   ./examples/compare_solvers [suite-matrix-name]   (default: scircuit)
+#include <cstdio>
+
+#include "basker/bench_support/harness.hpp"
+#include "basker/bench_support/report.hpp"
+#include "basker/gen/suite.hpp"
+
+namespace bb = basker::bench;
+
+int main(int argc, char** argv) {
+  const std::string name = argc > 1 ? argv[1] : "scircuit";
+  basker::Csc a;
+  try {
+    a = basker::gen::make_by_name(name, basker::gen::bench_scale());
+  } catch (const basker::BaskerError& e) {
+    std::printf("unknown matrix '%s' (%s)\n", name.c_str(), e.what());
+    std::printf("Table I names, e.g.: ");
+    for (const auto& entry : basker::gen::table1_suite()) {
+      std::printf("%s ", entry.name.c_str());
+    }
+    std::printf("\n");
+    return 1;
+  }
+  std::printf("%s: n = %d, nnz = %lld\n\n", name.c_str(), a.ncols,
+              static_cast<long long>(a.nnz()));
+
+  bb::Table table({"solver", "|L+U|", "fill", "flops", "serial s", "model@8 s"});
+  for (const auto kind : {bb::SolverKind::kKlu, bb::SolverKind::kPardiso,
+                          bb::SolverKind::kBasker}) {
+    const auto serial = bb::run_solver(kind, a, 1, bb::kSandyBridge);
+    const auto par = bb::run_solver(kind, a, 8, bb::kSandyBridge);
+    if (!serial.ok() || !par.ok()) {
+      table.add_row({bb::solver_name(kind), "fail", "-", "-", "-", "-"});
+      continue;
+    }
+    table.add_row({
+        bb::solver_name(kind),
+        bb::fmt_sci(static_cast<double>(serial.nnz_lu)),
+        bb::fmt_fixed(static_cast<double>(serial.nnz_lu) / a.nnz(), 2),
+        bb::fmt_sci(serial.flops),
+        bb::fmt_fixed(serial.factor_seconds, 4),
+        bb::fmt_fixed(bb::model_seconds(par), 4),
+    });
+  }
+  table.print();
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Solve a Matrix Market system from disk — the workflow for UF-collection
+// matrices. With no arguments, writes a demo circuit matrix to /tmp first
+// and solves that.
+//
+//   ./examples/solve_mtx [matrix.mtx [threads]]
+#include <cstdio>
+#include <cstdlib>
+
+#include "basker/core/basker.hpp"
+#include "basker/core/refine.hpp"
+#include "basker/gen/generators.hpp"
+#include "basker/sparse/io.hpp"
+#include "basker/sparse/ops.hpp"
+
+using namespace basker;
+
+int main(int argc, char** argv) {
+  std::string path;
+  if (argc > 1) {
+    path = argv[1];
+  } else {
+    path = "/tmp/basker_demo.mtx";
+    gen::CircuitParams params;
+    params.n = 3000;
+    params.btf_frac = 0.3;
+    params.seed = 17;
+    write_matrix_market_file(path, gen::circuit(params));
+    std::printf("no input given; wrote demo matrix to %s\n", path.c_str());
+  }
+  const Int threads = argc > 2 ? std::atoi(argv[2]) : 4;
+
+  Csc a;
+  try {
+    a = read_matrix_market_file(path);
+  } catch (const BaskerError& e) {
+    std::printf("failed to read %s: %s\n", path.c_str(), e.what());
+    return 1;
+  }
+  if (a.nrows != a.ncols) {
+    std::printf("matrix is %d x %d; only square systems are supported\n",
+                a.nrows, a.ncols);
+    return 1;
+  }
+  std::printf("%s: n = %d, nnz = %lld\n", path.c_str(), a.ncols,
+              static_cast<long long>(a.nnz()));
+
+  BaskerOptions options;
+  options.nthreads = threads;
+  Basker solver(options);
+  const Status s = solver.factor(a);
+  if (s != Status::kOk) {
+    std::printf("factorization failed: %s\n", to_string(s));
+    return 1;
+  }
+  const std::vector<Scalar> b = gen::random_rhs(a.ncols, 1);
+  std::vector<Scalar> x;
+  const RefineResult r = solve_refined(solver, a, b, x, 3);
+  std::printf("solved with %d refinement sweep(s); residual %.3e\n",
+              static_cast<int>(r.iterations), r.final_residual);
+  std::printf("|L+U| = %lld, pivot growth %.2e, BTF blocks %d, ND parts %d\n",
+              static_cast<long long>(solver.stats().nnz_lu),
+              solver.stats().pivot_growth, solver.stats().nblocks,
+              solver.stats().nd_parts);
+  return 0;
+}

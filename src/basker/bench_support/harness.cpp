@@ -1,0 +1,83 @@
+#include "basker/bench_support/harness.hpp"
+
+#include "basker/core/basker.hpp"
+#include "basker/klu/klu.hpp"
+#include "basker/sn/sn.hpp"
+
+namespace basker::bench {
+
+const char* solver_name(SolverKind kind) {
+  switch (kind) {
+    case SolverKind::kKlu: return "KLU";
+    case SolverKind::kPardiso: return "PMKL";
+    case SolverKind::kSluMt: return "SLU-MT";
+    case SolverKind::kBasker: return "Basker";
+    case SolverKind::kBasker1d: return "Basker-1D";
+  }
+  return "?";
+}
+
+RunResult run_solver(SolverKind kind, const Csc& a, Int threads,
+                     const Platform& platform, SyncMode sync) {
+  RunResult r;
+  switch (kind) {
+    case SolverKind::kKlu: {
+      KluSolver solver;
+      r.status = solver.factor(a);
+      if (!r.ok()) return r;
+      const KluStats& st = solver.stats();
+      r.factor_seconds = st.factor_seconds;
+      r.analyze_seconds = st.analyze_seconds;
+      r.nnz_lu = st.nnz_lu;
+      r.flops = st.factor_flops;
+      r.nblocks = st.nblocks;
+      r.btf_pct = st.btf_pct;
+      r.model_work = serial_model_work(st.factor_flops, platform);
+      return r;
+    }
+    case SolverKind::kPardiso:
+    case SolverKind::kSluMt: {
+      SnOptions opt;
+      opt.nthreads = threads;
+      opt.mode = kind == SolverKind::kPardiso ? SnMode::kPardisoLike
+                                              : SnMode::kSluMtLike;
+      SnSolver solver(opt);
+      r.status = solver.factor(a);
+      if (!r.ok()) return r;
+      const SnStats& st = solver.stats();
+      r.factor_seconds = st.factor_seconds;
+      r.analyze_seconds = st.analyze_seconds;
+      r.nnz_lu = st.nnz_lu;
+      r.flops = st.factor_flops;
+      r.model_work = sn_model_work(st.tasks, threads, platform);
+      return r;
+    }
+    case SolverKind::kBasker:
+    case SolverKind::kBasker1d: {
+      BaskerOptions opt;
+      opt.nthreads = threads;
+      opt.sync_mode = sync;
+      opt.parallel_separators = kind == SolverKind::kBasker;
+      Basker solver(opt);
+      r.status = solver.factor(a);
+      if (!r.ok()) return r;
+      const BaskerStats& st = solver.stats();
+      r.factor_seconds = st.factor_seconds;
+      r.analyze_seconds = st.analyze_seconds;
+      r.nnz_lu = st.nnz_lu;
+      r.flops = st.factor_flops;
+      r.nblocks = st.nblocks;
+      r.btf_pct = st.btf_pct;
+      r.sync_seconds = st.sync_seconds;
+      r.model_work = basker_model_work(st, platform);
+      return r;
+    }
+  }
+  return r;
+}
+
+double model_seconds(const RunResult& result) {
+  return result.model_work / calibrate_flop_rate();
+}
+
+}  // namespace basker::bench

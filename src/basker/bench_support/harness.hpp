@@ -1,0 +1,47 @@
+// Unified solver harness for the bench binaries: run any of the four
+// solver configurations on a matrix and report measured wall time, the
+// schedule-model work (DESIGN.md §3.2), and factor statistics.
+#pragma once
+
+#include <string>
+
+#include "basker/bench_support/model.hpp"
+#include "basker/core/options.hpp"
+#include "basker/sparse/csc.hpp"
+
+namespace basker::bench {
+
+enum class SolverKind {
+  kKlu,       ///< serial baseline (KLU 1.3.2 analogue)
+  kPardiso,   ///< supernodal, relaxed amalgamation (PMKL analogue)
+  kSluMt,     ///< supernodal, strict supernodes (SuperLU-MT analogue)
+  kBasker,    ///< this paper
+  kBasker1d,  ///< ablation: separators factored 1D by one thread
+};
+
+const char* solver_name(SolverKind kind);
+
+struct RunResult {
+  Status status = Status::kOk;
+  double factor_seconds = 0.0;   ///< measured numeric wall time (1 core!)
+  double analyze_seconds = 0.0;
+  double model_work = 0.0;       ///< schedule-model work units
+  Size nnz_lu = 0;
+  double flops = 0.0;
+  Int nblocks = 1;
+  double btf_pct = 0.0;
+  double sync_seconds = 0.0;     ///< Basker only
+
+  bool ok() const { return status == Status::kOk; }
+};
+
+/// Factor `a` with the given solver at `threads` threads and model the
+/// runtime on `platform`. For the serial KLU baseline `threads` is ignored.
+RunResult run_solver(SolverKind kind, const Csc& a, Int threads,
+                     const Platform& platform,
+                     SyncMode sync = SyncMode::kPointToPoint);
+
+/// Convert model work to modeled seconds with the calibrated host rate.
+double model_seconds(const RunResult& result);
+
+}  // namespace basker::bench

@@ -1,0 +1,93 @@
+#include "basker/bench_support/model.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "basker/common/timer.hpp"
+#include "basker/gen/generators.hpp"
+#include "basker/klu/klu.hpp"
+
+namespace basker::bench {
+
+double basker_model_work(const BaskerStats& stats, const Platform& platform) {
+  const auto& work = stats.work_per_thread_per_phase;
+  if (work.empty()) return 0.0;
+  const size_t phases = work[0].size();
+  double total = 0.0;
+  for (size_t phase = 0; phase < phases; ++phase) {
+    double mx = 0.0;
+    for (const auto& per_thread : work) {
+      if (phase < per_thread.size()) mx = std::max(mx, per_thread[phase]);
+    }
+    // Phase 0 is embarrassingly parallel leaf/fine work; later phases are
+    // the separator pipeline whose reductions miss the shared cache on Phi.
+    total += (phase == 0) ? mx : mx * platform.reduce_penalty;
+  }
+  return total / platform.rate_scale;
+}
+
+double serial_model_work(double total_flops, const Platform& platform) {
+  return total_flops / platform.rate_scale;
+}
+
+double sn_model_work(const std::vector<SnTask>& tasks, Int p,
+                     const Platform& platform) {
+  if (tasks.empty()) return 0.0;
+  Int nlevels = 0;
+  for (const auto& task : tasks) nlevels = std::max(nlevels, task.level + 1);
+  std::vector<std::vector<double>> by_level(static_cast<size_t>(nlevels));
+  for (const auto& task : tasks) {
+    const double eff = std::min(platform.sn_eff_cap,
+                                platform.sn_eff_base +
+                                    platform.sn_eff_slope * task.width);
+    by_level[task.level].push_back(task.flops / eff);
+  }
+  double total = 0.0;
+  for (auto& level : by_level) {
+    // LPT list scheduling: largest task first onto the least-loaded worker.
+    std::sort(level.begin(), level.end(), std::greater<>());
+    std::priority_queue<double, std::vector<double>, std::greater<>> workers;
+    for (Int w = 0; w < p; ++w) workers.push(0.0);
+    for (double t : level) {
+      double load = workers.top();
+      workers.pop();
+      workers.push(load + t);
+    }
+    double makespan = 0.0;
+    while (!workers.empty()) {
+      makespan = workers.top();
+      workers.pop();
+    }
+    total += makespan;
+  }
+  return total / platform.rate_scale;
+}
+
+double calibrate_flop_rate() {
+  // Factor a moderately filled matrix with the serial baseline and take
+  // flops / seconds. Cached: calibration is stable within a process.
+  static double rate = [] {
+    gen::CircuitParams p;
+    p.n = 4000;
+    p.btf_frac = 0.0;
+    p.core = gen::CoreTopology::kGrid;
+    p.core_degree = 3;
+    p.seed = 1234;
+    const Csc a = gen::circuit(p);
+    KluSolver klu;
+    if (klu.factor(a) != Status::kOk) return 1e9;
+    double best = 0.0;
+    for (int rep = 0; rep < 3; ++rep) {
+      KluSolver fresh;
+      if (fresh.factor(a) != Status::kOk) break;
+      const auto& st = fresh.stats();
+      if (st.factor_seconds > 0.0) {
+        best = std::max(best, st.factor_flops / st.factor_seconds);
+      }
+    }
+    return best > 0.0 ? best : 1e9;
+  }();
+  return rate;
+}
+
+}  // namespace basker::bench

@@ -1,0 +1,105 @@
+#include "basker/bench_support/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace basker::bench {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print() const {
+  std::vector<size_t> width(headers_.size(), 0);
+  for (size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size() && c < width.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < width.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      std::printf("%-*s  ", static_cast<int>(width[c]), cell.c_str());
+    }
+    std::printf("\n");
+  };
+  print_row(headers_);
+  size_t total = 0;
+  for (size_t c = 0; c < width.size(); ++c) total += width[c] + 2;
+  std::printf("%s\n", std::string(total, '-').c_str());
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string fmt_sci(double v) {
+  if (v == 0.0) return "0";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1E", v);
+  return buf;
+}
+
+std::string fmt_fixed(double v, int digits) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+  return buf;
+}
+
+std::string fmt_ratio(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2fx", v);
+  return buf;
+}
+
+std::vector<ProfilePoint> performance_profile(
+    const std::vector<std::vector<double>>& times,
+    const std::vector<double>& x_grid) {
+  const size_t nsolvers = times.size();
+  const size_t nproblems = nsolvers == 0 ? 0 : times[0].size();
+  std::vector<double> best(nproblems, 0.0);
+  for (size_t p = 0; p < nproblems; ++p) {
+    double b = std::numeric_limits<double>::infinity();
+    for (size_t s = 0; s < nsolvers; ++s) {
+      const double t = times[s][p];
+      if (std::isfinite(t) && t > 0.0) b = std::min(b, t);
+    }
+    best[p] = b;
+  }
+  std::vector<ProfilePoint> profile;
+  for (double x : x_grid) {
+    ProfilePoint point;
+    point.x = x;
+    point.fraction.resize(nsolvers, 0.0);
+    for (size_t s = 0; s < nsolvers; ++s) {
+      size_t within = 0;
+      for (size_t p = 0; p < nproblems; ++p) {
+        const double t = times[s][p];
+        if (std::isfinite(t) && t > 0.0 && std::isfinite(best[p]) &&
+            t <= x * best[p] * (1.0 + 1e-12)) {
+          ++within;
+        }
+      }
+      point.fraction[s] = nproblems > 0 ? static_cast<double>(within) / nproblems : 0.0;
+    }
+    profile.push_back(point);
+  }
+  return profile;
+}
+
+void print_profile(const std::vector<std::string>& solver_names,
+                   const std::vector<ProfilePoint>& profile) {
+  std::vector<std::string> headers{"x (time vs best)"};
+  for (const auto& name : solver_names) headers.push_back(name);
+  Table table(std::move(headers));
+  for (const auto& point : profile) {
+    std::vector<std::string> row{fmt_fixed(point.x, 1)};
+    for (double f : point.fraction) row.push_back(fmt_fixed(f, 2));
+    table.add_row(std::move(row));
+  }
+  table.print();
+}
+
+}  // namespace basker::bench

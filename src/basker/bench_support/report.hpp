@@ -1,0 +1,45 @@
+// Table and performance-profile printers for the bench binaries.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "basker/common/types.hpp"
+
+namespace basker::bench {
+
+/// Fixed-width table: set headers, add rows of strings, print.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+  void add_row(std::vector<std::string> cells);
+  void print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format helpers.
+std::string fmt_sci(double v);            ///< 1.2E6 style (paper's tables)
+std::string fmt_fixed(double v, int digits);
+std::string fmt_ratio(double v);          ///< "5.91x"
+
+/// Performance profile (paper Fig. 7): for each solver, the fraction of
+/// problems solved within x times the best solver's time, evaluated on a
+/// grid of x values.
+struct ProfilePoint {
+  double x;
+  std::vector<double> fraction;  ///< one per solver
+};
+
+/// times[solver][problem]; non-finite or <= 0 entries mean "failed" and
+/// never count as within any ratio.
+std::vector<ProfilePoint> performance_profile(
+    const std::vector<std::vector<double>>& times,
+    const std::vector<double>& x_grid);
+
+void print_profile(const std::vector<std::string>& solver_names,
+                   const std::vector<ProfilePoint>& profile);
+
+}  // namespace basker::bench

@@ -1,0 +1,39 @@
+// Error reporting: recoverable conditions are Status codes, contract
+// violations throw BaskerError.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace basker {
+
+enum class Status {
+  kOk = 0,
+  kStructurallySingular,   ///< no perfect matching / zero-free diagonal
+  kNumericallySingular,    ///< pivot below absolute threshold
+  kInvalidInput,           ///< malformed matrix or options
+  kNotFactored,            ///< solve/refactor before numeric factorization
+};
+
+inline const char* to_string(Status s) {
+  switch (s) {
+    case Status::kOk: return "ok";
+    case Status::kStructurallySingular: return "structurally singular";
+    case Status::kNumericallySingular: return "numerically singular";
+    case Status::kInvalidInput: return "invalid input";
+    case Status::kNotFactored: return "not factored";
+  }
+  return "unknown";
+}
+
+class BaskerError : public std::runtime_error {
+ public:
+  explicit BaskerError(const std::string& what) : std::runtime_error(what) {}
+};
+
+#define BASKER_REQUIRE(cond, msg)                                   \
+  do {                                                              \
+    if (!(cond)) throw ::basker::BaskerError(msg);                  \
+  } while (0)
+
+}  // namespace basker

@@ -1,0 +1,60 @@
+// Deterministic, seedable PRNG (xoshiro256**) so every generated matrix and
+// every test sweep is reproducible across platforms and stdlib versions.
+#pragma once
+
+#include <cstdint>
+
+#include "basker/common/types.hpp"
+
+namespace basker {
+
+class Prng {
+ public:
+  explicit Prng(std::uint64_t seed) {
+    // SplitMix64 expansion of the seed into the xoshiro state.
+    std::uint64_t x = seed + 0x9E3779B97F4A7C15ULL;
+    for (auto& word : s_) {
+      x += 0x9E3779B97F4A7C15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, n). n must be > 0.
+  Int next_int(Int n) { return static_cast<Int>(next_u64() % static_cast<std::uint64_t>(n)); }
+
+  /// Uniform in [0, 1).
+  double next_double() { return (next_u64() >> 11) * 0x1.0p-53; }
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * next_double(); }
+
+  /// Value with log-uniform magnitude in [10^lo_exp, 10^hi_exp], random sign.
+  double log_uniform_signed(double lo_exp, double hi_exp) {
+    const double mag = uniform(lo_exp, hi_exp);
+    const double sign = (next_u64() & 1) ? 1.0 : -1.0;
+    return sign * __builtin_exp2(mag * 3.321928094887362);  // 10^mag
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4];
+};
+
+}  // namespace basker

@@ -1,0 +1,24 @@
+// Fundamental scalar/index types shared across the library.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace basker {
+
+/// Ordinal used for matrix dimensions and nonzero indices. 32-bit keeps the
+/// 2D block structures compact; all suite matrices fit comfortably.
+using Int = std::int32_t;
+
+/// Nonzero counters that may exceed 2^31 on high fill-in factors.
+using Size = std::int64_t;
+
+/// Numeric value type of the reference instantiation.
+using Scalar = double;
+
+inline constexpr Int kInvalid = -1;
+
+/// Marker used by symbolic phases for "not yet visited".
+inline constexpr Int kUnvisited = std::numeric_limits<Int>::min();
+
+}  // namespace basker

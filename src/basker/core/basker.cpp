@@ -1,0 +1,61 @@
+// Basker facade: lifecycle, value scatter, timing.
+#include "basker/core/basker.hpp"
+
+#include "basker/common/timer.hpp"
+#include "basker/sparse/ops.hpp"
+
+namespace basker {
+
+namespace {
+
+Int round_down_pow2(Int v) {
+  Int p = 1;
+  while (2 * p <= v) p *= 2;
+  return p;
+}
+
+}  // namespace
+
+Basker::Basker(BaskerOptions opt) : opt_(opt) {
+  nthreads_ = round_down_pow2(std::max<Int>(1, opt_.nthreads));
+  team_ = std::make_unique<ThreadTeam>(nthreads_);
+  barrier_ = std::make_unique<SpinBarrier>(nthreads_);
+  ep_.init(nthreads_);
+  ws_.resize(static_cast<size_t>(nthreads_));
+  for (auto& ws : ws_) ws = std::make_unique<ThreadWs>();
+}
+
+Basker::~Basker() = default;
+
+void Basker::scatter_values(const Csc& a) {
+  for (Size p = 0; p < a.nnz(); ++p) an_.b.values[an_.value_map[p]] = a.values[p];
+  for (NdPart& part : an_.parts) {
+    part.asub = extract_block(an_.b, part.lo, part.hi, part.lo, part.hi);
+  }
+}
+
+Status Basker::numeric(const Csc& a) {
+  if (!analyzed_) return Status::kNotFactored;
+  BASKER_REQUIRE(a.ncols == an_.n &&
+                     a.nnz() == static_cast<Size>(an_.value_map.size()),
+                 "basker: numeric pattern mismatch");
+  factored_ = false;
+  WallTimer timer;
+  scatter_values(a);
+  const Status s = run_numeric();
+  stats_.factor_seconds = timer.seconds();
+  return s;
+}
+
+Status Basker::factor(const Csc& a) {
+  const Status s = symbolic(a);
+  if (s != Status::kOk) return s;
+  return numeric(a);
+}
+
+Status Basker::refactor(const Csc& a) {
+  if (!analyzed_) return Status::kNotFactored;
+  return numeric(a);
+}
+
+}  // namespace basker

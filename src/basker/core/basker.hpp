@@ -1,0 +1,118 @@
+// Basker: threaded sparse LU with hierarchical parallelism and 2D data
+// layouts — the paper's contribution.
+//
+// Pipeline (paper §III): bottleneck matching (MWCM) -> BTF via strongly
+// connected components -> small diagonal blocks factored embarrassingly
+// parallel with per-block AMD + Gilbert-Peierls (fine BTF structure, §III-B)
+// -> each large diagonal block locally matched, nested-dissected into a 2D
+// grid of sparse blocks over a binary separator tree and factored with the
+// parallel Gilbert-Peierls algorithm of §III-C (Algorithm 4), multiple
+// threads cooperating on each separator block column with point-to-point
+// synchronization (§IV).
+//
+// Usage:
+//   Basker solver(options);
+//   solver.factor(A);            // symbolic + numeric
+//   solver.solve(b);             // b := A^{-1} b
+//   solver.refactor(A2);         // same pattern, new values (Xyce sequences)
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "basker/core/options.hpp"
+#include "basker/core/paged.hpp"
+#include "basker/core/structure.hpp"
+#include "basker/sparse/csc.hpp"
+#include "basker/thread/team.hpp"
+
+namespace basker {
+
+class Basker {
+ public:
+  explicit Basker(BaskerOptions opt = {});
+  ~Basker();
+
+  Basker(const Basker&) = delete;
+  Basker& operator=(const Basker&) = delete;
+
+  /// Ordering + structure analysis (paper Algorithms 2/3 setup). Safe to
+  /// call once and reuse across many numeric factorizations.
+  Status symbolic(const Csc& a);
+
+  /// Numeric factorization of a matrix with the analyzed pattern (paper
+  /// Algorithm 4). Called by factor(); call directly to refactor a new
+  /// matrix in a fixed-pattern sequence.
+  Status numeric(const Csc& a);
+
+  /// symbolic() + numeric().
+  Status factor(const Csc& a);
+
+  /// Numeric-only refactorization (requires a prior successful factor()).
+  Status refactor(const Csc& a);
+
+  /// Solve A x = b in place.
+  Status solve(std::vector<Scalar>& b) const;
+
+  const BaskerStats& stats() const { return stats_; }
+  const BaskerOptions& options() const { return opt_; }
+  /// Actual thread count (requested rounded down to a power of two).
+  Int nthreads() const { return nthreads_; }
+  bool factored() const { return factored_; }
+  const Analysis& analysis() const { return an_; }
+
+ private:
+  struct ThreadWs;
+
+  void scatter_values(const Csc& a);
+  Status run_numeric();
+  void numeric_thread(Int tid);
+  void fine_btf_thread(Int tid);
+  void part_phase_leaves(NdPart& part, Int part_idx, Int tid);
+  void part_block_column(NdPart& part, Int part_idx, Int tid, Int slevel);
+  void part_block_column_1d(NdPart& part, Int part_idx, Int tid, Int slevel);
+  void part_single_leaf(NdPart& part, Int part_idx, Int tid);
+  void solve_nd_part(const NdPart& part, std::vector<Scalar>& y_local,
+                     std::vector<Scalar>& x_local) const;
+  void fail(Status s);
+  bool failed() const { return error_.load(std::memory_order_acquire) != 0; }
+
+  /// Wait until thread `t`'s epoch reaches `target` (or a failure is
+  /// flagged); accumulates spin time into the calling thread's sync clock.
+  void wait_epoch(Int tid, Int t, long long target);
+
+  BaskerOptions opt_;
+  BaskerStats stats_;
+  Int nthreads_ = 1;
+  std::unique_ptr<ThreadTeam> team_;
+  std::unique_ptr<SpinBarrier> barrier_;
+  EpochCounters ep_;
+  std::atomic<int> error_{0};
+
+  Analysis an_;
+  std::vector<std::unique_ptr<ThreadWs>> ws_;
+  /// Per part, per segment Gilbert-Peierls engines (used only by the
+  /// segment's owner thread).
+  std::vector<std::vector<GpEngine>> seg_engines_;
+
+  bool analyzed_ = false;
+  bool factored_ = false;
+};
+
+/// Per-thread numeric workspace (definition public to the implementation
+/// files only through basker.cpp includes).
+struct Basker::ThreadWs {
+  GpEngine engine;              ///< for fine-BTF blocks
+  SparseAcc acc;                ///< scatter/gather accumulator
+  std::vector<Int> in_rows;     ///< staging for engine calls
+  std::vector<Scalar> in_vals;
+  std::vector<Int> out_rows;
+  std::vector<Scalar> out_vals;
+  std::vector<PagedMatrix> wbuf;              ///< per level (index by level, 0 unused)
+  std::vector<std::vector<SparseAcc>> wacc;   ///< [level][chunk slot]
+  double sync_seconds = 0.0;
+  std::vector<double> work;     ///< per phase flop counts
+};
+
+}  // namespace basker

@@ -1,0 +1,642 @@
+// Basker parallel numeric factorization (paper Algorithm 4).
+//
+// Phase structure per ND part:
+//   treelevel -1 : every thread factors its leaf diagonal LU_ii and the
+//                  lower off-diagonal blocks L_ki (embarrassingly parallel).
+//   slevel 1..L  : each separator block column j is factored column by
+//                  column by the 2^slevel threads of its subtree: each
+//                  thread lsolves its own U_dj rows, immediately forms the
+//                  partial products L_md * U_dj (the paper's "parallel
+//                  sparse matrix-vector multiplication" reduction phase)
+//                  into per-thread paged buffers, and the owners of higher
+//                  tree nodes subtract those buffers, lsolve their own rows,
+//                  and finally Gilbert-Peierls-factor the diagonal block
+//                  with pivoting. Dependent threads hand off column chunks
+//                  through point-to-point epoch counters; SyncMode::kBarrier
+//                  switches to level-synchronous all-participant waits (the
+//                  paper's 11%-overhead baseline).
+//
+// Lower off-diagonal L blocks store pre-pivot row ids of their row segment:
+// by the fill-path argument in §III-C, later pivoting inside an ancestor's
+// diagonal block does not disturb them, and the solve applies the pivot
+// permutation only in the diagonal triangular solves.
+#include <algorithm>
+#include <climits>
+
+#include "basker/common/timer.hpp"
+#include "basker/core/basker.hpp"
+
+namespace basker {
+
+namespace {
+
+/// Gather the entries of `asub` column `col` whose rows fall in
+/// [row_lo, row_hi) as (row - row_lo, value) via fn.
+template <typename Fn>
+void gather_segment(const Csc& asub, Int col, Int row_lo, Int row_hi, Fn&& fn) {
+  const Int* base = asub.row_idx.data();
+  const Int* begin = base + asub.col_ptr[col];
+  const Int* end = base + asub.col_ptr[col + 1];
+  const Int* it = std::lower_bound(begin, end, row_lo);
+  for (; it != end && *it < row_hi; ++it) {
+    fn(*it - row_lo, asub.values[it - base]);
+  }
+}
+
+}  // namespace
+
+void Basker::fail(Status s) {
+  int expected = 0;
+  error_.compare_exchange_strong(expected, static_cast<int>(s));
+}
+
+void Basker::wait_epoch(Int tid, Int t, long long target) {
+  if (ep_.load(t) >= target) return;
+  WallTimer timer;
+  // Spin with yield first; back off to short sleeps when oversubscribed
+  // (more threads than cores) so waiters release the core to producers.
+  int spins = 0;
+  while (ep_.load(t) < target && !failed()) {
+    if (++spins < 64) {
+      std::this_thread::yield();
+    } else {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  }
+  ws_[tid]->sync_seconds += timer.seconds();
+}
+
+// --------------------------------------------------------------------------
+// treelevel -1: leaf diagonal factor + lower off-diagonal L blocks.
+
+void Basker::part_phase_leaves(NdPart& part, Int part_idx, Int tid) {
+  ThreadWs& ws = *ws_[tid];
+  const Int leaf = part.leaf_seg[tid];
+  const Int m = part.seg_size(leaf);
+  const Int off = part.seg_off[leaf];
+  GpEngine& engine = seg_engines_[part_idx][leaf];
+  DiagFactor& dg = part.diag[leaf];
+
+  Size est = 0;
+  for (Int c = 0; c < m; ++c) {
+    est += part.asub.col_ptr[off + c + 1] - part.asub.col_ptr[off + c];
+  }
+  engine.init(m);
+  dg.l.init(m, m, 3 * est);
+  dg.u.init(m, m, 3 * est + m);
+
+  GpOptions gp_opt;
+  gp_opt.pivot_tol = opt_.pivot_tol;
+  const double flops0 = engine.flops();
+  double extra_flops = 0.0;
+
+  for (Int c = 0; c < m; ++c) {
+    ws.in_rows.clear();
+    ws.in_vals.clear();
+    gather_segment(part.asub, off + c, off, off + m, [&](Int r, Scalar v) {
+      ws.in_rows.push_back(r);
+      ws.in_vals.push_back(v);
+    });
+    const Status s = engine.factor_column(dg.l, dg.u, c, ws.in_rows.data(),
+                                          ws.in_vals.data(),
+                                          static_cast<Int>(ws.in_rows.size()), c,
+                                          gp_opt);
+    if (s != Status::kOk) {
+      fail(s);
+      ep_.signal(tid, LLONG_MAX / 2);
+      return;
+    }
+  }
+  dg.row_perm = engine.row_perm();
+  dg.pinv = engine.pinv();
+
+  // L_ki = A_ki U_ii^{-1}, columnwise:
+  // L_ki(:,c) = (A_ki(:,c) - sum_{t<c} L_ki(:,t) U_ii(t,c)) / U_ii(c,c).
+  ws.acc.ensure(part.max_seg_size());
+  for (size_t a = 0; a < part.anc[leaf].size(); ++a) {
+    const Int k = part.anc[leaf][a];
+    const Int mk = part.seg_size(k);
+    const Int ko = part.seg_off[k];
+    LuMatrix& lb = part.lblk[leaf][a];
+    lb.init(mk, m, est + 16);
+    if (mk == 0) {
+      for (Int c = 0; c < m; ++c) lb.close_column(c);
+      continue;
+    }
+    for (Int c = 0; c < m; ++c) {
+      ws.acc.begin();
+      gather_segment(part.asub, off + c, ko, ko + mk,
+                     [&](Int r, Scalar v) { ws.acc.add(r, v); });
+      const Size ub = dg.u.col_ptr[c], ue = dg.u.col_ptr[c + 1];
+      for (Size p = ub; p + 1 < ue; ++p) {
+        const Int tp = dg.u.row_idx[p];
+        const Scalar uval = dg.u.values[p];
+        for (Size q = lb.col_ptr[tp]; q < lb.col_ptr[tp + 1]; ++q) {
+          ws.acc.add(lb.row_idx[q], -lb.values[q] * uval);
+        }
+        extra_flops += 2.0 * static_cast<double>(lb.col_ptr[tp + 1] - lb.col_ptr[tp]);
+      }
+      const Scalar pivot = dg.u.values[ue - 1];
+      for (Int r : ws.acc.pattern()) {
+        const Scalar v = ws.acc.value(r);
+        if (v != 0.0) lb.append(r, v / pivot);
+      }
+      lb.close_column(c);
+    }
+  }
+  ws.work[0] += (engine.flops() - flops0) + extra_flops;
+}
+
+// --------------------------------------------------------------------------
+// Single-leaf degenerate part (one thread): plain Gilbert-Peierls.
+
+void Basker::part_single_leaf(NdPart& part, Int part_idx, Int tid) {
+  part_phase_leaves(part, part_idx, tid);
+}
+
+// --------------------------------------------------------------------------
+// slevel >= 1: one separator block column, 2D parallel path.
+
+void Basker::part_block_column(NdPart& part, Int part_idx, Int tid, Int slevel) {
+  ThreadWs& ws = *ws_[tid];
+  const Int j = part.path[tid][slevel];
+  const Int jcols = part.seg_size(j);
+  const Int jo = part.seg_off[j];
+  const Int lt = std::min(part.own_top[tid], slevel - 1);
+  const bool owner_j = part.own_top[tid] >= slevel;
+  const bool level_sync = opt_.sync_mode == SyncMode::kBarrier;
+  const Int chunk = level_sync ? 1 : std::max<Int>(1, opt_.chunk_cols);
+  const Int nchunks = jcols > 0 ? (jcols + chunk - 1) / chunk : 0;
+  const Int t0 = part.first_thread[j];
+  const Int np = part.participants(j);
+  GpOptions gp_opt;
+  gp_opt.pivot_tol = opt_.pivot_tol;
+
+  // Initialize the factor blocks this thread owns within block column j.
+  for (Int l = 0; l <= lt; ++l) {
+    const Int d = part.path[tid][l];
+    const Int aj = slevel - part.seg_level[d] - 1;  // index of j in anc[d]
+    Size est = 0;
+    for (Int c = 0; c < jcols; ++c) {
+      est += part.asub.col_ptr[jo + c + 1] - part.asub.col_ptr[jo + c];
+    }
+    part.ublk[d][aj].init(part.seg_size(d), jcols, est / np + 64);
+  }
+  GpEngine& jengine = seg_engines_[part_idx][j];
+  if (owner_j) {
+    Size est = 0;
+    for (Int c = 0; c < jcols; ++c) {
+      est += part.asub.col_ptr[jo + c + 1] - part.asub.col_ptr[jo + c];
+    }
+    part.diag[j].l.init(jcols, jcols, 4 * est + 64);
+    part.diag[j].u.init(jcols, jcols, 4 * est + jcols + 64);
+    jengine.init(jcols);
+    for (size_t a = 0; a < part.anc[j].size(); ++a) {
+      part.lblk[j][a].init(part.seg_size(part.anc[j][a]), jcols, est + 16);
+    }
+  }
+
+  // Per-chunk product accumulators for every target level.
+  if (static_cast<Int>(ws.wacc.size()) < part.nlev + 1) ws.wacc.resize(part.nlev + 1);
+  for (Int lm = 1; lm <= part.nlev; ++lm) {
+    ws.wacc[lm].resize(static_cast<size_t>(chunk));
+    for (auto& acc : ws.wacc[lm]) acc.ensure(part.seg_size(part.path[tid][lm]));
+  }
+  ws.acc.ensure(part.max_seg_size());
+
+  const double eng_flops0 = jengine.flops();
+  double flops = 0.0;
+
+  for (Int k = 0; k < nchunks && !failed(); ++k) {
+    const Int c0 = k * chunk;
+    const Int c1 = std::min(jcols, c0 + chunk);
+    for (Int lm = 1; lm <= part.nlev; ++lm) {
+      for (Int slot = 0; slot < c1 - c0; ++slot) ws.wacc[lm][slot].begin();
+    }
+
+    for (Int l = 0; l < slevel; ++l) {
+      // Synchronize before consuming level-l inputs.
+      if (l >= 1) {
+        if (level_sync) {
+          for (Int t = t0; t < t0 + np; ++t) {
+            if (t != tid) {
+              wait_epoch(tid, t, static_cast<long long>(k) * (slevel + 1) + l);
+            }
+          }
+        } else if (l <= lt) {
+          const Int d = part.path[tid][l];
+          const Int dt0 = part.first_thread[d];
+          for (Int t = dt0; t < dt0 + part.participants(d); ++t) {
+            if (t != tid) wait_epoch(tid, t, k + 1);
+          }
+        }
+      }
+      if (failed()) break;
+
+      if (l <= lt) {
+        // This thread owns segment d at level l: produce U_dj columns.
+        const Int d = part.path[tid][l];
+        const Int md = part.seg_size(d);
+        const Int dof = part.seg_off[d];
+        const Int aj = slevel - part.seg_level[d] - 1;
+        LuMatrix& ub = part.ublk[d][aj];
+        const DiagFactor& dg = part.diag[d];
+        GpEngine& dengine = seg_engines_[part_idx][d];
+        const double de0 = dengine.flops();
+        for (Int c = c0; c < c1; ++c) {
+          const Int slot = c - c0;
+          if (md == 0) {
+            ub.close_column(c);
+            continue;
+          }
+          // Reduced input column: A_dj(:,c) minus the partial products.
+          ws.acc.begin();
+          gather_segment(part.asub, jo + c, dof, dof + md,
+                         [&](Int r, Scalar v) { ws.acc.add(r, v); });
+          if (l >= 1) {
+            // Own contributions were accumulated by this thread's lower
+            // levels; other participants' arrive through their paged W.
+            const auto& own = ws.wacc[l][slot];
+            for (Int r : own.pattern()) ws.acc.add(r, -own.value(r));
+            const Int dt0 = part.first_thread[d];
+            for (Int t = dt0; t < dt0 + part.participants(d); ++t) {
+              if (t == tid) continue;
+              ws_[t]->wbuf[l].for_each_in_column(
+                  c, [&](Int r, Scalar v) { ws.acc.add(r, -v); });
+            }
+          }
+          // U_dj(:,c) = L_dd^{-1} (reduced column).
+          ws.in_rows.assign(ws.acc.pattern().begin(), ws.acc.pattern().end());
+          ws.in_vals.resize(ws.in_rows.size());
+          for (size_t i = 0; i < ws.in_rows.size(); ++i) {
+            ws.in_vals[i] = ws.acc.value(ws.in_rows[i]);
+          }
+          dengine.sparse_lsolve(dg.l, dg.pinv, ws.in_rows.data(), ws.in_vals.data(),
+                                static_cast<Int>(ws.in_rows.size()), ws.out_rows,
+                                ws.out_vals);
+          // Store (pivot position, value) and immediately form the partial
+          // products L_{m,d} * U_dj(:,c) for every ancestor m of d.
+          for (size_t i = 0; i < ws.out_rows.size(); ++i) {
+            const Int tp = dg.pinv[ws.out_rows[i]];
+            const Scalar uval = ws.out_vals[i];
+            ub.append(tp, uval);
+            if (uval == 0.0) continue;
+            for (size_t am = 0; am < part.anc[d].size(); ++am) {
+              const Int target_level = part.seg_level[part.anc[d][am]];
+              const LuMatrix& lb = part.lblk[d][am];
+              SparseAcc& acc = ws.wacc[target_level][slot];
+              for (Size q = lb.col_ptr[tp]; q < lb.col_ptr[tp + 1]; ++q) {
+                acc.add(lb.row_idx[q], lb.values[q] * uval);
+              }
+              flops += 2.0 * static_cast<double>(lb.col_ptr[tp + 1] - lb.col_ptr[tp]);
+            }
+          }
+          ub.close_column(c);
+        }
+        flops += dengine.flops() - de0;
+      }
+
+      if (l == lt) {
+        // All products this thread will contribute are complete: publish
+        // the buffers other threads consume (targets above our owned top).
+        for (Int lm = lt + 1; lm <= part.nlev; ++lm) {
+          PagedMatrix& wb = ws.wbuf[lm];
+          for (Int slot = 0; slot < c1 - c0; ++slot) {
+            const SparseAcc& acc = ws.wacc[lm][slot];
+            for (Int r : acc.pattern()) {
+              const Scalar v = acc.value(r);
+              if (v != 0.0) wb.append(r, v);
+            }
+            wb.close_column();
+          }
+        }
+      }
+      if (level_sync) {
+        ep_.signal(tid, static_cast<long long>(k) * (slevel + 1) + l + 1);
+      }
+    }
+    if (!level_sync) ep_.signal(tid, k + 1);
+
+    if (owner_j && !failed()) {
+      // Drain: wait for every participant, then factor the diagonal chunk
+      // and the lower off-diagonal L_kj columns.
+      for (Int t = t0; t < t0 + np; ++t) {
+        if (t != tid) {
+          const long long target =
+              level_sync ? static_cast<long long>(k) * (slevel + 1) + slevel
+                         : static_cast<long long>(k) + 1;
+          wait_epoch(tid, t, target);
+        }
+      }
+      if (failed()) break;
+      DiagFactor& dg = part.diag[j];
+      for (Int c = c0; c < c1; ++c) {
+        // ^A_jj(:,c) = A_jj(:,c) - sum_t W_{t, slevel}(:,c).
+        ws.acc.begin();
+        gather_segment(part.asub, jo + c, jo, jo + jcols,
+                       [&](Int r, Scalar v) { ws.acc.add(r, v); });
+        for (Int t = t0; t < t0 + np; ++t) {
+          ws_[t]->wbuf[slevel].for_each_in_column(
+              c, [&](Int r, Scalar v) { ws.acc.add(r, -v); });
+        }
+        ws.in_rows.assign(ws.acc.pattern().begin(), ws.acc.pattern().end());
+        ws.in_vals.resize(ws.in_rows.size());
+        for (size_t i = 0; i < ws.in_rows.size(); ++i) {
+          ws.in_vals[i] = ws.acc.value(ws.in_rows[i]);
+        }
+        const Status s = jengine.factor_column(
+            dg.l, dg.u, c, ws.in_rows.data(), ws.in_vals.data(),
+            static_cast<Int>(ws.in_rows.size()), c, gp_opt);
+        if (s != Status::kOk) {
+          fail(s);
+          ep_.signal(tid, LLONG_MAX / 2);
+          return;
+        }
+        // L_kj(:,c) for every ancestor k of j.
+        for (size_t a = 0; a < part.anc[j].size(); ++a) {
+          const Int kseg = part.anc[j][a];
+          const Int mk = part.seg_size(kseg);
+          const Int ko = part.seg_off[kseg];
+          LuMatrix& lb = part.lblk[j][a];
+          if (mk == 0) {
+            lb.close_column(c);
+            continue;
+          }
+          const Int klev = part.seg_level[kseg];
+          ws.acc.begin();
+          gather_segment(part.asub, jo + c, ko, ko + mk,
+                         [&](Int r, Scalar v) { ws.acc.add(r, v); });
+          for (Int t = t0; t < t0 + np; ++t) {
+            ws_[t]->wbuf[klev].for_each_in_column(
+                c, [&](Int r, Scalar v) { ws.acc.add(r, -v); });
+          }
+          const Size ub = dg.u.col_ptr[c], ue = dg.u.col_ptr[c + 1];
+          for (Size p = ub; p + 1 < ue; ++p) {
+            const Int tp = dg.u.row_idx[p];
+            const Scalar uval = dg.u.values[p];
+            for (Size q = lb.col_ptr[tp]; q < lb.col_ptr[tp + 1]; ++q) {
+              ws.acc.add(lb.row_idx[q], -lb.values[q] * uval);
+            }
+            flops +=
+                2.0 * static_cast<double>(lb.col_ptr[tp + 1] - lb.col_ptr[tp]);
+          }
+          const Scalar pivot = dg.u.values[ue - 1];
+          for (Int r : ws.acc.pattern()) {
+            const Scalar v = ws.acc.value(r);
+            if (v != 0.0) lb.append(r, v / pivot);
+          }
+          lb.close_column(c);
+        }
+      }
+    }
+  }
+
+  if (owner_j && !failed()) {
+    part.diag[j].row_perm = jengine.row_perm();
+    part.diag[j].pinv = jengine.pinv();
+    flops += jengine.flops() - eng_flops0;
+  }
+  ws.work[slevel] += flops;
+}
+
+// --------------------------------------------------------------------------
+// 1D ablation: the owning thread factors the whole separator block column
+// serially (paper Fig. 1: the root block column is a serial bottleneck).
+
+void Basker::part_block_column_1d(NdPart& part, Int part_idx, Int tid, Int slevel) {
+  const Int j = part.path[tid][slevel];
+  if (tid != part.first_thread[j]) return;
+  ThreadWs& ws = *ws_[tid];
+  const Int jcols = part.seg_size(j);
+  const Int jo = part.seg_off[j];
+  GpOptions gp_opt;
+  gp_opt.pivot_tol = opt_.pivot_tol;
+
+  // Postorder ids make the subtree of j the contiguous range [sub_lo, j).
+  const Int sub_lo = j - ((Int{1} << (slevel + 1)) - 2);
+  Size est = 0;
+  for (Int c = 0; c < jcols; ++c) {
+    est += part.asub.col_ptr[jo + c + 1] - part.asub.col_ptr[jo + c];
+  }
+  for (Int d = sub_lo; d < j; ++d) {
+    const Int aj = slevel - part.seg_level[d] - 1;
+    part.ublk[d][aj].init(part.seg_size(d), jcols, est / (j - sub_lo) + 64);
+  }
+  GpEngine& jengine = seg_engines_[part_idx][j];
+  part.diag[j].l.init(jcols, jcols, 4 * est + 64);
+  part.diag[j].u.init(jcols, jcols, 4 * est + jcols + 64);
+  jengine.init(jcols);
+  for (size_t a = 0; a < part.anc[j].size(); ++a) {
+    part.lblk[j][a].init(part.seg_size(part.anc[j][a]), jcols, est + 16);
+  }
+  ws.acc.ensure(part.max_seg_size());
+  const double eng0 = jengine.flops();
+  double flops = 0.0;
+
+  // ^A_rowseg(:,c) accumulation by direct reads (single thread, no races).
+  // Contributions come from the strict descendants of rowseg when rowseg is
+  // inside the subtree, and from the whole subtree of j when rowseg is j or
+  // one of its ancestors. Postorder ids make both ranges contiguous.
+  auto reduce_into_acc = [&](Int rowseg, Int c) {
+    const Int ro = part.seg_off[rowseg];
+    const Int mr = part.seg_size(rowseg);
+    ws.acc.begin();
+    gather_segment(part.asub, jo + c, ro, ro + mr,
+                   [&](Int r, Scalar v) { ws.acc.add(r, v); });
+    Int d_lo, d_hi;
+    if (rowseg < j) {
+      d_lo = rowseg - ((Int{1} << (part.seg_level[rowseg] + 1)) - 2);
+      d_hi = rowseg;
+    } else {
+      d_lo = sub_lo;
+      d_hi = j;
+    }
+    for (Int d = d_lo; d < d_hi; ++d) {
+      const Int aj = slevel - part.seg_level[d] - 1;
+      const LuMatrix& ub = part.ublk[d][aj];
+      const Int idx = part.seg_level[rowseg] - part.seg_level[d] - 1;
+      const LuMatrix& lb = part.lblk[d][idx];
+      for (Size p = ub.col_ptr[c]; p < ub.col_ptr[c + 1]; ++p) {
+        const Int tp = ub.row_idx[p];
+        const Scalar uval = ub.values[p];
+        if (uval == 0.0) continue;
+        for (Size q = lb.col_ptr[tp]; q < lb.col_ptr[tp + 1]; ++q) {
+          ws.acc.add(lb.row_idx[q], -lb.values[q] * uval);
+        }
+        flops += 2.0 * static_cast<double>(lb.col_ptr[tp + 1] - lb.col_ptr[tp]);
+      }
+    }
+  };
+
+  for (Int c = 0; c < jcols && !failed(); ++c) {
+    // U_dj for every subtree segment, children before parents (postorder).
+    for (Int d = sub_lo; d < j; ++d) {
+      const Int aj = slevel - part.seg_level[d] - 1;
+      LuMatrix& ub = part.ublk[d][aj];
+      if (part.seg_size(d) == 0) {
+        ub.close_column(c);
+        continue;
+      }
+      reduce_into_acc(d, c);
+      ws.in_rows.assign(ws.acc.pattern().begin(), ws.acc.pattern().end());
+      ws.in_vals.resize(ws.in_rows.size());
+      for (size_t i = 0; i < ws.in_rows.size(); ++i) {
+        ws.in_vals[i] = ws.acc.value(ws.in_rows[i]);
+      }
+      GpEngine& dengine = seg_engines_[part_idx][d];
+      const double de0 = dengine.flops();
+      dengine.sparse_lsolve(part.diag[d].l, part.diag[d].pinv, ws.in_rows.data(),
+                            ws.in_vals.data(), static_cast<Int>(ws.in_rows.size()),
+                            ws.out_rows, ws.out_vals);
+      flops += dengine.flops() - de0;
+      for (size_t i = 0; i < ws.out_rows.size(); ++i) {
+        ub.append(part.diag[d].pinv[ws.out_rows[i]], ws.out_vals[i]);
+      }
+      ub.close_column(c);
+    }
+    // Diagonal column.
+    reduce_into_acc(j, c);
+    ws.in_rows.assign(ws.acc.pattern().begin(), ws.acc.pattern().end());
+    ws.in_vals.resize(ws.in_rows.size());
+    for (size_t i = 0; i < ws.in_rows.size(); ++i) {
+      ws.in_vals[i] = ws.acc.value(ws.in_rows[i]);
+    }
+    const Status s = jengine.factor_column(
+        part.diag[j].l, part.diag[j].u, c, ws.in_rows.data(), ws.in_vals.data(),
+        static_cast<Int>(ws.in_rows.size()), c, gp_opt);
+    if (s != Status::kOk) {
+      fail(s);
+      ep_.signal(tid, LLONG_MAX / 2);
+      return;
+    }
+    // L_kj columns.
+    const DiagFactor& dg = part.diag[j];
+    for (size_t a = 0; a < part.anc[j].size(); ++a) {
+      const Int kseg = part.anc[j][a];
+      LuMatrix& lb = part.lblk[j][a];
+      if (part.seg_size(kseg) == 0) {
+        lb.close_column(c);
+        continue;
+      }
+      reduce_into_acc(kseg, c);
+      const Size ub2 = dg.u.col_ptr[c], ue = dg.u.col_ptr[c + 1];
+      for (Size p = ub2; p + 1 < ue; ++p) {
+        const Int tp = dg.u.row_idx[p];
+        const Scalar uval = dg.u.values[p];
+        for (Size q = lb.col_ptr[tp]; q < lb.col_ptr[tp + 1]; ++q) {
+          ws.acc.add(lb.row_idx[q], -lb.values[q] * uval);
+        }
+        flops += 2.0 * static_cast<double>(lb.col_ptr[tp + 1] - lb.col_ptr[tp]);
+      }
+      const Scalar pivot = dg.u.values[ue - 1];
+      for (Int r : ws.acc.pattern()) {
+        const Scalar v = ws.acc.value(r);
+        if (v != 0.0) lb.append(r, v / pivot);
+      }
+      lb.close_column(c);
+    }
+  }
+  if (!failed()) {
+    part.diag[j].row_perm = jengine.row_perm();
+    part.diag[j].pinv = jengine.pinv();
+    flops += jengine.flops() - eng0;
+  }
+  ws.work[slevel] += flops;
+}
+
+// --------------------------------------------------------------------------
+// Orchestration.
+
+void Basker::numeric_thread(Int tid) {
+  fine_btf_thread(tid);
+  barrier_->arrive_and_wait();
+
+  for (size_t pi = 0; pi < an_.parts.size(); ++pi) {
+    NdPart& part = an_.parts[pi];
+    if (part.nleaves == 1) {
+      if (tid == 0 && !failed()) part_single_leaf(part, static_cast<Int>(pi), 0);
+      barrier_->arrive_and_wait();
+      continue;
+    }
+    if (tid < part.nleaves && !failed()) {
+      part_phase_leaves(part, static_cast<Int>(pi), tid);
+    }
+    barrier_->arrive_and_wait();
+    for (Int s = 1; s <= part.nlev; ++s) {
+      if (tid < part.nleaves) {
+        ep_.reset(tid);
+        const Int j = part.path[tid][s];
+        for (Int lm = 1; lm <= part.nlev; ++lm) {
+          ws_[tid]->wbuf[lm].reset(part.seg_size(j),
+                                   part.seg_size(part.path[tid][lm]));
+        }
+      }
+      barrier_->arrive_and_wait();
+      if (tid < part.nleaves && !failed()) {
+        if (opt_.parallel_separators) {
+          part_block_column(part, static_cast<Int>(pi), tid, s);
+        } else {
+          part_block_column_1d(part, static_cast<Int>(pi), tid, s);
+        }
+      }
+      barrier_->arrive_and_wait();
+    }
+  }
+}
+
+Status Basker::run_numeric() {
+  error_.store(0, std::memory_order_relaxed);
+  Int phases = 1;
+  for (const NdPart& part : an_.parts) phases = std::max(phases, part.nlev + 1);
+  for (auto& ws : ws_) {
+    ws->work.assign(static_cast<size_t>(phases), 0.0);
+    ws->sync_seconds = 0.0;
+    if (static_cast<Int>(ws->wbuf.size()) < phases) ws->wbuf.resize(phases);
+    if (static_cast<Int>(ws->wacc.size()) < phases) ws->wacc.resize(phases);
+  }
+  ep_.init(nthreads_);
+
+  team_->run([this](Int tid) { numeric_thread(tid); });
+
+  stats_.sync_seconds = 0.0;
+  stats_.work_per_thread_per_phase.assign(static_cast<size_t>(nthreads_), {});
+  stats_.factor_flops = 0.0;
+  for (Int t = 0; t < nthreads_; ++t) {
+    stats_.sync_seconds += ws_[t]->sync_seconds;
+    stats_.work_per_thread_per_phase[t] = ws_[t]->work;
+    for (double w : ws_[t]->work) stats_.factor_flops += w;
+  }
+
+  stats_.nnz_lu = 0;
+  stats_.grow_events = 0;
+  Scalar max_u = 0.0;
+  auto count = [&](const LuMatrix& m, bool is_u) {
+    stats_.nnz_lu += m.nnz();
+    stats_.grow_events += m.grow_events;
+    if (is_u) {
+      for (Scalar v : m.values) max_u = std::max(max_u, std::abs(v));
+    }
+  };
+  for (Int blk : an_.fine_blocks) {
+    count(an_.fine_factor[blk].l, false);
+    count(an_.fine_factor[blk].u, true);
+  }
+  for (const NdPart& part : an_.parts) {
+    for (Int s = 0; s < part.nseg; ++s) {
+      count(part.diag[s].l, false);
+      count(part.diag[s].u, true);
+      for (const LuMatrix& m : part.lblk[s]) count(m, false);
+      for (const LuMatrix& m : part.ublk[s]) count(m, true);
+    }
+  }
+  Scalar max_a = 0.0;
+  for (Scalar v : an_.b.values) max_a = std::max(max_a, std::abs(v));
+  stats_.pivot_growth = max_a > 0.0 ? max_u / max_a : 0.0;
+
+  const int err = error_.load(std::memory_order_acquire);
+  if (err != 0) return static_cast<Status>(err);
+  factored_ = true;
+  return Status::kOk;
+}
+
+}  // namespace basker

@@ -1,0 +1,73 @@
+// Public options and statistics for the Basker solver.
+#pragma once
+
+#include "basker/common/types.hpp"
+
+namespace basker {
+
+enum class SyncMode {
+  kPointToPoint,  ///< epoch counters between dependent threads (paper default)
+  kBarrier,       ///< team-wide barrier per pipeline step (paper's ablation:
+                  ///< 11% sync overhead vs 2.3% point-to-point on G2_Circuit)
+};
+
+struct BaskerOptions {
+  /// Requested threads; rounded down to a power of two (paper §III-C: ND
+  /// gives a binary tree, "Basker is limited to using a power of two
+  /// threads").
+  Int nthreads = 1;
+
+  /// BTF diagonal blocks of at least this many rows get the fine
+  /// nested-dissection treatment; smaller blocks go through the fine-BTF
+  /// path.
+  Int nd_threshold = 256;
+
+  /// Columns per point-to-point pipeline handoff in separator block
+  /// columns. 1 reproduces the paper's exact column-by-column dataflow;
+  /// larger values amortize synchronization.
+  Int chunk_cols = 16;
+
+  SyncMode sync_mode = SyncMode::kPointToPoint;
+
+  /// Diagonal-preference pivot tolerance (as KLU).
+  Scalar pivot_tol = 0.001;
+
+  /// Apply the bottleneck matching (MWCM). Disabling falls back to maximum
+  /// cardinality matching; ablation only.
+  bool use_mwcm = true;
+
+  /// Apply BTF at the coarse level; ablation only.
+  bool use_btf = true;
+
+  /// Order ND leaves with minimum degree (fill reduction inside leaves).
+  bool order_leaves = true;
+
+  /// Ablation of the 2D separator algorithm: when false, separator block
+  /// columns are factored entirely by the owning thread (the 1D layout of
+  /// paper Fig. 1, where the root block column is a serial bottleneck).
+  bool parallel_separators = true;
+};
+
+struct BaskerStats {
+  Size nnz_lu = 0;            ///< |L+U| over all factored diagonal structure
+  double factor_flops = 0.0;  ///< numeric factorization flop count
+  Int nblocks = 1;            ///< coarse BTF blocks
+  Int largest_block = 0;
+  double btf_pct = 0.0;       ///< % rows in small (fine BTF) blocks
+  Int nd_parts = 0;           ///< number of large blocks given the ND treatment
+
+  double analyze_seconds = 0.0;
+  double factor_seconds = 0.0;
+  double sync_seconds = 0.0;  ///< total time threads spent waiting (sum over threads)
+
+  double pivot_growth = 0.0;  ///< max|U| / max|A|: stability diagnostic
+
+  Size grow_events = 0;  ///< factor buffers that outgrew their symbolic estimate
+
+  /// Per-thread, per-phase flop counts for the schedule model: phase 0 is
+  /// the embarrassingly parallel work (fine BTF blocks + ND leaves +
+  /// lower off-diagonals), phase l >= 1 is separator level l.
+  std::vector<std::vector<double>> work_per_thread_per_phase;
+};
+
+}  // namespace basker

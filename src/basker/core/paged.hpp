@@ -1,0 +1,93 @@
+// Append-only sparse column store with *stable addresses*: the single
+// producer appends entries into fixed-size pages and publishes progress via
+// a column watermark; consumers that have observed (through an acquire load
+// of an epoch counter) that column c is published may read columns <= c
+// concurrently with the producer appending later columns. A std::vector
+// cannot do this (growth reallocates); here pages never move and the page
+// pointer table is sized once per phase (between barriers), so nothing a
+// consumer dereferences is ever relocated.
+//
+// Used for the partial-product buffers of the 2D reduction (Algorithm 4,
+// "multiple parallel sparse matrix-vector multiplication" phase), where the
+// producing thread streams columns while the reducing thread consumes them.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "basker/common/error.hpp"
+#include "basker/common/types.hpp"
+
+namespace basker {
+
+class PagedMatrix {
+ public:
+  static constexpr Size kPageSize = 4096;
+
+  /// Prepare for a new block column phase: `ncols` columns over a target
+  /// segment with `max_rows` rows (bounds the page table: a column can hold
+  /// at most max_rows entries). Producer-only; callers separate phases with
+  /// barriers. Existing pages are kept for reuse.
+  void reset(Int ncols, Int max_rows) {
+    col_ptr_.assign(static_cast<size_t>(ncols) + 1, 0);
+    size_ = 0;
+    next_col_ = 0;
+    const Size cap = static_cast<Size>(max_rows) * ncols / kPageSize + 2;
+    if (cap > table_cap_) {
+      table_ = std::make_unique<Page*[]>(static_cast<size_t>(cap));
+      table_cap_ = cap;
+      for (size_t i = 0; i < owned_.size(); ++i) table_[i] = owned_[i].get();
+    }
+  }
+
+  Int ncols() const { return static_cast<Int>(col_ptr_.size()) - 1; }
+
+  /// Append one entry to the currently open column. Producer-only.
+  void append(Int row, Scalar value) {
+    const Size page = size_ / kPageSize;
+    const Size slot = size_ % kPageSize;
+    if (static_cast<size_t>(page) == owned_.size()) {
+      BASKER_REQUIRE(page < table_cap_, "PagedMatrix: page table overflow");
+      owned_.push_back(std::make_unique<Page>());
+      table_[page] = owned_.back().get();
+    }
+    table_[page]->rows[slot] = row;
+    table_[page]->vals[slot] = value;
+    ++size_;
+  }
+
+  /// Close the current column. Columns must be closed in order. The close
+  /// itself is not a synchronization point: producers publish a batch of
+  /// closed columns to consumers via an EpochCounters release-store, which
+  /// orders all prior appends and table writes.
+  void close_column() {
+    BASKER_REQUIRE(next_col_ < ncols(), "PagedMatrix: too many columns");
+    col_ptr_[static_cast<size_t>(next_col_) + 1] = size_;
+    ++next_col_;
+  }
+
+  /// Visit the entries of column c (consumer side; c must be published).
+  template <typename Fn>
+  void for_each_in_column(Int c, Fn&& fn) const {
+    for (Size p = col_ptr_[c]; p < col_ptr_[c + 1]; ++p) {
+      const Page& page = *table_[p / kPageSize];
+      fn(page.rows[p % kPageSize], page.vals[p % kPageSize]);
+    }
+  }
+
+  Size nnz() const { return size_; }
+
+ private:
+  struct Page {
+    Int rows[kPageSize];
+    Scalar vals[kPageSize];
+  };
+  std::vector<std::unique_ptr<Page>> owned_;  ///< ownership (producer-only)
+  std::unique_ptr<Page*[]> table_;            ///< stable lookup table
+  Size table_cap_ = 0;
+  std::vector<Size> col_ptr_;
+  Size size_ = 0;
+  Int next_col_ = 0;
+};
+
+}  // namespace basker

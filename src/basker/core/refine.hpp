@@ -1,0 +1,52 @@
+// Iterative refinement on top of any solver with a solve() method: standard
+// practice for circuit simulators when static pivoting (the supernodal
+// baseline) or mild pivot-tolerance choices leave residual headroom.
+#pragma once
+
+#include <vector>
+
+#include "basker/common/types.hpp"
+#include "basker/sparse/csc.hpp"
+#include "basker/sparse/ops.hpp"
+
+namespace basker {
+
+struct RefineResult {
+  Status status = Status::kOk;
+  Int iterations = 0;        ///< refinement sweeps actually performed
+  Scalar final_residual = 0.0;  ///< componentwise relative residual
+};
+
+/// Solve A x = b with up to `max_iters` refinement sweeps; `x` holds the
+/// solution on return. Stops early when the relative residual falls below
+/// `tol` or stops improving.
+template <typename Solver>
+RefineResult solve_refined(Solver& solver, const Csc& a,
+                           const std::vector<Scalar>& b, std::vector<Scalar>& x,
+                           Int max_iters = 3, Scalar tol = 1e-14) {
+  RefineResult result;
+  x = b;
+  result.status = solver.solve(x);
+  if (result.status != Status::kOk) return result;
+  result.final_residual = relative_residual(a, x, b);
+
+  std::vector<Scalar> r, dx;
+  for (Int it = 0; it < max_iters && result.final_residual > tol; ++it) {
+    // r = b - A x, solve A dx = r, x += dx.
+    spmv(a, x, r);
+    for (size_t i = 0; i < r.size(); ++i) r[i] = b[i] - r[i];
+    dx = r;
+    result.status = solver.solve(dx);
+    if (result.status != Status::kOk) return result;
+    std::vector<Scalar> x_new = x;
+    for (size_t i = 0; i < x.size(); ++i) x_new[i] += dx[i];
+    const Scalar res_new = relative_residual(a, x_new, b);
+    ++result.iterations;
+    if (res_new >= result.final_residual) break;  // no further progress
+    x = std::move(x_new);
+    result.final_residual = res_new;
+  }
+  return result;
+}
+
+}  // namespace basker

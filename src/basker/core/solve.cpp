@@ -1,0 +1,102 @@
+// Basker solve phase: block back-substitution over the coarse BTF structure;
+// inside an ND part, dependency-tree-ordered block triangular solves through
+// the 2D grid (forward pass pushes L-block contributions up the separator
+// tree, backward pass pulls U-block contributions down).
+#include "basker/core/basker.hpp"
+#include "basker/lu/tri_solve.hpp"
+
+namespace basker {
+
+void Basker::solve_nd_part(const NdPart& part, std::vector<Scalar>& y_local,
+                           std::vector<Scalar>& x_local) const {
+  const Int m = part.hi - part.lo;
+  std::vector<Scalar> yhat(static_cast<size_t>(m), 0.0);
+  std::vector<Scalar> tmp, w;
+
+  // Forward: L yhat = y, segments in postorder (descendants first).
+  for (Int s = 0; s < part.nseg; ++s) {
+    const Int ms = part.seg_size(s);
+    if (ms == 0) continue;
+    const Int off = part.seg_off[s];
+    tmp.assign(y_local.begin() + off, y_local.begin() + off + ms);
+    block_lsolve(part.diag[s].l, part.diag[s].row_perm, tmp, w);
+    for (Int t = 0; t < ms; ++t) yhat[off + t] = w[t];
+    // Push contributions into every ancestor's right-hand side.
+    for (size_t a = 0; a < part.anc[s].size(); ++a) {
+      const Int k = part.anc[s][a];
+      const Int ko = part.seg_off[k];
+      const LuMatrix& lb = part.lblk[s][a];
+      for (Int tp = 0; tp < ms; ++tp) {
+        const Scalar v = w[tp];
+        if (v == 0.0) continue;
+        for (Size p = lb.col_ptr[tp]; p < lb.col_ptr[tp + 1]; ++p) {
+          y_local[ko + lb.row_idx[p]] -= lb.values[p] * v;
+        }
+      }
+    }
+  }
+
+  // Backward: U x = yhat, segments in reverse postorder (ancestors first).
+  x_local.assign(static_cast<size_t>(m), 0.0);
+  for (Int s = part.nseg - 1; s >= 0; --s) {
+    const Int ms = part.seg_size(s);
+    if (ms == 0) continue;
+    const Int off = part.seg_off[s];
+    w.assign(yhat.begin() + off, yhat.begin() + off + ms);
+    // Pull U_{s,k} x_k for every ancestor k (already solved).
+    for (size_t a = 0; a < part.anc[s].size(); ++a) {
+      const Int k = part.anc[s][a];
+      const Int ko = part.seg_off[k];
+      const LuMatrix& ub = part.ublk[s][a];
+      for (Int cc = 0; cc < part.seg_size(k); ++cc) {
+        const Scalar v = x_local[ko + cc];
+        if (v == 0.0) continue;
+        for (Size p = ub.col_ptr[cc]; p < ub.col_ptr[cc + 1]; ++p) {
+          w[ub.row_idx[p]] -= ub.values[p] * v;
+        }
+      }
+    }
+    block_usolve(part.diag[s].u, w);
+    for (Int c = 0; c < ms; ++c) x_local[off + c] = w[c];
+  }
+}
+
+Status Basker::solve(std::vector<Scalar>& rhs) const {
+  if (!factored_) return Status::kNotFactored;
+  BASKER_REQUIRE(static_cast<Int>(rhs.size()) == an_.n, "basker: rhs size");
+  const Int n = an_.n;
+  std::vector<Scalar> y(static_cast<size_t>(n));
+  for (Int i = 0; i < n; ++i) y[i] = rhs[an_.row_map[i]];
+  std::vector<Scalar> z(static_cast<size_t>(n), 0.0);
+  std::vector<Scalar> tmp, w, y_local, x_local;
+
+  for (Int blk = an_.num_blocks() - 1; blk >= 0; --blk) {
+    const Int lo = an_.block_off[blk], hi = an_.block_off[blk + 1];
+    const Int m = hi - lo;
+    const Int pi = an_.part_of_block[blk];
+    if (pi != kInvalid) {
+      y_local.assign(y.begin() + lo, y.begin() + hi);
+      solve_nd_part(an_.parts[pi], y_local, x_local);
+      for (Int k = 0; k < m; ++k) z[lo + k] = x_local[k];
+    } else {
+      const DiagFactor& f = an_.fine_factor[blk];
+      tmp.assign(y.begin() + lo, y.begin() + hi);
+      block_lsolve(f.l, f.row_perm, tmp, w);
+      block_usolve(f.u, w);
+      for (Int k = 0; k < m; ++k) z[lo + k] = w[k];
+    }
+    // Push solved unknowns into the right-hand sides of earlier blocks.
+    for (Int j = lo; j < hi; ++j) {
+      const Scalar xj = z[j];
+      if (xj == 0.0) continue;
+      for (Size p = an_.b.col_ptr[j]; p < an_.b.col_ptr[j + 1]; ++p) {
+        const Int r = an_.b.row_idx[p];
+        if (r < lo) y[r] -= an_.b.values[p] * xj;
+      }
+    }
+  }
+  for (Int j = 0; j < n; ++j) rhs[an_.col_map[j]] = z[j];
+  return Status::kOk;
+}
+
+}  // namespace basker

@@ -1,0 +1,73 @@
+#include "basker/core/structure.hpp"
+
+#include <algorithm>
+
+#include "basker/common/error.hpp"
+
+namespace basker {
+
+Int NdPart::max_seg_size() const {
+  Int best = 0;
+  for (Int s = 0; s < nseg; ++s) best = std::max(best, seg_size(s));
+  return best;
+}
+
+void NdPart::adopt_tree(const NdTree& tree) {
+  nlev = tree.nlevels;
+  nleaves = tree.nleaves;
+  nseg = tree.nsegments;
+  seg_off = tree.seg_offset;
+  seg_parent = tree.seg_parent;
+  seg_level = tree.seg_level;
+  seg_children = tree.seg_children;
+
+  anc.assign(static_cast<size_t>(nseg), {});
+  for (Int s = 0; s < nseg; ++s) {
+    for (Int a = seg_parent[s]; a != kInvalid; a = seg_parent[a]) {
+      anc[s].push_back(a);
+    }
+  }
+
+  seg_of_row.assign(static_cast<size_t>(seg_off.back()), kInvalid);
+  for (Int s = 0; s < nseg; ++s) {
+    for (Int r = seg_off[s]; r < seg_off[s + 1]; ++r) seg_of_row[r] = s;
+  }
+
+  // Leaves appear in postorder left to right; thread t maps to the t-th.
+  leaf_seg.clear();
+  for (Int s = 0; s < nseg; ++s) {
+    if (seg_level[s] == 0) leaf_seg.push_back(s);
+  }
+  BASKER_REQUIRE(static_cast<Int>(leaf_seg.size()) == nleaves,
+                 "NdPart: leaf count mismatch");
+
+  first_thread.assign(static_cast<size_t>(nseg), 0);
+  for (Int t = 0; t < nleaves; ++t) first_thread[leaf_seg[t]] = t;
+  // Internal nodes inherit the leftmost descendant's thread. Postorder ids
+  // mean children precede parents, so one ascending pass suffices.
+  for (Int s = 0; s < nseg; ++s) {
+    if (seg_level[s] > 0) first_thread[s] = first_thread[seg_children[s][0]];
+  }
+
+  path.assign(static_cast<size_t>(nleaves), {});
+  own_top.assign(static_cast<size_t>(nleaves), 0);
+  for (Int t = 0; t < nleaves; ++t) {
+    for (Int s = leaf_seg[t]; s != kInvalid; s = seg_parent[s]) {
+      path[t].push_back(s);
+    }
+    BASKER_REQUIRE(static_cast<Int>(path[t].size()) == nlev + 1, "NdPart: path length");
+    Int top = 0;
+    while (top < nlev && first_thread[path[t][top + 1]] == t) ++top;
+    own_top[t] = top;
+  }
+
+  diag.assign(static_cast<size_t>(nseg), {});
+  lblk.assign(static_cast<size_t>(nseg), {});
+  ublk.assign(static_cast<size_t>(nseg), {});
+  for (Int s = 0; s < nseg; ++s) {
+    lblk[s].resize(anc[s].size());
+    ublk[s].resize(anc[s].size());
+  }
+}
+
+}  // namespace basker

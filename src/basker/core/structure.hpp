@@ -1,0 +1,122 @@
+// Internal data model of Basker's hierarchical analysis (paper §III/IV):
+// the coarse BTF decomposition, the fine-BTF block set, and per large block
+// an NdPart: the 2D grid of sparse submatrices over the nested-dissection
+// separator tree, plus the dependency-tree metadata (ancestors, owner
+// threads, participant ranges) that drives Algorithm 3/4.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "basker/common/types.hpp"
+#include "basker/graph/nd.hpp"
+#include "basker/lu/gp.hpp"
+#include "basker/lu/lu_storage.hpp"
+#include "basker/sparse/csc.hpp"
+
+namespace basker {
+
+/// Factors of one diagonal block (fine-BTF block or ND segment).
+struct DiagFactor {
+  LuMatrix l, u;
+  std::vector<Int> row_perm, pinv;
+};
+
+/// One large BTF block under the fine nested-dissection treatment.
+struct NdPart {
+  Int lo = 0, hi = 0;  ///< row/col range in the globally permuted matrix B
+
+  // Separator tree (segments in postorder; leaves level 0).
+  Int nlev = 0;
+  Int nleaves = 1;
+  Int nseg = 1;
+  std::vector<Int> seg_off;     ///< local offsets, size nseg+1
+  std::vector<Int> seg_parent;  ///< kInvalid at root
+  std::vector<Int> seg_level;
+  std::vector<std::array<Int, 2>> seg_children;
+  std::vector<std::vector<Int>> anc;  ///< ancestors of each segment, bottom-up
+  std::vector<Int> seg_of_row;        ///< local row -> segment
+
+  // Thread mapping (local thread ids 0..nleaves-1).
+  std::vector<Int> leaf_seg;      ///< leaf segment of each thread
+  std::vector<Int> first_thread;  ///< leftmost participant thread per segment
+  std::vector<Int> own_top;       ///< highest level each thread owns on its path
+  std::vector<std::vector<Int>> path;  ///< path[t][l] = segment at level l
+
+  /// The part's submatrix B(lo:hi, lo:hi) with part-local indices (all
+  /// orderings already folded in).
+  Csc asub;
+
+  // Factors. lblk[s][a] = L_{anc[s][a], s} (rows: pre-pivot ids local to the
+  // ancestor segment; cols: pivot positions of segment s). ublk[s][a] =
+  // U_{s, anc[s][a]} (rows: pivot positions of segment s; cols: columns of
+  // the ancestor segment).
+  std::vector<DiagFactor> diag;
+  std::vector<std::vector<LuMatrix>> lblk;
+  std::vector<std::vector<LuMatrix>> ublk;
+
+  Int seg_size(Int s) const { return seg_off[s + 1] - seg_off[s]; }
+  Int max_seg_size() const;
+  Int participants(Int s) const { return Int{1} << seg_level[s]; }
+
+  /// Build tree metadata (anc/paths/owners) from an NdTree; called by the
+  /// symbolic phase after the tree's permutation was folded into the global
+  /// maps.
+  void adopt_tree(const NdTree& tree);
+};
+
+/// Full analysis + factor state shared by symbolic, numeric and solve.
+struct Analysis {
+  Int n = 0;
+  Int nthreads = 1;
+
+  // B = A(row_map, col_map) is block upper triangular; value_map rescatters
+  // a same-pattern matrix's values into b.
+  std::vector<Int> row_map, col_map;
+  std::vector<Int> block_off;
+  Csc b;
+  std::vector<Size> value_map;
+
+  std::vector<Int> fine_blocks;                  ///< small-block indices
+  std::vector<std::vector<Int>> fine_of_thread;  ///< balanced assignment
+  std::vector<DiagFactor> fine_factor;           ///< per coarse block (small only)
+  std::vector<Int> part_of_block;                ///< block -> part index or kInvalid
+  std::vector<NdPart> parts;
+
+  Int num_blocks() const { return static_cast<Int>(block_off.size()) - 1; }
+};
+
+/// Dense accumulator with pattern tracking (scatter/gather workspace).
+class SparseAcc {
+ public:
+  void ensure(Int n) {
+    if (static_cast<Int>(x_.size()) < n) {
+      x_.resize(static_cast<size_t>(n), 0.0);
+      mark_.resize(static_cast<size_t>(n), -1);
+    }
+  }
+  void begin() {
+    ++stamp_;
+    pat_.clear();
+  }
+  void add(Int r, Scalar v) {
+    if (mark_[r] != stamp_) {
+      mark_[r] = stamp_;
+      x_[r] = v;
+      pat_.push_back(r);
+    } else {
+      x_[r] += v;
+    }
+  }
+  const std::vector<Int>& pattern() const { return pat_; }
+  Scalar value(Int r) const { return mark_[r] == stamp_ ? x_[r] : 0.0; }
+  bool has(Int r) const { return mark_[r] == stamp_; }
+
+ private:
+  std::vector<Scalar> x_;
+  std::vector<Int> mark_;
+  Int stamp_ = 0;
+  std::vector<Int> pat_;
+};
+
+}  // namespace basker

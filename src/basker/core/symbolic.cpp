@@ -1,0 +1,200 @@
+// Basker symbolic phase: orderings and structure construction (paper
+// §III-A/B and the setup of Algorithm 3). Builds the coarse BTF structure,
+// classifies blocks into fine-BTF vs fine-ND, computes per-block AMD /
+// local MWCM + nested dissection, composes every permutation into one
+// global (row_map, col_map) pair, and materializes the permuted matrix with
+// a value-scatter map for fast refactorization.
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "basker/common/error.hpp"
+#include "basker/common/timer.hpp"
+#include "basker/core/basker.hpp"
+#include "basker/graph/btf.hpp"
+#include "basker/graph/etree.hpp"
+#include "basker/graph/matching.hpp"
+#include "basker/graph/mindeg.hpp"
+#include "basker/sparse/ops.hpp"
+
+namespace basker {
+
+namespace {
+
+/// Flop estimate for one small block after its fill-reducing order:
+/// sum of squared symbolic-Cholesky column counts (paper Algorithm 2
+/// line 3: "Compute column count and number of operations").
+double estimate_block_ops(const Csc& block) {
+  if (block.ncols <= 1) return 1.0;
+  const Csc sym = symmetrize_pattern(block);
+  const std::vector<Int> parent = etree(sym);
+  const std::vector<Int> counts = chol_col_counts(sym, parent);
+  double ops = 0.0;
+  for (Int c : counts) ops += static_cast<double>(c) * c;
+  return ops;
+}
+
+}  // namespace
+
+Status Basker::symbolic(const Csc& a) {
+  BASKER_REQUIRE(a.nrows == a.ncols, "basker: square required");
+  WallTimer timer;
+  analyzed_ = false;
+  factored_ = false;
+
+  an_ = Analysis{};
+  an_.n = a.ncols;
+  an_.nthreads = nthreads_;
+  const Int n = a.ncols;
+
+  // 1. Global matching (Pm1): zero-free, large diagonal.
+  const Matching match =
+      opt_.use_mwcm ? bottleneck_matching(a) : max_cardinality_matching(a);
+  if (!match.is_perfect(n)) return Status::kStructurallySingular;
+  an_.row_map = match.row_of_col;
+  an_.col_map.resize(static_cast<size_t>(n));
+  std::iota(an_.col_map.begin(), an_.col_map.end(), 0);
+
+  // 2. Coarse BTF (Pc).
+  if (opt_.use_btf) {
+    const BtfResult btf = btf_order(permute(a, an_.row_map, {}));
+    an_.block_off = btf.block_offsets;
+    std::vector<Int> new_row(static_cast<size_t>(n));
+    for (Int i = 0; i < n; ++i) new_row[i] = an_.row_map[btf.perm[i]];
+    an_.row_map = std::move(new_row);
+    an_.col_map = btf.perm;
+  } else {
+    an_.block_off = {0, n};
+  }
+
+  // 3. Per-block local orderings on the intermediate permuted matrix.
+  const Csc pre = permute(a, an_.row_map, an_.col_map);
+  std::vector<Int> row_map2 = an_.row_map, col_map2 = an_.col_map;
+  an_.part_of_block.assign(static_cast<size_t>(an_.num_blocks()), kInvalid);
+
+  for (Int blk = 0; blk < an_.num_blocks(); ++blk) {
+    const Int lo = an_.block_off[blk], hi = an_.block_off[blk + 1];
+    const Int m = hi - lo;
+    if (m < opt_.nd_threshold) {
+      // Fine BTF block: AMD for fill reduction (Algorithm 2 line 2).
+      an_.fine_blocks.push_back(blk);
+      if (m >= 3) {
+        const Csc block = extract_block(pre, lo, hi, lo, hi);
+        const std::vector<Int> perm = min_degree_order(symmetrize_pattern(block));
+        for (Int k = 0; k < m; ++k) {
+          row_map2[lo + k] = an_.row_map[lo + perm[k]];
+          col_map2[lo + k] = an_.col_map[lo + perm[k]];
+        }
+      }
+      continue;
+    }
+
+    // Fine ND part: local MWCM (Pm2) then nested dissection (Pnd).
+    an_.part_of_block[blk] = static_cast<Int>(an_.parts.size());
+    const Csc block = extract_block(pre, lo, hi, lo, hi);
+    const Matching m2 = opt_.use_mwcm ? bottleneck_matching(block)
+                                      : max_cardinality_matching(block);
+    // The global matching guarantees a zero-free diagonal, so the local one
+    // is perfect as well.
+    BASKER_REQUIRE(m2.is_perfect(m), "basker: local matching not perfect");
+    const Csc matched = permute(block, m2.row_of_col, {});
+
+    Int nlevels = 0;
+    while ((Int{1} << (nlevels + 1)) <= nthreads_ && (m >> (nlevels + 1)) >= 8) {
+      ++nlevels;
+    }
+    // Dissect, but back off on the tree depth when the graph does not
+    // bisect well: fat separators turn the 2D algorithm's border blocks
+    // into the dominant cost (the paper's leaf-count trade-off, §III-C).
+    const Csc sym = symmetrize_pattern(matched);
+    NdTree tree = nested_dissect(sym, nlevels, opt_.order_leaves);
+    while (nlevels > 0) {
+      Int sep_mass = 0;
+      for (Int s = 0; s < tree.nsegments; ++s) {
+        if (!tree.is_leaf(s)) sep_mass += tree.seg_size(s);
+      }
+      if (sep_mass * 8 <= m) break;
+      --nlevels;
+      tree = nested_dissect(sym, nlevels, opt_.order_leaves);
+    }
+
+    for (Int k = 0; k < m; ++k) {
+      row_map2[lo + k] = an_.row_map[lo + m2.row_of_col[tree.perm[k]]];
+      col_map2[lo + k] = an_.col_map[lo + tree.perm[k]];
+    }
+
+    NdPart part;
+    part.lo = lo;
+    part.hi = hi;
+    part.adopt_tree(tree);
+    an_.parts.push_back(std::move(part));
+  }
+  an_.row_map = std::move(row_map2);
+  an_.col_map = std::move(col_map2);
+
+  // 4. Materialize B and the value-scatter map.
+  an_.b = permute(a, an_.row_map, an_.col_map);
+  const std::vector<Int> row_inv = inverse_permutation(an_.row_map);
+  const std::vector<Int> col_inv = inverse_permutation(an_.col_map);
+  an_.value_map.resize(static_cast<size_t>(a.nnz()));
+  for (Int j = 0; j < n; ++j) {
+    for (Size p = a.col_ptr[j]; p < a.col_ptr[j + 1]; ++p) {
+      const Int bi = row_inv[a.row_idx[p]];
+      const Int bj = col_inv[j];
+      const Int* begin = an_.b.row_idx.data() + an_.b.col_ptr[bj];
+      const Int* end = an_.b.row_idx.data() + an_.b.col_ptr[bj + 1];
+      const Int* it = std::lower_bound(begin, end, bi);
+      BASKER_REQUIRE(it != end && *it == bi, "basker: value map inconsistency");
+      an_.value_map[p] = it - an_.b.row_idx.data();
+    }
+  }
+
+  // 5. Extract each part's submatrix.
+  for (NdPart& part : an_.parts) {
+    part.asub = extract_block(an_.b, part.lo, part.hi, part.lo, part.hi);
+  }
+
+  // 6. Fine-block thread assignment: longest-processing-time greedy on the
+  // estimated operation counts (Algorithm 2 line 5).
+  an_.fine_factor.assign(static_cast<size_t>(an_.num_blocks()), {});
+  an_.fine_of_thread.assign(static_cast<size_t>(nthreads_), {});
+  {
+    std::vector<std::pair<double, Int>> est;
+    est.reserve(an_.fine_blocks.size());
+    for (Int blk : an_.fine_blocks) {
+      const Int lo = an_.block_off[blk], hi = an_.block_off[blk + 1];
+      est.emplace_back(estimate_block_ops(extract_block(an_.b, lo, hi, lo, hi)), blk);
+    }
+    std::sort(est.begin(), est.end(), std::greater<>());
+    std::vector<double> load(static_cast<size_t>(nthreads_), 0.0);
+    for (const auto& [ops, blk] : est) {
+      const Int t = static_cast<Int>(
+          std::min_element(load.begin(), load.end()) - load.begin());
+      load[t] += ops;
+      an_.fine_of_thread[t].push_back(blk);
+    }
+  }
+
+  // 7. Per-segment engines.
+  seg_engines_.assign(an_.parts.size(), {});
+  for (size_t pi = 0; pi < an_.parts.size(); ++pi) {
+    seg_engines_[pi].resize(static_cast<size_t>(an_.parts[pi].nseg));
+  }
+
+  // Stats.
+  stats_ = BaskerStats{};
+  stats_.nblocks = an_.num_blocks();
+  stats_.nd_parts = static_cast<Int>(an_.parts.size());
+  Int small_rows = 0;
+  for (Int blk = 0; blk < an_.num_blocks(); ++blk) {
+    const Int size = an_.block_off[blk + 1] - an_.block_off[blk];
+    stats_.largest_block = std::max(stats_.largest_block, size);
+    if (size < opt_.nd_threshold) small_rows += size;
+  }
+  stats_.btf_pct = n > 0 ? 100.0 * small_rows / n : 0.0;
+  stats_.analyze_seconds = timer.seconds();
+  analyzed_ = true;
+  return Status::kOk;
+}
+
+}  // namespace basker

@@ -1,0 +1,104 @@
+#include "basker/dense/dense.hpp"
+
+#include <cmath>
+
+#include "basker/common/error.hpp"
+
+namespace basker {
+
+DenseMatrix DenseMatrix::from_csc(const Csc& a) {
+  DenseMatrix d(a.nrows, a.ncols);
+  for (Int j = 0; j < a.ncols; ++j) {
+    for (Size p = a.col_ptr[j]; p < a.col_ptr[j + 1]; ++p) {
+      d.at(a.row_idx[p], j) += a.values[p];
+    }
+  }
+  return d;
+}
+
+bool dense_lu_factor(DenseMatrix& a, std::vector<Int>& piv) {
+  BASKER_REQUIRE(a.nrows == a.ncols, "dense_lu_factor: square required");
+  const Int n = a.nrows;
+  piv.assign(static_cast<size_t>(n), 0);
+  for (Int k = 0; k < n; ++k) {
+    // Partial pivot: largest magnitude in column k at or below the diagonal.
+    Int p = k;
+    Scalar best = std::abs(a.at(k, k));
+    for (Int i = k + 1; i < n; ++i) {
+      const Scalar v = std::abs(a.at(i, k));
+      if (v > best) {
+        best = v;
+        p = i;
+      }
+    }
+    piv[k] = p;
+    if (best == 0.0) return false;
+    if (p != k) {
+      for (Int j = 0; j < n; ++j) std::swap(a.at(k, j), a.at(p, j));
+    }
+    const Scalar pivot = a.at(k, k);
+    for (Int i = k + 1; i < n; ++i) a.at(i, k) /= pivot;
+    for (Int j = k + 1; j < n; ++j) {
+      const Scalar akj = a.at(k, j);
+      if (akj == 0.0) continue;
+      for (Int i = k + 1; i < n; ++i) a.at(i, j) -= a.at(i, k) * akj;
+    }
+  }
+  return true;
+}
+
+void dense_lu_solve(const DenseMatrix& lu, const std::vector<Int>& piv,
+                    std::vector<Scalar>& b) {
+  const Int n = lu.nrows;
+  BASKER_REQUIRE(static_cast<Int>(b.size()) == n, "dense_lu_solve: rhs size");
+  for (Int k = 0; k < n; ++k) {
+    if (piv[k] != k) std::swap(b[k], b[piv[k]]);
+  }
+  for (Int j = 0; j < n; ++j) {  // L y = Pb, unit diagonal
+    const Scalar bj = b[j];
+    if (bj == 0.0) continue;
+    for (Int i = j + 1; i < n; ++i) b[i] -= lu.at(i, j) * bj;
+  }
+  for (Int j = n - 1; j >= 0; --j) {  // U x = y
+    b[j] /= lu.at(j, j);
+    const Scalar bj = b[j];
+    if (bj == 0.0) continue;
+    for (Int i = 0; i < j; ++i) b[i] -= lu.at(i, j) * bj;
+  }
+}
+
+bool dense_solve(const Csc& a, const std::vector<Scalar>& b, std::vector<Scalar>& x) {
+  DenseMatrix d = DenseMatrix::from_csc(a);
+  std::vector<Int> piv;
+  if (!dense_lu_factor(d, piv)) return false;
+  x = b;
+  dense_lu_solve(d, piv, x);
+  return true;
+}
+
+void gemm_minus(Int m, Int n, Int k, const Scalar* a, Int lda, const Scalar* b,
+                Int ldb, Scalar* c, Int ldc) {
+  for (Int j = 0; j < n; ++j) {
+    for (Int l = 0; l < k; ++l) {
+      const Scalar blj = b[static_cast<size_t>(j) * ldb + l];
+      if (blj == 0.0) continue;
+      const Scalar* acol = a + static_cast<size_t>(l) * lda;
+      Scalar* ccol = c + static_cast<size_t>(j) * ldc;
+      for (Int i = 0; i < m; ++i) ccol[i] -= acol[i] * blj;
+    }
+  }
+}
+
+void trsm_lower_unit(Int m, Int n, const Scalar* l, Int ldl, Scalar* b, Int ldb) {
+  for (Int j = 0; j < n; ++j) {
+    Scalar* bcol = b + static_cast<size_t>(j) * ldb;
+    for (Int k = 0; k < m; ++k) {
+      const Scalar bk = bcol[k];
+      if (bk == 0.0) continue;
+      const Scalar* lcol = l + static_cast<size_t>(k) * ldl;
+      for (Int i = k + 1; i < m; ++i) bcol[i] -= lcol[i] * bk;
+    }
+  }
+}
+
+}  // namespace basker

@@ -1,0 +1,51 @@
+// Small dense kernels: column-major matrix, dense LU with partial pivoting
+// (ground truth for tests), and the GEMM/TRSM micro-kernels used by the
+// supernodal baseline's panel updates.
+#pragma once
+
+#include <vector>
+
+#include "basker/common/types.hpp"
+#include "basker/sparse/csc.hpp"
+
+namespace basker {
+
+/// Column-major dense matrix.
+struct DenseMatrix {
+  Int nrows = 0;
+  Int ncols = 0;
+  std::vector<Scalar> data;  ///< size nrows*ncols, column-major
+
+  DenseMatrix() = default;
+  DenseMatrix(Int rows, Int cols)
+      : nrows(rows), ncols(cols),
+        data(static_cast<size_t>(rows) * static_cast<size_t>(cols), 0.0) {}
+
+  Scalar& at(Int i, Int j) { return data[static_cast<size_t>(j) * nrows + i]; }
+  Scalar at(Int i, Int j) const { return data[static_cast<size_t>(j) * nrows + i]; }
+
+  static DenseMatrix from_csc(const Csc& a);
+};
+
+/// Dense LU with partial pivoting, in place: A -> L\U with unit lower
+/// diagonal implicit; piv[k] = row swapped into position k at step k
+/// (LAPACK getrf convention). Returns false if exactly singular.
+bool dense_lu_factor(DenseMatrix& a, std::vector<Int>& piv);
+
+/// Solve using factors from dense_lu_factor. b is overwritten with x.
+void dense_lu_solve(const DenseMatrix& lu, const std::vector<Int>& piv,
+                    std::vector<Scalar>& b);
+
+/// Convenience: solve A x = b densely from a sparse A; returns false if
+/// singular. Used only by tests and tiny fallback paths.
+bool dense_solve(const Csc& a, const std::vector<Scalar>& b, std::vector<Scalar>& x);
+
+/// C(mxn) -= A(mxk) * B(kxn); all column-major with given leading dims.
+void gemm_minus(Int m, Int n, Int k, const Scalar* a, Int lda, const Scalar* b,
+                Int ldb, Scalar* c, Int ldc);
+
+/// In-place lower triangular solve L X = B where L (mxm, unit diagonal,
+/// column-major, leading dim ldl) and B is m x n (leading dim ldb).
+void trsm_lower_unit(Int m, Int n, const Scalar* l, Int ldl, Scalar* b, Int ldb);
+
+}  // namespace basker

@@ -1,0 +1,385 @@
+#include "basker/gen/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "basker/common/error.hpp"
+#include "basker/sparse/coo.hpp"
+#include "basker/sparse/ops.hpp"
+
+namespace basker::gen {
+
+namespace {
+
+/// Off-diagonal triplet assembly that tracks per-column absolute sums so the
+/// diagonal can be set to a controlled dominance level afterwards.
+class Assembler {
+ public:
+  Assembler(Int n, Prng& rng) : n_(n), rng_(rng), colsum_(static_cast<size_t>(n), 0.0),
+                                has_diag_(static_cast<size_t>(n), true), t_(n, n) {}
+
+  void edge(Int i, Int j) {
+    if (i == j) return;
+    const Scalar v = rng_.log_uniform_signed(-3.0, 0.0);
+    t_.add(i, j, v);
+    colsum_[j] += std::abs(v);
+  }
+
+  /// Both A(i,j) and A(j,i), with independent values.
+  void undirected(Int i, Int j) {
+    edge(i, j);
+    edge(j, i);
+  }
+
+  void suppress_diag(Int i) { has_diag_[i] = false; }
+
+  Csc finish(double dominance) {
+    for (Int i = 0; i < n_; ++i) {
+      if (!has_diag_[i]) continue;
+      const Scalar base = colsum_[i] > 0.0 ? colsum_[i] : 1.0;
+      t_.add(i, i, dominance * base * rng_.uniform(0.8, 1.2));
+    }
+    return t_.to_csc();
+  }
+
+ private:
+  Int n_;
+  Prng& rng_;
+  std::vector<Scalar> colsum_;
+  std::vector<bool> has_diag_;
+  Triplets t_;
+};
+
+/// Partition `count` rows into blocks of size ~avg (uniform in
+/// [1, 2*avg-1]); returns block start offsets (last element == count).
+std::vector<Int> make_blocks(Int count, Int avg, Prng& rng) {
+  std::vector<Int> starts{0};
+  Int at = 0;
+  while (at < count) {
+    Int size = (avg <= 1) ? 1 : 1 + rng.next_int(2 * avg - 1);
+    size = std::min(size, count - at);
+    at += size;
+    starts.push_back(at);
+  }
+  return starts;
+}
+
+/// Directed cycle through [lo, hi) making the block one SCC, plus `extra`
+/// bounded-range internal edges (devices couple locally, so block interiors
+/// stay band-like rather than expander-like).
+void strongly_connect(Assembler& asmblr, Int lo, Int hi, Int extra, Prng& rng) {
+  const Int size = hi - lo;
+  if (size <= 1) return;
+  for (Int v = lo; v + 1 < hi; ++v) asmblr.edge(v + 1, v);
+  asmblr.edge(lo, hi - 1);
+  const Int reach = std::min<Int>(size - 1, std::max<Int>(4, size / 16));
+  for (Int e = 0; e < extra; ++e) {
+    const Int i = rng.next_int(size);
+    const Int offset = 1 + rng.next_int(reach);
+    const Int j = (rng.next_u64() & 1) ? i + offset : i - offset;
+    if (j >= 0 && j < size && j != i) asmblr.edge(lo + i, lo + j);
+  }
+}
+
+void build_core(Assembler& asmblr, Int lo, Int hi, const CircuitParams& p, Prng& rng) {
+  const Int size = hi - lo;
+  if (size <= 0) return;
+  if (size == 1) return;
+  // Guarantee one SCC with a directed Hamiltonian cycle.
+  for (Int v = lo; v + 1 < hi; ++v) asmblr.edge(v + 1, v);
+  asmblr.edge(lo, hi - 1);
+  switch (p.core) {
+    case CoreTopology::kLadder: {
+      // Physical ladder: neighbour couplings plus short rungs. Bandwidth
+      // stays O(1), so the fill density stays in the paper's "< 2" class.
+      for (Int v = lo; v + 1 < hi; ++v) asmblr.undirected(v, v + 1);
+      for (Int v = lo; v + 3 < hi; v += 2) asmblr.undirected(v, v + 3);
+      break;
+    }
+    case CoreTopology::kGrid: {
+      const Int nx = std::max<Int>(2, static_cast<Int>(std::sqrt(static_cast<double>(size))));
+      for (Int v = 0; v < size; ++v) {
+        const Int x = v % nx;
+        if (x + 1 < nx && v + 1 < size) asmblr.undirected(lo + v, lo + v + 1);
+        if (v + nx < size) asmblr.undirected(lo + v, lo + v + nx);
+      }
+      break;
+    }
+    case CoreTopology::kRandom: {
+      // Irregular high-fill topology: a 2D grid skeleton plus bounded-range
+      // random couplings. Pure random graphs are expanders with no small
+      // separators — real high-fill circuit matrices (onetone, memchip)
+      // still have locality, and nested dissection must stay meaningful.
+      const Int nx = std::max<Int>(2, static_cast<Int>(std::sqrt(static_cast<double>(size))));
+      for (Int v = 0; v < size; ++v) {
+        const Int x = v % nx;
+        if (x + 1 < nx && v + 1 < size) asmblr.undirected(lo + v, lo + v + 1);
+        if (v + nx < size) asmblr.undirected(lo + v, lo + v + nx);
+      }
+      const Int reach = std::max<Int>(8, nx);
+      for (Int v = 0; v < size; ++v) {
+        for (Int d = 0; d < p.core_degree; ++d) {
+          const Int offset = 1 + rng.next_int(reach);
+          const Int u = (rng.next_u64() & 1) ? v + offset : v - offset;
+          if (u >= 0 && u < size && u != v) asmblr.undirected(lo + v, lo + u);
+        }
+      }
+      break;
+    }
+  }
+  // Extra couplings for ladder/grid topologies: short-range so the graph
+  // keeps the locality (and hence the separators and fill class) of a
+  // physical layout.
+  if (p.core != CoreTopology::kRandom) {
+    const Int extra = size * std::max<Int>(0, p.core_degree - 2) / 2;
+    const Int reach =
+        p.core == CoreTopology::kLadder
+            ? Int{8}
+            : std::max<Int>(4, static_cast<Int>(
+                                   std::sqrt(static_cast<double>(size))) / 2);
+    for (Int e = 0; e < extra; ++e) {
+      const Int i = rng.next_int(size);
+      const Int offset = 1 + rng.next_int(reach);
+      const Int j = (rng.next_u64() & 1) ? i + offset : i - offset;
+      if (j >= 0 && j < size && i != j) asmblr.undirected(lo + i, lo + j);
+    }
+  }
+  // Semi-dense supply rails. Real dense columns have hundreds of entries
+  // regardless of matrix dimension, so cap the fan-out.
+  const Int touch =
+      std::min<Int>(256, std::max<Int>(1, static_cast<Int>(p.rail_frac * size)));
+  for (Int r = 0; r < p.rails && r < size; ++r) {
+    const Int rail = lo + rng.next_int(size);
+    for (Int k = 0; k < touch; ++k) {
+      const Int u = lo + rng.next_int(size);
+      if (u != rail) asmblr.undirected(rail, u);
+    }
+  }
+}
+
+}  // namespace
+
+Csc circuit(const CircuitParams& p) {
+  BASKER_REQUIRE(p.n > 0 && p.btf_frac >= 0.0 && p.btf_frac <= 1.0, "circuit: bad params");
+  Prng rng(p.seed);
+  const Int n_small = static_cast<Int>(std::lround(p.btf_frac * p.n));
+  const Int n_core = p.n - n_small;
+  const Int pre = n_small / 2;  // small blocks before the core (feed into it)
+
+  Assembler asmblr(p.n, rng);
+
+  // Layout: [small blocks 0..pre) | core [pre, pre+n_core) | small blocks].
+  std::vector<std::pair<Int, Int>> block_ranges;  // [lo, hi) of every block in order
+  const std::vector<Int> pre_starts = make_blocks(pre, p.avg_block, rng);
+  for (size_t b = 0; b + 1 < pre_starts.size(); ++b) {
+    block_ranges.emplace_back(pre_starts[b], pre_starts[b + 1]);
+  }
+  const Int core_lo = pre, core_hi = pre + n_core;
+  if (n_core > 0) block_ranges.emplace_back(core_lo, core_hi);
+  const std::vector<Int> post_starts = make_blocks(p.n - core_hi, p.avg_block, rng);
+  for (size_t b = 0; b + 1 < post_starts.size(); ++b) {
+    block_ranges.emplace_back(core_hi + post_starts[b], core_hi + post_starts[b + 1]);
+  }
+
+  // Small blocks: strongly connected internally.
+  for (const auto& [lo, hi] : block_ranges) {
+    if (lo == core_lo && hi == core_hi && n_core > 0) {
+      build_core(asmblr, lo, hi, p, rng);
+    } else {
+      strongly_connect(asmblr, lo, hi, (hi - lo) / 2, rng);
+    }
+  }
+
+  // Voltage-source style rows: zero diagonal inside a small block; the
+  // block's cycle provides the off-diagonal 2-cycle the matching needs.
+  if (p.vsource_frac > 0.0) {
+    for (const auto& [lo, hi] : block_ranges) {
+      if (lo == core_lo && n_core > 0 && hi == core_hi) continue;
+      if (hi - lo >= 2 && rng.next_double() < p.vsource_frac) {
+        asmblr.suppress_diag(lo);  // row lo still has the cycle entries
+      }
+    }
+  }
+
+  // Feed-forward coupling: entries strictly in the upper block triangle so
+  // the small blocks stay distinct SCCs.
+  const Int n_blocks = static_cast<Int>(block_ranges.size());
+  for (Int b = 0; b + 1 < n_blocks; ++b) {
+    const auto& [lo, hi] = block_ranges[b];
+    const Int couplings = 1 + rng.next_int(3);
+    for (Int c = 0; c < couplings; ++c) {
+      const Int tgt_block = b + 1 + rng.next_int(n_blocks - b - 1);
+      const auto& [tlo, thi] = block_ranges[tgt_block];
+      const Int i = lo + rng.next_int(hi - lo);
+      const Int j = tlo + rng.next_int(thi - tlo);
+      // Upper block triangle: A(row in earlier block, col in later block).
+      asmblr.edge(i, j);
+    }
+  }
+
+  Csc a = asmblr.finish(p.dominance);
+  return p.scramble ? scramble(a, p.seed ^ 0xC0FFEE) : a;
+}
+
+Csc powergrid(const PowergridParams& p) {
+  BASKER_REQUIRE(p.n > 0, "powergrid: bad n");
+  Prng rng(p.seed);
+  Assembler asmblr(p.n, rng);
+  const std::vector<Int> starts = make_blocks(p.n, p.avg_block, rng);
+  const Int n_blocks = static_cast<Int>(starts.size()) - 1;
+  for (Int b = 0; b < n_blocks; ++b) {
+    strongly_connect(asmblr, starts[b], starts[b + 1],
+                     p.intra_extra * (starts[b + 1] - starts[b]), rng);
+  }
+  for (Int b = 0; b + 1 < n_blocks; ++b) {
+    const Int couplings = 1 + rng.next_int(std::max<Int>(1, 2 * p.coupling_per_block));
+    for (Int c = 0; c < couplings; ++c) {
+      const Int tgt = b + 1 + rng.next_int(std::min<Int>(4, n_blocks - b - 1));
+      const Int i = starts[b] + rng.next_int(starts[b + 1] - starts[b]);
+      const Int j = starts[tgt] + rng.next_int(starts[tgt + 1] - starts[tgt]);
+      asmblr.edge(i, j);
+    }
+  }
+  Csc a = asmblr.finish(p.dominance);
+  return p.scramble ? scramble(a, p.seed ^ 0xBEEF) : a;
+}
+
+namespace {
+
+Csc stencil(Int nx, Int ny, Int nz, bool nine_point, double unsym, std::uint64_t seed) {
+  BASKER_REQUIRE(nx > 0 && ny > 0 && nz > 0, "stencil: bad dims");
+  Prng rng(seed);
+  const Int n = nx * ny * nz;
+  Triplets t(n, n);
+  auto idx = [&](Int x, Int y, Int z) { return x + nx * (y + ny * z); };
+  auto couple = [&](Int a, Int b) {
+    t.add(a, b, -1.0 + unsym * rng.uniform(-1.0, 1.0));
+    t.add(b, a, -1.0 + unsym * rng.uniform(-1.0, 1.0));
+  };
+  for (Int z = 0; z < nz; ++z) {
+    for (Int y = 0; y < ny; ++y) {
+      for (Int x = 0; x < nx; ++x) {
+        const Int v = idx(x, y, z);
+        Scalar degree = 0.0;
+        if (x + 1 < nx) { couple(v, idx(x + 1, y, z)); }
+        if (y + 1 < ny) { couple(v, idx(x, y + 1, z)); }
+        if (z + 1 < nz) { couple(v, idx(x, y, z + 1)); }
+        if (nine_point) {
+          if (x + 1 < nx && y + 1 < ny) couple(v, idx(x + 1, y + 1, z));
+          if (x + 1 < nx && y > 0) couple(v, idx(x + 1, y - 1, z));
+        }
+        degree = nine_point ? 8.0 : (nz > 1 ? 6.0 : 4.0);
+        t.add(v, v, degree + 0.5 + unsym * rng.uniform(0.0, 1.0));
+      }
+    }
+  }
+  return t.to_csc();
+}
+
+}  // namespace
+
+Csc mesh2d(Int nx, Int ny, double unsym, std::uint64_t seed) {
+  return stencil(nx, ny, 1, false, unsym, seed);
+}
+
+Csc mesh2d9(Int nx, Int ny, double unsym, std::uint64_t seed) {
+  return stencil(nx, ny, 1, true, unsym, seed);
+}
+
+Csc mesh3d(Int nx, Int ny, Int nz, double unsym, std::uint64_t seed) {
+  return stencil(nx, ny, nz, false, unsym, seed);
+}
+
+Csc random_square(Int n, Int deg, double dominance, std::uint64_t seed) {
+  BASKER_REQUIRE(n > 0 && deg >= 0, "random_square: bad params");
+  Prng rng(seed);
+  Assembler asmblr(n, rng);
+  for (Int j = 0; j < n; ++j) {
+    for (Int d = 0; d < deg; ++d) {
+      const Int i = rng.next_int(n);
+      if (i != j) asmblr.edge(i, j);
+    }
+  }
+  return asmblr.finish(dominance);
+}
+
+Csc arrowhead(Int n) {
+  BASKER_REQUIRE(n > 0, "arrowhead: bad n");
+  Triplets t(n, n);
+  for (Int i = 0; i < n; ++i) {
+    t.add(i, i, 4.0 + 0.01 * i);
+    if (i + 1 < n) {
+      t.add(n - 1, i, -1.0 - 1e-3 * i);
+      t.add(i, n - 1, -1.0 + 1e-3 * i);
+    }
+  }
+  return t.to_csc();
+}
+
+Csc tridiag(Int n, std::uint64_t seed) {
+  BASKER_REQUIRE(n > 0, "tridiag: bad n");
+  Prng rng(seed);
+  Triplets t(n, n);
+  for (Int i = 0; i < n; ++i) {
+    Scalar sum = 0.0;
+    if (i > 0) {
+      const Scalar v = rng.uniform(-1.0, 1.0);
+      t.add(i, i - 1, v);
+      sum += std::abs(v);
+    }
+    if (i + 1 < n) {
+      const Scalar v = rng.uniform(-1.0, 1.0);
+      t.add(i, i + 1, v);
+      sum += std::abs(v);
+    }
+    t.add(i, i, 1.1 * (sum > 0 ? sum : 1.0));
+  }
+  return t.to_csc();
+}
+
+void revalue(Csc& a, Prng& rng, double jitter, double dominance) {
+  // Scale every entry log-uniformly; occasional large device swings.
+  for (Scalar& v : a.values) {
+    double exponent = rng.uniform(-jitter, jitter);
+    if (rng.next_double() < 0.01) exponent += (rng.next_u64() & 1) ? 2.0 : -2.0;
+    v *= std::pow(10.0, exponent);
+  }
+  // Re-boost diagonals to keep the sequence factorable.
+  for (Int j = 0; j < a.ncols; ++j) {
+    Scalar offsum = 0.0;
+    Size diag_pos = -1;
+    for (Size p = a.col_ptr[j]; p < a.col_ptr[j + 1]; ++p) {
+      if (a.row_idx[p] == j) {
+        diag_pos = p;
+      } else {
+        offsum += std::abs(a.values[p]);
+      }
+    }
+    if (diag_pos >= 0) {
+      const Scalar sign = a.values[diag_pos] < 0.0 ? -1.0 : 1.0;
+      const Scalar base = offsum > 0.0 ? offsum : std::abs(a.values[diag_pos]);
+      a.values[diag_pos] = sign * dominance * (base > 0.0 ? base : 1.0) *
+                           (0.8 + 0.4 * rng.next_double());
+    }
+  }
+}
+
+Csc scramble(const Csc& a, std::uint64_t seed) {
+  Prng rng(seed);
+  std::vector<Int> p(static_cast<size_t>(a.nrows));
+  std::iota(p.begin(), p.end(), 0);
+  for (Int i = a.nrows - 1; i > 0; --i) {
+    std::swap(p[i], p[rng.next_int(i + 1)]);
+  }
+  return permute(a, p, p);
+}
+
+std::vector<Scalar> random_rhs(Int n, std::uint64_t seed) {
+  Prng rng(seed);
+  std::vector<Scalar> b(static_cast<size_t>(n));
+  for (Scalar& v : b) v = rng.uniform(-1.0, 1.0);
+  return b;
+}
+
+}  // namespace basker::gen

@@ -1,0 +1,96 @@
+// Synthetic matrix generators. These replace the University of Florida
+// collection and the proprietary Xyce matrices (DESIGN.md §3.1): each
+// generator exposes exactly the structural properties the paper's evaluation
+// depends on — fraction of rows in small BTF diagonal blocks, number of
+// blocks, topology (hence fill-in density class) of the dominant block, and
+// semi-dense "rail" columns typical of circuit matrices.
+#pragma once
+
+#include <cstdint>
+
+#include "basker/common/prng.hpp"
+#include "basker/sparse/csc.hpp"
+
+namespace basker::gen {
+
+/// Topology of the strongly-connected "core" block of a circuit matrix;
+/// determines the fill-in density class under a fill-reducing ordering.
+enum class CoreTopology {
+  kLadder,     ///< banded resistor ladder: fill density < 2
+  kGrid,       ///< 2D grid couplings: moderate fill (2-8)
+  kRandom,     ///< irregular random couplings: high fill (> 8)
+};
+
+struct CircuitParams {
+  Int n = 10000;              ///< total dimension
+  double btf_frac = 0.5;      ///< fraction of rows in small BTF blocks
+  Int avg_block = 4;          ///< average small-block size (>= 1)
+  CoreTopology core = CoreTopology::kLadder;
+  Int core_degree = 2;        ///< extra couplings per core node
+  Int rails = 0;              ///< semi-dense supply rails in the core
+  double rail_frac = 0.02;    ///< fraction of core nodes each rail touches
+  double vsource_frac = 0.0;  ///< fraction of small-block rows with zero diagonal
+                              ///< (voltage-source style 2-cycles; exercises MWCM)
+  double dominance = 1.05;    ///< diagonal dominance factor (<1: pivoting needed)
+  std::uint64_t seed = 42;
+  bool scramble = true;       ///< apply a random symmetric permutation at the end
+};
+
+/// SPICE-style modified-nodal-analysis-like matrix: many small strongly
+/// connected blocks (subcircuits / device stamps) feeding forward into and
+/// out of one large strongly connected core.
+Csc circuit(const CircuitParams& params);
+
+struct PowergridParams {
+  Int n = 10000;
+  Int avg_block = 20;         ///< small dynamic-device blocks; BTF% == 100
+  Int intra_extra = 1;        ///< internal edge density multiplier per block
+  Int coupling_per_block = 2; ///< feed-forward entries per block (raises |A|
+                              ///< without raising |L+U|: fill density < 1,
+                              ///< the paper's RS_* rows)
+  double dominance = 1.1;
+  std::uint64_t seed = 7;
+  bool scramble = true;
+};
+
+/// Power-grid dynamics style matrix: a pure chain of small strongly
+/// connected component blocks (100% fine-BTF structure, fill density < 1).
+Csc powergrid(const PowergridParams& params);
+
+/// 5-point 2D Laplacian-like stencil on an nx-by-ny grid. Values are mildly
+/// unsymmetric (convection term `unsym`); pattern symmetric. Used for the
+/// Table II "PMKL-ideal" mesh problems.
+Csc mesh2d(Int nx, Int ny, double unsym = 0.1, std::uint64_t seed = 1);
+
+/// 9-point 2D stencil (denser mesh problems).
+Csc mesh2d9(Int nx, Int ny, double unsym = 0.1, std::uint64_t seed = 1);
+
+/// 7-point 3D stencil on nx-by-ny-by-nz.
+Csc mesh3d(Int nx, Int ny, Int nz, double unsym = 0.1, std::uint64_t seed = 1);
+
+/// Random sparse square matrix with ~deg off-diagonal entries per column and
+/// a full diagonal; `dominance` as in CircuitParams.
+Csc random_square(Int n, Int deg, double dominance, std::uint64_t seed);
+
+/// Arrowhead matrix (dense last row and column + diagonal): worst case for
+/// naive orderings, edge case for BTF/ND.
+Csc arrowhead(Int n);
+
+/// Tridiagonal matrix with random values and unit-dominant diagonal.
+Csc tridiag(Int n, std::uint64_t seed = 3);
+
+/// Re-sample the numeric values of `a` in place, preserving the pattern:
+/// each value is scaled log-uniformly by up to `jitter` decades and with
+/// probability ~1% by +/-2 decades (SPICE transient device behaviour).
+/// Diagonal entries are re-boosted to `dominance` times their column sum so
+/// the matrix stays factorable without pivot failure.
+void revalue(Csc& a, Prng& rng, double jitter = 0.3, double dominance = 1.05);
+
+/// Apply a random symmetric permutation P A P^T (hides any constructed
+/// ordering from the solvers).
+Csc scramble(const Csc& a, std::uint64_t seed);
+
+/// Random right-hand side with entries in [-1, 1].
+std::vector<Scalar> random_rhs(Int n, std::uint64_t seed);
+
+}  // namespace basker::gen

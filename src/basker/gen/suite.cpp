@@ -1,0 +1,215 @@
+#include "basker/gen/suite.hpp"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "basker/common/error.hpp"
+#include "basker/gen/generators.hpp"
+
+namespace basker::gen {
+
+namespace {
+
+/// Paper dimension -> generated dimension (before BASKER_BENCH_SCALE).
+Int scaled_n(double paper_n, double scale) {
+  const double base = std::max(1200.0, std::min(paper_n / 64.0, 16000.0));
+  return static_cast<Int>(std::lround(base * scale));
+}
+
+Csc make_circuit(double paper_n, double scale, double btf_frac, Int avg_block,
+                 CoreTopology core, Int core_degree, Int rails,
+                 double vsource_frac, std::uint64_t seed) {
+  CircuitParams p;
+  p.n = scaled_n(paper_n, scale);
+  p.btf_frac = btf_frac;
+  p.avg_block = avg_block;
+  p.core = core;
+  p.core_degree = core_degree;
+  p.rails = rails;
+  p.vsource_frac = vsource_frac;
+  p.seed = seed;
+  return circuit(p);
+}
+
+Csc make_powergrid(double paper_n, double scale, double paper_blocks,
+                   Int intra_extra, Int coupling_per_block, std::uint64_t seed) {
+  PowergridParams p;
+  p.n = scaled_n(paper_n, scale);
+  // Preserve the paper's average block size where possible, but keep at
+  // least ~8 blocks so the fine-BTF level still has parallelism at the
+  // reduced dimension.
+  const Int paper_avg = std::max<Int>(1, static_cast<Int>(paper_n / paper_blocks));
+  // Cap below the fine-BTF threshold: these suites are 100% small-block
+  // matrices in the paper.
+  p.avg_block = std::max<Int>(1, std::min({paper_avg, p.n / 8, Int{120}}));
+  p.intra_extra = intra_extra;
+  p.coupling_per_block = coupling_per_block;
+  p.seed = seed;
+  return powergrid(p);
+}
+
+Csc make_mesh2d(double paper_n, double scale, bool nine_point, std::uint64_t seed) {
+  const Int n = scaled_n(paper_n, scale);
+  const Int side = std::max<Int>(8, static_cast<Int>(std::lround(std::sqrt(static_cast<double>(n)))));
+  Csc a = nine_point ? mesh2d9(side, side, 0.15, seed) : mesh2d(side, side, 0.15, seed);
+  return scramble(a, seed ^ 0x5EED);
+}
+
+Csc make_mesh3d(double paper_n, double scale, std::uint64_t seed) {
+  const Int n = scaled_n(paper_n, scale);
+  const Int side = std::max<Int>(5, static_cast<Int>(std::lround(std::cbrt(static_cast<double>(n)))));
+  return scramble(mesh3d(side, side, side, 0.15, seed), seed ^ 0x5EED);
+}
+
+std::vector<SuiteEntry> build_table1() {
+  std::vector<SuiteEntry> s;
+  auto add = [&s](const std::string& name, PaperStats ps,
+                  std::function<Csc(double)> make) {
+    s.push_back({name, ps, std::move(make)});
+  };
+
+  // Rows in the paper's order (sorted by increasing KLU fill density).
+  add("RS_b39c30", {6.0e4, 1.1e6, 6.9e5, 6.3e6, 6.9e5, 100, 3e3, 0.6},
+      [](double sc) { return make_powergrid(6.0e4, sc, 3e3, 2, 12, 101); });
+  add("RS_b678c2", {3.6e4, 8.8e6, 5.8e6, 5.9e7, 5.8e6, 100, 271, 0.7},
+      [](double sc) { return make_powergrid(3.6e4, sc, 271, 8, 60, 102); });
+  add("Power0", {9.8e4, 4.8e5, 6.4e5, 9.1e5, 6.4e5, 100, 7.7e3, 1.3},
+      [](double sc) { return make_powergrid(9.8e4, sc, 7.7e3, 1, 3, 103); });
+  add("Circuit5M", {5.6e6, 6.0e7, 6.8e7, 3.1e8, 7.4e7, 0, 1, 1.3},
+      [](double sc) {
+        return make_circuit(5.6e6, sc, 0.0, 1, CoreTopology::kLadder, 3, 5, 0.0, 104);
+      });
+  add("memplus", {1.2e4, 9.9e4, 1.4e5, 1.3e5, 1.4e5, 0.1, 23, 1.4},
+      [](double sc) {
+        return make_circuit(1.2e4, sc, 0.01, 1, CoreTopology::kLadder, 3, 4, 0.0, 105);
+      });
+  add("rajat21", {4.1e5, 1.9e6, 2.8e6, 4.9e6, 2.8e6, 2, 5.9e3, 1.5},
+      [](double sc) {
+        return make_circuit(4.1e5, sc, 0.02, 1, CoreTopology::kLadder, 3, 4, 0.02, 106);
+      });
+  add("trans5", {1.2e5, 7.5e5, 1.2e6, 1.3e6, 1.2e6, 0, 1, 1.6},
+      [](double sc) {
+        return make_circuit(1.2e5, sc, 0.0, 1, CoreTopology::kLadder, 4, 2, 0.0, 107);
+      });
+  add("circuit_4", {8.0e4, 3.1e5, 5.0e5, 5.8e5, 5.1e5, 34.8, 2.8e4, 1.6},
+      [](double sc) {
+        return make_circuit(8.0e4, sc, 0.348, 1, CoreTopology::kLadder, 3, 2, 0.01, 108);
+      });
+  add("Xyce0", {6.8e5, 3.9e6, 4.7e6, 3.8e7, 4.8e6, 85, 5.8e5, 1.8},
+      [](double sc) {
+        return make_circuit(6.8e5, sc, 0.85, 1, CoreTopology::kLadder, 4, 2, 0.02, 109);
+      });
+  add("Xyce4", {6.2e6, 7.3e7, 4.5e7, 5.0e7, 4.5e7, 12, 7.5e5, 2.0},
+      [](double sc) {
+        return make_circuit(6.2e6, sc, 0.12, 1, CoreTopology::kLadder, 5, 2, 0.02, 110);
+      });
+  add("Xyce1", {4.3e5, 2.4e6, 5.1e6, 5.6e6, 5.1e6, 21, 9.9e4, 2.4},
+      [](double sc) {
+        return make_circuit(4.3e5, sc, 0.21, 1, CoreTopology::kLadder, 4, 2, 0.02, 111);
+      });
+  add("asic_680ks", {6.8e5, 1.7e6, 4.5e6, 2.9e7, 4.5e6, 86, 5.8e5, 2.6},
+      [](double sc) {
+        return make_circuit(6.8e5, sc, 0.86, 1, CoreTopology::kLadder, 4, 4, 0.0, 112);
+      });
+  add("bcircuit", {6.9e4, 3.8e5, 1.1e6, 1.1e6, 1.1e6, 0, 1, 2.8},
+      [](double sc) {
+        return make_circuit(6.9e4, sc, 0.0, 1, CoreTopology::kLadder, 4, 0, 0.0, 113);
+      });
+  add("scircuit", {1.7e5, 9.6e5, 2.7e6, 2.7e6, 2.7e6, 0.3, 48, 2.8},
+      [](double sc) {
+        return make_circuit(1.7e5, sc, 0.003, 8, CoreTopology::kLadder, 4, 2, 0.0, 114);
+      });
+  add("hvdc2", {1.9e5, 1.3e6, 3.8e6, 3.0e6, 3.8e6, 100, 67, 2.8},
+      [](double sc) { return make_powergrid(1.9e5, sc, 67, 2, 8, 115); });
+  add("Freescale1", {3.4e6, 1.7e7, 7.1e7, 5.6e7, 6.8e7, 0, 1, 4.1},
+      [](double sc) {
+        return make_circuit(3.4e6, sc, 0.0, 1, CoreTopology::kLadder, 8, 2, 0.0, 116);
+      });
+  add("hcircuit", {1.1e5, 5.1e5, 7.3e5, 6.7e5, 7.1e5, 13, 1.4e3, 6.9},
+      [](double sc) {
+        return make_circuit(1.1e5, sc, 0.13, 10, CoreTopology::kRandom, 2, 0, 0.0, 117);
+      });
+  add("Xyce3", {1.9e6, 9.5e6, 7.6e7, 4.3e7, 7.7e7, 20, 4.0e5, 9.2},
+      [](double sc) {
+        return make_circuit(1.9e6, sc, 0.20, 1, CoreTopology::kRandom, 2, 0, 0.02, 118);
+      });
+  add("memchip", {2.7e6, 1.3e7, 1.3e8, 6.5e7, 9.4e7, 0, 1, 9.9},
+      [](double sc) {
+        return make_circuit(2.7e6, sc, 0.0, 1, CoreTopology::kRandom, 2, 0, 0.0, 119);
+      });
+  add("G2_Circuit", {1.5e5, 7.3e5, 2.0e7, 1.3e7, 2.0e7, 0, 1, 27.7},
+      [](double sc) { return make_mesh2d(6.0e5, sc, false, 120); });  // n/16: keeps the paper's high-fill class
+  add("twotone", {1.2e5, 1.2e6, 4.8e7, 2.7e7, 4.7e7, 0, 5, 39.9},
+      [](double sc) {
+        return make_circuit(1.2e5, sc, 0.0005, 12, CoreTopology::kRandom, 4, 0, 0.0, 121);
+      });
+  add("onetone1", {3.6e4, 3.4e5, 1.4e7, 4.3e6, 1.2e7, 1.1, 203, 40.8},
+      [](double sc) {
+        return make_circuit(3.6e4, sc, 0.011, 2, CoreTopology::kRandom, 4, 0, 0.0, 122);
+      });
+  return s;
+}
+
+std::vector<SuiteEntry> build_table2() {
+  std::vector<SuiteEntry> s;
+  auto add = [&s](const std::string& name, PaperStats ps,
+                  std::function<Csc(double)> make) {
+    s.push_back({name, ps, std::move(make)});
+  };
+  add("pwtk", {2.2e5, 1.2e7, 9.7e7, 0, 0, 0, 1, 0},
+      [](double sc) { return make_mesh3d(2.2e5, sc, 201); });
+  add("ecology", {1.0e6, 5.0e6, 7.1e7, 0, 0, 0, 1, 0},
+      [](double sc) { return make_mesh2d(1.0e6, sc, false, 202); });
+  add("apache2", {7.2e5, 4.8e6, 2.8e8, 0, 0, 0, 1, 0},
+      [](double sc) { return make_mesh3d(7.2e5, sc, 203); });
+  add("bmwcra1", {1.5e5, 1.1e7, 1.4e8, 0, 0, 0, 1, 0},
+      [](double sc) { return make_mesh3d(1.5e5, sc, 204); });
+  add("parabolic_fem", {5.3e5, 3.7e6, 5.2e7, 0, 0, 0, 1, 0},
+      [](double sc) { return make_mesh2d(5.3e5, sc, false, 205); });
+  add("helm2d03", {3.9e5, 2.7e6, 3.7e7, 0, 0, 0, 1, 0},
+      [](double sc) { return make_mesh2d(3.9e5, sc, true, 206); });
+  return s;
+}
+
+}  // namespace
+
+const std::vector<SuiteEntry>& table1_suite() {
+  static const std::vector<SuiteEntry> s = build_table1();
+  return s;
+}
+
+const std::vector<SuiteEntry>& table2_suite() {
+  static const std::vector<SuiteEntry> s = build_table2();
+  return s;
+}
+
+std::vector<std::string> fig56_names() {
+  return {"Power0", "rajat21", "asic_680ks", "hvdc2", "Freescale1", "Xyce3"};
+}
+
+std::vector<std::string> basker_ideal_names() {
+  return {"RS_b39c30", "RS_b678c2", "Power0", "Circuit5M", "memplus", "rajat21"};
+}
+
+const SuiteEntry& entry_by_name(const std::string& name) {
+  for (const auto& e : table1_suite()) {
+    if (e.name == name) return e;
+  }
+  for (const auto& e : table2_suite()) {
+    if (e.name == name) return e;
+  }
+  throw BaskerError("unknown suite matrix: " + name);
+}
+
+Csc make_by_name(const std::string& name, double scale) {
+  return entry_by_name(name).make(scale);
+}
+
+double bench_scale() {
+  const char* env = std::getenv("BASKER_BENCH_SCALE");
+  if (env == nullptr) return 1.0;
+  const double v = std::atof(env);
+  return v > 0.0 ? v : 1.0;
+}
+
+}  // namespace basker::gen

@@ -1,0 +1,59 @@
+// Synthetic analogues of the paper's evaluation suites.
+//
+// Table I of the paper lists 22 circuit/power-grid matrices from the UF
+// collection and Xyce; Table II lists 6 "PMKL-ideal" 2/3D mesh matrices.
+// Each entry here carries the paper's reported statistics (for side-by-side
+// printing in the benches) and a generator producing a matrix of the same
+// structural class at a laptop-friendly scale (paper n divided by ~64,
+// multiplied by BASKER_BENCH_SCALE).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "basker/sparse/csc.hpp"
+
+namespace basker::gen {
+
+/// Statistics reported in the paper's Table I (zeros where not reported).
+struct PaperStats {
+  double n = 0;
+  double nnz = 0;
+  double klu_lu = 0;      ///< |L+U| for KLU
+  double pmkl_lu = 0;     ///< |L+U| for Pardiso-MKL
+  double basker_lu = 0;   ///< |L+U| for Basker
+  double btf_pct = 0;     ///< % rows in small BTF diagonal blocks
+  double btf_blocks = 0;  ///< number of BTF blocks
+  double fill = 0;        ///< KLU fill-in density |L+U|/|A|
+};
+
+struct SuiteEntry {
+  std::string name;
+  PaperStats paper;
+  std::function<Csc(double scale)> make;
+};
+
+/// The 22-matrix circuit/power-grid suite (Table I order: increasing fill).
+const std::vector<SuiteEntry>& table1_suite();
+
+/// The 6 mesh matrices of Table II (PMKL-ideal inputs).
+const std::vector<SuiteEntry>& table2_suite();
+
+/// The six matrices used in Figures 5 and 6.
+std::vector<std::string> fig56_names();
+
+/// The six lowest-fill matrices (Basker-ideal inputs for Figure 8).
+std::vector<std::string> basker_ideal_names();
+
+/// Look up by name in either suite and generate at `scale`.
+Csc make_by_name(const std::string& name, double scale);
+
+/// The entry for `name`, from either suite. Throws if unknown.
+const SuiteEntry& entry_by_name(const std::string& name);
+
+/// Scale factor from the BASKER_BENCH_SCALE environment variable
+/// (default 1.0).
+double bench_scale();
+
+}  // namespace basker::gen

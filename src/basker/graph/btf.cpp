@@ -1,0 +1,90 @@
+#include "basker/graph/btf.hpp"
+
+#include <algorithm>
+
+#include "basker/common/error.hpp"
+
+namespace basker {
+
+Int BtfResult::largest_block() const {
+  Int best = 0;
+  for (Int b = 0; b < num_blocks(); ++b) best = std::max(best, block_size(b));
+  return best;
+}
+
+// Iterative Tarjan SCC. Vertices are columns; the edge j -> i exists for
+// every stored entry A(i, j). Tarjan emits components in reverse topological
+// order of the condensation, so if A(i, j) != 0 crosses components then
+// comp(i) is emitted no later than comp(j); laying blocks out in emission
+// order therefore puts every cross-block entry in the upper triangle.
+BtfResult btf_order(const Csc& a) {
+  BASKER_REQUIRE(a.nrows == a.ncols, "btf_order: square required");
+  const Int n = a.ncols;
+
+  std::vector<Int> index(static_cast<size_t>(n), kInvalid);
+  std::vector<Int> lowlink(static_cast<size_t>(n), 0);
+  std::vector<bool> on_stack(static_cast<size_t>(n), false);
+  std::vector<Int> scc_stack;
+  scc_stack.reserve(static_cast<size_t>(n));
+  std::vector<Int> comp_of(static_cast<size_t>(n), kInvalid);
+  Int next_index = 0;
+  Int num_comps = 0;
+
+  // Explicit DFS frames: (vertex, next edge position).
+  std::vector<std::pair<Int, Size>> frames;
+  frames.reserve(64);
+
+  for (Int root = 0; root < n; ++root) {
+    if (index[root] != kInvalid) continue;
+    frames.emplace_back(root, a.col_ptr[root]);
+    index[root] = lowlink[root] = next_index++;
+    scc_stack.push_back(root);
+    on_stack[root] = true;
+
+    while (!frames.empty()) {
+      auto& [v, pos] = frames.back();
+      if (pos < a.col_ptr[v + 1]) {
+        const Int w = a.row_idx[pos];
+        ++pos;
+        if (index[w] == kInvalid) {
+          index[w] = lowlink[w] = next_index++;
+          scc_stack.push_back(w);
+          on_stack[w] = true;
+          frames.emplace_back(w, a.col_ptr[w]);
+        } else if (on_stack[w]) {
+          lowlink[v] = std::min(lowlink[v], index[w]);
+        }
+      } else {
+        const Int v_done = v;
+        frames.pop_back();
+        if (!frames.empty()) {
+          lowlink[frames.back().first] =
+              std::min(lowlink[frames.back().first], lowlink[v_done]);
+        }
+        if (lowlink[v_done] == index[v_done]) {
+          // Pop one complete component.
+          while (true) {
+            const Int w = scc_stack.back();
+            scc_stack.pop_back();
+            on_stack[w] = false;
+            comp_of[w] = num_comps;
+            if (w == v_done) break;
+          }
+          ++num_comps;
+        }
+      }
+    }
+  }
+
+  // Bucket vertices by component in emission order.
+  BtfResult r;
+  r.block_offsets.assign(static_cast<size_t>(num_comps) + 1, 0);
+  for (Int v = 0; v < n; ++v) r.block_offsets[comp_of[v] + 1]++;
+  for (Int c = 0; c < num_comps; ++c) r.block_offsets[c + 1] += r.block_offsets[c];
+  r.perm.assign(static_cast<size_t>(n), kInvalid);
+  std::vector<Int> next(r.block_offsets.begin(), r.block_offsets.end() - 1);
+  for (Int v = 0; v < n; ++v) r.perm[next[comp_of[v]]++] = v;
+  return r;
+}
+
+}  // namespace basker

@@ -1,0 +1,31 @@
+// Block triangular form via strongly connected components (the paper's
+// coarse structure, §III-A: Pc from an SCC pass after the MWCM row
+// permutation makes the diagonal zero-free).
+#pragma once
+
+#include <vector>
+
+#include "basker/common/types.hpp"
+#include "basker/sparse/csc.hpp"
+
+namespace basker {
+
+struct BtfResult {
+  /// Symmetric permutation: B = A(perm, perm) is block *upper* triangular.
+  std::vector<Int> perm;
+  /// Block boundaries in the permuted matrix; block b spans rows/cols
+  /// [block_offsets[b], block_offsets[b+1]). Size = nblocks + 1.
+  std::vector<Int> block_offsets;
+
+  Int num_blocks() const { return static_cast<Int>(block_offsets.size()) - 1; }
+  Int block_size(Int b) const { return block_offsets[b + 1] - block_offsets[b]; }
+  Int largest_block() const;
+};
+
+/// Compute the BTF permutation of a square matrix whose diagonal should
+/// already be (mostly) zero-free — callers apply a matching permutation
+/// first. Each diagonal block is one strongly connected component of the
+/// digraph with an edge j -> i per stored entry A(i, j).
+BtfResult btf_order(const Csc& a);
+
+}  // namespace basker

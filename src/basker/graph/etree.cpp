@@ -1,0 +1,136 @@
+#include "basker/graph/etree.hpp"
+
+#include <algorithm>
+
+#include "basker/common/error.hpp"
+
+namespace basker {
+
+std::vector<Int> etree(const Csc& a) {
+  BASKER_REQUIRE(a.nrows == a.ncols, "etree: square required");
+  const Int n = a.ncols;
+  std::vector<Int> parent(static_cast<size_t>(n), kInvalid);
+  std::vector<Int> ancestor(static_cast<size_t>(n), kInvalid);
+  for (Int k = 0; k < n; ++k) {
+    for (Size p = a.col_ptr[k]; p < a.col_ptr[k + 1]; ++p) {
+      // Entry A(i, k) with i < k is an entry of row k's lower triangle
+      // thanks to pattern symmetry.
+      Int i = a.row_idx[p];
+      while (i != kInvalid && i < k) {
+        const Int next = ancestor[i];
+        ancestor[i] = k;  // path compression
+        if (next == kInvalid) parent[i] = k;
+        i = next;
+      }
+    }
+  }
+  return parent;
+}
+
+std::vector<Int> col_etree(const Csc& a) {
+  const Int n = a.ncols;
+  std::vector<Int> parent(static_cast<size_t>(n), kInvalid);
+  std::vector<Int> ancestor(static_cast<size_t>(n), kInvalid);
+  // prev_col[i]: last column whose pattern contained row i.
+  std::vector<Int> prev_col(static_cast<size_t>(a.nrows), kInvalid);
+  for (Int k = 0; k < n; ++k) {
+    for (Size p = a.col_ptr[k]; p < a.col_ptr[k + 1]; ++p) {
+      Int i = prev_col[a.row_idx[p]];
+      while (i != kInvalid && i < k) {
+        const Int next = ancestor[i];
+        ancestor[i] = k;
+        if (next == kInvalid) parent[i] = k;
+        i = next;
+      }
+      prev_col[a.row_idx[p]] = k;
+    }
+  }
+  return parent;
+}
+
+std::vector<Int> postorder(const std::vector<Int>& parent) {
+  const Int n = static_cast<Int>(parent.size());
+  std::vector<Int> head(static_cast<size_t>(n), kInvalid);
+  std::vector<Int> next(static_cast<size_t>(n), kInvalid);
+  // Build child lists (reversed so traversal visits lower-numbered first).
+  for (Int v = n - 1; v >= 0; --v) {
+    const Int par = parent[v];
+    if (par != kInvalid) {
+      next[v] = head[par];
+      head[par] = v;
+    }
+  }
+  std::vector<Int> post;
+  post.reserve(static_cast<size_t>(n));
+  std::vector<Int> stack;
+  for (Int root = 0; root < n; ++root) {
+    if (parent[root] != kInvalid) continue;
+    stack.push_back(root);
+    while (!stack.empty()) {
+      const Int v = stack.back();
+      const Int child = head[v];
+      if (child == kInvalid) {
+        stack.pop_back();
+        post.push_back(v);
+      } else {
+        head[v] = next[child];  // consume the child
+        stack.push_back(child);
+      }
+    }
+  }
+  BASKER_REQUIRE(static_cast<Int>(post.size()) == n, "postorder: forest malformed");
+  return post;
+}
+
+namespace {
+
+/// Visit row k's subtree rows: for every i < k with A(i, k) stored, walk up
+/// the etree from i to the first already-visited node, invoking fn(j) for
+/// every new node j (these are exactly the columns j with L(k, j) != 0).
+template <typename Fn>
+void walk_row_subtree(const Csc& a, const std::vector<Int>& parent, Int k,
+                      std::vector<Int>& mark, Fn&& fn) {
+  mark[k] = k;
+  for (Size p = a.col_ptr[k]; p < a.col_ptr[k + 1]; ++p) {
+    Int j = a.row_idx[p];
+    if (j >= k) continue;
+    while (mark[j] != k) {
+      mark[j] = k;
+      fn(j);
+      j = parent[j];
+      if (j == kInvalid) break;  // unreachable for valid etree, defensive
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Int> chol_col_counts(const Csc& a, const std::vector<Int>& parent) {
+  const Int n = a.ncols;
+  std::vector<Int> counts(static_cast<size_t>(n), 1);  // diagonal
+  std::vector<Int> mark(static_cast<size_t>(n), kInvalid);
+  for (Int k = 0; k < n; ++k) {
+    walk_row_subtree(a, parent, k, mark, [&](Int j) { counts[j]++; });
+  }
+  return counts;
+}
+
+Csc chol_pattern(const Csc& a, const std::vector<Int>& parent) {
+  const Int n = a.ncols;
+  const std::vector<Int> counts = chol_col_counts(a, parent);
+  Csc l(n, n);
+  for (Int j = 0; j < n; ++j) l.col_ptr[j + 1] = l.col_ptr[j] + counts[j];
+  l.row_idx.resize(static_cast<size_t>(l.nnz()));
+  l.values.assign(static_cast<size_t>(l.nnz()), 1.0);
+  std::vector<Size> next(l.col_ptr.begin(), l.col_ptr.end() - 1);
+  for (Int j = 0; j < n; ++j) l.row_idx[next[j]++] = j;  // diagonal first
+  std::vector<Int> mark(static_cast<size_t>(n), kInvalid);
+  for (Int k = 0; k < n; ++k) {
+    walk_row_subtree(a, parent, k, mark,
+                     [&](Int j) { l.row_idx[next[j]++] = k; });
+  }
+  // Row indices were appended in increasing k, so columns are sorted.
+  return l;
+}
+
+}  // namespace basker

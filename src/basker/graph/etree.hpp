@@ -1,0 +1,36 @@
+// Elimination tree and symbolic Cholesky utilities used by the symbolic
+// phases (paper §III-C: per-block etrees drive the parallel symbolic
+// factorization; the supernodal baseline needs column counts and the full
+// factor pattern of the symmetrized matrix).
+#pragma once
+
+#include <vector>
+
+#include "basker/common/types.hpp"
+#include "basker/sparse/csc.hpp"
+
+namespace basker {
+
+/// Elimination tree of a matrix with *symmetric pattern* (only the lower
+/// triangle is consulted, via the upper triangle of columns). parent[j] is
+/// the etree parent, kInvalid for roots.
+std::vector<Int> etree(const Csc& sym_pattern);
+
+/// Elimination tree of A^T A (column etree) without forming A^T A; used for
+/// unsymmetric factorizations with pivoting (fill-path bound).
+std::vector<Int> col_etree(const Csc& a);
+
+/// Postorder of a forest given parent[]; returns post with post[k] = k-th
+/// node in postorder.
+std::vector<Int> postorder(const std::vector<Int>& parent);
+
+/// Symbolic Cholesky of a symmetric pattern: per-column nonzero counts of L
+/// (diagonal included). O(|L|) up-looking row traversal.
+std::vector<Int> chol_col_counts(const Csc& sym_pattern,
+                                 const std::vector<Int>& parent);
+
+/// Full symbolic Cholesky pattern of L (lower triangle, diagonal included),
+/// columns sorted. Used by the supernodal baseline's static-pattern LU.
+Csc chol_pattern(const Csc& sym_pattern, const std::vector<Int>& parent);
+
+}  // namespace basker

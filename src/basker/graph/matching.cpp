@@ -1,0 +1,131 @@
+#include "basker/graph/matching.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "basker/common/error.hpp"
+
+namespace basker {
+
+std::vector<Int> Matching::row_permutation() const {
+  BASKER_REQUIRE(size == static_cast<Int>(row_of_col.size()),
+                 "row_permutation requires a perfect matching");
+  return row_of_col;
+}
+
+namespace {
+
+/// One augmenting-path search from column k (iterative DFS with cheap
+/// assignment, MC21 / cs_maxtrans style). Entries with |value| < min_abs are
+/// invisible. Returns true if an augmenting path was found and applied.
+bool augment(const Csc& a, Int k, Scalar min_abs, std::vector<Int>& row_of_col,
+             std::vector<Int>& col_of_row, std::vector<Size>& cheap,
+             std::vector<Size>& ps, std::vector<Int>& js, std::vector<Int>& is,
+             std::vector<Int>& visited) {
+  Int head = 0;
+  js[0] = k;
+  ps[static_cast<size_t>(head)] = a.col_ptr[k];
+  bool found = false;
+  Int found_row = kInvalid;
+  while (head >= 0) {
+    const Int j = js[head];
+    // Cheap assignment: first unmatched admissible row of column j.
+    if (cheap[j] < a.col_ptr[j + 1]) {
+      Size p = cheap[j];
+      for (; p < a.col_ptr[j + 1]; ++p) {
+        const Int i = a.row_idx[p];
+        if (std::abs(a.values[p]) < min_abs) continue;
+        if (col_of_row[i] == kInvalid) {
+          found = true;
+          found_row = i;
+          break;
+        }
+      }
+      cheap[j] = p;  // rows before p are all matched; never rescan them
+      if (found) {
+        is[head] = found_row;
+        break;
+      }
+    }
+    // Depth-first step: descend through a matched admissible row.
+    bool descended = false;
+    for (Size p = ps[head]; p < a.col_ptr[j + 1]; ++p) {
+      const Int i = a.row_idx[p];
+      if (std::abs(a.values[p]) < min_abs) continue;
+      if (visited[i] == k) continue;
+      visited[i] = k;
+      ps[head] = p + 1;
+      is[head] = i;
+      ++head;
+      js[head] = col_of_row[i];
+      ps[head] = a.col_ptr[js[head]];
+      descended = true;
+      break;
+    }
+    if (!descended) --head;
+  }
+  if (!found) return false;
+  // Flip the alternating path: every (column, row) pair on the stack.
+  for (Int d = head; d >= 0; --d) {
+    col_of_row[is[d]] = js[d];
+    row_of_col[js[d]] = is[d];
+  }
+  return true;
+}
+
+Matching run_matching(const Csc& a, Scalar min_abs) {
+  Matching m;
+  m.row_of_col.assign(static_cast<size_t>(a.ncols), kInvalid);
+  m.col_of_row.assign(static_cast<size_t>(a.nrows), kInvalid);
+  std::vector<Size> cheap(a.col_ptr.begin(), a.col_ptr.end() - 1);
+  std::vector<Size> ps(static_cast<size_t>(a.ncols) + 1);
+  std::vector<Int> js(static_cast<size_t>(a.ncols) + 1);
+  std::vector<Int> is(static_cast<size_t>(a.ncols) + 1);
+  std::vector<Int> visited(static_cast<size_t>(a.nrows), kInvalid);
+  for (Int k = 0; k < a.ncols; ++k) {
+    if (augment(a, k, min_abs, m.row_of_col, m.col_of_row, cheap, ps, js, is,
+                visited)) {
+      ++m.size;
+    }
+  }
+  return m;
+}
+
+}  // namespace
+
+Matching max_cardinality_matching(const Csc& a, Scalar min_abs) {
+  return run_matching(a, min_abs);
+}
+
+Matching bottleneck_matching(const Csc& a) {
+  BASKER_REQUIRE(a.nrows == a.ncols, "bottleneck_matching: square required");
+  const Int n = a.ncols;
+  Matching best = run_matching(a, 0.0);
+  if (!best.is_perfect(n) || a.nnz() == 0) return best;  // caller handles singular
+
+  // Candidate thresholds: the distinct absolute values present. A perfect
+  // matching exists at threshold t iff t <= the bottleneck value, so binary
+  // search for the largest feasible threshold.
+  std::vector<Scalar> vals(a.values.size());
+  for (size_t i = 0; i < vals.size(); ++i) vals[i] = std::abs(a.values[i]);
+  std::sort(vals.begin(), vals.end());
+  vals.erase(std::unique(vals.begin(), vals.end()), vals.end());
+
+  size_t lo = 0, hi = vals.size() - 1;  // vals[lo] known feasible (t=min value)
+  // Verify the smallest value is feasible (it is: best used all entries,
+  // thresholding at the global min removes nothing except exact zeros).
+  if (run_matching(a, vals[lo]).size < n) return best;
+  while (lo < hi) {
+    const size_t mid = lo + (hi - lo + 1) / 2;
+    Matching m = run_matching(a, vals[mid]);
+    if (m.is_perfect(n)) {
+      lo = mid;
+      best = std::move(m);
+    } else {
+      hi = mid - 1;
+    }
+  }
+  return best;
+}
+
+}  // namespace basker

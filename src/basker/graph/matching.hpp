@@ -1,0 +1,41 @@
+// Bipartite matchings on the rows/columns of a sparse matrix.
+//
+// Two orderings from the paper:
+//  - maximum cardinality matching (MC21-style augmenting paths) giving a
+//    zero-free diagonal when the matrix is structurally nonsingular;
+//  - maximum weight-cardinality matching, "MWCM" (the paper's Pm1/Pm2),
+//    implemented as MC64-style *bottleneck* matching: among all perfect
+//    matchings, maximize the smallest |a_ij| on the diagonal (§V: "similar
+//    to MC64 bottleneck ordering").
+#pragma once
+
+#include <vector>
+
+#include "basker/common/types.hpp"
+#include "basker/sparse/csc.hpp"
+
+namespace basker {
+
+struct Matching {
+  std::vector<Int> row_of_col;  ///< row matched to each column, kInvalid if none
+  std::vector<Int> col_of_row;  ///< column matched to each row, kInvalid if none
+  Int size = 0;                 ///< number of matched pairs
+
+  bool is_perfect(Int n) const { return size == n; }
+
+  /// Row permutation p (B = A(p, :)) that puts matched entries on the
+  /// diagonal. Requires a perfect matching.
+  std::vector<Int> row_permutation() const;
+};
+
+/// MC21: maximum cardinality matching using entries with |value| >= min_abs
+/// (min_abs == 0 admits every stored entry).
+Matching max_cardinality_matching(const Csc& a, Scalar min_abs = 0.0);
+
+/// MC64-style bottleneck matching: the perfect matching maximizing
+/// min |a_ij| over matched entries. Falls back to plain maximum cardinality
+/// if no perfect matching exists (structurally singular input); callers can
+/// detect that via size < n.
+Matching bottleneck_matching(const Csc& a);
+
+}  // namespace basker

@@ -1,0 +1,160 @@
+#include "basker/graph/mindeg.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "basker/common/error.hpp"
+#include "basker/graph/etree.hpp"
+#include "basker/sparse/ops.hpp"
+
+namespace basker {
+
+std::vector<Int> min_degree_order(const Csc& g) {
+  BASKER_REQUIRE(g.nrows == g.ncols, "min_degree_order: square required");
+  const Int n = g.ncols;
+  std::vector<Int> perm;
+  perm.reserve(static_cast<size_t>(n));
+  if (n == 0) return perm;
+
+  // Quotient graph state. A variable that has been pivoted becomes the
+  // element with the same id.
+  std::vector<std::vector<Int>> adj_var(static_cast<size_t>(n));
+  std::vector<std::vector<Int>> adj_elem(static_cast<size_t>(n));
+  std::vector<std::vector<Int>> elem_vars(static_cast<size_t>(n));
+  std::vector<bool> alive(static_cast<size_t>(n), true);
+  std::vector<bool> elem_alive(static_cast<size_t>(n), false);
+  std::vector<Int> degree(static_cast<size_t>(n), 0);
+
+  for (Int j = 0; j < n; ++j) {
+    for (Size p = g.col_ptr[j]; p < g.col_ptr[j + 1]; ++p) {
+      const Int i = g.row_idx[p];
+      if (i != j) adj_var[j].push_back(i);
+    }
+    degree[j] = static_cast<Int>(adj_var[j].size());
+  }
+
+  using Entry = std::pair<Int, Int>;  // (degree, node)
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap;
+  for (Int v = 0; v < n; ++v) heap.emplace(degree[v], v);
+
+  std::vector<Int> mark(static_cast<size_t>(n), kInvalid);
+  std::vector<Int> wstamp(static_cast<size_t>(n), kInvalid);
+  std::vector<Int> w(static_cast<size_t>(n), 0);  // |Le \ Lp| accumulators
+  std::vector<Int> lp;                            // current element variable list
+  Int stamp = 0;
+
+  for (Int k = 0; k < n; ++k) {
+    // Lazy-deletion pop: discard stale heap entries.
+    Int p = kInvalid;
+    while (!heap.empty()) {
+      const auto [d, v] = heap.top();
+      heap.pop();
+      if (alive[v] && d == degree[v]) {
+        p = v;
+        break;
+      }
+    }
+    BASKER_REQUIRE(p != kInvalid, "min_degree: heap exhausted early");
+
+    // Build element Lp = (A_p  U  union of adjacent elements) minus dead/p.
+    ++stamp;
+    mark[p] = stamp;
+    lp.clear();
+    for (Int v : adj_var[p]) {
+      if (alive[v] && mark[v] != stamp) {
+        mark[v] = stamp;
+        lp.push_back(v);
+      }
+    }
+    for (Int e : adj_elem[p]) {
+      if (!elem_alive[e]) continue;
+      for (Int v : elem_vars[e]) {
+        if (alive[v] && v != p && mark[v] != stamp) {
+          mark[v] = stamp;
+          lp.push_back(v);
+        }
+      }
+      elem_alive[e] = false;  // absorbed into the new element p
+      elem_vars[e].clear();
+      elem_vars[e].shrink_to_fit();
+    }
+    alive[p] = false;
+    perm.push_back(p);
+    adj_var[p].clear();
+    adj_var[p].shrink_to_fit();
+    adj_elem[p].clear();
+    adj_elem[p].shrink_to_fit();
+    if (!lp.empty()) {
+      elem_vars[p] = lp;
+      elem_alive[p] = true;
+    }
+
+    // Pass 1: w[e] = |Le \ Lp| for every live element e touching Lp.
+    for (Int v : lp) {
+      for (Int e : adj_elem[v]) {
+        if (!elem_alive[e] || e == p) continue;
+        if (wstamp[e] != stamp) {
+          wstamp[e] = stamp;
+          w[e] = static_cast<Int>(elem_vars[e].size());
+        }
+        w[e] -= 1;
+      }
+    }
+
+    // Pass 2: prune lists and recompute approximate degrees.
+    const Int remaining = n - k - 1;
+    for (Int v : lp) {
+      // Prune A-list: drop dead variables and variables covered by the new
+      // element p (they are in Lp, marked with the current stamp).
+      auto& av = adj_var[v];
+      size_t out = 0;
+      for (size_t idx = 0; idx < av.size(); ++idx) {
+        const Int u = av[idx];
+        if (alive[u] && mark[u] != stamp) av[out++] = u;
+      }
+      av.resize(out);
+
+      // Prune element list: drop dead/absorbed elements; aggressive
+      // absorption removes elements entirely contained in Lp (w[e] == 0).
+      auto& ev = adj_elem[v];
+      out = 0;
+      Int d_other = 0;
+      for (size_t idx = 0; idx < ev.size(); ++idx) {
+        const Int e = ev[idx];
+        if (!elem_alive[e] || e == p) continue;
+        if (wstamp[e] == stamp && w[e] == 0) {
+          elem_alive[e] = false;  // e subset of Lp: absorb
+          elem_vars[e].clear();
+          continue;
+        }
+        d_other += (wstamp[e] == stamp) ? w[e]
+                                        : static_cast<Int>(elem_vars[e].size()) - 1;
+        ev[out++] = e;
+      }
+      ev.resize(out);
+      ev.push_back(p);
+
+      const Int d_p = static_cast<Int>(lp.size()) - 1;  // |Lp \ v|
+      const Int d_a = static_cast<Int>(av.size());
+      const Int bound = std::min({degree[v] + d_p, d_a + d_p + d_other, remaining});
+      degree[v] = std::max<Int>(bound, 0);
+      heap.emplace(degree[v], v);
+    }
+  }
+
+  BASKER_REQUIRE(static_cast<Int>(perm.size()) == n, "min_degree: incomplete order");
+  return perm;
+}
+
+Size symbolic_fill_count(const Csc& g, const std::vector<Int>& perm) {
+  BASKER_REQUIRE(is_permutation(perm, g.ncols), "symbolic_fill_count: bad perm");
+  const Csc b = permute(g, perm, perm);
+  // nnz(L) below diagonal of the Cholesky factor of the permuted pattern.
+  const std::vector<Int> parent = etree(b);
+  const std::vector<Int> counts = chol_col_counts(b, parent);
+  Size total = 0;
+  for (Int c : counts) total += c - 1;  // exclude diagonal
+  return total;
+}
+
+}  // namespace basker

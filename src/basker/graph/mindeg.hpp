@@ -1,0 +1,28 @@
+// Approximate-minimum-degree fill-reducing ordering (the paper's AMD step,
+// applied per BTF diagonal block and inside nested-dissection leaves).
+//
+// Quotient-graph implementation with element absorption and the
+// Amestoy-Davis-Duff approximate external degree bound. Supervariable
+// merging is omitted: it accelerates AMD on huge meshes but does not change
+// the algorithmic role the ordering plays here.
+#pragma once
+
+#include <vector>
+
+#include "basker/common/types.hpp"
+#include "basker/sparse/csc.hpp"
+
+namespace basker {
+
+/// Compute a fill-reducing elimination order of a matrix with symmetric
+/// pattern (callers pass symmetrize_pattern(A) for unsymmetric A). The
+/// diagonal is ignored. Returns perm with perm[k] = node eliminated at step
+/// k, i.e. B = A(perm, perm) is the reordered matrix.
+std::vector<Int> min_degree_order(const Csc& sym_pattern);
+
+/// Exact fill count (nnz of L below diagonal) of eliminating `sym_pattern`
+/// in the order `perm`; brute-force symbolic elimination, O(|L| * deg).
+/// Used by tests and the symbolic flop estimates.
+Size symbolic_fill_count(const Csc& sym_pattern, const std::vector<Int>& perm);
+
+}  // namespace basker

@@ -1,0 +1,293 @@
+#include "basker/graph/nd.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "basker/common/error.hpp"
+#include "basker/graph/mindeg.hpp"
+#include "basker/sparse/coo.hpp"
+#include "basker/sparse/ops.hpp"
+
+namespace basker {
+
+bool NdTree::is_ancestor_or_self(Int anc, Int s) const {
+  for (Int cur = s; cur != kInvalid; cur = seg_parent[cur]) {
+    if (cur == anc) return true;
+  }
+  return false;
+}
+
+namespace {
+
+/// Scratch shared by the whole dissection: one marker array over the global
+/// graph avoids re-allocating per recursion level.
+struct Workspace {
+  const Csc& g;
+  std::vector<Int> inset;    ///< stamp marking the active vertex subset
+  std::vector<Int> visited;  ///< BFS stamp
+  Int stamp = 0;
+  explicit Workspace(const Csc& graph)
+      : g(graph), inset(static_cast<size_t>(graph.ncols), kInvalid),
+        visited(static_cast<size_t>(graph.ncols), kInvalid) {}
+};
+
+/// BFS over the active subset from `start`; appends visited vertices to
+/// `order` in discovery order and records their BFS level. Returns the
+/// number of levels.
+Int bfs(Workspace& ws, Int start, Int set_stamp, Int visit_stamp,
+        std::vector<Int>& order, std::vector<Int>& level) {
+  size_t begin = order.size();
+  order.push_back(start);
+  ws.visited[start] = visit_stamp;
+  level[start] = 0;
+  Int max_level = 0;
+  while (begin < order.size()) {
+    const Int v = order[begin++];
+    for (Size p = ws.g.col_ptr[v]; p < ws.g.col_ptr[v + 1]; ++p) {
+      const Int u = ws.g.row_idx[p];
+      if (u == v || ws.inset[u] != set_stamp || ws.visited[u] == visit_stamp) continue;
+      ws.visited[u] = visit_stamp;
+      level[u] = level[v] + 1;
+      max_level = std::max(max_level, level[u]);
+      order.push_back(u);
+    }
+  }
+  return max_level + 1;
+}
+
+/// Split `verts` into (a, b, sep) with no edges between a and b.
+void bisect(Workspace& ws, const std::vector<Int>& verts, std::vector<Int>& a,
+            std::vector<Int>& b, std::vector<Int>& sep) {
+  a.clear();
+  b.clear();
+  sep.clear();
+  if (verts.empty()) return;
+  const Int set_stamp = ++ws.stamp;
+  for (Int v : verts) ws.inset[v] = set_stamp;
+
+  std::vector<Int> level(static_cast<size_t>(ws.g.ncols), 0);
+  std::vector<Int> comp;
+
+  // Discover connected components; disconnected pieces need no separator and
+  // are packed greedily into the smaller side.
+  std::vector<std::vector<Int>> comps;
+  const Int comp_stamp = ++ws.stamp;
+  for (Int v : verts) {
+    if (ws.visited[v] == comp_stamp) continue;
+    comp.clear();
+    bfs(ws, v, set_stamp, comp_stamp, comp, level);
+    comps.push_back(comp);
+  }
+  std::sort(comps.begin(), comps.end(),
+            [](const auto& x, const auto& y) { return x.size() > y.size(); });
+
+  const size_t total = verts.size();
+  bool split_done = false;
+  for (auto& component : comps) {
+    std::vector<Int>& smaller = (a.size() <= b.size()) ? a : b;
+    // Only the dominant component needs a separator; everything else is
+    // packed greedily (disconnected pieces have no cross edges by
+    // definition).
+    if (split_done || component.size() <= 2 ||
+        component.size() * 20 <= total * 11) {  // <= 55% of the subset
+      smaller.insert(smaller.end(), component.begin(), component.end());
+      continue;
+    }
+    split_done = true;
+    // Split this component with a BFS level structure from a
+    // pseudo-peripheral vertex.
+    Int seed = component.front();
+    for (int iter = 0; iter < 2; ++iter) {
+      std::vector<Int> order;
+      bfs(ws, seed, set_stamp, ++ws.stamp, order, level);
+      seed = order.back();  // farthest vertex
+    }
+    std::vector<Int> order;
+    bfs(ws, seed, set_stamp, ++ws.stamp, order, level);
+
+    // Cut on the *narrowest* BFS level whose prefix lands in the 25-75%
+    // balance band: the level width is exactly the upper bound on the
+    // separator, so thin levels give thin separators.
+    size_t cut = 0;
+    {
+      size_t best_width = order.size() + 1;
+      size_t lvl_start = 0;
+      for (size_t i = 1; i <= order.size(); ++i) {
+        if (i == order.size() || level[order[i]] != level[order[lvl_start]]) {
+          // Level occupies [lvl_start, i); cutting before it puts lvl_start
+          // vertices on the A side.
+          const size_t width = i - lvl_start;
+          if (lvl_start * 4 >= order.size() && lvl_start * 4 <= 3 * order.size() &&
+              width < best_width) {
+            best_width = width;
+            cut = lvl_start;
+          }
+          lvl_start = i;
+        }
+      }
+      if (cut == 0) {  // no level boundary in the band: plain halving
+        cut = std::max<size_t>(1, std::min(order.size() - 1, order.size() / 2));
+      }
+    }
+
+    const Int half_stamp = ++ws.stamp;
+    for (size_t i = 0; i < cut; ++i) ws.visited[order[i]] = half_stamp;
+    for (size_t i = 0; i < cut; ++i) a.push_back(order[i]);
+    // Suffix vertices adjacent to the prefix form the separator; the rest of
+    // the suffix is the other side.
+    for (size_t i = cut; i < order.size(); ++i) {
+      const Int v = order[i];
+      bool boundary = false;
+      for (Size p = ws.g.col_ptr[v]; p < ws.g.col_ptr[v + 1] && !boundary; ++p) {
+        const Int u = ws.g.row_idx[p];
+        boundary = (u != v && ws.inset[u] == set_stamp && ws.visited[u] == half_stamp);
+      }
+      (boundary ? sep : b).push_back(v);
+    }
+  }
+
+  // Trim pass: a separator vertex with no neighbour on the b-side can join a
+  // (and vice versa), shrinking the separator.
+  const Int a_stamp = ++ws.stamp;
+  for (Int v : a) ws.visited[v] = a_stamp;
+  const Int b_stamp = ++ws.stamp;
+  for (Int v : b) ws.visited[v] = b_stamp;
+  std::vector<Int> kept;
+  kept.reserve(sep.size());
+  for (Int v : sep) {
+    bool touches_a = false, touches_b = false;
+    for (Size p = ws.g.col_ptr[v]; p < ws.g.col_ptr[v + 1]; ++p) {
+      const Int u = ws.g.row_idx[p];
+      if (u == v || ws.inset[u] != set_stamp) continue;
+      touches_a |= ws.visited[u] == a_stamp;
+      touches_b |= ws.visited[u] == b_stamp;
+    }
+    if (!touches_b) {
+      a.push_back(v);
+      ws.visited[v] = a_stamp;
+    } else if (!touches_a) {
+      b.push_back(v);
+      ws.visited[v] = b_stamp;
+    } else {
+      kept.push_back(v);
+    }
+  }
+  sep = std::move(kept);
+
+  for (Int v : verts) ws.inset[v] = kInvalid;  // reset for reuse
+}
+
+struct Builder {
+  Workspace ws;
+  const Csc& g;
+  bool order_leaves;
+  std::vector<Int> perm;
+  std::vector<Int> seg_offset{0};
+  std::vector<Int> seg_parent;
+  std::vector<Int> seg_level;
+  std::vector<std::array<Int, 2>> seg_children;
+
+  Builder(const Csc& graph, bool ol) : ws(graph), g(graph), order_leaves(ol) {}
+
+  Int add_segment(Int level, std::array<Int, 2> children) {
+    const Int id = static_cast<Int>(seg_parent.size());
+    seg_parent.push_back(kInvalid);
+    seg_level.push_back(level);
+    seg_children.push_back(children);
+    for (Int c : children) {
+      if (c != kInvalid) seg_parent[c] = id;
+    }
+    seg_offset.push_back(static_cast<Int>(perm.size()));
+    return id;
+  }
+
+  void emit_leaf_vertices(const std::vector<Int>& verts) {
+    if (!order_leaves || verts.size() <= 2) {
+      perm.insert(perm.end(), verts.begin(), verts.end());
+      return;
+    }
+    // Fill-reducing order inside the leaf: extract the subgraph and run
+    // minimum degree locally.
+    std::vector<Int> local_of(static_cast<size_t>(g.ncols), kInvalid);
+    for (size_t i = 0; i < verts.size(); ++i) local_of[verts[i]] = static_cast<Int>(i);
+    Triplets t_local(static_cast<Int>(verts.size()), static_cast<Int>(verts.size()));
+    for (size_t i = 0; i < verts.size(); ++i) {
+      const Int v = verts[i];
+      for (Size p = g.col_ptr[v]; p < g.col_ptr[v + 1]; ++p) {
+        const Int u = g.row_idx[p];
+        if (local_of[u] != kInvalid) {
+          t_local.add(local_of[u], static_cast<Int>(i), 1.0);
+        }
+      }
+    }
+    const std::vector<Int> local_perm = min_degree_order(t_local.to_csc());
+    for (Int lp : local_perm) perm.push_back(verts[lp]);
+  }
+
+  /// Returns the segment id of the subtree root. `root_extra` (high-degree
+  /// vertices hoisted out of the bisection) joins the root separator.
+  Int dissect(const std::vector<Int>& verts, Int level,
+              const std::vector<Int>* root_extra = nullptr) {
+    if (level == 0) {
+      emit_leaf_vertices(verts);
+      return add_segment(0, {kInvalid, kInvalid});
+    }
+    std::vector<Int> a, b, sep;
+    bisect(ws, verts, a, b, sep);
+    const Int left = dissect(a, level - 1);
+    const Int right = dissect(b, level - 1);
+    perm.insert(perm.end(), sep.begin(), sep.end());
+    if (root_extra != nullptr) {
+      perm.insert(perm.end(), root_extra->begin(), root_extra->end());
+    }
+    return add_segment(level, {left, right});
+  }
+};
+
+}  // namespace
+
+NdTree nested_dissect(const Csc& g, Int nlevels, bool order_leaves) {
+  BASKER_REQUIRE(g.nrows == g.ncols, "nested_dissect: square required");
+  BASKER_REQUIRE(nlevels >= 0, "nested_dissect: nlevels >= 0");
+  Builder builder(g, order_leaves);
+
+  // High-degree vertices (circuit supply rails, dense columns) defeat BFS
+  // level structures: they shortcut every distance, producing terrible
+  // cuts. Hoist them straight into the root separator — the standard
+  // treatment for circuit graphs — and dissect the remainder.
+  std::vector<Int> all, dense;
+  const Int n = g.ncols;
+  if (nlevels > 0 && n > 0) {
+    const double avg_deg = static_cast<double>(g.nnz()) / n;
+    const Int threshold = std::max<Int>(24, static_cast<Int>(8.0 * avg_deg));
+    for (Int v = 0; v < n; ++v) {
+      const Int deg = static_cast<Int>(g.col_ptr[v + 1] - g.col_ptr[v]);
+      // Cap the hoisted set so a uniformly dense graph is still dissected.
+      if (deg >= threshold && static_cast<Int>(dense.size()) < n / 8) {
+        dense.push_back(v);
+      } else {
+        all.push_back(v);
+      }
+    }
+  } else {
+    all.resize(static_cast<size_t>(n));
+    std::iota(all.begin(), all.end(), 0);
+  }
+  builder.dissect(all, nlevels, dense.empty() ? nullptr : &dense);
+
+  NdTree t;
+  t.perm = std::move(builder.perm);
+  t.nlevels = nlevels;
+  t.nleaves = Int{1} << nlevels;
+  t.nsegments = 2 * t.nleaves - 1;
+  BASKER_REQUIRE(static_cast<Int>(builder.seg_parent.size()) == t.nsegments,
+                 "nested_dissect: segment count mismatch");
+  t.seg_offset = std::move(builder.seg_offset);
+  t.seg_parent = std::move(builder.seg_parent);
+  t.seg_level = std::move(builder.seg_level);
+  t.seg_children = std::move(builder.seg_children);
+  BASKER_REQUIRE(t.seg_offset.back() == g.ncols, "nested_dissect: perm incomplete");
+  return t;
+}
+
+}  // namespace basker

@@ -1,0 +1,44 @@
+// Nested dissection by recursive bisection — the paper's ND step (it uses
+// Scotch; DESIGN.md §3.3 documents this substitution). Produces the binary
+// separator tree with a power-of-two number of leaves that Basker's 2D block
+// layout and dependency tree are built from (paper Fig. 3).
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "basker/common/types.hpp"
+#include "basker/sparse/csc.hpp"
+
+namespace basker {
+
+/// Binary separator tree over a symmetric permutation.
+///
+/// Segments are numbered in postorder of the binary tree, matching the
+/// paper's matrix layout: for 4 leaves the permuted matrix is
+/// [leaf0 | leaf1 | sep01 | leaf2 | leaf3 | sep23 | root-sep], segments
+/// 0..6. Leaves have level 0; the root has level nlevels.
+struct NdTree {
+  std::vector<Int> perm;  ///< B = A(perm, perm)
+  Int nlevels = 0;        ///< tree depth; nleaves = 2^nlevels
+  Int nleaves = 1;
+  Int nsegments = 1;                        ///< 2*nleaves - 1
+  std::vector<Int> seg_offset;              ///< nsegments+1 ranges in permuted order
+  std::vector<Int> seg_parent;              ///< parent segment, kInvalid at root
+  std::vector<Int> seg_level;               ///< 0 = leaf
+  std::vector<std::array<Int, 2>> seg_children;  ///< {kInvalid,kInvalid} for leaves
+
+  Int seg_size(Int s) const { return seg_offset[s + 1] - seg_offset[s]; }
+  bool is_leaf(Int s) const { return seg_level[s] == 0; }
+  /// True if segment `anc` is an ancestor of `s` (or equal).
+  bool is_ancestor_or_self(Int anc, Int s) const;
+};
+
+/// Dissect a symmetric-pattern graph into 2^nlevels leaves. When
+/// `order_leaves` is set, vertices inside each leaf are ordered with
+/// min_degree_order for fill reduction (separator segments keep their
+/// discovery order). Zero-size segments are legal on small or oddly shaped
+/// graphs; callers must tolerate them.
+NdTree nested_dissect(const Csc& sym_pattern, Int nlevels, bool order_leaves = true);
+
+}  // namespace basker

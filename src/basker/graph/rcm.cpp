@@ -1,0 +1,71 @@
+#include "basker/graph/rcm.hpp"
+
+#include <algorithm>
+
+#include "basker/common/error.hpp"
+
+namespace basker {
+
+namespace {
+
+/// BFS collecting visit order; neighbours expanded by increasing degree.
+/// Returns the farthest vertex reached (for pseudo-peripheral iteration).
+Int bfs_ordered(const Csc& g, Int start, std::vector<Int>& visited, Int stamp,
+                std::vector<Int>* order) {
+  std::vector<Int> queue{start};
+  visited[start] = stamp;
+  std::vector<std::pair<Int, Int>> nbrs;  // (degree, vertex)
+  size_t head = 0;
+  Int last = start;
+  while (head < queue.size()) {
+    const Int v = queue[head++];
+    last = v;
+    if (order != nullptr) order->push_back(v);
+    nbrs.clear();
+    for (Size p = g.col_ptr[v]; p < g.col_ptr[v + 1]; ++p) {
+      const Int u = g.row_idx[p];
+      if (u == v || visited[u] == stamp) continue;
+      visited[u] = stamp;
+      nbrs.emplace_back(static_cast<Int>(g.col_ptr[u + 1] - g.col_ptr[u]), u);
+    }
+    std::sort(nbrs.begin(), nbrs.end());
+    for (const auto& [deg, u] : nbrs) queue.push_back(u);
+  }
+  return last;
+}
+
+}  // namespace
+
+std::vector<Int> rcm_order(const Csc& g) {
+  BASKER_REQUIRE(g.nrows == g.ncols, "rcm_order: square required");
+  const Int n = g.ncols;
+  std::vector<bool> done(static_cast<size_t>(n), false);
+  std::vector<Int> visited(static_cast<size_t>(n), kInvalid);
+  std::vector<Int> order;
+  order.reserve(static_cast<size_t>(n));
+  Int stamp = 0;
+  for (Int root = 0; root < n; ++root) {
+    if (done[root]) continue;
+    // Pseudo-peripheral seed for this component: two BFS sweeps.
+    Int seed = bfs_ordered(g, root, visited, ++stamp, nullptr);
+    seed = bfs_ordered(g, seed, visited, ++stamp, nullptr);
+    const size_t begin = order.size();
+    bfs_ordered(g, seed, visited, ++stamp, &order);
+    for (size_t k = begin; k < order.size(); ++k) done[order[k]] = true;
+  }
+  BASKER_REQUIRE(static_cast<Int>(order.size()) == n, "rcm: incomplete order");
+  std::reverse(order.begin(), order.end());
+  return order;
+}
+
+Int bandwidth(const Csc& a) {
+  Int band = 0;
+  for (Int j = 0; j < a.ncols; ++j) {
+    for (Size p = a.col_ptr[j]; p < a.col_ptr[j + 1]; ++p) {
+      band = std::max(band, std::abs(a.row_idx[p] - j));
+    }
+  }
+  return band;
+}
+
+}  // namespace basker

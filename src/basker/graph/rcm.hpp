@@ -1,0 +1,22 @@
+// Reverse Cuthill-McKee ordering: bandwidth-reducing BFS ordering used as
+// an ablation alternative to minimum degree for the banded circuit cores
+// (ladder-like matrices are near-optimal under RCM), and as a testing
+// yardstick for the ordering framework.
+#pragma once
+
+#include <vector>
+
+#include "basker/common/types.hpp"
+#include "basker/sparse/csc.hpp"
+
+namespace basker {
+
+/// RCM order of a symmetric-pattern graph: BFS from a pseudo-peripheral
+/// vertex of each component, neighbours visited in increasing-degree order,
+/// final order reversed. Returns perm with B = A(perm, perm) banded.
+std::vector<Int> rcm_order(const Csc& sym_pattern);
+
+/// Bandwidth of A: max |i - j| over stored entries (0 for diagonal/empty).
+Int bandwidth(const Csc& a);
+
+}  // namespace basker

@@ -1,0 +1,244 @@
+#include "basker/klu/klu.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "basker/common/timer.hpp"
+#include "basker/graph/btf.hpp"
+#include "basker/graph/matching.hpp"
+#include "basker/graph/mindeg.hpp"
+#include "basker/lu/tri_solve.hpp"
+#include "basker/sparse/ops.hpp"
+
+namespace basker {
+
+Status KluSolver::analyze(const Csc& a) {
+  n_ = a.ncols;
+  row_map_.resize(static_cast<size_t>(n_));
+  col_map_.resize(static_cast<size_t>(n_));
+  std::iota(row_map_.begin(), row_map_.end(), 0);
+  std::iota(col_map_.begin(), col_map_.end(), 0);
+
+  // 1. Matching: zero-free (and large) diagonal.
+  const Matching match =
+      opt_.use_mwcm ? bottleneck_matching(a) : max_cardinality_matching(a);
+  if (!match.is_perfect(n_)) return Status::kStructurallySingular;
+  row_map_ = match.row_of_col;
+
+  // 2. BTF via SCC on the matched matrix.
+  if (opt_.use_btf) {
+    const Csc matched = permute(a, row_map_, {});
+    const BtfResult btf = btf_order(matched);
+    block_off_ = btf.block_offsets;
+    std::vector<Int> new_row(static_cast<size_t>(n_));
+    for (Int i = 0; i < n_; ++i) new_row[i] = row_map_[btf.perm[i]];
+    row_map_ = std::move(new_row);
+    col_map_ = btf.perm;
+  } else {
+    block_off_ = {0, n_};
+  }
+
+  // 3. AMD inside each diagonal block (symmetric perm of the block).
+  if (opt_.use_amd) {
+    const Csc pre = permute(a, row_map_, col_map_);
+    std::vector<Int> row_map2 = row_map_, col_map2 = col_map_;
+    for (size_t b = 0; b + 1 < block_off_.size(); ++b) {
+      const Int lo = block_off_[b], hi = block_off_[b + 1];
+      if (hi - lo < 3) continue;
+      const Csc blk = extract_block(pre, lo, hi, lo, hi);
+      const std::vector<Int> perm = min_degree_order(symmetrize_pattern(blk));
+      for (Int k = 0; k < hi - lo; ++k) {
+        row_map2[lo + k] = row_map_[lo + perm[k]];
+        col_map2[lo + k] = col_map_[lo + perm[k]];
+      }
+    }
+    row_map_ = std::move(row_map2);
+    col_map_ = std::move(col_map2);
+  }
+
+  // Materialize B once and record where every A entry lands so refactor()
+  // can re-scatter values without re-permuting.
+  b_ = permute(a, row_map_, col_map_);
+  const std::vector<Int> row_inv = inverse_permutation(row_map_);
+  const std::vector<Int> col_inv = inverse_permutation(col_map_);
+  value_map_.resize(static_cast<size_t>(a.nnz()));
+  for (Int j = 0; j < n_; ++j) {
+    for (Size p = a.col_ptr[j]; p < a.col_ptr[j + 1]; ++p) {
+      const Int bi = row_inv[a.row_idx[p]];
+      const Int bj = col_inv[j];
+      // Binary search within B's (sorted) column bj.
+      const Int* begin = b_.row_idx.data() + b_.col_ptr[bj];
+      const Int* end = b_.row_idx.data() + b_.col_ptr[bj + 1];
+      const Int* it = std::lower_bound(begin, end, bi);
+      BASKER_REQUIRE(it != end && *it == bi, "klu: value map inconsistency");
+      value_map_[p] = it - b_.row_idx.data();
+    }
+  }
+
+  stats_.nblocks = num_blocks();
+  stats_.largest_block = 0;
+  Int small_rows = 0;
+  for (Int b = 0; b < num_blocks(); ++b) {
+    const Int size = block_off_[b + 1] - block_off_[b];
+    stats_.largest_block = std::max(stats_.largest_block, size);
+    if (size < kSmallBlockThreshold) small_rows += size;
+  }
+  stats_.btf_pct = n_ > 0 ? 100.0 * small_rows / n_ : 0.0;
+  analyzed_ = true;
+  return Status::kOk;
+}
+
+void KluSolver::scatter_values(const Csc& a) {
+  for (Size p = 0; p < a.nnz(); ++p) b_.values[value_map_[p]] = a.values[p];
+}
+
+Status KluSolver::numeric_factor() {
+  blocks_.assign(static_cast<size_t>(num_blocks()), {});
+  engine_.reset_flops();
+  GpOptions gp_opt;
+  gp_opt.pivot_tol = opt_.pivot_tol;
+  std::vector<Int> local_rows;
+  std::vector<Scalar> local_vals;
+  for (Int b = 0; b < num_blocks(); ++b) {
+    const Int lo = block_off_[b], hi = block_off_[b + 1];
+    const Int m = hi - lo;
+    BlockFactor& f = blocks_[b];
+    engine_.init(m);
+    // Estimate: a couple of entries of fill per input entry.
+    Size est = 0;
+    for (Int j = lo; j < hi; ++j) est += b_.col_ptr[j + 1] - b_.col_ptr[j];
+    f.l.init(m, m, est);
+    f.u.init(m, m, est + m);
+    for (Int k = 0; k < m; ++k) {
+      // Gather the diagonal-block part of column lo+k.
+      local_rows.clear();
+      local_vals.clear();
+      const Int j = lo + k;
+      for (Size p = b_.col_ptr[j]; p < b_.col_ptr[j + 1]; ++p) {
+        const Int r = b_.row_idx[p];
+        if (r >= lo && r < hi) {
+          local_rows.push_back(r - lo);
+          local_vals.push_back(b_.values[p]);
+        }
+      }
+      const Status s = engine_.factor_column(
+          f.l, f.u, k, local_rows.data(), local_vals.data(),
+          static_cast<Int>(local_rows.size()), k, gp_opt);
+      if (s != Status::kOk) return s;
+    }
+    f.row_perm = engine_.row_perm();
+    f.pinv = engine_.pinv();
+  }
+  stats_.factor_flops = engine_.flops();
+  stats_.nnz_lu = 0;
+  Scalar max_u = 0.0, max_a = 0.0;
+  for (const BlockFactor& f : blocks_) {
+    stats_.nnz_lu += f.l.nnz() + f.u.nnz();
+    for (Scalar v : f.u.values) max_u = std::max(max_u, std::abs(v));
+  }
+  for (Scalar v : b_.values) max_a = std::max(max_a, std::abs(v));
+  stats_.pivot_growth = max_a > 0.0 ? max_u / max_a : 0.0;
+  factored_ = true;
+  return Status::kOk;
+}
+
+Status KluSolver::numeric_refactor() {
+  // Pattern replay: no DFS, no pivot search. Walk each stored U column in
+  // ascending pivot order, applying the corresponding L-column updates.
+  std::vector<Scalar> x(static_cast<size_t>(n_), 0.0);
+  double flops = 0.0;
+  for (Int b = 0; b < num_blocks(); ++b) {
+    const Int lo = block_off_[b], hi = block_off_[b + 1];
+    const Int m = hi - lo;
+    BlockFactor& f = blocks_[b];
+    for (Int k = 0; k < m; ++k) {
+      const Int j = lo + k;
+      for (Size p = b_.col_ptr[j]; p < b_.col_ptr[j + 1]; ++p) {
+        const Int r = b_.row_idx[p];
+        if (r >= lo && r < hi) x[r - lo] = b_.values[p];
+      }
+      const Size u_begin = f.u.col_ptr[k], u_end = f.u.col_ptr[k + 1];
+      for (Size p = u_begin; p + 1 < u_end; ++p) {
+        const Int t = f.u.row_idx[p];
+        const Scalar y = x[f.row_perm[t]];
+        f.u.values[p] = y;
+        if (y != 0.0) {
+          for (Size q = f.l.col_ptr[t]; q < f.l.col_ptr[t + 1]; ++q) {
+            x[f.l.row_idx[q]] -= f.l.values[q] * y;
+          }
+          flops += 2.0 * static_cast<double>(f.l.col_ptr[t + 1] - f.l.col_ptr[t]);
+        }
+      }
+      const Scalar pivot = x[f.row_perm[k]];
+      if (pivot == 0.0) return Status::kNumericallySingular;
+      f.u.values[u_end - 1] = pivot;
+      for (Size q = f.l.col_ptr[k]; q < f.l.col_ptr[k + 1]; ++q) {
+        f.l.values[q] = x[f.l.row_idx[q]] / pivot;
+      }
+      // Clear the accumulator along the stored pattern.
+      for (Size p = u_begin; p < u_end; ++p) x[f.row_perm[f.u.row_idx[p]]] = 0.0;
+      for (Size q = f.l.col_ptr[k]; q < f.l.col_ptr[k + 1]; ++q) {
+        x[f.l.row_idx[q]] = 0.0;
+      }
+    }
+  }
+  stats_.factor_flops = flops;
+  return Status::kOk;
+}
+
+Status KluSolver::factor(const Csc& a) {
+  BASKER_REQUIRE(a.nrows == a.ncols, "klu: square required");
+  factored_ = false;
+  WallTimer timer;
+  Status s = analyze(a);
+  stats_.analyze_seconds = timer.seconds();
+  if (s != Status::kOk) return s;
+  timer.reset();
+  s = numeric_factor();
+  stats_.factor_seconds = timer.seconds();
+  return s;
+}
+
+Status KluSolver::refactor(const Csc& a) {
+  if (!factored_) return Status::kNotFactored;
+  BASKER_REQUIRE(a.ncols == n_ && a.nnz() == static_cast<Size>(value_map_.size()),
+                 "klu: refactor pattern mismatch");
+  WallTimer timer;
+  scatter_values(a);
+  const Status s = numeric_refactor();
+  stats_.factor_seconds = timer.seconds();
+  return s;
+}
+
+Status KluSolver::solve(std::vector<Scalar>& rhs) const {
+  if (!factored_) return Status::kNotFactored;
+  BASKER_REQUIRE(static_cast<Int>(rhs.size()) == n_, "klu: rhs size");
+  // Permute into B coordinates.
+  std::vector<Scalar> y(static_cast<size_t>(n_));
+  for (Int i = 0; i < n_; ++i) y[i] = rhs[row_map_[i]];
+  std::vector<Scalar> z(static_cast<size_t>(n_), 0.0);
+  std::vector<Scalar> tmp, w;
+  // Block back-substitution: last block first.
+  for (Int b = num_blocks() - 1; b >= 0; --b) {
+    const Int lo = block_off_[b], hi = block_off_[b + 1];
+    const Int m = hi - lo;
+    tmp.assign(y.begin() + lo, y.begin() + hi);
+    block_lsolve(blocks_[b].l, blocks_[b].row_perm, tmp, w);
+    block_usolve(blocks_[b].u, w);
+    for (Int k = 0; k < m; ++k) z[lo + k] = w[k];
+    // Push the solved unknowns into earlier blocks' right-hand sides.
+    for (Int j = lo; j < hi; ++j) {
+      const Scalar xj = z[j];
+      if (xj == 0.0) continue;
+      for (Size p = b_.col_ptr[j]; p < b_.col_ptr[j + 1]; ++p) {
+        const Int r = b_.row_idx[p];
+        if (r < lo) y[r] -= b_.values[p] * xj;
+      }
+    }
+  }
+  for (Int j = 0; j < n_; ++j) rhs[col_map_[j]] = z[j];
+  return Status::kOk;
+}
+
+}  // namespace basker

@@ -1,0 +1,191 @@
+#include "basker/lu/gp.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace basker {
+
+void GpEngine::init(Int n) {
+  n_ = n;
+  x_.assign(static_cast<size_t>(n), 0.0);
+  xi_.assign(static_cast<size_t>(n), 0);
+  dfs_rows_.assign(static_cast<size_t>(n), 0);
+  dfs_pos_.assign(static_cast<size_t>(n), 0);
+  mark_.assign(static_cast<size_t>(n), kInvalid);
+  stamp_ = 0;
+  row_perm_.assign(static_cast<size_t>(n), kInvalid);
+  pinv_.assign(static_cast<size_t>(n), kInvalid);
+}
+
+Int GpEngine::reach(const LuMatrix& l, const std::vector<Int>& pinv,
+                    const Int* in_rows, Int in_nnz) {
+  Int top = n_;
+  const Int stamp = ++stamp_;
+  for (Int s = 0; s < in_nnz; ++s) {
+    if (mark_[in_rows[s]] == stamp) continue;
+    // Iterative DFS from this row through the columns of l.
+    Int head = 0;
+    dfs_rows_[0] = in_rows[s];
+    while (head >= 0) {
+      const Int r = dfs_rows_[head];
+      const Int t = pinv[r];
+      if (mark_[r] != stamp) {
+        mark_[r] = stamp;
+        dfs_pos_[head] = (t == kInvalid) ? Size{0} : l.col_ptr[t];
+      }
+      bool descended = false;
+      if (t != kInvalid) {
+        for (Size p = dfs_pos_[head]; p < l.col_ptr[t + 1]; ++p) {
+          const Int rc = l.row_idx[p];
+          if (mark_[rc] == stamp) continue;
+          dfs_pos_[head] = p + 1;
+          ++head;
+          dfs_rows_[head] = rc;
+          descended = true;
+          break;
+        }
+      }
+      if (!descended) {
+        --head;
+        xi_[--top] = r;  // finished: prepend in reverse-finish (topo) order
+      }
+    }
+  }
+  return top;
+}
+
+void GpEngine::solve_reached(const LuMatrix& l, const std::vector<Int>& pinv,
+                             Int top) {
+  for (Int p = top; p < n_; ++p) {
+    const Int r = xi_[p];
+    const Int t = pinv[r];
+    if (t == kInvalid) continue;  // non-pivotal rows do not propagate
+    const Scalar y = x_[r];
+    if (y == 0.0) continue;
+    const Size begin = l.col_ptr[t], end = l.col_ptr[t + 1];
+    for (Size q = begin; q < end; ++q) {
+      x_[l.row_idx[q]] -= l.values[q] * y;
+    }
+    flops_ += 2.0 * static_cast<double>(end - begin);
+  }
+}
+
+Status GpEngine::factor_column(LuMatrix& l, LuMatrix& u, Int k, const Int* in_rows,
+                               const Scalar* in_vals, Int in_nnz, Int diag_row,
+                               const GpOptions& opt) {
+  if (in_nnz == 0) return Status::kStructurallySingular;
+  const Int top = reach(l, pinv_, in_rows, in_nnz);
+  for (Int s = 0; s < in_nnz; ++s) x_[in_rows[s]] = in_vals[s];
+  solve_reached(l, pinv_, top);
+
+  // Pivot selection among non-pivotal rows of the pattern.
+  Scalar max_abs = 0.0;
+  Int best = kInvalid;
+  for (Int p = top; p < n_; ++p) {
+    const Int r = xi_[p];
+    if (pinv_[r] != kInvalid) continue;
+    const Scalar a = std::abs(x_[r]);
+    if (a > max_abs) {
+      max_abs = a;
+      best = r;
+    }
+  }
+  if (opt.no_pivoting) {
+    best = diag_row;
+    if (best == kInvalid || pinv_[best] != kInvalid) best = kInvalid;
+  } else if (diag_row != kInvalid && pinv_[diag_row] == kInvalid) {
+    const Scalar d = std::abs(x_[diag_row]);
+    if (d > opt.zero_pivot_abs && d >= opt.pivot_tol * max_abs) best = diag_row;
+  }
+  Status status = Status::kOk;
+  if (best == kInvalid || std::abs(x_[best]) <= opt.zero_pivot_abs ||
+      x_[best] == 0.0) {
+    status = Status::kNumericallySingular;
+  }
+
+  if (status == Status::kOk) {
+    const Scalar pivot = x_[best];
+    pinv_[best] = k;
+    row_perm_[k] = best;
+    // U entries: pivotal rows, sorted ascending by pivot position (diagonal
+    // last). L entries: remaining rows, scaled by the pivot.
+    Int u_begin = static_cast<Int>(u.nnz());
+    for (Int p = top; p < n_; ++p) {
+      const Int r = xi_[p];
+      const Int t = pinv_[r];
+      if (t != kInvalid && t < k) {
+        u.append(t, x_[r]);
+      }
+    }
+    // Sort this column of U by pivot position (small columns; cheap).
+    {
+      const Int u_end = static_cast<Int>(u.nnz());
+      // Insertion sort over the freshly appended range.
+      for (Int i = u_begin + 1; i < u_end; ++i) {
+        const Int rt = u.row_idx[i];
+        const Scalar vt = u.values[i];
+        Int j = i - 1;
+        while (j >= u_begin && u.row_idx[j] > rt) {
+          u.row_idx[j + 1] = u.row_idx[j];
+          u.values[j + 1] = u.values[j];
+          --j;
+        }
+        u.row_idx[j + 1] = rt;
+        u.values[j + 1] = vt;
+      }
+    }
+    u.append(k, pivot);
+    for (Int p = top; p < n_; ++p) {
+      const Int r = xi_[p];
+      if (pinv_[r] == kInvalid) {
+        l.append(r, x_[r] / pivot);
+        flops_ += 1.0;
+      }
+    }
+  }
+
+  // Always clear the accumulator, even on failure.
+  for (Int p = top; p < n_; ++p) x_[xi_[p]] = 0.0;
+  if (status == Status::kOk) {
+    l.close_column(k);
+    u.close_column(k);
+  }
+  return status;
+}
+
+Status GpEngine::factor_block(const Csc& a, LuMatrix& l, LuMatrix& u,
+                              Size nnz_estimate, const GpOptions& opt) {
+  BASKER_REQUIRE(a.nrows == a.ncols, "factor_block: square required");
+  init(a.nrows);
+  l.init(a.nrows, a.ncols, nnz_estimate);
+  u.init(a.nrows, a.ncols, nnz_estimate);
+  for (Int k = 0; k < a.ncols; ++k) {
+    const Size p0 = a.col_ptr[k];
+    const Int len = static_cast<Int>(a.col_ptr[k + 1] - p0);
+    const Status s = factor_column(l, u, k, a.row_idx.data() + p0,
+                                   a.values.data() + p0, len, k, opt);
+    if (s != Status::kOk) return s;
+  }
+  return Status::kOk;
+}
+
+void GpEngine::sparse_lsolve(const LuMatrix& l, const std::vector<Int>& pinv,
+                             const Int* in_rows, const Scalar* in_vals, Int in_nnz,
+                             std::vector<Int>& out_rows, std::vector<Scalar>& out_vals) {
+  out_rows.clear();
+  out_vals.clear();
+  if (in_nnz == 0) return;
+  const Int top = reach(l, pinv, in_rows, in_nnz);
+  for (Int s = 0; s < in_nnz; ++s) x_[in_rows[s]] = in_vals[s];
+  solve_reached(l, pinv, top);
+  out_rows.reserve(static_cast<size_t>(n_ - top));
+  out_vals.reserve(static_cast<size_t>(n_ - top));
+  for (Int p = top; p < n_; ++p) {
+    const Int r = xi_[p];
+    out_rows.push_back(r);
+    out_vals.push_back(x_[r]);
+    x_[r] = 0.0;
+  }
+}
+
+}  // namespace basker

@@ -1,0 +1,3 @@
+// LuMatrix is header-only; this TU exists to anchor the module in the build
+// and to hold its out-of-line pieces if it grows any.
+#include "basker/lu/lu_storage.hpp"

@@ -1,0 +1,62 @@
+// Growable column storage for L and U factors.
+//
+// The paper's symbolic phase exists to pre-size these buffers so the numeric
+// phase avoids reallocation inside parallel regions (§III-C: "repeated
+// reallocation ... is a performance bottleneck"). LuMatrix reserves the
+// symbolic estimate up front; growth beyond it is legal (amortized doubling
+// by the owning thread) and counted so benches can report estimate quality.
+#pragma once
+
+#include <vector>
+
+#include "basker/common/types.hpp"
+#include "basker/sparse/csc.hpp"
+
+namespace basker {
+
+/// CSC-like factor storage filled strictly left to right, one closed column
+/// at a time. Row indices are block-local; for L they are pre-pivot row ids,
+/// for U they are pivot positions.
+struct LuMatrix {
+  Int nrows = 0;
+  Int ncols = 0;
+  std::vector<Size> col_ptr;
+  std::vector<Int> row_idx;
+  std::vector<Scalar> values;
+  Size grow_events = 0;  ///< times the symbolic reservation was exceeded
+
+  void init(Int rows, Int cols, Size nnz_estimate) {
+    nrows = rows;
+    ncols = cols;
+    col_ptr.assign(static_cast<size_t>(cols) + 1, 0);
+    row_idx.clear();
+    values.clear();
+    row_idx.reserve(static_cast<size_t>(nnz_estimate));
+    values.reserve(static_cast<size_t>(nnz_estimate));
+    grow_events = 0;
+  }
+
+  Size nnz() const { return static_cast<Size>(row_idx.size()); }
+
+  void append(Int r, Scalar v) {
+    if (row_idx.size() == row_idx.capacity()) ++grow_events;
+    row_idx.push_back(r);
+    values.push_back(v);
+  }
+
+  /// Close column j: every append since the previous close belongs to j.
+  /// Columns must be closed in order 0, 1, ..., ncols-1.
+  void close_column(Int j) { col_ptr[static_cast<size_t>(j) + 1] = nnz(); }
+
+  /// Copy out as a plain CSC matrix (for tests and reporting).
+  Csc to_csc() const {
+    Csc a(nrows, ncols);
+    a.col_ptr = col_ptr;
+    a.row_idx = row_idx;
+    a.values = values;
+    a.sort_columns();
+    return a;
+  }
+};
+
+}  // namespace basker

@@ -1,0 +1,38 @@
+#include "basker/lu/tri_solve.hpp"
+
+#include "basker/common/error.hpp"
+
+namespace basker {
+
+void block_lsolve(const LuMatrix& l, const std::vector<Int>& row_perm,
+                  std::vector<Scalar>& b, std::vector<Scalar>& y) {
+  const Int n = l.ncols;
+  BASKER_REQUIRE(static_cast<Int>(b.size()) == n, "block_lsolve: rhs size");
+  y.assign(static_cast<size_t>(n), 0.0);
+  for (Int t = 0; t < n; ++t) {
+    const Scalar v = b[row_perm[t]];
+    y[t] = v;
+    if (v == 0.0) continue;
+    for (Size p = l.col_ptr[t]; p < l.col_ptr[t + 1]; ++p) {
+      b[l.row_idx[p]] -= l.values[p] * v;
+    }
+  }
+}
+
+void block_usolve(const LuMatrix& u, std::vector<Scalar>& y) {
+  const Int n = u.ncols;
+  BASKER_REQUIRE(static_cast<Int>(y.size()) == n, "block_usolve: rhs size");
+  for (Int t = n - 1; t >= 0; --t) {
+    const Size begin = u.col_ptr[t], end = u.col_ptr[t + 1];
+    BASKER_REQUIRE(end > begin && u.row_idx[end - 1] == t,
+                   "block_usolve: missing diagonal");
+    y[t] /= u.values[end - 1];
+    const Scalar v = y[t];
+    if (v == 0.0) continue;
+    for (Size p = begin; p + 1 < end; ++p) {
+      y[u.row_idx[p]] -= u.values[p] * v;
+    }
+  }
+}
+
+}  // namespace basker

@@ -1,0 +1,22 @@
+// Triangular solves against Gilbert-Peierls factors of one diagonal block.
+#pragma once
+
+#include <vector>
+
+#include "basker/common/types.hpp"
+#include "basker/lu/lu_storage.hpp"
+
+namespace basker {
+
+/// Forward solve L y = b for one block. `b` is indexed by pre-pivot row ids
+/// and is consumed (overwritten with zeros-and-partials); `y` is resized to
+/// the block dimension and indexed by pivot position.
+void block_lsolve(const LuMatrix& l, const std::vector<Int>& row_perm,
+                  std::vector<Scalar>& b, std::vector<Scalar>& y);
+
+/// Backward solve U x = y in place; `y` is indexed by pivot position on
+/// entry and by column index on exit (they coincide: column k's pivot is
+/// position k). Requires U columns sorted with the diagonal entry last.
+void block_usolve(const LuMatrix& u, std::vector<Scalar>& y);
+
+}  // namespace basker

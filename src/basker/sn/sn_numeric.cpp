@@ -1,0 +1,204 @@
+// Supernodal baseline: numeric factorization and solve.
+//
+// Left-looking, column within supernode: each column gathers its A values,
+// applies the updates of every descendant supernode in its static row list
+// (small dense triangular solve + dense panel GEMV — the BLAS-class kernels
+// a supernodal code lives on), then finalizes its own panel column with a
+// statically perturbed pivot. Threading processes elimination-tree level
+// sets with a barrier between levels.
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+
+#include "basker/common/timer.hpp"
+#include "basker/sn/sn.hpp"
+#include "basker/sparse/ops.hpp"
+#include "basker/thread/team.hpp"
+
+namespace basker {
+
+void SnSolver::factor_supernode(Int si, std::vector<Scalar>& x, double* flops,
+                                Int* perturbed) {
+  Supernode& t = sn_[si];
+  const Int w = t.width();
+  const Int h = t.height();
+  const Int c0 = t.c0;
+  const Scalar perturb_abs = opt_.perturb_rel * (1.0 + norm_inf_cache_);
+
+  for (Int jj = 0; jj < w; ++jj) {
+    const Int j = c0 + jj;
+    // Scatter A(:, j).
+    for (Size p = b_.col_ptr[j]; p < b_.col_ptr[j + 1]; ++p) {
+      x[b_.row_idx[p]] = b_.values[p];
+    }
+    // Descendant updates, ascending supernode order (topological).
+    Size uptr = u_col_ptr_[j];
+    for (Int d : rowlist_[j]) {
+      const Supernode& dn = sn_[d];
+      const Int wd = dn.width();
+      const Int hd = dn.height();
+      const Int dc0 = dn.c0;
+      const Scalar* panel = dn.panel.data();
+      // Finalize U(J_d, j): unit-lower solve with d's diagonal block.
+      for (Int kk = 0; kk < wd; ++kk) {
+        const Scalar v = x[dc0 + kk];
+        if (v == 0.0) continue;
+        const Scalar* col = panel + static_cast<size_t>(kk) * hd;
+        for (Int ii = kk + 1; ii < wd; ++ii) x[dc0 + ii] -= col[ii] * v;
+      }
+      // Record the U values and push the below-diagonal panel update.
+      for (Int kk = 0; kk < wd; ++kk) {
+        const Scalar v = x[dc0 + kk];
+        u_val_[uptr++] = v;
+        if (v == 0.0) continue;
+        const Scalar* col = panel + static_cast<size_t>(kk) * hd + wd;
+        const Int nb = hd - wd;
+        for (Int ri = 0; ri < nb; ++ri) x[dn.rows[ri]] -= col[ri] * v;
+        *flops += 2.0 * nb;
+      }
+      *flops += static_cast<double>(wd) * wd;
+    }
+    // Updates from this supernode's own earlier columns.
+    Scalar* my_panel = t.panel.data();
+    for (Int kk = 0; kk < jj; ++kk) {
+      const Scalar v = x[c0 + kk];
+      if (v == 0.0) continue;
+      const Scalar* col = my_panel + static_cast<size_t>(kk) * h;
+      for (Int ii = kk + 1; ii < w; ++ii) x[c0 + ii] -= col[ii] * v;
+      const Int nb = h - w;
+      const Scalar* below = col + w;
+      for (Int ri = 0; ri < nb; ++ri) x[t.rows[ri]] -= below[ri] * v;
+      *flops += 2.0 * (w - kk - 1 + nb);
+    }
+    // Static pivot with perturbation (no row exchanges).
+    Scalar pivot = x[j];
+    if (std::abs(pivot) <= perturb_abs) {
+      pivot = (pivot < 0.0 ? -1.0 : 1.0) * (perturb_abs > 0.0 ? perturb_abs : 1e-300);
+      ++(*perturbed);
+    }
+    // Store the finished column into the panel.
+    Scalar* col = my_panel + static_cast<size_t>(jj) * h;
+    for (Int ii = 0; ii < w; ++ii) {
+      col[ii] = (ii < jj) ? x[c0 + ii] : (ii == jj ? pivot : x[c0 + ii] / pivot);
+    }
+    const Int nb = h - w;
+    for (Int ri = 0; ri < nb; ++ri) col[w + ri] = x[t.rows[ri]] / pivot;
+    *flops += h;
+    // Clear the accumulator along the static pattern.
+    for (Int d : rowlist_[j]) {
+      const Supernode& dn = sn_[d];
+      for (Int k = dn.c0; k < dn.c1; ++k) x[k] = 0.0;
+      for (Int r : dn.rows) x[r] = 0.0;
+    }
+    for (Int k = c0; k < t.c1; ++k) x[k] = 0.0;
+    for (Int r : t.rows) x[r] = 0.0;
+  }
+}
+
+Status SnSolver::numeric() {
+  norm_inf_cache_ = norm_inf(b_);
+  for (Supernode& s : sn_) std::fill(s.panel.begin(), s.panel.end(), 0.0);
+  std::fill(u_val_.begin(), u_val_.end(), 0.0);
+
+  const Int p = std::max<Int>(1, opt_.nthreads);
+  stats_.perturbed_pivots = 0;
+  stats_.factor_flops = 0.0;
+  stats_.tasks.clear();
+
+  std::vector<std::vector<Scalar>> xs(static_cast<size_t>(p));
+  for (auto& x : xs) x.assign(static_cast<size_t>(n_), 0.0);
+  std::vector<double> thread_flops(static_cast<size_t>(p), 0.0);
+  std::vector<Int> thread_perturbed(static_cast<size_t>(p), 0);
+  std::vector<std::vector<SnTask>> thread_tasks(static_cast<size_t>(p));
+
+  ThreadTeam team(p);
+  for (Int lvl = 0; lvl < static_cast<Int>(level_sns_.size()); ++lvl) {
+    const std::vector<Int>& sns = level_sns_[lvl];
+    team.run([&](Int tid) {
+      double flops = 0.0;
+      Int perturbed = 0;
+      for (size_t i = tid; i < sns.size(); i += p) {
+        const double before = flops;
+        factor_supernode(sns[i], xs[tid], &flops, &perturbed);
+        thread_tasks[tid].push_back(
+            SnTask{lvl, sn_[sns[i]].width(), flops - before});
+      }
+      thread_flops[tid] += flops;
+      thread_perturbed[tid] += perturbed;
+    });
+  }
+  for (Int t = 0; t < p; ++t) {
+    stats_.factor_flops += thread_flops[t];
+    stats_.perturbed_pivots += thread_perturbed[t];
+    for (auto& task : thread_tasks[t]) stats_.tasks.push_back(task);
+  }
+  factored_ = true;
+  return Status::kOk;
+}
+
+Status SnSolver::factor(const Csc& a) {
+  BASKER_REQUIRE(a.nrows == a.ncols, "sn: square required");
+  factored_ = false;
+  WallTimer timer;
+  const Status s = analyze(a);
+  stats_.analyze_seconds = timer.seconds();
+  if (s != Status::kOk) return s;
+  timer.reset();
+  const Status ns = numeric();
+  stats_.factor_seconds = timer.seconds();
+  return ns;
+}
+
+Status SnSolver::refactor(const Csc& a) {
+  if (!analyzed_) return Status::kNotFactored;
+  BASKER_REQUIRE(a.ncols == n_ && a.nnz() == static_cast<Size>(value_map_.size()),
+                 "sn: refactor pattern mismatch");
+  WallTimer timer;
+  for (Size p = 0; p < a.nnz(); ++p) b_.values[value_map_[p]] = a.values[p];
+  const Status s = numeric();
+  stats_.factor_seconds = timer.seconds();
+  return s;
+}
+
+Status SnSolver::solve(std::vector<Scalar>& rhs) const {
+  if (!factored_) return Status::kNotFactored;
+  BASKER_REQUIRE(static_cast<Int>(rhs.size()) == n_, "sn: rhs size");
+  std::vector<Scalar> y(static_cast<size_t>(n_));
+  for (Int i = 0; i < n_; ++i) y[i] = rhs[row_map_[i]];
+
+  // Forward: unit-lower solve through the panels.
+  for (const Supernode& t : sn_) {
+    const Int w = t.width(), h = t.height(), c0 = t.c0;
+    const Scalar* panel = t.panel.data();
+    for (Int jj = 0; jj < w; ++jj) {
+      const Scalar v = y[c0 + jj];
+      if (v == 0.0) continue;
+      const Scalar* col = panel + static_cast<size_t>(jj) * h;
+      for (Int ii = jj + 1; ii < w; ++ii) y[c0 + ii] -= col[ii] * v;
+      for (Int ri = 0; ri < h - w; ++ri) y[t.rows[ri]] -= col[w + ri] * v;
+    }
+  }
+  // Backward: upper solve, pushing the static U columns as they finalize.
+  for (Int si = static_cast<Int>(sn_.size()) - 1; si >= 0; --si) {
+    const Supernode& t = sn_[si];
+    const Int w = t.width(), h = t.height(), c0 = t.c0;
+    const Scalar* panel = t.panel.data();
+    for (Int jj = w - 1; jj >= 0; --jj) {
+      const Int j = c0 + jj;
+      Scalar sum = y[j];
+      for (Int kk = jj + 1; kk < w; ++kk) {
+        sum -= panel[static_cast<size_t>(kk) * h + jj] * y[c0 + kk];
+      }
+      y[j] = sum / panel[static_cast<size_t>(jj) * h + jj];
+      const Scalar v = y[j];
+      if (v == 0.0) continue;
+      for (Size p = u_col_ptr_[j]; p < u_col_ptr_[j + 1]; ++p) {
+        y[u_row_[p]] -= u_val_[p] * v;
+      }
+    }
+  }
+  for (Int j = 0; j < n_; ++j) rhs[col_map_[j]] = y[j];
+  return Status::kOk;
+}
+
+}  // namespace basker

@@ -1,0 +1,167 @@
+// Supernodal baseline: symbolic analysis. Symmetrize the (matched) pattern,
+// order with minimum degree, run symbolic Cholesky, detect supernodes
+// (optionally relaxed), build the static supernodal pattern, the reverse
+// row lists that drive the left-looking updates, the static upper-U
+// pattern, and the elimination-tree level sets used for threading.
+#include <algorithm>
+#include <numeric>
+
+#include "basker/common/timer.hpp"
+#include "basker/graph/etree.hpp"
+#include "basker/graph/matching.hpp"
+#include "basker/graph/mindeg.hpp"
+#include "basker/sn/sn.hpp"
+#include "basker/sparse/ops.hpp"
+
+namespace basker {
+
+Status SnSolver::analyze(const Csc& a) {
+  n_ = a.ncols;
+  row_map_.resize(static_cast<size_t>(n_));
+  col_map_.resize(static_cast<size_t>(n_));
+  std::iota(row_map_.begin(), row_map_.end(), 0);
+  std::iota(col_map_.begin(), col_map_.end(), 0);
+
+  if (opt_.use_mwcm) {
+    const Matching match = bottleneck_matching(a);
+    if (!match.is_perfect(n_)) return Status::kStructurallySingular;
+    row_map_ = match.row_of_col;
+  }
+
+  // Fill-reducing symmetric order on the symmetrized pattern.
+  {
+    const Csc matched = permute(a, row_map_, {});
+    const std::vector<Int> perm = min_degree_order(symmetrize_pattern(matched));
+    std::vector<Int> row2(static_cast<size_t>(n_)), col2(static_cast<size_t>(n_));
+    for (Int k = 0; k < n_; ++k) {
+      row2[k] = row_map_[perm[k]];
+      col2[k] = col_map_[perm[k]];
+    }
+    row_map_ = std::move(row2);
+    col_map_ = std::move(col2);
+  }
+
+  b_ = permute(a, row_map_, col_map_);
+  {
+    const std::vector<Int> row_inv = inverse_permutation(row_map_);
+    const std::vector<Int> col_inv = inverse_permutation(col_map_);
+    value_map_.resize(static_cast<size_t>(a.nnz()));
+    for (Int j = 0; j < n_; ++j) {
+      for (Size p = a.col_ptr[j]; p < a.col_ptr[j + 1]; ++p) {
+        const Int bi = row_inv[a.row_idx[p]];
+        const Int bj = col_inv[j];
+        const Int* begin = b_.row_idx.data() + b_.col_ptr[bj];
+        const Int* end = b_.row_idx.data() + b_.col_ptr[bj + 1];
+        const Int* it = std::lower_bound(begin, end, bi);
+        BASKER_REQUIRE(it != end && *it == bi, "sn: value map inconsistency");
+        value_map_[p] = it - b_.row_idx.data();
+      }
+    }
+  }
+
+  // Symbolic Cholesky of the symmetrized permuted pattern.
+  const Csc sym = symmetrize_pattern(b_);
+  const std::vector<Int> parent = etree(sym);
+  const std::vector<Int> counts = chol_col_counts(sym, parent);
+  const Csc lpat = chol_pattern(sym, parent);
+
+  // Supernode detection: merge j+1 into the current supernode when it is
+  // the etree parent of j and the patterns nest (exactly, or within the
+  // relaxation budget for the Pardiso-like mode).
+  const Int relax = opt_.mode == SnMode::kPardisoLike ? opt_.relax : 0;
+  sn_.clear();
+  sn_of_col_.assign(static_cast<size_t>(n_), 0);
+  {
+    Int start = 0;
+    for (Int j = 0; j + 1 <= n_; ++j) {
+      const bool can_extend =
+          j + 1 < n_ && parent[j] == j + 1 &&
+          counts[j] <= counts[j + 1] + 1 + relax &&
+          (j + 1 - start) < opt_.max_supernode;
+      if (!can_extend) {
+        Supernode s;
+        s.c0 = start;
+        s.c1 = j + 1;
+        sn_.push_back(s);
+        start = j + 1;
+      }
+    }
+  }
+  for (size_t si = 0; si < sn_.size(); ++si) {
+    for (Int j = sn_[si].c0; j < sn_[si].c1; ++j) {
+      sn_of_col_[j] = static_cast<Int>(si);
+    }
+  }
+
+  // Supernodal below-diagonal pattern: union of member columns' L patterns.
+  {
+    std::vector<Int> mark(static_cast<size_t>(n_), kInvalid);
+    for (size_t si = 0; si < sn_.size(); ++si) {
+      Supernode& s = sn_[si];
+      s.rows.clear();
+      for (Int j = s.c0; j < s.c1; ++j) {
+        for (Size p = lpat.col_ptr[j]; p < lpat.col_ptr[j + 1]; ++p) {
+          const Int r = lpat.row_idx[p];
+          if (r >= s.c1 && mark[r] != static_cast<Int>(si)) {
+            mark[r] = static_cast<Int>(si);
+            s.rows.push_back(r);
+          }
+        }
+      }
+      std::sort(s.rows.begin(), s.rows.end());
+      s.panel.assign(static_cast<size_t>(s.height()) * s.width(), 0.0);
+    }
+  }
+
+  // Reverse row lists: row i -> supernodes whose below-pattern contains i
+  // (ascending by construction).
+  rowlist_.assign(static_cast<size_t>(n_), {});
+  for (size_t si = 0; si < sn_.size(); ++si) {
+    for (Int r : sn_[si].rows) rowlist_[r].push_back(static_cast<Int>(si));
+  }
+
+  // Static upper-U pattern per column: the concatenation of J_d over the
+  // column's row list (ascending, hence sorted).
+  u_col_ptr_.assign(static_cast<size_t>(n_) + 1, 0);
+  for (Int j = 0; j < n_; ++j) {
+    Size total = 0;
+    for (Int d : rowlist_[j]) total += sn_[d].width();
+    u_col_ptr_[j + 1] = u_col_ptr_[j] + total;
+  }
+  u_row_.resize(static_cast<size_t>(u_col_ptr_[n_]));
+  u_val_.assign(static_cast<size_t>(u_col_ptr_[n_]), 0.0);
+  for (Int j = 0; j < n_; ++j) {
+    Size ptr = u_col_ptr_[j];
+    for (Int d : rowlist_[j]) {
+      for (Int k = sn_[d].c0; k < sn_[d].c1; ++k) u_row_[ptr++] = k;
+    }
+  }
+
+  // Dependency levels: supernode s depends on every d in the row lists of
+  // its columns; level sets give the barrier schedule for threading.
+  const Int nsn = static_cast<Int>(sn_.size());
+  sn_level_.assign(static_cast<size_t>(nsn), 0);
+  for (Int s = 0; s < nsn; ++s) {
+    Int lvl = 0;
+    for (Int j = sn_[s].c0; j < sn_[s].c1; ++j) {
+      for (Int d : rowlist_[j]) lvl = std::max(lvl, sn_level_[d] + 1);
+    }
+    sn_level_[s] = lvl;
+  }
+  Int nlevels = 0;
+  for (Int s = 0; s < nsn; ++s) nlevels = std::max(nlevels, sn_level_[s] + 1);
+  level_sns_.assign(static_cast<size_t>(nlevels), {});
+  for (Int s = 0; s < nsn; ++s) level_sns_[sn_level_[s]].push_back(s);
+
+  stats_ = SnStats{};
+  stats_.num_supernodes = nsn;
+  stats_.num_levels = nlevels;
+  stats_.nnz_lu = static_cast<Size>(u_col_ptr_[n_]);
+  for (const Supernode& s : sn_) {
+    stats_.nnz_lu += static_cast<Size>(s.height()) * s.width();
+  }
+  analyzed_ = true;
+  return Status::kOk;
+}
+
+}  // namespace basker

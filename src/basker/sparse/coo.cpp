@@ -1,0 +1,35 @@
+#include "basker/sparse/coo.hpp"
+
+#include <algorithm>
+
+#include "basker/common/error.hpp"
+
+namespace basker {
+
+void Triplets::add(Int i, Int j, Scalar v) {
+  BASKER_REQUIRE(i >= 0 && i < nrows_ && j >= 0 && j < ncols_,
+                 "triplet index out of range");
+  rows_.push_back(i);
+  cols_.push_back(j);
+  vals_.push_back(v);
+}
+
+Csc Triplets::to_csc() const {
+  Csc a(nrows_, ncols_);
+  const size_t nz = rows_.size();
+  // Counting pass.
+  for (size_t k = 0; k < nz; ++k) a.col_ptr[static_cast<size_t>(cols_[k]) + 1]++;
+  for (Int j = 0; j < ncols_; ++j) a.col_ptr[j + 1] += a.col_ptr[j];
+  a.row_idx.resize(nz);
+  a.values.resize(nz);
+  std::vector<Size> next(a.col_ptr.begin(), a.col_ptr.end() - 1);
+  for (size_t k = 0; k < nz; ++k) {
+    const Size p = next[cols_[k]]++;
+    a.row_idx[p] = rows_[k];
+    a.values[p] = vals_[k];
+  }
+  a.sort_columns();  // sorts and sums duplicates
+  return a;
+}
+
+}  // namespace basker

@@ -1,0 +1,36 @@
+// Triplet (COO) assembly buffer; the entry point for generators and IO.
+#pragma once
+
+#include <vector>
+
+#include "basker/common/types.hpp"
+#include "basker/sparse/csc.hpp"
+
+namespace basker {
+
+/// Accumulates (i, j, v) triplets; duplicates are summed on conversion,
+/// matching Matrix-Market and finite-element assembly semantics.
+class Triplets {
+ public:
+  Triplets(Int nrows, Int ncols) : nrows_(nrows), ncols_(ncols) {}
+
+  void add(Int i, Int j, Scalar v);
+
+  /// Add v to the diagonal entry (i, i).
+  void add_diag(Int i, Scalar v) { add(i, i, v); }
+
+  Int nrows() const { return nrows_; }
+  Int ncols() const { return ncols_; }
+  Size size() const { return static_cast<Size>(rows_.size()); }
+
+  /// Convert to CSC, summing duplicates and sorting columns. Entries with
+  /// value exactly 0 are kept (they are structural nonzeros).
+  Csc to_csc() const;
+
+ private:
+  Int nrows_, ncols_;
+  std::vector<Int> rows_, cols_;
+  std::vector<Scalar> vals_;
+};
+
+}  // namespace basker

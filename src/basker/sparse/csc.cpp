@@ -1,0 +1,86 @@
+#include "basker/sparse/csc.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace basker {
+
+Csc Csc::identity(Int n) {
+  Csc a(n, n);
+  a.row_idx.resize(static_cast<size_t>(n));
+  a.values.assign(static_cast<size_t>(n), 1.0);
+  for (Int j = 0; j < n; ++j) {
+    a.col_ptr[static_cast<size_t>(j) + 1] = j + 1;
+    a.row_idx[static_cast<size_t>(j)] = j;
+  }
+  return a;
+}
+
+void Csc::check_valid() const {
+  BASKER_REQUIRE(nrows >= 0 && ncols >= 0, "negative dimension");
+  BASKER_REQUIRE(col_ptr.size() == static_cast<size_t>(ncols) + 1, "col_ptr size");
+  BASKER_REQUIRE(col_ptr[0] == 0, "col_ptr[0] != 0");
+  for (Int j = 0; j < ncols; ++j) {
+    BASKER_REQUIRE(col_ptr[j] <= col_ptr[j + 1], "col_ptr not monotone");
+  }
+  BASKER_REQUIRE(row_idx.size() == static_cast<size_t>(nnz()), "row_idx size");
+  BASKER_REQUIRE(values.size() == row_idx.size(), "values size");
+  for (Int j = 0; j < ncols; ++j) {
+    for (Size p = col_ptr[j]; p < col_ptr[j + 1]; ++p) {
+      BASKER_REQUIRE(row_idx[p] >= 0 && row_idx[p] < nrows, "row index out of range");
+      if (p > col_ptr[j]) {
+        BASKER_REQUIRE(row_idx[p - 1] < row_idx[p], "rows not strictly increasing");
+      }
+    }
+  }
+}
+
+bool Csc::columns_sorted() const {
+  for (Int j = 0; j < ncols; ++j) {
+    for (Size p = col_ptr[j] + 1; p < col_ptr[j + 1]; ++p) {
+      if (row_idx[p - 1] >= row_idx[p]) return false;
+    }
+  }
+  return true;
+}
+
+void Csc::sort_columns() {
+  std::vector<std::pair<Int, Scalar>> buf;
+  std::vector<Size> new_ptr(static_cast<size_t>(ncols) + 1, 0);
+  std::vector<Int> new_rows;
+  std::vector<Scalar> new_vals;
+  new_rows.reserve(row_idx.size());
+  new_vals.reserve(values.size());
+  for (Int j = 0; j < ncols; ++j) {
+    buf.clear();
+    for (Size p = col_ptr[j]; p < col_ptr[j + 1]; ++p) {
+      buf.emplace_back(row_idx[p], values[p]);
+    }
+    std::sort(buf.begin(), buf.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (size_t k = 0; k < buf.size(); ++k) {
+      if (!new_rows.empty() && static_cast<Size>(new_rows.size()) > new_ptr[j] &&
+          new_rows.back() == buf[k].first) {
+        new_vals.back() += buf[k].second;  // merge duplicate entries
+      } else {
+        new_rows.push_back(buf[k].first);
+        new_vals.push_back(buf[k].second);
+      }
+    }
+    new_ptr[static_cast<size_t>(j) + 1] = static_cast<Size>(new_rows.size());
+  }
+  col_ptr = std::move(new_ptr);
+  row_idx = std::move(new_rows);
+  values = std::move(new_vals);
+}
+
+Scalar Csc::value_at(Int i, Int j) const {
+  if (j < 0 || j >= ncols) return 0.0;
+  const Int* begin = row_idx.data() + col_ptr[j];
+  const Int* end = row_idx.data() + col_ptr[j + 1];
+  const Int* it = std::lower_bound(begin, end, i);
+  if (it != end && *it == i) return values[it - row_idx.data()];
+  return 0.0;
+}
+
+}  // namespace basker

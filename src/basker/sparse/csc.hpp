@@ -1,0 +1,47 @@
+// Compressed-sparse-column matrix: the storage format for every matrix and
+// every 2D block in the library (the paper stores its hierarchy of 2D blocks
+// as a collection of CSC matrices, §IV "Data Layout").
+#pragma once
+
+#include <vector>
+
+#include "basker/common/error.hpp"
+#include "basker/common/types.hpp"
+
+namespace basker {
+
+/// CSC sparse matrix. Invariant after construction through the public
+/// factories: col_ptr is monotone with col_ptr[0]==0, row indices within a
+/// column are strictly increasing (sorted, no duplicates), and values has
+/// the same length as row_idx.
+struct Csc {
+  Int nrows = 0;
+  Int ncols = 0;
+  std::vector<Size> col_ptr;   ///< size ncols+1
+  std::vector<Int> row_idx;    ///< size nnz
+  std::vector<Scalar> values;  ///< size nnz
+
+  Csc() : col_ptr(1, 0) {}
+  Csc(Int rows, Int cols) : nrows(rows), ncols(cols), col_ptr(static_cast<size_t>(cols) + 1, 0) {}
+
+  Size nnz() const { return col_ptr.empty() ? 0 : col_ptr.back(); }
+  bool empty() const { return nrows == 0 || ncols == 0; }
+
+  /// n-by-n identity.
+  static Csc identity(Int n);
+
+  /// Verify all structural invariants; throws BaskerError on violation.
+  void check_valid() const;
+
+  /// True if every column's row indices are strictly increasing.
+  bool columns_sorted() const;
+
+  /// Sort row indices (and values) within each column; merges duplicates by
+  /// summation. Restores the class invariant after manual assembly.
+  void sort_columns();
+
+  /// Value at (i, j), zero if not stored. O(log nnz(col)) via binary search.
+  Scalar value_at(Int i, Int j) const;
+};
+
+}  // namespace basker

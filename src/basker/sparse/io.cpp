@@ -1,0 +1,91 @@
+#include "basker/sparse/io.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "basker/common/error.hpp"
+#include "basker/sparse/coo.hpp"
+
+namespace basker {
+
+namespace {
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s;
+}
+
+}  // namespace
+
+Csc read_matrix_market(std::istream& in) {
+  std::string line;
+  BASKER_REQUIRE(static_cast<bool>(std::getline(in, line)), "empty stream");
+  std::istringstream header(line);
+  std::string banner, object, format, field, symmetry;
+  header >> banner >> object >> format >> field >> symmetry;
+  BASKER_REQUIRE(banner == "%%MatrixMarket", "missing MatrixMarket banner");
+  BASKER_REQUIRE(lower(object) == "matrix", "only 'matrix' objects supported");
+  BASKER_REQUIRE(lower(format) == "coordinate", "only 'coordinate' format supported");
+  field = lower(field);
+  symmetry = lower(symmetry);
+  const bool pattern = field == "pattern";
+  BASKER_REQUIRE(pattern || field == "real" || field == "integer",
+                 "unsupported field type: " + field);
+  const bool symmetric = symmetry == "symmetric";
+  const bool skew = symmetry == "skew-symmetric";
+  BASKER_REQUIRE(symmetric || skew || symmetry == "general",
+                 "unsupported symmetry: " + symmetry);
+
+  // Skip comments and blank lines, then read the size line.
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] != '%') break;
+  }
+  std::istringstream size_line(line);
+  long long rows = 0, cols = 0, entries = 0;
+  size_line >> rows >> cols >> entries;
+  BASKER_REQUIRE(rows > 0 && cols > 0 && entries >= 0, "bad size line");
+
+  Triplets t(static_cast<Int>(rows), static_cast<Int>(cols));
+  for (long long k = 0; k < entries; ++k) {
+    long long i = 0, j = 0;
+    double v = 1.0;
+    if (!(in >> i >> j)) throw BaskerError("truncated entry list");
+    if (!pattern) {
+      if (!(in >> v)) throw BaskerError("truncated entry value");
+    }
+    BASKER_REQUIRE(i >= 1 && i <= rows && j >= 1 && j <= cols, "entry out of range");
+    t.add(static_cast<Int>(i - 1), static_cast<Int>(j - 1), v);
+    if ((symmetric || skew) && i != j) {
+      t.add(static_cast<Int>(j - 1), static_cast<Int>(i - 1), skew ? -v : v);
+    }
+  }
+  return t.to_csc();
+}
+
+Csc read_matrix_market_file(const std::string& path) {
+  std::ifstream in(path);
+  BASKER_REQUIRE(in.good(), "cannot open " + path);
+  return read_matrix_market(in);
+}
+
+void write_matrix_market(std::ostream& out, const Csc& a) {
+  out << "%%MatrixMarket matrix coordinate real general\n";
+  out << a.nrows << ' ' << a.ncols << ' ' << a.nnz() << '\n';
+  out.precision(17);
+  for (Int j = 0; j < a.ncols; ++j) {
+    for (Size p = a.col_ptr[j]; p < a.col_ptr[j + 1]; ++p) {
+      out << (a.row_idx[p] + 1) << ' ' << (j + 1) << ' ' << a.values[p] << '\n';
+    }
+  }
+}
+
+void write_matrix_market_file(const std::string& path, const Csc& a) {
+  std::ofstream out(path);
+  BASKER_REQUIRE(out.good(), "cannot open " + path);
+  write_matrix_market(out, a);
+}
+
+}  // namespace basker

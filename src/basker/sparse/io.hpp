@@ -1,0 +1,24 @@
+// Matrix Market coordinate-format IO (the UF sparse collection's format).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "basker/sparse/csc.hpp"
+
+namespace basker {
+
+/// Parse a Matrix Market "matrix coordinate" stream. Supports real, integer
+/// and pattern fields; general, symmetric and skew-symmetric symmetries
+/// (symmetric halves are expanded). Throws BaskerError on malformed input.
+Csc read_matrix_market(std::istream& in);
+
+/// Read from a file path.
+Csc read_matrix_market_file(const std::string& path);
+
+/// Write in "matrix coordinate real general" format (1-based indices).
+void write_matrix_market(std::ostream& out, const Csc& a);
+
+void write_matrix_market_file(const std::string& path, const Csc& a);
+
+}  // namespace basker

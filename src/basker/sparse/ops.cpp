@@ -1,0 +1,183 @@
+#include "basker/sparse/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "basker/common/error.hpp"
+
+namespace basker {
+
+Csc transpose(const Csc& a) {
+  Csc t(a.ncols, a.nrows);
+  t.col_ptr.assign(static_cast<size_t>(a.nrows) + 1, 0);
+  for (Size p = 0; p < a.nnz(); ++p) t.col_ptr[static_cast<size_t>(a.row_idx[p]) + 1]++;
+  for (Int i = 0; i < a.nrows; ++i) t.col_ptr[i + 1] += t.col_ptr[i];
+  t.row_idx.resize(static_cast<size_t>(a.nnz()));
+  t.values.resize(static_cast<size_t>(a.nnz()));
+  std::vector<Size> next(t.col_ptr.begin(), t.col_ptr.end() - 1);
+  for (Int j = 0; j < a.ncols; ++j) {
+    for (Size p = a.col_ptr[j]; p < a.col_ptr[j + 1]; ++p) {
+      const Size q = next[a.row_idx[p]]++;
+      t.row_idx[q] = j;
+      t.values[q] = a.values[p];
+    }
+  }
+  // Scanning columns of A in order writes rows of each output column in
+  // increasing order, so t is sorted by construction.
+  return t;
+}
+
+Csc permute(const Csc& a, const std::vector<Int>& p, const std::vector<Int>& q) {
+  BASKER_REQUIRE(p.empty() || static_cast<Int>(p.size()) == a.nrows, "bad row perm size");
+  BASKER_REQUIRE(q.empty() || static_cast<Int>(q.size()) == a.ncols, "bad col perm size");
+  // Row mapping: new row of old row r is pinv[r].
+  std::vector<Int> pinv;
+  if (!p.empty()) pinv = inverse_permutation(p);
+  Csc b(a.nrows, a.ncols);
+  b.row_idx.reserve(static_cast<size_t>(a.nnz()));
+  b.values.reserve(static_cast<size_t>(a.nnz()));
+  for (Int jn = 0; jn < a.ncols; ++jn) {
+    const Int j = q.empty() ? jn : q[jn];
+    for (Size t = a.col_ptr[j]; t < a.col_ptr[j + 1]; ++t) {
+      const Int r = a.row_idx[t];
+      b.row_idx.push_back(p.empty() ? r : pinv[r]);
+      b.values.push_back(a.values[t]);
+    }
+    b.col_ptr[static_cast<size_t>(jn) + 1] = static_cast<Size>(b.row_idx.size());
+  }
+  b.sort_columns();
+  return b;
+}
+
+std::vector<Int> inverse_permutation(const std::vector<Int>& p) {
+  std::vector<Int> inv(p.size(), kInvalid);
+  for (size_t k = 0; k < p.size(); ++k) {
+    BASKER_REQUIRE(p[k] >= 0 && static_cast<size_t>(p[k]) < p.size() && inv[p[k]] == kInvalid,
+                   "not a permutation");
+    inv[p[k]] = static_cast<Int>(k);
+  }
+  return inv;
+}
+
+bool is_permutation(const std::vector<Int>& p, Int n) {
+  if (static_cast<Int>(p.size()) != n) return false;
+  std::vector<bool> seen(static_cast<size_t>(n), false);
+  for (Int v : p) {
+    if (v < 0 || v >= n || seen[v]) return false;
+    seen[v] = true;
+  }
+  return true;
+}
+
+void spmv(const Csc& a, const std::vector<Scalar>& x, std::vector<Scalar>& y) {
+  y.assign(static_cast<size_t>(a.nrows), 0.0);
+  spmv_acc(a, 1.0, x, y);
+}
+
+void spmv_acc(const Csc& a, Scalar alpha, const std::vector<Scalar>& x,
+              std::vector<Scalar>& y) {
+  BASKER_REQUIRE(static_cast<Int>(x.size()) == a.ncols, "spmv: x size");
+  BASKER_REQUIRE(static_cast<Int>(y.size()) == a.nrows, "spmv: y size");
+  for (Int j = 0; j < a.ncols; ++j) {
+    const Scalar xj = alpha * x[j];
+    if (xj == 0.0) continue;
+    for (Size p = a.col_ptr[j]; p < a.col_ptr[j + 1]; ++p) {
+      y[a.row_idx[p]] += a.values[p] * xj;
+    }
+  }
+}
+
+Csc extract_block(const Csc& a, Int r0, Int r1, Int c0, Int c1) {
+  BASKER_REQUIRE(0 <= r0 && r0 <= r1 && r1 <= a.nrows, "extract_block: rows");
+  BASKER_REQUIRE(0 <= c0 && c0 <= c1 && c1 <= a.ncols, "extract_block: cols");
+  Csc b(r1 - r0, c1 - c0);
+  b.row_idx.reserve(static_cast<size_t>(a.nnz()) / (a.ncols > 0 ? a.ncols : 1) + 8);
+  for (Int j = c0; j < c1; ++j) {
+    for (Size p = a.col_ptr[j]; p < a.col_ptr[j + 1]; ++p) {
+      const Int r = a.row_idx[p];
+      if (r >= r0 && r < r1) {
+        b.row_idx.push_back(r - r0);
+        b.values.push_back(a.values[p]);
+      }
+    }
+    b.col_ptr[static_cast<size_t>(j - c0) + 1] = static_cast<Size>(b.row_idx.size());
+  }
+  return b;  // sorted columns inherit sortedness of a
+}
+
+Csc symmetrize_pattern(const Csc& a) {
+  BASKER_REQUIRE(a.nrows == a.ncols, "symmetrize_pattern: square required");
+  const Csc at = transpose(a);
+  const Int n = a.ncols;
+  Csc s(n, n);
+  s.row_idx.reserve(static_cast<size_t>(2 * a.nnz()));
+  for (Int j = 0; j < n; ++j) {
+    // Merge sorted row lists of a(:,j) and at(:,j).
+    Size pa = a.col_ptr[j], ea = a.col_ptr[j + 1];
+    Size pt = at.col_ptr[j], et = at.col_ptr[j + 1];
+    while (pa < ea || pt < et) {
+      Int r;
+      if (pa < ea && (pt >= et || a.row_idx[pa] <= at.row_idx[pt])) {
+        r = a.row_idx[pa];
+        if (pt < et && at.row_idx[pt] == r) ++pt;
+        ++pa;
+      } else {
+        r = at.row_idx[pt];
+        ++pt;
+      }
+      s.row_idx.push_back(r);
+    }
+    s.col_ptr[static_cast<size_t>(j) + 1] = static_cast<Size>(s.row_idx.size());
+  }
+  s.values.assign(s.row_idx.size(), 1.0);
+  return s;
+}
+
+Csc pattern_of(const Csc& a) {
+  Csc b = a;
+  std::fill(b.values.begin(), b.values.end(), 1.0);
+  return b;
+}
+
+Scalar norm_inf(const Csc& a) {
+  std::vector<Scalar> rowsum(static_cast<size_t>(a.nrows), 0.0);
+  for (Size p = 0; p < a.nnz(); ++p) rowsum[a.row_idx[p]] += std::abs(a.values[p]);
+  Scalar m = 0.0;
+  for (Scalar v : rowsum) m = std::max(m, v);
+  return m;
+}
+
+Scalar relative_residual(const Csc& a, const std::vector<Scalar>& x,
+                         const std::vector<Scalar>& b) {
+  std::vector<Scalar> r;
+  spmv(a, x, r);
+  Scalar rmax = 0.0, xmax = 0.0, bmax = 0.0;
+  for (size_t i = 0; i < r.size(); ++i) rmax = std::max(rmax, std::abs(r[i] - b[i]));
+  for (Scalar v : x) xmax = std::max(xmax, std::abs(v));
+  for (Scalar v : b) bmax = std::max(bmax, std::abs(v));
+  const Scalar denom = norm_inf(a) * xmax + bmax;
+  return denom > 0.0 ? rmax / denom : rmax;
+}
+
+Scalar max_abs_diff(const std::vector<Scalar>& u, const std::vector<Scalar>& v) {
+  BASKER_REQUIRE(u.size() == v.size(), "max_abs_diff: size mismatch");
+  Scalar m = 0.0;
+  for (size_t i = 0; i < u.size(); ++i) m = std::max(m, std::abs(u[i] - v[i]));
+  return m;
+}
+
+Int structural_diag_count(const Csc& a) {
+  Int count = 0;
+  const Int n = std::min(a.nrows, a.ncols);
+  for (Int j = 0; j < n; ++j) {
+    for (Size p = a.col_ptr[j]; p < a.col_ptr[j + 1]; ++p) {
+      if (a.row_idx[p] == j) {
+        ++count;
+        break;
+      }
+    }
+  }
+  return count;
+}
+
+}  // namespace basker

@@ -1,0 +1,56 @@
+// Structural and numeric operations on CSC matrices used by orderings,
+// solvers and the 2D block machinery.
+#pragma once
+
+#include <vector>
+
+#include "basker/common/types.hpp"
+#include "basker/sparse/csc.hpp"
+
+namespace basker {
+
+/// B = A^T (columns of B sorted).
+Csc transpose(const Csc& a);
+
+/// B(i, j) = A(p[i], q[j]) — i.e. row k of B is row p[k] of A (MATLAB
+/// A(p, q)). p must have a.nrows entries, q a.ncols. Either may be empty,
+/// meaning identity.
+Csc permute(const Csc& a, const std::vector<Int>& p, const std::vector<Int>& q);
+
+/// inv[p[k]] = k.
+std::vector<Int> inverse_permutation(const std::vector<Int>& p);
+
+/// True if p is a permutation of 0..n-1.
+bool is_permutation(const std::vector<Int>& p, Int n);
+
+/// y = A x (y resized to a.nrows, overwritten).
+void spmv(const Csc& a, const std::vector<Scalar>& x, std::vector<Scalar>& y);
+
+/// y += alpha * A x.
+void spmv_acc(const Csc& a, Scalar alpha, const std::vector<Scalar>& x,
+              std::vector<Scalar>& y);
+
+/// Submatrix A(r0:r1, c0:c1) (half-open) with re-based indices.
+Csc extract_block(const Csc& a, Int r0, Int r1, Int c0, Int c1);
+
+/// Pattern of A + A^T (values all 1.0, diagonal included iff present in A).
+/// Input must be square.
+Csc symmetrize_pattern(const Csc& a);
+
+/// Pattern-only copy (all stored values replaced by 1.0).
+Csc pattern_of(const Csc& a);
+
+/// Infinity norm of A (max absolute row sum).
+Scalar norm_inf(const Csc& a);
+
+/// Componentwise relative residual ||Ax - b||_inf / (||A||_inf ||x||_inf + ||b||_inf).
+Scalar relative_residual(const Csc& a, const std::vector<Scalar>& x,
+                         const std::vector<Scalar>& b);
+
+/// ||u - v||_inf.
+Scalar max_abs_diff(const std::vector<Scalar>& u, const std::vector<Scalar>& v);
+
+/// Number of structurally nonzero diagonal entries.
+Int structural_diag_count(const Csc& a);
+
+}  // namespace basker

@@ -1,0 +1,64 @@
+#include "basker/thread/team.hpp"
+
+#include "basker/common/error.hpp"
+
+namespace basker {
+
+ThreadTeam::ThreadTeam(Int nthreads) : nthreads_(nthreads) {
+  BASKER_REQUIRE(nthreads >= 1, "ThreadTeam: need at least one thread");
+  workers_.reserve(static_cast<size_t>(nthreads - 1));
+  for (Int t = 1; t < nthreads; ++t) {
+    workers_.emplace_back([this, t] { worker_loop(t); });
+  }
+}
+
+ThreadTeam::~ThreadTeam() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+    ++generation_;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadTeam::run(const std::function<void(Int)>& fn) {
+  if (nthreads_ == 1) {
+    fn(0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_ = &fn;
+    done_count_.store(0, std::memory_order_relaxed);
+    ++generation_;
+  }
+  cv_.notify_all();
+  fn(0);
+  // Wait for the workers; the job pointer stays valid until they are done.
+  while (done_count_.load(std::memory_order_acquire) < nthreads_ - 1) {
+    std::this_thread::yield();
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  job_ = nullptr;
+}
+
+void ThreadTeam::worker_loop(Int tid) {
+  long long seen = 0;
+  while (true) {
+    const std::function<void(Int)>* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [&] { return shutdown_ || generation_ > seen; });
+      if (shutdown_) return;
+      seen = generation_;
+      job = job_;
+    }
+    if (job != nullptr) {
+      (*job)(tid);
+      done_count_.fetch_add(1, std::memory_order_acq_rel);
+    }
+  }
+}
+
+}  // namespace basker

@@ -1,0 +1,305 @@
+// End-to-end tests for the Basker solver: correctness across matrix
+// families, thread counts, chunk sizes, sync modes, agreement with KLU,
+// refactorization sequences, and failure modes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "basker/common/prng.hpp"
+#include "basker/core/basker.hpp"
+#include "basker/gen/generators.hpp"
+#include "basker/klu/klu.hpp"
+#include "basker/sparse/coo.hpp"
+#include "basker/sparse/ops.hpp"
+
+namespace basker {
+namespace {
+
+double basker_solve_residual(Basker& solver, const Csc& a, std::uint64_t seed) {
+  std::vector<Scalar> b = gen::random_rhs(a.ncols, seed);
+  const std::vector<Scalar> b_orig = b;
+  EXPECT_EQ(solver.solve(b), Status::kOk);
+  return relative_residual(a, b, b_orig);
+}
+
+Csc b_circuit(std::uint64_t s) {
+  gen::CircuitParams p;
+  p.n = 900;
+  p.btf_frac = 0.4;
+  p.vsource_frac = 0.05;
+  p.core = gen::CoreTopology::kGrid;
+  p.seed = s;
+  return gen::circuit(p);
+}
+Csc b_powergrid(std::uint64_t s) {
+  gen::PowergridParams p;
+  p.n = 700;
+  p.avg_block = 12;
+  p.seed = s;
+  return gen::powergrid(p);
+}
+Csc b_mesh(std::uint64_t s) { return gen::scramble(gen::mesh2d(24, 24, 0.2, s), s); }
+Csc b_ladder(std::uint64_t s) {
+  gen::CircuitParams p;
+  p.n = 800;
+  p.btf_frac = 0.0;
+  p.core = gen::CoreTopology::kLadder;
+  p.rails = 2;
+  p.seed = s;
+  return gen::circuit(p);
+}
+Csc b_highfill(std::uint64_t s) {
+  gen::CircuitParams p;
+  p.n = 500;
+  p.btf_frac = 0.1;
+  p.core = gen::CoreTopology::kRandom;
+  p.core_degree = 3;
+  p.seed = s;
+  return gen::circuit(p);
+}
+Csc b_weak(std::uint64_t s) { return gen::random_square(400, 4, 0.05, s); }
+
+struct BaskerCase {
+  const char* name;
+  Csc (*make)(std::uint64_t);
+  BaskerOptions opt;
+};
+
+BaskerOptions opts(Int threads, Int chunk = 16,
+                   SyncMode sync = SyncMode::kPointToPoint) {
+  BaskerOptions o;
+  o.nthreads = threads;
+  o.chunk_cols = chunk;
+  o.sync_mode = sync;
+  return o;
+}
+
+class BaskerProperty : public ::testing::TestWithParam<BaskerCase> {};
+
+TEST_P(BaskerProperty, FactorSolveResidual) {
+  for (std::uint64_t seed : {21u, 22u}) {
+    const Csc a = GetParam().make(seed);
+    Basker solver(GetParam().opt);
+    ASSERT_EQ(solver.factor(a), Status::kOk) << GetParam().name;
+    EXPECT_LT(basker_solve_residual(solver, a, seed), 1e-9)
+        << GetParam().name << " seed " << seed;
+    EXPECT_GT(solver.stats().nnz_lu, 0);
+    EXPECT_GT(solver.stats().factor_flops, 0.0);
+  }
+}
+
+TEST_P(BaskerProperty, RefactorWithNewValues) {
+  Csc a = GetParam().make(31);
+  Basker solver(GetParam().opt);
+  ASSERT_EQ(solver.factor(a), Status::kOk);
+  Prng rng(5);
+  for (int step = 0; step < 3; ++step) {
+    gen::revalue(a, rng, 0.3);
+    ASSERT_EQ(solver.refactor(a), Status::kOk) << GetParam().name;
+    EXPECT_LT(basker_solve_residual(solver, a, 40 + step), 1e-9) << GetParam().name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, BaskerProperty,
+    ::testing::Values(
+        BaskerCase{"circuit_p1", b_circuit, opts(1)},
+        BaskerCase{"circuit_p2", b_circuit, opts(2)},
+        BaskerCase{"circuit_p4", b_circuit, opts(4)},
+        BaskerCase{"circuit_p4_chunk1", b_circuit, opts(4, 1)},
+        BaskerCase{"circuit_p4_chunk64", b_circuit, opts(4, 64)},
+        BaskerCase{"circuit_p4_barrier", b_circuit, opts(4, 16, SyncMode::kBarrier)},
+        BaskerCase{"circuit_p8", b_circuit, opts(8)},
+        BaskerCase{"powergrid_p4", b_powergrid, opts(4)},
+        BaskerCase{"mesh_p1", b_mesh, opts(1)},
+        BaskerCase{"mesh_p2", b_mesh, opts(2)},
+        BaskerCase{"mesh_p4", b_mesh, opts(4)},
+        BaskerCase{"mesh_p4_chunk1", b_mesh, opts(4, 1)},
+        BaskerCase{"mesh_p4_barrier", b_mesh, opts(4, 16, SyncMode::kBarrier)},
+        BaskerCase{"mesh_p8", b_mesh, opts(8)},
+        BaskerCase{"ladder_p4", b_ladder, opts(4)},
+        BaskerCase{"highfill_p4", b_highfill, opts(4)},
+        BaskerCase{"weak_diag_p4", b_weak, opts(4)}),
+    [](const auto& info) { return info.param.name; });
+
+TEST(Basker, ThreadCountRoundedToPowerOfTwo) {
+  Basker s3(opts(3)), s7(opts(7)), s1(opts(1));
+  EXPECT_EQ(s3.nthreads(), 2);
+  EXPECT_EQ(s7.nthreads(), 4);
+  EXPECT_EQ(s1.nthreads(), 1);
+}
+
+TEST(Basker, AgreesWithKluSolution) {
+  const Csc a = b_circuit(55);
+  const std::vector<Scalar> rhs = gen::random_rhs(a.ncols, 3);
+
+  KluSolver klu;
+  ASSERT_EQ(klu.factor(a), Status::kOk);
+  std::vector<Scalar> x_klu = rhs;
+  ASSERT_EQ(klu.solve(x_klu), Status::kOk);
+
+  Basker basker(opts(4));
+  ASSERT_EQ(basker.factor(a), Status::kOk);
+  std::vector<Scalar> x_basker = rhs;
+  ASSERT_EQ(basker.solve(x_basker), Status::kOk);
+
+  EXPECT_LT(max_abs_diff(x_klu, x_basker), 1e-7);
+}
+
+TEST(Basker, DeterministicAcrossRuns) {
+  // Same matrix, same thread count: identical factors (pattern and values),
+  // because the schedule does not change the arithmetic.
+  const Csc a = b_mesh(66);
+  Basker s1(opts(4)), s2(opts(4));
+  ASSERT_EQ(s1.factor(a), Status::kOk);
+  ASSERT_EQ(s2.factor(a), Status::kOk);
+  EXPECT_EQ(s1.stats().nnz_lu, s2.stats().nnz_lu);
+  const std::vector<Scalar> rhs = gen::random_rhs(a.ncols, 9);
+  std::vector<Scalar> x1 = rhs, x2 = rhs;
+  ASSERT_EQ(s1.solve(x1), Status::kOk);
+  ASSERT_EQ(s2.solve(x2), Status::kOk);
+  EXPECT_EQ(max_abs_diff(x1, x2), 0.0);
+}
+
+TEST(Basker, SameValuesForDifferentThreadCounts) {
+  const Csc a = b_circuit(77);
+  const std::vector<Scalar> rhs = gen::random_rhs(a.ncols, 4);
+  std::vector<Scalar> x_prev;
+  for (Int p : {1, 2, 4}) {
+    Basker solver(opts(p));
+    ASSERT_EQ(solver.factor(a), Status::kOk) << "p=" << p;
+    std::vector<Scalar> x = rhs;
+    ASSERT_EQ(solver.solve(x), Status::kOk);
+    EXPECT_LT(relative_residual(a, x, rhs), 1e-9) << "p=" << p;
+    if (!x_prev.empty()) {
+      // Different ND levels change the elimination order, so allow roundoff
+      // scale differences only.
+      EXPECT_LT(max_abs_diff(x, x_prev), 1e-6);
+    }
+    x_prev = x;
+  }
+}
+
+TEST(Basker, OneDimensionalAblationStillCorrect) {
+  BaskerOptions o = opts(4);
+  o.parallel_separators = false;
+  const Csc a = b_mesh(88);
+  Basker solver(o);
+  ASSERT_EQ(solver.factor(a), Status::kOk);
+  EXPECT_LT(basker_solve_residual(solver, a, 5), 1e-9);
+}
+
+TEST(Basker, StructurallySingularRejected) {
+  Triplets t(3, 3);
+  t.add(0, 0, 1.0);
+  t.add(0, 1, 1.0);
+  t.add(1, 2, 1.0);
+  Basker solver(opts(2));
+  EXPECT_EQ(solver.factor(t.to_csc()), Status::kStructurallySingular);
+  EXPECT_FALSE(solver.factored());
+}
+
+TEST(Basker, NumericallySingularRejectedInParallel) {
+  // A mesh with two identical columns defeats pivoting inside the part.
+  Csc a = gen::mesh2d(12, 12, 0.0, 2);
+  // Make column 1 a copy of column 0 (pattern superset via explicit add).
+  Triplets t(a.nrows, a.ncols);
+  for (Int j = 0; j < a.ncols; ++j) {
+    for (Size p = a.col_ptr[j]; p < a.col_ptr[j + 1]; ++p) {
+      if (j == 1) continue;
+      t.add(a.row_idx[p], j, a.values[p]);
+    }
+  }
+  for (Size p = a.col_ptr[0]; p < a.col_ptr[1]; ++p) {
+    t.add(a.row_idx[p], 1, a.values[p]);
+  }
+  Basker solver(opts(4));
+  const Status s = solver.factor(t.to_csc());
+  EXPECT_TRUE(s == Status::kNumericallySingular || s == Status::kStructurallySingular);
+  EXPECT_FALSE(solver.factored());
+}
+
+TEST(Basker, SolveBeforeFactorFails) {
+  Basker solver(opts(2));
+  std::vector<Scalar> b{1.0, 2.0};
+  EXPECT_EQ(solver.solve(b), Status::kNotFactored);
+  EXPECT_EQ(solver.refactor(Csc::identity(2)), Status::kNotFactored);
+}
+
+TEST(Basker, IdentityAndTinyMatrices) {
+  Basker solver(opts(4));
+  ASSERT_EQ(solver.factor(Csc::identity(5)), Status::kOk);
+  std::vector<Scalar> b{5, 4, 3, 2, 1};
+  ASSERT_EQ(solver.solve(b), Status::kOk);
+  EXPECT_DOUBLE_EQ(b[0], 5.0);
+
+  Triplets t(1, 1);
+  t.add(0, 0, 2.0);
+  Basker tiny(opts(8));
+  ASSERT_EQ(tiny.factor(t.to_csc()), Status::kOk);
+  std::vector<Scalar> b1{6.0};
+  ASSERT_EQ(tiny.solve(b1), Status::kOk);
+  EXPECT_DOUBLE_EQ(b1[0], 3.0);
+}
+
+TEST(Basker, StatsReflectStructure) {
+  const Csc a = b_powergrid(10);
+  Basker solver(opts(4));
+  ASSERT_EQ(solver.factor(a), Status::kOk);
+  EXPECT_DOUBLE_EQ(solver.stats().btf_pct, 100.0);
+  EXPECT_EQ(solver.stats().nd_parts, 0);
+
+  const Csc mesh = b_mesh(11);
+  Basker solver2(opts(4));
+  ASSERT_EQ(solver2.factor(mesh), Status::kOk);
+  EXPECT_EQ(solver2.stats().nd_parts, 1);
+  EXPECT_LT(solver2.stats().btf_pct, 1.0);
+}
+
+TEST(Basker, WorkCountersCoverAllPhases) {
+  const Csc a = b_mesh(13);
+  Basker solver(opts(4));
+  ASSERT_EQ(solver.factor(a), Status::kOk);
+  const auto& work = solver.stats().work_per_thread_per_phase;
+  ASSERT_EQ(static_cast<Int>(work.size()), 4);
+  double total = 0.0;
+  for (const auto& per_phase : work) {
+    for (double w : per_phase) total += w;
+  }
+  EXPECT_NEAR(total, solver.stats().factor_flops, 1e-6 * (1.0 + total));
+  // The mesh part has 2 separator levels with 4 threads: phase vector 0..2.
+  EXPECT_GE(work[0].size(), 3u);
+}
+
+TEST(Basker, XyceStyleSequence) {
+  Csc a = b_circuit(99);
+  Basker solver(opts(4));
+  ASSERT_EQ(solver.factor(a), Status::kOk);
+  Prng rng(123);
+  for (int step = 0; step < 8; ++step) {
+    gen::revalue(a, rng, 0.4);
+    ASSERT_EQ(solver.refactor(a), Status::kOk) << "step " << step;
+    EXPECT_LT(basker_solve_residual(solver, a, 200 + step), 1e-8) << "step " << step;
+  }
+}
+
+TEST(Basker, NoBtfAblation) {
+  BaskerOptions o = opts(4);
+  o.use_btf = false;
+  const Csc a = b_circuit(44);
+  Basker solver(o);
+  ASSERT_EQ(solver.factor(a), Status::kOk);
+  EXPECT_EQ(solver.stats().nblocks, 1);
+  EXPECT_LT(basker_solve_residual(solver, a, 7), 1e-9);
+}
+
+TEST(Basker, SyncSecondsTrackedInBarrierMode) {
+  const Csc a = b_mesh(17);
+  BaskerOptions barrier_opt = opts(4, 16, SyncMode::kBarrier);
+  Basker solver(barrier_opt);
+  ASSERT_EQ(solver.factor(a), Status::kOk);
+  EXPECT_GE(solver.stats().sync_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace basker

@@ -1,0 +1,369 @@
+// Tests for the ordering substrate: matchings, BTF, minimum degree, nested
+// dissection, elimination trees.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "basker/gen/generators.hpp"
+#include "basker/graph/btf.hpp"
+#include "basker/klu/klu.hpp"
+#include "basker/graph/etree.hpp"
+#include "basker/graph/matching.hpp"
+#include "basker/graph/mindeg.hpp"
+#include "basker/graph/nd.hpp"
+#include "basker/sparse/coo.hpp"
+#include "basker/sparse/ops.hpp"
+
+namespace basker {
+namespace {
+
+// --- Matching ---------------------------------------------------------------
+
+TEST(Matching, PerfectOnIdentity) {
+  const Matching m = max_cardinality_matching(Csc::identity(5));
+  EXPECT_TRUE(m.is_perfect(5));
+  for (Int j = 0; j < 5; ++j) EXPECT_EQ(m.row_of_col[j], j);
+}
+
+TEST(Matching, FindsAugmentingPath) {
+  // Columns 0 and 1 both prefer row 0; augmenting must reroute.
+  Triplets t(2, 2);
+  t.add(0, 0, 1.0);
+  t.add(0, 1, 1.0);
+  t.add(1, 0, 1.0);
+  const Matching m = max_cardinality_matching(t.to_csc());
+  EXPECT_TRUE(m.is_perfect(2));
+  EXPECT_EQ(m.row_of_col[0], 1);
+  EXPECT_EQ(m.row_of_col[1], 0);
+}
+
+TEST(Matching, DetectsStructuralSingularity) {
+  Triplets t(3, 3);
+  t.add(0, 0, 1.0);
+  t.add(0, 1, 1.0);  // rows 1,2 unreachable from cols 0,1
+  t.add(1, 2, 1.0);
+  const Matching m = max_cardinality_matching(t.to_csc());
+  EXPECT_EQ(m.size, 2);
+  EXPECT_FALSE(m.is_perfect(3));
+}
+
+TEST(Matching, RowPermutationPutsMatchOnDiagonal) {
+  const Csc a = gen::circuit({.n = 80, .btf_frac = 0.5, .seed = 5});
+  const Matching m = max_cardinality_matching(a);
+  ASSERT_TRUE(m.is_perfect(a.ncols));
+  const Csc b = permute(a, m.row_permutation(), {});
+  EXPECT_EQ(structural_diag_count(b), a.ncols);
+}
+
+TEST(Matching, BottleneckMaximizesSmallestDiagonal) {
+  // 2x2 with two perfect matchings: diag (1, 1e-6) vs anti-diag (0.5, 0.5).
+  Triplets t(2, 2);
+  t.add(0, 0, 1.0);
+  t.add(1, 1, 1e-6);
+  t.add(1, 0, 0.5);
+  t.add(0, 1, 0.5);
+  const Matching m = bottleneck_matching(t.to_csc());
+  ASSERT_TRUE(m.is_perfect(2));
+  EXPECT_EQ(m.row_of_col[0], 1);
+  EXPECT_EQ(m.row_of_col[1], 0);
+}
+
+TEST(Matching, BottleneckNeverWorseThanCardinalityMinimum) {
+  for (std::uint64_t seed : {1u, 2u, 3u, 4u}) {
+    const Csc a = gen::random_square(60, 4, 0.3, seed);
+    const Matching plain = max_cardinality_matching(a);
+    const Matching bn = bottleneck_matching(a);
+    ASSERT_EQ(plain.size, bn.size);
+    if (!bn.is_perfect(a.ncols)) continue;
+    auto min_matched = [&](const Matching& m) {
+      Scalar mn = 1e300;
+      for (Int j = 0; j < a.ncols; ++j) {
+        mn = std::min(mn, std::abs(a.value_at(m.row_of_col[j], j)));
+      }
+      return mn;
+    };
+    EXPECT_GE(min_matched(bn), min_matched(plain) - 1e-300);
+  }
+}
+
+TEST(Matching, VsourceCircuitStillPerfect) {
+  // Zero diagonals from voltage sources must be repaired by the matching.
+  const Csc a = gen::circuit({.n = 300, .btf_frac = 0.8, .vsource_frac = 0.5, .seed = 9});
+  EXPECT_LT(structural_diag_count(a), a.ncols);
+  const Matching m = bottleneck_matching(a);
+  EXPECT_TRUE(m.is_perfect(a.ncols));
+}
+
+// --- BTF --------------------------------------------------------------------
+
+/// Every entry of B = A(perm, perm) must fall inside or above its diagonal
+/// block.
+void expect_block_upper_triangular(const Csc& a, const BtfResult& r) {
+  const Csc b = permute(a, r.perm, r.perm);
+  std::vector<Int> block_of(static_cast<size_t>(a.ncols));
+  for (Int blk = 0; blk < r.num_blocks(); ++blk) {
+    for (Int i = r.block_offsets[blk]; i < r.block_offsets[blk + 1]; ++i) {
+      block_of[i] = blk;
+    }
+  }
+  for (Int j = 0; j < b.ncols; ++j) {
+    for (Size p = b.col_ptr[j]; p < b.col_ptr[j + 1]; ++p) {
+      EXPECT_LE(block_of[b.row_idx[p]], block_of[j]);
+    }
+  }
+}
+
+TEST(Btf, DiagonalMatrixGivesSingletonBlocks) {
+  const BtfResult r = btf_order(Csc::identity(4));
+  EXPECT_EQ(r.num_blocks(), 4);
+  expect_block_upper_triangular(Csc::identity(4), r);
+}
+
+TEST(Btf, TwoComponentChain) {
+  // 0 <-> 1 strongly connected; 2 feeds from them (entry A(0,2)).
+  Triplets t(3, 3);
+  t.add(0, 0, 1.0);
+  t.add(1, 1, 1.0);
+  t.add(2, 2, 1.0);
+  t.add(1, 0, 1.0);
+  t.add(0, 1, 1.0);
+  t.add(0, 2, 1.0);
+  const Csc a = t.to_csc();
+  const BtfResult r = btf_order(a);
+  EXPECT_EQ(r.num_blocks(), 2);
+  expect_block_upper_triangular(a, r);
+  EXPECT_EQ(r.largest_block(), 2);
+}
+
+TEST(Btf, FullyCoupledIsOneBlock) {
+  const Csc a = gen::mesh2d(5, 5, 0.1, 3);  // symmetric pattern: one SCC
+  const BtfResult r = btf_order(a);
+  EXPECT_EQ(r.num_blocks(), 1);
+}
+
+TEST(Btf, CircuitDecomposesIntoManyBlocks) {
+  gen::CircuitParams p;
+  p.n = 400;
+  p.btf_frac = 0.5;
+  p.avg_block = 4;
+  p.seed = 21;
+  const Csc a = gen::circuit(p);
+  const Matching m = max_cardinality_matching(a);
+  ASSERT_TRUE(m.is_perfect(a.ncols));
+  const Csc matched = permute(a, m.row_permutation(), {});
+  const BtfResult r = btf_order(matched);
+  EXPECT_GT(r.num_blocks(), 10);
+  expect_block_upper_triangular(matched, r);
+  // The core should survive as one large block of roughly n/2 rows.
+  EXPECT_GT(r.largest_block(), 150);
+}
+
+TEST(Btf, PowergridIsAllSmallBlocks) {
+  gen::PowergridParams p;
+  p.n = 300;
+  p.avg_block = 10;
+  p.seed = 4;
+  const Csc a = gen::powergrid(p);
+  const Matching m = max_cardinality_matching(a);
+  ASSERT_TRUE(m.is_perfect(a.ncols));
+  const BtfResult r = btf_order(permute(a, m.row_permutation(), {}));
+  EXPECT_LT(r.largest_block(), kSmallBlockThreshold);
+  EXPECT_GT(r.num_blocks(), 10);
+}
+
+// --- Elimination tree & symbolic Cholesky -----------------------------------
+
+/// Brute-force symbolic Cholesky column counts by elimination on a dense
+/// boolean matrix.
+std::vector<Int> brute_force_counts(const Csc& sym) {
+  const Int n = sym.ncols;
+  std::vector<std::vector<bool>> full(static_cast<size_t>(n),
+                                      std::vector<bool>(static_cast<size_t>(n), false));
+  for (Int j = 0; j < n; ++j) {
+    full[j][j] = true;
+    for (Size p = sym.col_ptr[j]; p < sym.col_ptr[j + 1]; ++p) {
+      full[sym.row_idx[p]][j] = true;
+      full[j][sym.row_idx[p]] = true;
+    }
+  }
+  for (Int k = 0; k < n; ++k) {
+    for (Int i = k + 1; i < n; ++i) {
+      if (!full[i][k]) continue;
+      for (Int j = k + 1; j < n; ++j) {
+        if (full[j][k]) full[i][j] = full[j][i] = true;
+      }
+    }
+  }
+  std::vector<Int> counts(static_cast<size_t>(n), 0);
+  for (Int j = 0; j < n; ++j) {
+    for (Int i = j; i < n; ++i) counts[j] += full[i][j] ? 1 : 0;
+  }
+  return counts;
+}
+
+class EtreeProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EtreeProperty, ColCountsMatchBruteForce) {
+  const Csc a = symmetrize_pattern(gen::random_square(40, 3, 1.0, GetParam()));
+  const std::vector<Int> parent = etree(a);
+  const std::vector<Int> counts = chol_col_counts(a, parent);
+  EXPECT_EQ(counts, brute_force_counts(a));
+}
+
+TEST_P(EtreeProperty, CholPatternMatchesCounts) {
+  const Csc a = symmetrize_pattern(gen::random_square(40, 3, 1.0, GetParam() + 100));
+  const std::vector<Int> parent = etree(a);
+  const std::vector<Int> counts = chol_col_counts(a, parent);
+  const Csc l = chol_pattern(a, parent);
+  l.check_valid();
+  for (Int j = 0; j < a.ncols; ++j) {
+    EXPECT_EQ(l.col_ptr[j + 1] - l.col_ptr[j], counts[j]);
+    EXPECT_EQ(l.row_idx[l.col_ptr[j]], j);  // diagonal first (sorted)
+  }
+}
+
+TEST_P(EtreeProperty, PostorderIsAValidPermutation) {
+  const Csc a = symmetrize_pattern(gen::random_square(50, 2, 1.0, GetParam() + 200));
+  const std::vector<Int> parent = etree(a);
+  const std::vector<Int> post = postorder(parent);
+  EXPECT_TRUE(is_permutation(post, a.ncols));
+  // Children appear before parents.
+  std::vector<Int> pos(post.size());
+  for (size_t k = 0; k < post.size(); ++k) pos[post[k]] = static_cast<Int>(k);
+  for (Int v = 0; v < a.ncols; ++v) {
+    if (parent[v] != kInvalid) EXPECT_LT(pos[v], pos[parent[v]]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EtreeProperty, ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(Etree, ChainGraphIsAPath) {
+  const Csc a = symmetrize_pattern(gen::tridiag(6));
+  const std::vector<Int> parent = etree(a);
+  for (Int v = 0; v + 1 < 6; ++v) EXPECT_EQ(parent[v], v + 1);
+  EXPECT_EQ(parent[5], kInvalid);
+}
+
+// --- Minimum degree ----------------------------------------------------------
+
+TEST(MinDegree, ProducesValidPermutation) {
+  for (std::uint64_t seed : {7u, 8u, 9u}) {
+    const Csc a = symmetrize_pattern(gen::random_square(100, 4, 1.0, seed));
+    EXPECT_TRUE(is_permutation(min_degree_order(a), a.ncols));
+  }
+}
+
+TEST(MinDegree, ReducesFillOnMesh) {
+  const Csc g = symmetrize_pattern(gen::mesh2d(16, 16, 0.0, 1));
+  std::vector<Int> natural(static_cast<size_t>(g.ncols));
+  std::iota(natural.begin(), natural.end(), 0);
+  const Size fill_natural = symbolic_fill_count(g, natural);
+  const Size fill_md = symbolic_fill_count(g, min_degree_order(g));
+  // Banded natural order of a 2D mesh fills ~n*b; MD should clearly win.
+  EXPECT_LT(fill_md, fill_natural);
+}
+
+TEST(MinDegree, OptimalOnTree) {
+  // Elimination of a path graph in minimum-degree order causes zero fill.
+  const Csc g = symmetrize_pattern(gen::tridiag(50));
+  EXPECT_EQ(symbolic_fill_count(g, min_degree_order(g)),
+            static_cast<Size>(49));  // only the original off-diagonals
+}
+
+TEST(MinDegree, HandlesIsolatedVerticesAndTinyGraphs) {
+  EXPECT_TRUE(min_degree_order(Csc(0, 0)).empty());
+  EXPECT_TRUE(is_permutation(min_degree_order(Csc::identity(3)), 3));
+  EXPECT_TRUE(is_permutation(min_degree_order(symmetrize_pattern(gen::arrowhead(20))), 20));
+}
+
+// --- Nested dissection --------------------------------------------------------
+
+/// No edge may connect the left and right subtree vertex sets of any
+/// internal tree node.
+void expect_separation(const Csc& g, const NdTree& t) {
+  const Csc b = permute(g, t.perm, t.perm);
+  // seg_of in permuted coordinates.
+  std::vector<Int> seg_of(static_cast<size_t>(g.ncols));
+  for (Int s = 0; s < t.nsegments; ++s) {
+    for (Int i = t.seg_offset[s]; i < t.seg_offset[s + 1]; ++i) seg_of[i] = s;
+  }
+  for (Int j = 0; j < b.ncols; ++j) {
+    for (Size p = b.col_ptr[j]; p < b.col_ptr[j + 1]; ++p) {
+      const Int si = seg_of[b.row_idx[p]], sj = seg_of[j];
+      EXPECT_TRUE(t.is_ancestor_or_self(si, sj) || t.is_ancestor_or_self(sj, si))
+          << "edge between separated segments " << si << " and " << sj;
+    }
+  }
+}
+
+class NdProperty : public ::testing::TestWithParam<Int> {};
+
+TEST_P(NdProperty, MeshSeparationAndShape) {
+  const Int levels = GetParam();
+  const Csc g = symmetrize_pattern(gen::mesh2d(20, 20, 0.0, 2));
+  const NdTree t = nested_dissect(g, levels);
+  EXPECT_TRUE(is_permutation(t.perm, g.ncols));
+  EXPECT_EQ(t.nleaves, 1 << levels);
+  EXPECT_EQ(t.nsegments, 2 * t.nleaves - 1);
+  EXPECT_EQ(t.seg_offset.back(), g.ncols);
+  expect_separation(g, t);
+  // Leaves should hold the bulk of the vertices.
+  Int leaf_rows = 0;
+  for (Int s = 0; s < t.nsegments; ++s) {
+    if (t.is_leaf(s)) leaf_rows += t.seg_size(s);
+  }
+  EXPECT_GT(leaf_rows, g.ncols / 2);
+}
+
+TEST_P(NdProperty, RandomGraphSeparation) {
+  const Int levels = GetParam();
+  const Csc g = symmetrize_pattern(gen::random_square(300, 3, 1.0, 31));
+  const NdTree t = nested_dissect(g, levels);
+  EXPECT_TRUE(is_permutation(t.perm, g.ncols));
+  expect_separation(g, t);
+}
+
+INSTANTIATE_TEST_SUITE_P(Levels, NdProperty, ::testing::Values(1, 2, 3));
+
+TEST(Nd, ZeroLevelsIsSingleLeaf) {
+  const Csc g = symmetrize_pattern(gen::mesh2d(5, 5, 0.0, 2));
+  const NdTree t = nested_dissect(g, 0);
+  EXPECT_EQ(t.nsegments, 1);
+  EXPECT_EQ(t.seg_size(0), g.ncols);
+  EXPECT_TRUE(t.is_leaf(0));
+}
+
+TEST(Nd, DisconnectedGraphNeedsNoSeparator) {
+  // Two disjoint cliques: the bisection should split them with an empty
+  // separator.
+  Triplets t(8, 8);
+  for (Int i = 0; i < 4; ++i) {
+    for (Int j = 0; j < 4; ++j) {
+      if (i != j) {
+        t.add(i, j, 1.0);
+        t.add(i + 4, j + 4, 1.0);
+      }
+    }
+  }
+  const Csc g = symmetrize_pattern(t.to_csc());
+  const NdTree tree = nested_dissect(g, 1);
+  EXPECT_EQ(tree.seg_size(2), 0);  // root separator empty
+  expect_separation(g, tree);
+}
+
+TEST(Nd, TreeParentsAreConsistent) {
+  const Csc g = symmetrize_pattern(gen::mesh2d(12, 12, 0.0, 5));
+  const NdTree t = nested_dissect(g, 2);
+  EXPECT_EQ(t.seg_parent[t.nsegments - 1], kInvalid);
+  for (Int s = 0; s + 1 < t.nsegments; ++s) {
+    const Int par = t.seg_parent[s];
+    ASSERT_NE(par, kInvalid);
+    EXPECT_TRUE(t.seg_children[par][0] == s || t.seg_children[par][1] == s);
+    EXPECT_EQ(t.seg_level[par], t.seg_level[s] + 1);
+  }
+}
+
+}  // namespace
+}  // namespace basker

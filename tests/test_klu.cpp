@@ -1,0 +1,199 @@
+// Tests for the KLU-like baseline solver: end-to-end solves across matrix
+// families and option combinations, refactorization, and failure modes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "basker/common/prng.hpp"
+#include "basker/gen/generators.hpp"
+#include "basker/klu/klu.hpp"
+#include "basker/sparse/coo.hpp"
+#include "basker/sparse/ops.hpp"
+
+namespace basker {
+namespace {
+
+double klu_solve_residual(KluSolver& solver, const Csc& a, std::uint64_t seed) {
+  std::vector<Scalar> b = gen::random_rhs(a.ncols, seed);
+  const std::vector<Scalar> b_orig = b;
+  EXPECT_EQ(solver.solve(b), Status::kOk);
+  return relative_residual(a, b, b_orig);
+}
+
+struct KluCase {
+  const char* name;
+  Csc (*make)(std::uint64_t);
+  KluOptions opt;
+};
+
+Csc k_circuit(std::uint64_t s) {
+  gen::CircuitParams p;
+  p.n = 600;
+  p.btf_frac = 0.5;
+  p.vsource_frac = 0.1;
+  p.seed = s;
+  return gen::circuit(p);
+}
+Csc k_powergrid(std::uint64_t s) {
+  gen::PowergridParams p;
+  p.n = 500;
+  p.avg_block = 15;
+  p.seed = s;
+  return gen::powergrid(p);
+}
+Csc k_mesh(std::uint64_t s) { return gen::scramble(gen::mesh2d(18, 18, 0.2, s), s); }
+Csc k_random_weak(std::uint64_t s) { return gen::random_square(300, 4, 0.05, s); }
+Csc k_arrow(std::uint64_t) { return gen::arrowhead(100); }
+Csc k_highfill(std::uint64_t s) {
+  gen::CircuitParams p;
+  p.n = 400;
+  p.btf_frac = 0.0;
+  p.core = gen::CoreTopology::kRandom;
+  p.core_degree = 4;
+  p.seed = s;
+  return gen::circuit(p);
+}
+
+class KluProperty : public ::testing::TestWithParam<KluCase> {};
+
+TEST_P(KluProperty, FactorSolveResidual) {
+  for (std::uint64_t seed : {3u, 4u}) {
+    const Csc a = GetParam().make(seed);
+    KluSolver solver(GetParam().opt);
+    ASSERT_EQ(solver.factor(a), Status::kOk) << GetParam().name;
+    EXPECT_LT(klu_solve_residual(solver, a, seed), 1e-9) << GetParam().name;
+    EXPECT_GT(solver.stats().nnz_lu, 0);
+  }
+}
+
+TEST_P(KluProperty, RefactorMatchesFreshFactor) {
+  Csc a = GetParam().make(8);
+  KluSolver solver(GetParam().opt);
+  ASSERT_EQ(solver.factor(a), Status::kOk);
+  // Perturb values, keep pattern.
+  Prng rng(17);
+  gen::revalue(a, rng, 0.2);
+  ASSERT_EQ(solver.refactor(a), Status::kOk);
+  EXPECT_LT(klu_solve_residual(solver, a, 9), 1e-9) << GetParam().name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, KluProperty,
+    ::testing::Values(
+        KluCase{"circuit", k_circuit, {}},
+        KluCase{"circuit_nobtf", k_circuit, {.use_btf = false}},
+        KluCase{"circuit_mc21", k_circuit, {.use_mwcm = false}},
+        KluCase{"circuit_noamd", k_circuit, {.use_amd = false}},
+        KluCase{"powergrid", k_powergrid, {}},
+        KluCase{"mesh", k_mesh, {}},
+        KluCase{"weak_diag", k_random_weak, {}},
+        KluCase{"weak_diag_strictpivot", k_random_weak, {.pivot_tol = 1.0}},
+        KluCase{"arrowhead", k_arrow, {}},
+        KluCase{"highfill", k_highfill, {}}),
+    [](const auto& info) { return info.param.name; });
+
+TEST(Klu, PowergridIsFullyFineBtf) {
+  const Csc a = k_powergrid(5);
+  KluSolver solver;
+  ASSERT_EQ(solver.factor(a), Status::kOk);
+  EXPECT_DOUBLE_EQ(solver.stats().btf_pct, 100.0);
+  EXPECT_GT(solver.num_blocks(), 8);
+  EXPECT_LT(solver.stats().largest_block, kSmallBlockThreshold);
+}
+
+TEST(Klu, BtfReducesFillOnCircuit) {
+  const Csc a = k_circuit(6);
+  KluSolver with_btf({.use_btf = true});
+  KluSolver without_btf({.use_btf = false});
+  ASSERT_EQ(with_btf.factor(a), Status::kOk);
+  ASSERT_EQ(without_btf.factor(a), Status::kOk);
+  EXPECT_LE(with_btf.stats().nnz_lu, without_btf.stats().nnz_lu);
+}
+
+TEST(Klu, StructurallySingularRejected) {
+  Triplets t(3, 3);
+  t.add(0, 0, 1.0);
+  t.add(0, 1, 1.0);
+  t.add(1, 2, 1.0);
+  KluSolver solver;
+  EXPECT_EQ(solver.factor(t.to_csc()), Status::kStructurallySingular);
+  EXPECT_FALSE(solver.factored());
+}
+
+TEST(Klu, SolveBeforeFactorFails) {
+  KluSolver solver;
+  std::vector<Scalar> b{1.0};
+  EXPECT_EQ(solver.solve(b), Status::kNotFactored);
+}
+
+TEST(Klu, RefactorBeforeFactorFails) {
+  KluSolver solver;
+  EXPECT_EQ(solver.refactor(Csc::identity(2)), Status::kNotFactored);
+}
+
+TEST(Klu, IdentityAndDiagonal) {
+  KluSolver solver;
+  ASSERT_EQ(solver.factor(Csc::identity(7)), Status::kOk);
+  std::vector<Scalar> b{1, 2, 3, 4, 5, 6, 7};
+  ASSERT_EQ(solver.solve(b), Status::kOk);
+  for (Int i = 0; i < 7; ++i) EXPECT_DOUBLE_EQ(b[i], i + 1.0);
+  EXPECT_EQ(solver.num_blocks(), 7);
+}
+
+TEST(Klu, OneByOne) {
+  Triplets t(1, 1);
+  t.add(0, 0, -4.0);
+  KluSolver solver;
+  ASSERT_EQ(solver.factor(t.to_csc()), Status::kOk);
+  std::vector<Scalar> b{8.0};
+  ASSERT_EQ(solver.solve(b), Status::kOk);
+  EXPECT_DOUBLE_EQ(b[0], -2.0);
+}
+
+TEST(Klu, PermutationMatrixSolvedExactly) {
+  // A pure permutation matrix: BTF gives n singleton blocks.
+  const Int n = 6;
+  Triplets t(n, n);
+  for (Int j = 0; j < n; ++j) t.add((j + 2) % n, j, 1.0);
+  const Csc a = t.to_csc();
+  KluSolver solver;
+  ASSERT_EQ(solver.factor(a), Status::kOk);
+  EXPECT_EQ(solver.num_blocks(), n);
+  std::vector<Scalar> b = gen::random_rhs(n, 2);
+  const std::vector<Scalar> b0 = b;
+  ASSERT_EQ(solver.solve(b), Status::kOk);
+  EXPECT_LT(relative_residual(a, b, b0), 1e-14);
+}
+
+TEST(Klu, RefactorSequenceStaysAccurate) {
+  // The Xyce pattern: one symbolic analysis, many numeric refactors.
+  Csc a = k_circuit(30);
+  KluSolver solver;
+  ASSERT_EQ(solver.factor(a), Status::kOk);
+  Prng rng(77);
+  for (int step = 0; step < 10; ++step) {
+    gen::revalue(a, rng, 0.4);
+    ASSERT_EQ(solver.refactor(a), Status::kOk) << "step " << step;
+    EXPECT_LT(klu_solve_residual(solver, a, 100 + step), 1e-8) << "step " << step;
+  }
+}
+
+TEST(Klu, RefactorDetectsZeroPivot) {
+  Csc a = Csc::identity(3);
+  KluSolver solver;
+  ASSERT_EQ(solver.factor(a), Status::kOk);
+  a.values[1] = 0.0;  // kill a pivot value
+  EXPECT_EQ(solver.refactor(a), Status::kNumericallySingular);
+}
+
+TEST(Klu, StatsFlopsPositiveAndFillSane) {
+  const Csc a = k_mesh(3);
+  KluSolver solver;
+  ASSERT_EQ(solver.factor(a), Status::kOk);
+  EXPECT_GT(solver.stats().factor_flops, 0.0);
+  EXPECT_GE(solver.stats().nnz_lu, static_cast<Size>(a.ncols));  // at least diag
+  EXPECT_EQ(solver.stats().nblocks, 1);                          // mesh: one SCC
+}
+
+}  // namespace
+}  // namespace basker

@@ -1,0 +1,210 @@
+// Tests for the Gilbert-Peierls kernel: factorization correctness against
+// dense LU, pivoting behaviour, singularity detection, and the sparse
+// lower-triangular solve used by Basker's 2D algorithm.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "basker/dense/dense.hpp"
+#include "basker/gen/generators.hpp"
+#include "basker/lu/gp.hpp"
+#include "basker/lu/tri_solve.hpp"
+#include "basker/sparse/coo.hpp"
+#include "basker/sparse/ops.hpp"
+
+namespace basker {
+namespace {
+
+/// Solve A x = b through the factors and return the relative residual.
+double solve_residual(const Csc& a, const LuMatrix& l, const LuMatrix& u,
+                      const std::vector<Int>& row_perm,
+                      const std::vector<Scalar>& b) {
+  std::vector<Scalar> tmp = b;
+  std::vector<Scalar> y;
+  block_lsolve(l, row_perm, tmp, y);
+  block_usolve(u, y);
+  return relative_residual(a, y, b);
+}
+
+struct LuCase {
+  const char* name;
+  Csc (*make)(std::uint64_t);
+};
+
+Csc lu_random_dominant(std::uint64_t s) { return gen::random_square(80, 4, 1.2, s); }
+Csc lu_random_weak(std::uint64_t s) { return gen::random_square(80, 4, 0.05, s); }
+Csc lu_mesh(std::uint64_t s) { return gen::mesh2d(9, 9, 0.3, s); }
+Csc lu_tridiag(std::uint64_t s) { return gen::tridiag(60, s); }
+Csc lu_arrow(std::uint64_t) { return gen::arrowhead(40); }
+
+class GpProperty : public ::testing::TestWithParam<LuCase> {};
+
+TEST_P(GpProperty, SolveResidualIsTiny) {
+  for (std::uint64_t seed : {11u, 12u, 13u}) {
+    const Csc a = GetParam().make(seed);
+    GpEngine engine;
+    LuMatrix l, u;
+    ASSERT_EQ(engine.factor_block(a, l, u, a.nnz(), {}), Status::kOk);
+    const std::vector<Scalar> b = gen::random_rhs(a.ncols, seed);
+    EXPECT_LT(solve_residual(a, l, u, engine.row_perm(), b), 1e-10)
+        << GetParam().name << " seed " << seed;
+  }
+}
+
+TEST_P(GpProperty, FactorsAreProperlyTriangular) {
+  const Csc a = GetParam().make(17);
+  GpEngine engine;
+  LuMatrix l, u;
+  ASSERT_EQ(engine.factor_block(a, l, u, a.nnz(), {}), Status::kOk);
+  const std::vector<Int>& pinv = engine.pinv();
+  for (Int t = 0; t < a.ncols; ++t) {
+    for (Size p = l.col_ptr[t]; p < l.col_ptr[t + 1]; ++p) {
+      EXPECT_GT(pinv[l.row_idx[p]], t);  // strictly below diagonal
+    }
+    const Size begin = u.col_ptr[t], end = u.col_ptr[t + 1];
+    ASSERT_GT(end, begin);
+    EXPECT_EQ(u.row_idx[end - 1], t);  // diagonal last
+    for (Size p = begin; p + 1 < end; ++p) {
+      EXPECT_LT(u.row_idx[p], t);
+      if (p > begin) EXPECT_GT(u.row_idx[p], u.row_idx[p - 1]);  // sorted
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, GpProperty,
+    ::testing::Values(LuCase{"dominant", lu_random_dominant},
+                      LuCase{"weak_diagonal", lu_random_weak},
+                      LuCase{"mesh", lu_mesh}, LuCase{"tridiag", lu_tridiag},
+                      LuCase{"arrowhead", lu_arrow}),
+    [](const auto& info) { return info.param.name; });
+
+TEST(Gp, PivotingActuallyPivotsOnWeakDiagonal) {
+  // With a tiny diagonal and pivot_tol = 1.0 (always take the max), the
+  // pivot order must differ from the identity.
+  Triplets t(3, 3);
+  t.add(0, 0, 1e-14);
+  t.add(1, 0, 1.0);
+  t.add(0, 1, 1.0);
+  t.add(1, 1, 1e-14);
+  t.add(2, 2, 1.0);
+  const Csc a = t.to_csc();
+  GpEngine engine;
+  LuMatrix l, u;
+  GpOptions opt;
+  opt.pivot_tol = 1.0;
+  ASSERT_EQ(engine.factor_block(a, l, u, 16, opt), Status::kOk);
+  EXPECT_EQ(engine.row_perm()[0], 1);  // off-diagonal pivot chosen
+}
+
+TEST(Gp, DiagonalPreferenceKeepsDiagonalWithinTolerance) {
+  Triplets t(2, 2);
+  t.add(0, 0, 0.5);
+  t.add(1, 0, 1.0);  // larger, but diagonal within tol 0.001
+  t.add(0, 1, 1.0);
+  t.add(1, 1, 1.0);
+  const Csc a = t.to_csc();
+  GpEngine engine;
+  LuMatrix l, u;
+  ASSERT_EQ(engine.factor_block(a, l, u, 8, {}), Status::kOk);
+  EXPECT_EQ(engine.row_perm()[0], 0);
+}
+
+TEST(Gp, EmptyColumnIsStructurallySingular) {
+  Csc a(2, 2);
+  a.col_ptr = {0, 1, 1};
+  a.row_idx = {0};
+  a.values = {1.0};
+  GpEngine engine;
+  LuMatrix l, u;
+  EXPECT_EQ(engine.factor_block(a, l, u, 4, {}), Status::kStructurallySingular);
+}
+
+TEST(Gp, NumericallySingularDetected) {
+  // Second column is a multiple of the first.
+  Triplets t(2, 2);
+  t.add(0, 0, 1.0);
+  t.add(1, 0, 2.0);
+  t.add(0, 1, 2.0);
+  t.add(1, 1, 4.0);
+  GpEngine engine;
+  LuMatrix l, u;
+  EXPECT_EQ(engine.factor_block(t.to_csc(), l, u, 8, {}),
+            Status::kNumericallySingular);
+}
+
+TEST(Gp, OneByOne) {
+  Triplets t(1, 1);
+  t.add(0, 0, 3.0);
+  GpEngine engine;
+  LuMatrix l, u;
+  ASSERT_EQ(engine.factor_block(t.to_csc(), l, u, 2, {}), Status::kOk);
+  EXPECT_EQ(u.nnz(), 1);
+  EXPECT_DOUBLE_EQ(u.values[0], 3.0);
+  EXPECT_EQ(l.nnz(), 0);
+}
+
+TEST(Gp, FlopCountGrowsWithFill) {
+  const Csc sparse_a = gen::tridiag(100, 1);
+  const Csc dense_a = gen::random_square(100, 20, 1.2, 1);
+  GpEngine e1, e2;
+  LuMatrix l1, u1, l2, u2;
+  ASSERT_EQ(e1.factor_block(sparse_a, l1, u1, sparse_a.nnz(), {}), Status::kOk);
+  ASSERT_EQ(e2.factor_block(dense_a, l2, u2, dense_a.nnz(), {}), Status::kOk);
+  EXPECT_GT(e2.flops(), 10.0 * e1.flops());
+}
+
+TEST(Gp, SparseLsolveMatchesDenseSolve) {
+  const Csc a = gen::random_square(50, 4, 1.2, 42);
+  GpEngine engine;
+  LuMatrix l, u;
+  ASSERT_EQ(engine.factor_block(a, l, u, a.nnz(), {}), Status::kOk);
+
+  // Sparse right-hand side with 3 entries (pre-pivot row ids).
+  std::vector<Int> in_rows{5, 17, 40};
+  std::vector<Scalar> in_vals{1.0, -2.0, 0.5};
+  std::vector<Int> out_rows;
+  std::vector<Scalar> out_vals;
+  engine.sparse_lsolve(l, engine.pinv(), in_rows.data(), in_vals.data(), 3,
+                       out_rows, out_vals);
+
+  // Dense reference: y = L^{-1} P b.
+  std::vector<Scalar> b(50, 0.0);
+  for (size_t i = 0; i < in_rows.size(); ++i) b[in_rows[i]] = in_vals[i];
+  std::vector<Scalar> y_ref;
+  std::vector<Scalar> b_copy = b;
+  block_lsolve(l, engine.row_perm(), b_copy, y_ref);
+
+  std::vector<Scalar> y_sparse(50, 0.0);
+  const std::vector<Int>& pinv = engine.pinv();
+  for (size_t i = 0; i < out_rows.size(); ++i) {
+    y_sparse[pinv[out_rows[i]]] = out_vals[i];
+  }
+  EXPECT_LT(max_abs_diff(y_sparse, y_ref), 1e-12);
+}
+
+TEST(LuStorage, GrowEventsCountReallocation) {
+  LuMatrix m;
+  m.init(10, 10, 2);  // reserve only 2
+  m.append(0, 1.0);
+  m.append(1, 1.0);
+  m.append(2, 1.0);  // exceeds reservation
+  EXPECT_GE(m.grow_events, 1);
+}
+
+TEST(LuStorage, ToCscRoundTrip) {
+  LuMatrix m;
+  m.init(3, 2, 4);
+  m.append(2, 5.0);
+  m.append(0, 1.0);
+  m.close_column(0);
+  m.append(1, 2.0);
+  m.close_column(1);
+  const Csc a = m.to_csc();
+  a.check_valid();
+  EXPECT_DOUBLE_EQ(a.value_at(2, 0), 5.0);
+  EXPECT_DOUBLE_EQ(a.value_at(1, 1), 2.0);
+}
+
+}  // namespace
+}  // namespace basker

@@ -1,0 +1,287 @@
+// Unit and property tests for the sparse-matrix substrate.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "basker/common/prng.hpp"
+#include "basker/dense/dense.hpp"
+#include "basker/gen/generators.hpp"
+#include "basker/sparse/coo.hpp"
+#include "basker/sparse/csc.hpp"
+#include "basker/sparse/io.hpp"
+#include "basker/sparse/ops.hpp"
+
+namespace basker {
+namespace {
+
+Csc small_example() {
+  // [ 2  0  1 ]
+  // [ 0  3  0 ]
+  // [ 4  0  5 ]
+  Triplets t(3, 3);
+  t.add(0, 0, 2.0);
+  t.add(2, 0, 4.0);
+  t.add(1, 1, 3.0);
+  t.add(0, 2, 1.0);
+  t.add(2, 2, 5.0);
+  return t.to_csc();
+}
+
+TEST(Csc, IdentityHasUnitDiagonal) {
+  const Csc eye = Csc::identity(4);
+  eye.check_valid();
+  EXPECT_EQ(eye.nnz(), 4);
+  for (Int i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(eye.value_at(i, i), 1.0);
+  EXPECT_DOUBLE_EQ(eye.value_at(0, 1), 0.0);
+}
+
+TEST(Csc, TripletsMergeDuplicatesBySummation) {
+  Triplets t(2, 2);
+  t.add(0, 0, 1.0);
+  t.add(0, 0, 2.5);
+  t.add(1, 1, -1.0);
+  const Csc a = t.to_csc();
+  EXPECT_EQ(a.nnz(), 2);
+  EXPECT_DOUBLE_EQ(a.value_at(0, 0), 3.5);
+}
+
+TEST(Csc, ValueAtReturnsZeroOffPattern) {
+  const Csc a = small_example();
+  EXPECT_DOUBLE_EQ(a.value_at(1, 0), 0.0);
+  EXPECT_DOUBLE_EQ(a.value_at(2, 0), 4.0);
+}
+
+TEST(Csc, CheckValidRejectsBadRowIndex) {
+  Csc a(2, 2);
+  a.col_ptr = {0, 1, 1};
+  a.row_idx = {5};  // out of range
+  a.values = {1.0};
+  EXPECT_THROW(a.check_valid(), BaskerError);
+}
+
+TEST(Csc, SortColumnsRestoresInvariant) {
+  Csc a(3, 1);
+  a.col_ptr = {0, 3};
+  a.row_idx = {2, 0, 2};  // unsorted with duplicate
+  a.values = {1.0, 2.0, 3.0};
+  a.sort_columns();
+  a.check_valid();
+  EXPECT_EQ(a.nnz(), 2);
+  EXPECT_DOUBLE_EQ(a.value_at(2, 0), 4.0);
+}
+
+TEST(Ops, TransposeSmall) {
+  const Csc at = transpose(small_example());
+  at.check_valid();
+  EXPECT_DOUBLE_EQ(at.value_at(0, 2), 4.0);
+  EXPECT_DOUBLE_EQ(at.value_at(2, 0), 1.0);
+}
+
+TEST(Ops, PermuteMatchesDefinition) {
+  const Csc a = small_example();
+  const std::vector<Int> p{2, 0, 1};
+  const std::vector<Int> q{1, 2, 0};
+  const Csc b = permute(a, p, q);
+  b.check_valid();
+  for (Int i = 0; i < 3; ++i) {
+    for (Int j = 0; j < 3; ++j) {
+      EXPECT_DOUBLE_EQ(b.value_at(i, j), a.value_at(p[i], q[j]));
+    }
+  }
+}
+
+TEST(Ops, InversePermutationRoundTrip) {
+  const std::vector<Int> p{3, 1, 0, 2};
+  const std::vector<Int> inv = inverse_permutation(p);
+  for (size_t k = 0; k < p.size(); ++k) EXPECT_EQ(inv[p[k]], static_cast<Int>(k));
+  EXPECT_THROW(inverse_permutation({0, 0, 1}), BaskerError);
+}
+
+TEST(Ops, IsPermutationDetectsDuplicatesAndRange) {
+  EXPECT_TRUE(is_permutation({2, 0, 1}, 3));
+  EXPECT_FALSE(is_permutation({2, 2, 1}, 3));
+  EXPECT_FALSE(is_permutation({0, 1}, 3));
+  EXPECT_FALSE(is_permutation({0, 1, 3}, 3));
+}
+
+TEST(Ops, SpmvMatchesDense) {
+  const Csc a = small_example();
+  const std::vector<Scalar> x{1.0, 2.0, 3.0};
+  std::vector<Scalar> y;
+  spmv(a, x, y);
+  EXPECT_DOUBLE_EQ(y[0], 2.0 * 1 + 1.0 * 3);
+  EXPECT_DOUBLE_EQ(y[1], 3.0 * 2);
+  EXPECT_DOUBLE_EQ(y[2], 4.0 * 1 + 5.0 * 3);
+}
+
+TEST(Ops, ExtractBlockRebasesIndices) {
+  const Csc a = small_example();
+  const Csc b = extract_block(a, 1, 3, 0, 2);
+  EXPECT_EQ(b.nrows, 2);
+  EXPECT_EQ(b.ncols, 2);
+  EXPECT_DOUBLE_EQ(b.value_at(1, 0), 4.0);  // a(2,0)
+  EXPECT_DOUBLE_EQ(b.value_at(0, 1), 3.0);  // a(1,1)
+}
+
+TEST(Ops, SymmetrizePatternIsSymmetric) {
+  const Csc s = symmetrize_pattern(small_example());
+  s.check_valid();
+  const Csc st = transpose(s);
+  ASSERT_EQ(s.nnz(), st.nnz());
+  EXPECT_EQ(s.row_idx, st.row_idx);
+  EXPECT_EQ(s.col_ptr, st.col_ptr);
+}
+
+TEST(Ops, NormInfIsMaxAbsRowSum) {
+  EXPECT_DOUBLE_EQ(norm_inf(small_example()), 9.0);  // row 2: 4 + 5
+}
+
+TEST(Ops, StructuralDiagCount) {
+  EXPECT_EQ(structural_diag_count(small_example()), 3);
+  EXPECT_EQ(structural_diag_count(Csc(3, 3)), 0);
+}
+
+TEST(Io, MatrixMarketRoundTrip) {
+  const Csc a = gen::random_square(30, 4, 1.1, 99);
+  std::stringstream ss;
+  write_matrix_market(ss, a);
+  const Csc b = read_matrix_market(ss);
+  ASSERT_EQ(a.nnz(), b.nnz());
+  EXPECT_EQ(a.row_idx, b.row_idx);
+  EXPECT_EQ(a.col_ptr, b.col_ptr);
+  for (size_t i = 0; i < a.values.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.values[i], b.values[i]);
+  }
+}
+
+TEST(Io, SymmetricInputIsExpanded) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate real symmetric\n"
+      "% comment\n"
+      "3 3 3\n"
+      "1 1 2.0\n"
+      "3 1 4.0\n"
+      "3 3 5.0\n");
+  const Csc a = read_matrix_market(ss);
+  EXPECT_EQ(a.nnz(), 4);
+  EXPECT_DOUBLE_EQ(a.value_at(0, 2), 4.0);
+  EXPECT_DOUBLE_EQ(a.value_at(2, 0), 4.0);
+}
+
+TEST(Io, RejectsMalformedBanner) {
+  std::stringstream ss("%%NotMatrixMarket matrix coordinate real general\n1 1 0\n");
+  EXPECT_THROW(read_matrix_market(ss), BaskerError);
+}
+
+TEST(Dense, LuSolveMatchesKnownSolution) {
+  const Csc a = small_example();
+  // x = (1, 2, 3): b = A x.
+  std::vector<Scalar> x_true{1.0, 2.0, 3.0}, b;
+  spmv(a, x_true, b);
+  std::vector<Scalar> x;
+  ASSERT_TRUE(dense_solve(a, b, x));
+  EXPECT_LT(max_abs_diff(x, x_true), 1e-12);
+}
+
+TEST(Dense, SingularDetected) {
+  Triplets t(2, 2);
+  t.add(0, 0, 1.0);
+  t.add(0, 1, 2.0);  // second row empty -> singular
+  std::vector<Scalar> x;
+  EXPECT_FALSE(dense_solve(t.to_csc(), {1.0, 1.0}, x));
+}
+
+TEST(Dense, GemmMinusMatchesNaive) {
+  // C -= A * B with small column-major buffers.
+  const Int m = 3, n = 2, k = 2;
+  std::vector<Scalar> a{1, 2, 3, 4, 5, 6};        // 3x2
+  std::vector<Scalar> b{1, 0, 2, 1};              // 2x2
+  std::vector<Scalar> c(6, 10.0);                 // 3x2
+  gemm_minus(m, n, k, a.data(), m, b.data(), k, c.data(), m);
+  // column 0 of A*B = A(:,0)*1 + A(:,1)*0 = (1,2,3)
+  EXPECT_DOUBLE_EQ(c[0], 9.0);
+  EXPECT_DOUBLE_EQ(c[2], 7.0);
+  // column 1 of A*B = A(:,0)*2 + A(:,1)*1 = (6, 9, 12)
+  EXPECT_DOUBLE_EQ(c[3], 4.0);
+  EXPECT_DOUBLE_EQ(c[5], -2.0);
+}
+
+// ---------------------------------------------------------------------------
+// Property sweeps over generated families.
+
+struct SparseFamily {
+  const char* name;
+  Csc (*make)(std::uint64_t seed);
+};
+
+Csc make_random(std::uint64_t seed) { return gen::random_square(120, 5, 1.05, seed); }
+Csc make_circuit_family(std::uint64_t seed) {
+  gen::CircuitParams p;
+  p.n = 200;
+  p.btf_frac = 0.4;
+  p.seed = seed;
+  return gen::circuit(p);
+}
+Csc make_grid_family(std::uint64_t seed) { return gen::mesh2d(11, 13, 0.2, seed); }
+Csc make_powergrid_family(std::uint64_t seed) {
+  gen::PowergridParams p;
+  p.n = 150;
+  p.seed = seed;
+  return gen::powergrid(p);
+}
+
+class SparseProperty : public ::testing::TestWithParam<SparseFamily> {};
+
+TEST_P(SparseProperty, GeneratedMatrixIsValid) {
+  const Csc a = GetParam().make(11);
+  a.check_valid();
+  EXPECT_GT(a.nnz(), 0);
+}
+
+TEST_P(SparseProperty, TransposeIsInvolution) {
+  const Csc a = GetParam().make(12);
+  const Csc att = transpose(transpose(a));
+  EXPECT_EQ(a.row_idx, att.row_idx);
+  EXPECT_EQ(a.col_ptr, att.col_ptr);
+  EXPECT_EQ(a.values, att.values);
+}
+
+TEST_P(SparseProperty, ScrambleIsSimilarityTransform) {
+  const Csc a = GetParam().make(13);
+  const Csc b = gen::scramble(a, 77);
+  EXPECT_EQ(a.nnz(), b.nnz());
+  EXPECT_EQ(structural_diag_count(a), structural_diag_count(b));
+}
+
+TEST_P(SparseProperty, SpmvAgreesWithDense) {
+  const Csc a = GetParam().make(14);
+  const DenseMatrix d = DenseMatrix::from_csc(a);
+  const std::vector<Scalar> x = gen::random_rhs(a.ncols, 5);
+  std::vector<Scalar> y;
+  spmv(a, x, y);
+  for (Int i = 0; i < a.nrows; ++i) {
+    Scalar yi = 0.0;
+    for (Int j = 0; j < a.ncols; ++j) yi += d.at(i, j) * x[j];
+    EXPECT_NEAR(y[i], yi, 1e-10 * (1.0 + std::abs(yi)));
+  }
+}
+
+TEST_P(SparseProperty, RevaluePreservesPattern) {
+  Csc a = GetParam().make(15);
+  const Csc before = a;
+  Prng rng(3);
+  gen::revalue(a, rng);
+  EXPECT_EQ(a.row_idx, before.row_idx);
+  EXPECT_EQ(a.col_ptr, before.col_ptr);
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, SparseProperty,
+                         ::testing::Values(SparseFamily{"random", make_random},
+                                           SparseFamily{"circuit", make_circuit_family},
+                                           SparseFamily{"grid", make_grid_family},
+                                           SparseFamily{"powergrid", make_powergrid_family}),
+                         [](const auto& info) { return info.param.name; });
+
+}  // namespace
+}  // namespace basker

@@ -1,0 +1,156 @@
+// Tests for the paper-suite generators and the bench support layer: every
+// Table I/II analogue must be generatable, structurally classed as in the
+// paper (BTF fraction, block counts, fill class ordering), and the schedule
+// model must behave (monotone in p, serial == total work).
+#include <gtest/gtest.h>
+
+#include <cctype>
+
+#include "basker/bench_support/harness.hpp"
+#include "basker/bench_support/model.hpp"
+#include "basker/bench_support/report.hpp"
+#include "basker/gen/suite.hpp"
+#include "basker/klu/klu.hpp"
+
+namespace basker {
+namespace {
+
+namespace bb = bench;
+
+constexpr double kTestScale = 0.25;  // keep suite tests quick
+
+class SuiteEntryTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SuiteEntryTest, GeneratesAndFactors) {
+  const gen::SuiteEntry& entry = gen::entry_by_name(GetParam());
+  const Csc a = entry.make(kTestScale);
+  a.check_valid();
+  EXPECT_GT(a.ncols, 200);
+  KluSolver klu;
+  ASSERT_EQ(klu.factor(a), Status::kOk) << entry.name;
+
+  // BTF class: full-BTF rows stay full-BTF, no-BTF stays a single block.
+  if (entry.paper.btf_pct == 100.0) {
+    EXPECT_GT(klu.stats().btf_pct, 95.0) << entry.name;
+  }
+  if (entry.paper.btf_pct == 0.0 && entry.paper.btf_blocks == 1) {
+    EXPECT_LT(klu.stats().btf_pct, 5.0) << entry.name;
+  }
+}
+
+std::vector<std::string> all_suite_names() {
+  std::vector<std::string> names;
+  for (const auto& e : gen::table1_suite()) names.push_back(e.name);
+  for (const auto& e : gen::table2_suite()) names.push_back(e.name);
+  return names;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEntries, SuiteEntryTest,
+                         ::testing::ValuesIn(all_suite_names()),
+                         [](const auto& info) {
+                           std::string s = info.param;
+                           for (char& c : s) {
+                             if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+                           }
+                           return s;
+                         });
+
+TEST(Suite, FillDensityOrderingRoughlyPreserved) {
+  // The paper sorts Table I by KLU fill density; our analogues should keep
+  // the low-fill group (first rows) below the high-fill group (last rows).
+  auto fill_of = [](const std::string& name) {
+    const Csc a = gen::make_by_name(name, kTestScale);
+    KluSolver klu;
+    EXPECT_EQ(klu.factor(a), Status::kOk);
+    return static_cast<double>(klu.stats().nnz_lu) / static_cast<double>(a.nnz());
+  };
+  const double low = (fill_of("RS_b39c30") + fill_of("Power0") + fill_of("memplus")) / 3;
+  const double high = (fill_of("G2_Circuit") + fill_of("onetone1") + fill_of("twotone")) / 3;
+  EXPECT_LT(low, 2.5);
+  EXPECT_GT(high, 2.0 * low);
+}
+
+TEST(Suite, UnknownNameThrows) {
+  EXPECT_THROW(gen::make_by_name("not_a_matrix", 1.0), BaskerError);
+}
+
+TEST(Suite, BenchScaleDefaultsToOne) {
+  // (assumes the test environment does not set BASKER_BENCH_SCALE)
+  EXPECT_GT(gen::bench_scale(), 0.0);
+}
+
+TEST(Model, SnLptIsMonotoneInWorkers) {
+  std::vector<SnTask> tasks;
+  for (Int i = 0; i < 40; ++i) tasks.push_back({i % 4, 1, 10.0 + i});
+  double prev = 1e300;
+  for (Int p : {1, 2, 4, 8, 16}) {
+    const double t = bb::sn_model_work(tasks, p, bb::kSandyBridge);
+    EXPECT_LE(t, prev + 1e-9);
+    prev = t;
+  }
+}
+
+TEST(Model, LevelBarriersLimitSnSchedule) {
+  // One task per level cannot speed up regardless of workers; width-1
+  // panels pay the supernodal overhead factor.
+  std::vector<SnTask> chain{{0, 1, 5.0}, {1, 1, 5.0}, {2, 1, 5.0}};
+  const double eff = 0.5 + 0.12;  // SandyBridge width-1 efficiency
+  EXPECT_NEAR(bb::sn_model_work(chain, 8, bb::kSandyBridge), 15.0 / eff, 1e-9);
+}
+
+TEST(Model, WidePanelsRunFasterPerFlop) {
+  std::vector<SnTask> narrow{{0, 1, 100.0}};
+  std::vector<SnTask> wide{{0, 32, 100.0}};
+  EXPECT_GT(bb::sn_model_work(narrow, 1, bb::kSandyBridge),
+            bb::sn_model_work(wide, 1, bb::kSandyBridge));
+}
+
+TEST(Model, BaskerPhaseModelUsesMaxPerPhase) {
+  BaskerStats stats;
+  stats.work_per_thread_per_phase = {{10.0, 2.0}, {6.0, 2.0}, {7.0, 2.0}, {9.0, 2.0}};
+  // Phase 0: max 10; phase 1: max 2 (x reduce penalty 1.0 on SandyBridge).
+  EXPECT_NEAR(bb::basker_model_work(stats, bb::kSandyBridge), 12.0, 1e-9);
+  // The Phi model slows every phase and penalizes reductions further.
+  const double phi = bb::basker_model_work(stats, bb::kXeonPhi);
+  EXPECT_GT(phi, 12.0);
+}
+
+TEST(Model, CalibratedRateIsPlausible) {
+  const double rate = bb::calibrate_flop_rate();
+  EXPECT_GT(rate, 1e6);   // > 1 Mflop/s
+  EXPECT_LT(rate, 1e12);  // < 1 Tflop/s
+}
+
+TEST(Report, PerformanceProfileBasics) {
+  // Two solvers, three problems: solver 0 wins twice, solver 1 once.
+  std::vector<std::vector<double>> times{{1.0, 1.0, 4.0}, {2.0, 3.0, 1.0}};
+  const auto profile = bb::performance_profile(times, {1.0, 2.5, 4.0});
+  ASSERT_EQ(profile.size(), 3u);
+  EXPECT_NEAR(profile[0].fraction[0], 2.0 / 3, 1e-12);
+  EXPECT_NEAR(profile[0].fraction[1], 1.0 / 3, 1e-12);
+  EXPECT_NEAR(profile[1].fraction[1], 2.0 / 3, 1e-12);  // within 2.5x: 2 and 1
+  EXPECT_NEAR(profile[2].fraction[0], 1.0, 1e-12);
+  EXPECT_NEAR(profile[2].fraction[1], 1.0, 1e-12);
+}
+
+TEST(Report, FailedRunsNeverCount) {
+  std::vector<std::vector<double>> times{{1.0, -1.0}, {2.0, 5.0}};
+  const auto profile = bb::performance_profile(times, {100.0});
+  EXPECT_NEAR(profile[0].fraction[0], 0.5, 1e-12);
+  EXPECT_NEAR(profile[0].fraction[1], 1.0, 1e-12);
+}
+
+TEST(Harness, RunsEverySolverKind) {
+  const Csc a = gen::make_by_name("memplus", 0.2);
+  for (const auto kind :
+       {bb::SolverKind::kKlu, bb::SolverKind::kPardiso, bb::SolverKind::kSluMt,
+        bb::SolverKind::kBasker, bb::SolverKind::kBasker1d}) {
+    const auto r = bb::run_solver(kind, a, 4, bb::kSandyBridge);
+    EXPECT_TRUE(r.ok()) << bb::solver_name(kind);
+    EXPECT_GT(r.nnz_lu, 0) << bb::solver_name(kind);
+    EXPECT_GT(r.model_work, 0.0) << bb::solver_name(kind);
+  }
+}
+
+}  // namespace
+}  // namespace basker
