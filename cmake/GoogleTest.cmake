@@ -1,0 +1,42 @@
+# Provide GTest::gtest_main without requiring network access.
+#
+# Resolution order:
+#   1. An installed GTest package (config or find-module).
+#   2. The Debian/Ubuntu source tree at /usr/src/googletest (libgtest-dev).
+#   3. FetchContent from GitHub — last resort, needs network.
+if(TARGET GTest::gtest_main)
+  return()
+endif()
+
+find_package(GTest QUIET)
+if(NOT TARGET GTest::gtest_main AND TARGET GTest::Main)
+  # CMake < 3.20 module-mode find defines only GTest::Main.
+  add_library(GTest::gtest_main INTERFACE IMPORTED)
+  set_target_properties(GTest::gtest_main PROPERTIES
+    INTERFACE_LINK_LIBRARIES GTest::Main)
+endif()
+if(TARGET GTest::gtest_main)
+  message(STATUS "basker: using installed GTest")
+  return()
+endif()
+
+if(EXISTS /usr/src/googletest/CMakeLists.txt)
+  message(STATUS "basker: building GTest from /usr/src/googletest")
+  set(BUILD_GMOCK OFF CACHE BOOL "" FORCE)
+  set(INSTALL_GTEST OFF CACHE BOOL "" FORCE)
+  add_subdirectory(/usr/src/googletest ${CMAKE_BINARY_DIR}/_deps/googletest
+                   EXCLUDE_FROM_ALL)
+  if(NOT TARGET GTest::gtest_main)
+    add_library(GTest::gtest_main ALIAS gtest_main)
+    add_library(GTest::gtest ALIAS gtest)
+  endif()
+  return()
+endif()
+
+message(STATUS "basker: fetching GTest from GitHub (network required)")
+include(FetchContent)
+FetchContent_Declare(googletest
+  URL https://github.com/google/googletest/archive/refs/tags/v1.14.0.tar.gz)
+set(BUILD_GMOCK OFF CACHE BOOL "" FORCE)
+set(INSTALL_GTEST OFF CACHE BOOL "" FORCE)
+FetchContent_MakeAvailable(googletest)

@@ -1,0 +1,14 @@
+#!/usr/bin/env sh
+# Local CI: the tier-1 verify plus the fast smoke gate.
+#   scripts/check.sh          - configure, build, run the full suite
+#   scripts/check.sh smoke    - smoke-labelled subset only (< 5 s of tests)
+set -eu
+cd "$(dirname "$0")/.."
+
+cmake -B build -S .
+cmake --build build -j "$(nproc)"
+if [ "${1:-full}" = smoke ]; then
+  ctest --test-dir build -L smoke --output-on-failure
+else
+  ctest --test-dir build --output-on-failure -j "$(nproc)"
+fi

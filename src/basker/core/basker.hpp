@@ -15,6 +15,14 @@
 //   solver.factor(A);            // symbolic + numeric
 //   solver.solve(b);             // b := A^{-1} b
 //   solver.refactor(A2);         // same pattern, new values (Xyce sequences)
+//
+// Thread safety: one Basker instance is a single-consumer object — calls on
+// it must be externally serialized, but it manages its own worker team
+// internally (options().nthreads). solve() is const and safe to call
+// concurrently with other solve() calls once factored.
+//
+// See docs/ARCHITECTURE.md for the stage-by-stage pipeline and the
+// thread-team execution model; options.hpp documents every tuning knob.
 #pragma once
 
 #include <atomic>

@@ -1,72 +1,103 @@
 // Public options and statistics for the Basker solver.
+//
+// Every option documents its meaning, its default, and the paper section
+// it corresponds to (Booth, Rajamanickam, Thornquist, IPDPS 2016). Options
+// marked "ablation only" exist so the benches can reproduce the paper's
+// comparisons; production callers should leave them at their defaults.
 #pragma once
+
+#include <vector>
 
 #include "basker/common/types.hpp"
 
 namespace basker {
 
+/// How dependent threads hand off work inside a separator block column
+/// (paper §IV "Synchronization").
 enum class SyncMode {
-  kPointToPoint,  ///< epoch counters between dependent threads (paper default)
-  kBarrier,       ///< team-wide barrier per pipeline step (paper's ablation:
-                  ///< 11% sync overhead vs 2.3% point-to-point on G2_Circuit)
+  /// Epoch counters between the two threads of each dependency edge — the
+  /// paper's contribution and the default. Measured there at 2.3% of
+  /// runtime on G2_Circuit.
+  kPointToPoint,
+  /// Team-wide barrier per pipeline step — the paper's ablation baseline,
+  /// 11% of runtime on the same matrix. Kept for `bench_sync` and as a
+  /// debugging aid (barrier runs serialize the failure space).
+  kBarrier,
 };
 
 struct BaskerOptions {
-  /// Requested threads; rounded down to a power of two (paper §III-C: ND
-  /// gives a binary tree, "Basker is limited to using a power of two
-  /// threads").
+  /// Worker threads for the numeric phase. Default 1 (serial). The request
+  /// is rounded DOWN to a power of two: ND produces a binary separator
+  /// tree, and §III-C notes "Basker is limited to using a power of two
+  /// threads". Check Basker::nthreads() for the granted count.
   Int nthreads = 1;
 
-  /// BTF diagonal blocks of at least this many rows get the fine
-  /// nested-dissection treatment; smaller blocks go through the fine-BTF
-  /// path.
+  /// BTF diagonal blocks with at least this many rows get the
+  /// nested-dissection 2D treatment (§III-C); smaller blocks take the
+  /// fine-BTF path of §III-B (serial Gilbert-Peierls per block,
+  /// embarrassingly parallel over blocks). Default 256, matching the
+  /// paper's small-block cutoff (and KLU's kSmallBlockThreshold here).
   Int nd_threshold = 256;
 
-  /// Columns per point-to-point pipeline handoff in separator block
-  /// columns. 1 reproduces the paper's exact column-by-column dataflow;
-  /// larger values amortize synchronization.
+  /// Columns per point-to-point pipeline handoff inside separator block
+  /// columns (§IV). 1 reproduces the paper's exact column-by-column
+  /// dataflow; larger values amortize synchronization at the cost of
+  /// pipeline latency. Default 16.
   Int chunk_cols = 16;
 
+  /// Synchronization strategy for the separator pipeline (§IV). Default
+  /// kPointToPoint; kBarrier is the paper's measured-overhead baseline.
   SyncMode sync_mode = SyncMode::kPointToPoint;
 
-  /// Diagonal-preference pivot tolerance (as KLU).
+  /// Diagonal-preference partial-pivot threshold, as KLU: the diagonal
+  /// candidate is taken unless the column's largest magnitude exceeds it
+  /// by more than 1/pivot_tol. Default 0.001 (KLU's default). Larger is
+  /// more stable, smaller preserves more of the matching/ordering.
   Scalar pivot_tol = 0.001;
 
-  /// Apply the bottleneck matching (MWCM). Disabling falls back to maximum
-  /// cardinality matching; ablation only.
+  /// Bottleneck weighted matching MWCM (§III-A, the paper's Pm) before
+  /// BTF. Default true. False falls back to maximum-cardinality matching;
+  /// ablation only (`bench_ablate_orderings`).
   bool use_mwcm = true;
 
-  /// Apply BTF at the coarse level; ablation only.
+  /// Coarse BTF decomposition (§III-A, the paper's Pc). Default true.
+  /// False factors the whole matrix as one ND part; ablation only.
   bool use_btf = true;
 
-  /// Order ND leaves with minimum degree (fill reduction inside leaves).
+  /// Fill-reducing minimum-degree ordering inside ND leaves (§III-C,
+  /// the paper's per-leaf AMD). Default true; ablation only.
   bool order_leaves = true;
 
-  /// Ablation of the 2D separator algorithm: when false, separator block
-  /// columns are factored entirely by the owning thread (the 1D layout of
-  /// paper Fig. 1, where the root block column is a serial bottleneck).
+  /// The 2D separator algorithm of §III-C/Algorithm 4. Default true.
+  /// When false, each separator block column is factored entirely by its
+  /// owning thread — the 1D layout of paper Fig. 1, whose root block
+  /// column is a serial bottleneck; ablation only (`bench_ablate_1d2d`).
   bool parallel_separators = true;
 };
 
+/// Read-only statistics filled by symbolic() and numeric(); see
+/// Basker::stats(). Fields map to the columns of the paper's Tables I/II
+/// and the measurements behind Figs. 5-8.
 struct BaskerStats {
-  Size nnz_lu = 0;            ///< |L+U| over all factored diagonal structure
+  Size nnz_lu = 0;            ///< |L+U| over all factored blocks (Table I column)
   double factor_flops = 0.0;  ///< numeric factorization flop count
-  Int nblocks = 1;            ///< coarse BTF blocks
-  Int largest_block = 0;
-  double btf_pct = 0.0;       ///< % rows in small (fine BTF) blocks
-  Int nd_parts = 0;           ///< number of large blocks given the ND treatment
+  Int nblocks = 1;            ///< coarse BTF diagonal blocks (Table I "blocks")
+  Int largest_block = 0;      ///< rows of the largest coarse block
+  double btf_pct = 0.0;       ///< % rows in small fine-BTF blocks (Table I "BTF %")
+  Int nd_parts = 0;           ///< large blocks given the ND treatment
 
-  double analyze_seconds = 0.0;
-  double factor_seconds = 0.0;
-  double sync_seconds = 0.0;  ///< total time threads spent waiting (sum over threads)
+  double analyze_seconds = 0.0;  ///< symbolic phase wall time
+  double factor_seconds = 0.0;   ///< numeric phase wall time
+  double sync_seconds = 0.0;     ///< total thread wait time, summed over threads (§IV metric)
 
   double pivot_growth = 0.0;  ///< max|U| / max|A|: stability diagnostic
 
-  Size grow_events = 0;  ///< factor buffers that outgrew their symbolic estimate
+  Size grow_events = 0;  ///< factor buffers that outgrew their symbolic estimate (§III-C)
 
-  /// Per-thread, per-phase flop counts for the schedule model: phase 0 is
-  /// the embarrassingly parallel work (fine BTF blocks + ND leaves +
-  /// lower off-diagonals), phase l >= 1 is separator level l.
+  /// Per-thread, per-phase flop counts feeding the schedule model
+  /// (DESIGN.md §3.2): phase 0 is the embarrassingly parallel work (fine
+  /// BTF blocks + ND leaves + lower off-diagonals), phase l >= 1 is
+  /// separator level l.
   std::vector<std::vector<double>> work_per_thread_per_phase;
 };
 

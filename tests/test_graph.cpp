@@ -233,7 +233,9 @@ TEST_P(EtreeProperty, PostorderIsAValidPermutation) {
   std::vector<Int> pos(post.size());
   for (size_t k = 0; k < post.size(); ++k) pos[post[k]] = static_cast<Int>(k);
   for (Int v = 0; v < a.ncols; ++v) {
-    if (parent[v] != kInvalid) EXPECT_LT(pos[v], pos[parent[v]]);
+    if (parent[v] != kInvalid) {
+      EXPECT_LT(pos[v], pos[parent[v]]);
+    }
   }
 }
 

@@ -66,7 +66,9 @@ TEST_P(GpProperty, FactorsAreProperlyTriangular) {
     EXPECT_EQ(u.row_idx[end - 1], t);  // diagonal last
     for (Size p = begin; p + 1 < end; ++p) {
       EXPECT_LT(u.row_idx[p], t);
-      if (p > begin) EXPECT_GT(u.row_idx[p], u.row_idx[p - 1]);  // sorted
+      if (p > begin) {
+        EXPECT_GT(u.row_idx[p], u.row_idx[p - 1]);  // sorted
+      }
     }
   }
 }
