@@ -1,17 +1,35 @@
 // Figure 5 reproduction: raw numeric factorization time for Basker, PMKL
 // and SLU-MT on six matrices of varying fill density, at 1, 8 and 16 cores
-// (SandyBridge). The host has one core, so the primary series is the
-// schedule-model time (DESIGN.md §3.2); measured 1-thread wall time is also
-// printed as the anchor.
+// (SandyBridge).
+//
+// Two modes:
+//   (default)   schedule-model time (DESIGN.md §3.2 "model mode"); measured
+//               1-thread wall time is printed as the anchor. Right for
+//               1-core containers where parallel wall time is meaningless.
+//   --measured  real end-to-end threaded execution at a sweep of team
+//               sizes, each paired with the model's prediction for the
+//               same p ("measured mode"). On a multi-core host this
+//               validates the model; add --json and pipe through
+//               scripts/bench_compare.py to quantify the gap.
+//
+// Measured-mode flags: --json (machine-readable report to stdout),
+// --max-threads N (default max(4, hardware_cpus())), --repeats N (default
+// 3), --pin (sched_setaffinity pinning), --park MODE (spin|yield|sleep|
+// condvar — wait policy; default sleep).
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "basker/bench_support/harness.hpp"
 #include "basker/bench_support/report.hpp"
+#include "basker/bench_support/wallclock.hpp"
 #include "basker/gen/suite.hpp"
 
 namespace bb = basker::bench;
 
-int main() {
+namespace {
+
+int run_model_mode() {
   const double scale = basker::gen::bench_scale();
   std::printf("== Figure 5: raw numeric time (s), Basker vs PMKL vs SLU-MT ==\n");
   std::printf("   (model = schedule-model seconds; 'meas@1' = measured serial)\n\n");
@@ -46,4 +64,94 @@ int main() {
       "Basker is fastest on 5 of 6 matrices, PMKL wins only on the\n"
       "high-fill Xyce3.\n");
   return 0;
+}
+
+int run_measured_mode(const bb::WallclockConfig& cfg, bool emit_json) {
+  const double scale = basker::gen::bench_scale();
+  std::vector<bb::WallclockReport> reports;
+  for (const auto& name : basker::gen::fig56_names()) {
+    const basker::Csc a = basker::gen::make_by_name(name, scale);
+    reports.push_back(bb::measure_scaling(name, a, cfg));
+  }
+  if (emit_json) {
+    std::printf("%s\n", bb::reports_to_json("fig5_measured", reports).dump(2).c_str());
+    return 0;
+  }
+  std::printf("== Figure 5 (measured mode): real threaded wall time vs model ==\n");
+  std::printf("   (1 run per p uses the min of %d numeric repeats)\n\n",
+              static_cast<int>(cfg.repeats));
+  for (const auto& report : reports) {
+    bb::print_report(report);
+    std::printf("\n");
+  }
+  std::printf(
+      "On a p-core host measured speedup should track the model column;\n"
+      "on fewer cores the team is oversubscribed and measured speedup\n"
+      "saturates at the core count while the model shows the p-core bound.\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool measured = false, emit_json = false;
+  bb::WallclockConfig cfg;
+  basker::Int max_threads = 0;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strcmp(a, "--measured") == 0) {
+      measured = true;
+    } else if (std::strcmp(a, "--json") == 0) {
+      emit_json = true;
+    } else if (std::strcmp(a, "--pin") == 0) {
+      cfg.pin_threads = true;
+    } else if (std::strcmp(a, "--max-threads") == 0 && i + 1 < argc) {
+      char* end = nullptr;
+      max_threads = static_cast<basker::Int>(std::strtol(argv[++i], &end, 10));
+      if (end == argv[i] || *end != '\0' || max_threads < 1) {
+        std::fprintf(stderr, "--max-threads needs a positive integer, got '%s'\n",
+                     argv[i]);
+        return 64;
+      }
+    } else if (std::strcmp(a, "--repeats") == 0 && i + 1 < argc) {
+      char* end = nullptr;
+      cfg.repeats = static_cast<basker::Int>(std::strtol(argv[++i], &end, 10));
+      if (end == argv[i] || *end != '\0' || cfg.repeats < 1) {
+        std::fprintf(stderr, "--repeats needs a positive integer, got '%s'\n",
+                     argv[i]);
+        return 64;
+      }
+    } else if (std::strcmp(a, "--park") == 0 && i + 1 < argc) {
+      const char* mode = argv[++i];
+      if (std::strcmp(mode, "spin") == 0) {
+        cfg.backoff.park = basker::ParkMode::kNone;
+        cfg.backoff.yield = 0;
+      } else if (std::strcmp(mode, "yield") == 0) {
+        cfg.backoff.park = basker::ParkMode::kNone;
+      } else if (std::strcmp(mode, "sleep") == 0) {
+        cfg.backoff.park = basker::ParkMode::kSleep;
+      } else if (std::strcmp(mode, "condvar") == 0) {
+        cfg.backoff.park = basker::ParkMode::kCondvar;
+      } else {
+        std::fprintf(stderr, "unknown --park mode '%s'\n", mode);
+        return 64;
+      }
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_fig5 [--measured [--json] [--max-threads N] "
+                   "[--repeats N] [--pin] [--park spin|yield|sleep|condvar]]\n");
+      return 64;
+    }
+  }
+  if (!measured) {
+    if (argc > 1) {
+      std::fprintf(stderr,
+                   "--json/--pin/--park/--max-threads/--repeats require "
+                   "--measured\n");
+      return 64;
+    }
+    return run_model_mode();
+  }
+  cfg.thread_counts = bb::default_thread_counts(max_threads);
+  return run_measured_mode(cfg, emit_json);
 }

@@ -1,8 +1,9 @@
-// Google-benchmark microbenchmarks of the substrate kernels the solvers are
-// built from: Gilbert-Peierls factorization, sparse mat-vec, the orderings.
-// These are the per-flop rates behind every table in the paper.
-#include <benchmark/benchmark.h>
-
+// Microbenchmarks of the substrate kernels the solvers are built from:
+// Gilbert-Peierls factorization, sparse mat-vec, the orderings, and the
+// thread-layer synchronization primitives. These are the per-flop rates
+// behind every table in the paper. Runs on the in-tree harness
+// (bench_support/microbench.hpp) — no system Google Benchmark needed.
+#include "basker/bench_support/microbench.hpp"
 #include "basker/gen/generators.hpp"
 #include "basker/graph/btf.hpp"
 #include "basker/graph/matching.hpp"
@@ -10,10 +11,12 @@
 #include "basker/graph/nd.hpp"
 #include "basker/lu/gp.hpp"
 #include "basker/sparse/ops.hpp"
+#include "basker/thread/team.hpp"
 
 namespace {
 
 using namespace basker;
+namespace bb = basker::bench;
 
 Csc bench_matrix(Int n) {
   gen::CircuitParams p;
@@ -24,73 +27,99 @@ Csc bench_matrix(Int n) {
   return gen::circuit(p);
 }
 
-void BM_GilbertPeierls(benchmark::State& state) {
+void bm_gilbert_peierls(bb::MicroState& state) {
   const Csc a = gen::mesh2d(static_cast<Int>(state.range(0)),
                             static_cast<Int>(state.range(0)), 0.1, 3);
   GpEngine engine;
   double flops = 0.0;
-  for (auto _ : state) {
+  while (state.keep_running()) {
     LuMatrix l, u;
     engine.reset_flops();
-    benchmark::DoNotOptimize(engine.factor_block(a, l, u, 4 * a.nnz(), {}));
+    bb::do_not_optimize(engine.factor_block(a, l, u, 4 * a.nnz(), {}));
     flops = engine.flops();
   }
-  state.counters["flops"] = flops;
-  state.counters["flop_rate"] =
-      benchmark::Counter(flops, benchmark::Counter::kIsIterationInvariantRate);
+  state.counter("flops", flops);
+  state.rate("flop_rate", flops);
 }
-BENCHMARK(BM_GilbertPeierls)->Arg(16)->Arg(32)->Arg(64);
 
-void BM_Spmv(benchmark::State& state) {
+void bm_spmv(bb::MicroState& state) {
   const Csc a = bench_matrix(static_cast<Int>(state.range(0)));
   const std::vector<Scalar> x = gen::random_rhs(a.ncols, 1);
   std::vector<Scalar> y;
-  for (auto _ : state) {
+  while (state.keep_running()) {
     spmv(a, x, y);
-    benchmark::DoNotOptimize(y.data());
+    bb::do_not_optimize(y.data());
   }
-  state.counters["nnz"] = static_cast<double>(a.nnz());
+  state.counter("nnz", static_cast<double>(a.nnz()));
 }
-BENCHMARK(BM_Spmv)->Arg(2000)->Arg(10000);
 
-void BM_BottleneckMatching(benchmark::State& state) {
+void bm_bottleneck_matching(bb::MicroState& state) {
   const Csc a = bench_matrix(static_cast<Int>(state.range(0)));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(bottleneck_matching(a).size);
+  while (state.keep_running()) {
+    bb::do_not_optimize(bottleneck_matching(a).size);
   }
 }
-BENCHMARK(BM_BottleneckMatching)->Arg(2000)->Arg(8000);
 
-void BM_BtfScc(benchmark::State& state) {
+void bm_btf_scc(bb::MicroState& state) {
   const Csc a = bench_matrix(static_cast<Int>(state.range(0)));
   const Matching m = max_cardinality_matching(a);
   const Csc matched = permute(a, m.row_of_col, {});
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(btf_order(matched).num_blocks());
+  while (state.keep_running()) {
+    bb::do_not_optimize(btf_order(matched).num_blocks());
   }
 }
-BENCHMARK(BM_BtfScc)->Arg(2000)->Arg(8000);
 
-void BM_MinDegree(benchmark::State& state) {
+void bm_min_degree(bb::MicroState& state) {
   const Csc g = symmetrize_pattern(
       gen::mesh2d(static_cast<Int>(state.range(0)),
                   static_cast<Int>(state.range(0)), 0.0, 4));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(min_degree_order(g).size());
+  while (state.keep_running()) {
+    bb::do_not_optimize(min_degree_order(g).size());
   }
 }
-BENCHMARK(BM_MinDegree)->Arg(24)->Arg(48);
 
-void BM_NestedDissection(benchmark::State& state) {
+void bm_nested_dissection(bb::MicroState& state) {
   const Csc g = symmetrize_pattern(
       gen::mesh2d(static_cast<Int>(state.range(0)),
                   static_cast<Int>(state.range(0)), 0.0, 4));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(nested_dissect(g, 3).perm.size());
+  while (state.keep_running()) {
+    bb::do_not_optimize(nested_dissect(g, 3).perm.size());
   }
 }
-BENCHMARK(BM_NestedDissection)->Arg(24)->Arg(48);
+
+void bm_epoch_signal_wait(bb::MicroState& state) {
+  // Round-trip cost of the §IV point-to-point handoff, uncontended.
+  EpochCounters ep;
+  ep.init(1);
+  long long epoch = 0;
+  while (state.keep_running()) {
+    ++epoch;
+    ep.signal(0, epoch);
+    ep.wait_at_least(0, epoch);
+  }
+  state.counter("epochs", static_cast<double>(epoch));
+}
+
+void bm_team_dispatch(bb::MicroState& state) {
+  // Fork-join latency of ThreadTeam::run at the given team size.
+  ThreadTeam team(static_cast<Int>(state.range(0)));
+  std::atomic<long long> sink{0};
+  while (state.keep_running()) {
+    team.run([&](Int tid) { sink.fetch_add(tid, std::memory_order_relaxed); });
+  }
+  bb::do_not_optimize(sink.load());
+}
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bb::register_micro("GilbertPeierls", bm_gilbert_peierls).arg(16).arg(32).arg(64);
+  bb::register_micro("Spmv", bm_spmv).arg(2000).arg(10000);
+  bb::register_micro("BottleneckMatching", bm_bottleneck_matching).arg(2000).arg(8000);
+  bb::register_micro("BtfScc", bm_btf_scc).arg(2000).arg(8000);
+  bb::register_micro("MinDegree", bm_min_degree).arg(24).arg(48);
+  bb::register_micro("NestedDissection", bm_nested_dissection).arg(24).arg(48);
+  bb::register_micro("EpochSignalWait", bm_epoch_signal_wait);
+  bb::register_micro("TeamDispatch", bm_team_dispatch).arg(2).arg(4);
+  return bb::run_micro_benchmarks(argc, argv);
+}

@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Model-vs-measured comparison for the wallclock harness's JSON reports.
+
+Consumes the document emitted by `bench_fig5 --measured --json` (or any
+binary using bench_support/wallclock.hpp's reports_to_json) and prints, per
+matrix and team size, the measured wall time, the schedule model's
+prediction, their ratio, and the measured/modelled speedups over the
+1-thread anchor; then summary statistics of the model error.
+
+Usage:
+  build/bench/bench_fig5 --measured --json | scripts/bench_compare.py
+  scripts/bench_compare.py report.json [--tolerance X]
+
+Exits nonzero when any run failed to factor (this is the check.sh gate on
+the real parallel path). --tolerance X additionally fails when any
+|log2(model/measured)| exceeds X (i.e. the model is off by more than 2^X
+in either direction). The tolerance is off by default: on a host with
+fewer cores than the sweep's team sizes the model *should* diverge (it
+predicts p-core time, the host delivers 1-core time).
+
+Stdlib only — no third-party dependencies.
+"""
+
+import argparse
+import json
+import math
+import sys
+
+
+def fmt(x, digits=4):
+    return f"{x:.{digits}f}"
+
+
+def load_document(path):
+    if path == "-":
+        return json.load(sys.stdin)
+    with open(path) as f:
+        return json.load(f)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("report", nargs="?", default="-",
+                        help="JSON report file ('-' = stdin, the default)")
+    parser.add_argument("--tolerance", type=float, default=None,
+                        help="fail if any |log2(model/measured)| exceeds this")
+    args = parser.parse_args()
+
+    try:
+        doc = load_document(args.report)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench_compare: cannot read report: {e}", file=sys.stderr)
+        return 2
+
+    reports = doc.get("reports", [])
+    if not reports:
+        print("bench_compare: document has no reports", file=sys.stderr)
+        return 2
+
+    print(f"benchmark: {doc.get('benchmark', '?')}  "
+          f"(host CPUs: {doc.get('hardware_cpus', '?')})")
+    header = (f"{'matrix':<14} {'p':>3} {'measured(s)':>12} {'model(s)':>10} "
+              f"{'model/meas':>10} {'speedup(meas)':>13} {'speedup(model)':>14}")
+    print(header)
+    print("-" * len(header))
+
+    log_errors = []
+    worst = None  # (|log2 ratio|, matrix, threads)
+    failures = 0
+    for report in reports:
+        runs = [r for r in report.get("runs", []) if r.get("ok")]
+        failures += sum(1 for r in report.get("runs", []) if not r.get("ok"))
+        anchor = next((r for r in runs if r.get("threads") == 1), None)
+        for run in runs:
+            meas = run.get("factor_seconds", 0.0)
+            model = run.get("model_seconds", 0.0)
+            ratio = model / meas if meas > 0 else float("nan")
+            if meas > 0 and model > 0:
+                err = abs(math.log2(ratio))
+                log_errors.append(err)
+                if worst is None or err > worst[0]:
+                    worst = (err, report.get("matrix", "?"), run["threads"])
+            sp_meas = (anchor["factor_seconds"] / meas
+                       if anchor and meas > 0 else float("nan"))
+            sp_model = (anchor["model_seconds"] / model
+                        if anchor and model > 0 else float("nan"))
+            print(f"{report.get('matrix', '?'):<14} {run['threads']:>3} "
+                  f"{fmt(meas):>12} {fmt(model):>10} {fmt(ratio, 2):>10} "
+                  f"{fmt(sp_meas, 2):>13} {fmt(sp_model, 2):>14}")
+
+    if not log_errors:
+        print("bench_compare: no successful runs to compare", file=sys.stderr)
+        return 2
+
+    mean_err = sum(log_errors) / len(log_errors)
+    print(f"\nmodel error |log2(model/measured)|: "
+          f"mean {fmt(mean_err, 2)}, max {fmt(worst[0], 2)} "
+          f"({worst[1]} @ p={worst[2]})")
+    print("(0 = perfect; 1 = off by 2x; expect large values at p > host cores)")
+
+    if failures:
+        print(f"bench_compare: {failures} run(s) failed to factor",
+              file=sys.stderr)
+        return 1
+    if args.tolerance is not None and worst[0] > args.tolerance:
+        print(f"bench_compare: max error {fmt(worst[0], 2)} exceeds "
+              f"tolerance {args.tolerance}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,6 +1,9 @@
 #!/usr/bin/env sh
-# Local CI: the tier-1 verify plus the fast smoke gate.
-#   scripts/check.sh          - configure, build, run the full suite
+# Local CI: the tier-1 verify (which includes the smoke-labelled tests)
+# plus a measured-mode sanity run of the real parallel path.
+#   scripts/check.sh          - configure, build, full suite, 2-thread
+#                               measured-mode run piped through the
+#                               model-vs-measured comparison
 #   scripts/check.sh smoke    - smoke-labelled subset only (< 5 s of tests)
 set -eu
 cd "$(dirname "$0")/.."
@@ -9,6 +12,15 @@ cmake -B build -S .
 cmake --build build -j "$(nproc)"
 if [ "${1:-full}" = smoke ]; then
   ctest --test-dir build -L smoke --output-on-failure
-else
-  ctest --test-dir build --output-on-failure -j "$(nproc)"
+  exit 0
 fi
+ctest --test-dir build --output-on-failure -j "$(nproc)"
+
+# Exercise the real threaded numeric phase end-to-end (not just the model):
+# a 2-thread measured sweep over the Fig. 5 matrices, checked for parse and
+# factorization failures by the comparison script. No model-error tolerance
+# is enforced — on a host with fewer cores than the sweep the model is
+# *supposed* to disagree with the oversubscribed measurement.
+BASKER_BENCH_SCALE="${BASKER_BENCH_SCALE:-0.3}" \
+  ./build/bench/bench_fig5 --measured --max-threads 2 --repeats 1 --json \
+  | python3 scripts/bench_compare.py

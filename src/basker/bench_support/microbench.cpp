@@ -1,0 +1,126 @@
+#include "basker/bench_support/microbench.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+
+#include "basker/bench_support/report.hpp"
+
+namespace basker::bench {
+
+namespace {
+
+std::vector<std::unique_ptr<MicroBench>>& registry() {
+  static std::vector<std::unique_ptr<MicroBench>> benches;
+  return benches;
+}
+
+std::string format_run_name(const MicroBench& bench,
+                            const std::vector<std::int64_t>& args) {
+  std::string name = bench.name();
+  for (std::int64_t a : args) {
+    name += '/';
+    name += std::to_string(a);
+  }
+  return name;
+}
+
+std::string format_time_per_iter(double seconds) {
+  char buf[48];
+  if (seconds >= 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.3f s", seconds);
+  } else if (seconds >= 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.3f ms", seconds * 1e3);
+  } else if (seconds >= 1e-6) {
+    std::snprintf(buf, sizeof(buf), "%.3f us", seconds * 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f ns", seconds * 1e9);
+  }
+  return buf;
+}
+
+}  // namespace
+
+MicroBench& register_micro(const std::string& name, MicroFn fn) {
+  registry().push_back(std::make_unique<MicroBench>(name, std::move(fn)));
+  return *registry().back();
+}
+
+int run_micro_benchmarks(int argc, char** argv) {
+  std::string filter;
+  double min_time = 0.05;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strncmp(a, "--filter=", 9) == 0) {
+      filter = a + 9;
+    } else if (std::strncmp(a, "--min-time=", 11) == 0) {
+      char* end = nullptr;
+      min_time = std::strtod(a + 11, &end);
+      if (end == a + 11 || *end != '\0' || min_time <= 0.0) {
+        std::fprintf(stderr, "--min-time needs a positive number, got '%s'\n",
+                     a + 11);
+        return 64;
+      }
+    } else {
+      std::fprintf(stderr,
+                   "unknown flag %s (supported: --filter=SUBSTR "
+                   "--min-time=SECS)\n",
+                   a);
+      return 64;
+    }
+  }
+
+  Table table({"benchmark", "time/iter", "iters", "counters"});
+  for (const auto& bench : registry()) {
+    std::vector<std::vector<std::int64_t>> arg_sets = bench->arg_sets();
+    if (arg_sets.empty()) arg_sets.push_back({});
+    for (const auto& args : arg_sets) {
+      const std::string run_name = format_run_name(*bench, args);
+      if (!filter.empty() && run_name.find(filter) == std::string::npos) {
+        continue;
+      }
+      // Grow the batch until it lasts min_time (cap guards against a
+      // pathological zero-cost body).
+      std::int64_t iters = 1;
+      MicroState state(args, iters);
+      while (true) {
+        state = MicroState(args, iters);
+        bench->fn()(state);
+        if (state.elapsed_seconds() >= min_time || iters >= (1LL << 30)) break;
+        const double per_iter =
+            state.elapsed_seconds() / static_cast<double>(state.iterations());
+        std::int64_t next =
+            per_iter > 0.0
+                ? static_cast<std::int64_t>(1.4 * min_time / per_iter) + 1
+                : iters * 8;
+        if (next <= iters) next = iters * 2;
+        iters = std::min(next, iters * 8);  // bounded growth per round
+      }
+      const double per_iter =
+          state.elapsed_seconds() / static_cast<double>(state.iterations());
+      std::string counters;
+      for (const MicroState::Counter& c : state.counters()) {
+        if (!counters.empty()) counters += "  ";
+        counters += c.name;
+        counters += '=';
+        if (c.is_rate) {
+          counters += fmt_sci(state.elapsed_seconds() > 0.0
+                                  ? c.value * state.iterations() /
+                                        state.elapsed_seconds()
+                                  : 0.0);
+          counters += "/s";
+        } else {
+          counters += fmt_sci(c.value);
+        }
+      }
+      table.add_row({run_name, format_time_per_iter(per_iter),
+                     std::to_string(state.iterations()), counters});
+    }
+  }
+  table.print();
+  return 0;
+}
+
+}  // namespace basker::bench

@@ -1,0 +1,139 @@
+// In-tree micro-benchmark harness replacing the system Google Benchmark
+// dependency (ROADMAP open item): adaptive iteration control, per-benchmark
+// integer arguments, named counters with optional rate reporting, and a
+// fixed-width results table. Deliberately tiny — no statistics beyond
+// best-batch time — but self-contained, so `bench_kernels` builds
+// everywhere the library builds.
+//
+// Usage:
+//   void bm_spmv(MicroState& state) {
+//     const Csc a = make_matrix(state.range(0));   // setup, untimed
+//     while (state.keep_running()) spmv(a, x, y);  // timed region
+//     state.counter("nnz", a.nnz());
+//   }
+//   int main(int argc, char** argv) {
+//     register_micro("Spmv", bm_spmv).arg(2000).arg(10000);
+//     return run_micro_benchmarks(argc, argv);
+//   }
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "basker/common/timer.hpp"
+#include "basker/common/types.hpp"
+
+namespace basker::bench {
+
+/// Defeat dead-code elimination of a computed value.
+template <typename T>
+inline void do_not_optimize(T const& value) {
+  asm volatile("" : : "r,m"(value) : "memory");
+}
+
+/// Iteration driver handed to each benchmark function. One MicroState runs
+/// one batch of `target_iterations` timed iterations; the runner re-invokes
+/// the function with growing batches until the batch lasts long enough.
+class MicroState {
+ public:
+  MicroState(std::vector<std::int64_t> args, std::int64_t target_iterations)
+      : args_(std::move(args)), target_(target_iterations) {}
+
+  /// True until the batch's iterations are exhausted. The timer starts at
+  /// the first call, so setup code above the loop is untimed.
+  bool keep_running() {
+    if (iter_ == 0) timer_.reset();
+    if (iter_ < target_) {
+      ++iter_;
+      return true;
+    }
+    elapsed_ = timer_.seconds();
+    return false;
+  }
+
+  /// The i-th registered argument of this run.
+  std::int64_t range(size_t i) const { return i < args_.size() ? args_[i] : 0; }
+
+  /// Report a plain counter (last write wins).
+  void counter(const std::string& name, double value) {
+    set_counter(name, value, false);
+  }
+  /// Report a per-iteration quantity as a rate: value * iterations / seconds.
+  void rate(const std::string& name, double value_per_iteration) {
+    set_counter(name, value_per_iteration, true);
+  }
+
+  std::int64_t iterations() const { return iter_; }
+  double elapsed_seconds() const { return elapsed_; }
+
+  struct Counter {
+    std::string name;
+    double value;
+    bool is_rate;
+  };
+  const std::vector<Counter>& counters() const { return counters_; }
+
+ private:
+  void set_counter(const std::string& name, double value, bool is_rate) {
+    for (Counter& c : counters_) {
+      if (c.name == name) {
+        c.value = value;
+        c.is_rate = is_rate;
+        return;
+      }
+    }
+    counters_.push_back({name, value, is_rate});
+  }
+
+  std::vector<std::int64_t> args_;
+  std::int64_t target_ = 1;
+  std::int64_t iter_ = 0;
+  double elapsed_ = 0.0;
+  WallTimer timer_;
+  std::vector<Counter> counters_;
+};
+
+using MicroFn = std::function<void(MicroState&)>;
+
+/// Fluent argument registration: register_micro(...).arg(16).arg(32) runs
+/// the function once per argument; args({a, b}) passes a tuple readable via
+/// range(0), range(1).
+class MicroBench {
+ public:
+  MicroBench(std::string name, MicroFn fn)
+      : name_(std::move(name)), fn_(std::move(fn)) {}
+
+  MicroBench& arg(std::int64_t a) {
+    arg_sets_.push_back({a});
+    return *this;
+  }
+  MicroBench& args(std::vector<std::int64_t> tuple) {
+    arg_sets_.push_back(std::move(tuple));
+    return *this;
+  }
+
+  const std::string& name() const { return name_; }
+  const MicroFn& fn() const { return fn_; }
+  const std::vector<std::vector<std::int64_t>>& arg_sets() const {
+    return arg_sets_;
+  }
+
+ private:
+  std::string name_;
+  MicroFn fn_;
+  std::vector<std::vector<std::int64_t>> arg_sets_;
+};
+
+/// Register a benchmark; the returned reference stays valid for argument
+/// chaining until run_micro_benchmarks() is called.
+MicroBench& register_micro(const std::string& name, MicroFn fn);
+
+/// Run all registered benchmarks and print the results table. Flags:
+///   --filter=SUBSTR    run only benchmarks whose name contains SUBSTR
+///   --min-time=SECS    per-benchmark minimum batch time (default 0.05)
+/// Returns 0, or 64 on bad flags.
+int run_micro_benchmarks(int argc, char** argv);
+
+}  // namespace basker::bench

@@ -1,11 +1,337 @@
 #include "basker/bench_support/report.hpp"
 
 #include <algorithm>
+#include <cctype>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <limits>
 
 namespace basker::bench {
+
+// ---------------------------------------------------------------------------
+// JsonValue
+
+void JsonValue::set(const std::string& key, JsonValue v) {
+  for (auto& member : obj_) {
+    if (member.first == key) {
+      member.second = std::move(v);
+      return;
+    }
+  }
+  obj_.emplace_back(key, std::move(v));
+}
+
+bool JsonValue::has(const std::string& key) const {
+  for (const auto& member : obj_) {
+    if (member.first == key) return true;
+  }
+  return false;
+}
+
+const JsonValue& JsonValue::at(const std::string& key) const {
+  for (const auto& member : obj_) {
+    if (member.first == key) return member.second;
+  }
+  static const JsonValue null_value;
+  return null_value;
+}
+
+double JsonValue::number_or(const std::string& key, double fallback) const {
+  const JsonValue& v = at(key);
+  return v.is_number() ? v.as_number() : fallback;
+}
+
+namespace {
+
+void escape_json_string(const std::string& s, std::string& out) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_newline_indent(std::string& out, int indent, int depth) {
+  if (indent <= 0) return;
+  out += '\n';
+  out.append(static_cast<size_t>(indent) * depth, ' ');
+}
+
+}  // namespace
+
+void JsonValue::dump_to(std::string& out, int indent, int depth) const {
+  switch (kind_) {
+    case Kind::kNull:
+      out += "null";
+      return;
+    case Kind::kBool:
+      out += bool_ ? "true" : "false";
+      return;
+    case Kind::kNumber: {
+      if (!std::isfinite(num_)) {
+        out += "null";  // JSON has no Inf/NaN
+        return;
+      }
+      char buf[40];
+      std::snprintf(buf, sizeof(buf), "%.17g", num_);
+      out += buf;
+      return;
+    }
+    case Kind::kString:
+      escape_json_string(str_, out);
+      return;
+    case Kind::kArray: {
+      out += '[';
+      for (size_t i = 0; i < arr_.size(); ++i) {
+        if (i > 0) out += ',';
+        append_newline_indent(out, indent, depth + 1);
+        arr_[i].dump_to(out, indent, depth + 1);
+      }
+      if (!arr_.empty()) append_newline_indent(out, indent, depth);
+      out += ']';
+      return;
+    }
+    case Kind::kObject: {
+      out += '{';
+      for (size_t i = 0; i < obj_.size(); ++i) {
+        if (i > 0) out += ',';
+        append_newline_indent(out, indent, depth + 1);
+        escape_json_string(obj_[i].first, out);
+        out += indent > 0 ? ": " : ":";
+        obj_[i].second.dump_to(out, indent, depth + 1);
+      }
+      if (!obj_.empty()) append_newline_indent(out, indent, depth);
+      out += '}';
+      return;
+    }
+  }
+}
+
+std::string JsonValue::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+namespace {
+
+/// Recursive-descent JSON parser over a [pos, end) cursor.
+class JsonParser {
+ public:
+  JsonParser(const char* text, size_t len) : p_(text), end_(text + len) {}
+
+  bool parse_document(JsonValue& out) {
+    skip_ws();
+    if (!parse_value(out)) return false;
+    skip_ws();
+    return p_ == end_;
+  }
+
+ private:
+  void skip_ws() {
+    while (p_ != end_ && std::isspace(static_cast<unsigned char>(*p_))) ++p_;
+  }
+
+  bool literal(const char* word) {
+    const size_t len = std::strlen(word);
+    if (static_cast<size_t>(end_ - p_) < len || std::strncmp(p_, word, len) != 0) {
+      return false;
+    }
+    p_ += len;
+    return true;
+  }
+
+  bool parse_value(JsonValue& out) {
+    if (p_ == end_) return false;
+    switch (*p_) {
+      case '{': return parse_object(out);
+      case '[': return parse_array(out);
+      case '"': {
+        std::string s;
+        if (!parse_string(s)) return false;
+        out = JsonValue(std::move(s));
+        return true;
+      }
+      case 't':
+        if (!literal("true")) return false;
+        out = JsonValue(true);
+        return true;
+      case 'f':
+        if (!literal("false")) return false;
+        out = JsonValue(false);
+        return true;
+      case 'n':
+        if (!literal("null")) return false;
+        out = JsonValue();
+        return true;
+      default: return parse_number(out);
+    }
+  }
+
+  bool parse_number(JsonValue& out) {
+    char* next = nullptr;
+    if (*p_ != '-' && !std::isdigit(static_cast<unsigned char>(*p_))) return false;
+    const double v = std::strtod(p_, &next);
+    if (next == p_ || next > end_) return false;
+    // strtod accepts a superset of JSON numbers ("-inf", "nan", "0x10");
+    // requiring every consumed character to come from the JSON number
+    // alphabet rejects all of them ('i', 'n', 'x', hex digits).
+    for (const char* c = p_; c != next; ++c) {
+      if (!std::isdigit(static_cast<unsigned char>(*c)) && *c != '-' &&
+          *c != '+' && *c != '.' && *c != 'e' && *c != 'E') {
+        return false;
+      }
+    }
+    p_ = next;
+    out = JsonValue(v);
+    return true;
+  }
+
+  bool parse_string(std::string& out) {
+    if (*p_ != '"') return false;
+    ++p_;
+    out.clear();
+    while (p_ != end_ && *p_ != '"') {
+      if (*p_ == '\\') {
+        ++p_;
+        if (p_ == end_) return false;
+        switch (*p_) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u': {
+            if (end_ - p_ < 5) return false;
+            unsigned code = 0;
+            for (int i = 1; i <= 4; ++i) {
+              const char c = p_[i];
+              code <<= 4;
+              if (c >= '0' && c <= '9') code |= static_cast<unsigned>(c - '0');
+              else if (c >= 'a' && c <= 'f') code |= static_cast<unsigned>(c - 'a' + 10);
+              else if (c >= 'A' && c <= 'F') code |= static_cast<unsigned>(c - 'A' + 10);
+              else return false;
+            }
+            // Emit UTF-8 (surrogate pairs unsupported — the emitter only
+            // escapes control characters, which fit in one unit).
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out += static_cast<char>(0xC0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            p_ += 4;
+            break;
+          }
+          default: return false;
+        }
+        ++p_;
+      } else {
+        out += *p_;
+        ++p_;
+      }
+    }
+    if (p_ == end_) return false;
+    ++p_;  // closing quote
+    return true;
+  }
+
+  bool parse_array(JsonValue& out) {
+    ++p_;  // '['
+    out = JsonValue::array();
+    skip_ws();
+    if (p_ != end_ && *p_ == ']') {
+      ++p_;
+      return true;
+    }
+    while (true) {
+      JsonValue element;
+      skip_ws();
+      if (!parse_value(element)) return false;
+      out.push(std::move(element));
+      skip_ws();
+      if (p_ == end_) return false;
+      if (*p_ == ',') {
+        ++p_;
+        continue;
+      }
+      if (*p_ == ']') {
+        ++p_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool parse_object(JsonValue& out) {
+    ++p_;  // '{'
+    out = JsonValue::object();
+    skip_ws();
+    if (p_ != end_ && *p_ == '}') {
+      ++p_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (p_ == end_ || !parse_string(key)) return false;
+      skip_ws();
+      if (p_ == end_ || *p_ != ':') return false;
+      ++p_;
+      skip_ws();
+      JsonValue value;
+      if (!parse_value(value)) return false;
+      out.set(key, std::move(value));
+      skip_ws();
+      if (p_ == end_) return false;
+      if (*p_ == ',') {
+        ++p_;
+        continue;
+      }
+      if (*p_ == '}') {
+        ++p_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  const char* p_;
+  const char* end_;
+};
+
+}  // namespace
+
+bool JsonValue::parse(const std::string& text, JsonValue& out) {
+  JsonParser parser(text.data(), text.size());
+  return parser.parse_document(out);
+}
+
+// ---------------------------------------------------------------------------
+// Table
 
 Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
 

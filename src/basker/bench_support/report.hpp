@@ -1,12 +1,88 @@
-// Table and performance-profile printers for the bench binaries.
+// Table, performance-profile and JSON printers for the bench binaries.
 #pragma once
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "basker/common/types.hpp"
 
 namespace basker::bench {
+
+/// Minimal JSON document: enough for the bench binaries to emit
+/// machine-readable reports (scripts/bench_compare.py) and for the tests to
+/// round-trip them. Numbers are doubles printed with %.17g, so every finite
+/// double survives dump() -> parse() bit-exactly. Object keys keep
+/// insertion order for stable, diffable output.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() : kind_(Kind::kNull) {}
+  JsonValue(bool b) : kind_(Kind::kBool), bool_(b) {}          // NOLINT
+  JsonValue(double v) : kind_(Kind::kNumber), num_(v) {}       // NOLINT
+  JsonValue(Int v) : JsonValue(static_cast<double>(v)) {}      // NOLINT
+  JsonValue(Size v) : JsonValue(static_cast<double>(v)) {}     // NOLINT
+  JsonValue(const char* s) : kind_(Kind::kString), str_(s) {}  // NOLINT
+  JsonValue(std::string s) : kind_(Kind::kString), str_(std::move(s)) {}  // NOLINT
+
+  static JsonValue array() {
+    JsonValue v;
+    v.kind_ = Kind::kArray;
+    return v;
+  }
+  static JsonValue object() {
+    JsonValue v;
+    v.kind_ = Kind::kObject;
+    return v;
+  }
+
+  Kind kind() const { return kind_; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  double as_number() const { return num_; }
+  bool as_bool() const { return bool_; }
+  const std::string& as_string() const { return str_; }
+
+  /// Array element count / object member count (0 for scalars).
+  size_t size() const {
+    return kind_ == Kind::kArray ? arr_.size()
+                                 : (kind_ == Kind::kObject ? obj_.size() : 0);
+  }
+
+  void push(JsonValue v) { arr_.push_back(std::move(v)); }
+  const JsonValue& at(size_t i) const { return arr_[i]; }
+
+  void set(const std::string& key, JsonValue v);
+  bool has(const std::string& key) const;
+  /// Member lookup; returns a shared null value for missing keys.
+  const JsonValue& at(const std::string& key) const;
+  /// Convenience: numeric member with default for missing/non-number.
+  double number_or(const std::string& key, double fallback) const;
+
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return obj_;
+  }
+
+  /// Serialize; indent > 0 pretty-prints with that many spaces per level.
+  std::string dump(int indent = 0) const;
+
+  /// Strict parse of a complete JSON document (trailing garbage rejected).
+  static bool parse(const std::string& text, JsonValue& out);
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Kind kind_;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<JsonValue> arr_;
+  std::vector<std::pair<std::string, JsonValue>> obj_;
+};
 
 /// Fixed-width table: set headers, add rows of strings, print.
 class Table {

@@ -1,0 +1,191 @@
+#include "basker/bench_support/wallclock.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "basker/core/basker.hpp"
+#include "basker/gen/generators.hpp"
+#include "basker/sparse/ops.hpp"
+#include "basker/thread/affinity.hpp"
+
+namespace basker::bench {
+
+std::vector<Int> default_thread_counts(Int max_threads) {
+  if (max_threads <= 0) max_threads = std::max<Int>(4, hardware_cpus());
+  std::vector<Int> counts;
+  for (Int p = 1; p <= max_threads; p *= 2) counts.push_back(p);
+  return counts;
+}
+
+const MeasuredRun* WallclockReport::serial() const {
+  for (const MeasuredRun& run : runs) {
+    if (run.threads == 1 && run.ok()) return &run;
+  }
+  return nullptr;
+}
+
+WallclockReport measure_scaling(const std::string& name, const Csc& a,
+                                const WallclockConfig& cfg) {
+  WallclockReport report;
+  report.matrix = name;
+  report.n = a.ncols;
+  report.nnz = a.nnz();
+
+  const std::vector<Int> counts =
+      cfg.thread_counts.empty() ? default_thread_counts() : cfg.thread_counts;
+  const std::vector<Scalar> rhs = gen::random_rhs(a.ncols, 12345);
+
+  for (Int p : counts) {
+    MeasuredRun run;
+    BaskerOptions opt;
+    opt.nthreads = p;
+    opt.backoff = cfg.backoff;
+    opt.pin_threads = cfg.pin_threads;
+    Basker solver(opt);
+
+    run.status = solver.factor(a);
+    run.threads = solver.nthreads();  // requested p rounded to a power of two
+    if (run.ok()) {
+      run.analyze_seconds = solver.stats().analyze_seconds;
+      run.factor_seconds = solver.stats().factor_seconds;
+      run.sync_seconds = solver.stats().sync_seconds;
+      run.phase_seconds = solver.stats().phase_seconds;
+      for (Int rep = 1; rep < cfg.repeats && run.ok(); ++rep) {
+        run.status = solver.refactor(a);
+        if (run.ok() && solver.stats().factor_seconds < run.factor_seconds) {
+          run.factor_seconds = solver.stats().factor_seconds;
+          run.sync_seconds = solver.stats().sync_seconds;
+          run.phase_seconds = solver.stats().phase_seconds;
+        }
+      }
+    }
+    if (run.ok()) {
+      run.model_seconds =
+          basker_model_work(solver.stats(), cfg.platform) / calibrate_flop_rate();
+      run.nnz_lu = solver.stats().nnz_lu;
+      run.flops = solver.stats().factor_flops;
+      if (report.nnz_lu == 0) {
+        report.nnz_lu = run.nnz_lu;
+        report.flops = run.flops;
+      }
+      std::vector<Scalar> x = rhs;
+      const Status solve_status = solver.solve(x);
+      if (solve_status == Status::kOk) {
+        run.residual = relative_residual(a, x, rhs);
+      } else {
+        // A factorization that cannot solve is a failed run; leaving
+        // residual at 0.0 would report it as perfect.
+        run.status = solve_status;
+      }
+    }
+    report.runs.push_back(std::move(run));
+  }
+  return report;
+}
+
+void print_report(const WallclockReport& report) {
+  const MeasuredRun* anchor = report.serial();
+  Table table({"matrix", "p", "measured(s)", "model(s)", "model/meas",
+               "speedup(meas)", "speedup(model)", "sync(s)", "residual"});
+  for (const MeasuredRun& run : report.runs) {
+    std::vector<std::string> row{report.matrix, fmt_fixed(run.threads, 0)};
+    if (!run.ok()) {
+      row.push_back("fail");
+      table.add_row(std::move(row));
+      continue;
+    }
+    row.push_back(fmt_fixed(run.factor_seconds, 4));
+    row.push_back(fmt_fixed(run.model_seconds, 4));
+    row.push_back(run.factor_seconds > 0.0
+                      ? fmt_ratio(run.model_seconds / run.factor_seconds)
+                      : "-");
+    if (anchor != nullptr && run.factor_seconds > 0.0 &&
+        run.model_seconds > 0.0) {
+      row.push_back(fmt_ratio(anchor->factor_seconds / run.factor_seconds));
+      row.push_back(fmt_ratio(anchor->model_seconds / run.model_seconds));
+    } else {
+      row.push_back("-");
+      row.push_back("-");
+    }
+    row.push_back(fmt_fixed(run.sync_seconds, 4));
+    row.push_back(fmt_sci(run.residual));
+    table.add_row(std::move(row));
+  }
+  table.print();
+}
+
+JsonValue report_to_json(const WallclockReport& report) {
+  JsonValue v = JsonValue::object();
+  v.set("matrix", report.matrix);
+  v.set("n", report.n);
+  v.set("nnz", report.nnz);
+  v.set("nnz_lu", report.nnz_lu);
+  v.set("flops", report.flops);
+  JsonValue runs = JsonValue::array();
+  for (const MeasuredRun& run : report.runs) {
+    JsonValue r = JsonValue::object();
+    r.set("threads", run.threads);
+    r.set("ok", run.ok());
+    r.set("analyze_seconds", run.analyze_seconds);
+    r.set("factor_seconds", run.factor_seconds);
+    r.set("model_seconds", run.model_seconds);
+    r.set("sync_seconds", run.sync_seconds);
+    r.set("residual", run.residual);
+    r.set("nnz_lu", run.nnz_lu);
+    r.set("flops", run.flops);
+    JsonValue phases = JsonValue::array();
+    for (double s : run.phase_seconds) phases.push(s);
+    r.set("phase_seconds", std::move(phases));
+    runs.push(std::move(r));
+  }
+  v.set("runs", std::move(runs));
+  return v;
+}
+
+bool report_from_json(const JsonValue& v, WallclockReport& out) {
+  if (!v.is_object() || !v.at("runs").is_array()) return false;
+  out = WallclockReport{};
+  out.matrix = v.at("matrix").as_string();
+  out.n = static_cast<Int>(v.number_or("n", 0.0));
+  out.nnz = static_cast<Size>(v.number_or("nnz", 0.0));
+  out.nnz_lu = static_cast<Size>(v.number_or("nnz_lu", 0.0));
+  out.flops = v.number_or("flops", 0.0);
+  const JsonValue& runs = v.at("runs");
+  for (size_t i = 0; i < runs.size(); ++i) {
+    const JsonValue& r = runs.at(i);
+    if (!r.is_object()) return false;
+    MeasuredRun run;
+    run.threads = static_cast<Int>(r.number_or("threads", 1.0));
+    run.status = r.at("ok").as_bool() ? Status::kOk : Status::kNumericallySingular;
+    run.analyze_seconds = r.number_or("analyze_seconds", 0.0);
+    run.factor_seconds = r.number_or("factor_seconds", 0.0);
+    run.model_seconds = r.number_or("model_seconds", 0.0);
+    run.sync_seconds = r.number_or("sync_seconds", 0.0);
+    run.residual = r.number_or("residual", 0.0);
+    run.nnz_lu = static_cast<Size>(r.number_or("nnz_lu", 0.0));
+    run.flops = r.number_or("flops", 0.0);
+    const JsonValue& phases = r.at("phase_seconds");
+    if (phases.is_array()) {
+      for (size_t j = 0; j < phases.size(); ++j) {
+        run.phase_seconds.push_back(phases.at(j).as_number());
+      }
+    }
+    out.runs.push_back(std::move(run));
+  }
+  return true;
+}
+
+JsonValue reports_to_json(const std::string& label,
+                          const std::vector<WallclockReport>& reports) {
+  JsonValue doc = JsonValue::object();
+  doc.set("benchmark", label);
+  doc.set("hardware_cpus", hardware_cpus());
+  JsonValue arr = JsonValue::array();
+  for (const WallclockReport& report : reports) {
+    arr.push(report_to_json(report));
+  }
+  doc.set("reports", std::move(arr));
+  return doc;
+}
+
+}  // namespace basker::bench

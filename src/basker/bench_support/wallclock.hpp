@@ -1,0 +1,94 @@
+// Measured-execution harness: runs the real threaded numeric phase
+// end-to-end at a sweep of team sizes, records wall time per run and per
+// phase, and pairs every measurement with the schedule model's prediction
+// for the same thread count (DESIGN.md §3.2 "measured mode"). This is how
+// the repo's central modelled claim — parallel speedup — becomes a
+// regression-testable measurement on any multi-core host.
+//
+// On a single-core container the sweep still runs (the team is merely
+// oversubscribed); measured speedup then hovers near/below 1x while model
+// speedup shows what a real p-core host should deliver. bench_compare.py
+// quantifies the gap from the JSON emitted here.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "basker/bench_support/model.hpp"
+#include "basker/bench_support/report.hpp"
+#include "basker/core/options.hpp"
+#include "basker/sparse/csc.hpp"
+
+namespace basker::bench {
+
+struct WallclockConfig {
+  /// Team sizes to run; empty means default_thread_counts().
+  std::vector<Int> thread_counts;
+  /// Numeric-phase repetitions per team size; the minimum wall time is
+  /// reported (standard practice for contended measurements).
+  Int repeats = 3;
+  /// Pin team member t to CPU t (BaskerOptions::pin_threads).
+  bool pin_threads = false;
+  /// Wait strategy under test (BaskerOptions::backoff).
+  BackoffPolicy backoff;
+  /// Platform for the paired schedule-model prediction.
+  Platform platform = kSandyBridge;
+};
+
+/// Powers of two 1..max_threads; max_threads <= 0 means
+/// max(4, hardware_cpus()) so a 1-core host still exercises the
+/// oversubscribed 2- and 4-thread paths.
+std::vector<Int> default_thread_counts(Int max_threads = 0);
+
+/// One team size's measurement paired with its model prediction.
+struct MeasuredRun {
+  /// The team size that actually ran: the requested count rounded down to
+  /// a power of two by Basker (so thread_counts {1, 3, 6} reports 1, 2, 4).
+  Int threads = 1;
+  Status status = Status::kOk;
+  double analyze_seconds = 0.0;
+  double factor_seconds = 0.0;   ///< min numeric wall time over repeats
+  double model_seconds = 0.0;    ///< schedule model at the same p
+  double sync_seconds = 0.0;     ///< summed thread wait time of the best run
+  double residual = 0.0;         ///< ||Ax-b|| relative residual of a solve
+  /// Factor size/work at this p. Per-run because the ND tree depth tracks
+  /// the team size, so different p legally produce different fill.
+  Size nnz_lu = 0;
+  double flops = 0.0;
+  std::vector<double> phase_seconds;  ///< per-phase wall times of the best run
+
+  bool ok() const { return status == Status::kOk; }
+};
+
+struct WallclockReport {
+  std::string matrix;
+  Int n = 0;
+  Size nnz = 0;
+  /// Convenience copies of the first successful run's (normally p = 1's)
+  /// factor size/work; per-p values live on each MeasuredRun.
+  Size nnz_lu = 0;
+  double flops = 0.0;
+  std::vector<MeasuredRun> runs;
+
+  /// The threads == 1 run (speedup anchor), or nullptr.
+  const MeasuredRun* serial() const;
+};
+
+/// Factor `a` at every configured team size and fill a report. The matrix
+/// is analyzed once per team size (the ND tree depends on p) and the
+/// numeric phase repeats `cfg.repeats` times via refactor().
+WallclockReport measure_scaling(const std::string& name, const Csc& a,
+                                const WallclockConfig& cfg);
+
+/// Human-readable model-vs-measured table for one report.
+void print_report(const WallclockReport& report);
+
+/// JSON round-trip for the comparison pipeline (scripts/bench_compare.py).
+JsonValue report_to_json(const WallclockReport& report);
+bool report_from_json(const JsonValue& v, WallclockReport& out);
+
+/// Top-level document: {"benchmark": label, "reports": [...]}.
+JsonValue reports_to_json(const std::string& label,
+                          const std::vector<WallclockReport>& reports);
+
+}  // namespace basker::bench

@@ -18,7 +18,10 @@ Int round_down_pow2(Int v) {
 
 Basker::Basker(BaskerOptions opt) : opt_(opt) {
   nthreads_ = round_down_pow2(std::max<Int>(1, opt_.nthreads));
-  team_ = std::make_unique<ThreadTeam>(nthreads_);
+  TeamConfig team_cfg;
+  team_cfg.backoff = opt_.backoff;
+  team_cfg.pin_threads = opt_.pin_threads;
+  team_ = std::make_unique<ThreadTeam>(nthreads_, team_cfg);
   barrier_ = std::make_unique<SpinBarrier>(nthreads_);
   ep_.init(nthreads_);
   ws_.resize(static_cast<size_t>(nthreads_));

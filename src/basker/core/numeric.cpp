@@ -53,16 +53,7 @@ void Basker::fail(Status s) {
 void Basker::wait_epoch(Int tid, Int t, long long target) {
   if (ep_.load(t) >= target) return;
   WallTimer timer;
-  // Spin with yield first; back off to short sleeps when oversubscribed
-  // (more threads than cores) so waiters release the core to producers.
-  int spins = 0;
-  while (ep_.load(t) < target && !failed()) {
-    if (++spins < 64) {
-      std::this_thread::yield();
-    } else {
-      std::this_thread::sleep_for(std::chrono::microseconds(50));
-    }
-  }
+  ep_.wait_at_least(t, target, opt_.backoff, [this] { return failed(); });
   ws_[tid]->sync_seconds += timer.seconds();
 }
 
@@ -548,20 +539,35 @@ void Basker::part_block_column_1d(NdPart& part, Int part_idx, Int tid, Int sleve
 // Orchestration.
 
 void Basker::numeric_thread(Int tid) {
+  // Thread 0 records per-phase wall time between the team-wide barriers
+  // (BaskerStats::phase_seconds): every thread is inside the same phase
+  // between consecutive barriers, so the tid-0 interval is the phase's
+  // wall time. Workers never touch the stats.
+  WallTimer phase_timer;
+  auto mark_phase = [&](Int phase) {
+    if (tid == 0 && phase < static_cast<Int>(stats_.phase_seconds.size())) {
+      stats_.phase_seconds[static_cast<size_t>(phase)] += phase_timer.seconds();
+      phase_timer.reset();
+    }
+  };
+
   fine_btf_thread(tid);
   barrier_->arrive_and_wait();
+  mark_phase(0);
 
   for (size_t pi = 0; pi < an_.parts.size(); ++pi) {
     NdPart& part = an_.parts[pi];
     if (part.nleaves == 1) {
       if (tid == 0 && !failed()) part_single_leaf(part, static_cast<Int>(pi), 0);
       barrier_->arrive_and_wait();
+      mark_phase(0);
       continue;
     }
     if (tid < part.nleaves && !failed()) {
       part_phase_leaves(part, static_cast<Int>(pi), tid);
     }
     barrier_->arrive_and_wait();
+    mark_phase(0);
     for (Int s = 1; s <= part.nlev; ++s) {
       if (tid < part.nleaves) {
         ep_.reset(tid);
@@ -580,6 +586,7 @@ void Basker::numeric_thread(Int tid) {
         }
       }
       barrier_->arrive_and_wait();
+      mark_phase(s);
     }
   }
 }
@@ -594,6 +601,7 @@ Status Basker::run_numeric() {
     if (static_cast<Int>(ws->wbuf.size()) < phases) ws->wbuf.resize(phases);
     if (static_cast<Int>(ws->wacc.size()) < phases) ws->wacc.resize(phases);
   }
+  stats_.phase_seconds.assign(static_cast<size_t>(phases), 0.0);
   ep_.init(nthreads_);
 
   team_->run([this](Int tid) { numeric_thread(tid); });

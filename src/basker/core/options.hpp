@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "basker/common/types.hpp"
+#include "basker/thread/backoff.hpp"
 
 namespace basker {
 
@@ -73,6 +74,18 @@ struct BaskerOptions {
   /// owning thread — the 1D layout of paper Fig. 1, whose root block
   /// column is a serial bottleneck; ablation only (`bench_ablate_1d2d`).
   bool parallel_separators = true;
+
+  /// Wait strategy for every busy-wait in the numeric phase (epoch waits,
+  /// team dispatch). The default spins briefly, yields, then parks with
+  /// short timed sleeps; ParkMode::kCondvar switches to futex-style
+  /// condition-variable parking, the right choice when threads outnumber
+  /// cores (thread/backoff.hpp documents the stages).
+  BackoffPolicy backoff{};
+
+  /// Pin team member t to CPU t (Linux sched_setaffinity; ignored where
+  /// unsupported). Off by default: pinning helps dedicated benchmark runs
+  /// and hurts oversubscribed ones.
+  bool pin_threads = false;
 };
 
 /// Read-only statistics filled by symbolic() and numeric(); see
@@ -99,6 +112,13 @@ struct BaskerStats {
   /// BTF blocks + ND leaves + lower off-diagonals), phase l >= 1 is
   /// separator level l.
   std::vector<std::vector<double>> work_per_thread_per_phase;
+
+  /// Measured wall time of each numeric phase (same indexing as
+  /// work_per_thread_per_phase[t]), recorded by thread 0 between the
+  /// team-wide phase barriers. Durations are non-negative and their sum is
+  /// bounded by factor_seconds; the model-vs-measured comparison
+  /// (bench_support/wallclock.hpp) consumes them per phase.
+  std::vector<double> phase_seconds;
 };
 
 }  // namespace basker

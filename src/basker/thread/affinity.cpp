@@ -1,0 +1,87 @@
+#include "basker/thread/affinity.hpp"
+
+#include <thread>
+
+#if defined(__linux__)
+#include <sched.h>
+
+#include <cstring>
+#endif
+
+namespace basker {
+
+#if defined(__linux__)
+
+static_assert(sizeof(CpuSet) >= sizeof(cpu_set_t),
+              "CpuSet must hold a full cpu_set_t");
+
+bool affinity_supported() { return true; }
+
+Int hardware_cpus() {
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  if (sched_getaffinity(0, sizeof(set), &set) == 0) {
+    const int n = CPU_COUNT(&set);
+    if (n > 0) return n;
+  }
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc > 0 ? static_cast<Int>(hc) : 1;
+}
+
+bool pin_current_thread(Int cpu) {
+  const Int ncpu = hardware_cpus();
+  if (ncpu <= 0) return false;
+  // The affinity mask may be sparse (cgroup restrictions): pick the
+  // (cpu % ncpu)-th set bit of the current allowed mask.
+  cpu_set_t allowed;
+  CPU_ZERO(&allowed);
+  if (sched_getaffinity(0, sizeof(allowed), &allowed) != 0) return false;
+  Int want = cpu % ncpu;
+  int target = -1;
+  for (int c = 0; c < CPU_SETSIZE; ++c) {
+    if (CPU_ISSET(c, &allowed)) {
+      if (want == 0) {
+        target = c;
+        break;
+      }
+      --want;
+    }
+  }
+  if (target < 0) return false;
+  cpu_set_t one;
+  CPU_ZERO(&one);
+  CPU_SET(target, &one);
+  return sched_setaffinity(0, sizeof(one), &one) == 0;
+}
+
+bool get_thread_affinity(CpuSet& out) {
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  if (sched_getaffinity(0, sizeof(set), &set) != 0) return false;
+  out = CpuSet{};
+  std::memcpy(out.bits, &set, sizeof(set));
+  return true;
+}
+
+bool set_thread_affinity(const CpuSet& mask) {
+  cpu_set_t set;
+  std::memcpy(&set, mask.bits, sizeof(set));
+  return sched_setaffinity(0, sizeof(set), &set) == 0;
+}
+
+#else  // !__linux__
+
+bool affinity_supported() { return false; }
+
+Int hardware_cpus() {
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc > 0 ? static_cast<Int>(hc) : 1;
+}
+
+bool pin_current_thread(Int) { return false; }
+bool get_thread_affinity(CpuSet&) { return false; }
+bool set_thread_affinity(const CpuSet&) { return false; }
+
+#endif
+
+}  // namespace basker

@@ -1,0 +1,33 @@
+// CPU affinity control for the thread team (ROADMAP "make the numeric
+// phase NUMA/affinity-aware"). Linux implements these with
+// sched_setaffinity/sched_getaffinity; every other platform gets graceful
+// no-op fallbacks that report failure, so callers can always request
+// pinning and inspect whether it took effect.
+#pragma once
+
+#include "basker/common/types.hpp"
+
+namespace basker {
+
+/// Opaque CPU mask, sized to match Linux's cpu_set_t (1024 CPUs).
+struct CpuSet {
+  unsigned long long bits[16] = {};
+};
+
+/// True when this build can actually pin threads (Linux only).
+bool affinity_supported();
+
+/// Number of CPUs available to this process: the affinity mask's population
+/// count where supported, else std::thread::hardware_concurrency (min 1).
+Int hardware_cpus();
+
+/// Pin the calling thread to `cpu` (taken modulo hardware_cpus()).
+/// Returns false if unsupported or the syscall failed.
+bool pin_current_thread(Int cpu);
+
+/// Save / restore the calling thread's full affinity mask; both return
+/// false when unsupported (restore is then a no-op).
+bool get_thread_affinity(CpuSet& out);
+bool set_thread_affinity(const CpuSet& mask);
+
+}  // namespace basker

@@ -1,0 +1,92 @@
+// Configurable wait strategy for the synchronization primitives (ROADMAP
+// "oversubscription backoff"): every busy-wait in the thread layer steps a
+// Backoff through three escalating stages instead of hard-coding a
+// spin-then-sleep heuristic.
+//
+//   1. spin  — tight loop with a CPU pause hint; cheapest wakeup latency,
+//              right when the producer is running on another core.
+//   2. yield — release the core to the scheduler; right when threads
+//              outnumber cores and the producer needs this core to make
+//              progress (the only regime observable in a 1-core container).
+//   3. park  — stop consuming the core entirely: either short timed sleeps
+//              (kSleep) or a condition-variable wait that the producer
+//              notifies (kCondvar, futex-style; see EpochCounters).
+#pragma once
+
+#include <chrono>
+#include <thread>
+
+#include "basker/common/types.hpp"
+
+namespace basker {
+
+/// How a waiter behaves once its spin and yield budgets are exhausted.
+enum class ParkMode {
+  kNone,     ///< keep yielding forever (pure spin-wait, lowest latency)
+  kSleep,    ///< timed sleeps of park_micros (the old heuristic, tunable)
+  kCondvar,  ///< park on a condition variable the signaler notifies
+};
+
+struct BackoffPolicy {
+  Int spin = 64;     ///< pause-loop iterations before the first yield
+  Int yield = 256;   ///< yields before parking
+  ParkMode park = ParkMode::kSleep;
+  Int park_micros = 50;  ///< sleep/park-timeout length once parked
+};
+
+/// Issue a CPU pause/yield hint without a syscall.
+inline void cpu_pause() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#endif
+}
+
+/// Steps a waiter through the policy's stages. step() performs one wait
+/// action (pause/yield/sleep) and returns false, except in kCondvar mode
+/// after the budgets are exhausted, where it returns true to tell the
+/// caller to park on its condition variable.
+class Backoff {
+ public:
+  explicit Backoff(const BackoffPolicy& policy) : policy_(policy) {}
+
+  bool step() {
+    if (count_ < policy_.spin) {
+      ++count_;
+      cpu_pause();
+      return false;
+    }
+    if (policy_.park == ParkMode::kNone) {
+      // Never park: yield forever — or, with a zero yield budget, keep
+      // spinning forever (a true pure spin-wait, e.g. bench_fig5
+      // --park spin).
+      if (policy_.yield > 0) {
+        std::this_thread::yield();
+      } else {
+        cpu_pause();
+      }
+      return false;
+    }
+    if (count_ < policy_.spin + policy_.yield) {
+      ++count_;
+      std::this_thread::yield();
+      return false;
+    }
+    if (policy_.park == ParkMode::kSleep) {
+      std::this_thread::sleep_for(std::chrono::microseconds(policy_.park_micros));
+      return false;
+    }
+    return true;  // kCondvar: caller owns the parking lot
+  }
+
+  void reset() { count_ = 0; }
+
+  const BackoffPolicy& policy() const { return policy_; }
+
+ private:
+  BackoffPolicy policy_;
+  Int count_ = 0;
+};
+
+}  // namespace basker

@@ -1,10 +1,12 @@
 #include "basker/thread/team.hpp"
 
 #include "basker/common/error.hpp"
+#include "basker/thread/affinity.hpp"
 
 namespace basker {
 
-ThreadTeam::ThreadTeam(Int nthreads) : nthreads_(nthreads) {
+ThreadTeam::ThreadTeam(Int nthreads, TeamConfig config)
+    : nthreads_(nthreads), config_(config) {
   BASKER_REQUIRE(nthreads >= 1, "ThreadTeam: need at least one thread");
   workers_.reserve(static_cast<size_t>(nthreads - 1));
   for (Int t = 1; t < nthreads; ++t) {
@@ -23,8 +25,14 @@ ThreadTeam::~ThreadTeam() {
 }
 
 void ThreadTeam::run(const std::function<void(Int)>& fn) {
+  CpuSet saved_mask;
+  bool restore_mask = false;
+  if (config_.pin_threads) {
+    restore_mask = get_thread_affinity(saved_mask) && pin_current_thread(0);
+  }
   if (nthreads_ == 1) {
     fn(0);
+    if (restore_mask) set_thread_affinity(saved_mask);
     return;
   }
   {
@@ -36,14 +44,28 @@ void ThreadTeam::run(const std::function<void(Int)>& fn) {
   cv_.notify_all();
   fn(0);
   // Wait for the workers; the job pointer stays valid until they are done.
+  Backoff backoff(config_.backoff);
   while (done_count_.load(std::memory_order_acquire) < nthreads_ - 1) {
-    std::this_thread::yield();
+    if (!backoff.step()) continue;
+    std::unique_lock<std::mutex> lock(done_mutex_);
+    master_parked_.fetch_add(1, std::memory_order_acq_rel);
+    done_cv_.wait_for(lock,
+                      std::chrono::microseconds(config_.backoff.park_micros),
+                      [&] {
+                        return done_count_.load(std::memory_order_acquire) >=
+                               nthreads_ - 1;
+                      });
+    master_parked_.fetch_sub(1, std::memory_order_acq_rel);
   }
-  std::lock_guard<std::mutex> lock(mutex_);
-  job_ = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_ = nullptr;
+  }
+  if (restore_mask) set_thread_affinity(saved_mask);
 }
 
 void ThreadTeam::worker_loop(Int tid) {
+  if (config_.pin_threads) pin_current_thread(tid);
   long long seen = 0;
   while (true) {
     const std::function<void(Int)>* job = nullptr;
@@ -56,7 +78,12 @@ void ThreadTeam::worker_loop(Int tid) {
     }
     if (job != nullptr) {
       (*job)(tid);
-      done_count_.fetch_add(1, std::memory_order_acq_rel);
+      const Int finished = done_count_.fetch_add(1, std::memory_order_acq_rel) + 1;
+      if (finished == nthreads_ - 1 &&
+          master_parked_.load(std::memory_order_acquire) > 0) {
+        std::lock_guard<std::mutex> lock(done_mutex_);
+        done_cv_.notify_one();
+      }
     }
   }
 }

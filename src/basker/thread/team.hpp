@@ -3,8 +3,10 @@
 // point-to-point epoch synchronization the paper credits for cutting sync
 // overhead from 11% to 2.3% of runtime (§IV "Synchronization").
 //
-// All spin loops yield, so the code is correct (if slow) even when threads
-// outnumber cores.
+// Every wait loop steps a Backoff (thread/backoff.hpp), so waiters escalate
+// spin -> yield -> park under a caller-chosen policy and the code is correct
+// (if slow) even when threads outnumber cores. EpochCounters carries a
+// parking lot so ParkMode::kCondvar waiters consume no CPU until signaled.
 #pragma once
 
 #include <atomic>
@@ -15,6 +17,7 @@
 #include <vector>
 
 #include "basker/common/types.hpp"
+#include "basker/thread/backoff.hpp"
 
 namespace basker {
 
@@ -43,8 +46,12 @@ class SpinBarrier {
 
 /// Cache-line padded monotone epoch counters for point-to-point
 /// synchronization: a producer advances its counter, a dependent consumer
-/// spins (with yield) until the counter reaches the epoch it needs. Only
-/// the two threads involved in a dependency ever touch the same counter.
+/// waits until the counter reaches the epoch it needs. Only the two threads
+/// involved in a dependency ever touch the same counter.
+///
+/// Waiters follow a BackoffPolicy; in ParkMode::kCondvar they park on the
+/// shared parking lot and signal() wakes them. The signal fast path (no
+/// parked waiters) is one release store plus one relaxed load.
 class EpochCounters {
  public:
   void init(Int count) {
@@ -55,12 +62,40 @@ class EpochCounters {
 
   void signal(Int id, long long epoch) {
     slots_[id].value.store(epoch, std::memory_order_release);
+    // Per-slot parked count: the hot path (no one waiting on THIS counter)
+    // stays lock-free even while waiters of other slots are parked. A
+    // waiter between its parked increment and wait_for re-checks the value
+    // under the lock, and the timed wait bounds the one remaining race
+    // (signal reading parked == 0 just before the increment).
+    if (slots_[id].parked.load(std::memory_order_acquire) > 0) {
+      std::lock_guard<std::mutex> lock(park_mutex_);
+      park_cv_.notify_all();
+    }
   }
 
-  void wait_at_least(Int id, long long epoch) const {
-    while (slots_[id].value.load(std::memory_order_acquire) < epoch) {
-      std::this_thread::yield();
+  /// Wait until counter `id` reaches `epoch` or abort() returns true,
+  /// escalating per `policy`. Parked waiters use a timed wait, so progress
+  /// does not depend on a wakeup racing the final signal.
+  template <typename Abort>
+  void wait_at_least(Int id, long long epoch, const BackoffPolicy& policy,
+                     Abort&& abort) const {
+    Backoff backoff(policy);
+    while (load(id) < epoch && !abort()) {
+      if (!backoff.step()) continue;
+      std::unique_lock<std::mutex> lock(park_mutex_);
+      slots_[id].parked.fetch_add(1, std::memory_order_acq_rel);
+      park_cv_.wait_for(lock,
+                        std::chrono::microseconds(policy.park_micros),
+                        [&] { return load(id) >= epoch || abort(); });
+      slots_[id].parked.fetch_sub(1, std::memory_order_acq_rel);
     }
+  }
+
+  /// Default-policy wait without an abort condition (spin + yield forever).
+  void wait_at_least(Int id, long long epoch) const {
+    BackoffPolicy policy;
+    policy.park = ParkMode::kNone;
+    wait_at_least(id, epoch, policy, [] { return false; });
   }
 
   long long load(Int id) const {
@@ -70,11 +105,28 @@ class EpochCounters {
  private:
   struct alignas(64) Slot {
     std::atomic<long long> value{0};
+    /// Waiters currently parked on this counter (gates signal's notify).
+    mutable std::atomic<int> parked{0};
     Slot() = default;
     Slot(const Slot&) {}
     Slot& operator=(const Slot&) { return *this; }
   };
   std::vector<Slot> slots_;
+  /// Parking lot shared by all slots; notify_all may wake waiters of other
+  /// slots, but only signals with a waiter on their own slot ever notify.
+  mutable std::mutex park_mutex_;
+  mutable std::condition_variable park_cv_;
+};
+
+/// Team-wide knobs applied at construction.
+struct TeamConfig {
+  /// Wait policy for the dispatch handshake (and the default for users of
+  /// the team's threads).
+  BackoffPolicy backoff;
+  /// Pin member t to CPU t mod hardware_cpus() (Linux sched_setaffinity;
+  /// silently ignored where unsupported). The calling thread — tid 0 — is
+  /// pinned only for the duration of each run() and then restored.
+  bool pin_threads = false;
 };
 
 /// Persistent worker pool. run(fn) executes fn(tid) for tid in [0, size)
@@ -82,13 +134,14 @@ class EpochCounters {
 /// variable between dispatches.
 class ThreadTeam {
  public:
-  explicit ThreadTeam(Int nthreads);
+  explicit ThreadTeam(Int nthreads, TeamConfig config = {});
   ~ThreadTeam();
 
   ThreadTeam(const ThreadTeam&) = delete;
   ThreadTeam& operator=(const ThreadTeam&) = delete;
 
   Int size() const { return nthreads_; }
+  const TeamConfig& config() const { return config_; }
 
   /// Dispatch fn to every team member and wait for completion. Exceptions
   /// thrown by fn terminate (factorization code reports via Status instead).
@@ -98,6 +151,7 @@ class ThreadTeam {
   void worker_loop(Int tid);
 
   Int nthreads_;
+  TeamConfig config_;
   std::vector<std::thread> workers_;
   std::mutex mutex_;
   std::condition_variable cv_;
@@ -105,6 +159,10 @@ class ThreadTeam {
   long long generation_ = 0;
   std::atomic<Int> done_count_{0};
   bool shutdown_ = false;
+  // Master-side wait for job completion (kCondvar parking).
+  std::mutex done_mutex_;
+  std::condition_variable done_cv_;
+  std::atomic<int> master_parked_{0};
 };
 
 }  // namespace basker

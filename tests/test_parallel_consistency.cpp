@@ -1,0 +1,173 @@
+// Property-based correctness of the threaded numeric phase over the full
+// generator suite (DESIGN.md §3.1): for every Table I/II analogue and every
+// team size p in {1, 2, 4, 8},
+//   (a) the factorization solves to a small relative residual, and
+//   (b) the L/U factors are BIT-IDENTICAL across independent solver
+//       instances and across refactor() at that p — the schedule moves
+//       work between threads but never reorders the arithmetic, so any
+//       divergence is a data race or nondeterministic reduction order.
+//
+// Bit-identity is asserted per team size, not across team sizes: the ND
+// separator tree deepens with p (core/symbolic.cpp), so different p values
+// legally produce different (equally valid) elimination orders. Across p
+// the tests assert agreement of the *solutions* to roundoff instead.
+#include <gtest/gtest.h>
+
+#include <cctype>
+
+#include "basker/core/basker.hpp"
+#include "basker/gen/generators.hpp"
+#include "basker/gen/suite.hpp"
+#include "basker/sparse/ops.hpp"
+
+namespace basker {
+namespace {
+
+constexpr double kTestScale = 0.2;  // keep the 28-matrix sweep quick
+
+/// Flatten every factor block of an analysis into one (pattern, values)
+/// digest. Includes the pivot permutations: identical values with different
+/// pivoting would still mean nondeterminism.
+struct FactorDigest {
+  std::vector<Size> shape;
+  std::vector<Int> pattern;
+  std::vector<Scalar> values;
+
+  void add(const LuMatrix& m) {
+    shape.push_back(m.nnz());
+    pattern.insert(pattern.end(), m.row_idx.begin(), m.row_idx.end());
+    values.insert(values.end(), m.values.begin(), m.values.end());
+  }
+  void add(const DiagFactor& f) {
+    add(f.l);
+    add(f.u);
+    pattern.insert(pattern.end(), f.row_perm.begin(), f.row_perm.end());
+  }
+
+  bool operator==(const FactorDigest& other) const {
+    return shape == other.shape && pattern == other.pattern &&
+           values == other.values;
+  }
+};
+
+FactorDigest digest_factors(const Basker& solver) {
+  FactorDigest d;
+  const Analysis& an = solver.analysis();
+  for (Int blk : an.fine_blocks) d.add(an.fine_factor[blk]);
+  for (const NdPart& part : an.parts) {
+    for (Int s = 0; s < part.nseg; ++s) {
+      d.add(part.diag[s]);
+      for (const LuMatrix& m : part.lblk[s]) d.add(m);
+      for (const LuMatrix& m : part.ublk[s]) d.add(m);
+    }
+  }
+  return d;
+}
+
+class ParallelConsistency : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ParallelConsistency, ResidualAndBitIdenticalFactorsAtEveryTeamSize) {
+  const Csc a = gen::make_by_name(GetParam(), kTestScale);
+  const std::vector<Scalar> rhs = gen::random_rhs(a.ncols, 77);
+
+  std::vector<Scalar> x_prev;
+  for (Int p : {1, 2, 4, 8}) {
+    BaskerOptions opt;
+    opt.nthreads = p;
+    Basker first(opt);
+    ASSERT_EQ(first.factor(a), Status::kOk) << GetParam() << " p=" << p;
+
+    // (a) the factorization actually solves the system.
+    std::vector<Scalar> x = rhs;
+    ASSERT_EQ(first.solve(x), Status::kOk);
+    EXPECT_LT(relative_residual(a, x, rhs), 1e-8) << GetParam() << " p=" << p;
+
+    // (b) bit-identical factors across an independent instance...
+    Basker second(opt);
+    ASSERT_EQ(second.factor(a), Status::kOk);
+    const FactorDigest base = digest_factors(first);
+    EXPECT_TRUE(base == digest_factors(second))
+        << GetParam() << " p=" << p << ": independent runs diverged";
+
+    // ...and across a same-pattern refactor on the first instance.
+    ASSERT_EQ(first.refactor(a), Status::kOk);
+    EXPECT_TRUE(base == digest_factors(first))
+        << GetParam() << " p=" << p << ": refactor diverged";
+
+    // Across team sizes the elimination order differs (deeper ND tree), so
+    // only the solutions must agree, to roundoff.
+    if (!x_prev.empty()) {
+      EXPECT_LT(max_abs_diff(x, x_prev), 1e-5)
+          << GetParam() << ": solution drifted between team sizes";
+    }
+    x_prev = std::move(x);
+  }
+}
+
+std::vector<std::string> all_suite_names() {
+  std::vector<std::string> names;
+  for (const auto& e : gen::table1_suite()) names.push_back(e.name);
+  for (const auto& e : gen::table2_suite()) names.push_back(e.name);
+  return names;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEntries, ParallelConsistency,
+                         ::testing::ValuesIn(all_suite_names()),
+                         [](const auto& info) {
+                           std::string s = info.param;
+                           for (char& c : s) {
+                             if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+                           }
+                           return s;
+                         });
+
+TEST(ParallelConsistencyModes, SyncModesAndChunksAgreeBitExactly) {
+  // Same p, different synchronization strategies: the dataflow is
+  // identical, so even the sync-mode and chunk-size knobs must not perturb
+  // a single bit of the factors.
+  const Csc a = gen::make_by_name("G2_Circuit", kTestScale);
+  BaskerOptions base;
+  base.nthreads = 4;
+  Basker ref(base);
+  ASSERT_EQ(ref.factor(a), Status::kOk);
+  const FactorDigest expected = digest_factors(ref);
+
+  for (SyncMode sync : {SyncMode::kPointToPoint, SyncMode::kBarrier}) {
+    for (Int chunk : {1, 4, 64}) {
+      BaskerOptions opt = base;
+      opt.sync_mode = sync;
+      opt.chunk_cols = chunk;
+      Basker solver(opt);
+      ASSERT_EQ(solver.factor(a), Status::kOk);
+      EXPECT_TRUE(expected == digest_factors(solver))
+          << "sync=" << (sync == SyncMode::kBarrier ? "barrier" : "p2p")
+          << " chunk=" << chunk;
+    }
+  }
+}
+
+TEST(ParallelConsistencyModes, BackoffPolicyNeverChangesResults) {
+  // The wait strategy decides *when* a thread observes a handoff, never
+  // *what* it computes: every park mode must give bit-identical factors.
+  const Csc a = gen::make_by_name("Freescale1", kTestScale);
+  FactorDigest expected;
+  bool have_expected = false;
+  for (ParkMode park : {ParkMode::kNone, ParkMode::kSleep, ParkMode::kCondvar}) {
+    BaskerOptions opt;
+    opt.nthreads = 4;
+    opt.backoff.park = park;
+    opt.backoff.spin = park == ParkMode::kCondvar ? 0 : 16;  // force parking
+    opt.backoff.yield = park == ParkMode::kCondvar ? 0 : 16;
+    Basker solver(opt);
+    ASSERT_EQ(solver.factor(a), Status::kOk);
+    if (!have_expected) {
+      expected = digest_factors(solver);
+      have_expected = true;
+    } else {
+      EXPECT_TRUE(expected == digest_factors(solver));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace basker

@@ -1,0 +1,222 @@
+// Tests for the measured-execution subsystem: per-phase wall-time
+// instrumentation of the numeric phase, the wallclock scaling harness, and
+// the JSON emitter the model-vs-measured pipeline
+// (scripts/bench_compare.py) consumes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "basker/bench_support/wallclock.hpp"
+#include "basker/core/basker.hpp"
+#include "basker/gen/generators.hpp"
+
+namespace basker {
+namespace {
+
+namespace bb = bench;
+
+Csc wallclock_matrix() {
+  gen::CircuitParams p;
+  p.n = 900;
+  p.btf_frac = 0.3;
+  p.core = gen::CoreTopology::kGrid;
+  p.seed = 19;
+  return gen::circuit(p);
+}
+
+TEST(PhaseTimings, NonNegativeMonotoneAndBoundedByTotal) {
+  const Csc a = wallclock_matrix();
+  BaskerOptions opt;
+  opt.nthreads = 4;
+  Basker solver(opt);
+  ASSERT_EQ(solver.factor(a), Status::kOk);
+  const BaskerStats& stats = solver.stats();
+
+  ASSERT_FALSE(stats.phase_seconds.empty());
+  // One wall-time entry per schedule phase (the work counters' indexing).
+  ASSERT_EQ(stats.phase_seconds.size(), stats.work_per_thread_per_phase[0].size());
+
+  double cumulative = 0.0, prev_cumulative = 0.0;
+  for (double s : stats.phase_seconds) {
+    EXPECT_GE(s, 0.0);
+    cumulative += s;
+    EXPECT_GE(cumulative, prev_cumulative);  // phase end times are monotone
+    prev_cumulative = cumulative;
+  }
+  // The phases partition a subset of the numeric phase: their sum cannot
+  // exceed the measured factor time (scatter + dispatch are outside).
+  EXPECT_LE(cumulative, stats.factor_seconds + 1e-9);
+  EXPECT_GT(cumulative, 0.0);
+}
+
+TEST(PhaseTimings, RefactorRewritesTimings) {
+  const Csc a = wallclock_matrix();
+  BaskerOptions opt;
+  opt.nthreads = 2;
+  Basker solver(opt);
+  ASSERT_EQ(solver.factor(a), Status::kOk);
+  const size_t phases = solver.stats().phase_seconds.size();
+  ASSERT_EQ(solver.refactor(a), Status::kOk);
+  EXPECT_EQ(solver.stats().phase_seconds.size(), phases);
+  double total = 0.0;
+  for (double s : solver.stats().phase_seconds) total += s;
+  EXPECT_LE(total, solver.stats().factor_seconds + 1e-9);
+}
+
+TEST(Wallclock, DefaultThreadCountsArePowersOfTwoFromOne) {
+  const std::vector<Int> counts = bb::default_thread_counts();
+  ASSERT_FALSE(counts.empty());
+  EXPECT_EQ(counts.front(), 1);
+  EXPECT_GE(counts.back(), 4);  // oversubscribed sweep even on 1 core
+  for (size_t i = 1; i < counts.size(); ++i) {
+    EXPECT_EQ(counts[i], 2 * counts[i - 1]);
+  }
+  EXPECT_EQ(bb::default_thread_counts(2), (std::vector<Int>{1, 2}));
+}
+
+TEST(Wallclock, MeasureScalingFillsEveryRun) {
+  const Csc a = wallclock_matrix();
+  bb::WallclockConfig cfg;
+  cfg.thread_counts = {1, 2};
+  cfg.repeats = 2;
+  const bb::WallclockReport report = bb::measure_scaling("circuit", a, cfg);
+
+  EXPECT_EQ(report.matrix, "circuit");
+  EXPECT_EQ(report.n, a.ncols);
+  EXPECT_EQ(report.nnz, a.nnz());
+  EXPECT_GT(report.nnz_lu, 0);
+  EXPECT_GT(report.flops, 0.0);
+  ASSERT_EQ(report.runs.size(), 2u);
+  ASSERT_NE(report.serial(), nullptr);
+  EXPECT_EQ(report.nnz_lu, report.serial()->nnz_lu);
+  for (const bb::MeasuredRun& run : report.runs) {
+    ASSERT_TRUE(run.ok());
+    EXPECT_GT(run.factor_seconds, 0.0);
+    EXPECT_GT(run.model_seconds, 0.0);
+    EXPECT_GT(run.nnz_lu, 0);
+    EXPECT_GT(run.flops, 0.0);
+    EXPECT_LT(run.residual, 1e-8);
+    ASSERT_FALSE(run.phase_seconds.empty());
+    double total = 0.0;
+    for (double s : run.phase_seconds) {
+      EXPECT_GE(s, 0.0);
+      total += s;
+    }
+    EXPECT_LE(total, run.factor_seconds + 1e-9);
+  }
+}
+
+TEST(Wallclock, ReportsGrantedTeamSizeNotRequested) {
+  // Basker rounds thread counts down to a power of two; the report must
+  // label rows with the team size that actually ran.
+  const Csc a = wallclock_matrix();
+  bb::WallclockConfig cfg;
+  cfg.thread_counts = {3};
+  cfg.repeats = 1;
+  const bb::WallclockReport report = bb::measure_scaling("rounded", a, cfg);
+  ASSERT_EQ(report.runs.size(), 1u);
+  EXPECT_EQ(report.runs[0].threads, 2);
+}
+
+TEST(Wallclock, ReportRoundTripsThroughJson) {
+  const Csc a = wallclock_matrix();
+  bb::WallclockConfig cfg;
+  cfg.thread_counts = {1, 2};
+  cfg.repeats = 1;
+  const bb::WallclockReport report = bb::measure_scaling("rt", a, cfg);
+
+  const std::string text = bb::report_to_json(report).dump(2);
+  bb::JsonValue parsed;
+  ASSERT_TRUE(bb::JsonValue::parse(text, parsed));
+  bb::WallclockReport back;
+  ASSERT_TRUE(bb::report_from_json(parsed, back));
+
+  EXPECT_EQ(back.matrix, report.matrix);
+  EXPECT_EQ(back.n, report.n);
+  EXPECT_EQ(back.nnz, report.nnz);
+  EXPECT_EQ(back.nnz_lu, report.nnz_lu);
+  EXPECT_EQ(back.flops, report.flops);  // %.17g: doubles survive exactly
+  ASSERT_EQ(back.runs.size(), report.runs.size());
+  for (size_t i = 0; i < report.runs.size(); ++i) {
+    const bb::MeasuredRun& orig = report.runs[i];
+    const bb::MeasuredRun& copy = back.runs[i];
+    EXPECT_EQ(copy.threads, orig.threads);
+    EXPECT_EQ(copy.ok(), orig.ok());
+    EXPECT_EQ(copy.analyze_seconds, orig.analyze_seconds);
+    EXPECT_EQ(copy.factor_seconds, orig.factor_seconds);
+    EXPECT_EQ(copy.model_seconds, orig.model_seconds);
+    EXPECT_EQ(copy.sync_seconds, orig.sync_seconds);
+    EXPECT_EQ(copy.residual, orig.residual);
+    EXPECT_EQ(copy.nnz_lu, orig.nnz_lu);
+    EXPECT_EQ(copy.flops, orig.flops);
+    EXPECT_EQ(copy.phase_seconds, orig.phase_seconds);
+  }
+}
+
+TEST(Wallclock, TopLevelDocumentShape) {
+  bb::WallclockReport report;
+  report.matrix = "empty";
+  const bb::JsonValue doc = bb::reports_to_json("unit", {report});
+  EXPECT_EQ(doc.at("benchmark").as_string(), "unit");
+  EXPECT_GE(doc.at("hardware_cpus").as_number(), 1.0);
+  ASSERT_TRUE(doc.at("reports").is_array());
+  EXPECT_EQ(doc.at("reports").size(), 1u);
+}
+
+TEST(Json, ParsesScalarsStringsAndNesting) {
+  bb::JsonValue v;
+  ASSERT_TRUE(bb::JsonValue::parse(
+      R"({"a": [1, -2.5e3, true, false, null], "s": "x\n\"y\"A"})", v));
+  ASSERT_TRUE(v.is_object());
+  const bb::JsonValue& a = v.at("a");
+  ASSERT_EQ(a.size(), 5u);
+  EXPECT_EQ(a.at(0).as_number(), 1.0);
+  EXPECT_EQ(a.at(1).as_number(), -2500.0);
+  EXPECT_TRUE(a.at(2).as_bool());
+  EXPECT_EQ(a.at(4).kind(), bb::JsonValue::Kind::kNull);
+  EXPECT_EQ(v.at("s").as_string(), "x\n\"y\"A");
+}
+
+TEST(Json, RejectsMalformedDocuments) {
+  bb::JsonValue v;
+  EXPECT_FALSE(bb::JsonValue::parse("{", v));
+  EXPECT_FALSE(bb::JsonValue::parse("[1, 2,]", v));
+  EXPECT_FALSE(bb::JsonValue::parse("{\"a\" 1}", v));
+  EXPECT_FALSE(bb::JsonValue::parse("tru", v));
+  EXPECT_FALSE(bb::JsonValue::parse("1 2", v));    // trailing garbage
+  EXPECT_FALSE(bb::JsonValue::parse("\"open", v));
+  EXPECT_FALSE(bb::JsonValue::parse("nan", v));
+  EXPECT_FALSE(bb::JsonValue::parse("[-inf]", v));  // strtod-isms rejected
+  EXPECT_FALSE(bb::JsonValue::parse("[-nan]", v));
+  EXPECT_FALSE(bb::JsonValue::parse("[0x10]", v));
+}
+
+TEST(Json, DumpParseRoundTripPreservesDoublesExactly) {
+  bb::JsonValue obj = bb::JsonValue::object();
+  obj.set("pi", 3.141592653589793);
+  obj.set("tiny", 4.9406564584124654e-324);
+  obj.set("neg", -0.1);
+  obj.set("big", 1.7976931348623157e308);
+  bb::JsonValue parsed;
+  ASSERT_TRUE(bb::JsonValue::parse(obj.dump(), parsed));
+  for (const auto& member : obj.members()) {
+    EXPECT_EQ(parsed.at(member.first).as_number(), member.second.as_number())
+        << member.first;
+  }
+}
+
+TEST(Json, CompactAndPrettyAgree) {
+  bb::JsonValue obj = bb::JsonValue::object();
+  obj.set("k", bb::JsonValue::array());
+  bb::JsonValue inner = bb::JsonValue::array();
+  inner.push(1.0);
+  inner.push("two");
+  obj.set("k", std::move(inner));
+  bb::JsonValue from_compact, from_pretty;
+  ASSERT_TRUE(bb::JsonValue::parse(obj.dump(), from_compact));
+  ASSERT_TRUE(bb::JsonValue::parse(obj.dump(2), from_pretty));
+  EXPECT_EQ(from_compact.dump(), from_pretty.dump());
+}
+
+}  // namespace
+}  // namespace basker
