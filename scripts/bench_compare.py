@@ -1,11 +1,12 @@
 #!/usr/bin/env python3
-"""Model-vs-measured comparison for the wallclock harness's JSON reports.
+"""Comparisons over the bench binaries' JSON reports.
 
-Consumes the document emitted by `bench_fig5 --measured --json` (or any
-binary using bench_support/wallclock.hpp's reports_to_json) and prints, per
-matrix and team size, the measured wall time, the schedule model's
-prediction, their ratio, and the measured/modelled speedups over the
-1-thread anchor; then summary statistics of the model error.
+Default mode consumes the document emitted by `bench_fig5 --measured
+--json` (or any binary using bench_support/wallclock.hpp's
+reports_to_json) and prints, per matrix and team size, the measured wall
+time, the schedule model's prediction, their ratio, and the
+measured/modelled speedups over the 1-thread anchor; then summary
+statistics of the model error.
 
 Usage:
   build/bench/bench_fig5 --measured --json | scripts/bench_compare.py
@@ -18,12 +19,25 @@ in either direction). The tolerance is off by default: on a host with
 fewer cores than the sweep's team sizes the model *should* diverge (it
 predicts p-core time, the host delivers 1-core time).
 
+--orderings mode consumes `bench_ablate_orderings --json` instead and
+gates separator quality: the multilevel ND scheme must beat the level-set
+baseline by --min-reduction (median over the Table I circuit suite), and
+with --baseline FILE the multilevel separator sizes must not regress past
+the stored baseline (median ratio <= --max-regression). Regenerate the
+baseline with --write-baseline after an intentional quality change.
+
+Usage:
+  build/bench/bench_ablate_orderings --json | \\
+      scripts/bench_compare.py --orderings --baseline scripts/ordering_baseline.json
+  ... --orderings --baseline FILE --write-baseline
+
 Stdlib only — no third-party dependencies.
 """
 
 import argparse
 import json
 import math
+import statistics
 import sys
 
 
@@ -38,12 +52,153 @@ def load_document(path):
         return json.load(f)
 
 
+def orderings_main(doc, args):
+    matrices = doc.get("matrices", [])
+    if not matrices:
+        print("bench_compare: document has no matrices", file=sys.stderr)
+        return 2
+
+    print(f"benchmark: {doc.get('benchmark', '?')}  "
+          f"(scale {doc.get('scale', '?')}, nd_levels {doc.get('nd_levels', '?')})")
+    header = (f"{'matrix':<16} {'suite':<7} {'sep LS':>7} {'sep ML':>7} "
+              f"{'reduction':>10} {'speedup LS':>11} {'speedup ML':>11}")
+    print(header)
+    print("-" * len(header))
+    failures = 0
+    for m in matrices:
+        ls, ml = m.get("levelset", {}), m.get("multilevel", {})
+        failures += (not ls.get("ok")) + (not ml.get("ok"))
+        print(f"{m.get('matrix', '?'):<16} {m.get('suite', '?'):<7} "
+              f"{ls.get('sep_total', 0):>7.0f} {ml.get('sep_total', 0):>7.0f} "
+              f"{100 * m.get('sep_reduction', 0.0):>9.1f}% "
+              f"{ls.get('model_speedup', float('nan')):>10.2f}x "
+              f"{ml.get('model_speedup', float('nan')):>10.2f}x")
+
+    med_t1 = doc.get("median_sep_reduction_table1", 0.0)
+    med_all = doc.get("median_sep_reduction_all", 0.0)
+    print(f"\nmedian separator reduction: {100 * med_t1:.1f}% (Table I), "
+          f"{100 * med_all:.1f}% (all)")
+    print("(Table I is the gate: mesh matrices tie by construction — a "
+          "straight cut is already optimal there)")
+
+    if args.write_baseline:
+        if not args.baseline:
+            print("bench_compare: --write-baseline needs --baseline PATH",
+                  file=sys.stderr)
+            return 2
+        baseline = {
+            "benchmark": doc.get("benchmark"),
+            "scale": doc.get("scale"),
+            "nd_levels": doc.get("nd_levels"),
+            "sep_total": {m["matrix"]: m["multilevel"]["sep_total"]
+                          for m in matrices},
+        }
+        with open(args.baseline, "w") as f:
+            json.dump(baseline, f, indent=2)
+            f.write("\n")
+        print(f"baseline written to {args.baseline}")
+        return 0
+
+    status = 0
+    if failures:
+        print(f"bench_compare: {failures} factorization(s) failed",
+              file=sys.stderr)
+        status = 1
+    if med_t1 < args.min_reduction:
+        print(f"bench_compare: Table I median separator reduction "
+              f"{100 * med_t1:.1f}% below required "
+              f"{100 * args.min_reduction:.1f}%", file=sys.stderr)
+        status = 1
+
+    if args.baseline:
+        try:
+            with open(args.baseline) as f:
+                baseline = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"bench_compare: cannot read baseline: {e}", file=sys.stderr)
+            return 2
+        if (baseline.get("scale") != doc.get("scale")
+                or baseline.get("nd_levels") != doc.get("nd_levels")):
+            print("bench_compare: baseline scale/nd_levels mismatch — "
+                  "regenerate with --write-baseline", file=sys.stderr)
+            return 2
+        base_sep = baseline.get("sep_total", {})
+        ratios = []          # (ratio, matrix, suite)
+        unmatched = []
+        for m in matrices:
+            base = base_sep.get(m["matrix"])
+            cur = m["multilevel"]["sep_total"]
+            if base is None:
+                unmatched.append(m["matrix"])
+            elif base > 0:
+                ratios.append((cur / base, m["matrix"], m.get("suite")))
+            elif cur > 0:
+                # base == 0: a ratio is undefined, but growth from an
+                # empty separator is still a regression to report.
+                print(f"bench_compare: {m['matrix']} separator grew from "
+                      f"0 to {cur:.0f} vs baseline", file=sys.stderr)
+                status = 1
+        # A rename, removal, or generator change must not silently disarm
+        # the gate — check both directions.
+        report_names = {m["matrix"] for m in matrices}
+        stale = [name for name in base_sep if name not in report_names]
+        if unmatched:
+            print(f"bench_compare: matrices missing from baseline "
+                  f"(regenerate with --write-baseline): "
+                  f"{', '.join(unmatched)}", file=sys.stderr)
+            status = 1
+        if stale:
+            print(f"bench_compare: baseline entries with no report matrix "
+                  f"(regenerate with --write-baseline): "
+                  f"{', '.join(stale)}", file=sys.stderr)
+            status = 1
+        if not ratios:
+            print("bench_compare: baseline matched no matrices — the "
+                  "regression gate cannot run", file=sys.stderr)
+            return 2
+        # Median over Table I only: the Table II mesh rows are structurally
+        # pinned at 1.0 and would dilute circuit-suite regressions out of a
+        # whole-population median. The worst ratio is gated separately so a
+        # regression on a minority of matrices cannot hide in any median.
+        t1_ratios = [r for r, _, suite in ratios if suite == "table1"]
+        med_ratio = statistics.median(t1_ratios or [r for r, _, _ in ratios])
+        worst, worst_name, _ = max(ratios)
+        print(f"separator size vs baseline: Table I median ratio "
+              f"{fmt(med_ratio, 3)}, worst {fmt(worst, 3)} ({worst_name})")
+        if med_ratio > args.max_regression:
+            print(f"bench_compare: median separator size regressed "
+                  f"{fmt(med_ratio, 3)}x past baseline (limit "
+                  f"{args.max_regression})", file=sys.stderr)
+            status = 1
+        if worst > args.max_worst:
+            print(f"bench_compare: {worst_name} separator regressed "
+                  f"{fmt(worst, 3)}x past baseline (limit "
+                  f"{args.max_worst})", file=sys.stderr)
+            status = 1
+    return status
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("report", nargs="?", default="-",
                         help="JSON report file ('-' = stdin, the default)")
     parser.add_argument("--tolerance", type=float, default=None,
                         help="fail if any |log2(model/measured)| exceeds this")
+    parser.add_argument("--orderings", action="store_true",
+                        help="separator-quality mode (bench_ablate_orderings --json)")
+    parser.add_argument("--baseline", default=None,
+                        help="orderings: stored separator-size baseline JSON")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="orderings: write the baseline instead of gating")
+    parser.add_argument("--min-reduction", type=float, default=0.20,
+                        help="orderings: required Table I median separator "
+                             "reduction vs level-set (default 0.20)")
+    parser.add_argument("--max-regression", type=float, default=1.05,
+                        help="orderings: allowed Table I median "
+                             "separator-size ratio vs baseline (default 1.05)")
+    parser.add_argument("--max-worst", type=float, default=1.25,
+                        help="orderings: allowed worst per-matrix "
+                             "separator-size ratio vs baseline (default 1.25)")
     args = parser.parse_args()
 
     try:
@@ -51,6 +206,9 @@ def main():
     except (OSError, json.JSONDecodeError) as e:
         print(f"bench_compare: cannot read report: {e}", file=sys.stderr)
         return 2
+
+    if args.orderings:
+        return orderings_main(doc, args)
 
     reports = doc.get("reports", [])
     if not reports:

@@ -24,3 +24,13 @@ ctest --test-dir build --output-on-failure -j "$(nproc)"
 BASKER_BENCH_SCALE="${BASKER_BENCH_SCALE:-0.3}" \
   ./build/bench/bench_fig5 --measured --max-threads 2 --repeats 1 --json \
   | python3 scripts/bench_compare.py
+
+# Ordering-quality gate: multilevel ND must keep beating the level-set
+# baseline (>= 20% median separator reduction on the Table I circuit suite)
+# and must not regress past the stored per-matrix baseline. The scale is
+# pinned: the baseline's separator sizes are only meaningful at the scale
+# they were recorded at (regenerate with --write-baseline after an
+# intentional quality change).
+BASKER_BENCH_SCALE=0.25 ./build/bench/bench_ablate_orderings --json \
+  | python3 scripts/bench_compare.py --orderings \
+      --baseline scripts/ordering_baseline.json

@@ -22,7 +22,7 @@ Basker::Basker(BaskerOptions opt) : opt_(opt) {
   team_cfg.backoff = opt_.backoff;
   team_cfg.pin_threads = opt_.pin_threads;
   team_ = std::make_unique<ThreadTeam>(nthreads_, team_cfg);
-  barrier_ = std::make_unique<SpinBarrier>(nthreads_);
+  barrier_ = std::make_unique<SpinBarrier>(nthreads_, opt_.backoff);
   ep_.init(nthreads_);
   ws_.resize(static_cast<size_t>(nthreads_));
   for (auto& ws : ws_) ws = std::make_unique<ThreadWs>();

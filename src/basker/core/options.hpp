@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "basker/common/types.hpp"
+#include "basker/graph/nd.hpp"
 #include "basker/thread/backoff.hpp"
 
 namespace basker {
@@ -68,6 +69,15 @@ struct BaskerOptions {
   /// Fill-reducing minimum-degree ordering inside ND leaves (§III-C,
   /// the paper's per-leaf AMD). Default true; ablation only.
   bool order_leaves = true;
+
+  /// Separator construction inside nested dissection (graph/nd.hpp). The
+  /// default kMultilevel (heavy-edge coarsening + FM refinement + minimum
+  /// vertex cover, DESIGN.md §3.3) produces Scotch-quality separators;
+  /// kLevelSet is the seed's one-shot BFS cut, kept as the ablation
+  /// baseline (`bench_ablate_orderings`). Separator columns are factored
+  /// cooperatively and cap parallel scaling, so smaller separators feed
+  /// straight into speedup.
+  NdScheme nd_scheme = NdScheme::kMultilevel;
 
   /// The 2D separator algorithm of §III-C/Algorithm 4. Default true.
   /// When false, each separator block column is factored entirely by its

@@ -106,17 +106,18 @@ Status Basker::symbolic(const Csc& a) {
     // Dissect, but back off on the tree depth when the graph does not
     // bisect well: fat separators turn the 2D algorithm's border blocks
     // into the dominant cost (the paper's leaf-count trade-off, §III-C).
+    // The depth search only inspects separator masses, so leaf ordering
+    // (which cannot change the splits) is deferred until the depth
+    // settles — each discarded candidate would otherwise pay a full AMD
+    // sweep over its leaves.
     const Csc sym = symmetrize_pattern(matched);
-    NdTree tree = nested_dissect(sym, nlevels, opt_.order_leaves);
+    NdTree tree = nested_dissect(sym, nlevels, false, opt_.nd_scheme);
     while (nlevels > 0) {
-      Int sep_mass = 0;
-      for (Int s = 0; s < tree.nsegments; ++s) {
-        if (!tree.is_leaf(s)) sep_mass += tree.seg_size(s);
-      }
-      if (sep_mass * 8 <= m) break;
+      if (tree.separator_mass() * 8 <= m) break;
       --nlevels;
-      tree = nested_dissect(sym, nlevels, opt_.order_leaves);
+      tree = nested_dissect(sym, nlevels, false, opt_.nd_scheme);
     }
+    if (opt_.order_leaves) order_tree_leaves(sym, tree);
 
     for (Int k = 0; k < m; ++k) {
       row_map2[lo + k] = an_.row_map[lo + m2.row_of_col[tree.perm[k]]];

@@ -1,0 +1,87 @@
+#include "basker/graph/coarsen.hpp"
+
+#include <algorithm>
+
+#include "basker/common/error.hpp"
+
+namespace basker {
+
+std::vector<Int> heavy_edge_matching(const Csc& g) {
+  BASKER_REQUIRE(g.nrows == g.ncols, "heavy_edge_matching: square required");
+  const Int n = g.ncols;
+  std::vector<Int> match(static_cast<size_t>(n), kInvalid);
+  for (Int v = 0; v < n; ++v) {
+    if (match[v] != kInvalid) continue;
+    Int best = v;  // stay single unless an unmatched neighbour exists
+    Scalar best_w = 0.0;
+    for (Size p = g.col_ptr[v]; p < g.col_ptr[v + 1]; ++p) {
+      const Int u = g.row_idx[p];
+      if (u == v || match[u] != kInvalid) continue;
+      const Scalar w = g.values[p];
+      // Strict > keeps the smallest-index neighbour on ties (rows are
+      // sorted ascending), which is the determinism contract.
+      if (best == v || w > best_w) {
+        best = u;
+        best_w = w;
+      }
+    }
+    match[v] = best;
+    match[best] = v;  // best == v leaves v matched to itself
+  }
+  return match;
+}
+
+CoarseLevel contract(const Csc& g, const std::vector<Int>& vwgt,
+                     const std::vector<Int>& match) {
+  const Int n = g.ncols;
+  BASKER_REQUIRE(static_cast<Int>(vwgt.size()) == n &&
+                     static_cast<Int>(match.size()) == n,
+                 "contract: size mismatch");
+  CoarseLevel out;
+  out.fine_to_coarse.assign(static_cast<size_t>(n), kInvalid);
+  Int nc = 0;
+  for (Int v = 0; v < n; ++v) {
+    if (out.fine_to_coarse[v] != kInvalid) continue;
+    out.fine_to_coarse[v] = nc;
+    out.fine_to_coarse[match[v]] = nc;  // no-op when v is self-matched
+    ++nc;
+  }
+
+  out.vwgt.assign(static_cast<size_t>(nc), 0);
+  for (Int v = 0; v < n; ++v) out.vwgt[out.fine_to_coarse[v]] += vwgt[v];
+
+  // Build the coarse adjacency column by column, merging parallel edges
+  // with a stamp array. Visiting fine pairs (v, match[v]) in coarse-id
+  // order emits columns already in ascending coarse order; row indices are
+  // sorted per column afterwards to restore the Csc invariant.
+  Csc c(nc, nc);
+  std::vector<Int> first_fine(static_cast<size_t>(nc), kInvalid);
+  for (Int v = n - 1; v >= 0; --v) first_fine[out.fine_to_coarse[v]] = v;
+  std::vector<Int> stamp(static_cast<size_t>(nc), kInvalid);
+  std::vector<Size> slot(static_cast<size_t>(nc), 0);
+  for (Int cv = 0; cv < nc; ++cv) {
+    const Int v = first_fine[cv];
+    const Int fines[2] = {v, match[v]};
+    for (Int f : fines) {
+      for (Size p = g.col_ptr[f]; p < g.col_ptr[f + 1]; ++p) {
+        const Int cu = out.fine_to_coarse[g.row_idx[p]];
+        if (cu == cv) continue;  // contracted or self edge
+        if (stamp[cu] != cv) {
+          stamp[cu] = cv;
+          slot[cu] = static_cast<Size>(c.row_idx.size());
+          c.row_idx.push_back(cu);
+          c.values.push_back(g.values[p]);
+        } else {
+          c.values[slot[cu]] += g.values[p];
+        }
+      }
+      if (f == match[v]) break;  // self-matched: single fine vertex
+    }
+    c.col_ptr[cv + 1] = static_cast<Size>(c.row_idx.size());
+  }
+  c.sort_columns();
+  out.graph = std::move(c);
+  return out;
+}
+
+}  // namespace basker

@@ -1,0 +1,43 @@
+// Graph coarsening for multilevel nested dissection (DESIGN.md §3.3): a
+// heavy-edge matching pass plus graph contraction. Repeatedly contracting
+// matched vertex pairs shrinks a graph by ~2x per level while preserving its
+// cut structure, so a bisection found on the small coarsest graph (and
+// refined on the way back up, graph/fm.hpp) is far better than one-shot
+// level-set bisection on the fine graph.
+//
+// Determinism contract: both passes visit vertices in increasing index order
+// and break ties toward the smallest index, so identical inputs always
+// produce identical coarse graphs — required for the solver's bit-identical
+// refactorization guarantee (test_parallel_consistency).
+#pragma once
+
+#include <vector>
+
+#include "basker/common/types.hpp"
+#include "basker/sparse/csc.hpp"
+
+namespace basker {
+
+/// One level of a coarsening hierarchy. The coarse adjacency stores summed
+/// edge weights in `graph.values` (self loops removed); `vwgt[c]` is the
+/// number of finest-level vertices collapsed into coarse vertex c.
+struct CoarseLevel {
+  Csc graph;
+  std::vector<Int> vwgt;
+  std::vector<Int> fine_to_coarse;  ///< size = fine vertex count
+};
+
+/// Heavy-edge matching: scan vertices in index order; an unmatched vertex
+/// grabs its unmatched neighbour with the heaviest connecting edge (ties:
+/// smallest index). Returns match with match[v] == partner, or v itself for
+/// vertices left unmatched. `g` must be a symmetric-pattern adjacency whose
+/// values are positive edge weights (self loops ignored).
+std::vector<Int> heavy_edge_matching(const Csc& g);
+
+/// Contract matched pairs into single vertices: coarse ids are assigned in
+/// increasing order of each pair's smaller fine index, parallel edges merge
+/// by weight summation, and fine vertex weights add.
+CoarseLevel contract(const Csc& g, const std::vector<Int>& vwgt,
+                     const std::vector<Int>& match);
+
+}  // namespace basker

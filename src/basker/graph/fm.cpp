@@ -1,0 +1,428 @@
+#include "basker/graph/fm.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "basker/common/error.hpp"
+
+namespace basker {
+
+namespace {
+
+inline long long iwgt(Scalar w) { return std::llround(w); }
+
+/// Intrusive bucket lists over gains in [-max_gain, +max_gain]. Vertices
+/// within a bucket are kept in ascending index order by construction
+/// (seeded back-to-front, updates re-insert at the head only after a
+/// gain change, which preserves determinism if not strict ordering).
+class GainBuckets {
+ public:
+  GainBuckets(Int nverts, long long max_gain)
+      : offset_(max_gain),
+        head_(static_cast<size_t>(2 * max_gain + 1), kInvalid),
+        nxt_(static_cast<size_t>(nverts), kInvalid),
+        prv_(static_cast<size_t>(nverts), kInvalid),
+        bucket_of_(static_cast<size_t>(nverts), kNone),
+        top_(kInvalid) {}
+
+  bool contains(Int v) const { return bucket_of_[v] != kNone; }
+
+  /// Empty all buckets without releasing storage (pass-loop reuse).
+  void clear() {
+    std::fill(head_.begin(), head_.end(), kInvalid);
+    std::fill(bucket_of_.begin(), bucket_of_.end(), kNone);
+    top_ = kInvalid;
+  }
+
+  void insert(Int v, long long gain) {
+    const Int b = static_cast<Int>(gain + offset_);
+    bucket_of_[v] = b;
+    prv_[v] = kInvalid;
+    nxt_[v] = head_[b];
+    if (head_[b] != kInvalid) prv_[head_[b]] = v;
+    head_[b] = v;
+    top_ = std::max(top_, b);
+  }
+
+  void remove(Int v) {
+    const Int b = bucket_of_[v];
+    if (b == kNone) return;
+    if (prv_[v] != kInvalid) nxt_[prv_[v]] = nxt_[v];
+    else head_[b] = nxt_[v];
+    if (nxt_[v] != kInvalid) prv_[nxt_[v]] = prv_[v];
+    bucket_of_[v] = kNone;
+  }
+
+  void adjust(Int v, long long gain) {
+    remove(v);
+    insert(v, gain);
+  }
+
+  /// Best vertex passing `allowed`, scanning buckets top-down. The scan is
+  /// capped so a long run of balance-blocked candidates cannot go
+  /// quadratic; returns kInvalid if nothing allowed within the cap.
+  template <typename Allowed>
+  Int best(Allowed&& allowed, long long& gain_out) {
+    Int scanned = 0;
+    for (Int b = shrink_top(); b >= 0; --b) {
+      for (Int v = head_[b]; v != kInvalid; v = nxt_[v]) {
+        if (allowed(v)) {
+          gain_out = b - offset_;
+          return v;
+        }
+        if (++scanned >= kScanCap) return kInvalid;
+      }
+    }
+    return kInvalid;
+  }
+
+ private:
+  Int shrink_top() {
+    while (top_ >= 0 && head_[top_] == kInvalid) --top_;
+    return top_;
+  }
+
+  static constexpr Int kNone = -2;
+  static constexpr Int kScanCap = 64;
+  long long offset_;
+  std::vector<Int> head_;
+  std::vector<Int> nxt_, prv_;
+  std::vector<Int> bucket_of_;
+  Int top_;
+};
+
+}  // namespace
+
+long long weighted_cut(const Csc& g, const std::vector<Int>& part) {
+  long long cut = 0;
+  for (Int v = 0; v < g.ncols; ++v) {
+    for (Size p = g.col_ptr[v]; p < g.col_ptr[v + 1]; ++p) {
+      const Int u = g.row_idx[p];
+      if (u < v && part[u] != part[v]) cut += iwgt(g.values[p]);
+    }
+  }
+  return cut;
+}
+
+bool fm_refine(const Csc& g, const std::vector<Int>& vwgt,
+               std::vector<Int>& part, const FmLimits& lim) {
+  const Int n = g.ncols;
+  BASKER_REQUIRE(static_cast<Int>(part.size()) == n &&
+                     static_cast<Int>(vwgt.size()) == n,
+                 "fm_refine: size mismatch");
+  if (n <= 2) return false;
+
+  long long total = 0, max_deg = 0;
+  for (Int v = 0; v < n; ++v) {
+    total += vwgt[v];
+    long long d = 0;
+    for (Size p = g.col_ptr[v]; p < g.col_ptr[v + 1]; ++p) {
+      if (g.row_idx[p] != v) d += iwgt(g.values[p]);
+    }
+    max_deg = std::max(max_deg, d);
+  }
+  // Cap either side at max_side of the total weight, but never below what a
+  // perfect halving needs (lumpy coarse weights must still be movable).
+  const long long cap = std::max<long long>(
+      static_cast<long long>(std::ceil(lim.max_side * static_cast<double>(total))),
+      (total + 1) / 2);
+
+  long long side_w[2] = {0, 0};
+  for (Int v = 0; v < n; ++v) side_w[part[v]] += vwgt[v];
+
+  std::vector<long long> gain(static_cast<size_t>(n), 0);
+  std::vector<bool> locked(static_cast<size_t>(n), false);
+  std::vector<Int> moved;
+  bool improved_any = false;
+
+  GainBuckets buckets[2] = {GainBuckets(n, max_deg), GainBuckets(n, max_deg)};
+  for (Int pass = 0; pass < lim.max_passes; ++pass) {
+    // Seed gains and buckets; back-to-front insertion keeps each bucket's
+    // list in ascending vertex order.
+    buckets[0].clear();
+    buckets[1].clear();
+    for (Int v = 0; v < n; ++v) {
+      long long gn = 0;
+      for (Size p = g.col_ptr[v]; p < g.col_ptr[v + 1]; ++p) {
+        const Int u = g.row_idx[p];
+        if (u == v) continue;
+        gn += part[u] != part[v] ? iwgt(g.values[p]) : -iwgt(g.values[p]);
+      }
+      gain[v] = gn;
+      locked[v] = false;
+    }
+    for (Int v = n - 1; v >= 0; --v) buckets[part[v]].insert(v, gain[v]);
+
+    moved.clear();
+    long long cum = 0, best_cum = 0;
+    size_t best_len = 0;
+
+    for (;;) {
+      // A move from side s is legal when the receiving side stays under cap
+      // (which keeps the shrinking side above total - cap).
+      long long ga = 0, gb = 0;
+      const Int va = buckets[0].best(
+          [&](Int v) { return side_w[1] + vwgt[v] <= cap; }, ga);
+      const Int vb = buckets[1].best(
+          [&](Int v) { return side_w[0] + vwgt[v] <= cap; }, gb);
+      if (va == kInvalid && vb == kInvalid) break;
+      Int from;
+      if (va == kInvalid) from = 1;
+      else if (vb == kInvalid) from = 0;
+      else if (ga != gb) from = ga > gb ? 0 : 1;
+      else from = side_w[1] > side_w[0] ? 1 : 0;  // heavier side; tie -> 0
+      const Int v = from == 0 ? va : vb;
+      const long long gv = from == 0 ? ga : gb;
+
+      buckets[from].remove(v);
+      locked[v] = true;
+      side_w[from] -= vwgt[v];
+      side_w[1 - from] += vwgt[v];
+      part[v] = 1 - from;
+      moved.push_back(v);
+      cum += gv;
+      if (cum > best_cum) {
+        best_cum = cum;
+        best_len = moved.size();
+      }
+      for (Size p = g.col_ptr[v]; p < g.col_ptr[v + 1]; ++p) {
+        const Int u = g.row_idx[p];
+        if (u == v || locked[u]) continue;
+        const long long w = iwgt(g.values[p]);
+        // v left u's side: u's edge to v flips internal->external (+2w);
+        // v joined u's side: external->internal (-2w).
+        gain[u] += part[u] == from ? 2 * w : -2 * w;
+        buckets[part[u]].adjust(u, gain[u]);
+      }
+    }
+
+    // Roll back past the best prefix (all the way when nothing improved).
+    for (size_t i = moved.size(); i > best_len; --i) {
+      const Int v = moved[i - 1];
+      side_w[part[v]] -= vwgt[v];
+      part[v] = 1 - part[v];
+      side_w[part[v]] += vwgt[v];
+    }
+    if (best_cum <= 0) break;
+    improved_any = true;
+  }
+  return improved_any;
+}
+
+void refine_vertex_separator(const Csc& g, const std::vector<Int>& vwgt,
+                             std::vector<Int>& part, Int max_passes,
+                             double max_side) {
+  const Int n = g.ncols;
+  BASKER_REQUIRE(static_cast<Int>(part.size()) == n &&
+                     static_cast<Int>(vwgt.size()) == n,
+                 "refine_vertex_separator: size mismatch");
+  long long side_w[2] = {0, 0};
+  long long sep_w = 0;
+  Int sep_count = 0;
+  for (Int v = 0; v < n; ++v) {
+    if (part[v] == 2) {
+      sep_w += vwgt[v];
+      ++sep_count;
+    } else {
+      side_w[part[v]] += vwgt[v];
+    }
+  }
+  if (sep_count == 0) return;
+  const long long entry_total = side_w[0] + side_w[1];
+  const long long cap = std::max<long long>(
+      static_cast<long long>(std::ceil(max_side * static_cast<double>(entry_total))),
+      (entry_total + 1) / 2);
+  // Releasing to one side absorbs vertices *from the other*, so growth
+  // capping alone lets a long move sequence drain a side; the floor keeps
+  // both sides recursable.
+  const long long floor_w = entry_total - cap;
+  // Plateau/negative moves beyond this net separator growth are hopeless.
+  const long long slack =
+      2 * std::max<long long>(1, (entry_total + sep_w) / std::max(n, 1));
+
+  // Releasing separator vertex v to side s pulls the (1-s)-side neighbours
+  // into the separator: net separator growth = absorbed weight - vwgt[v].
+  // Each pass applies moves tentatively (locking the mover, best-first with
+  // plateau moves allowed so the search can cross flat regions) and rolls
+  // back to the lightest separator seen. O(sep^2)-ish per pass is fine at
+  // bisection-subgraph sizes.
+  std::vector<bool> locked(static_cast<size_t>(n));
+  std::vector<std::pair<Int, Int>> undo;  // (vertex, previous part)
+  std::vector<Int> sep_list;  // candidate worklist; stale entries skipped
+  for (Int pass = 0; pass < max_passes; ++pass) {
+    std::fill(locked.begin(), locked.end(), false);
+    undo.clear();
+    sep_list.clear();
+    for (Int v = 0; v < n; ++v) {
+      if (part[v] == 2) sep_list.push_back(v);
+    }
+    const long long start_sep = sep_w;
+    long long best_sep = sep_w;
+    size_t best_undo = 0;
+    const Int move_budget = std::max<Int>(64, 2 * sep_count);
+
+    for (Int moves = 0; moves < move_budget; ++moves) {
+      Int best_v = kInvalid, best_to = 0;
+      long long best_net = 0, best_imb = 0;
+      // Scanning the worklist instead of all n vertices keeps a move at
+      // O(separator), which matters when the component is the whole graph.
+      for (Int v : sep_list) {
+        if (part[v] != 2 || locked[v]) continue;
+        long long cost[2] = {0, 0};
+        for (Size p = g.col_ptr[v]; p < g.col_ptr[v + 1]; ++p) {
+          const Int u = g.row_idx[p];
+          if (u != v && part[u] != 2) cost[1 - part[u]] += vwgt[u];
+        }
+        for (Int s = 0; s < 2; ++s) {
+          if (side_w[s] + vwgt[v] > cap) continue;
+          if (side_w[1 - s] - cost[s] < floor_w) continue;
+          const long long net = cost[s] - vwgt[v];  // separator growth
+          const long long imb =
+              std::llabs((side_w[s] + vwgt[v]) - (side_w[1 - s] - cost[s]));
+          if (best_v == kInvalid || net < best_net ||
+              (net == best_net && imb < best_imb)) {
+            best_v = v;
+            best_to = s;
+            best_net = net;
+            best_imb = imb;
+          }
+        }
+      }
+      if (best_v == kInvalid || best_net > slack) break;
+      locked[best_v] = true;
+      undo.emplace_back(best_v, 2);
+      part[best_v] = best_to;
+      side_w[best_to] += vwgt[best_v];
+      sep_w -= vwgt[best_v];
+      --sep_count;
+      for (Size p = g.col_ptr[best_v]; p < g.col_ptr[best_v + 1]; ++p) {
+        const Int u = g.row_idx[p];
+        if (u != best_v && part[u] == 1 - best_to) {
+          undo.emplace_back(u, part[u]);
+          part[u] = 2;
+          side_w[1 - best_to] -= vwgt[u];
+          sep_w += vwgt[u];
+          ++sep_count;
+          sep_list.push_back(u);  // duplicates are fine: stale-skipped
+        }
+      }
+      if (sep_w < best_sep) {
+        best_sep = sep_w;
+        best_undo = undo.size();
+      }
+    }
+
+    // Roll back to the best prefix.
+    for (size_t i = undo.size(); i > best_undo; --i) {
+      const auto& [v, prev] = undo[i - 1];
+      if (prev == 2) {  // v had been released from the separator
+        side_w[part[v]] -= vwgt[v];
+        sep_w += vwgt[v];
+        ++sep_count;
+      } else {  // v had been pulled into the separator
+        side_w[prev] += vwgt[v];
+        sep_w -= vwgt[v];
+        --sep_count;
+      }
+      part[v] = prev;
+    }
+    if (sep_w >= start_sep) break;  // pass made no progress
+  }
+}
+
+void extract_vertex_separator(const Csc& g, std::vector<Int>& part) {
+  const Int n = g.ncols;
+  BASKER_REQUIRE(static_cast<Int>(part.size()) == n,
+                 "extract_vertex_separator: size mismatch");
+  // Cut-edge adjacency, side-0 boundary vertex -> its side-1 neighbours.
+  std::vector<Int> abnd;
+  std::vector<std::vector<Int>> cut_adj(static_cast<size_t>(n));
+  for (Int v = 0; v < n; ++v) {
+    if (part[v] != 0) continue;
+    for (Size p = g.col_ptr[v]; p < g.col_ptr[v + 1]; ++p) {
+      const Int u = g.row_idx[p];
+      if (u != v && part[u] == 1) cut_adj[v].push_back(u);
+    }
+    if (!cut_adj[v].empty()) abnd.push_back(v);
+  }
+  if (abnd.empty()) return;
+
+  // Maximum bipartite matching over the cut edges (Kuhn augmenting paths,
+  // side-0 vertices tried in index order for determinism). The DFS is
+  // iterative: an alternating path can be as long as the whole boundary,
+  // which would overflow the stack recursively on full-scale inputs.
+  std::vector<Int> match(static_cast<size_t>(n), kInvalid);
+  std::vector<Int> vis(static_cast<size_t>(n), kInvalid);
+  std::vector<std::pair<Int, size_t>> dfs;  // (side-0 vertex, next edge index)
+  Int stamp = 0;
+  for (Int a0 : abnd) {
+    ++stamp;
+    dfs.assign(1, {a0, 0});
+    while (!dfs.empty()) {
+      auto& [a, idx] = dfs.back();
+      if (idx >= cut_adj[a].size()) {
+        dfs.pop_back();
+        continue;
+      }
+      const Int b = cut_adj[a][idx++];
+      if (vis[b] == stamp) continue;
+      vis[b] = stamp;
+      if (match[b] != kInvalid) {
+        dfs.push_back({match[b], 0});
+        continue;
+      }
+      // Free side-1 vertex found: flip the alternating path back to a0.
+      Int free_b = b;
+      for (auto it = dfs.rbegin(); it != dfs.rend(); ++it) {
+        const Int aa = it->first;
+        const Int prev_b = match[aa];
+        match[aa] = free_b;
+        match[free_b] = aa;
+        if (prev_b == kInvalid) break;  // reached the unmatched root a0
+        free_b = prev_b;
+      }
+      break;
+    }
+  }
+
+  // König: Z = vertices reachable from unmatched side-0 boundary vertices
+  // alternating (non-matching edge ->, matching edge <-). The minimum
+  // cover is (A \ Z) u (B n Z).
+  std::vector<bool> in_z(static_cast<size_t>(n), false);
+  std::vector<Int> queue;
+  for (Int a : abnd) {
+    if (match[a] == kInvalid) {
+      in_z[a] = true;
+      queue.push_back(a);
+    }
+  }
+  for (size_t qi = 0; qi < queue.size(); ++qi) {
+    const Int a = queue[qi];
+    for (Int b : cut_adj[a]) {
+      if (in_z[b] || match[a] == b) continue;
+      in_z[b] = true;
+      const Int a2 = match[b];  // b is matched, else the path would augment
+      if (a2 != kInvalid && !in_z[a2]) {
+        in_z[a2] = true;
+        queue.push_back(a2);
+      }
+    }
+  }
+  for (Int a : abnd) {
+    if (!in_z[a]) part[a] = 2;
+  }
+  for (Int a : abnd) {
+    for (Int b : cut_adj[a]) {
+      if (in_z[b]) part[b] = 2;
+    }
+  }
+  // Cover property: every former cut edge now has an endpoint labelled 2.
+  for (Int a : abnd) {
+    for (Int b : cut_adj[a]) {
+      BASKER_REQUIRE(part[a] == 2 || part[b] == 2,
+                     "extract_vertex_separator: uncovered cut edge");
+    }
+  }
+}
+
+}  // namespace basker

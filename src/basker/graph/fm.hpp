@@ -1,0 +1,58 @@
+// Fiduccia–Mattheyses boundary refinement for multilevel nested dissection
+// (DESIGN.md §3.3). Operates on a 2-way partition of a weighted graph:
+// repeated single-vertex moves chosen from bucket gain lists, with a
+// weighted balance constraint, vertex locking, and rollback to the best
+// prefix of each pass. A companion pass converts the refined *edge* cut
+// into a minimum *vertex* separator (König cover over the cut edges),
+// which is what the ND tree actually stores.
+//
+// Determinism contract: bucket lists are seeded in index order, every
+// tie (equal gain, equal side weight) breaks toward the smaller vertex
+// index / side 0, and rollback keeps the first best prefix — identical
+// inputs always yield identical partitions.
+#pragma once
+
+#include <vector>
+
+#include "basker/common/types.hpp"
+#include "basker/sparse/csc.hpp"
+
+namespace basker {
+
+struct FmLimits {
+  Int max_passes = 10;     ///< FM passes per refinement call
+  double max_side = 0.6;   ///< weighted cap on either side, fraction of total
+};
+
+/// Sum of edge weights crossing the partition (each undirected edge counted
+/// once). `part[v]` must be 0 or 1; `g.values` are positive edge weights.
+long long weighted_cut(const Csc& g, const std::vector<Int>& part);
+
+/// Refine `part` in place; returns true if the cut strictly improved.
+/// `vwgt` are vertex weights (coarse vertices carry the number of fine
+/// vertices they absorbed). Passes that do not improve are rolled back
+/// entirely, so the result is never worse than the input.
+bool fm_refine(const Csc& g, const std::vector<Int>& vwgt,
+               std::vector<Int>& part, const FmLimits& lim = {});
+
+/// Shrink a vertex separator in place by node moves: a separator vertex
+/// (part 2) moves to a side, pulling that side's opposite-boundary
+/// neighbours into the separator; the move pays off when the absorbed
+/// weight is below the vertex's own. Moves apply tentatively best-first
+/// (plateau and mildly negative moves allowed, mover locked) and each pass
+/// rolls back to the lightest separator seen. `vwgt` weighs both the
+/// separator mass being minimized and the side balance (capped at max_side
+/// of the non-separator total). Deterministic.
+void refine_vertex_separator(const Csc& g, const std::vector<Int>& vwgt,
+                             std::vector<Int>& part, Int max_passes = 8,
+                             double max_side = 0.6);
+
+/// Turn an edge-separated bipartition into a vertex-separated tripartition:
+/// computes a minimum vertex cover of the cut edges (maximum bipartite
+/// matching + König construction) and relabels the cover vertices to 2.
+/// After the call no edge connects part 0 to part 1. Intended for the
+/// finest (unit-weight) level, where minimum cover = fewest separator
+/// vertices.
+void extract_vertex_separator(const Csc& g, std::vector<Int>& part);
+
+}  // namespace basker

@@ -17,13 +17,22 @@ std::vector<Int> min_degree_order(const Csc& g) {
   if (n == 0) return perm;
 
   // Quotient graph state. A variable that has been pivoted becomes the
-  // element with the same id.
+  // element with the same id. Variables carry a weight nv (supervariable
+  // size): indistinguishable variables are merged and nv accumulates, so
+  // degrees count vertices, not supervariables.
   std::vector<std::vector<Int>> adj_var(static_cast<size_t>(n));
   std::vector<std::vector<Int>> adj_elem(static_cast<size_t>(n));
   std::vector<std::vector<Int>> elem_vars(static_cast<size_t>(n));
   std::vector<bool> alive(static_cast<size_t>(n), true);
   std::vector<bool> elem_alive(static_cast<size_t>(n), false);
   std::vector<Int> degree(static_cast<size_t>(n), 0);
+  std::vector<Int> nv(static_cast<size_t>(n), 1);
+  std::vector<Int> elem_wgt(static_cast<size_t>(n), 0);  ///< sum of member nv
+  // Supervariable chains: eliminating a representative emits its whole
+  // chain. sv_next threads the members; sv_tail speeds concatenation.
+  std::vector<Int> sv_next(static_cast<size_t>(n), kInvalid);
+  std::vector<Int> sv_tail(static_cast<size_t>(n));
+  for (Int v = 0; v < n; ++v) sv_tail[v] = v;
 
   for (Int j = 0; j < n; ++j) {
     for (Size p = g.col_ptr[j]; p < g.col_ptr[j + 1]; ++p) {
@@ -39,11 +48,13 @@ std::vector<Int> min_degree_order(const Csc& g) {
 
   std::vector<Int> mark(static_cast<size_t>(n), kInvalid);
   std::vector<Int> wstamp(static_cast<size_t>(n), kInvalid);
-  std::vector<Int> w(static_cast<size_t>(n), 0);  // |Le \ Lp| accumulators
+  std::vector<Int> w(static_cast<size_t>(n), 0);  // |Le \ Lp| weight accumulators
   std::vector<Int> lp;                            // current element variable list
+  std::vector<std::pair<std::uint64_t, Int>> hashes;  // supervariable buckets
   Int stamp = 0;
+  Int vertices_left = n;
 
-  for (Int k = 0; k < n; ++k) {
+  while (static_cast<Int>(perm.size()) < n) {
     // Lazy-deletion pop: discard stale heap entries.
     Int p = kInvalid;
     while (!heap.empty()) {
@@ -79,38 +90,58 @@ std::vector<Int> min_degree_order(const Csc& g) {
       elem_vars[e].shrink_to_fit();
     }
     alive[p] = false;
-    perm.push_back(p);
+    vertices_left -= nv[p];
+    for (Int v = p; v != kInvalid; v = sv_next[v]) perm.push_back(v);
     adj_var[p].clear();
     adj_var[p].shrink_to_fit();
     adj_elem[p].clear();
     adj_elem[p].shrink_to_fit();
+    Int lp_wgt = 0;
+    for (Int v : lp) lp_wgt += nv[v];
     if (!lp.empty()) {
       elem_vars[p] = lp;
       elem_alive[p] = true;
+      elem_wgt[p] = lp_wgt;
     }
 
-    // Pass 1: w[e] = |Le \ Lp| for every live element e touching Lp.
+    // Pass 1: w[e] = weight of Le \ Lp for every live element e touching
+    // Lp. On first touch the member list is compacted and its weight
+    // recomputed exactly, which also keeps elem_wgt from going stale.
     for (Int v : lp) {
       for (Int e : adj_elem[v]) {
         if (!elem_alive[e] || e == p) continue;
         if (wstamp[e] != stamp) {
           wstamp[e] = stamp;
-          w[e] = static_cast<Int>(elem_vars[e].size());
+          auto& ev = elem_vars[e];
+          size_t out = 0;
+          Int wgt = 0;
+          for (size_t idx = 0; idx < ev.size(); ++idx) {
+            if (alive[ev[idx]]) {
+              wgt += nv[ev[idx]];
+              ev[out++] = ev[idx];
+            }
+          }
+          ev.resize(out);
+          elem_wgt[e] = wgt;
+          w[e] = wgt;
         }
-        w[e] -= 1;
+        w[e] -= nv[v];
       }
     }
 
     // Pass 2: prune lists and recompute approximate degrees.
-    const Int remaining = n - k - 1;
     for (Int v : lp) {
       // Prune A-list: drop dead variables and variables covered by the new
       // element p (they are in Lp, marked with the current stamp).
       auto& av = adj_var[v];
       size_t out = 0;
+      Int d_a = 0;
       for (size_t idx = 0; idx < av.size(); ++idx) {
         const Int u = av[idx];
-        if (alive[u] && mark[u] != stamp) av[out++] = u;
+        if (alive[u] && mark[u] != stamp) {
+          d_a += nv[u];
+          av[out++] = u;
+        }
       }
       av.resize(out);
 
@@ -127,18 +158,73 @@ std::vector<Int> min_degree_order(const Csc& g) {
           elem_vars[e].clear();
           continue;
         }
-        d_other += (wstamp[e] == stamp) ? w[e]
-                                        : static_cast<Int>(elem_vars[e].size()) - 1;
+        d_other += (wstamp[e] == stamp) ? w[e] : elem_wgt[e] - nv[v];
         ev[out++] = e;
       }
       ev.resize(out);
       ev.push_back(p);
 
-      const Int d_p = static_cast<Int>(lp.size()) - 1;  // |Lp \ v|
-      const Int d_a = static_cast<Int>(av.size());
-      const Int bound = std::min({degree[v] + d_p, d_a + d_p + d_other, remaining});
+      const Int d_p = lp_wgt - nv[v];  // weight of Lp \ v
+      const Int bound = std::min({degree[v] + d_p, d_a + d_p + d_other,
+                                  vertices_left - nv[v]});
       degree[v] = std::max<Int>(bound, 0);
       heap.emplace(degree[v], v);
+    }
+
+    // Supervariable merge: variables of Lp with identical quotient-graph
+    // adjacency are indistinguishable — they will be eliminated together
+    // whatever the order — so fold them into one weighted variable. A
+    // commutative hash over both lists buckets candidates; exact list
+    // comparison (stamp marking) confirms. Buckets are visited in (hash,
+    // index) order and the smallest index becomes the representative, so
+    // the merge is deterministic.
+    hashes.clear();
+    for (Int v : lp) {
+      std::uint64_t h =
+          0x9E3779B97F4A7C15ull * (adj_var[v].size() + 1) +
+          0xC2B2AE3D27D4EB4Full * (adj_elem[v].size() + 1);
+      for (Int u : adj_var[v]) h += (static_cast<std::uint64_t>(u) + 1) * 0x85EBCA77ull;
+      for (Int e : adj_elem[v]) h += (static_cast<std::uint64_t>(e) + 1) * 0x27D4EB2Full;
+      hashes.emplace_back(h, v);
+    }
+    std::sort(hashes.begin(), hashes.end());
+    for (size_t i = 0; i < hashes.size();) {
+      size_t j = i + 1;
+      while (j < hashes.size() && hashes[j].first == hashes[i].first) ++j;
+      for (size_t a = i; j - i >= 2 && a < j; ++a) {
+        const Int va = hashes[a].second;
+        if (!alive[va]) continue;
+        for (size_t b = a + 1; b < j; ++b) {
+          const Int vb = hashes[b].second;
+          if (!alive[vb]) continue;
+          if (adj_var[va].size() != adj_var[vb].size() ||
+              adj_elem[va].size() != adj_elem[vb].size()) {
+            continue;
+          }
+          ++stamp;
+          for (Int u : adj_var[va]) mark[u] = stamp;
+          bool same = true;
+          for (Int u : adj_var[vb]) same &= mark[u] == stamp;
+          if (same) {
+            ++stamp;
+            for (Int e : adj_elem[va]) mark[e] = stamp;
+            for (Int e : adj_elem[vb]) same &= mark[e] == stamp;
+          }
+          if (!same) continue;
+          // Merge vb into va.
+          nv[va] += nv[vb];
+          degree[va] = std::max<Int>(degree[va] - nv[vb], 0);
+          alive[vb] = false;
+          sv_next[sv_tail[va]] = vb;
+          sv_tail[va] = sv_tail[vb];
+          adj_var[vb].clear();
+          adj_var[vb].shrink_to_fit();
+          adj_elem[vb].clear();
+          adj_elem[vb].shrink_to_fit();
+          heap.emplace(degree[va], va);
+        }
+      }
+      i = j;
     }
   }
 

@@ -1,10 +1,13 @@
 // Approximate-minimum-degree fill-reducing ordering (the paper's AMD step,
 // applied per BTF diagonal block and inside nested-dissection leaves).
 //
-// Quotient-graph implementation with element absorption and the
-// Amestoy-Davis-Duff approximate external degree bound. Supervariable
-// merging is omitted: it accelerates AMD on huge meshes but does not change
-// the algorithmic role the ordering plays here.
+// Quotient-graph implementation with element absorption, the
+// Amestoy-Davis-Duff approximate external degree bound, and supervariable
+// merging: after each pivot, variables of the new element with identical
+// quotient-graph adjacency (detected by a commutative hash over both
+// adjacency lists, confirmed by exact comparison) are folded into one
+// weighted variable and emitted together — the standard AMD acceleration
+// for mesh-like graphs, where indistinguishable boundary nodes abound.
 #pragma once
 
 #include <vector>

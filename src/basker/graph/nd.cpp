@@ -4,6 +4,8 @@
 #include <numeric>
 
 #include "basker/common/error.hpp"
+#include "basker/graph/coarsen.hpp"
+#include "basker/graph/fm.hpp"
 #include "basker/graph/mindeg.hpp"
 #include "basker/sparse/coo.hpp"
 #include "basker/sparse/ops.hpp"
@@ -17,18 +19,29 @@ bool NdTree::is_ancestor_or_self(Int anc, Int s) const {
   return false;
 }
 
+Int NdTree::separator_mass() const {
+  Int mass = 0;
+  for (Int s = 0; s < nsegments; ++s) {
+    if (!is_leaf(s)) mass += seg_size(s);
+  }
+  return mass;
+}
+
 namespace {
 
 /// Scratch shared by the whole dissection: one marker array over the global
 /// graph avoids re-allocating per recursion level.
 struct Workspace {
   const Csc& g;
+  NdScheme scheme;
   std::vector<Int> inset;    ///< stamp marking the active vertex subset
   std::vector<Int> visited;  ///< BFS stamp
+  std::vector<Int> local_of; ///< global -> subgraph index (multilevel path)
   Int stamp = 0;
-  explicit Workspace(const Csc& graph)
-      : g(graph), inset(static_cast<size_t>(graph.ncols), kInvalid),
-        visited(static_cast<size_t>(graph.ncols), kInvalid) {}
+  Workspace(const Csc& graph, NdScheme s)
+      : g(graph), scheme(s), inset(static_cast<size_t>(graph.ncols), kInvalid),
+        visited(static_cast<size_t>(graph.ncols), kInvalid),
+        local_of(static_cast<size_t>(graph.ncols), kInvalid) {}
 };
 
 /// BFS over the active subset from `start`; appends visited vertices to
@@ -53,6 +66,243 @@ Int bfs(Workspace& ws, Int start, Int set_stamp, Int visit_stamp,
     }
   }
   return max_level + 1;
+}
+
+/// Level-set split of one connected component (NdScheme::kLevelSet): BFS
+/// level structure from a pseudo-peripheral vertex, cut on the narrowest
+/// level whose prefix lands in the 25-75% balance band; suffix vertices
+/// adjacent to the prefix form the separator. Appends to a/b/sep.
+void levelset_split(Workspace& ws, const std::vector<Int>& component,
+                    Int set_stamp, std::vector<Int>& level, std::vector<Int>& a,
+                    std::vector<Int>& b, std::vector<Int>& sep) {
+  Int seed = component.front();
+  for (int iter = 0; iter < 2; ++iter) {
+    std::vector<Int> order;
+    bfs(ws, seed, set_stamp, ++ws.stamp, order, level);
+    seed = order.back();  // farthest vertex
+  }
+  std::vector<Int> order;
+  bfs(ws, seed, set_stamp, ++ws.stamp, order, level);
+
+  // Cut on the *narrowest* BFS level whose prefix lands in the 25-75%
+  // balance band: the level width is exactly the upper bound on the
+  // separator, so thin levels give thin separators.
+  size_t cut = 0;
+  {
+    size_t best_width = order.size() + 1;
+    size_t lvl_start = 0;
+    for (size_t i = 1; i <= order.size(); ++i) {
+      if (i == order.size() || level[order[i]] != level[order[lvl_start]]) {
+        // Level occupies [lvl_start, i); cutting before it puts lvl_start
+        // vertices on the A side.
+        const size_t width = i - lvl_start;
+        if (lvl_start * 4 >= order.size() && lvl_start * 4 <= 3 * order.size() &&
+            width < best_width) {
+          best_width = width;
+          cut = lvl_start;
+        }
+        lvl_start = i;
+      }
+    }
+    if (cut == 0) {  // no level boundary in the band: plain halving
+      cut = std::max<size_t>(1, std::min(order.size() - 1, order.size() / 2));
+    }
+  }
+
+  const Int half_stamp = ++ws.stamp;
+  for (size_t i = 0; i < cut; ++i) ws.visited[order[i]] = half_stamp;
+  for (size_t i = 0; i < cut; ++i) a.push_back(order[i]);
+  // Suffix vertices adjacent to the prefix form the separator; the rest of
+  // the suffix is the other side.
+  for (size_t i = cut; i < order.size(); ++i) {
+    const Int v = order[i];
+    bool boundary = false;
+    for (Size p = ws.g.col_ptr[v]; p < ws.g.col_ptr[v + 1] && !boundary; ++p) {
+      const Int u = ws.g.row_idx[p];
+      boundary = (u != v && ws.inset[u] == set_stamp && ws.visited[u] == half_stamp);
+    }
+    (boundary ? sep : b).push_back(v);
+  }
+}
+
+/// Region-growing initial bisection of a small weighted graph: BFS from a
+/// pseudo-peripheral vertex (found from `start`), absorbing vertices until
+/// half the total vertex weight is on side 0. FM cleans up whatever
+/// imbalance remains.
+std::vector<Int> grow_initial_partition(const Csc& g, const std::vector<Int>& vwgt,
+                                        Int start) {
+  const Int n = g.ncols;
+  std::vector<Int> part(static_cast<size_t>(n), 1);
+  if (n == 0) return part;
+  std::vector<Int> order;
+  order.reserve(static_cast<size_t>(n));
+  std::vector<Int> seen(static_cast<size_t>(n));
+  Int seed = start;
+  for (int iter = 0; iter < 3; ++iter) {
+    order.clear();
+    std::fill(seen.begin(), seen.end(), 0);
+    order.push_back(seed);
+    seen[seed] = 1;
+    for (size_t qi = 0; qi < order.size(); ++qi) {
+      const Int v = order[qi];
+      for (Size p = g.col_ptr[v]; p < g.col_ptr[v + 1]; ++p) {
+        const Int u = g.row_idx[p];
+        if (!seen[u]) {
+          seen[u] = 1;
+          order.push_back(u);
+        }
+      }
+    }
+    // Safety for a disconnected coarse graph: unreached vertices join the
+    // tail so the growing loop still sees all of them.
+    if (static_cast<Int>(order.size()) < n) {
+      for (Int v = 0; v < n; ++v) {
+        if (!seen[v]) order.push_back(v);
+      }
+    }
+    seed = order.back();
+  }
+  long long total = 0;
+  for (Int w : vwgt) total += w;
+  long long grown = 0;
+  for (Int v : order) {
+    if (2 * grown >= total) break;
+    part[v] = 0;
+    grown += vwgt[v];
+  }
+  return part;
+}
+
+/// Project a partition one level down a coarsening hierarchy: both fine
+/// halves of a contracted pair inherit the coarse label (which keeps a
+/// vertex separator valid: any fine cross-side edge would imply a coarse
+/// cross-side edge).
+std::vector<Int> project_down(const CoarseLevel& lvl, Int fine_n,
+                              const std::vector<Int>& coarse_part) {
+  std::vector<Int> fine_part(static_cast<size_t>(fine_n));
+  for (Int v = 0; v < fine_n; ++v) {
+    fine_part[v] = coarse_part[lvl.fine_to_coarse[v]];
+  }
+  return fine_part;
+}
+
+/// Multilevel split of one connected component (NdScheme::kMultilevel):
+/// extract the induced subgraph, coarsen by heavy-edge matching, bisect the
+/// coarsest graph, FM-refine the cut at every uncoarsening level, then
+/// convert the edge cut into a minimum vertex separator. Appends to
+/// a/b/sep.
+void multilevel_split(Workspace& ws, const std::vector<Int>& component,
+                      std::vector<Int>& a, std::vector<Int>& b,
+                      std::vector<Int>& sep) {
+  const Int nloc = static_cast<Int>(component.size());
+  for (Int i = 0; i < nloc; ++i) ws.local_of[component[i]] = i;
+
+  // Induced subgraph in local indices, unit edge weights.
+  Csc g0(nloc, nloc);
+  for (Int i = 0; i < nloc; ++i) {
+    const Int v = component[i];
+    for (Size p = ws.g.col_ptr[v]; p < ws.g.col_ptr[v + 1]; ++p) {
+      const Int lu = ws.local_of[ws.g.row_idx[p]];
+      if (lu != kInvalid && lu != i) {
+        g0.row_idx.push_back(lu);
+        g0.values.push_back(1.0);
+      }
+    }
+    g0.col_ptr[i + 1] = static_cast<Size>(g0.row_idx.size());
+  }
+  g0.sort_columns();
+  for (Int v : component) ws.local_of[v] = kInvalid;  // reset for reuse
+
+  // Coarsening hierarchy: contract heavy-edge matchings until the graph is
+  // small enough to bisect directly or stops shrinking (tightly clustered
+  // graphs saturate once most edges are internal to matched pairs).
+  std::vector<CoarseLevel> levels;
+  std::vector<Int> unit_wgt(static_cast<size_t>(nloc), 1);
+  const Csc* cur = &g0;
+  const std::vector<Int>* curw = &unit_wgt;
+  while (cur->ncols > 64) {
+    CoarseLevel next = contract(*cur, *curw, heavy_edge_matching(*cur));
+    if (next.graph.ncols * 20 >= cur->ncols * 19) break;  // < 5% shrink
+    levels.push_back(std::move(next));
+    cur = &levels.back().graph;
+    curw = &levels.back().vwgt;
+  }
+
+  // Initial bisection of the coarsest graph: several region-growing starts,
+  // each FM-refined; keep the best cut (ties: first candidate). The coarsest
+  // graph is tiny, so the extra candidates are nearly free.
+  const FmLimits lim;
+  const Int nc = cur->ncols;
+  std::vector<Int> part;
+  long long best_cut = -1;
+  for (Int start : {Int{0}, nc / 3, (2 * nc) / 3}) {
+    if (start >= nc) continue;
+    std::vector<Int> cand = grow_initial_partition(*cur, *curw, start);
+    fm_refine(*cur, *curw, cand, lim);
+    const long long cut = weighted_cut(*cur, cand);
+    if (best_cut < 0 || cut < best_cut) {
+      best_cut = cut;
+      part = std::move(cand);
+    }
+  }
+
+  // Two uncoarsening pipelines from the same coarsest cut — they win on
+  // different graph classes, and bisection subgraphs are small enough to
+  // afford both.
+  //
+  // (A) Edge-cut style: FM-refine the bipartition at every level, then
+  // convert the finest edge cut into a vertex separator (minimum vertex
+  // cover) and polish it. Strong when thin edge cuts exist (irregular
+  // circuit graphs).
+  std::vector<Int> part_a = part;
+  for (size_t li = levels.size(); li-- > 0;) {
+    const Csc& fine = li == 0 ? g0 : levels[li - 1].graph;
+    const std::vector<Int>& fw = li == 0 ? unit_wgt : levels[li - 1].vwgt;
+    part_a = project_down(levels[li], fine.ncols, part_a);
+    fm_refine(fine, fw, part_a, lim);
+  }
+  extract_vertex_separator(g0, part_a);
+  refine_vertex_separator(g0, unit_wgt, part_a);
+
+  // (B) Node style: convert the coarsest cut into a vertex separator once,
+  // then project the 3-way labels down and re-refine the separator against
+  // each finer graph's true adjacency. Strong when the separator must
+  // route around hubs. The König cover minimizes vertex *count*, not the
+  // coarse vertex *weight* — accepted deliberately (weight-minimal covers
+  // need max-flow) because the weighted separator refinement right after
+  // can trade a heavy cover vertex back out.
+  //
+  // With no coarsening levels (component already under the coarsest-size
+  // threshold) both pipelines are the identical computation on the same
+  // inputs, so B is skipped and A wins the tie below.
+  std::vector<Int>& part_b = part;
+  if (levels.empty()) {
+    part_b = part_a;
+  } else {
+    extract_vertex_separator(*cur, part_b);
+    refine_vertex_separator(*cur, *curw, part_b);
+    for (size_t li = levels.size(); li-- > 0;) {
+      const Csc& fine = li == 0 ? g0 : levels[li - 1].graph;
+      const std::vector<Int>& fw = li == 0 ? unit_wgt : levels[li - 1].vwgt;
+      part_b = project_down(levels[li], fine.ncols, part_b);
+      refine_vertex_separator(fine, fw, part_b);
+    }
+  }
+
+  auto count = [nloc](const std::vector<Int>& p, Int label) {
+    Int c = 0;
+    for (Int i = 0; i < nloc; ++i) c += p[i] == label ? 1 : 0;
+    return c;
+  };
+  const Int sep_a = count(part_a, 2), sep_b = count(part_b, 2);
+  const Int imb_a = std::abs(count(part_a, 0) - count(part_a, 1));
+  const Int imb_b = std::abs(count(part_b, 0) - count(part_b, 1));
+  const std::vector<Int>& chosen =
+      sep_a != sep_b ? (sep_a < sep_b ? part_a : part_b)
+                     : (imb_a <= imb_b ? part_a : part_b);
+  for (Int i = 0; i < nloc; ++i) {
+    (chosen[i] == 0 ? a : chosen[i] == 1 ? b : sep).push_back(component[i]);
+  }
 }
 
 /// Split `verts` into (a, b, sep) with no edges between a and b.
@@ -94,56 +344,26 @@ void bisect(Workspace& ws, const std::vector<Int>& verts, std::vector<Int>& a,
       continue;
     }
     split_done = true;
-    // Split this component with a BFS level structure from a
-    // pseudo-peripheral vertex.
-    Int seed = component.front();
-    for (int iter = 0; iter < 2; ++iter) {
-      std::vector<Int> order;
-      bfs(ws, seed, set_stamp, ++ws.stamp, order, level);
-      seed = order.back();  // farthest vertex
+    if (ws.scheme == NdScheme::kLevelSet) {
+      levelset_split(ws, component, set_stamp, level, a, b, sep);
+      continue;
     }
-    std::vector<Int> order;
-    bfs(ws, seed, set_stamp, ++ws.stamp, order, level);
-
-    // Cut on the *narrowest* BFS level whose prefix lands in the 25-75%
-    // balance band: the level width is exactly the upper bound on the
-    // separator, so thin levels give thin separators.
-    size_t cut = 0;
-    {
-      size_t best_width = order.size() + 1;
-      size_t lvl_start = 0;
-      for (size_t i = 1; i <= order.size(); ++i) {
-        if (i == order.size() || level[order[i]] != level[order[lvl_start]]) {
-          // Level occupies [lvl_start, i); cutting before it puts lvl_start
-          // vertices on the A side.
-          const size_t width = i - lvl_start;
-          if (lvl_start * 4 >= order.size() && lvl_start * 4 <= 3 * order.size() &&
-              width < best_width) {
-            best_width = width;
-            cut = lvl_start;
-          }
-          lvl_start = i;
-        }
-      }
-      if (cut == 0) {  // no level boundary in the band: plain halving
-        cut = std::max<size_t>(1, std::min(order.size() - 1, order.size() / 2));
-      }
-    }
-
-    const Int half_stamp = ++ws.stamp;
-    for (size_t i = 0; i < cut; ++i) ws.visited[order[i]] = half_stamp;
-    for (size_t i = 0; i < cut; ++i) a.push_back(order[i]);
-    // Suffix vertices adjacent to the prefix form the separator; the rest of
-    // the suffix is the other side.
-    for (size_t i = cut; i < order.size(); ++i) {
-      const Int v = order[i];
-      bool boundary = false;
-      for (Size p = ws.g.col_ptr[v]; p < ws.g.col_ptr[v + 1] && !boundary; ++p) {
-        const Int u = ws.g.row_idx[p];
-        boundary = (u != v && ws.inset[u] == set_stamp && ws.visited[u] == half_stamp);
-      }
-      (boundary ? sep : b).push_back(v);
-    }
+    // Multilevel, guarded: compute the level-set split too and keep
+    // whichever separator is smaller (ties: the better-balanced split,
+    // then multilevel). This makes kMultilevel never worse per bisection,
+    // which the ND-quality regression tests rely on.
+    std::vector<Int> la, lb, lsep, ma, mb, msep;
+    levelset_split(ws, component, set_stamp, level, la, lb, lsep);
+    multilevel_split(ws, component, ma, mb, msep);
+    auto imbalance = [](const std::vector<Int>& x, const std::vector<Int>& y) {
+      return x.size() > y.size() ? x.size() - y.size() : y.size() - x.size();
+    };
+    const bool use_ml = msep.size() != lsep.size()
+                            ? msep.size() < lsep.size()
+                            : imbalance(ma, mb) <= imbalance(la, lb);
+    a.insert(a.end(), (use_ml ? ma : la).begin(), (use_ml ? ma : la).end());
+    b.insert(b.end(), (use_ml ? mb : lb).begin(), (use_ml ? mb : lb).end());
+    sep.insert(sep.end(), (use_ml ? msep : lsep).begin(), (use_ml ? msep : lsep).end());
   }
 
   // Trim pass: a separator vertex with no neighbour on the b-side can join a
@@ -180,14 +400,13 @@ void bisect(Workspace& ws, const std::vector<Int>& verts, std::vector<Int>& a,
 struct Builder {
   Workspace ws;
   const Csc& g;
-  bool order_leaves;
   std::vector<Int> perm;
   std::vector<Int> seg_offset{0};
   std::vector<Int> seg_parent;
   std::vector<Int> seg_level;
   std::vector<std::array<Int, 2>> seg_children;
 
-  Builder(const Csc& graph, bool ol) : ws(graph), g(graph), order_leaves(ol) {}
+  Builder(const Csc& graph, NdScheme scheme) : ws(graph, scheme), g(graph) {}
 
   Int add_segment(Int level, std::array<Int, 2> children) {
     const Int id = static_cast<Int>(seg_parent.size());
@@ -201,35 +420,12 @@ struct Builder {
     return id;
   }
 
-  void emit_leaf_vertices(const std::vector<Int>& verts) {
-    if (!order_leaves || verts.size() <= 2) {
-      perm.insert(perm.end(), verts.begin(), verts.end());
-      return;
-    }
-    // Fill-reducing order inside the leaf: extract the subgraph and run
-    // minimum degree locally.
-    std::vector<Int> local_of(static_cast<size_t>(g.ncols), kInvalid);
-    for (size_t i = 0; i < verts.size(); ++i) local_of[verts[i]] = static_cast<Int>(i);
-    Triplets t_local(static_cast<Int>(verts.size()), static_cast<Int>(verts.size()));
-    for (size_t i = 0; i < verts.size(); ++i) {
-      const Int v = verts[i];
-      for (Size p = g.col_ptr[v]; p < g.col_ptr[v + 1]; ++p) {
-        const Int u = g.row_idx[p];
-        if (local_of[u] != kInvalid) {
-          t_local.add(local_of[u], static_cast<Int>(i), 1.0);
-        }
-      }
-    }
-    const std::vector<Int> local_perm = min_degree_order(t_local.to_csc());
-    for (Int lp : local_perm) perm.push_back(verts[lp]);
-  }
-
   /// Returns the segment id of the subtree root. `root_extra` (high-degree
   /// vertices hoisted out of the bisection) joins the root separator.
   Int dissect(const std::vector<Int>& verts, Int level,
               const std::vector<Int>* root_extra = nullptr) {
     if (level == 0) {
-      emit_leaf_vertices(verts);
+      perm.insert(perm.end(), verts.begin(), verts.end());
       return add_segment(0, {kInvalid, kInvalid});
     }
     std::vector<Int> a, b, sep;
@@ -244,12 +440,11 @@ struct Builder {
   }
 };
 
-}  // namespace
-
-NdTree nested_dissect(const Csc& g, Int nlevels, bool order_leaves) {
-  BASKER_REQUIRE(g.nrows == g.ncols, "nested_dissect: square required");
-  BASKER_REQUIRE(nlevels >= 0, "nested_dissect: nlevels >= 0");
-  Builder builder(g, order_leaves);
+/// One full dissection with a fixed scheme, leaves in discovery order
+/// (the nested_dissect body; leaf ordering is applied post-hoc to the
+/// winning tree, so guard comparisons never pay for it).
+NdTree build_tree(const Csc& g, Int nlevels, NdScheme scheme) {
+  Builder builder(g, scheme);
 
   // High-degree vertices (circuit supply rails, dense columns) defeat BFS
   // level structures: they shortcut every distance, producing terrible
@@ -287,6 +482,55 @@ NdTree nested_dissect(const Csc& g, Int nlevels, bool order_leaves) {
   t.seg_level = std::move(builder.seg_level);
   t.seg_children = std::move(builder.seg_children);
   BASKER_REQUIRE(t.seg_offset.back() == g.ncols, "nested_dissect: perm incomplete");
+  return t;
+}
+
+}  // namespace
+
+void order_tree_leaves(const Csc& g, NdTree& t) {
+  std::vector<Int> local_of(static_cast<size_t>(g.ncols), kInvalid);
+  for (Int s = 0; s < t.nsegments; ++s) {
+    if (!t.is_leaf(s) || t.seg_size(s) <= 2) continue;
+    const Int* verts = t.perm.data() + t.seg_offset[s];
+    const Int m = t.seg_size(s);
+    for (Int i = 0; i < m; ++i) local_of[verts[i]] = i;
+    Triplets t_local(m, m);
+    for (Int i = 0; i < m; ++i) {
+      const Int v = verts[i];
+      for (Size p = g.col_ptr[v]; p < g.col_ptr[v + 1]; ++p) {
+        const Int u = g.row_idx[p];
+        if (local_of[u] != kInvalid) t_local.add(local_of[u], i, 1.0);
+      }
+    }
+    const std::vector<Int> local_perm = min_degree_order(t_local.to_csc());
+    std::vector<Int> reordered(static_cast<size_t>(m));
+    for (Int i = 0; i < m; ++i) reordered[i] = verts[local_perm[i]];
+    for (Int i = 0; i < m; ++i) local_of[verts[i]] = kInvalid;  // reset
+    std::copy(reordered.begin(), reordered.end(),
+              t.perm.begin() + t.seg_offset[s]);
+  }
+}
+
+NdTree nested_dissect(const Csc& g, Int nlevels, bool order_leaves,
+                      NdScheme scheme) {
+  BASKER_REQUIRE(g.nrows == g.ncols, "nested_dissect: square required");
+  BASKER_REQUIRE(nlevels >= 0, "nested_dissect: nlevels >= 0");
+  NdTree t;
+  if (scheme == NdScheme::kLevelSet || nlevels == 0) {
+    t = build_tree(g, nlevels, scheme);
+  } else {
+    // Multilevel with a whole-tree guard: the per-bisection guard keeps
+    // each cut no worse than level-set *for the same vertex subset*, but
+    // the recursion then descends into different subsets, so the full
+    // level-set tree can occasionally still end up with less total
+    // separator mass. Compare complete trees and keep the better one.
+    NdTree ml = build_tree(g, nlevels, NdScheme::kMultilevel);
+    NdTree ls = build_tree(g, nlevels, NdScheme::kLevelSet);
+    t = ml.separator_mass() <= ls.separator_mass() ? std::move(ml) : std::move(ls);
+  }
+  // Leaf ordering cannot change the splits, so it is applied once to the
+  // winner rather than paid inside every candidate build.
+  if (order_leaves) order_tree_leaves(g, t);
   return t;
 }
 

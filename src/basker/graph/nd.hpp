@@ -2,6 +2,14 @@
 // Scotch; DESIGN.md §3.3 documents this substitution). Produces the binary
 // separator tree with a power-of-two number of leaves that Basker's 2D block
 // layout and dependency tree are built from (paper Fig. 3).
+//
+// Two bisection schemes are available (NdScheme): the seed's one-shot BFS
+// level-set cut, and a Scotch-style multilevel scheme (heavy-edge-matching
+// coarsening -> coarse bisection -> FM refinement at every uncoarsening
+// level -> minimum-vertex-cover separator extraction; graph/coarsen.hpp and
+// graph/fm.hpp). Multilevel is the default: separator block columns are the
+// serial-ish tail of the parallel factorization, so smaller separators
+// translate directly into scaling headroom.
 #pragma once
 
 #include <array>
@@ -11,6 +19,20 @@
 #include "basker/sparse/csc.hpp"
 
 namespace basker {
+
+/// How each recursive bisection finds its vertex separator.
+enum class NdScheme {
+  /// One-shot BFS level-set cut from a pseudo-peripheral vertex with a
+  /// greedy trim pass — the seed implementation, kept as the ablation
+  /// baseline and as a fallback.
+  kLevelSet,
+  /// Multilevel: coarsen by heavy-edge matching, bisect the coarsest
+  /// graph, refine the cut with Fiduccia–Mattheyses at every uncoarsening
+  /// level, then extract a minimum vertex cover of the refined edge cut.
+  /// Never worse than kLevelSet: each bisection computes the level-set
+  /// cut too and keeps whichever separator is smaller.
+  kMultilevel,
+};
 
 /// Binary separator tree over a symmetric permutation.
 ///
@@ -32,13 +54,26 @@ struct NdTree {
   bool is_leaf(Int s) const { return seg_level[s] == 0; }
   /// True if segment `anc` is an ancestor of `s` (or equal).
   bool is_ancestor_or_self(Int anc, Int s) const;
+  /// Total vertices in separator (non-leaf) segments — the quality metric
+  /// the whole-tree guard, bench_ablate_orderings, and the ND tests share.
+  Int separator_mass() const;
 };
 
 /// Dissect a symmetric-pattern graph into 2^nlevels leaves. When
 /// `order_leaves` is set, vertices inside each leaf are ordered with
 /// min_degree_order for fill reduction (separator segments keep their
 /// discovery order). Zero-size segments are legal on small or oddly shaped
-/// graphs; callers must tolerate them.
-NdTree nested_dissect(const Csc& sym_pattern, Int nlevels, bool order_leaves = true);
+/// graphs; callers must tolerate them. Both schemes are deterministic:
+/// identical inputs produce identical trees (the solver's bit-identical
+/// refactorization contract depends on this).
+NdTree nested_dissect(const Csc& sym_pattern, Int nlevels, bool order_leaves = true,
+                      NdScheme scheme = NdScheme::kMultilevel);
+
+/// Apply the `order_leaves` step to an existing tree: replace each leaf
+/// segment's slice of tree.perm with a min_degree_order of the leaf's
+/// induced subgraph. Leaf ordering never changes the splits, so callers
+/// that search over tree depths (core/symbolic.cpp) dissect with
+/// `order_leaves = false` and order the settled tree once.
+void order_tree_leaves(const Csc& sym_pattern, NdTree& tree);
 
 }  // namespace basker

@@ -21,27 +21,51 @@
 
 namespace basker {
 
-/// Centralized sense-reversing spin barrier.
+/// Centralized sense-reversing barrier. Waiters follow a BackoffPolicy
+/// (spin -> yield -> park) instead of a hard-coded yield loop, so
+/// SyncMode::kBarrier honors BaskerOptions::backoff; in ParkMode::kCondvar
+/// the last arriver wakes parked waiters (same gated-notify idiom as
+/// EpochCounters: the no-parked-waiter fast path is one relaxed load).
 class SpinBarrier {
  public:
-  explicit SpinBarrier(Int n) : n_(n) {}
+  explicit SpinBarrier(Int n, BackoffPolicy policy = {})
+      : n_(n), policy_(policy) {}
 
   void arrive_and_wait() {
     const bool sense = sense_.load(std::memory_order_relaxed);
     if (count_.fetch_add(1, std::memory_order_acq_rel) == n_ - 1) {
       count_.store(0, std::memory_order_relaxed);
       sense_.store(!sense, std::memory_order_release);
+      if (parked_.load(std::memory_order_acquire) > 0) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        cv_.notify_all();
+      }
     } else {
+      Backoff backoff(policy_);
       while (sense_.load(std::memory_order_acquire) == sense) {
-        std::this_thread::yield();
+        if (!backoff.step()) continue;
+        // kCondvar: park until the releasing thread notifies. The timed
+        // wait bounds the race where the release lands between our parked
+        // increment and the wait.
+        std::unique_lock<std::mutex> lock(mutex_);
+        parked_.fetch_add(1, std::memory_order_acq_rel);
+        cv_.wait_for(lock, std::chrono::microseconds(policy_.park_micros),
+                     [&] {
+                       return sense_.load(std::memory_order_acquire) != sense;
+                     });
+        parked_.fetch_sub(1, std::memory_order_acq_rel);
       }
     }
   }
 
  private:
   Int n_;
+  BackoffPolicy policy_;
   std::atomic<Int> count_{0};
   std::atomic<bool> sense_{false};
+  std::atomic<int> parked_{0};
+  std::mutex mutex_;
+  std::condition_variable cv_;
 };
 
 /// Cache-line padded monotone epoch counters for point-to-point

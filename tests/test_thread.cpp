@@ -72,6 +72,34 @@ TEST(SpinBarrier, ReusableManyRounds) {
   EXPECT_EQ(counter.load(), 150);
 }
 
+TEST(SpinBarrier, HonorsEveryParkModeManyRounds) {
+  // The barrier now follows a BackoffPolicy (ROADMAP: SyncMode::kBarrier
+  // honors BaskerOptions::backoff). Tiny spin/yield budgets force the park
+  // stage immediately, so each mode's wait path actually runs.
+  const Int p = 4;
+  for (ParkMode park : {ParkMode::kNone, ParkMode::kSleep, ParkMode::kCondvar}) {
+    BackoffPolicy policy;
+    policy.park = park;
+    policy.spin = park == ParkMode::kNone ? 64 : 0;
+    policy.yield = park == ParkMode::kNone ? 256 : 0;
+    policy.park_micros = 20;
+    ThreadTeam team(p);
+    SpinBarrier barrier(p, policy);
+    std::atomic<int> counter{0};
+    std::atomic<bool> violation{false};
+    team.run([&](Int) {
+      for (int round = 1; round <= 25; ++round) {
+        counter.fetch_add(1);
+        barrier.arrive_and_wait();
+        if (counter.load() < round * p) violation.store(true);
+        barrier.arrive_and_wait();
+      }
+    });
+    EXPECT_FALSE(violation.load()) << "park mode " << static_cast<int>(park);
+    EXPECT_EQ(counter.load(), 100);
+  }
+}
+
 TEST(EpochCounters, ProducerConsumerHandoff) {
   const int kItems = 2000;
   EpochCounters ep;
