@@ -15,7 +15,11 @@
 // Measured-mode flags: --json (machine-readable report to stdout),
 // --max-threads N (default max(4, hardware_cpus())), --repeats N (default
 // 3), --pin (sched_setaffinity pinning), --park MODE (spin|yield|sleep|
-// condvar — wait policy; default sleep).
+// condvar — wait policy; default sleep), --schedule static|taskdag|both
+// (numeric schedule under test; default static). With taskdag in play the
+// sweep covers every team size 1..max — the task-DAG schedule grants
+// non-powers of two — and `scripts/bench_compare.py --schedule` diffs the
+// two schedules' wall times from the --json output.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -121,6 +125,19 @@ int main(int argc, char** argv) {
                      argv[i]);
         return 64;
       }
+    } else if (std::strcmp(a, "--schedule") == 0 && i + 1 < argc) {
+      const char* sched = argv[++i];
+      if (std::strcmp(sched, "static") == 0) {
+        cfg.schedules = {basker::SyncMode::kPointToPoint};
+      } else if (std::strcmp(sched, "taskdag") == 0) {
+        cfg.schedules = {basker::SyncMode::kTaskDag};
+      } else if (std::strcmp(sched, "both") == 0) {
+        cfg.schedules = {basker::SyncMode::kPointToPoint,
+                         basker::SyncMode::kTaskDag};
+      } else {
+        std::fprintf(stderr, "unknown --schedule '%s'\n", sched);
+        return 64;
+      }
     } else if (std::strcmp(a, "--park") == 0 && i + 1 < argc) {
       const char* mode = argv[++i];
       if (std::strcmp(mode, "spin") == 0) {
@@ -139,19 +156,28 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: bench_fig5 [--measured [--json] [--max-threads N] "
-                   "[--repeats N] [--pin] [--park spin|yield|sleep|condvar]]\n");
+                   "[--repeats N] [--pin] [--park spin|yield|sleep|condvar] "
+                   "[--schedule static|taskdag|both]]\n");
       return 64;
     }
   }
   if (!measured) {
     if (argc > 1) {
       std::fprintf(stderr,
-                   "--json/--pin/--park/--max-threads/--repeats require "
-                   "--measured\n");
+                   "--json/--pin/--park/--schedule/--max-threads/--repeats "
+                   "require --measured\n");
       return 64;
     }
     return run_model_mode();
   }
-  cfg.thread_counts = bb::default_thread_counts(max_threads);
+  // The task-DAG schedule grants non-powers of two, so give it the dense
+  // sweep; the static-only sweep keeps the power-of-two ladder (requests
+  // between rungs would just be rounded down onto them anyway).
+  bool has_taskdag = false;
+  for (basker::SyncMode m : cfg.schedules) {
+    has_taskdag |= m == basker::SyncMode::kTaskDag;
+  }
+  cfg.thread_counts = has_taskdag ? bb::dense_thread_counts(max_threads)
+                                  : bb::default_thread_counts(max_threads);
   return run_measured_mode(cfg, emit_json);
 }

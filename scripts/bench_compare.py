@@ -19,6 +19,27 @@ in either direction). The tolerance is off by default: on a host with
 fewer cores than the sweep's team sizes the model *should* diverge (it
 predicts p-core time, the host delivers 1-core time).
 
+--schedule mode consumes the same wallclock document, produced with
+`bench_fig5 --measured --schedule both --json`, and diffs the static
+vs task-DAG schedules: per matrix and team size it prints both measured
+wall times and their ratio, plus the DAG's task/steal counts. Gates: any
+failed run fails; any residual above --max-residual fails; and at
+power-of-two team sizes (the static schedule's home turf) the static
+wall time must not exceed --max-regression times the task-DAG time —
+the DAG serves as the in-document reference, so a static-path slowdown
+cannot hide. Pairs where both times are under --min-seconds are noise
+and skipped, and so are pairs with p above the host's core count: an
+oversubscribed static schedule burns its only core busy-waiting while
+the DAG degrades gracefully, so their ratio is scheduling noise, not a
+regression signal (the same reason the default mode's --tolerance is
+off by default on undersized hosts). With only one schedule present
+the ratio gate is skipped and the mode degrades to the
+failure/residual gate.
+
+Usage:
+  build/bench/bench_fig5 --measured --schedule both --json | \\
+      scripts/bench_compare.py --schedule
+
 --orderings mode consumes `bench_ablate_orderings --json` instead and
 gates separator quality: the multilevel ND scheme must beat the level-set
 baseline by --min-reduction (median over the Table I circuit suite), and
@@ -178,6 +199,91 @@ def orderings_main(doc, args):
     return status
 
 
+def schedule_main(doc, args):
+    reports = doc.get("reports", [])
+    if not reports:
+        print("bench_compare: document has no reports", file=sys.stderr)
+        return 2
+
+    cpus = doc.get("hardware_cpus")
+    print(f"benchmark: {doc.get('benchmark', '?')}  "
+          f"(host CPUs: {cpus if cpus is not None else '?'})")
+    header = (f"{'matrix':<14} {'p':>3} {'static(s)':>10} {'taskdag(s)':>11} "
+              f"{'static/dag':>10} {'tasks':>6} {'steals':>7} {'residual':>9}")
+    print(header)
+    print("-" * len(header))
+
+    status = 0
+    failures = 0
+    bad_residual = 0
+    gated_pairs = 0
+    worst = None  # (ratio, matrix, p)
+    for report in reports:
+        name = report.get("matrix", "?")
+        by_p = {}
+        for run in report.get("runs", []):
+            if not run.get("ok"):
+                failures += 1
+                continue
+            res = run.get("residual", 0.0)
+            if res > args.max_residual:
+                print(f"bench_compare: {name} p={run.get('threads')} "
+                      f"schedule={run.get('schedule', 'static')} residual "
+                      f"{res:.2e} exceeds {args.max_residual:.0e}",
+                      file=sys.stderr)
+                bad_residual += 1
+            by_p.setdefault(run.get("threads"), {})[
+                run.get("schedule", "static")] = run
+        for p in sorted(by_p):
+            static = by_p[p].get("static")
+            dag = by_p[p].get("taskdag")
+            s_t = static.get("factor_seconds") if static else None
+            d_t = dag.get("factor_seconds") if dag else None
+            ratio = (s_t / d_t) if (s_t and d_t and d_t > 0) else None
+            s_col = fmt(s_t) if s_t is not None else "-"
+            d_col = fmt(d_t) if d_t is not None else "-"
+            ratio_col = fmt(ratio, 2) + "x" if ratio is not None else "-"
+            tasks_col = f"{dag.get('dag_tasks', 0):.0f}" if dag else "-"
+            steals_col = f"{dag.get('dag_steals', 0):.0f}" if dag else "-"
+            res = max(r.get("residual", 0.0) for r in by_p[p].values())
+            print(f"{name:<14} {p:>3} {s_col:>10} {d_col:>11} "
+                  f"{ratio_col:>10} {tasks_col:>6} {steals_col:>7} "
+                  f"{res:>9.1e}")
+            # Ratio gate only where the static schedule natively runs
+            # (powers of two), the host can actually run the team in
+            # parallel (p <= cores), and the times clear the noise floor.
+            if ratio is None or p & (p - 1) != 0:
+                continue
+            if cpus is not None and p > cpus:
+                continue
+            if max(s_t, d_t) < args.min_seconds:
+                continue
+            gated_pairs += 1
+            if worst is None or ratio > worst[0]:
+                worst = (ratio, name, p)
+            if ratio > args.max_regression:
+                print(f"bench_compare: {name} p={p}: static schedule "
+                      f"{fmt(ratio, 2)}x the task-DAG time (limit "
+                      f"{args.max_regression})", file=sys.stderr)
+                status = 1
+
+    if worst is not None:
+        print(f"\nstatic/taskdag at power-of-two p <= {cpus} cores: worst "
+              f"{fmt(worst[0], 2)}x ({worst[1]} @ p={worst[2]}) over "
+              f"{gated_pairs} gated pairs (limit {args.max_regression}, "
+              f"noise floor {args.min_seconds}s)")
+    else:
+        print("\nno static-vs-taskdag pairs eligible for the ratio gate "
+              "(below the noise floor or p > host cores) — gate skipped")
+    if failures:
+        print(f"bench_compare: {failures} run(s) failed to factor",
+              file=sys.stderr)
+        status = 1
+    if bad_residual:
+        status = 1
+    return status
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("report", nargs="?", default="-",
@@ -186,6 +292,18 @@ def main():
                         help="fail if any |log2(model/measured)| exceeds this")
     parser.add_argument("--orderings", action="store_true",
                         help="separator-quality mode (bench_ablate_orderings --json)")
+    parser.add_argument("--schedule", action="store_true",
+                        help="static-vs-taskdag schedule mode "
+                             "(bench_fig5 --measured --schedule both --json)")
+    parser.add_argument("--max-residual", type=float, default=1e-6,
+                        help="schedule: allowed solve residual "
+                             "(default 1e-6)")
+    parser.add_argument("--min-seconds", type=float, default=0.02,
+                        help="schedule: noise floor below which a "
+                             "static/taskdag pair is not ratio-gated — "
+                             "millisecond-scale wall times swing tens of "
+                             "percent run to run on a shared host "
+                             "(default 0.02)")
     parser.add_argument("--baseline", default=None,
                         help="orderings: stored separator-size baseline JSON")
     parser.add_argument("--write-baseline", action="store_true",
@@ -193,9 +311,12 @@ def main():
     parser.add_argument("--min-reduction", type=float, default=0.20,
                         help="orderings: required Table I median separator "
                              "reduction vs level-set (default 0.20)")
-    parser.add_argument("--max-regression", type=float, default=1.05,
+    parser.add_argument("--max-regression", type=float, default=None,
                         help="orderings: allowed Table I median "
-                             "separator-size ratio vs baseline (default 1.05)")
+                             "separator-size ratio vs baseline (default "
+                             "1.05); schedule: allowed static/taskdag "
+                             "wall-time ratio at power-of-two p (default "
+                             "1.10)")
     parser.add_argument("--max-worst", type=float, default=1.25,
                         help="orderings: allowed worst per-matrix "
                              "separator-size ratio vs baseline (default 1.25)")
@@ -207,8 +328,18 @@ def main():
         print(f"bench_compare: cannot read report: {e}", file=sys.stderr)
         return 2
 
+    if args.orderings and args.schedule:
+        print("bench_compare: --orderings and --schedule are exclusive",
+              file=sys.stderr)
+        return 2
     if args.orderings:
+        if args.max_regression is None:
+            args.max_regression = 1.05
         return orderings_main(doc, args)
+    if args.schedule:
+        if args.max_regression is None:
+            args.max_regression = 1.10
+        return schedule_main(doc, args)
 
     reports = doc.get("reports", [])
     if not reports:

@@ -25,6 +25,27 @@ BASKER_BENCH_SCALE="${BASKER_BENCH_SCALE:-0.3}" \
   ./build/bench/bench_fig5 --measured --max-threads 2 --repeats 1 --json \
   | python3 scripts/bench_compare.py
 
+# Schedule gate: the same 2-thread sweep under BOTH schedules. Fails on any
+# factor/solve failure, any residual above 1e-6, and on the static schedule
+# exceeding 1.1x the task-DAG wall time at power-of-two p (the DAG is the
+# in-document reference, so a static-path regression cannot hide). Pairs
+# below the noise floor or with p above the host's core count are not
+# ratio-gated: an oversubscribed static schedule busy-waits on its only
+# core, so those ratios are scheduling noise, not regressions. Min-of-3
+# repeats de-noises the gated ratios.
+BASKER_BENCH_SCALE="${BASKER_BENCH_SCALE:-0.3}" \
+  ./build/bench/bench_fig5 --measured --schedule both --max-threads 2 \
+      --repeats 3 --json \
+  | python3 scripts/bench_compare.py --schedule
+
+# Non-power-of-two sanity: p = 1..3 factor + solve under SyncMode::kTaskDag
+# (only the task-DAG schedule grants p = 3). Gated on factorization/solve
+# success and residual; there is no static run to ratio against here.
+BASKER_BENCH_SCALE="${BASKER_BENCH_SCALE:-0.3}" \
+  ./build/bench/bench_fig5 --measured --schedule taskdag --max-threads 3 \
+      --repeats 1 --json \
+  | python3 scripts/bench_compare.py --schedule
+
 # Ordering-quality gate: multilevel ND must keep beating the level-set
 # baseline (>= 20% median separator reduction on the Table I circuit suite)
 # and must not regress past the stored per-matrix baseline. The scale is

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <set>
+#include <utility>
 
 #include "basker/core/basker.hpp"
 #include "basker/gen/generators.hpp"
@@ -15,6 +17,25 @@ std::vector<Int> default_thread_counts(Int max_threads) {
   std::vector<Int> counts;
   for (Int p = 1; p <= max_threads; p *= 2) counts.push_back(p);
   return counts;
+}
+
+std::vector<Int> dense_thread_counts(Int max_threads) {
+  if (max_threads <= 0) max_threads = std::max<Int>(4, hardware_cpus());
+  std::vector<Int> counts;
+  for (Int p = 1; p <= max_threads; ++p) counts.push_back(p);
+  return counts;
+}
+
+const char* schedule_name(SyncMode mode) {
+  switch (mode) {
+    case SyncMode::kPointToPoint:
+      return "static";
+    case SyncMode::kBarrier:
+      return "barrier";
+    case SyncMode::kTaskDag:
+      return "taskdag";
+  }
+  return "?";
 }
 
 const MeasuredRun* WallclockReport::serial() const {
@@ -34,17 +55,29 @@ WallclockReport measure_scaling(const std::string& name, const Csc& a,
   const std::vector<Int> counts =
       cfg.thread_counts.empty() ? default_thread_counts() : cfg.thread_counts;
   const std::vector<Scalar> rhs = gen::random_rhs(a.ncols, 12345);
+  // The static schedules round requests down to a power of two, so a dense
+  // count sweep would measure the same granted pair repeatedly.
+  std::set<std::pair<int, Int>> seen;
 
   for (Int p : counts) {
+   for (SyncMode sync : cfg.schedules) {
+    // granted_threads (core/options.hpp) predicts Basker's grant without
+    // constructing (and immediately discarding) a whole thread team just
+    // to learn that a count is a duplicate.
+    if (!seen.emplace(static_cast<int>(sync), granted_threads(sync, p)).second) {
+      continue;
+    }
     MeasuredRun run;
     BaskerOptions opt;
     opt.nthreads = p;
+    opt.sync_mode = sync;
     opt.backoff = cfg.backoff;
     opt.pin_threads = cfg.pin_threads;
     Basker solver(opt);
 
+    run.sync = sync;
     run.status = solver.factor(a);
-    run.threads = solver.nthreads();  // requested p rounded to a power of two
+    run.threads = solver.nthreads();  // granted count (see MeasuredRun)
     if (run.ok()) {
       run.analyze_seconds = solver.stats().analyze_seconds;
       run.factor_seconds = solver.stats().factor_seconds;
@@ -64,6 +97,8 @@ WallclockReport measure_scaling(const std::string& name, const Csc& a,
           basker_model_work(solver.stats(), cfg.platform) / calibrate_flop_rate();
       run.nnz_lu = solver.stats().nnz_lu;
       run.flops = solver.stats().factor_flops;
+      run.dag_tasks = solver.stats().dag_tasks;
+      run.dag_steals = solver.stats().dag_steals;
       if (report.nnz_lu == 0) {
         report.nnz_lu = run.nnz_lu;
         report.flops = run.flops;
@@ -79,16 +114,18 @@ WallclockReport measure_scaling(const std::string& name, const Csc& a,
       }
     }
     report.runs.push_back(std::move(run));
+   }
   }
   return report;
 }
 
 void print_report(const WallclockReport& report) {
   const MeasuredRun* anchor = report.serial();
-  Table table({"matrix", "p", "measured(s)", "model(s)", "model/meas",
+  Table table({"matrix", "sched", "p", "measured(s)", "model(s)", "model/meas",
                "speedup(meas)", "speedup(model)", "sync(s)", "residual"});
   for (const MeasuredRun& run : report.runs) {
-    std::vector<std::string> row{report.matrix, fmt_fixed(run.threads, 0)};
+    std::vector<std::string> row{report.matrix, schedule_name(run.sync),
+                                 fmt_fixed(run.threads, 0)};
     if (!run.ok()) {
       row.push_back("fail");
       table.add_row(std::move(row));
@@ -125,6 +162,7 @@ JsonValue report_to_json(const WallclockReport& report) {
   for (const MeasuredRun& run : report.runs) {
     JsonValue r = JsonValue::object();
     r.set("threads", run.threads);
+    r.set("schedule", schedule_name(run.sync));
     r.set("ok", run.ok());
     r.set("analyze_seconds", run.analyze_seconds);
     r.set("factor_seconds", run.factor_seconds);
@@ -133,6 +171,8 @@ JsonValue report_to_json(const WallclockReport& report) {
     r.set("residual", run.residual);
     r.set("nnz_lu", run.nnz_lu);
     r.set("flops", run.flops);
+    r.set("dag_tasks", static_cast<double>(run.dag_tasks));
+    r.set("dag_steals", static_cast<double>(run.dag_steals));
     JsonValue phases = JsonValue::array();
     for (double s : run.phase_seconds) phases.push(s);
     r.set("phase_seconds", std::move(phases));
@@ -156,6 +196,13 @@ bool report_from_json(const JsonValue& v, WallclockReport& out) {
     if (!r.is_object()) return false;
     MeasuredRun run;
     run.threads = static_cast<Int>(r.number_or("threads", 1.0));
+    // "schedule" is absent in pre-taskdag documents: those were static.
+    if (r.at("schedule").is_string()) {
+      const std::string& s = r.at("schedule").as_string();
+      run.sync = s == "taskdag" ? SyncMode::kTaskDag
+                                : s == "barrier" ? SyncMode::kBarrier
+                                                 : SyncMode::kPointToPoint;
+    }
     run.status = r.at("ok").as_bool() ? Status::kOk : Status::kNumericallySingular;
     run.analyze_seconds = r.number_or("analyze_seconds", 0.0);
     run.factor_seconds = r.number_or("factor_seconds", 0.0);
@@ -164,6 +211,8 @@ bool report_from_json(const JsonValue& v, WallclockReport& out) {
     run.residual = r.number_or("residual", 0.0);
     run.nnz_lu = static_cast<Size>(r.number_or("nnz_lu", 0.0));
     run.flops = r.number_or("flops", 0.0);
+    run.dag_tasks = static_cast<long long>(r.number_or("dag_tasks", 0.0));
+    run.dag_steals = static_cast<long long>(r.number_or("dag_steals", 0.0));
     const JsonValue& phases = r.at("phase_seconds");
     if (phases.is_array()) {
       for (size_t j = 0; j < phases.size(); ++j) {

@@ -24,6 +24,11 @@ namespace basker::bench {
 struct WallclockConfig {
   /// Team sizes to run; empty means default_thread_counts().
   std::vector<Int> thread_counts;
+  /// Schedules to measure at every team size (BaskerOptions::sync_mode).
+  /// Default: the static point-to-point schedule only. Runs that would
+  /// duplicate a granted (schedule, p) pair — the static schedule rounds
+  /// requests down to powers of two — are skipped.
+  std::vector<SyncMode> schedules{SyncMode::kPointToPoint};
   /// Numeric-phase repetitions per team size; the minimum wall time is
   /// reported (standard practice for contended measurements).
   Int repeats = 3;
@@ -40,22 +45,38 @@ struct WallclockConfig {
 /// oversubscribed 2- and 4-thread paths.
 std::vector<Int> default_thread_counts(Int max_threads = 0);
 
-/// One team size's measurement paired with its model prediction.
+/// Every team size 1..max_threads — the sweep for SyncMode::kTaskDag,
+/// which (unlike the static schedule) grants non-powers of two. Same
+/// max_threads <= 0 default as default_thread_counts().
+std::vector<Int> dense_thread_counts(Int max_threads = 0);
+
+/// "static" (kPointToPoint), "barrier", or "taskdag" — the JSON tag
+/// scripts/bench_compare.py --schedule keys on.
+const char* schedule_name(SyncMode mode);
+
+/// One (team size, schedule) measurement paired with its model prediction.
 struct MeasuredRun {
-  /// The team size that actually ran: the requested count rounded down to
-  /// a power of two by Basker (so thread_counts {1, 3, 6} reports 1, 2, 4).
+  /// The team size that actually ran: under the static schedules the
+  /// requested count rounded down to a power of two (thread_counts
+  /// {1, 3, 6} reports 1, 2, 4); under kTaskDag the request verbatim.
   Int threads = 1;
+  /// Schedule this run used (WallclockConfig::schedules entry).
+  SyncMode sync = SyncMode::kPointToPoint;
   Status status = Status::kOk;
   double analyze_seconds = 0.0;
   double factor_seconds = 0.0;   ///< min numeric wall time over repeats
   double model_seconds = 0.0;    ///< schedule model at the same p
   double sync_seconds = 0.0;     ///< summed thread wait time of the best run
   double residual = 0.0;         ///< ||Ax-b|| relative residual of a solve
-  /// Factor size/work at this p. Per-run because the ND tree depth tracks
-  /// the team size, so different p legally produce different fill.
+  /// Factor size/work at this p. Per-run because under the static
+  /// schedules the ND tree depth tracks the team size, so different p
+  /// legally produce different fill (under kTaskDag the tree — and
+  /// therefore nnz_lu — is identical at every p).
   Size nnz_lu = 0;
   double flops = 0.0;
   std::vector<double> phase_seconds;  ///< per-phase wall times of the best run
+  long long dag_tasks = 0;   ///< kTaskDag: DAG nodes executed
+  long long dag_steals = 0;  ///< kTaskDag: successful deque steals
 
   bool ok() const { return status == Status::kOk; }
 };
@@ -74,9 +95,10 @@ struct WallclockReport {
   const MeasuredRun* serial() const;
 };
 
-/// Factor `a` at every configured team size and fill a report. The matrix
-/// is analyzed once per team size (the ND tree depends on p) and the
-/// numeric phase repeats `cfg.repeats` times via refactor().
+/// Factor `a` at every configured (team size, schedule) pair and fill a
+/// report. The matrix is analyzed once per pair (under the static
+/// schedules the ND tree depends on p) and the numeric phase repeats
+/// `cfg.repeats` times via refactor().
 WallclockReport measure_scaling(const std::string& name, const Csc& a,
                                 const WallclockConfig& cfg);
 

@@ -6,18 +6,11 @@
 
 namespace basker {
 
-namespace {
-
-Int round_down_pow2(Int v) {
-  Int p = 1;
-  while (2 * p <= v) p *= 2;
-  return p;
-}
-
-}  // namespace
-
 Basker::Basker(BaskerOptions opt) : opt_(opt) {
-  nthreads_ = round_down_pow2(std::max<Int>(1, opt_.nthreads));
+  // Static schedules need a power of two (one thread per separator-tree
+  // leaf); kTaskDag runs any count verbatim. options.hpp single-sources
+  // the rule so the bench sweeps can predict the grant.
+  nthreads_ = granted_threads(opt_.sync_mode, opt_.nthreads);
   TeamConfig team_cfg;
   team_cfg.backoff = opt_.backoff;
   team_cfg.pin_threads = opt_.pin_threads;

@@ -32,6 +32,8 @@
 #include "basker/core/options.hpp"
 #include "basker/core/paged.hpp"
 #include "basker/core/structure.hpp"
+#include "basker/sched/scheduler.hpp"
+#include "basker/sched/task_graph.hpp"
 #include "basker/sparse/csc.hpp"
 #include "basker/thread/team.hpp"
 
@@ -65,7 +67,8 @@ class Basker {
 
   const BaskerStats& stats() const { return stats_; }
   const BaskerOptions& options() const { return opt_; }
-  /// Actual thread count (requested rounded down to a power of two).
+  /// Actual thread count: the request rounded down to a power of two under
+  /// the static schedules, granted verbatim under SyncMode::kTaskDag.
   Int nthreads() const { return nthreads_; }
   bool factored() const { return factored_; }
   const Analysis& analysis() const { return an_; }
@@ -75,12 +78,21 @@ class Basker {
 
   void scatter_values(const Csc& a);
   Status run_numeric();
+  void collect_numeric_stats();
   void numeric_thread(Int tid);
   void fine_btf_thread(Int tid);
-  void part_phase_leaves(NdPart& part, Int part_idx, Int tid);
+  Status factor_fine_block(Int tid, Int blk);
+  void part_phase_leaves(NdPart& part, Int part_idx, Int tid, Int leaf);
   void part_block_column(NdPart& part, Int part_idx, Int tid, Int slevel);
   void part_block_column_1d(NdPart& part, Int part_idx, Int tid, Int slevel);
   void part_single_leaf(NdPart& part, Int part_idx, Int tid);
+  // Task-DAG schedule (core/numeric_dag.cpp): run_numeric_dag() executes
+  // the graph built by symbolic(); the dag_* bodies are the per-task-kind
+  // kernels (arithmetic independent of the executing thread).
+  Status run_numeric_dag();
+  bool dag_execute(Int tid, Int task_id);
+  bool dag_sep_update(NdPart& part, Int tid, Int d, Int j);
+  bool dag_sep_factor(NdPart& part, Int part_idx, Int tid, Int j);
   void solve_nd_part(const NdPart& part, std::vector<Scalar>& y_local,
                      std::vector<Scalar>& x_local) const;
   void fail(Status s);
@@ -101,8 +113,13 @@ class Basker {
   Analysis an_;
   std::vector<std::unique_ptr<ThreadWs>> ws_;
   /// Per part, per segment Gilbert-Peierls engines (used only by the
-  /// segment's owner thread).
+  /// segment's owner thread under the static schedule; by the segment's
+  /// factor *task* under kTaskDag — in both cases exclusively).
   std::vector<std::vector<GpEngine>> seg_engines_;
+  /// SyncMode::kTaskDag state, rebuilt by symbolic() and replayed by every
+  /// numeric (re)factorization.
+  sched::TaskGraph dag_;
+  sched::Scheduler dag_sched_;
 
   bool analyzed_ = false;
   bool factored_ = false;
@@ -112,6 +129,12 @@ class Basker {
 /// files only through basker.cpp includes).
 struct Basker::ThreadWs {
   GpEngine engine;              ///< for fine-BTF blocks
+  GpEngine lsolve_engine;       ///< scratch for task-DAG U_dj lsolves: a
+                                ///< kSepUpdate task may run concurrently
+                                ///< with other updates against the same
+                                ///< diagonal factor, so it cannot share the
+                                ///< segment-owner engine the static
+                                ///< schedule uses
   SparseAcc acc;                ///< scatter/gather accumulator
   std::vector<Int> in_rows;     ///< staging for engine calls
   std::vector<Scalar> in_vals;

@@ -1,50 +1,58 @@
 // Fine BTF numeric phase (paper §III-B): the small diagonal blocks are
-// independent, so each thread factors its pre-assigned share with the
-// serial Gilbert-Peierls kernel — embarrassingly parallel over blocks.
+// independent, so each is factored with the serial Gilbert-Peierls kernel.
+// The static schedule walks each thread over its pre-assigned share
+// (embarrassingly parallel over blocks); the task-DAG schedule issues
+// factor_fine_block() as one dependency-free task per block.
 #include "basker/core/basker.hpp"
 
 namespace basker {
 
-void Basker::fine_btf_thread(Int tid) {
+Status Basker::factor_fine_block(Int tid, Int blk) {
   ThreadWs& ws = *ws_[tid];
   GpOptions gp_opt;
   gp_opt.pivot_tol = opt_.pivot_tol;
   std::vector<Int>& rows = ws.in_rows;
   std::vector<Scalar>& vals = ws.in_vals;
 
-  for (Int blk : an_.fine_of_thread[tid]) {
-    if (failed()) return;
-    const Int lo = an_.block_off[blk], hi = an_.block_off[blk + 1];
-    const Int m = hi - lo;
-    DiagFactor& f = an_.fine_factor[blk];
-    ws.engine.init(m);
-    Size est = 0;
-    for (Int j = lo; j < hi; ++j) est += an_.b.col_ptr[j + 1] - an_.b.col_ptr[j];
-    f.l.init(m, m, 2 * est);
-    f.u.init(m, m, 2 * est + m);
-    const double flops_before = ws.engine.flops();
-    for (Int k = 0; k < m; ++k) {
-      rows.clear();
-      vals.clear();
-      const Int j = lo + k;
-      for (Size p = an_.b.col_ptr[j]; p < an_.b.col_ptr[j + 1]; ++p) {
-        const Int r = an_.b.row_idx[p];
-        if (r >= lo && r < hi) {
-          rows.push_back(r - lo);
-          vals.push_back(an_.b.values[p]);
-        }
-      }
-      const Status s =
-          ws.engine.factor_column(f.l, f.u, k, rows.data(), vals.data(),
-                                  static_cast<Int>(rows.size()), k, gp_opt);
-      if (s != Status::kOk) {
-        fail(s);
-        return;
+  const Int lo = an_.block_off[blk], hi = an_.block_off[blk + 1];
+  const Int m = hi - lo;
+  DiagFactor& f = an_.fine_factor[blk];
+  ws.engine.init(m);
+  Size est = 0;
+  for (Int j = lo; j < hi; ++j) est += an_.b.col_ptr[j + 1] - an_.b.col_ptr[j];
+  f.l.init(m, m, 2 * est);
+  f.u.init(m, m, 2 * est + m);
+  const double flops_before = ws.engine.flops();
+  for (Int k = 0; k < m; ++k) {
+    rows.clear();
+    vals.clear();
+    const Int j = lo + k;
+    for (Size p = an_.b.col_ptr[j]; p < an_.b.col_ptr[j + 1]; ++p) {
+      const Int r = an_.b.row_idx[p];
+      if (r >= lo && r < hi) {
+        rows.push_back(r - lo);
+        vals.push_back(an_.b.values[p]);
       }
     }
-    f.row_perm = ws.engine.row_perm();
-    f.pinv = ws.engine.pinv();
-    ws.work[0] += ws.engine.flops() - flops_before;
+    const Status s =
+        ws.engine.factor_column(f.l, f.u, k, rows.data(), vals.data(),
+                                static_cast<Int>(rows.size()), k, gp_opt);
+    if (s != Status::kOk) return s;
+  }
+  f.row_perm = ws.engine.row_perm();
+  f.pinv = ws.engine.pinv();
+  ws.work[0] += ws.engine.flops() - flops_before;
+  return Status::kOk;
+}
+
+void Basker::fine_btf_thread(Int tid) {
+  for (Int blk : an_.fine_of_thread[tid]) {
+    if (failed()) return;
+    const Status s = factor_fine_block(tid, blk);
+    if (s != Status::kOk) {
+      fail(s);
+      return;
+    }
   }
 }
 

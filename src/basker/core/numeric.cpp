@@ -28,23 +28,6 @@
 
 namespace basker {
 
-namespace {
-
-/// Gather the entries of `asub` column `col` whose rows fall in
-/// [row_lo, row_hi) as (row - row_lo, value) via fn.
-template <typename Fn>
-void gather_segment(const Csc& asub, Int col, Int row_lo, Int row_hi, Fn&& fn) {
-  const Int* base = asub.row_idx.data();
-  const Int* begin = base + asub.col_ptr[col];
-  const Int* end = base + asub.col_ptr[col + 1];
-  const Int* it = std::lower_bound(begin, end, row_lo);
-  for (; it != end && *it < row_hi; ++it) {
-    fn(*it - row_lo, asub.values[it - base]);
-  }
-}
-
-}  // namespace
-
 void Basker::fail(Status s) {
   int expected = 0;
   error_.compare_exchange_strong(expected, static_cast<int>(s));
@@ -58,11 +41,13 @@ void Basker::wait_epoch(Int tid, Int t, long long target) {
 }
 
 // --------------------------------------------------------------------------
-// treelevel -1: leaf diagonal factor + lower off-diagonal L blocks.
+// treelevel -1: leaf diagonal factor + lower off-diagonal L blocks. The
+// executing thread only provides scratch space — the arithmetic is a pure
+// function of (part, leaf), which is why the task-DAG schedule can hand the
+// same body to any thread (core/numeric_dag.cpp).
 
-void Basker::part_phase_leaves(NdPart& part, Int part_idx, Int tid) {
+void Basker::part_phase_leaves(NdPart& part, Int part_idx, Int tid, Int leaf) {
   ThreadWs& ws = *ws_[tid];
-  const Int leaf = part.leaf_seg[tid];
   const Int m = part.seg_size(leaf);
   const Int off = part.seg_off[leaf];
   GpEngine& engine = seg_engines_[part_idx][leaf];
@@ -142,7 +127,7 @@ void Basker::part_phase_leaves(NdPart& part, Int part_idx, Int tid) {
 // Single-leaf degenerate part (one thread): plain Gilbert-Peierls.
 
 void Basker::part_single_leaf(NdPart& part, Int part_idx, Int tid) {
-  part_phase_leaves(part, part_idx, tid);
+  part_phase_leaves(part, part_idx, tid, part.leaf_seg[tid]);
 }
 
 // --------------------------------------------------------------------------
@@ -564,7 +549,7 @@ void Basker::numeric_thread(Int tid) {
       continue;
     }
     if (tid < part.nleaves && !failed()) {
-      part_phase_leaves(part, static_cast<Int>(pi), tid);
+      part_phase_leaves(part, static_cast<Int>(pi), tid, part.leaf_seg[tid]);
     }
     barrier_->arrive_and_wait();
     mark_phase(0);
@@ -592,6 +577,7 @@ void Basker::numeric_thread(Int tid) {
 }
 
 Status Basker::run_numeric() {
+  if (opt_.sync_mode == SyncMode::kTaskDag) return run_numeric_dag();
   error_.store(0, std::memory_order_relaxed);
   Int phases = 1;
   for (const NdPart& part : an_.parts) phases = std::max(phases, part.nlev + 1);
@@ -602,10 +588,25 @@ Status Basker::run_numeric() {
     if (static_cast<Int>(ws->wacc.size()) < phases) ws->wacc.resize(phases);
   }
   stats_.phase_seconds.assign(static_cast<size_t>(phases), 0.0);
+  stats_.dag_tasks = 0;
+  stats_.dag_steals = 0;
+  stats_.dag_exec_per_thread.clear();
+  stats_.dag_steal_per_thread.clear();
   ep_.init(nthreads_);
 
   team_->run([this](Int tid) { numeric_thread(tid); });
 
+  collect_numeric_stats();
+
+  const int err = error_.load(std::memory_order_acquire);
+  if (err != 0) return static_cast<Status>(err);
+  factored_ = true;
+  return Status::kOk;
+}
+
+// Post-run statistics shared by the static and task-DAG schedules: fold the
+// per-thread work/sync counters into BaskerStats and account the factors.
+void Basker::collect_numeric_stats() {
   stats_.sync_seconds = 0.0;
   stats_.work_per_thread_per_phase.assign(static_cast<size_t>(nthreads_), {});
   stats_.factor_flops = 0.0;
@@ -640,11 +641,6 @@ Status Basker::run_numeric() {
   Scalar max_a = 0.0;
   for (Scalar v : an_.b.values) max_a = std::max(max_a, std::abs(v));
   stats_.pivot_growth = max_a > 0.0 ? max_u / max_a : 0.0;
-
-  const int err = error_.load(std::memory_order_acquire);
-  if (err != 0) return static_cast<Status>(err);
-  factored_ = true;
-  return Status::kOk;
 }
 
 }  // namespace basker

@@ -1,0 +1,259 @@
+// Task-DAG numeric factorization (SyncMode::kTaskDag): execute the graph
+// lowered by symbolic() (sched/task_graph.hpp) with the work-stealing
+// scheduler (sched/scheduler.hpp) instead of the static one-thread-per-leaf
+// schedule of numeric.cpp.
+//
+// The arithmetic of every task is a pure function of the analysis — which
+// thread runs it only decides which scratch workspace is used:
+//
+//   kFineBlock     factor_fine_block (fine_btf.cpp), one small BTF block.
+//   kLeafFactor    part_phase_leaves (numeric.cpp), one ND leaf + its
+//                  off-diagonal L blocks.
+//   kSepUpdate     U_dj = L_dd^{-1} ^A_dj for one (descendant, separator)
+//                  pair, the reduction accumulating the partial products
+//                  L_ed * U_ej of d's strict descendants e in ascending
+//                  postorder — a fixed order, unlike the static schedule's
+//                  per-thread W buffers whose subtraction order follows the
+//                  thread numbering.
+//   kSepFactor     reduce + Gilbert-Peierls-factor ^A_jj and form the L_kj
+//                  blocks toward every ancestor k, descendants again in
+//                  ascending postorder (same dataflow as the 1D ablation
+//                  path's owner, restricted to rowsegs >= j).
+//
+// Because the separator tree shape is also team-size-independent in this
+// mode (core/symbolic.cpp), the factors are bit-identical at every thread
+// count — the property test_parallel_consistency's cross-p digests pin.
+#include <algorithm>
+
+#include "basker/common/timer.hpp"
+#include "basker/core/basker.hpp"
+
+namespace basker {
+
+namespace {
+
+/// Subtract the partial products L_{rowseg,e} * U_{e,j}(:,c) of every
+/// segment e in [lo, hi) into `acc`, ascending postorder — THE fixed
+/// reduction order the cross-p bit-identity rests on, shared by the
+/// update and factor kernels so it cannot diverge. `rowseg_level` selects
+/// the L block row segment (ancestors of e are indexed by level distance).
+/// Returns the flops spent.
+double subtract_descendant_products(const NdPart& part, Int j, Int lo, Int hi,
+                                    Int rowseg_level, Int c, SparseAcc& acc) {
+  double flops = 0.0;
+  for (Int e = lo; e < hi; ++e) {
+    const LuMatrix& ue = part.ublk[e][part.seg_level[j] - part.seg_level[e] - 1];
+    const LuMatrix& lb = part.lblk[e][rowseg_level - part.seg_level[e] - 1];
+    for (Size p = ue.col_ptr[c]; p < ue.col_ptr[c + 1]; ++p) {
+      const Int tp = ue.row_idx[p];
+      const Scalar uval = ue.values[p];
+      if (uval == 0.0) continue;
+      for (Size q = lb.col_ptr[tp]; q < lb.col_ptr[tp + 1]; ++q) {
+        acc.add(lb.row_idx[q], -lb.values[q] * uval);
+      }
+      flops += 2.0 * static_cast<double>(lb.col_ptr[tp + 1] - lb.col_ptr[tp]);
+    }
+  }
+  return flops;
+}
+
+}  // namespace
+
+bool Basker::dag_sep_update(NdPart& part, Int tid, Int d, Int j) {
+  ThreadWs& ws = *ws_[tid];
+  const Int jcols = part.seg_size(j);
+  const Int jo = part.seg_off[j];
+  const Int md = part.seg_size(d);
+  const Int dof = part.seg_off[d];
+  const Int aj = part.seg_level[j] - part.seg_level[d] - 1;  // j in anc[d]
+  LuMatrix& ub = part.ublk[d][aj];
+
+  Size est = 0;
+  for (Int c = 0; c < jcols; ++c) {
+    est += part.asub.col_ptr[jo + c + 1] - part.asub.col_ptr[jo + c];
+  }
+  const Int nsub = std::max<Int>(1, j - part.seg_sub_lo[j]);
+  ub.init(md, jcols, est / nsub + 64);
+  if (md == 0) {
+    for (Int c = 0; c < jcols; ++c) ub.close_column(c);
+    return true;
+  }
+
+  ws.acc.ensure(part.max_seg_size());
+  GpEngine& ls = ws.lsolve_engine;
+  ls.init(md);
+  const double ls0 = ls.flops();
+  double flops = 0.0;
+  const DiagFactor& dg = part.diag[d];
+  const Int sub_lo = part.seg_sub_lo[d];
+
+  for (Int c = 0; c < jcols; ++c) {
+    // ^A_dj(:,c) = A_dj(:,c) minus the strict descendants' products.
+    ws.acc.begin();
+    gather_segment(part.asub, jo + c, dof, dof + md,
+                   [&](Int r, Scalar v) { ws.acc.add(r, v); });
+    flops += subtract_descendant_products(part, j, sub_lo, d,
+                                          part.seg_level[d], c, ws.acc);
+    // U_dj(:,c) = L_dd^{-1} (reduced column), stored by pivot position.
+    ws.in_rows.assign(ws.acc.pattern().begin(), ws.acc.pattern().end());
+    ws.in_vals.resize(ws.in_rows.size());
+    for (size_t i = 0; i < ws.in_rows.size(); ++i) {
+      ws.in_vals[i] = ws.acc.value(ws.in_rows[i]);
+    }
+    ls.sparse_lsolve(dg.l, dg.pinv, ws.in_rows.data(), ws.in_vals.data(),
+                     static_cast<Int>(ws.in_rows.size()), ws.out_rows,
+                     ws.out_vals);
+    for (size_t i = 0; i < ws.out_rows.size(); ++i) {
+      ub.append(dg.pinv[ws.out_rows[i]], ws.out_vals[i]);
+    }
+    ub.close_column(c);
+  }
+  ws.work[part.seg_level[j]] += flops + (ls.flops() - ls0);
+  return true;
+}
+
+bool Basker::dag_sep_factor(NdPart& part, Int part_idx, Int tid, Int j) {
+  ThreadWs& ws = *ws_[tid];
+  const Int jcols = part.seg_size(j);
+  const Int jo = part.seg_off[j];
+  const Int sub_lo = part.seg_sub_lo[j];
+  GpOptions gp_opt;
+  gp_opt.pivot_tol = opt_.pivot_tol;
+
+  Size est = 0;
+  for (Int c = 0; c < jcols; ++c) {
+    est += part.asub.col_ptr[jo + c + 1] - part.asub.col_ptr[jo + c];
+  }
+  DiagFactor& dg = part.diag[j];
+  GpEngine& jengine = seg_engines_[part_idx][j];
+  dg.l.init(jcols, jcols, 4 * est + 64);
+  dg.u.init(jcols, jcols, 4 * est + jcols + 64);
+  jengine.init(jcols);
+  for (size_t a = 0; a < part.anc[j].size(); ++a) {
+    part.lblk[j][a].init(part.seg_size(part.anc[j][a]), jcols, est + 16);
+  }
+  ws.acc.ensure(part.max_seg_size());
+  const double eng0 = jengine.flops();
+  double flops = 0.0;
+
+  // ^A_rowseg(:,c) for rowseg == j or an ancestor of j: subtract the
+  // products of every segment in j's strict subtree (matches the 1D
+  // path's owner accumulation).
+  auto reduce_into_acc = [&](Int rowseg, Int c) {
+    const Int ro = part.seg_off[rowseg];
+    const Int mr = part.seg_size(rowseg);
+    ws.acc.begin();
+    gather_segment(part.asub, jo + c, ro, ro + mr,
+                   [&](Int r, Scalar v) { ws.acc.add(r, v); });
+    flops += subtract_descendant_products(part, j, sub_lo, j,
+                                          part.seg_level[rowseg], c, ws.acc);
+  };
+
+  for (Int c = 0; c < jcols; ++c) {
+    // Diagonal column with pivoting.
+    reduce_into_acc(j, c);
+    ws.in_rows.assign(ws.acc.pattern().begin(), ws.acc.pattern().end());
+    ws.in_vals.resize(ws.in_rows.size());
+    for (size_t i = 0; i < ws.in_rows.size(); ++i) {
+      ws.in_vals[i] = ws.acc.value(ws.in_rows[i]);
+    }
+    const Status s = jengine.factor_column(
+        dg.l, dg.u, c, ws.in_rows.data(), ws.in_vals.data(),
+        static_cast<Int>(ws.in_rows.size()), c, gp_opt);
+    if (s != Status::kOk) {
+      fail(s);
+      return false;
+    }
+    // L_kj(:,c) for every ancestor k of j.
+    for (size_t a = 0; a < part.anc[j].size(); ++a) {
+      const Int kseg = part.anc[j][a];
+      LuMatrix& lb = part.lblk[j][a];
+      if (part.seg_size(kseg) == 0) {
+        lb.close_column(c);
+        continue;
+      }
+      reduce_into_acc(kseg, c);
+      const Size ub2 = dg.u.col_ptr[c], ue = dg.u.col_ptr[c + 1];
+      for (Size p = ub2; p + 1 < ue; ++p) {
+        const Int tp = dg.u.row_idx[p];
+        const Scalar uval = dg.u.values[p];
+        for (Size q = lb.col_ptr[tp]; q < lb.col_ptr[tp + 1]; ++q) {
+          ws.acc.add(lb.row_idx[q], -lb.values[q] * uval);
+        }
+        flops += 2.0 * static_cast<double>(lb.col_ptr[tp + 1] - lb.col_ptr[tp]);
+      }
+      const Scalar pivot = dg.u.values[ue - 1];
+      for (Int r : ws.acc.pattern()) {
+        const Scalar v = ws.acc.value(r);
+        if (v != 0.0) lb.append(r, v / pivot);
+      }
+      lb.close_column(c);
+    }
+  }
+  dg.row_perm = jengine.row_perm();
+  dg.pinv = jengine.pinv();
+  ws.work[part.seg_level[j]] += flops + (jengine.flops() - eng0);
+  return true;
+}
+
+bool Basker::dag_execute(Int tid, Int task_id) {
+  const sched::Task& t = dag_.task(task_id);
+  switch (t.kind) {
+    case sched::TaskKind::kFineBlock: {
+      const Status s = factor_fine_block(tid, t.seg);
+      if (s != Status::kOk) {
+        fail(s);
+        return false;
+      }
+      return true;
+    }
+    case sched::TaskKind::kLeafFactor: {
+      NdPart& part = an_.parts[static_cast<size_t>(t.part)];
+      part_phase_leaves(part, t.part, tid, t.seg);
+      // part_phase_leaves reports failure through fail(); surface it.
+      return !failed();
+    }
+    case sched::TaskKind::kSepUpdate:
+      return dag_sep_update(an_.parts[static_cast<size_t>(t.part)], tid, t.seg,
+                            t.target);
+    case sched::TaskKind::kSepFactor:
+      return dag_sep_factor(an_.parts[static_cast<size_t>(t.part)], t.part, tid,
+                            t.seg);
+  }
+  return false;  // unreachable
+}
+
+Status Basker::run_numeric_dag() {
+  error_.store(0, std::memory_order_relaxed);
+  Int phases = 1;
+  for (const NdPart& part : an_.parts) phases = std::max(phases, part.nlev + 1);
+  for (auto& ws : ws_) {
+    ws->work.assign(static_cast<size_t>(phases), 0.0);
+    ws->sync_seconds = 0.0;
+  }
+  // No phase barriers under the DAG schedule: one bucket holds the whole
+  // execution's wall time.
+  stats_.phase_seconds.assign(1, 0.0);
+
+  WallTimer timer;
+  sched::SchedulerStats sstats;
+  dag_sched_.run(
+      dag_, *team_, opt_.backoff,
+      [this](Int tid, Int task_id) { return dag_execute(tid, task_id); },
+      [this] { return failed(); }, &sstats);
+  stats_.phase_seconds[0] = timer.seconds();
+
+  stats_.dag_tasks = sstats.total_executed();
+  stats_.dag_steals = sstats.total_steals();
+  stats_.dag_exec_per_thread = sstats.executed;
+  stats_.dag_steal_per_thread = sstats.steals;
+
+  collect_numeric_stats();
+
+  const int err = error_.load(std::memory_order_acquire);
+  if (err != 0) return static_cast<Status>(err);
+  factored_ = true;
+  return Status::kOk;
+}
+
+}  // namespace basker

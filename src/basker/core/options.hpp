@@ -14,24 +14,53 @@
 
 namespace basker {
 
-/// How dependent threads hand off work inside a separator block column
-/// (paper §IV "Synchronization").
+/// How the numeric phase coordinates its threads. kPointToPoint/kBarrier
+/// select the paper's *static* schedule (one thread per separator-tree
+/// leaf) and differ only in how dependent threads hand off work inside a
+/// separator block column (paper §IV "Synchronization"); kTaskDag replaces
+/// the static schedule with a work-stealing task DAG (sched/).
 enum class SyncMode {
-  /// Epoch counters between the two threads of each dependency edge — the
-  /// paper's contribution and the default. Measured there at 2.3% of
-  /// runtime on G2_Circuit.
+  /// Static schedule + epoch counters between the two threads of each
+  /// dependency edge — the paper's contribution and the default. Measured
+  /// there at 2.3% of runtime on G2_Circuit.
   kPointToPoint,
-  /// Team-wide barrier per pipeline step — the paper's ablation baseline,
-  /// 11% of runtime on the same matrix. Kept for `bench_sync` and as a
-  /// debugging aid (barrier runs serialize the failure space).
+  /// Static schedule + team-wide barrier per pipeline step — the paper's
+  /// ablation baseline, 11% of runtime on the same matrix. Kept for
+  /// `bench_sync` and as a debugging aid (barrier runs serialize the
+  /// failure space).
   kBarrier,
+  /// Dynamic schedule: symbolic lowers the separator trees + fine-BTF
+  /// blocks into an explicit task DAG (sched/task_graph.hpp) that a
+  /// work-stealing scheduler executes on the team (sched/scheduler.hpp).
+  /// Lifts the paper's §III-C power-of-two restriction (any nthreads is
+  /// granted as requested), and — because the tree shape and every task's
+  /// arithmetic are independent of the team size — produces bit-identical
+  /// factors at every p. The static schedule stays the default until the
+  /// DAG path has equal mileage; it is also the ablation baseline for
+  /// `bench_fig5 --measured --schedule both`.
+  kTaskDag,
 };
 
+/// The thread-grant rule, shared by Basker's constructor and the bench
+/// sweeps (bench_support/wallclock.cpp) that must predict it: the static
+/// schedules round the request DOWN to a power of two (one thread per
+/// separator-tree leaf, §III-C), SyncMode::kTaskDag grants it verbatim.
+inline Int granted_threads(SyncMode sync, Int requested) {
+  Int p = requested < 1 ? 1 : requested;
+  if (sync == SyncMode::kTaskDag) return p;
+  Int pow2 = 1;
+  while (2 * pow2 <= p) pow2 *= 2;
+  return pow2;
+}
+
 struct BaskerOptions {
-  /// Worker threads for the numeric phase. Default 1 (serial). The request
-  /// is rounded DOWN to a power of two: ND produces a binary separator
-  /// tree, and §III-C notes "Basker is limited to using a power of two
-  /// threads". Check Basker::nthreads() for the granted count.
+  /// Worker threads for the numeric phase. Default 1 (serial). Under the
+  /// static schedules (kPointToPoint/kBarrier) the request is rounded DOWN
+  /// to a power of two: the static schedule maps one thread per separator
+  /// tree leaf, and §III-C notes "Basker is limited to using a power of
+  /// two threads". SyncMode::kTaskDag grants any count as requested — the
+  /// task DAG decouples tree depth from team size. Check
+  /// Basker::nthreads() for the granted count.
   Int nthreads = 1;
 
   /// BTF diagonal blocks with at least this many rows get the
@@ -47,8 +76,12 @@ struct BaskerOptions {
   /// pipeline latency. Default 16.
   Int chunk_cols = 16;
 
-  /// Synchronization strategy for the separator pipeline (§IV). Default
-  /// kPointToPoint; kBarrier is the paper's measured-overhead baseline.
+  /// Numeric-phase schedule + synchronization strategy (§IV / sched/).
+  /// Default kPointToPoint (static schedule); kBarrier is the paper's
+  /// measured-overhead baseline; kTaskDag is the work-stealing task-DAG
+  /// schedule (arbitrary team sizes, cross-p bit-identical factors). Must
+  /// be chosen at construction: it decides both the granted thread count
+  /// and the separator-tree depth of the symbolic analysis.
   SyncMode sync_mode = SyncMode::kPointToPoint;
 
   /// Diagonal-preference partial-pivot threshold, as KLU: the diagonal
@@ -127,8 +160,17 @@ struct BaskerStats {
   /// work_per_thread_per_phase[t]), recorded by thread 0 between the
   /// team-wide phase barriers. Durations are non-negative and their sum is
   /// bounded by factor_seconds; the model-vs-measured comparison
-  /// (bench_support/wallclock.hpp) consumes them per phase.
+  /// (bench_support/wallclock.hpp) consumes them per phase. Under
+  /// SyncMode::kTaskDag there are no phase barriers: a single entry holds
+  /// the whole DAG execution's wall time.
   std::vector<double> phase_seconds;
+
+  // -- Task-DAG execution counters (SyncMode::kTaskDag only; zero under
+  //    the static schedules). ----------------------------------------------
+  long long dag_tasks = 0;   ///< DAG nodes executed by the last numeric run
+  long long dag_steals = 0;  ///< successful work-stealing deque steals
+  std::vector<long long> dag_exec_per_thread;   ///< tasks run, per thread
+  std::vector<long long> dag_steal_per_thread;  ///< steals won, per thread
 };
 
 }  // namespace basker

@@ -33,6 +33,13 @@ void NdPart::adopt_tree(const NdTree& tree) {
     for (Int r = seg_off[s]; r < seg_off[s + 1]; ++r) seg_of_row[r] = s;
   }
 
+  // Subtree ranges: children precede parents in postorder, so one ascending
+  // pass can read each child's already-final range start.
+  seg_sub_lo.assign(static_cast<size_t>(nseg), 0);
+  for (Int s = 0; s < nseg; ++s) {
+    seg_sub_lo[s] = seg_level[s] == 0 ? s : seg_sub_lo[seg_children[s][0]];
+  }
+
   // Leaves appear in postorder left to right; thread t maps to the t-th.
   leaf_seg.clear();
   for (Int s = 0; s < nseg; ++s) {

@@ -5,6 +5,7 @@
 // threads, participant ranges) that drives Algorithm 3/4.
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <vector>
 
@@ -36,6 +37,11 @@ struct NdPart {
   std::vector<std::array<Int, 2>> seg_children;
   std::vector<std::vector<Int>> anc;  ///< ancestors of each segment, bottom-up
   std::vector<Int> seg_of_row;        ///< local row -> segment
+  /// First segment of each segment's subtree: postorder ids make the
+  /// subtree of s the contiguous range [seg_sub_lo[s], s], and its strict
+  /// descendants [seg_sub_lo[s], s) — the iteration spaces of the 1D
+  /// ablation path and of every task-DAG reduction (sched/task_graph.hpp).
+  std::vector<Int> seg_sub_lo;
 
   // Thread mapping (local thread ids 0..nleaves-1).
   std::vector<Int> leaf_seg;      ///< leaf segment of each thread
@@ -85,6 +91,21 @@ struct Analysis {
 
   Int num_blocks() const { return static_cast<Int>(block_off.size()) - 1; }
 };
+
+/// Gather the entries of `asub` column `col` whose rows fall in
+/// [row_lo, row_hi), reported as (row - row_lo, value) via fn — the
+/// segment-windowed column read both numeric schedules are built on.
+template <typename Fn>
+inline void gather_segment(const Csc& asub, Int col, Int row_lo, Int row_hi,
+                           Fn&& fn) {
+  const Int* base = asub.row_idx.data();
+  const Int* begin = base + asub.col_ptr[col];
+  const Int* end = base + asub.col_ptr[col + 1];
+  const Int* it = std::lower_bound(begin, end, row_lo);
+  for (; it != end && *it < row_hi; ++it) {
+    fn(*it - row_lo, asub.values[it - base]);
+  }
+}
 
 /// Dense accumulator with pattern tracking (scatter/gather workspace).
 class SparseAcc {

@@ -21,6 +21,16 @@ namespace basker {
 
 namespace {
 
+/// Separator-tree depth cap for SyncMode::kTaskDag: 2^5 = 32 leaves, ~4x
+/// the 8-thread teams the paper targets, so the scheduler always has
+/// surplus leaf tasks to steal. A compile-time constant (never the team
+/// size!) keeps the analysis — and therefore the factors — identical at
+/// every thread count.
+constexpr Int kDagMaxLevels = 5;
+/// Minimum average leaf rows worth one task: below this, task management
+/// overhead beats the parallelism a further split would expose.
+constexpr Int kDagMinLeafRows = 64;
+
 /// Flop estimate for one small block after its fill-reducing order:
 /// sum of squared symbolic-Cholesky column counts (paper Algorithm 2
 /// line 3: "Compute column count and number of operations").
@@ -100,22 +110,40 @@ Status Basker::symbolic(const Csc& a) {
     const Csc matched = permute(block, m2.row_of_col, {});
 
     Int nlevels = 0;
-    while ((Int{1} << (nlevels + 1)) <= nthreads_ && (m >> (nlevels + 1)) >= 8) {
-      ++nlevels;
+    if (opt_.sync_mode == SyncMode::kTaskDag) {
+      // Task-DAG schedule: the tree depth is a function of the *block*
+      // only, never of the team size — that p-independence is what makes
+      // factors bit-identical across thread counts (and lets any team
+      // size run the same DAG). Work-based heuristic: deepen while leaves
+      // keep enough rows to amortize a task, up to a compile-time leaf
+      // cap (~4x the largest team the DAG is tuned for, so work stealing
+      // always has surplus tasks to balance with).
+      while (nlevels < kDagMaxLevels &&
+             (m >> (nlevels + 1)) >= kDagMinLeafRows) {
+        ++nlevels;
+      }
+    } else {
+      // Static schedule: one thread per leaf, depth tracks the team.
+      while ((Int{1} << (nlevels + 1)) <= nthreads_ &&
+             (m >> (nlevels + 1)) >= 8) {
+        ++nlevels;
+      }
     }
-    // Dissect, but back off on the tree depth when the graph does not
-    // bisect well: fat separators turn the 2D algorithm's border blocks
-    // into the dominant cost (the paper's leaf-count trade-off, §III-C).
-    // The depth search only inspects separator masses, so leaf ordering
-    // (which cannot change the splits) is deferred until the depth
-    // settles — each discarded candidate would otherwise pay a full AMD
-    // sweep over its leaves.
+    // Dissect once at the deepest candidate depth, then back off when the
+    // graph does not bisect well: fat separators turn the 2D algorithm's
+    // border blocks into the dominant cost (the paper's leaf-count
+    // trade-off, §III-C). Bisection is top-down, so each shallower
+    // candidate is *derived* by merging the bottom level's sibling leaves
+    // (graph/nd.hpp merge_bottom_level) instead of paying a fresh
+    // dissection — the multilevel-vs-level-set arbitration is thereby
+    // settled once, at the deepest depth (see the merge_bottom_level
+    // caveat); leaf ordering (which cannot change the splits) is likewise
+    // deferred until the depth settles.
     const Csc sym = symmetrize_pattern(matched);
     NdTree tree = nested_dissect(sym, nlevels, false, opt_.nd_scheme);
-    while (nlevels > 0) {
-      if (tree.separator_mass() * 8 <= m) break;
+    while (nlevels > 0 && tree.separator_mass() * 8 > m) {
       --nlevels;
-      tree = nested_dissect(sym, nlevels, false, opt_.nd_scheme);
+      tree = merge_bottom_level(tree);
     }
     if (opt_.order_leaves) order_tree_leaves(sym, tree);
 
@@ -180,6 +208,13 @@ Status Basker::symbolic(const Csc& a) {
   seg_engines_.assign(an_.parts.size(), {});
   for (size_t pi = 0; pi < an_.parts.size(); ++pi) {
     seg_engines_[pi].resize(static_cast<size_t>(an_.parts[pi].nseg));
+  }
+
+  // 8. Task-DAG lowering (SyncMode::kTaskDag): one graph per analysis,
+  // replayed by every numeric (re)factorization.
+  if (opt_.sync_mode == SyncMode::kTaskDag) {
+    dag_.build(an_);
+    dag_sched_.prepare(dag_, nthreads_);
   }
 
   // Stats.

@@ -1,6 +1,7 @@
 #include "basker/graph/mindeg.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <queue>
 
 #include "basker/common/error.hpp"
@@ -42,9 +43,49 @@ std::vector<Int> min_degree_order(const Csc& g) {
     degree[j] = static_cast<Int>(adj_var[j].size());
   }
 
+  // Dense-row deferral (AMD's classic treatment): a variable whose degree
+  // exceeds ~10*sqrt(n) couples to nearly everything once eliminated, so
+  // keeping it in the quotient graph blows the element lists up toward
+  // O(n^2) mass on arrowhead-like blocks (circuit supply rails). Defer
+  // such variables: drop them from the graph, order the sparse remainder,
+  // and append them (ascending index — deterministic) at the end, where
+  // minimum degree would have pushed them anyway. Skipped when more than a
+  // quarter of the variables qualify — the graph is then just dense and
+  // deferral would reduce the ordering to the identity.
+  std::vector<Int> dense_rows;
+  {
+    const Int cutoff = std::max<Int>(
+        16, static_cast<Int>(10.0 * std::sqrt(static_cast<double>(n))));
+    for (Int v = 0; v < n; ++v) {
+      if (static_cast<Int>(adj_var[v].size()) > cutoff) dense_rows.push_back(v);
+    }
+    if (static_cast<Int>(dense_rows.size()) * 4 > n) {
+      dense_rows.clear();
+    } else if (!dense_rows.empty()) {
+      for (Int v : dense_rows) {
+        alive[v] = false;
+        adj_var[v].clear();
+        adj_var[v].shrink_to_fit();
+      }
+      for (Int v = 0; v < n; ++v) {
+        if (!alive[v]) continue;
+        auto& av = adj_var[v];
+        size_t out = 0;
+        for (size_t idx = 0; idx < av.size(); ++idx) {
+          if (alive[av[idx]]) av[out++] = av[idx];
+        }
+        av.resize(out);
+        degree[v] = static_cast<Int>(out);
+      }
+    }
+  }
+  const Int n_sparse = n - static_cast<Int>(dense_rows.size());
+
   using Entry = std::pair<Int, Int>;  // (degree, node)
   std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap;
-  for (Int v = 0; v < n; ++v) heap.emplace(degree[v], v);
+  for (Int v = 0; v < n; ++v) {
+    if (alive[v]) heap.emplace(degree[v], v);
+  }
 
   std::vector<Int> mark(static_cast<size_t>(n), kInvalid);
   std::vector<Int> wstamp(static_cast<size_t>(n), kInvalid);
@@ -52,9 +93,9 @@ std::vector<Int> min_degree_order(const Csc& g) {
   std::vector<Int> lp;                            // current element variable list
   std::vector<std::pair<std::uint64_t, Int>> hashes;  // supervariable buckets
   Int stamp = 0;
-  Int vertices_left = n;
+  Int vertices_left = n_sparse;
 
-  while (static_cast<Int>(perm.size()) < n) {
+  while (static_cast<Int>(perm.size()) < n_sparse) {
     // Lazy-deletion pop: discard stale heap entries.
     Int p = kInvalid;
     while (!heap.empty()) {
@@ -227,6 +268,9 @@ std::vector<Int> min_degree_order(const Csc& g) {
       i = j;
     }
   }
+
+  // Deferred dense rows are eliminated last.
+  perm.insert(perm.end(), dense_rows.begin(), dense_rows.end());
 
   BASKER_REQUIRE(static_cast<Int>(perm.size()) == n, "min_degree: incomplete order");
   return perm;

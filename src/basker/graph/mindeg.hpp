@@ -8,6 +8,12 @@
 // adjacency lists, confirmed by exact comparison) are folded into one
 // weighted variable and emitted together — the standard AMD acceleration
 // for mesh-like graphs, where indistinguishable boundary nodes abound.
+//
+// Dense rows (degree > ~10*sqrt(n), AMD's classic cutoff) are detected up
+// front and deferred to the tail of the ordering: keeping them in the
+// quotient graph blows the element lists up toward O(n^2) mass on
+// arrowhead-like blocks (circuit supply rails), while eliminating them
+// last is where minimum degree would send them anyway.
 #pragma once
 
 #include <vector>

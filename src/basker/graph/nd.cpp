@@ -511,6 +511,51 @@ void order_tree_leaves(const Csc& g, NdTree& t) {
   }
 }
 
+NdTree merge_bottom_level(const NdTree& t) {
+  BASKER_REQUIRE(t.nlevels >= 1, "merge_bottom_level: tree has no levels");
+  NdTree out;
+  out.perm = t.perm;
+  out.nlevels = t.nlevels - 1;
+  out.nleaves = t.nleaves / 2;
+  out.nsegments = 2 * out.nleaves - 1;
+
+  // Surviving segments are the old level >= 1 nodes; removing the old
+  // leaves preserves relative postorder, so the new id is the old id's
+  // rank among survivors.
+  std::vector<Int> new_id(static_cast<size_t>(t.nsegments), kInvalid);
+  Int next = 0;
+  for (Int s = 0; s < t.nsegments; ++s) {
+    if (t.seg_level[s] >= 1) new_id[s] = next++;
+  }
+  BASKER_REQUIRE(next == out.nsegments, "merge_bottom_level: segment count");
+
+  out.seg_offset.assign(static_cast<size_t>(out.nsegments) + 1, 0);
+  out.seg_parent.assign(static_cast<size_t>(out.nsegments), kInvalid);
+  out.seg_level.assign(static_cast<size_t>(out.nsegments), 0);
+  out.seg_children.assign(static_cast<size_t>(out.nsegments),
+                          {kInvalid, kInvalid});
+  for (Int s = 0; s < t.nsegments; ++s) {
+    if (t.seg_level[s] < 1) continue;
+    const Int ns = new_id[s];
+    out.seg_level[ns] = t.seg_level[s] - 1;
+    if (t.seg_parent[s] != kInvalid) {
+      out.seg_parent[ns] = new_id[t.seg_parent[s]];
+    }
+    if (t.seg_level[s] > 1) {
+      out.seg_children[ns] = {new_id[t.seg_children[s][0]],
+                              new_id[t.seg_children[s][1]]};
+    }
+    // Segment ranges tile the permutation in postorder; a merged leaf's
+    // range absorbs its two old leaves, which sit immediately before the
+    // old separator's own range, so recording each survivor's range *end*
+    // reproduces the tiling.
+    out.seg_offset[ns + 1] = t.seg_offset[s + 1];
+  }
+  BASKER_REQUIRE(out.seg_offset.back() == static_cast<Int>(out.perm.size()),
+                 "merge_bottom_level: perm coverage");
+  return out;
+}
+
 NdTree nested_dissect(const Csc& g, Int nlevels, bool order_leaves,
                       NdScheme scheme) {
   BASKER_REQUIRE(g.nrows == g.ncols, "nested_dissect: square required");

@@ -76,4 +76,24 @@ NdTree nested_dissect(const Csc& sym_pattern, Int nlevels, bool order_leaves = t
 /// `order_leaves = false` and order the settled tree once.
 void order_tree_leaves(const Csc& sym_pattern, NdTree& tree);
 
+/// Derive the depth-(nlevels-1) tree from `t` by merging each bottom-level
+/// sibling leaf pair together with its parent separator into one leaf.
+/// Dissection is top-down — a bisection never depends on the remaining
+/// recursion depth — so for a FIXED-scheme dissection the derived tree has
+/// exactly the separators a fresh dissection at the shallower depth would
+/// compute, without paying for one (leaf interiors keep the
+/// sub-dissection order [left | right | separator]; callers that want
+/// fill-reducing leaves run order_tree_leaves() on the settled tree,
+/// which overwrites it anyway). Caveat: kMultilevel's whole-tree guard
+/// arbitrates multilevel-vs-level-set by total mass *at the dissected
+/// depth*, and the winner can differ between depths — merging the deep
+/// winner keeps that winner's shallower tree rather than re-arbitrating.
+/// core/symbolic.cpp accepts this deliberately: its fat-separator backoff
+/// derives every shallower candidate from one deepest dissection, trading
+/// a possibly-suboptimal scheme pick on backed-off depths (rare: backoff
+/// fires on graphs that bisect badly under both schemes) for a dissection
+/// cost independent of how far the depth search walks.
+/// Requires t.nlevels >= 1; t.perm is preserved verbatim.
+NdTree merge_bottom_level(const NdTree& t);
+
 }  // namespace basker

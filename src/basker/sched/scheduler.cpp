@@ -1,0 +1,114 @@
+#include "basker/sched/scheduler.hpp"
+
+#include "basker/common/error.hpp"
+
+namespace basker::sched {
+
+void Scheduler::prepare(const TaskGraph& graph, Int nthreads) {
+  BASKER_REQUIRE(nthreads >= 1, "Scheduler: need at least one thread");
+  nthreads_ = nthreads;
+  deques_.resize(static_cast<size_t>(nthreads));
+  victims_.resize(static_cast<size_t>(nthreads));
+  for (Int t = 0; t < nthreads; ++t) {
+    if (!deques_[static_cast<size_t>(t)]) {
+      deques_[static_cast<size_t>(t)] = std::make_unique<WorkDeque>();
+    }
+    // Every deque must be able to hold every task: pushes go to the
+    // finishing thread's deque, and in the worst case one thread finishes
+    // everything.
+    deques_[static_cast<size_t>(t)]->init(std::max<Int>(1, graph.size()));
+    victims_[static_cast<size_t>(t)] = victim_order(t, nthreads);
+  }
+  if (graph.size() > npending_) {
+    pending_ = std::make_unique<std::atomic<Int>[]>(static_cast<size_t>(graph.size()));
+    npending_ = graph.size();
+  }
+}
+
+void Scheduler::run(const TaskGraph& graph, ThreadTeam& team,
+                    const BackoffPolicy& backoff,
+                    const std::function<bool(Int, Int)>& execute,
+                    const std::function<bool()>& aborted, SchedulerStats* stats) {
+  BASKER_REQUIRE(nthreads_ >= 1 && nthreads_ <= team.size(),
+                 "Scheduler: prepare() team mismatch");
+  BASKER_REQUIRE(graph.size() <= npending_, "Scheduler: prepare() graph mismatch");
+  for (Int id = 0; id < graph.size(); ++id) {
+    pending_[static_cast<size_t>(id)].store(graph.task(id).ndeps,
+                                            std::memory_order_relaxed);
+  }
+  for (Int t = 0; t < nthreads_; ++t) deques_[static_cast<size_t>(t)]->reset();
+  remaining_.store(graph.size(), std::memory_order_release);
+  if (stats != nullptr) {
+    stats->executed.assign(static_cast<size_t>(nthreads_), 0);
+    stats->steals.assign(static_cast<size_t>(nthreads_), 0);
+  }
+  team.run([&](Int tid) {
+    if (tid < nthreads_) worker(graph, tid, backoff, execute, aborted, stats);
+  });
+}
+
+void Scheduler::worker(const TaskGraph& graph, Int tid,
+                       const BackoffPolicy& backoff,
+                       const std::function<bool(Int, Int)>& execute,
+                       const std::function<bool()>& aborted,
+                       SchedulerStats* stats) {
+  WorkDeque& mine = *deques_[static_cast<size_t>(tid)];
+  const std::vector<Int>& victims = victims_[static_cast<size_t>(tid)];
+
+  // Seed: roots are dealt round-robin so every thread starts with work
+  // without any cross-thread pushes (only the owner may push its deque).
+  const std::vector<Int>& roots = graph.roots();
+  for (size_t i = static_cast<size_t>(tid); i < roots.size();
+       i += static_cast<size_t>(nthreads_)) {
+    mine.push(roots[i]);
+  }
+
+  Backoff idle(backoff);
+  Int task = kInvalid;
+  while (remaining_.load(std::memory_order_acquire) > 0 && !aborted()) {
+    bool got = mine.pop(task);
+    if (!got) {
+      for (Int v : victims) {
+        if (deques_[static_cast<size_t>(v)]->steal(task)) {
+          got = true;
+          if (stats != nullptr) ++stats->steals[static_cast<size_t>(tid)];
+          break;
+        }
+      }
+    }
+    if (!got) {
+      // Queues ran dry: escalate through the configured wait strategy.
+      if (!idle.step()) continue;
+      // Predicate-free park: a producer's notify means "work may exist",
+      // which no predicate can evaluate without racing the deques — the
+      // outer loop re-scans after waking.
+      lot_.park(backoff.park_micros);
+      continue;
+    }
+    idle.reset();
+
+    if (!execute(tid, task)) {
+      // Task failed; the caller's aborted() now reads true (it flags the
+      // error before returning false). Wake everyone so parked threads
+      // observe the abort promptly, and bail without releasing successors.
+      lot_.notify_if_parked();
+      return;
+    }
+    if (stats != nullptr) ++stats->executed[static_cast<size_t>(tid)];
+
+    bool pushed = false;
+    for (const Int* s = graph.succ_begin(task); s != graph.succ_end(task); ++s) {
+      if (pending_[static_cast<size_t>(*s)].fetch_sub(
+              1, std::memory_order_acq_rel) == 1) {
+        mine.push(*s);
+        pushed = true;
+      }
+    }
+    if (pushed) lot_.notify_if_parked();
+    if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      lot_.notify_if_parked();  // last task: release every parked idler to exit
+    }
+  }
+}
+
+}  // namespace basker::sched

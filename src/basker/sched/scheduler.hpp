@@ -1,0 +1,84 @@
+// Work-stealing executor for a TaskGraph on the persistent ThreadTeam.
+//
+// Execution model: every task carries an atomic dependency counter (a copy
+// of its static in-degree, reset per run so one graph serves many numeric
+// refactorizations). A thread that completes a task decrements each
+// successor's counter; the decrement that reaches zero pushes the successor
+// onto the *finishing* thread's own deque (locality: the freshly written
+// blocks are hot). Threads pop their own deque LIFO and, when it runs dry,
+// steal FIFO from the other deques in the deterministic victim order of
+// sched/worksteal.hpp.
+//
+// Idle threads honor the caller's BackoffPolicy exactly like the epoch
+// waits of the static schedule: spin, yield, then park. ParkMode::kCondvar
+// waiters sleep on the shared ParkingLot (thread/backoff.hpp) that
+// producers notify when they enable new work; the lot's timed wait bounds
+// the one unavoidable notify/park race.
+//
+// Determinism: the *schedule* (who runs what, steal counts) varies from run
+// to run, but every task writes only its own output blocks and reads only
+// blocks its dependencies completed, so numeric results are a pure function
+// of the graph — the foundation of Basker's cross-p bit-identical factors
+// under SyncMode::kTaskDag.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "basker/sched/task_graph.hpp"
+#include "basker/sched/worksteal.hpp"
+#include "basker/thread/backoff.hpp"
+#include "basker/thread/team.hpp"
+
+namespace basker::sched {
+
+/// Per-run execution counters (see BaskerStats::dag_*).
+struct SchedulerStats {
+  std::vector<long long> executed;  ///< tasks run, per thread
+  std::vector<long long> steals;    ///< successful steals, per thread
+  long long total_executed() const {
+    long long sum = 0;
+    for (long long e : executed) sum += e;
+    return sum;
+  }
+  long long total_steals() const {
+    long long sum = 0;
+    for (long long s : steals) sum += s;
+    return sum;
+  }
+};
+
+class Scheduler {
+ public:
+  /// Size per-thread deques and dependency counters for `graph` on
+  /// `nthreads` threads. Call once per (analysis, team) pairing; run() can
+  /// then be called repeatedly.
+  void prepare(const TaskGraph& graph, Int nthreads);
+
+  /// Execute the DAG on `team` (which must have >= the prepared thread
+  /// count). `execute(tid, task_id)` runs one task and returns false on
+  /// failure; `aborted()` is polled by idle and between-task threads, and
+  /// a true return drains the run without executing further tasks (the
+  /// caller flags failures through its own error channel, exactly like the
+  /// static schedule's fail()). Fills `stats` when non-null.
+  void run(const TaskGraph& graph, ThreadTeam& team, const BackoffPolicy& backoff,
+           const std::function<bool(Int, Int)>& execute,
+           const std::function<bool()>& aborted, SchedulerStats* stats);
+
+ private:
+  void worker(const TaskGraph& graph, Int tid, const BackoffPolicy& backoff,
+              const std::function<bool(Int, Int)>& execute,
+              const std::function<bool()>& aborted, SchedulerStats* stats);
+
+  Int nthreads_ = 0;
+  std::vector<std::unique_ptr<WorkDeque>> deques_;
+  std::vector<std::vector<Int>> victims_;  ///< per-thread deterministic order
+  std::unique_ptr<std::atomic<Int>[]> pending_;  ///< per-task dep counters
+  Int npending_ = 0;
+  std::atomic<Int> remaining_{0};
+  ParkingLot lot_;  ///< ParkMode::kCondvar idlers (thread/backoff.hpp)
+};
+
+}  // namespace basker::sched

@@ -1,0 +1,106 @@
+#include "basker/sched/task_graph.hpp"
+
+#include "basker/common/error.hpp"
+#include "basker/core/structure.hpp"
+
+namespace basker::sched {
+
+void TaskGraph::clear() {
+  tasks_.clear();
+  pending_succ_.clear();
+  successors_.clear();
+  roots_.clear();
+  finalized_ = false;
+}
+
+Int TaskGraph::add_task(TaskKind kind, Int part, Int seg, Int target) {
+  BASKER_REQUIRE(!finalized_, "TaskGraph: add_task after finalize");
+  Task t;
+  t.kind = kind;
+  t.part = part;
+  t.seg = seg;
+  t.target = target;
+  tasks_.push_back(t);
+  pending_succ_.emplace_back();
+  return static_cast<Int>(tasks_.size()) - 1;
+}
+
+void TaskGraph::add_edge(Int dep, Int task) {
+  BASKER_REQUIRE(!finalized_, "TaskGraph: add_edge after finalize");
+  BASKER_REQUIRE(dep >= 0 && dep < size() && task >= 0 && task < size(),
+                 "TaskGraph: edge endpoints out of range");
+  pending_succ_[static_cast<size_t>(dep)].push_back(task);
+  ++tasks_[static_cast<size_t>(task)].ndeps;
+}
+
+void TaskGraph::finalize() {
+  BASKER_REQUIRE(!finalized_, "TaskGraph: double finalize");
+  Int off = 0;
+  for (size_t id = 0; id < tasks_.size(); ++id) {
+    tasks_[id].succ_begin = off;
+    off += static_cast<Int>(pending_succ_[id].size());
+    tasks_[id].succ_end = off;
+  }
+  successors_.reserve(static_cast<size_t>(off));
+  for (auto& succ : pending_succ_) {
+    successors_.insert(successors_.end(), succ.begin(), succ.end());
+  }
+  pending_succ_.clear();
+  pending_succ_.shrink_to_fit();
+  for (Int id = 0; id < size(); ++id) {
+    if (tasks_[static_cast<size_t>(id)].ndeps == 0) roots_.push_back(id);
+  }
+  finalized_ = true;
+}
+
+void TaskGraph::build(const Analysis& an) {
+  clear();
+
+  // Fine-BTF blocks: independent roots.
+  for (Int blk : an.fine_blocks) {
+    add_task(TaskKind::kFineBlock, kInvalid, blk);
+  }
+
+  // ND parts: per segment in postorder, so every referenced task id exists
+  // by the time its dependents are added (children precede parents).
+  std::vector<Int> factor_id;
+  std::vector<Int> update_base;  ///< per separator j: id of U_{sub_lo[j], j}
+  for (size_t pi = 0; pi < an.parts.size(); ++pi) {
+    const NdPart& part = an.parts[pi];
+    factor_id.assign(static_cast<size_t>(part.nseg), kInvalid);
+    update_base.assign(static_cast<size_t>(part.nseg), kInvalid);
+    // Update task id for descendant d of separator j: updates are created
+    // in ascending d order, so the id is a base plus the offset of d in
+    // j's strict subtree range [seg_sub_lo[j], j).
+    auto update_id = [&](Int d, Int j) {
+      return update_base[static_cast<size_t>(j)] + (d - part.seg_sub_lo[j]);
+    };
+    for (Int s = 0; s < part.nseg; ++s) {
+      if (part.seg_level[s] == 0) {
+        factor_id[static_cast<size_t>(s)] =
+            add_task(TaskKind::kLeafFactor, static_cast<Int>(pi), s);
+        continue;
+      }
+      const Int lo = part.seg_sub_lo[s];
+      update_base[static_cast<size_t>(s)] = size();
+      for (Int d = lo; d < s; ++d) {
+        const Int id = add_task(TaskKind::kSepUpdate, static_cast<Int>(pi), d, s);
+        add_edge(factor_id[static_cast<size_t>(d)], id);
+        if (part.seg_level[d] > 0) {
+          // An internal d consumes U_{e,j} of its whole strict subtree;
+          // depending on the two children suffices (they cover the rest
+          // transitively).
+          add_edge(update_id(part.seg_children[d][0], s), id);
+          add_edge(update_id(part.seg_children[d][1], s), id);
+        }
+      }
+      const Int fid = add_task(TaskKind::kSepFactor, static_cast<Int>(pi), s);
+      add_edge(update_id(part.seg_children[s][0], s), fid);
+      add_edge(update_id(part.seg_children[s][1], s), fid);
+      factor_id[static_cast<size_t>(s)] = fid;
+    }
+  }
+  finalize();
+}
+
+}  // namespace basker::sched

@@ -1,0 +1,99 @@
+// Explicit task DAG over Basker's numeric factorization.
+//
+// The static schedule of core/numeric.cpp maps one thread per separator-tree
+// leaf, which welds the tree depth to the team size (and the team size to
+// powers of two — the paper's §III-C limitation). This graph decouples them:
+// symbolic lowers the fine-BTF block list and every ND part's separator tree
+// into tasks whose *arithmetic is a pure function of the analysis*, and the
+// scheduler (sched/scheduler.hpp) executes them on any number of threads.
+// Identical analysis -> identical per-task results -> bit-identical factors
+// at every team size, including non-powers of two.
+//
+// Task kinds (per ND part; segments in postorder, `j` a separator, `d` a
+// strict descendant of `j`):
+//   kFineBlock    factor one small fine-BTF diagonal block (no deps).
+//   kLeafFactor   factor leaf diagonal LU_dd plus its off-diagonal L blocks
+//                 toward every ancestor (no deps).
+//   kSepUpdate    compute the full off-diagonal block U_dj = L_dd^{-1} ^A_dj,
+//                 where ^A_dj is A_dj reduced by the partial products
+//                 L_de * U_ej of every strict descendant e of d, accumulated
+//                 in ascending postorder. Deps: factor(d) and, when d is
+//                 internal, U_{c,j} of d's two children (which transitively
+//                 cover every deeper descendant's factor and update).
+//   kSepFactor    reduce + factor the diagonal block ^A_jj with pivoting and
+//                 form the L blocks toward j's ancestors. Deps: U_{c,j} of
+//                 j's two children.
+//
+// Dependency counters live in the *scheduler*, not here: the graph is built
+// once per symbolic analysis and replayed unchanged by every numeric
+// (re)factorization.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "basker/common/types.hpp"
+
+namespace basker {
+struct Analysis;  // core/structure.hpp
+}
+
+namespace basker::sched {
+
+enum class TaskKind : std::uint8_t {
+  kFineBlock,   ///< seg = coarse BTF block id
+  kLeafFactor,  ///< part + seg = leaf segment
+  kSepUpdate,   ///< part + seg = descendant d, target = separator j
+  kSepFactor,   ///< part + seg = separator segment
+};
+
+struct Task {
+  TaskKind kind = TaskKind::kFineBlock;
+  Int part = kInvalid;    ///< ND part index, kInvalid for fine blocks
+  Int seg = kInvalid;     ///< see TaskKind
+  Int target = kInvalid;  ///< kSepUpdate: the separator being updated
+  Int ndeps = 0;          ///< static in-degree
+  Int succ_begin = 0;     ///< [succ_begin, succ_end) into successors()
+  Int succ_end = 0;
+};
+
+class TaskGraph {
+ public:
+  /// Lower a full analysis (fine-BTF blocks + every ND part) into the DAG.
+  /// Task ids are assigned in a deterministic order: fine blocks first (in
+  /// an.fine_blocks order), then per part, per segment in postorder.
+  void build(const Analysis& an);
+
+  // -- Generic construction (used by build() and by the stress tests). ----
+  void clear();
+  Int add_task(TaskKind kind, Int part, Int seg, Int target = kInvalid);
+  /// Declare that `dep` must complete before `task` starts. Call between
+  /// add_task() and finalize().
+  void add_edge(Int dep, Int task);
+  /// Freeze: flatten successor lists and collect roots.
+  void finalize();
+
+  Int size() const { return static_cast<Int>(tasks_.size()); }
+  bool empty() const { return tasks_.empty(); }
+  const Task& task(Int id) const { return tasks_[static_cast<size_t>(id)]; }
+  /// Successor task ids of `id` (valid after finalize()).
+  const Int* succ_begin(Int id) const {
+    return successors_.data() + tasks_[static_cast<size_t>(id)].succ_begin;
+  }
+  const Int* succ_end(Int id) const {
+    return successors_.data() + tasks_[static_cast<size_t>(id)].succ_end;
+  }
+  /// Tasks with no dependencies, in ascending id order.
+  const std::vector<Int>& roots() const { return roots_; }
+  long long num_edges() const { return static_cast<long long>(successors_.size()); }
+
+ private:
+  std::vector<Task> tasks_;
+  std::vector<std::vector<Int>> pending_succ_;  ///< pre-finalize edge lists
+  std::vector<Int> successors_;                 ///< flattened after finalize
+  std::vector<Int> roots_;
+  bool finalized_ = false;
+};
+
+}  // namespace basker::sched

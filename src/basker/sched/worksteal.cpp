@@ -1,0 +1,12 @@
+#include "basker/sched/worksteal.hpp"
+
+namespace basker::sched {
+
+std::vector<Int> victim_order(Int tid, Int p) {
+  std::vector<Int> order;
+  order.reserve(static_cast<size_t>(p > 0 ? p - 1 : 0));
+  for (Int k = 1; k < p; ++k) order.push_back((tid + k) % p);
+  return order;
+}
+
+}  // namespace basker::sched

@@ -1,0 +1,121 @@
+// Work-stealing deque (Chase & Lev, SPAA'05) storing task ids.
+//
+// Protocol: the owning thread push()es and pop()s at the bottom (LIFO — a
+// freshly enabled successor is hot in the owner's cache), thieves steal()
+// from the top (FIFO — the oldest, usually largest-subtree task migrates,
+// the classic Cilk heuristic). The single racy hand-off — owner and thief
+// contending for the last element — is resolved by a compare-and-swap on
+// `top`; every other operation is wait-free.
+//
+// The classic algorithm uses standalone atomic fences; this implementation
+// uses seq_cst operations on top/bottom instead, which ThreadSanitizer
+// models precisely (standalone fences it does not), keeping the TSan
+// config (-DBASKER_SANITIZE_THREAD=ON) authoritative for the deque tests.
+//
+// Capacity is fixed at init() time and must bound the number of push()es
+// between resets. The scheduler sizes every deque to the total task count
+// of the graph — each task is pushed to exactly one deque when it becomes
+// ready, so a buffer index is written at most once per run and the
+// overwrite/ABA hazards of the growable variant cannot arise.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "basker/common/error.hpp"
+#include "basker/common/types.hpp"
+
+namespace basker::sched {
+
+class WorkDeque {
+ public:
+  WorkDeque() = default;
+  WorkDeque(const WorkDeque&) = delete;
+  WorkDeque& operator=(const WorkDeque&) = delete;
+
+  /// Allocate a buffer for at most `max_pushes` push()es between resets.
+  void init(Int max_pushes) {
+    Int cap = 1;
+    while (cap < max_pushes) cap *= 2;
+    if (cap > cap_) {
+      buf_ = std::make_unique<std::atomic<Int>[]>(static_cast<size_t>(cap));
+      cap_ = cap;
+    }
+    reset();
+  }
+
+  /// Empty the deque (no concurrent access allowed).
+  void reset() {
+    pushes_ = 0;
+    top_.store(0, std::memory_order_relaxed);
+    bottom_.store(0, std::memory_order_relaxed);
+  }
+
+  /// Owner only: append at the bottom.
+  void push(Int task) {
+    BASKER_REQUIRE(++pushes_ <= cap_, "WorkDeque: capacity exceeded");
+    const long long b = bottom_.load(std::memory_order_relaxed);
+    buf_[b & (cap_ - 1)].store(task, std::memory_order_relaxed);
+    // seq_cst publish: makes the slot store visible to any thief whose
+    // bottom load observes b + 1, and orders it against the thief's
+    // top/bottom scan.
+    bottom_.store(b + 1, std::memory_order_seq_cst);
+  }
+
+  /// Owner only: take the most recently pushed task. False when empty.
+  bool pop(Int& out) {
+    const long long b = bottom_.load(std::memory_order_relaxed) - 1;
+    // Reserve the bottom slot before reading top: a thief that loads
+    // `bottom` after this store sees the shrunken deque.
+    bottom_.store(b, std::memory_order_seq_cst);
+    long long t = top_.load(std::memory_order_seq_cst);
+    if (t > b) {  // already empty
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      return false;
+    }
+    out = buf_[b & (cap_ - 1)].load(std::memory_order_relaxed);
+    if (t == b) {
+      // Last element: race the thieves for it via the top CAS.
+      const bool won = top_.compare_exchange_strong(
+          t, t + 1, std::memory_order_seq_cst, std::memory_order_relaxed);
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      return won;
+    }
+    return true;
+  }
+
+  /// Any thread: take the oldest task. False when empty or when another
+  /// thief (or the owner, on the last element) won the race.
+  bool steal(Int& out) {
+    long long t = top_.load(std::memory_order_seq_cst);
+    const long long b = bottom_.load(std::memory_order_seq_cst);
+    if (t >= b) return false;
+    out = buf_[t & (cap_ - 1)].load(std::memory_order_relaxed);
+    return top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                        std::memory_order_relaxed);
+  }
+
+  /// Approximate size (exact when quiescent).
+  long long size() const {
+    return bottom_.load(std::memory_order_acquire) -
+           top_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::unique_ptr<std::atomic<Int>[]> buf_;
+  Int cap_ = 0;
+  Int pushes_ = 0;  ///< owner-side push count since reset (capacity check)
+  alignas(64) std::atomic<long long> top_{0};
+  alignas(64) std::atomic<long long> bottom_{0};
+};
+
+/// Deterministic victim order for thread `tid` in a team of `p`: the
+/// ring (tid+1) % p, (tid+2) % p, ... — every thief scans every other
+/// deque exactly once per round, in an order that is a pure function of
+/// (tid, p). Determinism here is about *reproducible scheduling traces*
+/// (and testability), not numeric results: task results are independent
+/// of who executes them.
+std::vector<Int> victim_order(Int tid, Int p);
+
+}  // namespace basker::sched

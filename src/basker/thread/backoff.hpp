@@ -13,7 +13,10 @@
 //              notifies (kCondvar, futex-style; see EpochCounters).
 #pragma once
 
+#include <atomic>
 #include <chrono>
+#include <condition_variable>
+#include <mutex>
 #include <thread>
 
 #include "basker/common/types.hpp"
@@ -32,6 +35,52 @@ struct BackoffPolicy {
   Int yield = 256;   ///< yields before parking
   ParkMode park = ParkMode::kSleep;
   Int park_micros = 50;  ///< sleep/park-timeout length once parked
+};
+
+/// The one ParkMode::kCondvar idiom, single-sourced: waiters park on a
+/// condition variable behind a parked-waiter count, so the producer-side
+/// fast path (nobody parked) is one relaxed-ish load and no lock; parked
+/// waits are *timed*, bounding the unavoidable race where the producer's
+/// notify lands between a waiter's decision to park and its wait.
+/// Used by SpinBarrier and the work-stealing scheduler. EpochCounters
+/// deliberately does NOT use this class's gate: it keeps a *per-slot*
+/// parked count (so a signal on one counter stays lock-free while waiters
+/// of other counters are parked) — same pattern, finer gate.
+class ParkingLot {
+ public:
+  /// Park for at most `micros`, waking early when notified and `done()`
+  /// holds (evaluated under the lot's mutex).
+  template <typename Pred>
+  void park(Int micros, Pred&& done) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    parked_.fetch_add(1, std::memory_order_acq_rel);
+    cv_.wait_for(lock, std::chrono::microseconds(micros),
+                 std::forward<Pred>(done));
+    parked_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+
+  /// Park for at most `micros`, waking on any notify — for waiters whose
+  /// wake condition cannot be evaluated under the lock (e.g. "some deque
+  /// may have work"): the caller's outer loop re-checks after waking.
+  void park(Int micros) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    parked_.fetch_add(1, std::memory_order_acq_rel);
+    cv_.wait_for(lock, std::chrono::microseconds(micros));
+    parked_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+
+  /// Producer side: wake every parked waiter; free when nobody is parked.
+  void notify_if_parked() {
+    if (parked_.load(std::memory_order_acquire) > 0) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      cv_.notify_all();
+    }
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::atomic<int> parked_{0};
 };
 
 /// Issue a CPU pause/yield hint without a syscall.

@@ -24,8 +24,8 @@ namespace basker {
 /// Centralized sense-reversing barrier. Waiters follow a BackoffPolicy
 /// (spin -> yield -> park) instead of a hard-coded yield loop, so
 /// SyncMode::kBarrier honors BaskerOptions::backoff; in ParkMode::kCondvar
-/// the last arriver wakes parked waiters (same gated-notify idiom as
-/// EpochCounters: the no-parked-waiter fast path is one relaxed load).
+/// the last arriver wakes waiters parked on the shared ParkingLot
+/// (thread/backoff.hpp — the single-sourced gated-notify idiom).
 class SpinBarrier {
  public:
   explicit SpinBarrier(Int n, BackoffPolicy policy = {})
@@ -36,24 +36,16 @@ class SpinBarrier {
     if (count_.fetch_add(1, std::memory_order_acq_rel) == n_ - 1) {
       count_.store(0, std::memory_order_relaxed);
       sense_.store(!sense, std::memory_order_release);
-      if (parked_.load(std::memory_order_acquire) > 0) {
-        std::lock_guard<std::mutex> lock(mutex_);
-        cv_.notify_all();
-      }
+      lot_.notify_if_parked();
     } else {
       Backoff backoff(policy_);
       while (sense_.load(std::memory_order_acquire) == sense) {
         if (!backoff.step()) continue;
-        // kCondvar: park until the releasing thread notifies. The timed
-        // wait bounds the race where the release lands between our parked
-        // increment and the wait.
-        std::unique_lock<std::mutex> lock(mutex_);
-        parked_.fetch_add(1, std::memory_order_acq_rel);
-        cv_.wait_for(lock, std::chrono::microseconds(policy_.park_micros),
-                     [&] {
-                       return sense_.load(std::memory_order_acquire) != sense;
-                     });
-        parked_.fetch_sub(1, std::memory_order_acq_rel);
+        // kCondvar: park until the releasing thread notifies (the lot's
+        // timed wait bounds the notify-vs-park race).
+        lot_.park(policy_.park_micros, [&] {
+          return sense_.load(std::memory_order_acquire) != sense;
+        });
       }
     }
   }
@@ -63,9 +55,7 @@ class SpinBarrier {
   BackoffPolicy policy_;
   std::atomic<Int> count_{0};
   std::atomic<bool> sense_{false};
-  std::atomic<int> parked_{0};
-  std::mutex mutex_;
-  std::condition_variable cv_;
+  ParkingLot lot_;
 };
 
 /// Cache-line padded monotone epoch counters for point-to-point
@@ -76,6 +66,13 @@ class SpinBarrier {
 /// Waiters follow a BackoffPolicy; in ParkMode::kCondvar they park on the
 /// shared parking lot and signal() wakes them. The signal fast path (no
 /// parked waiters) is one release store plus one relaxed load.
+///
+/// This intentionally does NOT reuse thread/backoff.hpp's ParkingLot
+/// gate: the parked count here is *per slot*, so a signal on one counter
+/// stays lock-free even while waiters of other counters are parked —
+/// ParkingLot's single shared count would serialize every signal whenever
+/// anyone is parked anywhere. Same pattern, finer gate (see the
+/// ParkingLot doc).
 class EpochCounters {
  public:
   void init(Int count) {

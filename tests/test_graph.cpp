@@ -280,6 +280,48 @@ TEST(MinDegree, HandlesIsolatedVerticesAndTinyGraphs) {
   EXPECT_TRUE(is_permutation(min_degree_order(symmetrize_pattern(gen::arrowhead(20))), 20));
 }
 
+TEST(MinDegree, DefersDenseRowsOnArrowhead) {
+  // A supply-rail-style hub (degree n-1, far past the ~10*sqrt(n) cutoff)
+  // must be deferred to the tail of the order, where eliminating it causes
+  // no fill — and must not blow the quotient graph up along the way.
+  const Int n = 400;
+  Triplets t(n, n);
+  for (Int i = 0; i < n; ++i) {
+    t.add(i, i, 1.0);
+    if (i > 0) {
+      t.add(0, i, 1.0);  // hub is vertex 0: the worst case for a
+      t.add(i, 0, 1.0);  // natural-order elimination
+    }
+  }
+  const Csc g = t.to_csc();
+  const std::vector<Int> perm = min_degree_order(g);
+  ASSERT_TRUE(is_permutation(perm, n));
+  EXPECT_EQ(perm.back(), 0) << "dense hub not deferred to the tail";
+  // Hub-last elimination of a star is fill-free: L keeps exactly the
+  // original n-1 below-diagonal entries.
+  EXPECT_EQ(symbolic_fill_count(g, perm), static_cast<Size>(n - 1));
+  // Natural order (hub first) is the disaster the deferral exists to
+  // avoid: the first pivot links every remaining pair.
+  std::vector<Int> natural(static_cast<size_t>(n));
+  std::iota(natural.begin(), natural.end(), 0);
+  EXPECT_GT(symbolic_fill_count(g, natural), static_cast<Size>(n));
+  // Deterministic.
+  EXPECT_EQ(min_degree_order(g), perm);
+}
+
+TEST(MinDegree, DenseDeferralSkippedOnUniformlyDenseGraphs) {
+  // When most variables qualify as "dense" the graph is simply dense;
+  // deferral must disarm instead of degenerating to the identity order.
+  // (n = 200 puts every degree-199 vertex past the ~141 cutoff.)
+  const Int n = 200;
+  Triplets t(n, n);
+  for (Int i = 0; i < n; ++i) {
+    for (Int j = 0; j < n; ++j) t.add(i, j, 1.0);
+  }
+  const std::vector<Int> perm = min_degree_order(t.to_csc());
+  EXPECT_TRUE(is_permutation(perm, n));
+}
+
 // --- Nested dissection --------------------------------------------------------
 
 /// No edge may connect the left and right subtree vertex sets of any
@@ -328,6 +370,75 @@ TEST_P(NdProperty, RandomGraphSeparation) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Levels, NdProperty, ::testing::Values(1, 2, 3));
+
+TEST(NdMerge, MergeBottomLevelMatchesShallowerDissectionFixedScheme) {
+  // Bisection is top-down, so for a FIXED scheme merging the bottom level
+  // of a depth-L tree must reproduce a direct depth-(L-1) dissection
+  // exactly: same segment ranges, identical separator contents, leaves
+  // equal as sets (interior order may differ — merged leaves keep the
+  // [left | right | sep] sub-dissection order). kLevelSet is the fixed
+  // scheme here: under kMultilevel the whole-tree multilevel-vs-level-set
+  // guard re-arbitrates at each depth and the winner may flip, which is
+  // exactly why merge_bottom_level documents that caveat.
+  const Csc g = symmetrize_pattern(gen::mesh2d(20, 20, 0.0, 2));
+  for (Int levels : {1, 2, 3}) {
+    const NdTree deep = nested_dissect(g, levels, false, NdScheme::kLevelSet);
+    const NdTree merged = merge_bottom_level(deep);
+    const NdTree direct =
+        nested_dissect(g, levels - 1, false, NdScheme::kLevelSet);
+
+    EXPECT_EQ(merged.nlevels, levels - 1);
+    EXPECT_EQ(merged.nleaves, deep.nleaves / 2);
+    EXPECT_EQ(merged.nsegments, 2 * merged.nleaves - 1);
+    EXPECT_EQ(merged.perm, deep.perm);  // perm preserved verbatim
+    ASSERT_EQ(merged.seg_offset, direct.seg_offset);
+    EXPECT_EQ(merged.seg_level, direct.seg_level);
+    EXPECT_EQ(merged.seg_parent, direct.seg_parent);
+    EXPECT_TRUE(is_permutation(merged.perm, g.ncols));
+    expect_separation(g, merged);
+    for (Int s = 0; s < merged.nsegments; ++s) {
+      const auto mb = merged.perm.begin() + merged.seg_offset[s];
+      const auto me = merged.perm.begin() + merged.seg_offset[s + 1];
+      const auto db = direct.perm.begin() + direct.seg_offset[s];
+      if (merged.is_leaf(s)) {
+        EXPECT_EQ(std::multiset<Int>(mb, me),
+                  std::multiset<Int>(db, db + (me - mb)))
+            << "merged leaf " << s << " holds different vertices";
+      } else {
+        EXPECT_TRUE(std::equal(mb, me, db))
+            << "separator " << s << " differs from the direct dissection";
+      }
+    }
+    EXPECT_EQ(merged.separator_mass(), direct.separator_mass());
+  }
+}
+
+TEST(NdMerge, MergedMultilevelTreeIsStructurallyValid) {
+  // Under kMultilevel the merged tree need not equal a fresh shallower
+  // dissection (the whole-tree guard may pick a different scheme per
+  // depth), but it must still be a valid tree over the same permutation:
+  // separation holds, ranges tile, and the mass drops by exactly the
+  // merged bottom-level separators.
+  for (auto make : {+[] { return gen::mesh2d(20, 20, 0.0, 2); },
+                    +[] { return gen::random_square(300, 3, 1.0, 31); }}) {
+    const Csc g = symmetrize_pattern(make());
+    for (Int levels : {1, 2, 3}) {
+      const NdTree deep = nested_dissect(g, levels, false);
+      const NdTree merged = merge_bottom_level(deep);
+      EXPECT_EQ(merged.perm, deep.perm);
+      EXPECT_EQ(merged.nlevels, levels - 1);
+      EXPECT_EQ(merged.seg_offset.back(), g.ncols);
+      EXPECT_TRUE(is_permutation(merged.perm, g.ncols));
+      expect_separation(g, merged);
+      Int bottom_sep_mass = 0;
+      for (Int s = 0; s < deep.nsegments; ++s) {
+        if (deep.seg_level[s] == 1) bottom_sep_mass += deep.seg_size(s);
+      }
+      EXPECT_EQ(merged.separator_mass(),
+                deep.separator_mass() - bottom_sep_mass);
+    }
+  }
+}
 
 TEST(Nd, ZeroLevelsIsSingleLeaf) {
   const Csc g = symmetrize_pattern(gen::mesh2d(5, 5, 0.0, 2));

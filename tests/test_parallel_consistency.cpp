@@ -7,13 +7,20 @@
 //       work between threads but never reorders the arithmetic, so any
 //       divergence is a data race or nondeterministic reduction order.
 //
-// Bit-identity is asserted per team size, not across team sizes: the ND
-// separator tree deepens with p (core/symbolic.cpp), so different p values
-// legally produce different (equally valid) elimination orders. Across p
-// the tests assert agreement of the *solutions* to roundoff instead.
+// Under the static schedules bit-identity is asserted per team size, not
+// across team sizes: the ND separator tree deepens with p
+// (core/symbolic.cpp), so different p values legally produce different
+// (equally valid) elimination orders. Across p the tests assert agreement
+// of the *solutions* to roundoff instead.
+//
+// Under SyncMode::kTaskDag the bar is higher: the tree shape and every
+// task's arithmetic are independent of the team size, so the factors must
+// be BIT-IDENTICAL across *all* team sizes — including the non-powers of
+// two (p = 3, 5, 6) only the task-DAG schedule grants.
 #include <gtest/gtest.h>
 
 #include <cctype>
+#include <utility>
 
 #include "basker/core/basker.hpp"
 #include "basker/gen/generators.hpp"
@@ -104,6 +111,44 @@ TEST_P(ParallelConsistency, ResidualAndBitIdenticalFactorsAtEveryTeamSize) {
   }
 }
 
+TEST_P(ParallelConsistency, TaskDagBitIdenticalAcrossAllTeamSizes) {
+  const Csc a = gen::make_by_name(GetParam(), kTestScale);
+  const std::vector<Scalar> rhs = gen::random_rhs(a.ncols, 77);
+
+  FactorDigest expected;
+  bool have_expected = false;
+  for (Int p : {1, 2, 3, 5, 6, 8}) {
+    BaskerOptions opt;
+    opt.nthreads = p;
+    opt.sync_mode = SyncMode::kTaskDag;
+    Basker solver(opt);
+    ASSERT_EQ(solver.nthreads(), p)
+        << "kTaskDag must grant non-power-of-two teams verbatim";
+    ASSERT_EQ(solver.factor(a), Status::kOk) << GetParam() << " p=" << p;
+
+    std::vector<Scalar> x = rhs;
+    ASSERT_EQ(solver.solve(x), Status::kOk);
+    EXPECT_LT(relative_residual(a, x, rhs), 1e-8) << GetParam() << " p=" << p;
+
+    // One digest rules every team size: the DAG and the per-task
+    // arithmetic are p-independent, so any cross-p difference is a data
+    // race or a schedule-dependent reduction order.
+    const FactorDigest d = digest_factors(solver);
+    if (!have_expected) {
+      expected = d;
+      have_expected = true;
+    } else {
+      EXPECT_TRUE(expected == d)
+          << GetParam() << " p=" << p << ": factors differ from p=1";
+    }
+
+    // Refactor must replay the DAG to the same bits.
+    ASSERT_EQ(solver.refactor(a), Status::kOk);
+    EXPECT_TRUE(expected == digest_factors(solver))
+        << GetParam() << " p=" << p << ": refactor diverged";
+  }
+}
+
 std::vector<std::string> all_suite_names() {
   std::vector<std::string> names;
   for (const auto& e : gen::table1_suite()) names.push_back(e.name);
@@ -142,6 +187,52 @@ TEST(ParallelConsistencyModes, SyncModesAndChunksAgreeBitExactly) {
       EXPECT_TRUE(expected == digest_factors(solver))
           << "sync=" << (sync == SyncMode::kBarrier ? "barrier" : "p2p")
           << " chunk=" << chunk;
+    }
+  }
+}
+
+TEST(ParallelConsistencyModes, StaticScheduleRoundsNonPowerOfTwoRequests) {
+  // The static schedule still maps one thread per separator-tree leaf, so
+  // non-power-of-two requests round down — and the rounded run must be
+  // bit-identical to requesting the rounded count directly.
+  const Csc a = gen::make_by_name("G2_Circuit", kTestScale);
+  for (auto [requested, granted] : {std::pair<Int, Int>{3, 2},
+                                    std::pair<Int, Int>{5, 4},
+                                    std::pair<Int, Int>{6, 4}}) {
+    BaskerOptions opt;
+    opt.nthreads = requested;
+    Basker solver(opt);
+    EXPECT_EQ(solver.nthreads(), granted) << "requested " << requested;
+    ASSERT_EQ(solver.factor(a), Status::kOk);
+    BaskerOptions direct;
+    direct.nthreads = granted;
+    Basker ref(direct);
+    ASSERT_EQ(ref.factor(a), Status::kOk);
+    EXPECT_TRUE(digest_factors(solver) == digest_factors(ref));
+  }
+}
+
+TEST(ParallelConsistencyModes, TaskDagCountersReportStealsAndTasks) {
+  // The DAG stats must account every lowered task exactly once, at every
+  // team size (steal counts are schedule noise; task counts are not).
+  const Csc a = gen::make_by_name("Freescale1", kTestScale);
+  long long expected_tasks = -1;
+  for (Int p : {1, 3, 4}) {
+    BaskerOptions opt;
+    opt.nthreads = p;
+    opt.sync_mode = SyncMode::kTaskDag;
+    Basker solver(opt);
+    ASSERT_EQ(solver.factor(a), Status::kOk);
+    const BaskerStats& st = solver.stats();
+    EXPECT_GT(st.dag_tasks, 0);
+    if (expected_tasks < 0) expected_tasks = st.dag_tasks;
+    EXPECT_EQ(st.dag_tasks, expected_tasks) << "p=" << p;
+    ASSERT_EQ(static_cast<Int>(st.dag_exec_per_thread.size()), p);
+    long long sum = 0;
+    for (long long e : st.dag_exec_per_thread) sum += e;
+    EXPECT_EQ(sum, st.dag_tasks);
+    if (p == 1) {
+      EXPECT_EQ(st.dag_steals, 0);
     }
   }
 }

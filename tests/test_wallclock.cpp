@@ -150,7 +150,58 @@ TEST(Wallclock, ReportRoundTripsThroughJson) {
     EXPECT_EQ(copy.nnz_lu, orig.nnz_lu);
     EXPECT_EQ(copy.flops, orig.flops);
     EXPECT_EQ(copy.phase_seconds, orig.phase_seconds);
+    EXPECT_EQ(static_cast<int>(copy.sync), static_cast<int>(orig.sync));
+    EXPECT_EQ(copy.dag_tasks, orig.dag_tasks);
+    EXPECT_EQ(copy.dag_steals, orig.dag_steals);
   }
+}
+
+TEST(Wallclock, ScheduleSweepTagsRunsAndSkipsDuplicates) {
+  // Both schedules at counts {1, 2, 3}: the static schedule rounds 3 down
+  // to 2 (duplicate, skipped), the task-DAG schedule grants it — so 5
+  // runs, each tagged, the DAG ones carrying task counts.
+  const Csc a = wallclock_matrix();
+  bb::WallclockConfig cfg;
+  cfg.thread_counts = {1, 2, 3};
+  cfg.schedules = {SyncMode::kPointToPoint, SyncMode::kTaskDag};
+  cfg.repeats = 1;
+  const bb::WallclockReport report = bb::measure_scaling("sched", a, cfg);
+  ASSERT_EQ(report.runs.size(), 5u);
+  int n_static = 0, n_dag = 0;
+  long long dag_tasks = -1;
+  for (const bb::MeasuredRun& run : report.runs) {
+    ASSERT_TRUE(run.ok());
+    if (run.sync == SyncMode::kTaskDag) {
+      ++n_dag;
+      EXPECT_GT(run.dag_tasks, 0);
+      // The DAG is p-independent: same task count at every team size.
+      if (dag_tasks < 0) dag_tasks = run.dag_tasks;
+      EXPECT_EQ(run.dag_tasks, dag_tasks);
+    } else {
+      ++n_static;
+      EXPECT_EQ(run.dag_tasks, 0);
+    }
+  }
+  EXPECT_EQ(n_static, 2);  // p = 1, 2 (3 rounded to 2: duplicate)
+  EXPECT_EQ(n_dag, 3);     // p = 1, 2, 3
+  // JSON carries the tag.
+  const bb::JsonValue doc = bb::report_to_json(report);
+  int tagged = 0;
+  const bb::JsonValue& runs = doc.at("runs");
+  for (size_t i = 0; i < runs.size(); ++i) {
+    const std::string& s = runs.at(i).at("schedule").as_string();
+    EXPECT_TRUE(s == "static" || s == "taskdag");
+    tagged += s == "taskdag" ? 1 : 0;
+  }
+  EXPECT_EQ(tagged, 3);
+}
+
+TEST(Wallclock, DenseThreadCountsCoverEveryTeamSize) {
+  EXPECT_EQ(bb::dense_thread_counts(5), (std::vector<Int>{1, 2, 3, 4, 5}));
+  const std::vector<Int> counts = bb::dense_thread_counts();
+  ASSERT_FALSE(counts.empty());
+  EXPECT_EQ(counts.front(), 1);
+  EXPECT_GE(counts.back(), 4);
 }
 
 TEST(Wallclock, TopLevelDocumentShape) {
