@@ -22,18 +22,22 @@ predicts p-core time, the host delivers 1-core time).
 --schedule mode consumes the same wallclock document, produced with
 `bench_fig5 --measured --schedule both --json`, and diffs the static
 vs task-DAG schedules: per matrix and team size it prints both measured
-wall times and their ratio, plus the DAG's task/steal counts. Gates: any
-failed run fails; any residual above --max-residual fails; and at
-power-of-two team sizes (the static schedule's home turf) the static
+wall times and their ratio, plus the DAG's task/chunk/steal counts.
+Gates: any failed run fails; any residual above --max-residual fails;
+at power-of-two team sizes (the static schedule's home turf) the static
 wall time must not exceed --max-regression times the task-DAG time —
 the DAG serves as the in-document reference, so a static-path slowdown
-cannot hide. Pairs where both times are under --min-seconds are noise
+cannot hide; and at p = 1 the task-DAG time must not exceed
+--max-dag-overhead times the static time — the work-adaptive tree
+depth and column-chunked update tasks exist precisely to close the
+DAG's serial overhead, so a p = 1 blowup is a regression of that
+machinery. Pairs where both times are under --min-seconds are noise
 and skipped, and so are pairs with p above the host's core count: an
 oversubscribed static schedule burns its only core busy-waiting while
 the DAG degrades gracefully, so their ratio is scheduling noise, not a
 regression signal (the same reason the default mode's --tolerance is
 off by default on undersized hosts). With only one schedule present
-the ratio gate is skipped and the mode degrades to the
+the ratio gates are skipped and the mode degrades to the
 failure/residual gate.
 
 Usage:
@@ -209,7 +213,8 @@ def schedule_main(doc, args):
     print(f"benchmark: {doc.get('benchmark', '?')}  "
           f"(host CPUs: {cpus if cpus is not None else '?'})")
     header = (f"{'matrix':<14} {'p':>3} {'static(s)':>10} {'taskdag(s)':>11} "
-              f"{'static/dag':>10} {'tasks':>6} {'steals':>7} {'residual':>9}")
+              f"{'static/dag':>10} {'tasks':>6} {'chunks':>6} {'steals':>7} "
+              f"{'residual':>9}")
     print(header)
     print("-" * len(header))
 
@@ -218,6 +223,8 @@ def schedule_main(doc, args):
     bad_residual = 0
     gated_pairs = 0
     worst = None  # (ratio, matrix, p)
+    overhead_pairs = 0
+    worst_overhead = None  # (dag/static ratio at p=1, matrix)
     for report in reports:
         name = report.get("matrix", "?")
         by_p = {}
@@ -244,15 +251,34 @@ def schedule_main(doc, args):
             d_col = fmt(d_t) if d_t is not None else "-"
             ratio_col = fmt(ratio, 2) + "x" if ratio is not None else "-"
             tasks_col = f"{dag.get('dag_tasks', 0):.0f}" if dag else "-"
+            chunks_col = f"{dag.get('dag_update_chunks', 0):.0f}" if dag else "-"
             steals_col = f"{dag.get('dag_steals', 0):.0f}" if dag else "-"
             res = max(r.get("residual", 0.0) for r in by_p[p].values())
             print(f"{name:<14} {p:>3} {s_col:>10} {d_col:>11} "
-                  f"{ratio_col:>10} {tasks_col:>6} {steals_col:>7} "
-                  f"{res:>9.1e}")
-            # Ratio gate only where the static schedule natively runs
-            # (powers of two), the host can actually run the team in
-            # parallel (p <= cores), and the times clear the noise floor.
-            if ratio is None or p & (p - 1) != 0:
+                  f"{ratio_col:>10} {tasks_col:>6} {chunks_col:>6} "
+                  f"{steals_col:>7} {res:>9.1e}")
+            if ratio is None:
+                continue
+            # DAG-overhead gate at p = 1: the serial run has no
+            # oversubscription excuse, so the task-DAG machinery itself
+            # (adaptive depth, chunk grid, scheduler) must stay within
+            # --max-dag-overhead of the static schedule.
+            if p == 1 and max(s_t, d_t) >= args.min_seconds:
+                overhead = d_t / s_t if s_t > 0 else None
+                if overhead is not None:
+                    overhead_pairs += 1
+                    if worst_overhead is None or overhead > worst_overhead[0]:
+                        worst_overhead = (overhead, name)
+                    if overhead > args.max_dag_overhead:
+                        print(f"bench_compare: {name} p=1: task-DAG schedule "
+                              f"{fmt(overhead, 2)}x the static time (limit "
+                              f"{args.max_dag_overhead})", file=sys.stderr)
+                        status = 1
+            # Static-regression gate only where the static schedule
+            # natively runs (powers of two), the host can actually run the
+            # team in parallel (p <= cores), and the times clear the noise
+            # floor.
+            if p & (p - 1) != 0:
                 continue
             if cpus is not None and p > cpus:
                 continue
@@ -267,6 +293,14 @@ def schedule_main(doc, args):
                       f"{args.max_regression})", file=sys.stderr)
                 status = 1
 
+    if worst_overhead is not None:
+        print(f"\ntaskdag/static at p=1: worst {fmt(worst_overhead[0], 2)}x "
+              f"({worst_overhead[1]}) over {overhead_pairs} gated pairs "
+              f"(limit {args.max_dag_overhead}, noise floor "
+              f"{args.min_seconds}s)")
+    else:
+        print("\nno p=1 static-vs-taskdag pairs above the noise floor — "
+              "DAG-overhead gate skipped")
     if worst is not None:
         print(f"\nstatic/taskdag at power-of-two p <= {cpus} cores: worst "
               f"{fmt(worst[0], 2)}x ({worst[1]} @ p={worst[2]}) over "
@@ -320,6 +354,11 @@ def main():
     parser.add_argument("--max-worst", type=float, default=1.25,
                         help="orderings: allowed worst per-matrix "
                              "separator-size ratio vs baseline (default 1.25)")
+    parser.add_argument("--max-dag-overhead", type=float, default=1.10,
+                        help="schedule: allowed taskdag/static wall-time "
+                             "ratio at p=1 — the serial-overhead gate the "
+                             "chunked tasks and work-adaptive tree depth "
+                             "are held to (default 1.10)")
     args = parser.parse_args()
 
     try:

@@ -99,6 +99,7 @@ WallclockReport measure_scaling(const std::string& name, const Csc& a,
       run.flops = solver.stats().factor_flops;
       run.dag_tasks = solver.stats().dag_tasks;
       run.dag_steals = solver.stats().dag_steals;
+      run.dag_update_chunks = solver.stats().dag_update_chunks;
       if (report.nnz_lu == 0) {
         report.nnz_lu = run.nnz_lu;
         report.flops = run.flops;
@@ -173,6 +174,7 @@ JsonValue report_to_json(const WallclockReport& report) {
     r.set("flops", run.flops);
     r.set("dag_tasks", static_cast<double>(run.dag_tasks));
     r.set("dag_steals", static_cast<double>(run.dag_steals));
+    r.set("dag_update_chunks", static_cast<double>(run.dag_update_chunks));
     JsonValue phases = JsonValue::array();
     for (double s : run.phase_seconds) phases.push(s);
     r.set("phase_seconds", std::move(phases));
@@ -213,6 +215,8 @@ bool report_from_json(const JsonValue& v, WallclockReport& out) {
     run.flops = r.number_or("flops", 0.0);
     run.dag_tasks = static_cast<long long>(r.number_or("dag_tasks", 0.0));
     run.dag_steals = static_cast<long long>(r.number_or("dag_steals", 0.0));
+    run.dag_update_chunks =
+        static_cast<long long>(r.number_or("dag_update_chunks", 0.0));
     const JsonValue& phases = r.at("phase_seconds");
     if (phases.is_array()) {
       for (size_t j = 0; j < phases.size(); ++j) {

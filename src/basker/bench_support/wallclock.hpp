@@ -77,6 +77,11 @@ struct MeasuredRun {
   std::vector<double> phase_seconds;  ///< per-phase wall times of the best run
   long long dag_tasks = 0;   ///< kTaskDag: DAG nodes executed
   long long dag_steals = 0;  ///< kTaskDag: successful deque steals
+  /// kTaskDag: column-chunked separator update tasks in the graph — the
+  /// steal-granularity signal bench_compare.py --schedule prints next to
+  /// the task count (identical at every p; chunking is part of the
+  /// analysis).
+  long long dag_update_chunks = 0;
 
   bool ok() const { return status == Status::kOk; }
 };

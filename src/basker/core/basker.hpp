@@ -91,7 +91,8 @@ class Basker {
   // kernels (arithmetic independent of the executing thread).
   Status run_numeric_dag();
   bool dag_execute(Int tid, Int task_id);
-  bool dag_sep_update(NdPart& part, Int tid, Int d, Int j);
+  bool dag_sep_update(NdPart& part, Int tid, Int d, Int j, Int chunk);
+  bool dag_sep_assemble(NdPart& part, Int d, Int j);
   bool dag_sep_factor(NdPart& part, Int part_idx, Int tid, Int j);
   void solve_nd_part(const NdPart& part, std::vector<Scalar>& y_local,
                      std::vector<Scalar>& x_local) const;

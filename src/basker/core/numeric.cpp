@@ -592,6 +592,8 @@ Status Basker::run_numeric() {
   stats_.dag_steals = 0;
   stats_.dag_exec_per_thread.clear();
   stats_.dag_steal_per_thread.clear();
+  stats_.dag_update_chunks = 0;
+  stats_.dag_assembles = 0;
   ep_.init(nthreads_);
 
   team_->run([this](Int tid) { numeric_thread(tid); });

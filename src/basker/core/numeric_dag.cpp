@@ -9,12 +9,19 @@
 //   kFineBlock     factor_fine_block (fine_btf.cpp), one small BTF block.
 //   kLeafFactor    part_phase_leaves (numeric.cpp), one ND leaf + its
 //                  off-diagonal L blocks.
-//   kSepUpdate     U_dj = L_dd^{-1} ^A_dj for one (descendant, separator)
-//                  pair, the reduction accumulating the partial products
-//                  L_ed * U_ej of d's strict descendants e in ascending
-//                  postorder — a fixed order, unlike the static schedule's
-//                  per-thread W buffers whose subtraction order follows the
-//                  thread numbering.
+//   kSepUpdate     one column chunk of U_dj = L_dd^{-1} ^A_dj for one
+//                  (descendant, separator) pair, the reduction accumulating
+//                  the partial products L_ed * U_ej of d's strict
+//                  descendants e in ascending postorder — a fixed order,
+//                  unlike the static schedule's per-thread W buffers whose
+//                  subtraction order follows the thread numbering. Each
+//                  column's arithmetic is column-local, so the chunk grid
+//                  changes WHERE columns are computed (which task, which
+//                  staging buffer), never their values: factors are
+//                  bit-identical across chunk widths and team sizes alike.
+//   kSepAssemble   splice the staging chunks of a multi-chunk U_dj into
+//                  the monolithic ublk entry (pure concatenation; solve,
+//                  stats and digests keep reading the unchunked layout).
 //   kSepFactor     reduce + Gilbert-Peierls-factor ^A_jj and form the L_kj
 //                  blocks toward every ancestor k, descendants again in
 //                  ascending postorder (same dataflow as the 1D ablation
@@ -37,14 +44,19 @@ namespace {
 /// reduction order the cross-p bit-identity rests on, shared by the
 /// update and factor kernels so it cannot diverge. `rowseg_level` selects
 /// the L block row segment (ancestors of e are indexed by level distance).
+/// `c` is a target-local column: the U block column is read through the
+/// chunk grid of target j (NdPart::seg_chunk_cols), which is a property of
+/// (j, c) alone and therefore shared by every descendant's block.
 /// Returns the flops spent.
 double subtract_descendant_products(const NdPart& part, Int j, Int lo, Int hi,
                                     Int rowseg_level, Int c, SparseAcc& acc) {
   double flops = 0.0;
   for (Int e = lo; e < hi; ++e) {
-    const LuMatrix& ue = part.ublk[e][part.seg_level[j] - part.seg_level[e] - 1];
+    const Int aj = part.seg_level[j] - part.seg_level[e] - 1;
+    Int lc = c;
+    const LuMatrix& ue = part.ublk_col(e, aj, j, lc);
     const LuMatrix& lb = part.lblk[e][rowseg_level - part.seg_level[e] - 1];
-    for (Size p = ue.col_ptr[c]; p < ue.col_ptr[c + 1]; ++p) {
+    for (Size p = ue.col_ptr[lc]; p < ue.col_ptr[lc + 1]; ++p) {
       const Int tp = ue.row_idx[p];
       const Scalar uval = ue.values[p];
       if (uval == 0.0) continue;
@@ -59,23 +71,31 @@ double subtract_descendant_products(const NdPart& part, Int j, Int lo, Int hi,
 
 }  // namespace
 
-bool Basker::dag_sep_update(NdPart& part, Int tid, Int d, Int j) {
+bool Basker::dag_sep_update(NdPart& part, Int tid, Int d, Int j, Int chunk) {
   ThreadWs& ws = *ws_[tid];
-  const Int jcols = part.seg_size(j);
   const Int jo = part.seg_off[j];
   const Int md = part.seg_size(d);
   const Int dof = part.seg_off[d];
   const Int aj = part.seg_level[j] - part.seg_level[d] - 1;  // j in anc[d]
-  LuMatrix& ub = part.ublk[d][aj];
+  const Int nchunks = part.seg_nchunks(j);
+  const Int c0 = part.chunk_lo(j, chunk);
+  const Int ccols = part.chunk_width(j, chunk);
+  // Single-chunk blocks write the monolithic U block directly; multi-chunk
+  // blocks write per-chunk staging that kSepAssemble splices (concurrent
+  // chunks of one block may run on different threads, and LuMatrix columns
+  // close strictly left to right).
+  LuMatrix& ub = nchunks == 1 ? part.ublk[d][static_cast<size_t>(aj)]
+                              : part.ublk_stage[d][static_cast<size_t>(aj)]
+                                               [static_cast<size_t>(chunk)];
 
   Size est = 0;
-  for (Int c = 0; c < jcols; ++c) {
+  for (Int c = c0; c < c0 + ccols; ++c) {
     est += part.asub.col_ptr[jo + c + 1] - part.asub.col_ptr[jo + c];
   }
   const Int nsub = std::max<Int>(1, j - part.seg_sub_lo[j]);
-  ub.init(md, jcols, est / nsub + 64);
+  ub.init(md, ccols, est / nsub + 64);
   if (md == 0) {
-    for (Int c = 0; c < jcols; ++c) ub.close_column(c);
+    for (Int lc = 0; lc < ccols; ++lc) ub.close_column(lc);
     return true;
   }
 
@@ -87,7 +107,8 @@ bool Basker::dag_sep_update(NdPart& part, Int tid, Int d, Int j) {
   const DiagFactor& dg = part.diag[d];
   const Int sub_lo = part.seg_sub_lo[d];
 
-  for (Int c = 0; c < jcols; ++c) {
+  for (Int lc = 0; lc < ccols; ++lc) {
+    const Int c = c0 + lc;
     // ^A_dj(:,c) = A_dj(:,c) minus the strict descendants' products.
     ws.acc.begin();
     gather_segment(part.asub, jo + c, dof, dof + md,
@@ -106,9 +127,41 @@ bool Basker::dag_sep_update(NdPart& part, Int tid, Int d, Int j) {
     for (size_t i = 0; i < ws.out_rows.size(); ++i) {
       ub.append(dg.pinv[ws.out_rows[i]], ws.out_vals[i]);
     }
-    ub.close_column(c);
+    ub.close_column(lc);
   }
   ws.work[part.seg_level[j]] += flops + (ls.flops() - ls0);
+  return true;
+}
+
+bool Basker::dag_sep_assemble(NdPart& part, Int d, Int j) {
+  const Int aj = part.seg_level[j] - part.seg_level[d] - 1;
+  const Int nchunks = part.seg_nchunks(j);
+  auto& stage = part.ublk_stage[d][static_cast<size_t>(aj)];
+  Size total = 0;
+  Size grows = 0;
+  for (Int k = 0; k < nchunks; ++k) {
+    total += stage[static_cast<size_t>(k)].nnz();
+    grows += stage[static_cast<size_t>(k)].grow_events;
+  }
+  // Exact-size concatenation: chunk tasks already produced final values in
+  // final order, so this is col_ptr bookkeeping plus two memcpy-class
+  // copies per chunk.
+  LuMatrix& ub = part.ublk[d][static_cast<size_t>(aj)];
+  ub.init(part.seg_size(d), part.seg_size(j), total);
+  Size base = 0;
+  Int c = 0;
+  for (Int k = 0; k < nchunks; ++k) {
+    const LuMatrix& ck = stage[static_cast<size_t>(k)];
+    ub.row_idx.insert(ub.row_idx.end(), ck.row_idx.begin(), ck.row_idx.end());
+    ub.values.insert(ub.values.end(), ck.values.begin(), ck.values.end());
+    for (Int lc = 0; lc < ck.ncols; ++lc) {
+      ub.col_ptr[static_cast<size_t>(++c)] = base + ck.col_ptr[lc + 1];
+    }
+    base += ck.nnz();
+  }
+  // The staging buffers carry the estimate-quality signal
+  // (BaskerStats::grow_events); the spliced block was reserved exactly.
+  ub.grow_events = grows;
   return true;
 }
 
@@ -215,7 +268,10 @@ bool Basker::dag_execute(Int tid, Int task_id) {
     }
     case sched::TaskKind::kSepUpdate:
       return dag_sep_update(an_.parts[static_cast<size_t>(t.part)], tid, t.seg,
-                            t.target);
+                            t.target, t.chunk);
+    case sched::TaskKind::kSepAssemble:
+      return dag_sep_assemble(an_.parts[static_cast<size_t>(t.part)], t.seg,
+                              t.target);
     case sched::TaskKind::kSepFactor:
       return dag_sep_factor(an_.parts[static_cast<size_t>(t.part)], t.part, tid,
                             t.seg);
@@ -247,6 +303,8 @@ Status Basker::run_numeric_dag() {
   stats_.dag_steals = sstats.total_steals();
   stats_.dag_exec_per_thread = sstats.executed;
   stats_.dag_steal_per_thread = sstats.steals;
+  stats_.dag_update_chunks = dag_.count(sched::TaskKind::kSepUpdate);
+  stats_.dag_assembles = dag_.count(sched::TaskKind::kSepAssemble);
 
   collect_numeric_stats();
 

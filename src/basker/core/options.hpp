@@ -84,6 +84,58 @@ struct BaskerOptions {
   /// and the separator-tree depth of the symbolic analysis.
   SyncMode sync_mode = SyncMode::kPointToPoint;
 
+  // -- SyncMode::kTaskDag tuning (ignored by the static schedules). All of
+  //    these feed the *symbolic* phase only and are pure functions of the
+  //    matrix, never of the team size — the foundation of the task-DAG
+  //    schedule's cross-p bit-identical factors. ---------------------------
+
+  /// Modeled flops one task should amortize (symbolic work model: squared
+  /// symbolic-Cholesky column counts, DESIGN.md §3.7). Drives both knobs
+  /// derived from the model: the ND tree keeps deepening only while each
+  /// half still carries at least this much modeled work, and separator
+  /// update tasks are column-chunked so a chunk's share of its block
+  /// column's modeled work is about this size. Smaller = more, finer tasks
+  /// (better stealing granularity, more scheduler overhead); larger
+  /// degenerates toward one task per block. Default 4e5 — on a ~1 Gflop/s
+  /// core a task is then worth ~0.5 ms, comfortably above the
+  /// deque/counter cost per task (~100 ns).
+  double dag_task_flops = 4e5;
+
+  /// Fixed column-chunk width for separator update tasks (kSepUpdate).
+  /// 0 (default) derives the width per separator from dag_task_flops as
+  /// described there; a positive value forces that width everywhere
+  /// (ablation/testing only). Chunk boundaries never change the factors —
+  /// each column's arithmetic is column-local — only the task granularity.
+  Int dag_chunk_cols = 0;
+
+  /// Floor on the derived chunk width: a block column is never split into
+  /// chunks narrower than this many columns, bounding the task-count
+  /// blowup on separators whose modeled work is large but whose columns
+  /// are many and cheap. Default 16 (the static schedule's pipeline
+  /// hand-off granularity, chunk_cols).
+  Int dag_chunk_cols_min = 16;
+
+  /// Separator-tree depth cap for the task-DAG analysis: at most
+  /// 2^dag_max_levels leaves per ND part. Default 5 (32 leaves, ~4x the
+  /// 8-thread teams the paper targets) so work stealing always has surplus
+  /// leaf tasks to balance with.
+  Int dag_max_levels = 5;
+
+  /// Maximum modeled-work inflation the task-DAG tree may pay for its
+  /// parallelism: after dissection, while the ND-ordered pattern models
+  /// more than this factor times the block's depth-0 (min-degree ordered)
+  /// work, the tree's bottom level is merged away. High-fill blocks where
+  /// nested dissection is a bad ordering (the paper's Xyce3 class)
+  /// therefore collapse toward depth 0 — whose analysis is bit-identical
+  /// to the static p = 1 analysis — instead of paying the inflated tree
+  /// at every team size. Default 1.2.
+  double dag_work_inflation = 1.2;
+
+  /// Minimum average rows per leaf under the task-DAG analysis: the tree
+  /// stops deepening when a further split would drop the mean leaf below
+  /// this. Default 64.
+  Int dag_min_leaf_rows = 64;
+
   /// Diagonal-preference partial-pivot threshold, as KLU: the diagonal
   /// candidate is taken unless the column's largest magnitude exceeds it
   /// by more than 1/pivot_tol. Default 0.001 (KLU's default). Larger is
@@ -171,6 +223,13 @@ struct BaskerStats {
   long long dag_steals = 0;  ///< successful work-stealing deque steals
   std::vector<long long> dag_exec_per_thread;   ///< tasks run, per thread
   std::vector<long long> dag_steal_per_thread;  ///< steals won, per thread
+  /// Graph composition of the executed DAG: column-chunked separator
+  /// update tasks (kSepUpdate — more chunks = finer steal granularity) and
+  /// the per-block stitch tasks that splice chunked staging back into
+  /// monolithic U blocks (kSepAssemble; zero when no separator was worth
+  /// splitting).
+  long long dag_update_chunks = 0;
+  long long dag_assembles = 0;
 };
 
 }  // namespace basker

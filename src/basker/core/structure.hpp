@@ -49,6 +49,16 @@ struct NdPart {
   std::vector<Int> own_top;       ///< highest level each thread owns on its path
   std::vector<std::vector<Int>> path;  ///< path[t][l] = segment at level l
 
+  /// Column-chunk width of each segment's block column under the task-DAG
+  /// schedule: update tasks targeting separator j cover seg_chunk_cols[j]
+  /// columns each (sched/task_graph.hpp). adopt_tree() defaults every
+  /// entry to the full segment width (one chunk = the unchunked layout the
+  /// static schedules use); the task-DAG symbolic phase narrows separators
+  /// whose modeled work is worth splitting. Chunk boundaries are part of
+  /// the analysis, never of the execution: they are a pure function of the
+  /// matrix, so the graph — and the factors — stay identical at every p.
+  std::vector<Int> seg_chunk_cols;
+
   /// The part's submatrix B(lo:hi, lo:hi) with part-local indices (all
   /// orderings already folded in).
   Csc asub;
@@ -60,10 +70,42 @@ struct NdPart {
   std::vector<DiagFactor> diag;
   std::vector<std::vector<LuMatrix>> lblk;
   std::vector<std::vector<LuMatrix>> ublk;
+  /// Per-chunk staging for column-chunked task-DAG updates:
+  /// ublk_stage[s][a][k] holds chunk k of U_{s, anc[s][a]} (local columns
+  /// [k*w, min((k+1)*w, ncols)) of the target, w = seg_chunk_cols[target]).
+  /// Inner vectors are sized by symbolic() only for targets split into
+  /// more than one chunk; a kSepAssemble task splices the chunks into the
+  /// monolithic ublk entry that solve/stats/digests read. Kept allocated
+  /// across refactorizations (write-over reuse, like every factor buffer).
+  std::vector<std::vector<std::vector<LuMatrix>>> ublk_stage;
 
   Int seg_size(Int s) const { return seg_off[s + 1] - seg_off[s]; }
   Int max_seg_size() const;
   Int participants(Int s) const { return Int{1} << seg_level[s]; }
+
+  /// Number of column chunks of segment j's block column (>= 1).
+  Int seg_nchunks(Int j) const {
+    const Int jc = seg_size(j);
+    const Int w = seg_chunk_cols[j];
+    return jc <= w ? 1 : (jc + w - 1) / w;
+  }
+  /// Column range of chunk k of segment j: [chunk_lo, chunk_lo + width).
+  Int chunk_lo(Int j, Int k) const { return k * seg_chunk_cols[j]; }
+  Int chunk_width(Int j, Int k) const {
+    return std::min(seg_size(j) - chunk_lo(j, k), seg_chunk_cols[j]);
+  }
+  /// The storage holding column `c` (target-local) of U_{d, anc[d][aj]}
+  /// DURING task-DAG execution, rewriting `c` to an index local to the
+  /// returned matrix: the monolithic block when target j is unchunked, the
+  /// staging chunk containing `c` otherwise (the monolithic block is only
+  /// spliced together by the kSepAssemble sink task, which nothing in the
+  /// DAG depends on).
+  const LuMatrix& ublk_col(Int d, Int aj, Int j, Int& c) const {
+    if (seg_nchunks(j) == 1) return ublk[d][aj];
+    const Int k = c / seg_chunk_cols[j];
+    c -= k * seg_chunk_cols[j];
+    return ublk_stage[d][aj][static_cast<size_t>(k)];
+  }
 
   /// Build tree metadata (anc/paths/owners) from an NdTree; called by the
   /// symbolic phase after the tree's permutation was folded into the global

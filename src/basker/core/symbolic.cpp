@@ -21,27 +21,80 @@ namespace basker {
 
 namespace {
 
-/// Separator-tree depth cap for SyncMode::kTaskDag: 2^5 = 32 leaves, ~4x
-/// the 8-thread teams the paper targets, so the scheduler always has
-/// surplus leaf tasks to steal. A compile-time constant (never the team
-/// size!) keeps the analysis — and therefore the factors — identical at
-/// every thread count.
-constexpr Int kDagMaxLevels = 5;
-/// Minimum average leaf rows worth one task: below this, task management
-/// overhead beats the parallelism a further split would expose.
-constexpr Int kDagMinLeafRows = 64;
+/// The symbolic work model every task-DAG sizing decision shares: squared
+/// symbolic-Cholesky column counts of a symmetric pattern (paper
+/// Algorithm 2 line 3: "Compute column count and number of operations").
+std::vector<Int> ordered_col_counts(const Csc& sym,
+                                    const std::vector<Int>& perm) {
+  const Csc ordered = permute(sym, perm, perm);
+  return chol_col_counts(ordered, etree(ordered));
+}
 
-/// Flop estimate for one small block after its fill-reducing order:
-/// sum of squared symbolic-Cholesky column counts (paper Algorithm 2
-/// line 3: "Compute column count and number of operations").
-double estimate_block_ops(const Csc& block) {
-  if (block.ncols <= 1) return 1.0;
-  const Csc sym = symmetrize_pattern(block);
-  const std::vector<Int> parent = etree(sym);
-  const std::vector<Int> counts = chol_col_counts(sym, parent);
+double sum_sq(const std::vector<Int>& counts) {
   double ops = 0.0;
   for (Int c : counts) ops += static_cast<double>(c) * c;
   return ops;
+}
+
+double sum_sq_col_counts(const Csc& sym) {
+  if (sym.ncols <= 1) return 1.0;
+  return sum_sq(chol_col_counts(sym, etree(sym)));
+}
+
+/// Flop estimate for one small block after its fill-reducing order.
+double estimate_block_ops(const Csc& block) {
+  if (block.ncols <= 1) return 1.0;
+  return sum_sq_col_counts(symmetrize_pattern(block));
+}
+
+/// Column-chunk the separator block columns of a settled task-DAG part
+/// (tentpole of DESIGN.md §3.7): per separator j, pick the widest chunk
+/// whose share of the block column's modeled work is about
+/// `opt.dag_task_flops`, floored at `opt.dag_chunk_cols_min` columns so
+/// cheap-but-wide separators cannot blow up the task count. The model is
+/// the squared symbolic-Cholesky column counts of the part's pattern in
+/// its final ND order — a pure function of the matrix, so the chunk grid
+/// (and with it the graph and the factors) is identical at every team
+/// size. Also sizes the per-chunk staging storage for every
+/// (descendant, chunked target) pair. `counts` are the per-column model
+/// values of the part's final ND order — normally handed down from the
+/// work-inflation backoff, which computed them for the accepted tree
+/// anyway (recomputed here only if that pass was skipped).
+void assign_dag_chunks(NdPart& part, const Csc& sym,
+                       const std::vector<Int>& perm, const BaskerOptions& opt,
+                       std::vector<Int> counts) {
+  if (opt.dag_chunk_cols <= 0 && counts.empty()) {
+    counts = ordered_col_counts(sym, perm);
+  }
+  const Int wmin = std::max<Int>(1, opt.dag_chunk_cols_min);
+  for (Int s = 0; s < part.nseg; ++s) {
+    // Leaves are never update targets; single-column blocks can't split.
+    const Int jcols = part.seg_size(s);
+    if (part.seg_level[s] == 0 || jcols <= 1) continue;
+    Int width;
+    if (opt.dag_chunk_cols > 0) {
+      width = opt.dag_chunk_cols;  // forced width (ablation/testing)
+    } else {
+      double work = 0.0;
+      for (Int c = part.seg_off[s]; c < part.seg_off[s + 1]; ++c) {
+        work += static_cast<double>(counts[c]) * counts[c];
+      }
+      const double target =
+          opt.dag_task_flops > 0.0 ? work / opt.dag_task_flops : jcols;
+      Int nchunks = target >= static_cast<double>(jcols)
+                        ? jcols
+                        : static_cast<Int>(target);
+      nchunks = std::clamp(nchunks, Int{1}, std::max<Int>(1, jcols / wmin));
+      width = (jcols + nchunks - 1) / nchunks;
+    }
+    part.seg_chunk_cols[s] = std::clamp(width, Int{1}, jcols);
+  }
+  for (Int d = 0; d < part.nseg; ++d) {
+    for (size_t a = 0; a < part.anc[d].size(); ++a) {
+      const Int nc = part.seg_nchunks(part.anc[d][a]);
+      part.ublk_stage[d][a].resize(nc > 1 ? static_cast<size_t>(nc) : 0);
+    }
+  }
 }
 
 }  // namespace
@@ -109,18 +162,35 @@ Status Basker::symbolic(const Csc& a) {
     BASKER_REQUIRE(m2.is_perfect(m), "basker: local matching not perfect");
     const Csc matched = permute(block, m2.row_of_col, {});
 
+    const Csc sym = symmetrize_pattern(matched);
     Int nlevels = 0;
+    double dag_depth0_ops = 0.0;  ///< modeled work of the min-degree order
     if (opt_.sync_mode == SyncMode::kTaskDag) {
       // Task-DAG schedule: the tree depth is a function of the *block*
       // only, never of the team size — that p-independence is what makes
       // factors bit-identical across thread counts (and lets any team
-      // size run the same DAG). Work-based heuristic: deepen while leaves
-      // keep enough rows to amortize a task, up to a compile-time leaf
-      // cap (~4x the largest team the DAG is tuned for, so work stealing
-      // always has surplus tasks to balance with).
-      while (nlevels < kDagMaxLevels &&
-             (m >> (nlevels + 1)) >= kDagMinLeafRows) {
-        ++nlevels;
+      // size run the same DAG). Work-adaptive heuristic: model the
+      // block's factorization work on a fill-reducing (min-degree) order
+      // — the order a depth-0 leaf would actually be factored in — and
+      // deepen only while each half still carries at least
+      // dag_task_flops modeled work AND leaves keep enough rows to
+      // amortize a task. Blocks whose modeled work is small therefore
+      // stay at depth 0 and run exactly the static p = 1 analysis (no
+      // separators, no DAG overhead); only blocks with work worth
+      // parallelizing pay for a tree.
+      const Int max_levels = std::max<Int>(0, opt_.dag_max_levels);
+      const Int min_rows = std::max<Int>(1, opt_.dag_min_leaf_rows);
+      if (max_levels > 0 && (m >> 1) >= min_rows) {
+        // The model is only worth its AMD + column-count cost when the
+        // row/level guards leave at least one split reachable; when they
+        // don't, nlevels stays 0 and nothing below reads the model.
+        const std::vector<Int> amd = min_degree_order(sym);
+        dag_depth0_ops = sum_sq_col_counts(permute(sym, amd, amd));
+        while (nlevels < max_levels && (m >> (nlevels + 1)) >= min_rows &&
+               dag_depth0_ops / static_cast<double>(Int{1} << (nlevels + 1)) >=
+                   opt_.dag_task_flops) {
+          ++nlevels;
+        }
       }
     } else {
       // Static schedule: one thread per leaf, depth tracks the team.
@@ -139,13 +209,55 @@ Status Basker::symbolic(const Csc& a) {
     // settled once, at the deepest depth (see the merge_bottom_level
     // caveat); leaf ordering (which cannot change the splits) is likewise
     // deferred until the depth settles.
-    const Csc sym = symmetrize_pattern(matched);
+    const Int dissected_levels = nlevels;
     NdTree tree = nested_dissect(sym, nlevels, false, opt_.nd_scheme);
     while (nlevels > 0 && tree.separator_mass() * 8 > m) {
       --nlevels;
       tree = merge_bottom_level(tree);
     }
-    if (opt_.order_leaves) order_tree_leaves(sym, tree);
+    // Work-inflation backoff (task-DAG only): the depth heuristic above
+    // modeled whether the block has enough work to SHARE; only the settled
+    // dissection reveals what the tree COSTS — on high-fill blocks where
+    // nested dissection is a bad ordering, the ND order can model far more
+    // work than the depth-0 min-degree order, and a deep tree then loses
+    // at every team size (the serial overhead bench_compare.py's p = 1
+    // gate polices). Merge bottom levels while the tree's modeled work
+    // (leaf-ordered, like the final analysis) exceeds
+    // dag_work_inflation x the depth-0 model. The accepted candidate IS
+    // the final tree (its leaves are already ordered), so the model pass
+    // costs no extra leaf ordering.
+    std::vector<Int> dag_counts;  ///< accepted tree's per-column model
+    if (opt_.sync_mode == SyncMode::kTaskDag) {
+      while (true) {
+        if (nlevels == 0 && dissected_levels > 0) {
+          // A backoff that lands at depth 0 re-dissects (trivially — one
+          // segment) instead of keeping the merged tree:
+          // merge_bottom_level preserves the ND-ordered perm inside the
+          // collapsed leaf, and min-degree tie-breaks depend on vertex
+          // numbering, so the merged depth-0 ordering would differ from a
+          // direct depth-0 dissection. Canonicalizing makes a fully
+          // collapsed analysis IDENTICAL to the static p = 1 analysis —
+          // the exact-parity property the p = 1 overhead gate leans on.
+          tree = nested_dissect(sym, 0, false, opt_.nd_scheme);
+        }
+        NdTree cand = tree;
+        if (opt_.order_leaves) order_tree_leaves(sym, cand);
+        if (nlevels == 0) {
+          tree = std::move(cand);
+          break;
+        }
+        std::vector<Int> counts = ordered_col_counts(sym, cand.perm);
+        if (sum_sq(counts) <= opt_.dag_work_inflation * dag_depth0_ops) {
+          tree = std::move(cand);
+          dag_counts = std::move(counts);  // reused for the chunk widths
+          break;
+        }
+        --nlevels;
+        tree = merge_bottom_level(tree);
+      }
+    } else if (opt_.order_leaves) {
+      order_tree_leaves(sym, tree);
+    }
 
     for (Int k = 0; k < m; ++k) {
       row_map2[lo + k] = an_.row_map[lo + m2.row_of_col[tree.perm[k]]];
@@ -156,6 +268,9 @@ Status Basker::symbolic(const Csc& a) {
     part.lo = lo;
     part.hi = hi;
     part.adopt_tree(tree);
+    if (opt_.sync_mode == SyncMode::kTaskDag && part.nseg > 1) {
+      assign_dag_chunks(part, sym, tree.perm, opt_, std::move(dag_counts));
+    }
     an_.parts.push_back(std::move(part));
   }
   an_.row_map = std::move(row_map2);

@@ -20,7 +20,7 @@ void Scheduler::prepare(const TaskGraph& graph, Int nthreads) {
     victims_[static_cast<size_t>(t)] = victim_order(t, nthreads);
   }
   if (graph.size() > npending_) {
-    pending_ = std::make_unique<std::atomic<Int>[]>(static_cast<size_t>(graph.size()));
+    pending_ = std::make_unique<DepCounter[]>(static_cast<size_t>(graph.size()));
     npending_ = graph.size();
   }
 }
@@ -33,8 +33,8 @@ void Scheduler::run(const TaskGraph& graph, ThreadTeam& team,
                  "Scheduler: prepare() team mismatch");
   BASKER_REQUIRE(graph.size() <= npending_, "Scheduler: prepare() graph mismatch");
   for (Int id = 0; id < graph.size(); ++id) {
-    pending_[static_cast<size_t>(id)].store(graph.task(id).ndeps,
-                                            std::memory_order_relaxed);
+    pending_[static_cast<size_t>(id)].value.store(graph.task(id).ndeps,
+                                                  std::memory_order_relaxed);
   }
   for (Int t = 0; t < nthreads_; ++t) deques_[static_cast<size_t>(t)]->reset();
   remaining_.store(graph.size(), std::memory_order_release);
@@ -98,7 +98,7 @@ void Scheduler::worker(const TaskGraph& graph, Int tid,
 
     bool pushed = false;
     for (const Int* s = graph.succ_begin(task); s != graph.succ_end(task); ++s) {
-      if (pending_[static_cast<size_t>(*s)].fetch_sub(
+      if (pending_[static_cast<size_t>(*s)].value.fetch_sub(
               1, std::memory_order_acq_rel) == 1) {
         mine.push(*s);
         pushed = true;

@@ -72,10 +72,21 @@ class Scheduler {
               const std::function<bool(Int, Int)>& execute,
               const std::function<bool()>& aborted, SchedulerStats* stats);
 
+  /// One dependency counter, padded to a cache line. Column-chunked update
+  /// tasks give a join node (separator factor / assemble) many producers
+  /// finishing close together in time, and the producers of *different*
+  /// joins have adjacent task ids; with a packed atomic array their
+  /// fetch_subs would false-share one line. A line per counter trades a
+  /// few KiB (graphs are thousands of tasks) for contention-free
+  /// decrements.
+  struct alignas(64) DepCounter {
+    std::atomic<Int> value{0};
+  };
+
   Int nthreads_ = 0;
   std::vector<std::unique_ptr<WorkDeque>> deques_;
   std::vector<std::vector<Int>> victims_;  ///< per-thread deterministic order
-  std::unique_ptr<std::atomic<Int>[]> pending_;  ///< per-task dep counters
+  std::unique_ptr<DepCounter[]> pending_;  ///< per-task dep counters
   Int npending_ = 0;
   std::atomic<Int> remaining_{0};
   ParkingLot lot_;  ///< ParkMode::kCondvar idlers (thread/backoff.hpp)

@@ -10,18 +10,22 @@ void TaskGraph::clear() {
   pending_succ_.clear();
   successors_.clear();
   roots_.clear();
+  kind_count_.fill(0);
   finalized_ = false;
 }
 
-Int TaskGraph::add_task(TaskKind kind, Int part, Int seg, Int target) {
+Int TaskGraph::add_task(TaskKind kind, Int part, Int seg, Int target,
+                        Int chunk) {
   BASKER_REQUIRE(!finalized_, "TaskGraph: add_task after finalize");
   Task t;
   t.kind = kind;
   t.part = part;
   t.seg = seg;
   t.target = target;
+  t.chunk = chunk;
   tasks_.push_back(t);
   pending_succ_.emplace_back();
+  ++kind_count_[static_cast<size_t>(kind)];
   return static_cast<Int>(tasks_.size()) - 1;
 }
 
@@ -64,39 +68,58 @@ void TaskGraph::build(const Analysis& an) {
   // ND parts: per segment in postorder, so every referenced task id exists
   // by the time its dependents are added (children precede parents).
   std::vector<Int> factor_id;
-  std::vector<Int> update_base;  ///< per separator j: id of U_{sub_lo[j], j}
+  std::vector<Int> update_base;  ///< per separator j: id of U_{sub_lo[j], j}'s chunk 0
   for (size_t pi = 0; pi < an.parts.size(); ++pi) {
     const NdPart& part = an.parts[pi];
     factor_id.assign(static_cast<size_t>(part.nseg), kInvalid);
     update_base.assign(static_cast<size_t>(part.nseg), kInvalid);
-    // Update task id for descendant d of separator j: updates are created
-    // in ascending d order, so the id is a base plus the offset of d in
-    // j's strict subtree range [seg_sub_lo[j], j).
-    auto update_id = [&](Int d, Int j) {
-      return update_base[static_cast<size_t>(j)] + (d - part.seg_sub_lo[j]);
-    };
     for (Int s = 0; s < part.nseg; ++s) {
       if (part.seg_level[s] == 0) {
         factor_id[static_cast<size_t>(s)] =
             add_task(TaskKind::kLeafFactor, static_cast<Int>(pi), s);
         continue;
       }
+      // Update tasks targeting separator s are laid out in ascending
+      // (descendant, chunk) order with a fixed stride per descendant, so
+      // ids are pure arithmetic: nchunks chunk tasks plus, for multi-chunk
+      // blocks, the assemble task directly after its chunks.
       const Int lo = part.seg_sub_lo[s];
+      const Int nchunks = part.seg_nchunks(s);
+      const Int stride = nchunks + (nchunks > 1 ? 1 : 0);
       update_base[static_cast<size_t>(s)] = size();
+      auto update_id = [&](Int d, Int j, Int k) {
+        return update_base[static_cast<size_t>(j)] +
+               (d - part.seg_sub_lo[j]) * stride + k;
+      };
       for (Int d = lo; d < s; ++d) {
-        const Int id = add_task(TaskKind::kSepUpdate, static_cast<Int>(pi), d, s);
-        add_edge(factor_id[static_cast<size_t>(d)], id);
-        if (part.seg_level[d] > 0) {
-          // An internal d consumes U_{e,j} of its whole strict subtree;
-          // depending on the two children suffices (they cover the rest
-          // transitively).
-          add_edge(update_id(part.seg_children[d][0], s), id);
-          add_edge(update_id(part.seg_children[d][1], s), id);
+        for (Int k = 0; k < nchunks; ++k) {
+          const Int id =
+              add_task(TaskKind::kSepUpdate, static_cast<Int>(pi), d, s, k);
+          add_edge(factor_id[static_cast<size_t>(d)], id);
+          if (part.seg_level[d] > 0) {
+            // An internal d consumes chunk k of U_{e,j} of its whole
+            // strict subtree; depending on its two children's chunk k
+            // suffices (column c's reduction reads only column c of the
+            // descendants' U blocks, and the chunk grid belongs to the
+            // target j, so it aligns across the subtree — deeper
+            // descendants are covered transitively).
+            add_edge(update_id(part.seg_children[d][0], s, k), id);
+            add_edge(update_id(part.seg_children[d][1], s, k), id);
+          }
+        }
+        if (nchunks > 1) {
+          const Int aid =
+              add_task(TaskKind::kSepAssemble, static_cast<Int>(pi), d, s);
+          for (Int k = 0; k < nchunks; ++k) {
+            add_edge(update_id(d, s, k), aid);
+          }
         }
       }
       const Int fid = add_task(TaskKind::kSepFactor, static_cast<Int>(pi), s);
-      add_edge(update_id(part.seg_children[s][0], s), fid);
-      add_edge(update_id(part.seg_children[s][1], s), fid);
+      for (Int k = 0; k < nchunks; ++k) {
+        add_edge(update_id(part.seg_children[s][0], s, k), fid);
+        add_edge(update_id(part.seg_children[s][1], s, k), fid);
+      }
       factor_id[static_cast<size_t>(s)] = fid;
     }
   }

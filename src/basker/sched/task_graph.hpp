@@ -14,21 +14,37 @@
 //   kFineBlock    factor one small fine-BTF diagonal block (no deps).
 //   kLeafFactor   factor leaf diagonal LU_dd plus its off-diagonal L blocks
 //                 toward every ancestor (no deps).
-//   kSepUpdate    compute the full off-diagonal block U_dj = L_dd^{-1} ^A_dj,
-//                 where ^A_dj is A_dj reduced by the partial products
-//                 L_de * U_ej of every strict descendant e of d, accumulated
-//                 in ascending postorder. Deps: factor(d) and, when d is
-//                 internal, U_{c,j} of d's two children (which transitively
-//                 cover every deeper descendant's factor and update).
-//   kSepFactor    reduce + factor the diagonal block ^A_jj with pivoting and
-//                 form the L blocks toward j's ancestors. Deps: U_{c,j} of
-//                 j's two children.
+//   kSepUpdate    compute one COLUMN CHUNK of the off-diagonal block
+//                 U_dj = L_dd^{-1} ^A_dj: target-local columns
+//                 [chunk*w, min((chunk+1)*w, ncols)), w =
+//                 NdPart::seg_chunk_cols[j]. ^A_dj is A_dj reduced by the
+//                 partial products L_de * U_ej of every strict descendant
+//                 e of d, accumulated in ascending postorder — and each
+//                 column's reduction reads only the SAME column of the
+//                 descendants' U blocks, so the chunk grid of target j
+//                 aligns across every d and per-chunk edges suffice.
+//                 Deps: factor(d) and, when d is internal, chunk `chunk`
+//                 of U_{c,j} of d's two children (which transitively
+//                 cover every deeper descendant's factor and same-chunk
+//                 update). A block split into one chunk writes
+//                 NdPart::ublk directly; multi-chunk blocks write
+//                 per-chunk staging (NdPart::ublk_stage).
+//   kSepAssemble  splice the staging chunks of one multi-chunk U_dj into
+//                 the monolithic NdPart::ublk entry that solve/stats read
+//                 (a concatenation — chunk tasks already produced final
+//                 values). Deps: every chunk of (d, j). Pure sink: no
+//                 in-DAG consumer reads the monolithic block, they read
+//                 the staging chunks through NdPart::ublk_col.
+//   kSepFactor    reduce + factor the diagonal block ^A_jj with pivoting
+//                 and form the L blocks toward j's ancestors. Deps: every
+//                 chunk of U_{c,j} of j's two children.
 //
 // Dependency counters live in the *scheduler*, not here: the graph is built
 // once per symbolic analysis and replayed unchanged by every numeric
 // (re)factorization.
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -42,17 +58,21 @@ struct Analysis;  // core/structure.hpp
 namespace basker::sched {
 
 enum class TaskKind : std::uint8_t {
-  kFineBlock,   ///< seg = coarse BTF block id
-  kLeafFactor,  ///< part + seg = leaf segment
-  kSepUpdate,   ///< part + seg = descendant d, target = separator j
-  kSepFactor,   ///< part + seg = separator segment
+  kFineBlock,    ///< seg = coarse BTF block id
+  kLeafFactor,   ///< part + seg = leaf segment
+  kSepUpdate,    ///< part + seg = descendant d, target = separator j,
+                 ///< chunk = column chunk of j
+  kSepAssemble,  ///< part + seg = descendant d, target = separator j
+  kSepFactor,    ///< part + seg = separator segment
 };
+inline constexpr int kNumTaskKinds = 5;
 
 struct Task {
   TaskKind kind = TaskKind::kFineBlock;
   Int part = kInvalid;    ///< ND part index, kInvalid for fine blocks
   Int seg = kInvalid;     ///< see TaskKind
-  Int target = kInvalid;  ///< kSepUpdate: the separator being updated
+  Int target = kInvalid;  ///< kSepUpdate/kSepAssemble: the separator updated
+  Int chunk = 0;          ///< kSepUpdate: column chunk index within target
   Int ndeps = 0;          ///< static in-degree
   Int succ_begin = 0;     ///< [succ_begin, succ_end) into successors()
   Int succ_end = 0;
@@ -62,12 +82,16 @@ class TaskGraph {
  public:
   /// Lower a full analysis (fine-BTF blocks + every ND part) into the DAG.
   /// Task ids are assigned in a deterministic order: fine blocks first (in
-  /// an.fine_blocks order), then per part, per segment in postorder.
+  /// an.fine_blocks order), then per part, per segment in postorder (per
+  /// separator: every chunk of every descendant update in ascending
+  /// (descendant, chunk) order, each multi-chunk block's assemble task
+  /// directly after its chunks, then the separator factor).
   void build(const Analysis& an);
 
   // -- Generic construction (used by build() and by the stress tests). ----
   void clear();
-  Int add_task(TaskKind kind, Int part, Int seg, Int target = kInvalid);
+  Int add_task(TaskKind kind, Int part, Int seg, Int target = kInvalid,
+               Int chunk = 0);
   /// Declare that `dep` must complete before `task` starts. Call between
   /// add_task() and finalize().
   void add_edge(Int dep, Int task);
@@ -87,12 +111,18 @@ class TaskGraph {
   /// Tasks with no dependencies, in ascending id order.
   const std::vector<Int>& roots() const { return roots_; }
   long long num_edges() const { return static_cast<long long>(successors_.size()); }
+  /// Tasks of one kind — the graph-composition stats behind
+  /// BaskerStats::dag_update_chunks/dag_assembles.
+  Int count(TaskKind kind) const {
+    return kind_count_[static_cast<size_t>(kind)];
+  }
 
  private:
   std::vector<Task> tasks_;
   std::vector<std::vector<Int>> pending_succ_;  ///< pre-finalize edge lists
   std::vector<Int> successors_;                 ///< flattened after finalize
   std::vector<Int> roots_;
+  std::array<Int, kNumTaskKinds> kind_count_{};
   bool finalized_ = false;
 };
 

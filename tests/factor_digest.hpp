@@ -1,0 +1,52 @@
+// Shared test utility: flatten every factor block of a Basker analysis into
+// one comparable (pattern, values) digest. Includes the pivot permutations —
+// identical values with different pivoting would still mean nondeterminism.
+// Used by test_parallel_consistency (cross-p bit-identity), the randomized
+// differential harness (test_fuzz_differential) and the oversubscription
+// stress test; bit-identity claims in all of them mean *this* digest.
+#pragma once
+
+#include <vector>
+
+#include "basker/core/basker.hpp"
+
+namespace basker::testutil {
+
+struct FactorDigest {
+  std::vector<Size> shape;
+  std::vector<Int> pattern;
+  std::vector<Scalar> values;
+
+  void add(const LuMatrix& m) {
+    shape.push_back(m.nnz());
+    pattern.insert(pattern.end(), m.row_idx.begin(), m.row_idx.end());
+    values.insert(values.end(), m.values.begin(), m.values.end());
+  }
+  void add(const DiagFactor& f) {
+    add(f.l);
+    add(f.u);
+    pattern.insert(pattern.end(), f.row_perm.begin(), f.row_perm.end());
+  }
+
+  bool operator==(const FactorDigest& other) const {
+    return shape == other.shape && pattern == other.pattern &&
+           values == other.values;
+  }
+  bool operator!=(const FactorDigest& other) const { return !(*this == other); }
+};
+
+inline FactorDigest digest_factors(const Basker& solver) {
+  FactorDigest d;
+  const Analysis& an = solver.analysis();
+  for (Int blk : an.fine_blocks) d.add(an.fine_factor[blk]);
+  for (const NdPart& part : an.parts) {
+    for (Int s = 0; s < part.nseg; ++s) {
+      d.add(part.diag[s]);
+      for (const LuMatrix& m : part.lblk[s]) d.add(m);
+      for (const LuMatrix& m : part.ublk[s]) d.add(m);
+    }
+  }
+  return d;
+}
+
+}  // namespace basker::testutil

@@ -293,6 +293,145 @@ TEST(Basker, NoBtfAblation) {
   EXPECT_LT(basker_solve_residual(solver, a, 7), 1e-9);
 }
 
+// ---------------------------------------------------------------------------
+// Degenerate inputs through BOTH schedules and every SyncMode: the contract
+// is a clean Status (or a clean success) — never a hang, a crash, or UB.
+// The task-DAG rows also run with forced-deep trees and fine chunks so the
+// chunked staging/assemble paths see the degenerate shapes too.
+
+const SyncMode kAllSyncModes[] = {SyncMode::kPointToPoint, SyncMode::kBarrier,
+                                  SyncMode::kTaskDag};
+
+BaskerOptions degenerate_opts(SyncMode sync, Int threads) {
+  BaskerOptions o = opts(threads, 16, sync);
+  if (sync == SyncMode::kTaskDag) {
+    // Force the adaptive depth and the chunk grid to engage even on tiny
+    // inputs — the degenerate shapes must survive the chunked path, not
+    // just the depth-0 fallback.
+    o.dag_task_flops = 1.0;
+    o.dag_min_leaf_rows = 4;
+    o.dag_chunk_cols_min = 2;
+  }
+  return o;
+}
+
+Csc dense_matrix(Int n, std::uint64_t seed) {
+  Prng rng(seed);
+  Triplets t(n, n);
+  for (Int j = 0; j < n; ++j) {
+    for (Int i = 0; i < n; ++i) {
+      // Diagonally dominant so every pivot survives any elimination order.
+      t.add(i, j, i == j ? 2.0 * n : rng.uniform(-1.0, 1.0));
+    }
+  }
+  return t.to_csc();
+}
+
+TEST(BaskerDegenerate, EmptyMatrixThroughEverySyncMode) {
+  for (SyncMode sync : kAllSyncModes) {
+    for (Int p : {1, 4}) {
+      Basker solver(degenerate_opts(sync, p));
+      ASSERT_EQ(solver.factor(Csc(0, 0)), Status::kOk)
+          << "sync=" << static_cast<int>(sync) << " p=" << p;
+      EXPECT_TRUE(solver.factored());
+      std::vector<Scalar> b;
+      EXPECT_EQ(solver.solve(b), Status::kOk);
+      EXPECT_EQ(solver.refactor(Csc(0, 0)), Status::kOk);
+    }
+  }
+}
+
+TEST(BaskerDegenerate, OneByOneThroughEverySyncMode) {
+  Triplets t(1, 1);
+  t.add(0, 0, 2.0);
+  const Csc a = t.to_csc();
+  for (SyncMode sync : kAllSyncModes) {
+    for (Int p : {1, 4}) {
+      Basker solver(degenerate_opts(sync, p));
+      ASSERT_EQ(solver.factor(a), Status::kOk)
+          << "sync=" << static_cast<int>(sync) << " p=" << p;
+      std::vector<Scalar> b{6.0};
+      ASSERT_EQ(solver.solve(b), Status::kOk);
+      EXPECT_DOUBLE_EQ(b[0], 3.0);
+    }
+  }
+}
+
+TEST(BaskerDegenerate, FullyDenseThroughEverySyncMode) {
+  // 48 rows: below nd_threshold, the fine-BTF path factors one dense block.
+  // 300 rows: one dense ND part — a clique has no useful bisection, so the
+  // fat-separator backoff must collapse the tree instead of producing
+  // pathological border blocks, under the work-adaptive depth too.
+  for (Int n : {48, 300}) {
+    const Csc a = dense_matrix(n, 1000 + static_cast<std::uint64_t>(n));
+    for (SyncMode sync : kAllSyncModes) {
+      const Int p = sync == SyncMode::kTaskDag ? 3 : 4;  // non-pow2 on the DAG
+      Basker solver(degenerate_opts(sync, p));
+      ASSERT_EQ(solver.factor(a), Status::kOk)
+          << "n=" << n << " sync=" << static_cast<int>(sync);
+      EXPECT_LT(basker_solve_residual(solver, a, 77), 1e-8)
+          << "n=" << n << " sync=" << static_cast<int>(sync);
+    }
+  }
+}
+
+TEST(BaskerDegenerate, StructurallySingularRejectedByEverySyncMode) {
+  // Column 2 is empty: no perfect matching exists. Every mode must report
+  // kStructurallySingular from the symbolic phase and leave the solver
+  // unfactored (solve stays kNotFactored, no partial state).
+  Triplets t(4, 4);
+  t.add(0, 0, 1.0);
+  t.add(1, 1, 1.0);
+  t.add(3, 3, 1.0);
+  t.add(0, 3, 0.5);
+  const Csc a = t.to_csc();
+  for (SyncMode sync : kAllSyncModes) {
+    for (Int p : {1, 4}) {
+      Basker solver(degenerate_opts(sync, p));
+      EXPECT_EQ(solver.factor(a), Status::kStructurallySingular)
+          << "sync=" << static_cast<int>(sync) << " p=" << p;
+      EXPECT_FALSE(solver.factored());
+      std::vector<Scalar> b(4, 1.0);
+      EXPECT_EQ(solver.solve(b), Status::kNotFactored);
+    }
+  }
+}
+
+TEST(BaskerDegenerate, NumericallySingularAbortsCleanlyInEverySyncMode) {
+  // Two identical columns defeat pivoting mid-factorization: the numeric
+  // phase must flag the failure, drain its threads (static epoch signals /
+  // DAG abort path) and return — and the same instance must still be able
+  // to factor a healthy matrix afterwards.
+  Csc mesh = gen::mesh2d(12, 12, 0.0, 2);
+  Triplets t(mesh.nrows, mesh.ncols);
+  for (Int j = 0; j < mesh.ncols; ++j) {
+    if (j == 1) continue;
+    for (Size p = mesh.col_ptr[j]; p < mesh.col_ptr[j + 1]; ++p) {
+      t.add(mesh.row_idx[p], j, mesh.values[p]);
+    }
+  }
+  for (Size p = mesh.col_ptr[0]; p < mesh.col_ptr[1]; ++p) {
+    t.add(mesh.row_idx[p], 1, mesh.values[p]);
+  }
+  const Csc bad = t.to_csc();
+  const Csc good = b_mesh(3);
+  for (SyncMode sync : kAllSyncModes) {
+    for (Int p : {1, 4}) {
+      Basker solver(degenerate_opts(sync, p));
+      const Status s = solver.factor(bad);
+      EXPECT_TRUE(s == Status::kNumericallySingular ||
+                  s == Status::kStructurallySingular)
+          << "sync=" << static_cast<int>(sync) << " p=" << p
+          << " got " << to_string(s);
+      EXPECT_FALSE(solver.factored());
+      ASSERT_EQ(solver.factor(good), Status::kOk)
+          << "instance unusable after a singular reject, sync="
+          << static_cast<int>(sync);
+      EXPECT_LT(basker_solve_residual(solver, good, 9), 1e-9);
+    }
+  }
+}
+
 TEST(Basker, SyncSecondsTrackedInBarrierMode) {
   const Csc a = b_mesh(17);
   BaskerOptions barrier_opt = opts(4, 16, SyncMode::kBarrier);

@@ -1,0 +1,172 @@
+// Randomized differential harness: static schedule vs SyncMode::kTaskDag.
+//
+// Each iteration draws a matrix from the generator suite at a random scale,
+// random team sizes from {1, 2, 3, 5, 6, 8}, and random task-DAG knobs
+// (chunk widths vary even BETWEEN the DAG runs of one iteration — the chunk
+// grid moves columns between tasks, never changes their arithmetic), then
+// asserts the repo's two core numeric contracts differentially:
+//   - every task-DAG run of the iteration produces BIT-IDENTICAL factors
+//     (same digest across team sizes, chunk widths, and a refactor replay);
+//   - both schedules solve to a bounded relative residual (the schedules
+//     legally produce different factors — the ND tree depth differs — so
+//     across schedules the comparison is behavioral, not bitwise).
+//
+// Reproducibility: the sweep is a pure function of BASKER_FUZZ_SEED
+// (default pinned — scripts/check.sh runs that seed explicitly). On any
+// failure the trace prints the seed, iteration, and draw, plus the env
+// rerun line. BASKER_FUZZ_MS bounds the wall time (the iteration count
+// adapts to the host), BASKER_FUZZ_MAX_ITERS caps it outright.
+//
+// Wired with the "stress" label (tests/CMakeLists.txt) like the other
+// schedule-hammering tests, and also valuable under TSan: random team
+// sizes + random chunk grids sweep the scheduler's dependency-counter and
+// parking paths across graph shapes no fixed test enumerates.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "basker/common/prng.hpp"
+#include "basker/common/timer.hpp"
+#include "basker/core/basker.hpp"
+#include "basker/gen/generators.hpp"
+#include "basker/gen/suite.hpp"
+#include "basker/sparse/ops.hpp"
+#include "factor_digest.hpp"
+
+namespace basker {
+namespace {
+
+using testutil::FactorDigest;
+using testutil::digest_factors;
+
+constexpr double kMaxResidual = 1e-6;  // matches the bench_compare gate
+
+double env_double(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return std::strtod(v, nullptr);
+}
+
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return std::strtoull(v, nullptr, 10);
+}
+
+const std::vector<std::string>& suite_names() {
+  static const std::vector<std::string> names = [] {
+    std::vector<std::string> n;
+    for (const auto& e : gen::table1_suite()) n.push_back(e.name);
+    for (const auto& e : gen::table2_suite()) n.push_back(e.name);
+    return n;
+  }();
+  return names;
+}
+
+template <typename T>
+T pick(Prng& rng, std::initializer_list<T> choices) {
+  const auto it = choices.begin() + rng.next_int(static_cast<Int>(choices.size()));
+  return *it;
+}
+
+TEST(FuzzDifferential, StaticVsTaskDagRandomizedSweep) {
+  const std::uint64_t seed = env_u64("BASKER_FUZZ_SEED", 20260728ULL);
+  const double budget_ms = env_double("BASKER_FUZZ_MS", 6000.0);
+  const std::uint64_t max_iters = env_u64("BASKER_FUZZ_MAX_ITERS", 64);
+
+  Prng rng(seed);
+  WallTimer budget;
+  std::uint64_t iter = 0;
+  // At least one iteration always runs, so a tiny budget cannot silently
+  // disarm the harness.
+  while (iter == 0 ||
+         (budget.seconds() * 1000.0 < budget_ms && iter < max_iters)) {
+    const std::string name =
+        suite_names()[static_cast<size_t>(rng.next_int(
+            static_cast<Int>(suite_names().size())))];
+    const double scale = rng.uniform(0.08, 0.25);
+    const Int static_p = pick(rng, {1, 2, 3, 5, 6, 8});
+    // Two distinct DAG team sizes per iteration.
+    const Int dag_p1 = pick(rng, {1, 2, 3, 5, 6, 8});
+    Int dag_p2 = pick(rng, {1, 2, 3, 5, 6, 8});
+    if (dag_p2 == dag_p1) dag_p2 = dag_p1 == 8 ? 3 : dag_p1 + 1;
+    // Depth knobs are fixed per iteration (they shape the tree, and with
+    // it the factors); chunk knobs are redrawn per RUN (they must not
+    // matter to a single bit).
+    const double task_flops = pick(rng, {1.0, 2.5e4, 4e5});
+    const Int min_leaf_rows = pick(rng, {32, 64});
+
+    std::ostringstream trace;
+    trace << "seed=" << seed << " iter=" << iter << " matrix=" << name
+          << " scale=" << scale << " static_p=" << static_p << " dag_p={"
+          << dag_p1 << "," << dag_p2 << "} dag_task_flops=" << task_flops
+          << " dag_min_leaf_rows=" << min_leaf_rows
+          << "  (rerun: BASKER_FUZZ_SEED=" << seed
+          << " BASKER_FUZZ_MAX_ITERS=" << (iter + 1)
+          << " BASKER_FUZZ_MS=1e9 ./test_fuzz_differential)";
+    SCOPED_TRACE(trace.str());
+
+    const Csc a = gen::make_by_name(name, scale);
+    const std::vector<Scalar> rhs = gen::random_rhs(a.ncols, seed ^ iter);
+
+    // Static schedule: factors + bounded residual.
+    {
+      BaskerOptions opt;
+      opt.nthreads = static_p;
+      Basker solver(opt);
+      ASSERT_EQ(solver.factor(a), Status::kOk) << "static schedule failed";
+      std::vector<Scalar> x = rhs;
+      ASSERT_EQ(solver.solve(x), Status::kOk);
+      EXPECT_LT(relative_residual(a, x, rhs), kMaxResidual)
+          << "static residual out of bounds";
+    }
+
+    // Task-DAG schedule: bit-identical digests across team sizes, chunk
+    // grids, and a refactor replay; bounded residual.
+    FactorDigest expected;
+    bool have_expected = false;
+    for (const Int p : {dag_p1, dag_p2}) {
+      BaskerOptions opt;
+      opt.sync_mode = SyncMode::kTaskDag;
+      opt.nthreads = p;
+      opt.dag_task_flops = task_flops;
+      opt.dag_min_leaf_rows = min_leaf_rows;
+      opt.dag_chunk_cols = pick(rng, {0, 0, 1, 5, 19});  // 0 = auto width
+      opt.dag_chunk_cols_min = pick(rng, {2, 8, 16});
+      Basker solver(opt);
+      ASSERT_EQ(solver.nthreads(), p) << "kTaskDag must grant p verbatim";
+      ASSERT_EQ(solver.factor(a), Status::kOk)
+          << "task-DAG schedule failed at p=" << p;
+      std::vector<Scalar> x = rhs;
+      ASSERT_EQ(solver.solve(x), Status::kOk);
+      EXPECT_LT(relative_residual(a, x, rhs), kMaxResidual)
+          << "task-DAG residual out of bounds at p=" << p;
+
+      const FactorDigest d = digest_factors(solver);
+      if (!have_expected) {
+        expected = d;
+        have_expected = true;
+      } else {
+        ASSERT_TRUE(expected == d)
+            << "task-DAG factors diverged at p=" << p
+            << " chunk_cols=" << solver.options().dag_chunk_cols
+            << " chunk_cols_min=" << solver.options().dag_chunk_cols_min;
+      }
+      ASSERT_EQ(solver.refactor(a), Status::kOk);
+      ASSERT_TRUE(expected == digest_factors(solver))
+          << "task-DAG refactor diverged at p=" << p;
+    }
+    ++iter;
+  }
+  std::printf("[          ] fuzz: %llu iteration(s), seed %llu, %.1f s\n",
+              static_cast<unsigned long long>(iter),
+              static_cast<unsigned long long>(seed), budget.seconds());
+}
+
+}  // namespace
+}  // namespace basker

@@ -26,50 +26,15 @@
 #include "basker/gen/generators.hpp"
 #include "basker/gen/suite.hpp"
 #include "basker/sparse/ops.hpp"
+#include "factor_digest.hpp"
 
 namespace basker {
 namespace {
 
+using testutil::FactorDigest;
+using testutil::digest_factors;
+
 constexpr double kTestScale = 0.2;  // keep the 28-matrix sweep quick
-
-/// Flatten every factor block of an analysis into one (pattern, values)
-/// digest. Includes the pivot permutations: identical values with different
-/// pivoting would still mean nondeterminism.
-struct FactorDigest {
-  std::vector<Size> shape;
-  std::vector<Int> pattern;
-  std::vector<Scalar> values;
-
-  void add(const LuMatrix& m) {
-    shape.push_back(m.nnz());
-    pattern.insert(pattern.end(), m.row_idx.begin(), m.row_idx.end());
-    values.insert(values.end(), m.values.begin(), m.values.end());
-  }
-  void add(const DiagFactor& f) {
-    add(f.l);
-    add(f.u);
-    pattern.insert(pattern.end(), f.row_perm.begin(), f.row_perm.end());
-  }
-
-  bool operator==(const FactorDigest& other) const {
-    return shape == other.shape && pattern == other.pattern &&
-           values == other.values;
-  }
-};
-
-FactorDigest digest_factors(const Basker& solver) {
-  FactorDigest d;
-  const Analysis& an = solver.analysis();
-  for (Int blk : an.fine_blocks) d.add(an.fine_factor[blk]);
-  for (const NdPart& part : an.parts) {
-    for (Int s = 0; s < part.nseg; ++s) {
-      d.add(part.diag[s]);
-      for (const LuMatrix& m : part.lblk[s]) d.add(m);
-      for (const LuMatrix& m : part.ublk[s]) d.add(m);
-    }
-  }
-  return d;
-}
 
 class ParallelConsistency : public ::testing::TestWithParam<std::string> {};
 
@@ -235,6 +200,107 @@ TEST(ParallelConsistencyModes, TaskDagCountersReportStealsAndTasks) {
       EXPECT_EQ(st.dag_steals, 0);
     }
   }
+}
+
+TEST(ParallelConsistencyModes, TaskDagChunkGridNeverChangesFactors) {
+  // Column chunks move columns between tasks (and through the staging +
+  // assemble path), never change their arithmetic: every chunk-width
+  // configuration must produce factors bit-identical to the unchunked
+  // graph, at every team size — including the non-powers of two. The tree
+  // depth is pinned via dag_task_flops so only the chunk grid varies.
+  const Csc a = gen::make_by_name("G2_Circuit", kTestScale);
+
+  BaskerOptions base;
+  base.sync_mode = SyncMode::kTaskDag;
+  base.dag_task_flops = 1.0;     // deepest tree the row floor allows
+  base.dag_min_leaf_rows = 32;   // ...and force real separators at this scale
+  base.dag_chunk_cols = 1 << 20;  // reference: unchunked (one chunk per block)
+  base.nthreads = 1;
+  Basker ref(base);
+  ASSERT_EQ(ref.factor(a), Status::kOk);
+  const FactorDigest expected = digest_factors(ref);
+  ASSERT_EQ(ref.stats().dag_assembles, 0);  // reference really is unchunked
+  Int max_nlev = 0;
+  for (const NdPart& part : ref.analysis().parts) {
+    max_nlev = std::max(max_nlev, part.nlev);
+  }
+  ASSERT_GE(max_nlev, 1) << "test needs separators to chunk";
+
+  bool saw_chunks = false;
+  for (Int chunk_cols : {0, 1, 3, 17}) {  // 0 = auto (work model)
+    for (Int p : {1, 3, 4}) {
+      BaskerOptions opt = base;
+      opt.dag_chunk_cols = chunk_cols;
+      opt.dag_chunk_cols_min = 2;  // let the auto width split finely
+      opt.nthreads = p;
+      Basker solver(opt);
+      ASSERT_EQ(solver.factor(a), Status::kOk)
+          << "chunk_cols=" << chunk_cols << " p=" << p;
+      EXPECT_TRUE(expected == digest_factors(solver))
+          << "chunk_cols=" << chunk_cols << " p=" << p
+          << ": chunk grid changed the factors";
+      saw_chunks |= solver.stats().dag_assembles > 0;
+      // Refactor replays the chunked graph to the same bits.
+      ASSERT_EQ(solver.refactor(a), Status::kOk);
+      EXPECT_TRUE(expected == digest_factors(solver))
+          << "chunk_cols=" << chunk_cols << " p=" << p << ": refactor diverged";
+    }
+  }
+  EXPECT_TRUE(saw_chunks)
+      << "no configuration exercised the staging + assemble path";
+}
+
+TEST(ParallelConsistencyModes, TaskDagDepthAdaptsToModeledWork) {
+  // The ND tree depth under kTaskDag follows the symbolic work model, not
+  // a fixed leaf count: with an absurdly high per-task work target every
+  // part must stay at depth 0 — which IS the static p = 1 analysis, so
+  // the factors must match the static schedule bit for bit — while a tiny
+  // target must deepen the tree and chunk the separator updates.
+  const Csc a = gen::make_by_name("G2_Circuit", kTestScale);
+
+  BaskerOptions flat;
+  flat.sync_mode = SyncMode::kTaskDag;
+  flat.dag_task_flops = 1e18;
+  flat.nthreads = 3;
+  Basker solver_flat(flat);
+  ASSERT_EQ(solver_flat.factor(a), Status::kOk);
+  for (const NdPart& part : solver_flat.analysis().parts) {
+    EXPECT_EQ(part.nlev, 0) << "huge work target must keep parts at depth 0";
+  }
+  BaskerOptions static1;
+  static1.nthreads = 1;
+  Basker solver_static(static1);
+  ASSERT_EQ(solver_static.factor(a), Status::kOk);
+  EXPECT_TRUE(digest_factors(solver_flat) == digest_factors(solver_static))
+      << "a depth-0 task-DAG analysis must equal the static p=1 analysis";
+
+  BaskerOptions deep = flat;
+  deep.dag_task_flops = 1.0;
+  deep.dag_min_leaf_rows = 32;
+  Basker solver_deep(deep);
+  ASSERT_EQ(solver_deep.factor(a), Status::kOk);
+  Int max_nlev = 0;
+  for (const NdPart& part : solver_deep.analysis().parts) {
+    max_nlev = std::max(max_nlev, part.nlev);
+  }
+  EXPECT_GE(max_nlev, 1) << "tiny work target must deepen the tree";
+  EXPECT_GT(solver_deep.stats().dag_update_chunks, 0);
+
+  // The work-inflation backoff must land on the SAME depth-0 analysis when
+  // it collapses a dissected tree, not merely a depth-0-shaped one:
+  // min-degree tie-breaks depend on vertex numbering, so symbolic
+  // re-dissects at depth 0 instead of keeping the merged tree's perm —
+  // that exact-parity canonicalization is what the p = 1 overhead gate
+  // leans on for ND-hostile blocks.
+  BaskerOptions collapse = deep;
+  collapse.dag_work_inflation = 0.01;  // deepen eagerly, then collapse fully
+  Basker solver_collapse(collapse);
+  ASSERT_EQ(solver_collapse.factor(a), Status::kOk);
+  for (const NdPart& part : solver_collapse.analysis().parts) {
+    EXPECT_EQ(part.nlev, 0) << "inflation backoff must collapse the tree";
+  }
+  EXPECT_TRUE(digest_factors(solver_collapse) == digest_factors(solver_static))
+      << "a collapsed task-DAG analysis must equal the static p=1 analysis";
 }
 
 TEST(ParallelConsistencyModes, BackoffPolicyNeverChangesResults) {

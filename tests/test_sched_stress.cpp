@@ -10,14 +10,19 @@
 //     and prompt shutdown on abort, where lost wakeups would hang.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <thread>
 #include <vector>
 
+#include "basker/core/basker.hpp"
+#include "basker/gen/generators.hpp"
 #include "basker/sched/scheduler.hpp"
 #include "basker/sched/task_graph.hpp"
 #include "basker/sched/worksteal.hpp"
+#include "basker/thread/affinity.hpp"
 #include "basker/thread/team.hpp"
+#include "factor_digest.hpp"
 
 namespace basker::sched {
 namespace {
@@ -264,6 +269,48 @@ TEST(Scheduler, ReusableAcrossRunsLikeRefactorization) {
         [] { return false; }, &stats);
     ASSERT_EQ(stats.total_executed(), static_cast<long long>(g.size()));
   }
+}
+
+TEST(SchedulerOversubscribed, FourTimesHardwareCoresWithParkBackoff) {
+  // Oversubscription endgame: p = 4x the hardware cores, zero spin/yield
+  // budget so every idle thread goes straight to the condvar parking lot,
+  // and a forced-deep, finely chunked task DAG so the per-chunk dependency
+  // counters and the assemble joins carry real traffic. Under TSan this is
+  // the coverage for the chunked counter decrements and the parking-lot
+  // wakeups; everywhere it pins that heavy oversubscription neither hangs
+  // (lost wakeup) nor perturbs a bit of the factors.
+  const Int p = std::min<Int>(32, 4 * hardware_cpus());
+  const Csc a = gen::scramble(gen::mesh2d(28, 28, 0.2, 4), 4);
+
+  BaskerOptions opt;
+  opt.sync_mode = SyncMode::kTaskDag;
+  opt.nthreads = 1;
+  opt.dag_task_flops = 1.0;     // deepest tree the row floor allows
+  opt.dag_min_leaf_rows = 8;    // many leaf/update tasks on a small mesh
+  opt.dag_chunk_cols_min = 2;   // fine chunks -> many counters per join
+  Basker serial(opt);
+  ASSERT_EQ(serial.factor(a), Status::kOk);
+  const testutil::FactorDigest expected = testutil::digest_factors(serial);
+  ASSERT_GT(serial.stats().dag_assembles, 0)
+      << "test needs the chunked staging path engaged";
+
+  opt.nthreads = p;
+  opt.backoff.spin = 0;
+  opt.backoff.yield = 0;
+  opt.backoff.park = ParkMode::kCondvar;
+  opt.backoff.park_micros = 50;
+  Basker solver(opt);
+  ASSERT_EQ(solver.nthreads(), p);
+  ASSERT_EQ(solver.factor(a), Status::kOk);
+  EXPECT_TRUE(expected == testutil::digest_factors(solver))
+      << "oversubscribed parked run diverged from serial";
+  for (int rep = 0; rep < 3; ++rep) {
+    ASSERT_EQ(solver.refactor(a), Status::kOk) << "rep " << rep;
+    EXPECT_TRUE(expected == testutil::digest_factors(solver))
+        << "refactor rep " << rep << " diverged";
+  }
+  // Every lowered task ran exactly once despite p >> cores.
+  EXPECT_EQ(solver.stats().dag_tasks, serial.stats().dag_tasks);
 }
 
 TEST(VictimOrder, DeterministicRing) {

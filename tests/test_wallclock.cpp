@@ -153,6 +153,7 @@ TEST(Wallclock, ReportRoundTripsThroughJson) {
     EXPECT_EQ(static_cast<int>(copy.sync), static_cast<int>(orig.sync));
     EXPECT_EQ(copy.dag_tasks, orig.dag_tasks);
     EXPECT_EQ(copy.dag_steals, orig.dag_steals);
+    EXPECT_EQ(copy.dag_update_chunks, orig.dag_update_chunks);
   }
 }
 
