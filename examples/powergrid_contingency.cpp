@@ -31,6 +31,11 @@ int main(int argc, char** argv) {
 
   BaskerOptions options;
   options.nthreads = 4;
+  // Attach to the process-wide shared service team: a screening farm
+  // running several solver instances (one per scenario batch) shares one
+  // persistent 4-thread team instead of spawning threads per instance.
+  options.team = acquire_team(granted_threads(options.sync_mode, 4),
+                              TeamConfig{options.backoff, options.pin_threads});
   Basker basker(options);
   KluSolver klu;
   if (basker.factor(grid) != Status::kOk || klu.factor(grid) != Status::kOk) {
@@ -51,11 +56,19 @@ int main(int argc, char** argv) {
   // compare the worst deviation against the base case.
   Prng rng(77);
   double basker_seconds = 0.0, klu_seconds = 0.0;
+  Int repivots = 0;
   Scalar worst = 0.0;
   Int worst_case = -1;
   for (Int c = 0; c < contingencies; ++c) {
     gen::revalue(grid, rng, 0.25);
-    if (basker.refactor(grid) != Status::kOk) return 1;
+    // Values-only refactor per contingency; kPivotGrowth = the monitor
+    // re-ran the full pivoting pass (factors valid, scenario still usable).
+    const Status bs = basker.refactor(grid);
+    if (bs == Status::kPivotGrowth) {
+      ++repivots;
+    } else if (bs != Status::kOk) {
+      return 1;
+    }
     basker_seconds += basker.stats().factor_seconds;
     if (klu.refactor(grid) != Status::kOk) return 1;
     klu_seconds += klu.stats().factor_seconds;
@@ -70,7 +83,8 @@ int main(int argc, char** argv) {
   }
   std::printf("%d contingencies screened: worst angle deviation %.4f (case %d)\n",
               static_cast<int>(contingencies), worst, static_cast<int>(worst_case));
-  std::printf("numeric refactor totals: Basker %.3fs, KLU %.3fs\n",
-              basker_seconds, klu_seconds);
+  std::printf("numeric refactor totals: Basker %.3fs, KLU %.3fs "
+              "(%d pivot-growth re-pivots)\n",
+              basker_seconds, klu_seconds, static_cast<int>(repivots));
   return 0;
 }

@@ -44,6 +44,19 @@ Usage:
   build/bench/bench_fig5 --measured --schedule both --json | \\
       scripts/bench_compare.py --schedule
 
+--refactor mode consumes `bench_xyce --json` (the amortized
+time-per-step sweep: one p=1 solver runs the same fixed-pattern value
+sequence through full numeric() and through values-only refactor()) and
+gates the replay payoff: the amortized refactor step must be at most
+--max-refactor-ratio times the full-numeric step (default 0.8 — the
+point of skipping the pivot search is being measurably cheaper), the
+final solve residual must clear --max-residual, and a nonzero failure
+count fails. Growth-monitor fallbacks are reported; a sweep where every
+step fell back gates like a ratio failure (the replay never ran).
+
+Usage:
+  build/bench/bench_xyce --json | scripts/bench_compare.py --refactor
+
 --orderings mode consumes `bench_ablate_orderings --json` instead and
 gates separator quality: the multilevel ND scheme must beat the level-set
 baseline by --min-reduction (median over the Table I circuit suite), and
@@ -318,6 +331,50 @@ def schedule_main(doc, args):
     return status
 
 
+def refactor_main(doc, args):
+    steps = doc.get("steps", 0)
+    numeric_step = doc.get("numeric_step_seconds", 0.0)
+    refactor_step = doc.get("refactor_step_seconds", 0.0)
+    refactors = doc.get("refactors", 0)
+    fallbacks = doc.get("refactor_fallbacks", 0)
+    residual = doc.get("residual", 0.0)
+
+    print(f"benchmark: {doc.get('benchmark', '?')}  "
+          f"(matrix {doc.get('matrix', '?')}, n {doc.get('n', '?')}, "
+          f"{steps} steps, p={doc.get('threads', '?')})")
+    print(f"  full numeric per step:   {numeric_step:.6f} s "
+          f"(total {doc.get('numeric_seconds_total', 0.0):.3f} s)")
+    print(f"  refactor per step:       {refactor_step:.6f} s "
+          f"(total {doc.get('refactor_seconds_total', 0.0):.3f} s)")
+    ratio = refactor_step / numeric_step if numeric_step > 0 else float("inf")
+    print(f"  refactor/numeric ratio:  {fmt(ratio, 3)} "
+          f"(limit {args.max_refactor_ratio})")
+    print(f"  refactors: {refactors:.0f}, growth fallbacks: {fallbacks:.0f}, "
+          f"residual: {residual:.2e}")
+
+    status = 0
+    if steps <= 0 or numeric_step <= 0 or refactors <= 0:
+        print("bench_compare: refactor sweep is empty or failed",
+              file=sys.stderr)
+        return 2
+    if fallbacks >= refactors:
+        # Every step re-ran the full pivot search: the replay path never
+        # actually executed, so the ratio proves nothing.
+        print(f"bench_compare: all {fallbacks:.0f} refactor steps fell back "
+              f"to full numeric — replay path never ran", file=sys.stderr)
+        status = 1
+    if ratio > args.max_refactor_ratio:
+        print(f"bench_compare: amortized refactor step {fmt(ratio, 3)}x the "
+              f"full-numeric step (limit {args.max_refactor_ratio})",
+              file=sys.stderr)
+        status = 1
+    if residual > args.max_residual:
+        print(f"bench_compare: residual {residual:.2e} exceeds "
+              f"{args.max_residual:.0e}", file=sys.stderr)
+        status = 1
+    return status
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("report", nargs="?", default="-",
@@ -329,6 +386,12 @@ def main():
     parser.add_argument("--schedule", action="store_true",
                         help="static-vs-taskdag schedule mode "
                              "(bench_fig5 --measured --schedule both --json)")
+    parser.add_argument("--refactor", action="store_true",
+                        help="amortized refactor-vs-numeric step mode "
+                             "(bench_xyce --json)")
+    parser.add_argument("--max-refactor-ratio", type=float, default=0.8,
+                        help="refactor: allowed refactor/numeric amortized "
+                             "per-step ratio (default 0.8)")
     parser.add_argument("--max-residual", type=float, default=1e-6,
                         help="schedule: allowed solve residual "
                              "(default 1e-6)")
@@ -367,10 +430,12 @@ def main():
         print(f"bench_compare: cannot read report: {e}", file=sys.stderr)
         return 2
 
-    if args.orderings and args.schedule:
-        print("bench_compare: --orderings and --schedule are exclusive",
-              file=sys.stderr)
+    if sum([args.orderings, args.schedule, args.refactor]) > 1:
+        print("bench_compare: --orderings, --schedule and --refactor are "
+              "exclusive", file=sys.stderr)
         return 2
+    if args.refactor:
+        return refactor_main(doc, args)
     if args.orderings:
         if args.max_regression is None:
             args.max_regression = 1.05

@@ -57,6 +57,15 @@ BASKER_FUZZ_SEED=424242 BASKER_FUZZ_MS=8000 \
   ./build/tests/test_fuzz_differential \
       --gtest_filter='FuzzDifferential.StaticVsTaskDagRandomizedSweep'
 
+# Refactor gate: the amortized values-only refactor() step must be
+# measurably cheaper than the full re-pivoting numeric() step (<= 0.8x at
+# p = 1) over a fixed-pattern value sequence, with a bounded final
+# residual. The step count is scaled down from the paper's 1000 so the
+# gate stays a few seconds; the ratio is step-count-independent.
+BASKER_BENCH_SCALE="${BASKER_BENCH_SCALE:-0.3}" BASKER_XYCE_STEPS=200 \
+  ./build/bench/bench_xyce --json \
+  | python3 scripts/bench_compare.py --refactor
+
 # Ordering-quality gate: multilevel ND must keep beating the level-set
 # baseline (>= 20% median separator reduction on the Table I circuit suite)
 # and must not regress past the stored per-matrix baseline. The scale is

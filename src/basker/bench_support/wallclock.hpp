@@ -82,6 +82,12 @@ struct MeasuredRun {
   /// the task count (identical at every p; chunking is part of the
   /// analysis).
   long long dag_update_chunks = 0;
+  /// Amortized values-only refactor() step at this (schedule, p): total
+  /// refactor wall time divided by refactor count over a short burst.
+  /// 0.0 when the burst failed (never gated on by the full-numeric
+  /// comparisons; bench_compare.py --refactor consumes it).
+  double refactor_step_seconds = 0.0;
+  long long refactors = 0;  ///< replay steps behind that amortized figure
 
   bool ok() const { return status == Status::kOk; }
 };
@@ -102,8 +108,10 @@ struct WallclockReport {
 
 /// Factor `a` at every configured (team size, schedule) pair and fill a
 /// report. The matrix is analyzed once per pair (under the static
-/// schedules the ND tree depends on p) and the numeric phase repeats
-/// `cfg.repeats` times via refactor().
+/// schedules the ND tree depends on p); the full numeric phase repeats
+/// `cfg.repeats` times via numeric() (factor_seconds stays a full
+/// re-pivoting measurement), then a short refactor() burst fills the
+/// amortized values-only replay figures.
 WallclockReport measure_scaling(const std::string& name, const Csc& a,
                                 const WallclockConfig& cfg);
 

@@ -13,6 +13,10 @@ enum class Status {
   kNumericallySingular,    ///< pivot below absolute threshold
   kInvalidInput,           ///< malformed matrix or options
   kNotFactored,            ///< solve/refactor before numeric factorization
+  kPivotGrowth,            ///< refactor(): a frozen pivot violated
+                           ///< BaskerOptions::refactor_pivot_tol; from
+                           ///< Basker::refactor() it means the transparent
+                           ///< full re-pivoting fallback ran (factors valid)
 };
 
 inline const char* to_string(Status s) {
@@ -22,6 +26,7 @@ inline const char* to_string(Status s) {
     case Status::kNumericallySingular: return "numerically singular";
     case Status::kInvalidInput: return "invalid input";
     case Status::kNotFactored: return "not factored";
+    case Status::kPivotGrowth: return "pivot growth (re-pivoted)";
   }
   return "unknown";
 }

@@ -14,7 +14,18 @@ Basker::Basker(BaskerOptions opt) : opt_(opt) {
   TeamConfig team_cfg;
   team_cfg.backoff = opt_.backoff;
   team_cfg.pin_threads = opt_.pin_threads;
-  team_ = std::make_unique<ThreadTeam>(nthreads_, team_cfg);
+  if (opt_.team) {
+    // Externally owned service team: several instances may share it.
+    // run() serializes concurrent dispatches; members beyond nthreads_
+    // idle through ours (the dispatch bodies guard with tid < nthreads_).
+    BASKER_REQUIRE(opt_.team->size() >= nthreads_,
+                   "basker: shared team smaller than granted thread count");
+    team_ = opt_.team;
+  } else if (opt_.share_team) {
+    team_ = acquire_team(nthreads_, team_cfg);
+  } else {
+    team_ = std::make_shared<ThreadTeam>(nthreads_, team_cfg);
+  }
   barrier_ = std::make_unique<SpinBarrier>(nthreads_, opt_.backoff);
   ep_.init(nthreads_);
   ws_.resize(static_cast<size_t>(nthreads_));
@@ -50,8 +61,26 @@ Status Basker::factor(const Csc& a) {
 }
 
 Status Basker::refactor(const Csc& a) {
-  if (!analyzed_) return Status::kNotFactored;
-  return numeric(a);
+  // Values-only replay needs a complete frozen pivot sequence and live
+  // factor allocations — i.e. a prior *successful* numeric pass.
+  if (!analyzed_ || !factored_) return Status::kNotFactored;
+  WallTimer timer;
+  refactor_replay_ = true;
+  Status s = numeric(a);
+  refactor_replay_ = false;
+  if (s == Status::kPivotGrowth || s == Status::kNumericallySingular) {
+    // The growth monitor rejected a frozen pivot (or it collapsed to
+    // zero): transparently re-run the full re-pivoting numeric pass so
+    // the caller never silently loses accuracy. A successful fallback
+    // still reports kPivotGrowth — the distinct status tells sequence
+    // drivers that pivot reuse stopped being safe for these values.
+    ++stats_.refactor_fallbacks;
+    const Status full = numeric(a);
+    s = (full == Status::kOk) ? Status::kPivotGrowth : full;
+  }
+  ++stats_.refactors;
+  stats_.refactor_seconds += timer.seconds();
+  return s;
 }
 
 }  // namespace basker

@@ -59,7 +59,16 @@ class Basker {
   /// symbolic() + numeric().
   Status factor(const Csc& a);
 
-  /// Numeric-only refactorization (requires a prior successful factor()).
+  /// Values-only refactorization (requires a prior successful factor()):
+  /// reuses the symbolic analysis, permutations, task DAG and factor
+  /// allocations, and replays the frozen pivot sequence with no pivot
+  /// search (KLU-style). Per-column pivot growth is monitored against
+  /// BaskerOptions::refactor_pivot_tol; on violation (or a zero frozen
+  /// pivot) the call transparently falls back to the full re-pivoting
+  /// numeric() and returns Status::kPivotGrowth — factors are valid, the
+  /// distinct status just reports that pivot reuse was unsafe. Factors are
+  /// bit-identical to what a fresh numeric() constrained to the same pivot
+  /// sequence would produce (docs/DESIGN.md, pivot-reuse correctness).
   Status refactor(const Csc& a);
 
   /// Solve A x = b in place.
@@ -106,7 +115,11 @@ class Basker {
   BaskerOptions opt_;
   BaskerStats stats_;
   Int nthreads_ = 1;
-  std::unique_ptr<ThreadTeam> team_;
+  /// Worker team: private by default, or a shared service team
+  /// (options().team / options().share_team) that other instances may also
+  /// dispatch to — ThreadTeam::run() serializes them. May be larger than
+  /// nthreads_; dispatches guard with tid < nthreads_.
+  std::shared_ptr<ThreadTeam> team_;
   std::unique_ptr<SpinBarrier> barrier_;
   EpochCounters ep_;
   std::atomic<int> error_{0};
@@ -124,6 +137,10 @@ class Basker {
 
   bool analyzed_ = false;
   bool factored_ = false;
+  /// Set by refactor() around its numeric() call: the numeric kernels
+  /// replay the frozen pivot sequence (values-only paths, no pivot
+  /// search) instead of searching.
+  bool refactor_replay_ = false;
 };
 
 /// Per-thread numeric workspace (definition public to the implementation

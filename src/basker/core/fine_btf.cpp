@@ -17,11 +17,20 @@ Status Basker::factor_fine_block(Int tid, Int blk) {
   const Int lo = an_.block_off[blk], hi = an_.block_off[blk + 1];
   const Int m = hi - lo;
   DiagFactor& f = an_.fine_factor[blk];
-  ws.engine.init(m);
-  Size est = 0;
-  for (Int j = lo; j < hi; ++j) est += an_.b.col_ptr[j + 1] - an_.b.col_ptr[j];
-  f.l.init(m, m, 2 * est);
-  f.u.init(m, m, 2 * est + m);
+  // refactor() replay: the block's input columns are structural slices of
+  // an_.b, so the stored patterns can be overwritten in place with the
+  // frozen pivot sequence (see GpEngine::replay_column).
+  const bool replay = refactor_replay_;
+  if (replay) {
+    ws.engine.begin_replay(m, f.row_perm, f.pinv);
+    gp_opt.refactor_growth_tol = opt_.refactor_pivot_tol;
+  } else {
+    ws.engine.init(m);
+    Size est = 0;
+    for (Int j = lo; j < hi; ++j) est += an_.b.col_ptr[j + 1] - an_.b.col_ptr[j];
+    f.l.init(m, m, 2 * est);
+    f.u.init(m, m, 2 * est + m);
+  }
   const double flops_before = ws.engine.flops();
   for (Int k = 0; k < m; ++k) {
     rows.clear();
@@ -35,12 +44,16 @@ Status Basker::factor_fine_block(Int tid, Int blk) {
       }
     }
     const Status s =
-        ws.engine.factor_column(f.l, f.u, k, rows.data(), vals.data(),
-                                static_cast<Int>(rows.size()), k, gp_opt);
+        replay ? ws.engine.replay_column(f.l, f.u, k, rows.data(), vals.data(),
+                                         static_cast<Int>(rows.size()), gp_opt)
+               : ws.engine.factor_column(f.l, f.u, k, rows.data(), vals.data(),
+                                         static_cast<Int>(rows.size()), k, gp_opt);
     if (s != Status::kOk) return s;
   }
-  f.row_perm = ws.engine.row_perm();
-  f.pinv = ws.engine.pinv();
+  if (!replay) {
+    f.row_perm = ws.engine.row_perm();
+    f.pinv = ws.engine.pinv();
+  }
   ws.work[0] += ws.engine.flops() - flops_before;
   return Status::kOk;
 }

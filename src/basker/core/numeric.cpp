@@ -57,12 +57,20 @@ void Basker::part_phase_leaves(NdPart& part, Int part_idx, Int tid, Int leaf) {
   for (Int c = 0; c < m; ++c) {
     est += part.asub.col_ptr[off + c + 1] - part.asub.col_ptr[off + c];
   }
-  engine.init(m);
-  dg.l.init(m, m, 3 * est);
-  dg.u.init(m, m, 3 * est + m);
-
+  // refactor() replay: the leaf's input columns are structural gathers from
+  // asub, so the stored L/U patterns fix the reach exactly — overwrite the
+  // frozen factors' values in place (no DFS, no pivot search, no appends).
+  const bool replay = refactor_replay_;
   GpOptions gp_opt;
   gp_opt.pivot_tol = opt_.pivot_tol;
+  if (replay) {
+    engine.begin_replay(m, dg.row_perm, dg.pinv);
+    gp_opt.refactor_growth_tol = opt_.refactor_pivot_tol;
+  } else {
+    engine.init(m);
+    dg.l.init(m, m, 3 * est);
+    dg.u.init(m, m, 3 * est + m);
+  }
   const double flops0 = engine.flops();
   double extra_flops = 0.0;
 
@@ -73,18 +81,24 @@ void Basker::part_phase_leaves(NdPart& part, Int part_idx, Int tid, Int leaf) {
       ws.in_rows.push_back(r);
       ws.in_vals.push_back(v);
     });
-    const Status s = engine.factor_column(dg.l, dg.u, c, ws.in_rows.data(),
-                                          ws.in_vals.data(),
-                                          static_cast<Int>(ws.in_rows.size()), c,
-                                          gp_opt);
+    const Status s =
+        replay ? engine.replay_column(dg.l, dg.u, c, ws.in_rows.data(),
+                                      ws.in_vals.data(),
+                                      static_cast<Int>(ws.in_rows.size()), gp_opt)
+               : engine.factor_column(dg.l, dg.u, c, ws.in_rows.data(),
+                                      ws.in_vals.data(),
+                                      static_cast<Int>(ws.in_rows.size()), c,
+                                      gp_opt);
     if (s != Status::kOk) {
       fail(s);
       ep_.signal(tid, LLONG_MAX / 2);
       return;
     }
   }
-  dg.row_perm = engine.row_perm();
-  dg.pinv = engine.pinv();
+  if (!replay) {
+    dg.row_perm = engine.row_perm();
+    dg.pinv = engine.pinv();
+  }
 
   // L_ki = A_ki U_ii^{-1}, columnwise:
   // L_ki(:,c) = (A_ki(:,c) - sum_{t<c} L_ki(:,t) U_ii(t,c)) / U_ii(c,c).
@@ -147,6 +161,15 @@ void Basker::part_block_column(NdPart& part, Int part_idx, Int tid, Int slevel) 
   const Int np = part.participants(j);
   GpOptions gp_opt;
   gp_opt.pivot_tol = opt_.pivot_tol;
+  if (refactor_replay_) {
+    // Separator reductions skip zero products, so the reduced input
+    // pattern is value-dependent and the stored pattern cannot be replayed
+    // in place. Re-run the full kernel instead, with the pivot search off
+    // and each column's prior pivot forced (diag_row below) — the frozen
+    // sequence is reproduced, monitored by the growth guard.
+    gp_opt.no_pivoting = true;
+    gp_opt.refactor_growth_tol = opt_.refactor_pivot_tol;
+  }
 
   // Initialize the factor blocks this thread owns within block column j.
   for (Int l = 0; l <= lt; ++l) {
@@ -322,7 +345,8 @@ void Basker::part_block_column(NdPart& part, Int part_idx, Int tid, Int slevel) 
         }
         const Status s = jengine.factor_column(
             dg.l, dg.u, c, ws.in_rows.data(), ws.in_vals.data(),
-            static_cast<Int>(ws.in_rows.size()), c, gp_opt);
+            static_cast<Int>(ws.in_rows.size()),
+            refactor_replay_ ? dg.row_perm[c] : c, gp_opt);
         if (s != Status::kOk) {
           fail(s);
           ep_.signal(tid, LLONG_MAX / 2);
@@ -387,6 +411,11 @@ void Basker::part_block_column_1d(NdPart& part, Int part_idx, Int tid, Int sleve
   const Int jo = part.seg_off[j];
   GpOptions gp_opt;
   gp_opt.pivot_tol = opt_.pivot_tol;
+  if (refactor_replay_) {
+    // Same frozen-pivot treatment as the 2D path (see part_block_column).
+    gp_opt.no_pivoting = true;
+    gp_opt.refactor_growth_tol = opt_.refactor_pivot_tol;
+  }
 
   // Postorder ids make the subtree of j the contiguous range [sub_lo, j).
   const Int sub_lo = j - ((Int{1} << (slevel + 1)) - 2);
@@ -479,7 +508,8 @@ void Basker::part_block_column_1d(NdPart& part, Int part_idx, Int tid, Int sleve
     }
     const Status s = jengine.factor_column(
         part.diag[j].l, part.diag[j].u, c, ws.in_rows.data(), ws.in_vals.data(),
-        static_cast<Int>(ws.in_rows.size()), c, gp_opt);
+        static_cast<Int>(ws.in_rows.size()),
+        refactor_replay_ ? part.diag[j].row_perm[c] : c, gp_opt);
     if (s != Status::kOk) {
       fail(s);
       ep_.signal(tid, LLONG_MAX / 2);
@@ -596,7 +626,12 @@ Status Basker::run_numeric() {
   stats_.dag_assembles = 0;
   ep_.init(nthreads_);
 
-  team_->run([this](Int tid) { numeric_thread(tid); });
+  // A shared service team may be larger than this instance's grant; extra
+  // members idle through the dispatch (barrier_/ep_/ws_ are sized
+  // nthreads_).
+  team_->run([this](Int tid) {
+    if (tid < nthreads_) numeric_thread(tid);
+  });
 
   collect_numeric_stats();
 

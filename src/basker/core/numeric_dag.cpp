@@ -172,6 +172,14 @@ bool Basker::dag_sep_factor(NdPart& part, Int part_idx, Int tid, Int j) {
   const Int sub_lo = part.seg_sub_lo[j];
   GpOptions gp_opt;
   gp_opt.pivot_tol = opt_.pivot_tol;
+  if (refactor_replay_) {
+    // Frozen pivots under refactor(): separator input columns are
+    // value-dependent reductions (zero products skipped), so re-run the
+    // full kernel with the pivot search off and the prior pivot forced
+    // per column (same treatment as the static path's part_block_column).
+    gp_opt.no_pivoting = true;
+    gp_opt.refactor_growth_tol = opt_.refactor_pivot_tol;
+  }
 
   Size est = 0;
   for (Int c = 0; c < jcols; ++c) {
@@ -212,7 +220,8 @@ bool Basker::dag_sep_factor(NdPart& part, Int part_idx, Int tid, Int j) {
     }
     const Status s = jengine.factor_column(
         dg.l, dg.u, c, ws.in_rows.data(), ws.in_vals.data(),
-        static_cast<Int>(ws.in_rows.size()), c, gp_opt);
+        static_cast<Int>(ws.in_rows.size()),
+        refactor_replay_ ? dg.row_perm[c] : c, gp_opt);
     if (s != Status::kOk) {
       fail(s);
       return false;

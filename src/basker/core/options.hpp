@@ -6,6 +6,7 @@
 // comparisons; production callers should leave them at their defaults.
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "basker/common/types.hpp"
@@ -13,6 +14,8 @@
 #include "basker/thread/backoff.hpp"
 
 namespace basker {
+
+class ThreadTeam;
 
 /// How the numeric phase coordinates its threads. kPointToPoint/kBarrier
 /// select the paper's *static* schedule (one thread per separator-tree
@@ -181,6 +184,36 @@ struct BaskerOptions {
   /// unsupported). Off by default: pinning helps dedicated benchmark runs
   /// and hurts oversubscribed ones.
   bool pin_threads = false;
+
+  /// Frozen-pivot growth guard for refactor() (values-only replay): a
+  /// column whose frozen pivot satisfies
+  /// |pivot| < refactor_pivot_tol * max|candidate| aborts the replay and
+  /// refactor() transparently re-runs the full re-pivoting numeric();
+  /// the call then returns Status::kPivotGrowth (factors are valid —
+  /// the distinct status only tells the caller that pivot reuse was not
+  /// numerically safe for these values). Default 1e-6: loose enough that
+  /// benign drift of a diagonally-dominant sequence never triggers it,
+  /// tight enough that the residual stays within the accuracy a searching
+  /// factorization would deliver. 0 disables the monitor (replay always
+  /// trusted).
+  Scalar refactor_pivot_tol = 1e-6;
+
+  /// Attach this instance to an externally owned persistent thread team
+  /// instead of spawning a private one. The team must have
+  /// size() >= granted_threads(sync_mode, nthreads); extra members idle
+  /// through this instance's dispatches. Several instances may share one
+  /// team — ThreadTeam::run() serializes dispatches, so concurrent
+  /// factor/refactor calls time-multiplex the team instead of
+  /// oversubscribing cores. See acquire_team() (thread/team.hpp) for a
+  /// process-wide registry of shareable teams.
+  std::shared_ptr<ThreadTeam> team{};
+
+  /// Convenience: when true and `team` is empty, the instance attaches to
+  /// the process-wide registry team for its (granted threads, backoff,
+  /// pin_threads) configuration — acquire_team() — instead of spawning a
+  /// private one. Instances with matching configurations then share
+  /// threads automatically. Default false (private team per instance).
+  bool share_team = false;
 };
 
 /// Read-only statistics filled by symbolic() and numeric(); see
@@ -197,6 +230,14 @@ struct BaskerStats {
   double analyze_seconds = 0.0;  ///< symbolic phase wall time
   double factor_seconds = 0.0;   ///< numeric phase wall time
   double sync_seconds = 0.0;     ///< total thread wait time, summed over threads (§IV metric)
+
+  // -- refactor() accounting (values-only replay; see
+  //    BaskerOptions::refactor_pivot_tol). Cumulative across calls so a
+  //    simulation loop reads amortized time-per-step directly. -------------
+  long long refactors = 0;           ///< refactor() calls since analysis
+  long long refactor_fallbacks = 0;  ///< of those, replays rejected by the
+                                     ///< growth monitor (full numeric re-ran)
+  double refactor_seconds = 0.0;     ///< total wall time inside refactor()
 
   double pivot_growth = 0.0;  ///< max|U| / max|A|: stability diagnostic
 

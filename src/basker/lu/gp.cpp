@@ -75,6 +75,18 @@ Status GpEngine::factor_column(LuMatrix& l, LuMatrix& u, Int k, const Int* in_ro
                                const GpOptions& opt) {
   if (in_nnz == 0) return Status::kStructurallySingular;
   const Int top = reach(l, pinv_, in_rows, in_nnz);
+  // Canonical solve order: pivotal rows ascending by pivot position,
+  // non-pivotal rows last by row id. Any topological order is legal (an L
+  // column built at step t only holds rows that pivot strictly later), but
+  // floating-point sums depend on it — pinning THIS order is what makes a
+  // values-only replay_column() pass (which walks the stored U column
+  // ascending) bit-identical to a fresh factorization with the same
+  // pivots. It also emits U entries pre-sorted, so no per-column sort.
+  std::sort(xi_.begin() + top, xi_.begin() + n_, [this](Int a, Int b) {
+    const Int ta = pinv_[a], tb = pinv_[b];
+    if ((ta == kInvalid) != (tb == kInvalid)) return tb == kInvalid;
+    return ta == kInvalid ? a < b : ta < tb;
+  });
   for (Int s = 0; s < in_nnz; ++s) x_[in_rows[s]] = in_vals[s];
   solve_reached(l, pinv_, top);
 
@@ -90,16 +102,23 @@ Status GpEngine::factor_column(LuMatrix& l, LuMatrix& u, Int k, const Int* in_ro
       best = r;
     }
   }
+  Status status = Status::kOk;
   if (opt.no_pivoting) {
     best = diag_row;
     if (best == kInvalid || pinv_[best] != kInvalid) best = kInvalid;
+    // Frozen-pivot growth monitor: a forced pivot dominated by the column
+    // is a stability loss a searching factorization would have avoided.
+    if (best != kInvalid && opt.refactor_growth_tol > 0.0 &&
+        std::abs(x_[best]) < opt.refactor_growth_tol * max_abs) {
+      status = Status::kPivotGrowth;
+    }
   } else if (diag_row != kInvalid && pinv_[diag_row] == kInvalid) {
     const Scalar d = std::abs(x_[diag_row]);
     if (d > opt.zero_pivot_abs && d >= opt.pivot_tol * max_abs) best = diag_row;
   }
-  Status status = Status::kOk;
-  if (best == kInvalid || std::abs(x_[best]) <= opt.zero_pivot_abs ||
-      x_[best] == 0.0) {
+  if (status == Status::kOk &&
+      (best == kInvalid || std::abs(x_[best]) <= opt.zero_pivot_abs ||
+       x_[best] == 0.0)) {
     status = Status::kNumericallySingular;
   }
 
@@ -107,31 +126,14 @@ Status GpEngine::factor_column(LuMatrix& l, LuMatrix& u, Int k, const Int* in_ro
     const Scalar pivot = x_[best];
     pinv_[best] = k;
     row_perm_[k] = best;
-    // U entries: pivotal rows, sorted ascending by pivot position (diagonal
-    // last). L entries: remaining rows, scaled by the pivot.
-    Int u_begin = static_cast<Int>(u.nnz());
+    // U entries: pivotal rows. The canonical solve order already visits
+    // them ascending by pivot position, so the appends come out sorted
+    // (diagonal last) with no per-column sort.
     for (Int p = top; p < n_; ++p) {
       const Int r = xi_[p];
       const Int t = pinv_[r];
       if (t != kInvalid && t < k) {
         u.append(t, x_[r]);
-      }
-    }
-    // Sort this column of U by pivot position (small columns; cheap).
-    {
-      const Int u_end = static_cast<Int>(u.nnz());
-      // Insertion sort over the freshly appended range.
-      for (Int i = u_begin + 1; i < u_end; ++i) {
-        const Int rt = u.row_idx[i];
-        const Scalar vt = u.values[i];
-        Int j = i - 1;
-        while (j >= u_begin && u.row_idx[j] > rt) {
-          u.row_idx[j + 1] = u.row_idx[j];
-          u.values[j + 1] = u.values[j];
-          --j;
-        }
-        u.row_idx[j + 1] = rt;
-        u.values[j + 1] = vt;
       }
     }
     u.append(k, pivot);
@@ -150,6 +152,63 @@ Status GpEngine::factor_column(LuMatrix& l, LuMatrix& u, Int k, const Int* in_ro
     l.close_column(k);
     u.close_column(k);
   }
+  return status;
+}
+
+void GpEngine::begin_replay(Int n, const std::vector<Int>& row_perm,
+                            const std::vector<Int>& pinv) {
+  n_ = n;
+  x_.assign(static_cast<size_t>(n), 0.0);
+  row_perm_ = row_perm;
+  pinv_ = pinv;
+}
+
+Status GpEngine::replay_column(LuMatrix& l, LuMatrix& u, Int k, const Int* in_rows,
+                               const Scalar* in_vals, Int in_nnz,
+                               const GpOptions& opt) {
+  if (in_nnz == 0) return Status::kStructurallySingular;
+  for (Int s = 0; s < in_nnz; ++s) x_[in_rows[s]] = in_vals[s];
+  // Walk the stored U column (sorted ascending by pivot position, diagonal
+  // last): each entry t is the solve value at pivot position t, exactly the
+  // ascending canonical order factor_column() used — so sums accumulate in
+  // the same order and the results are bit-identical.
+  const Size ub = u.col_ptr[k], ue = u.col_ptr[k + 1];
+  for (Size p = ub; p + 1 < ue; ++p) {
+    const Int t = u.row_idx[p];
+    const Scalar y = x_[row_perm_[t]];
+    u.values[p] = y;
+    if (y != 0.0) {
+      const Size lb = l.col_ptr[t], le = l.col_ptr[t + 1];
+      for (Size q = lb; q < le; ++q) x_[l.row_idx[q]] -= l.values[q] * y;
+      flops_ += 2.0 * static_cast<double>(le - lb);
+    }
+  }
+  const Int pr = row_perm_[k];
+  const Scalar pivot = x_[pr];
+  Status status = Status::kOk;
+  if (opt.refactor_growth_tol > 0.0) {
+    // Same candidate set as the fresh pass: the frozen pivot plus the rows
+    // that landed in L (the non-pivotal reach).
+    Scalar max_abs = std::abs(pivot);
+    for (Size q = l.col_ptr[k]; q < l.col_ptr[k + 1]; ++q)
+      max_abs = std::max(max_abs, std::abs(x_[l.row_idx[q]]));
+    if (std::abs(pivot) < opt.refactor_growth_tol * max_abs)
+      status = Status::kPivotGrowth;
+  }
+  if (status == Status::kOk &&
+      (std::abs(pivot) <= opt.zero_pivot_abs || pivot == 0.0)) {
+    status = Status::kNumericallySingular;
+  }
+  if (status == Status::kOk) {
+    u.values[ue - 1] = pivot;
+    for (Size q = l.col_ptr[k]; q < l.col_ptr[k + 1]; ++q) {
+      l.values[q] = x_[l.row_idx[q]] / pivot;
+      flops_ += 1.0;
+    }
+  }
+  // Clear the accumulator along the stored patterns, even on failure.
+  for (Size p = ub; p < ue; ++p) x_[row_perm_[u.row_idx[p]]] = 0.0;
+  for (Size q = l.col_ptr[k]; q < l.col_ptr[k + 1]; ++q) x_[l.row_idx[q]] = 0.0;
   return status;
 }
 

@@ -23,6 +23,12 @@ struct GpOptions {
   bool no_pivoting = false;
   /// Absolute value below which a pivot counts as numerically zero.
   Scalar zero_pivot_abs = 0.0;
+  /// Frozen-pivot growth monitor (no_pivoting / replay paths only): when
+  /// positive, a column whose forced pivot satisfies
+  /// |pivot| < refactor_growth_tol * max|candidate| fails with
+  /// Status::kPivotGrowth so the caller can fall back to re-pivoting.
+  /// 0 (default) disables the monitor.
+  Scalar refactor_growth_tol = 0.0;
 };
 
 /// Column-at-a-time Gilbert-Peierls engine for one diagonal block.
@@ -37,6 +43,24 @@ class GpEngine {
   /// Prepare for a block of dimension n (reusable across blocks; reuses
   /// scratch if n fits).
   void init(Int n);
+
+  /// Prepare for a values-only replay of a previously factored block of
+  /// dimension n: scratch is sized and zeroed and the frozen pivot order
+  /// installed (row_perm/pinv of the prior successful factorization).
+  void begin_replay(Int n, const std::vector<Int>& row_perm,
+                    const std::vector<Int>& pinv);
+
+  /// Values-only replay of column k against the stored patterns of l/u (no
+  /// DFS, no pivot search, no appends): overwrite the column's values in
+  /// place from the sparse input column, taking row_perm[k] — installed by
+  /// begin_replay() — as the pivot. Because the DFS reach is a pure
+  /// function of the (fixed) input pattern and the stored L patterns, and
+  /// factor_column() solves in ascending pivot order, the result is
+  /// bit-identical to what a fresh factor_column() with the frozen pivot
+  /// sequence would produce. Fails with Status::kPivotGrowth when
+  /// opt.refactor_growth_tol rejects the frozen pivot.
+  Status replay_column(LuMatrix& l, LuMatrix& u, Int k, const Int* in_rows,
+                       const Scalar* in_vals, Int in_nnz, const GpOptions& opt);
 
   /// Factor column k of the block from a sparse input column. diag_row is
   /// the preferred pivot (pre-pivot row id) or kInvalid. L and U must have

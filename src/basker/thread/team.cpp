@@ -1,5 +1,7 @@
 #include "basker/thread/team.hpp"
 
+#include <map>
+
 #include "basker/common/error.hpp"
 #include "basker/thread/affinity.hpp"
 
@@ -25,6 +27,11 @@ ThreadTeam::~ThreadTeam() {
 }
 
 void ThreadTeam::run(const std::function<void(Int)>& fn) {
+  // Service path: a team may be shared by several Basker instances, so
+  // dispatches from concurrent callers are serialized here (including the
+  // single-thread fast path — tid 0 work still uses the caller's thread).
+  // fn never re-enters run() on the same team, so this cannot deadlock.
+  std::lock_guard<std::mutex> service(service_mutex_);
   CpuSet saved_mask;
   bool restore_mask = false;
   if (config_.pin_threads) {
@@ -62,6 +69,44 @@ void ThreadTeam::run(const std::function<void(Int)>& fn) {
     job_ = nullptr;
   }
   if (restore_mask) set_thread_affinity(saved_mask);
+}
+
+std::shared_ptr<ThreadTeam> acquire_team(Int nthreads, const TeamConfig& config) {
+  // Process-wide registry of shareable teams, keyed by every field that
+  // changes team behavior. weak_ptr entries: the registry never keeps a
+  // team alive — when the last attached instance releases its shared_ptr
+  // the threads join, and the next acquire respawns them.
+  struct TeamKey {
+    Int nthreads;
+    int spin, yield, park_mode;
+    long long park_micros;
+    bool pin;
+    bool operator<(const TeamKey& o) const {
+      if (nthreads != o.nthreads) return nthreads < o.nthreads;
+      if (spin != o.spin) return spin < o.spin;
+      if (yield != o.yield) return yield < o.yield;
+      if (park_mode != o.park_mode) return park_mode < o.park_mode;
+      if (park_micros != o.park_micros) return park_micros < o.park_micros;
+      return pin < o.pin;
+    }
+  };
+  static std::mutex registry_mutex;
+  static std::map<TeamKey, std::weak_ptr<ThreadTeam>> registry;
+
+  const TeamKey key{nthreads,
+                    static_cast<int>(config.backoff.spin),
+                    static_cast<int>(config.backoff.yield),
+                    static_cast<int>(config.backoff.park),
+                    static_cast<long long>(config.backoff.park_micros),
+                    config.pin_threads};
+  std::lock_guard<std::mutex> lock(registry_mutex);
+  auto it = registry.find(key);
+  if (it != registry.end()) {
+    if (auto team = it->second.lock()) return team;
+  }
+  auto team = std::make_shared<ThreadTeam>(nthreads, config);
+  registry[key] = team;
+  return team;
 }
 
 void ThreadTeam::worker_loop(Int tid) {

@@ -12,6 +12,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -166,11 +167,19 @@ class ThreadTeam {
 
   /// Dispatch fn to every team member and wait for completion. Exceptions
   /// thrown by fn terminate (factorization code reports via Status instead).
+  ///
+  /// Service path: run() is safe to call from multiple threads — a team
+  /// shared by several Basker instances serializes their dispatches on an
+  /// internal mutex, so concurrent factor/refactor calls time-multiplex
+  /// the same workers instead of oversubscribing cores. fn must never call
+  /// run() on the same team (single non-reentrant mutex).
   void run(const std::function<void(Int)>& fn);
 
  private:
   void worker_loop(Int tid);
 
+  /// Serializes concurrent run() callers (shared-team service path).
+  std::mutex service_mutex_;
   Int nthreads_;
   TeamConfig config_;
   std::vector<std::thread> workers_;
@@ -185,5 +194,14 @@ class ThreadTeam {
   std::condition_variable done_cv_;
   std::atomic<int> master_parked_{0};
 };
+
+/// Process-wide registry of shareable teams, keyed by (nthreads, backoff
+/// policy, pin_threads). Returns the live registered team for that
+/// configuration, or spawns and registers one. The registry holds only
+/// weak references: when every attached instance has released its
+/// shared_ptr the team shuts down, and a later acquire respawns it —
+/// detach-while-idle is therefore just dropping the pointer. Thread-safe.
+std::shared_ptr<ThreadTeam> acquire_team(Int nthreads,
+                                         const TeamConfig& config = {});
 
 }  // namespace basker

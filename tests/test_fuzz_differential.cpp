@@ -168,5 +168,120 @@ TEST(FuzzDifferential, StaticVsTaskDagRandomizedSweep) {
               static_cast<unsigned long long>(seed), budget.seconds());
 }
 
+// Seeded refactor leg: randomized values-only rewrites over frozen pivots.
+//
+// Each iteration factors one suite matrix in four solvers — static p = 1,
+// a depth-0 task-DAG team (whose analysis is bit-identical to static
+// p = 1), and two deep task-DAG teams with different team sizes and chunk
+// grids — then drives a few gen::revalue() rewrites through refactor() on
+// all four. The invariants per rewrite:
+//   - solvers sharing an analysis (static vs depth-0 DAG; the two deep DAG
+//     teams) return the SAME status and BIT-IDENTICAL factors: the frozen
+//     replay, the growth monitor's verdict, and any fallback re-pivoting
+//     pass are all deterministic functions of (analysis, values);
+//   - whenever the factors are valid, the static solve stays inside the
+//     shared residual gate.
+// Same seed/budget env protocol as the sweep above.
+TEST(FuzzDifferential, RefactorValueRewriteSweep) {
+  const std::uint64_t seed = env_u64("BASKER_FUZZ_SEED", 20260807ULL);
+  const double budget_ms = env_double("BASKER_FUZZ_MS", 6000.0);
+  const std::uint64_t max_iters = env_u64("BASKER_FUZZ_MAX_ITERS", 48);
+
+  Prng rng(seed ^ 0x5eedf00dULL);
+  WallTimer budget;
+  std::uint64_t iter = 0;
+  while (iter == 0 ||
+         (budget.seconds() * 1000.0 < budget_ms && iter < max_iters)) {
+    const std::string name =
+        suite_names()[static_cast<size_t>(rng.next_int(
+            static_cast<Int>(suite_names().size())))];
+    const double scale = rng.uniform(0.08, 0.2);
+    const Int depth0_p = pick(rng, {1, 2, 3, 5, 8});
+    const Int deep_p1 = pick(rng, {1, 2, 3, 5, 6, 8});
+    Int deep_p2 = pick(rng, {1, 2, 3, 5, 6, 8});
+    if (deep_p2 == deep_p1) deep_p2 = deep_p1 == 8 ? 3 : deep_p1 + 1;
+    const double task_flops = pick(rng, {1.0, 2.5e4, 4e5});
+    const double rewrite_frac = pick(rng, {0.1, 0.3, 1.0});
+
+    std::ostringstream trace;
+    trace << "seed=" << seed << " iter=" << iter << " matrix=" << name
+          << " scale=" << scale << " depth0_p=" << depth0_p << " deep_p={"
+          << deep_p1 << "," << deep_p2 << "} dag_task_flops=" << task_flops
+          << " rewrite_frac=" << rewrite_frac
+          << "  (rerun: BASKER_FUZZ_SEED=" << seed
+          << " BASKER_FUZZ_MAX_ITERS=" << (iter + 1)
+          << " BASKER_FUZZ_MS=1e9 ./test_fuzz_differential "
+             "--gtest_filter='FuzzDifferential.RefactorValueRewriteSweep')";
+    SCOPED_TRACE(trace.str());
+
+    Csc a = gen::make_by_name(name, scale);
+
+    BaskerOptions static_opt;
+    static_opt.nthreads = 1;
+    Basker sstatic(static_opt);
+
+    BaskerOptions d0_opt;
+    d0_opt.sync_mode = SyncMode::kTaskDag;
+    d0_opt.nthreads = depth0_p;
+    d0_opt.dag_max_levels = 0;
+    d0_opt.dag_chunk_cols = pick(rng, {0, 1, 7});
+    Basker sdepth0(d0_opt);
+
+    auto deep_opts = [&](Int p) {
+      BaskerOptions o;
+      o.sync_mode = SyncMode::kTaskDag;
+      o.nthreads = p;
+      o.dag_task_flops = task_flops;
+      o.dag_chunk_cols = pick(rng, {0, 0, 1, 5, 19});
+      o.dag_chunk_cols_min = pick(rng, {2, 8, 16});
+      return o;
+    };
+    Basker sdeep1(deep_opts(deep_p1));
+    Basker sdeep2(deep_opts(deep_p2));
+
+    ASSERT_EQ(sstatic.factor(a), Status::kOk);
+    ASSERT_EQ(sdepth0.factor(a), Status::kOk);
+    ASSERT_EQ(sdeep1.factor(a), Status::kOk);
+    ASSERT_EQ(sdeep2.factor(a), Status::kOk);
+    ASSERT_TRUE(digest_factors(sstatic) == digest_factors(sdepth0))
+        << "fresh static vs depth-0 DAG factors differ";
+    ASSERT_TRUE(digest_factors(sdeep1) == digest_factors(sdeep2))
+        << "fresh deep-DAG factors differ across p";
+
+    for (int step = 0; step < 3; ++step) {
+      gen::revalue(a, rng, rewrite_frac);
+      const Status st = sstatic.refactor(a);
+      const Status s0 = sdepth0.refactor(a);
+      const Status s1 = sdeep1.refactor(a);
+      const Status s2 = sdeep2.refactor(a);
+      ASSERT_EQ(st, s0) << "static vs depth-0 DAG refactor status at step "
+                        << step;
+      ASSERT_EQ(s1, s2) << "deep-DAG refactor status across p at step "
+                        << step;
+      if (sstatic.factored()) {
+        ASSERT_TRUE(digest_factors(sstatic) == digest_factors(sdepth0))
+            << "static vs depth-0 DAG refactor diverged at step " << step;
+        const std::vector<Scalar> rhs =
+            gen::random_rhs(a.ncols, seed ^ (iter * 31 + step));
+        std::vector<Scalar> x = rhs;
+        ASSERT_EQ(sstatic.solve(x), Status::kOk);
+        EXPECT_LT(relative_residual(a, x, rhs), kMaxResidual)
+            << "refactor residual out of bounds at step " << step;
+      }
+      if (sdeep1.factored()) {
+        ASSERT_TRUE(digest_factors(sdeep1) == digest_factors(sdeep2))
+            << "deep-DAG refactor diverged across p at step " << step;
+      }
+      // A genuinely singular rewrite drops factored(); stop this
+      // iteration — further refactor() calls would all be kNotFactored.
+      if (!sstatic.factored() || !sdeep1.factored()) break;
+    }
+    ++iter;
+  }
+  std::printf("[          ] refactor fuzz: %llu iteration(s), seed %llu, %.1f s\n",
+              static_cast<unsigned long long>(iter),
+              static_cast<unsigned long long>(seed), budget.seconds());
+}
+
 }  // namespace
 }  // namespace basker

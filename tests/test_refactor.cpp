@@ -1,0 +1,413 @@
+// Values-only refactor() battery: pivot reuse without a pivot search.
+//
+// The contracts under test:
+//   - refactor() with the SAME values reproduces the factors of the
+//     preceding factor() bit-for-bit (replay walks the stored patterns in
+//     the canonical ascending-pivot order — the exact FP summation order
+//     of the fresh pass);
+//   - refactor() with NEW values equals a fresh factorization that lands
+//     on the same (frozen) pivot sequence, bit-for-bit — checked on a
+//     diagonally dominant family where the fresh search provably keeps
+//     the diagonal;
+//   - refactor() factors are bit-identical wherever fresh factors are:
+//     across team sizes and chunk grids under SyncMode::kTaskDag, and
+//     between static p = 1 and the depth-0 task-DAG tree;
+//   - residuals stay gated across all three SyncModes and p = 1,2,3,8;
+//   - the growth monitor rejects a frozen pivot that the re-pivoting
+//     search would have avoided, returns Status::kPivotGrowth, and
+//     transparently re-runs the full pivoting pass (factors stay valid);
+//   - refactor() before factor(), or after a failed numeric pass, returns
+//     Status::kNotFactored;
+//   - degenerate shapes (0x0, 1x1, singular-then-recover) stay clean.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "basker/common/prng.hpp"
+#include "basker/core/basker.hpp"
+#include "basker/gen/generators.hpp"
+#include "basker/gen/suite.hpp"
+#include "basker/sparse/coo.hpp"
+#include "basker/sparse/ops.hpp"
+#include "factor_digest.hpp"
+
+namespace basker {
+namespace {
+
+using testutil::FactorDigest;
+using testutil::digest_factors;
+
+const SyncMode kAllSyncModes[] = {SyncMode::kPointToPoint, SyncMode::kBarrier,
+                                  SyncMode::kTaskDag};
+
+const char* sync_name(SyncMode m) {
+  switch (m) {
+    case SyncMode::kPointToPoint: return "p2p";
+    case SyncMode::kBarrier: return "barrier";
+    case SyncMode::kTaskDag: return "taskdag";
+  }
+  return "?";
+}
+
+BaskerOptions opts(Int threads, SyncMode sync = SyncMode::kPointToPoint) {
+  BaskerOptions o;
+  o.nthreads = threads;
+  o.sync_mode = sync;
+  return o;
+}
+
+double solve_residual(Basker& solver, const Csc& a, std::uint64_t seed) {
+  std::vector<Scalar> b = gen::random_rhs(a.ncols, seed);
+  const std::vector<Scalar> b_orig = b;
+  EXPECT_EQ(solver.solve(b), Status::kOk);
+  return relative_residual(a, b, b_orig);
+}
+
+Csc circuit(std::uint64_t seed) {
+  gen::CircuitParams p;
+  p.n = 700;
+  p.btf_frac = 0.35;
+  p.core = gen::CoreTopology::kGrid;
+  p.seed = seed;
+  return gen::circuit(p);
+}
+
+/// Diagonally dominant matrix on a mesh pattern: the diagonal entry always
+/// dominates its column, so the diagonal-preference search keeps the
+/// diagonal pivot for ANY values drawn by this builder. Two different
+/// value_seed draws share the pattern exactly.
+Csc dominant(Int grid, std::uint64_t value_seed) {
+  const Csc base = gen::mesh2d(grid, grid, 0.15, 9);
+  Prng rng(value_seed);
+  Triplets t(base.nrows, base.ncols);
+  for (Int j = 0; j < base.ncols; ++j) {
+    for (Size p = base.col_ptr[j]; p < base.col_ptr[j + 1]; ++p) {
+      const Int i = base.row_idx[p];
+      t.add(i, j, i == j ? 8.0 + rng.uniform(0.0, 1.0) : rng.uniform(-1.0, 1.0));
+    }
+  }
+  return t.to_csc();
+}
+
+Csc two_by_two(Scalar a00, Scalar a01, Scalar a10, Scalar a11) {
+  Triplets t(2, 2);
+  t.add(0, 0, a00);
+  t.add(0, 1, a01);
+  t.add(1, 0, a10);
+  t.add(1, 1, a11);
+  return t.to_csc();
+}
+
+// ---------------------------------------------------------------------------
+// Bit-identity.
+
+TEST(Refactor, SameValuesReproduceFactorsBitwise) {
+  const Csc a = circuit(17);
+  for (SyncMode sync : kAllSyncModes) {
+    for (Int p : {1, 2, 3, 8}) {
+      Basker solver(opts(p, sync));
+      ASSERT_EQ(solver.factor(a), Status::kOk)
+          << sync_name(sync) << " p=" << p;
+      const FactorDigest fresh = digest_factors(solver);
+      ASSERT_EQ(solver.refactor(a), Status::kOk)
+          << sync_name(sync) << " p=" << p;
+      ASSERT_TRUE(fresh == digest_factors(solver))
+          << "replay with unchanged values diverged: " << sync_name(sync)
+          << " p=" << p;
+      EXPECT_EQ(solver.stats().refactor_fallbacks, 0);
+    }
+  }
+}
+
+TEST(Refactor, ReplayEqualsFreshFactorWithFrozenPivots) {
+  // On the dominant() family a fresh factorization of the NEW values picks
+  // the same diagonal pivot sequence the replay froze, so the two paths
+  // must agree bit-for-bit — the replay IS a fresh factorization minus the
+  // search.
+  const Csc a1 = dominant(22, 100);
+  const Csc a2 = dominant(22, 200);
+  for (SyncMode sync : {SyncMode::kPointToPoint, SyncMode::kTaskDag}) {
+    for (Int p : {1, 4}) {
+      Basker replayed(opts(p, sync));
+      ASSERT_EQ(replayed.factor(a1), Status::kOk);
+      ASSERT_EQ(replayed.refactor(a2), Status::kOk)
+          << sync_name(sync) << " p=" << p;
+      EXPECT_EQ(replayed.stats().refactor_fallbacks, 0);
+
+      Basker fresh(opts(p, sync));
+      ASSERT_EQ(fresh.factor(a2), Status::kOk);
+      ASSERT_TRUE(digest_factors(fresh) == digest_factors(replayed))
+          << "replay != fresh factorization with the same pivots: "
+          << sync_name(sync) << " p=" << p;
+    }
+  }
+}
+
+TEST(Refactor, BitIdenticalAcrossTaskDagTeamsAndChunks) {
+  Csc a = circuit(23);
+  Prng rng(7);
+  // Fresh task-DAG factors are bit-identical across p and chunk grids;
+  // the frozen-pivot replay must preserve that through a value sweep.
+  std::vector<std::unique_ptr<Basker>> pool;
+  for (Int p : {1, 2, 3, 8}) {
+    BaskerOptions o = opts(p, SyncMode::kTaskDag);
+    o.dag_chunk_cols = p;  // different chunk grid per solver
+    pool.push_back(std::make_unique<Basker>(o));
+  }
+  for (auto& s : pool) ASSERT_EQ(s->factor(a), Status::kOk);
+  for (int step = 0; step < 3; ++step) {
+    gen::revalue(a, rng, 0.3);
+    FactorDigest expected;
+    bool have = false;
+    for (auto& s : pool) {
+      ASSERT_EQ(s->refactor(a), Status::kOk) << "step " << step;
+      const FactorDigest d = digest_factors(*s);
+      if (!have) {
+        expected = d;
+        have = true;
+      } else {
+        ASSERT_TRUE(expected == d)
+            << "refactor diverged across task-DAG teams at step " << step
+            << " p=" << s->nthreads();
+      }
+    }
+  }
+}
+
+TEST(Refactor, StaticP1MatchesDepthZeroTaskDag) {
+  // The depth-0 task-DAG analysis is bit-identical to the static p = 1
+  // analysis; the replay must keep the two schedules in lockstep too.
+  Csc a = circuit(29);
+  Basker sstatic(opts(1));
+  BaskerOptions dag_opts = opts(3, SyncMode::kTaskDag);
+  dag_opts.dag_max_levels = 0;
+  Basker sdag(dag_opts);
+  ASSERT_EQ(sstatic.factor(a), Status::kOk);
+  ASSERT_EQ(sdag.factor(a), Status::kOk);
+  ASSERT_TRUE(digest_factors(sstatic) == digest_factors(sdag));
+  Prng rng(11);
+  for (int step = 0; step < 3; ++step) {
+    gen::revalue(a, rng, 0.3);
+    ASSERT_EQ(sstatic.refactor(a), Status::kOk) << "step " << step;
+    ASSERT_EQ(sdag.refactor(a), Status::kOk) << "step " << step;
+    ASSERT_TRUE(digest_factors(sstatic) == digest_factors(sdag))
+        << "static vs depth-0 DAG refactor diverged at step " << step;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Residual gates, suite-wide.
+
+TEST(Refactor, ResidualGateAcrossSyncModesAndTeams) {
+  for (const auto& entry : gen::table1_suite()) {
+    const Csc base = gen::make_by_name(entry.name, 0.12);
+    for (SyncMode sync : kAllSyncModes) {
+      for (Int p : {1, 2, 3, 8}) {
+        Csc a = base;
+        Basker solver(opts(p, sync));
+        ASSERT_EQ(solver.factor(a), Status::kOk)
+            << entry.name << " " << sync_name(sync) << " p=" << p;
+        Prng rng(31);
+        for (int step = 0; step < 2; ++step) {
+          gen::revalue(a, rng, 0.3);
+          const Status s = solver.refactor(a);
+          // kPivotGrowth = the monitor re-ran the pivoting pass; the
+          // factors are valid either way.
+          ASSERT_TRUE(s == Status::kOk || s == Status::kPivotGrowth)
+              << entry.name << " " << sync_name(sync) << " p=" << p
+              << " step " << step << ": " << to_string(s);
+          ASSERT_TRUE(solver.factored());
+          EXPECT_LT(solve_residual(solver, a, 60 + step), 1e-8)
+              << entry.name << " " << sync_name(sync) << " p=" << p
+              << " step " << step;
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Growth monitor: rejection and transparent fallback.
+
+TEST(Refactor, GrowthMonitorRejectsAndFallsBack) {
+  // pivot_tol = 1.0 forces the fresh search to take the largest entry, so
+  // [[5,1],[1,2]] pivots on the diagonal (5 is the column max) but
+  // [[0.01,1],[1,2]] pivots off it. The frozen replay of the second matrix
+  // would keep 0.01 — a 100x growth a searching pass avoids.
+  const Csc a = two_by_two(5.0, 1.0, 1.0, 2.0);
+  const Csc bad = two_by_two(0.01, 1.0, 1.0, 2.0);
+
+  {
+    // Default tolerance (1e-6) tolerates the weak pivot: replay succeeds.
+    BaskerOptions o = opts(1);
+    o.pivot_tol = 1.0;
+    Basker solver(o);
+    ASSERT_EQ(solver.factor(a), Status::kOk);
+    ASSERT_EQ(solver.refactor(bad), Status::kOk);
+    EXPECT_EQ(solver.stats().refactor_fallbacks, 0);
+    EXPECT_LT(solve_residual(solver, bad, 1), 1e-12);
+  }
+  {
+    // Tight tolerance rejects it: distinct status, transparent fallback,
+    // and the factors equal a fresh re-pivoting factorization.
+    BaskerOptions o = opts(1);
+    o.pivot_tol = 1.0;
+    o.refactor_pivot_tol = 0.5;
+    Basker solver(o);
+    ASSERT_EQ(solver.factor(a), Status::kOk);
+    ASSERT_EQ(solver.refactor(bad), Status::kPivotGrowth);
+    EXPECT_TRUE(solver.factored());
+    EXPECT_EQ(solver.stats().refactor_fallbacks, 1);
+    EXPECT_LT(solve_residual(solver, bad, 2), 1e-12);
+
+    // The fallback genuinely re-pivoted: a monitor-disabled solver replays
+    // the frozen (now unstable) pivot order on the same values and lands on
+    // different factors. (A fresh factor(bad) is NOT a valid reference
+    // digest here — analysis is value-sensitive through the zero-free-
+    // diagonal matching, so a fresh instance may carry a different row
+    // permutation into numerically identical factors.)
+    BaskerOptions off = o;
+    off.refactor_pivot_tol = 0.0;
+    Basker frozen(off);
+    ASSERT_EQ(frozen.factor(a), Status::kOk);
+    ASSERT_EQ(frozen.refactor(bad), Status::kOk);
+    ASSERT_FALSE(digest_factors(frozen) == digest_factors(solver))
+        << "fallback produced the frozen-pivot factors - it never re-pivoted";
+
+    // The fallback re-froze the re-pivoted sequence: replaying the same
+    // values now succeeds without another fallback.
+    ASSERT_EQ(solver.refactor(bad), Status::kOk);
+    EXPECT_EQ(solver.stats().refactor_fallbacks, 1);
+  }
+  {
+    // refactor_pivot_tol = 0 disables the monitor outright.
+    BaskerOptions o = opts(1);
+    o.pivot_tol = 1.0;
+    o.refactor_pivot_tol = 0.0;
+    Basker solver(o);
+    ASSERT_EQ(solver.factor(a), Status::kOk);
+    ASSERT_EQ(solver.refactor(bad), Status::kOk);
+    EXPECT_EQ(solver.stats().refactor_fallbacks, 0);
+  }
+}
+
+TEST(Refactor, GrowthMonitorCoversParallelSchedules) {
+  // Drive the monitor through the threaded paths: factor a dominant
+  // matrix, then hand refactor() values whose frozen pivots collapse while
+  // an off-diagonal entry stays O(1). A tight tolerance must reject the
+  // replay in every schedule, and the fallback must still produce valid
+  // factors.
+  const Csc good = dominant(20, 300);
+  Csc bad = good;
+  for (Int j = 0; j < bad.ncols; ++j) {
+    for (Size p = bad.col_ptr[j]; p < bad.col_ptr[j + 1]; ++p) {
+      if (bad.row_idx[p] == j) bad.values[p] = 1e-7;  // crush the diagonal
+    }
+  }
+  for (SyncMode sync : kAllSyncModes) {
+    for (Int p : {1, 4}) {
+      BaskerOptions o = opts(p, sync);
+      o.refactor_pivot_tol = 0.1;
+      Basker solver(o);
+      ASSERT_EQ(solver.factor(good), Status::kOk)
+          << sync_name(sync) << " p=" << p;
+      const Status s = solver.refactor(bad);
+      ASSERT_TRUE(s == Status::kPivotGrowth || s == Status::kNumericallySingular)
+          << sync_name(sync) << " p=" << p << ": " << to_string(s);
+      if (s == Status::kPivotGrowth) {
+        EXPECT_TRUE(solver.factored());
+        EXPECT_GE(solver.stats().refactor_fallbacks, 1);
+        EXPECT_LT(solve_residual(solver, bad, 3), 1e-6)
+            << sync_name(sync) << " p=" << p;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Preconditions and degenerate shapes.
+
+TEST(Refactor, BeforeFactorReturnsNotFactored) {
+  Basker solver(opts(2));
+  EXPECT_EQ(solver.refactor(Csc::identity(3)), Status::kNotFactored);
+}
+
+TEST(Refactor, AfterFailedNumericReturnsNotFactored) {
+  // Numerically singular: two identical columns.
+  const Csc sing = two_by_two(1.0, 1.0, 2.0, 2.0);
+  Basker solver(opts(2));
+  ASSERT_NE(solver.factor(sing), Status::kOk);
+  EXPECT_FALSE(solver.factored());
+  EXPECT_EQ(solver.refactor(sing), Status::kNotFactored);
+}
+
+TEST(Refactor, DegenerateShapes) {
+  for (SyncMode sync : kAllSyncModes) {
+    // 0x0: trivially factorable and refactorable.
+    {
+      Basker solver(opts(4, sync));
+      ASSERT_EQ(solver.factor(Csc(0, 0)), Status::kOk) << sync_name(sync);
+      EXPECT_EQ(solver.refactor(Csc(0, 0)), Status::kOk) << sync_name(sync);
+      std::vector<Scalar> b;
+      EXPECT_EQ(solver.solve(b), Status::kOk);
+    }
+    // 1x1 with a value change.
+    {
+      Triplets t(1, 1);
+      t.add(0, 0, 2.0);
+      Basker solver(opts(4, sync));
+      ASSERT_EQ(solver.factor(t.to_csc()), Status::kOk) << sync_name(sync);
+      Triplets t2(1, 1);
+      t2.add(0, 0, 3.0);
+      ASSERT_EQ(solver.refactor(t2.to_csc()), Status::kOk) << sync_name(sync);
+      std::vector<Scalar> b{6.0};
+      ASSERT_EQ(solver.solve(b), Status::kOk);
+      EXPECT_DOUBLE_EQ(b[0], 2.0);
+    }
+  }
+}
+
+TEST(Refactor, SingularValuesThenRecover) {
+  // A refactor whose values are singular fails cleanly (the fallback
+  // cannot rescue a genuinely singular matrix), drops factored(), and a
+  // later factor()/refactor() on good values recovers the instance.
+  const Csc good = two_by_two(4.0, 1.0, 1.0, 3.0);
+  const Csc sing = two_by_two(1.0, 2.0, 1.0, 2.0);  // dependent columns
+  for (SyncMode sync : kAllSyncModes) {
+    Basker solver(opts(2, sync));
+    ASSERT_EQ(solver.factor(good), Status::kOk) << sync_name(sync);
+    EXPECT_EQ(solver.refactor(sing), Status::kNumericallySingular)
+        << sync_name(sync);
+    EXPECT_FALSE(solver.factored());
+    EXPECT_EQ(solver.refactor(good), Status::kNotFactored) << sync_name(sync);
+    // factor() re-runs numeric on the existing analysis and recovers.
+    ASSERT_EQ(solver.factor(good), Status::kOk) << sync_name(sync);
+    const Csc good2 = two_by_two(5.0, 1.5, 0.5, 2.5);
+    ASSERT_EQ(solver.refactor(good2), Status::kOk) << sync_name(sync);
+    EXPECT_LT(solve_residual(solver, good2, 4), 1e-12) << sync_name(sync);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Stats.
+
+TEST(Refactor, StatsAccumulate) {
+  Csc a = circuit(41);
+  Basker solver(opts(2));
+  ASSERT_EQ(solver.factor(a), Status::kOk);
+  EXPECT_EQ(solver.stats().refactors, 0);
+  Prng rng(3);
+  for (int step = 0; step < 5; ++step) {
+    gen::revalue(a, rng, 0.2);
+    const Status s = solver.refactor(a);
+    ASSERT_TRUE(s == Status::kOk || s == Status::kPivotGrowth) << to_string(s);
+  }
+  EXPECT_EQ(solver.stats().refactors, 5);
+  EXPECT_GT(solver.stats().refactor_seconds, 0.0);
+  EXPECT_LE(solver.stats().refactor_fallbacks, solver.stats().refactors);
+}
+
+}  // namespace
+}  // namespace basker

@@ -15,6 +15,7 @@
 #include <thread>
 #include <vector>
 
+#include "basker/common/prng.hpp"
 #include "basker/core/basker.hpp"
 #include "basker/gen/generators.hpp"
 #include "basker/sched/scheduler.hpp"
@@ -311,6 +312,151 @@ TEST(SchedulerOversubscribed, FourTimesHardwareCoresWithParkBackoff) {
   }
   // Every lowered task ran exactly once despite p >> cores.
   EXPECT_EQ(solver.stats().dag_tasks, serial.stats().dag_tasks);
+}
+
+// ---------------------------------------------------------------------------
+// Shared thread-team service path: many solver instances multiplexed onto
+// one ThreadTeam. run() is serialized by the team's service mutex, so
+// concurrent refactor() calls from different instances queue up instead of
+// interleaving — under TSan this is the coverage for the service path.
+
+/// Condvar-parking config with no spin/yield budget: the harshest backoff
+/// for lost-wakeup bugs, and the configuration a long-lived shared service
+/// team would actually run (idle threads must not burn cores).
+TeamConfig parked_config() {
+  BackoffPolicy park;
+  park.spin = 0;
+  park.yield = 0;
+  park.park = ParkMode::kCondvar;
+  park.park_micros = 50;
+  return TeamConfig{park, false};
+}
+
+TEST(SharedTeam, RegistryDedupesByShapeAndRespawnsAfterRelease) {
+  auto t1 = acquire_team(3, parked_config());
+  auto t2 = acquire_team(3, parked_config());
+  EXPECT_EQ(t1.get(), t2.get()) << "same (size, config) must share one team";
+  auto t3 = acquire_team(3);  // default backoff = a different service key
+  EXPECT_NE(t1.get(), t3.get());
+  auto t4 = acquire_team(4, parked_config());
+  EXPECT_NE(t1.get(), t4.get());
+
+  // The registry holds weak references: dropping every handle while the
+  // team is idle destroys it (detach-while-idle), and the next acquire
+  // spawns a fresh, working team.
+  ThreadTeam* old = t1.get();
+  t1.reset();
+  t2.reset();
+  auto fresh = acquire_team(3, parked_config());
+  std::atomic<Int> hits{0};
+  fresh->run([&](Int) { hits.fetch_add(1, std::memory_order_relaxed); });
+  EXPECT_EQ(hits.load(std::memory_order_relaxed), 3);
+  (void)old;  // address may legally be reused; liveness is the check above
+}
+
+TEST(SharedTeam, SolverKeepsTeamAliveAfterAcquirerDrops) {
+  Basker solver = [] {
+    BaskerOptions opt;
+    opt.nthreads = 2;
+    opt.team = acquire_team(2, parked_config());
+    return Basker(opt);
+  }();  // the acquiring handle died here; the solver's copy keeps the team
+  const Csc a = gen::scramble(gen::mesh2d(16, 16, 0.2, 7), 7);
+  ASSERT_EQ(solver.factor(a), Status::kOk);
+  ASSERT_EQ(solver.refactor(a), Status::kOk);
+}
+
+TEST(SharedTeam, ManyInstancesRefactorConcurrentlyOnOneTeam) {
+  // Six instances — alternating static and task-DAG schedules — share one
+  // oversized team (up to 4x the hardware cores, condvar parking) while
+  // six std::threads drive independent refactor sequences through them.
+  // Instances request fewer threads than the team has, so the dispatch
+  // guard (tid < granted) is exercised on every run. Each sequence's
+  // factors must match the digests a private-team solver produced for the
+  // identical sequence.
+  constexpr Int kInstances = 6;
+  constexpr int kSteps = 3;
+  const Int team_size =
+      std::max<Int>(4, std::min<Int>(32, 4 * hardware_cpus()));
+  auto team = acquire_team(team_size, parked_config());
+
+  auto make_opts = [&](Int i, bool shared) {
+    BaskerOptions o;
+    o.sync_mode = (i % 2 == 0) ? SyncMode::kPointToPoint : SyncMode::kTaskDag;
+    o.nthreads = (i % 3) + 1;  // 1..3, always <= team_size
+    if (shared) o.team = team;
+    return o;
+  };
+  auto make_matrix = [](Int i) {
+    return gen::scramble(gen::mesh2d(18, 18, 0.2, 100 + i), 100 + i);
+  };
+
+  // Reference digests from private-team solvers, computed serially.
+  std::vector<std::vector<testutil::FactorDigest>> expected(kInstances);
+  for (Int i = 0; i < kInstances; ++i) {
+    Csc a = make_matrix(i);
+    Basker ref(make_opts(i, false));
+    ASSERT_EQ(ref.factor(a), Status::kOk) << "instance " << i;
+    Prng rng(500 + i);
+    for (int step = 0; step < kSteps; ++step) {
+      gen::revalue(a, rng, 0.4);
+      ASSERT_EQ(ref.refactor(a), Status::kOk) << "instance " << i;
+      expected[static_cast<size_t>(i)].push_back(testutil::digest_factors(ref));
+    }
+  }
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> workers;
+  for (Int i = 0; i < kInstances; ++i) {
+    workers.emplace_back([&, i] {
+      Csc a = make_matrix(i);
+      Basker solver(make_opts(i, true));
+      if (solver.factor(a) != Status::kOk) {
+        failures.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      Prng rng(500 + i);
+      for (int step = 0; step < kSteps; ++step) {
+        gen::revalue(a, rng, 0.4);
+        if (solver.refactor(a) != Status::kOk ||
+            !(testutil::digest_factors(solver) ==
+              expected[static_cast<size_t>(i)][static_cast<size_t>(step)])) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(failures.load(std::memory_order_relaxed), 0)
+      << "a shared-team refactor failed or diverged from its private-team "
+         "reference";
+}
+
+TEST(SharedTeam, TeamOutlivesDetachedSolversAcrossGenerations) {
+  // Solver generations come and go while the service team persists: each
+  // generation attaches, factors, refactors, and dies while the team stays
+  // parked between uses. A stale-thread or reuse bug in the service path
+  // would surface as a hang or a wrong factor in a later generation.
+  auto team = acquire_team(4, parked_config());
+  const Csc a = gen::scramble(gen::mesh2d(20, 20, 0.2, 9), 9);
+  testutil::FactorDigest expected;
+  for (int generation = 0; generation < 4; ++generation) {
+    BaskerOptions opt;
+    opt.sync_mode = SyncMode::kTaskDag;
+    opt.nthreads = 4;
+    opt.team = team;
+    Basker solver(opt);
+    ASSERT_EQ(solver.factor(a), Status::kOk) << "generation " << generation;
+    ASSERT_EQ(solver.refactor(a), Status::kOk) << "generation " << generation;
+    const testutil::FactorDigest d = testutil::digest_factors(solver);
+    if (generation == 0) {
+      expected = d;
+    } else {
+      ASSERT_TRUE(expected == d) << "generation " << generation
+                                 << " diverged on the shared team";
+    }
+  }
 }
 
 TEST(VictimOrder, DeterministicRing) {
