@@ -19,7 +19,12 @@
 // (numeric schedule under test; default static). With taskdag in play the
 // sweep covers every team size 1..max — the task-DAG schedule grants
 // non-powers of two — and `scripts/bench_compare.py --schedule` diffs the
-// two schedules' wall times from the --json output.
+// two schedules' wall times from the --json output. --tile-cols N forces
+// the separator tile width (0 = work model, 1048576 = monolithic) and
+// --deep-tree forces the deepest separator tree the row floor allows (so
+// small bench scales still exercise real separators): run the taskdag
+// sweep once per --tile-cols setting, both with --deep-tree, and diff with
+// `scripts/bench_compare.py --tiles --baseline <monolithic.json>`.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -117,6 +122,18 @@ int main(int argc, char** argv) {
                      argv[i]);
         return 64;
       }
+    } else if (std::strcmp(a, "--deep-tree") == 0) {
+      cfg.deep_tree = true;
+    } else if (std::strcmp(a, "--tile-cols") == 0 && i + 1 < argc) {
+      char* end = nullptr;
+      cfg.dag_tile_cols =
+          static_cast<basker::Int>(std::strtol(argv[++i], &end, 10));
+      if (end == argv[i] || *end != '\0' || cfg.dag_tile_cols < 0) {
+        std::fprintf(stderr,
+                     "--tile-cols needs a non-negative integer, got '%s'\n",
+                     argv[i]);
+        return 64;
+      }
     } else if (std::strcmp(a, "--repeats") == 0 && i + 1 < argc) {
       char* end = nullptr;
       cfg.repeats = static_cast<basker::Int>(std::strtol(argv[++i], &end, 10));
@@ -157,7 +174,8 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: bench_fig5 [--measured [--json] [--max-threads N] "
                    "[--repeats N] [--pin] [--park spin|yield|sleep|condvar] "
-                   "[--schedule static|taskdag|both]]\n");
+                   "[--schedule static|taskdag|both] [--tile-cols N] "
+                   "[--deep-tree]]\n");
       return 64;
     }
   }

@@ -57,6 +57,29 @@ step fell back gates like a ratio failure (the replay never ran).
 Usage:
   build/bench/bench_xyce --json | scripts/bench_compare.py --refactor
 
+--tiles mode diffs a tiled task-DAG document (stdin) against a
+monolithic-separator reference produced by the same sweep with
+`--tile-cols 1048576` (passed via --baseline FILE). Per matrix and team
+size it prints both wall times, the tile task/separator counts, and the
+modeled critical path in column units (the heaviest dependency chain of
+the executed DAG — the serial floor the 2D tile dataflow exists to
+shrink). Gates: any failed run or out-of-gate residual fails; at p = 1
+the tiled wall time must stay within --max-tile-overhead of the
+monolithic time (the tile machinery must be ~free serially); the
+reference document must really be monolithic (tile tasks present there
+fail the run as a harness bug); and for the worst scaler — the matrix
+whose monolithic DAG has the highest critical/total column ratio, i.e.
+the most serial graph, among those whose separators the tile grid
+engages — the tiled graph must cut the modeled critical path
+(reduction >= --min-cp-reduction) and decompose its separators into at
+least --min-tile-tasks tile tasks.
+
+Usage:
+  build/bench/bench_fig5 --measured --schedule taskdag --tile-cols 1048576 \\
+      --json > mono.json
+  build/bench/bench_fig5 --measured --schedule taskdag --tile-cols 8 --json \\
+      | scripts/bench_compare.py --tiles --baseline mono.json
+
 --orderings mode consumes `bench_ablate_orderings --json` instead and
 gates separator quality: the multilevel ND scheme must beat the level-set
 baseline by --min-reduction (median over the Table I circuit suite), and
@@ -331,6 +354,145 @@ def schedule_main(doc, args):
     return status
 
 
+def tiles_main(doc, args):
+    if not args.baseline:
+        print("bench_compare: --tiles needs --baseline MONO.json (the "
+              "--tile-cols 1048576 reference sweep)", file=sys.stderr)
+        return 2
+    try:
+        with open(args.baseline) as f:
+            mono_doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench_compare: cannot read baseline: {e}", file=sys.stderr)
+        return 2
+
+    reports = doc.get("reports", [])
+    mono_reports = {r.get("matrix"): r for r in mono_doc.get("reports", [])}
+    if not reports or not mono_reports:
+        print("bench_compare: document has no reports", file=sys.stderr)
+        return 2
+
+    print(f"benchmark: {doc.get('benchmark', '?')}  "
+          f"(tiled vs monolithic-separator reference)")
+    header = (f"{'matrix':<14} {'p':>3} {'mono(s)':>9} {'tiled(s)':>9} "
+              f"{'tiled/mono':>10} {'tiles':>6} {'tseps':>5} "
+              f"{'crit mono':>9} {'crit tiled':>10} {'reduction':>9}")
+    print(header)
+    print("-" * len(header))
+
+    status = 0
+    failures = 0
+    bad_residual = 0
+    overhead_pairs = 0
+    worst_overhead = None  # (tiled/mono wall ratio at p=1, matrix)
+    # Worst scaler = the matrix whose MONOLITHIC graph is the most serial
+    # (highest critical/total column ratio) among those the tile grid
+    # engages (dag_tiled_seps > 0) — the case the tile dataflow exists
+    # for. Matrices whose separators are all narrower than the tile width
+    # have nothing to decompose and cannot carry the gate. Its stats are
+    # gated below.
+    worst_scaler = None  # (crit/total, matrix, reduction, tile_tasks)
+    for report in reports:
+        name = report.get("matrix", "?")
+        mono = mono_reports.get(name)
+        if mono is None:
+            print(f"bench_compare: {name} missing from the monolithic "
+                  f"baseline document", file=sys.stderr)
+            status = 1
+            continue
+        mono_by_p = {}
+        for run in mono.get("runs", []):
+            if run.get("schedule") != "taskdag":
+                continue
+            if run.get("dag_tile_tasks", 0) > 0:
+                print(f"bench_compare: baseline {name} p="
+                      f"{run.get('threads')} has tile tasks — it is not a "
+                      f"monolithic reference", file=sys.stderr)
+                return 2
+            mono_by_p[run.get("threads")] = run
+        for run in report.get("runs", []):
+            if run.get("schedule") != "taskdag":
+                continue
+            p = run.get("threads")
+            mrun = mono_by_p.get(p)
+            for r, tag in ((run, "tiled"), (mrun, "mono")):
+                if r is None:
+                    continue
+                if not r.get("ok"):
+                    failures += 1
+                elif r.get("residual", 0.0) > args.max_residual:
+                    print(f"bench_compare: {name} p={p} ({tag}) residual "
+                          f"{r.get('residual', 0.0):.2e} exceeds "
+                          f"{args.max_residual:.0e}", file=sys.stderr)
+                    bad_residual += 1
+            if mrun is None or not run.get("ok") or not mrun.get("ok"):
+                continue
+            t_t = run.get("factor_seconds", 0.0)
+            m_t = mrun.get("factor_seconds", 0.0)
+            ratio = t_t / m_t if m_t > 0 else None
+            crit_m = mrun.get("dag_critical_cols", 0.0)
+            crit_t = run.get("dag_critical_cols", 0.0)
+            reduction = crit_m / crit_t if crit_t > 0 else None
+            print(f"{name:<14} {p:>3} {fmt(m_t):>9} {fmt(t_t):>9} "
+                  f"{fmt(ratio, 2) + 'x' if ratio is not None else '-':>10} "
+                  f"{run.get('dag_tile_tasks', 0):>6.0f} "
+                  f"{run.get('dag_tiled_seps', 0):>5.0f} "
+                  f"{crit_m:>9.0f} {crit_t:>10.0f} "
+                  f"{fmt(reduction, 2) + 'x' if reduction is not None else '-':>9}")
+            total_m = mrun.get("dag_total_cols", 0.0)
+            if (p == 1 and total_m > 0 and reduction is not None
+                    and run.get("dag_tiled_seps", 0) > 0):
+                serialness = crit_m / total_m
+                if worst_scaler is None or serialness > worst_scaler[0]:
+                    worst_scaler = (serialness, name, reduction,
+                                    run.get("dag_tile_tasks", 0))
+            if (p == 1 and ratio is not None
+                    and max(t_t, m_t) >= args.min_seconds):
+                overhead_pairs += 1
+                if worst_overhead is None or ratio > worst_overhead[0]:
+                    worst_overhead = (ratio, name)
+                if ratio > args.max_tile_overhead:
+                    print(f"bench_compare: {name} p=1: tiled separators "
+                          f"{fmt(ratio, 2)}x the monolithic time (limit "
+                          f"{args.max_tile_overhead})", file=sys.stderr)
+                    status = 1
+
+    if worst_overhead is not None:
+        print(f"\ntiled/mono at p=1: worst {fmt(worst_overhead[0], 2)}x "
+              f"({worst_overhead[1]}) over {overhead_pairs} gated pairs "
+              f"(limit {args.max_tile_overhead}, noise floor "
+              f"{args.min_seconds}s)")
+    else:
+        print("\nno p=1 tiled-vs-mono pairs above the noise floor — "
+              "overhead gate skipped")
+    if worst_scaler is None:
+        print("bench_compare: no matrix engaged the tile dataflow at p=1 — "
+              "tiling is not running", file=sys.stderr)
+        return 2
+    serialness, name, reduction, tile_tasks = worst_scaler
+    print(f"worst scaler (most serial monolithic DAG with tiled "
+          f"separators): {name} (critical/total {fmt(serialness, 3)}) — "
+          f"modeled critical-path reduction {fmt(reduction, 2)}x with "
+          f"{tile_tasks:.0f} tile tasks")
+    if reduction < args.min_cp_reduction:
+        print(f"bench_compare: {name} modeled critical-path reduction "
+              f"{fmt(reduction, 2)}x below required "
+              f"{args.min_cp_reduction}", file=sys.stderr)
+        status = 1
+    if tile_tasks < args.min_tile_tasks:
+        print(f"bench_compare: {name} decomposed into only "
+              f"{tile_tasks:.0f} tile tasks (need {args.min_tile_tasks})",
+              file=sys.stderr)
+        status = 1
+    if failures:
+        print(f"bench_compare: {failures} run(s) failed to factor",
+              file=sys.stderr)
+        status = 1
+    if bad_residual:
+        status = 1
+    return status
+
+
 def refactor_main(doc, args):
     steps = doc.get("steps", 0)
     numeric_step = doc.get("numeric_step_seconds", 0.0)
@@ -389,6 +551,20 @@ def main():
     parser.add_argument("--refactor", action="store_true",
                         help="amortized refactor-vs-numeric step mode "
                              "(bench_xyce --json)")
+    parser.add_argument("--tiles", action="store_true",
+                        help="tiled-vs-monolithic separator mode (tiled "
+                             "taskdag sweep on stdin, --baseline = the "
+                             "--tile-cols 1048576 reference sweep)")
+    parser.add_argument("--max-tile-overhead", type=float, default=1.10,
+                        help="tiles: allowed tiled/monolithic wall-time "
+                             "ratio at p=1 (default 1.10)")
+    parser.add_argument("--min-cp-reduction", type=float, default=1.0,
+                        help="tiles: required modeled critical-path "
+                             "reduction (mono/tiled column span) for the "
+                             "worst scaler (default 1.0)")
+    parser.add_argument("--min-tile-tasks", type=int, default=4,
+                        help="tiles: required tile-task count for the "
+                             "worst scaler (default 4)")
     parser.add_argument("--max-refactor-ratio", type=float, default=0.8,
                         help="refactor: allowed refactor/numeric amortized "
                              "per-step ratio (default 0.8)")
@@ -430,12 +606,14 @@ def main():
         print(f"bench_compare: cannot read report: {e}", file=sys.stderr)
         return 2
 
-    if sum([args.orderings, args.schedule, args.refactor]) > 1:
-        print("bench_compare: --orderings, --schedule and --refactor are "
-              "exclusive", file=sys.stderr)
+    if sum([args.orderings, args.schedule, args.refactor, args.tiles]) > 1:
+        print("bench_compare: --orderings, --schedule, --refactor and "
+              "--tiles are exclusive", file=sys.stderr)
         return 2
     if args.refactor:
         return refactor_main(doc, args)
+    if args.tiles:
+        return tiles_main(doc, args)
     if args.orderings:
         if args.max_regression is None:
             args.max_regression = 1.05

@@ -48,6 +48,27 @@ BASKER_BENCH_SCALE="${BASKER_BENCH_SCALE:-0.3}" \
       --repeats 1 --json \
   | python3 scripts/bench_compare.py --schedule
 
+# Tiled-separator gate: the same Fig. 5 taskdag sweep twice under a
+# forced deep tree (small bench scales otherwise correctly stay at depth
+# 0) — once with separators forced monolithic (--tile-cols 1048576), once
+# with a forced-fine tile grid (--tile-cols 8, the strongest overhead
+# stress). The comparison gates: tiled wall time <= 1.1x monolithic at
+# p = 1 (the tile machinery must be ~free serially), and for the worst
+# scaler among the matrices whose separators actually tile, the modeled
+# critical path (column-weighted longest DAG chain) must shrink and the
+# separators must decompose into >= 4 tile tasks. Min-of-3 repeats
+# de-noises the gated ratio as in the schedule gate above.
+TILES_MONO_JSON="$(mktemp)"
+BASKER_BENCH_SCALE="${BASKER_BENCH_SCALE:-0.3}" \
+  ./build/bench/bench_fig5 --measured --schedule taskdag --max-threads 2 \
+      --repeats 3 --deep-tree --tile-cols 1048576 --json > "$TILES_MONO_JSON"
+BASKER_BENCH_SCALE="${BASKER_BENCH_SCALE:-0.3}" \
+  ./build/bench/bench_fig5 --measured --schedule taskdag --max-threads 2 \
+      --repeats 3 --deep-tree --tile-cols 8 --json \
+  | python3 scripts/bench_compare.py --tiles --baseline "$TILES_MONO_JSON" \
+      --max-tile-overhead 1.1
+rm -f "$TILES_MONO_JSON"
+
 # Differential fuzz gate: the randomized static-vs-taskdag harness at a
 # pinned seed (reproducible everywhere) on top of the default-seed run the
 # full ctest suite above already did. Cross-p/cross-chunk bit-identity and

@@ -73,6 +73,15 @@ WallclockReport measure_scaling(const std::string& name, const Csc& a,
     opt.sync_mode = sync;
     opt.backoff = cfg.backoff;
     opt.pin_threads = cfg.pin_threads;
+    opt.dag_tile_cols = cfg.dag_tile_cols;
+    if (cfg.deep_tree) {
+      opt.dag_task_flops = 1.0;
+      opt.dag_min_leaf_rows = 32;
+      // Accept the floor-deep tree regardless of modeled fill inflation:
+      // the --tiles gate compares two runs of the SAME deep tree, so the
+      // extra fill cancels out of every ratio it gates.
+      opt.dag_work_inflation = 1e30;
+    }
     Basker solver(opt);
 
     run.sync = sync;
@@ -103,6 +112,10 @@ WallclockReport measure_scaling(const std::string& name, const Csc& a,
       run.dag_tasks = solver.stats().dag_tasks;
       run.dag_steals = solver.stats().dag_steals;
       run.dag_update_chunks = solver.stats().dag_update_chunks;
+      run.dag_tile_tasks = solver.stats().dag_tile_tasks;
+      run.dag_tiled_seps = solver.stats().dag_tiled_seps;
+      run.dag_critical_cols = solver.stats().dag_critical_cols;
+      run.dag_total_cols = solver.stats().dag_total_cols;
       if (report.nnz_lu == 0) {
         report.nnz_lu = run.nnz_lu;
         report.flops = run.flops;
@@ -131,6 +144,7 @@ WallclockReport measure_scaling(const std::string& name, const Csc& a,
         run.refactor_step_seconds =
             solver.stats().refactor_seconds /
             static_cast<double>(solver.stats().refactors);
+        run.refactor_fallbacks = solver.stats().refactor_fallbacks;
       }
     }
     report.runs.push_back(std::move(run));
@@ -194,8 +208,13 @@ JsonValue report_to_json(const WallclockReport& report) {
     r.set("dag_tasks", static_cast<double>(run.dag_tasks));
     r.set("dag_steals", static_cast<double>(run.dag_steals));
     r.set("dag_update_chunks", static_cast<double>(run.dag_update_chunks));
+    r.set("dag_tile_tasks", static_cast<double>(run.dag_tile_tasks));
+    r.set("dag_tiled_seps", static_cast<double>(run.dag_tiled_seps));
+    r.set("dag_critical_cols", run.dag_critical_cols);
+    r.set("dag_total_cols", run.dag_total_cols);
     r.set("refactor_step_seconds", run.refactor_step_seconds);
     r.set("refactors", static_cast<double>(run.refactors));
+    r.set("refactor_fallbacks", static_cast<double>(run.refactor_fallbacks));
     JsonValue phases = JsonValue::array();
     for (double s : run.phase_seconds) phases.push(s);
     r.set("phase_seconds", std::move(phases));
@@ -238,8 +257,16 @@ bool report_from_json(const JsonValue& v, WallclockReport& out) {
     run.dag_steals = static_cast<long long>(r.number_or("dag_steals", 0.0));
     run.dag_update_chunks =
         static_cast<long long>(r.number_or("dag_update_chunks", 0.0));
+    run.dag_tile_tasks =
+        static_cast<long long>(r.number_or("dag_tile_tasks", 0.0));
+    run.dag_tiled_seps =
+        static_cast<long long>(r.number_or("dag_tiled_seps", 0.0));
+    run.dag_critical_cols = r.number_or("dag_critical_cols", 0.0);
+    run.dag_total_cols = r.number_or("dag_total_cols", 0.0);
     run.refactor_step_seconds = r.number_or("refactor_step_seconds", 0.0);
     run.refactors = static_cast<long long>(r.number_or("refactors", 0.0));
+    run.refactor_fallbacks =
+        static_cast<long long>(r.number_or("refactor_fallbacks", 0.0));
     const JsonValue& phases = r.at("phase_seconds");
     if (phases.is_array()) {
       for (size_t j = 0; j < phases.size(); ++j) {

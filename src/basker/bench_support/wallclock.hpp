@@ -38,6 +38,18 @@ struct WallclockConfig {
   BackoffPolicy backoff;
   /// Platform for the paired schedule-model prediction.
   Platform platform = kSandyBridge;
+  /// Separator tile width under SyncMode::kTaskDag
+  /// (BaskerOptions::dag_tile_cols): 0 = the work model decides, a huge
+  /// width (1 << 20) forces every separator monolithic — the reference leg
+  /// of the bench_compare.py --tiles tiled-vs-monolithic gate.
+  Int dag_tile_cols = 0;
+  /// Force the deepest separator tree the row floor allows
+  /// (dag_task_flops = 1, dag_min_leaf_rows = 32, fill-inflation gate
+  /// disarmed) so the task-DAG sweep exercises real separators even at
+  /// small bench scales, where the work-adaptive depth correctly stays at
+  /// 0. Both legs of the --tiles gate run with this on, so they share the
+  /// analysis and differ only in the tile grid.
+  bool deep_tree = false;
 };
 
 /// Powers of two 1..max_threads; max_threads <= 0 means
@@ -82,12 +94,28 @@ struct MeasuredRun {
   /// the task count (identical at every p; chunking is part of the
   /// analysis).
   long long dag_update_chunks = 0;
+  /// kTaskDag: 2D-tile separator factorization tasks in the executed DAG
+  /// (kTileGemm + kTileGetrf + kTileTrsm) and the separators they cover —
+  /// zero when every separator ran the monolithic kSepFactor (including
+  /// under WallclockConfig::dag_tile_cols = 1 << 20, the --tiles gate's
+  /// reference leg).
+  long long dag_tile_tasks = 0;
+  long long dag_tiled_seps = 0;
+  /// kTaskDag: modeled span/work of the executed DAG in column units
+  /// (BaskerStats::dag_critical_cols) — bench_compare.py --tiles reports
+  /// the tiled-vs-monolithic critical-path reduction from these.
+  double dag_critical_cols = 0.0;
+  double dag_total_cols = 0.0;
   /// Amortized values-only refactor() step at this (schedule, p): total
   /// refactor wall time divided by refactor count over a short burst.
   /// 0.0 when the burst failed (never gated on by the full-numeric
   /// comparisons; bench_compare.py --refactor consumes it).
   double refactor_step_seconds = 0.0;
   long long refactors = 0;  ///< replay steps behind that amortized figure
+  /// Growth-monitor fallbacks during that burst (cumulative, like the
+  /// BaskerStats field): the burst replays unchanged values, so any
+  /// nonzero count is itself a red flag bench_compare.py surfaces.
+  long long refactor_fallbacks = 0;
 
   bool ok() const { return status == Status::kOk; }
 };

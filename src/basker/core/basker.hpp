@@ -103,6 +103,12 @@ class Basker {
   bool dag_sep_update(NdPart& part, Int tid, Int d, Int j, Int chunk);
   bool dag_sep_assemble(NdPart& part, Int d, Int j);
   bool dag_sep_factor(NdPart& part, Int part_idx, Int tid, Int j);
+  // 2D-tiled separator factorization kernels (separators with
+  // seg_ntiles > 1): the monolithic dag_sep_factor column loop split along
+  // the tile grid with identical per-column arithmetic (DESIGN.md §3.9).
+  bool dag_tile_gemm(NdPart& part, Int tid, Int j, Int rowseg_idx, Int t);
+  bool dag_tile_getrf(NdPart& part, Int part_idx, Int tid, Int j, Int t);
+  bool dag_tile_trsm(NdPart& part, Int tid, Int j, Int a, Int t);
   void solve_nd_part(const NdPart& part, std::vector<Scalar>& y_local,
                      std::vector<Scalar>& x_local) const;
   void fail(Status s);

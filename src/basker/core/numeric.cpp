@@ -624,6 +624,10 @@ Status Basker::run_numeric() {
   stats_.dag_steal_per_thread.clear();
   stats_.dag_update_chunks = 0;
   stats_.dag_assembles = 0;
+  stats_.dag_tile_tasks = 0;
+  stats_.dag_tiled_seps = 0;
+  stats_.dag_critical_cols = 0.0;
+  stats_.dag_total_cols = 0.0;
   ep_.init(nthreads_);
 
   // A shared service team may be larger than this instance's grant; extra

@@ -258,6 +258,198 @@ bool Basker::dag_sep_factor(NdPart& part, Int part_idx, Int tid, Int j) {
   return true;
 }
 
+// -- 2D-tiled separator factorization (DESIGN.md §3.9) ----------------------
+//
+// The monolithic dag_sep_factor loop, split along the tile grid of
+// NdPart::seg_tile_cols with the per-column arithmetic unchanged:
+//
+//   kTileGemm   stages the fully reduced columns ^A_rowseg(:, tile) — the
+//               reduce_into_acc half of the monolithic kernel — recording
+//               the accumulator's pattern in insertion order WITH values
+//               (explicit zeros included). Restoring the staging into a
+//               SparseAcc therefore reproduces the accumulator state
+//               bit-for-bit: same per-row partial sums (each row's value
+//               was accumulated in the same order) and same pattern order.
+//   kTileGetrf  consumes the staged diagonal columns with factor_column —
+//               the identical call the monolithic kernel makes, so pivot
+//               choice, L/U values and append order match exactly. Tiles
+//               chain serially (L, U and the engine grow left to right);
+//               the first tile performs the monolithic kernel's
+//               reservations so grow_events stay bit-compatible too.
+//   kTileTrsm   the monolithic kernel's ancestor loop body: restore the
+//               staged reduction, subtract the U-weighted earlier L
+//               columns, divide by the pivot. Reads U through the tile
+//               snapshot sep_u_tile (published by the tile's getrf) so
+//               concurrent trsm tasks never race the live dg.u vectors.
+//
+// Net effect: every L/U value is produced by the same arithmetic on the
+// same operands in the same order as the monolithic kernel — factors are
+// bit-identical across tile widths (including "one tile" = the monolithic
+// kernel itself) and, as everywhere in this schedule, across team sizes.
+
+bool Basker::dag_tile_gemm(NdPart& part, Int tid, Int j, Int rowseg_idx,
+                           Int t) {
+  ThreadWs& ws = *ws_[tid];
+  const Int rowseg =
+      rowseg_idx == 0 ? j : part.anc[j][static_cast<size_t>(rowseg_idx - 1)];
+  const Int jo = part.seg_off[j];
+  const Int ro = part.seg_off[rowseg];
+  const Int mr = part.seg_size(rowseg);
+  const Int c0 = part.tile_lo(j, t);
+  const Int tcols = part.tile_width(j, t);
+  LuMatrix& stage = part.sep_red_stage[j][static_cast<size_t>(rowseg_idx)]
+                                     [static_cast<size_t>(t)];
+  Size est = 0;
+  for (Int c = c0; c < c0 + tcols; ++c) {
+    est += part.asub.col_ptr[jo + c + 1] - part.asub.col_ptr[jo + c];
+  }
+  stage.init(mr, tcols, est + 64);
+  ws.acc.ensure(part.max_seg_size());
+  double flops = 0.0;
+  for (Int lc = 0; lc < tcols; ++lc) {
+    const Int c = c0 + lc;
+    ws.acc.begin();
+    gather_segment(part.asub, jo + c, ro, ro + mr,
+                   [&](Int r, Scalar v) { ws.acc.add(r, v); });
+    flops += subtract_descendant_products(part, j, part.seg_sub_lo[j], j,
+                                          part.seg_level[rowseg], c, ws.acc);
+    // Insertion-order pattern with explicit zeros: this is accumulator
+    // state, not factor output — the consumer restores it verbatim.
+    for (Int r : ws.acc.pattern()) stage.append(r, ws.acc.value(r));
+    stage.close_column(lc);
+  }
+  ws.work[part.seg_level[j]] += flops;
+  return true;
+}
+
+bool Basker::dag_tile_getrf(NdPart& part, Int part_idx, Int tid, Int j,
+                            Int t) {
+  ThreadWs& ws = *ws_[tid];
+  const Int jcols = part.seg_size(j);
+  const Int jo = part.seg_off[j];
+  GpOptions gp_opt;
+  gp_opt.pivot_tol = opt_.pivot_tol;
+  if (refactor_replay_) {
+    // Same frozen-pivot treatment as the monolithic kernel: re-run the
+    // full kernel with the search off and the prior pivot forced.
+    gp_opt.no_pivoting = true;
+    gp_opt.refactor_growth_tol = opt_.refactor_pivot_tol;
+  }
+  DiagFactor& dg = part.diag[j];
+  GpEngine& jengine = seg_engines_[static_cast<size_t>(part_idx)][j];
+  if (t == 0) {
+    // The monolithic kernel's reservations, verbatim, so append/growth
+    // behavior (and BaskerStats::grow_events) match it bit-for-bit.
+    Size est = 0;
+    for (Int c = 0; c < jcols; ++c) {
+      est += part.asub.col_ptr[jo + c + 1] - part.asub.col_ptr[jo + c];
+    }
+    dg.l.init(jcols, jcols, 4 * est + 64);
+    dg.u.init(jcols, jcols, 4 * est + jcols + 64);
+    jengine.init(jcols);
+  }
+  const LuMatrix& stage =
+      part.sep_red_stage[j][0][static_cast<size_t>(t)];
+  const Int c0 = part.tile_lo(j, t);
+  const Int tcols = part.tile_width(j, t);
+  const double eng0 = jengine.flops();
+  for (Int lc = 0; lc < tcols; ++lc) {
+    const Int c = c0 + lc;
+    const Size b = stage.col_ptr[static_cast<size_t>(lc)];
+    const Int nnz =
+        static_cast<Int>(stage.col_ptr[static_cast<size_t>(lc) + 1] - b);
+    const Status s = jengine.factor_column(
+        dg.l, dg.u, c, stage.row_idx.data() + b, stage.values.data() + b, nnz,
+        refactor_replay_ ? dg.row_perm[c] : c, gp_opt);
+    if (s != Status::kOk) {
+      fail(s);
+      return false;
+    }
+  }
+  if (!part.sep_u_tile[j].empty()) {
+    // Publish this tile's closed U columns for the trsm tasks: they run
+    // concurrently with later getrf tiles still appending to dg.u, so they
+    // must not read the live (growing) vectors.
+    LuMatrix& ut = part.sep_u_tile[j][static_cast<size_t>(t)];
+    const Size b0 = dg.u.col_ptr[static_cast<size_t>(c0)];
+    const Size b1 = dg.u.col_ptr[static_cast<size_t>(c0 + tcols)];
+    ut.init(jcols, tcols, b1 - b0);
+    ut.row_idx.assign(dg.u.row_idx.begin() + static_cast<std::ptrdiff_t>(b0),
+                      dg.u.row_idx.begin() + static_cast<std::ptrdiff_t>(b1));
+    ut.values.assign(dg.u.values.begin() + static_cast<std::ptrdiff_t>(b0),
+                     dg.u.values.begin() + static_cast<std::ptrdiff_t>(b1));
+    for (Int lc = 0; lc < tcols; ++lc) {
+      ut.col_ptr[static_cast<size_t>(lc) + 1] =
+          dg.u.col_ptr[static_cast<size_t>(c0 + lc) + 1] - b0;
+    }
+  }
+  if (c0 + tcols == jcols) {
+    // Last tile: the pivot sequence is complete. Publishing row_perm/pinv
+    // here (not per tile) keeps replay reads of dg.row_perm[c] safe — the
+    // whole getrf chain reads the PRIOR factorization's sequence.
+    dg.row_perm = jengine.row_perm();
+    dg.pinv = jengine.pinv();
+  }
+  ws.work[part.seg_level[j]] += jengine.flops() - eng0;
+  return true;
+}
+
+bool Basker::dag_tile_trsm(NdPart& part, Int tid, Int j, Int a, Int t) {
+  ThreadWs& ws = *ws_[tid];
+  const Int jcols = part.seg_size(j);
+  const Int jo = part.seg_off[j];
+  const Int kseg = part.anc[j][static_cast<size_t>(a)];
+  const Int mk = part.seg_size(kseg);
+  LuMatrix& lb = part.lblk[j][static_cast<size_t>(a)];
+  if (t == 0) {
+    // Monolithic reservation (est over the whole block column), verbatim.
+    Size est = 0;
+    for (Int c = 0; c < jcols; ++c) {
+      est += part.asub.col_ptr[jo + c + 1] - part.asub.col_ptr[jo + c];
+    }
+    lb.init(mk, jcols, est + 16);
+  }
+  const Int c0 = part.tile_lo(j, t);
+  const Int tcols = part.tile_width(j, t);
+  if (mk == 0) {
+    for (Int lc = 0; lc < tcols; ++lc) lb.close_column(c0 + lc);
+    return true;
+  }
+  const LuMatrix& stage = part.sep_red_stage[j][static_cast<size_t>(1 + a)]
+                                            [static_cast<size_t>(t)];
+  const LuMatrix& ut = part.sep_u_tile[j][static_cast<size_t>(t)];
+  ws.acc.ensure(part.max_seg_size());
+  double flops = 0.0;
+  for (Int lc = 0; lc < tcols; ++lc) {
+    const Int c = c0 + lc;
+    // Restore the staged accumulator state: adds in staging order rebuild
+    // the same pattern order and per-row sums the gemm task left behind.
+    ws.acc.begin();
+    for (Size p = stage.col_ptr[static_cast<size_t>(lc)];
+         p < stage.col_ptr[static_cast<size_t>(lc) + 1]; ++p) {
+      ws.acc.add(stage.row_idx[p], stage.values[p]);
+    }
+    const Size ub = ut.col_ptr[static_cast<size_t>(lc)];
+    const Size ue = ut.col_ptr[static_cast<size_t>(lc) + 1];
+    for (Size p = ub; p + 1 < ue; ++p) {
+      const Int tp = ut.row_idx[p];
+      const Scalar uval = ut.values[p];
+      for (Size q = lb.col_ptr[tp]; q < lb.col_ptr[tp + 1]; ++q) {
+        ws.acc.add(lb.row_idx[q], -lb.values[q] * uval);
+      }
+      flops += 2.0 * static_cast<double>(lb.col_ptr[tp + 1] - lb.col_ptr[tp]);
+    }
+    const Scalar pivot = ut.values[ue - 1];
+    for (Int r : ws.acc.pattern()) {
+      const Scalar v = ws.acc.value(r);
+      if (v != 0.0) lb.append(r, v / pivot);
+    }
+    lb.close_column(c);
+  }
+  ws.work[part.seg_level[j]] += flops;
+  return true;
+}
+
 bool Basker::dag_execute(Int tid, Int task_id) {
   const sched::Task& t = dag_.task(task_id);
   switch (t.kind) {
@@ -284,6 +476,15 @@ bool Basker::dag_execute(Int tid, Int task_id) {
     case sched::TaskKind::kSepFactor:
       return dag_sep_factor(an_.parts[static_cast<size_t>(t.part)], t.part, tid,
                             t.seg);
+    case sched::TaskKind::kTileGemm:
+      return dag_tile_gemm(an_.parts[static_cast<size_t>(t.part)], tid, t.seg,
+                           t.target, t.chunk);
+    case sched::TaskKind::kTileGetrf:
+      return dag_tile_getrf(an_.parts[static_cast<size_t>(t.part)], t.part, tid,
+                            t.seg, t.chunk);
+    case sched::TaskKind::kTileTrsm:
+      return dag_tile_trsm(an_.parts[static_cast<size_t>(t.part)], tid, t.seg,
+                           t.target, t.chunk);
   }
   return false;  // unreachable
 }
@@ -314,6 +515,19 @@ Status Basker::run_numeric_dag() {
   stats_.dag_steal_per_thread = sstats.steals;
   stats_.dag_update_chunks = dag_.count(sched::TaskKind::kSepUpdate);
   stats_.dag_assembles = dag_.count(sched::TaskKind::kSepAssemble);
+  stats_.dag_tile_tasks = dag_.count(sched::TaskKind::kTileGemm) +
+                          dag_.count(sched::TaskKind::kTileGetrf) +
+                          dag_.count(sched::TaskKind::kTileTrsm);
+  stats_.dag_tiled_seps = 0;
+  for (const NdPart& part : an_.parts) {
+    for (Int s = 0; s < part.nseg; ++s) {
+      if (part.seg_level[s] > 0 && part.seg_ntiles(s) > 1) {
+        ++stats_.dag_tiled_seps;
+      }
+    }
+  }
+  stats_.dag_critical_cols = dag_.critical_path_cols();
+  stats_.dag_total_cols = dag_.total_cols();
 
   collect_numeric_stats();
 

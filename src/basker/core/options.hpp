@@ -93,15 +93,19 @@ struct BaskerOptions {
   //    schedule's cross-p bit-identical factors. ---------------------------
 
   /// Modeled flops one task should amortize (symbolic work model: squared
-  /// symbolic-Cholesky column counts, DESIGN.md §3.7). Drives both knobs
+  /// symbolic-Cholesky column counts, DESIGN.md §3.7). Drives every knob
   /// derived from the model: the ND tree keeps deepening only while each
-  /// half still carries at least this much modeled work, and separator
-  /// update tasks are column-chunked so a chunk's share of its block
-  /// column's modeled work is about this size. Smaller = more, finer tasks
-  /// (better stealing granularity, more scheduler overhead); larger
-  /// degenerates toward one task per block. Default 4e5 — on a ~1 Gflop/s
-  /// core a task is then worth ~0.5 ms, comfortably above the
-  /// deque/counter cost per task (~100 ns).
+  /// half still carries at least this much modeled work, separator update
+  /// tasks are column-chunked so a chunk's share of its block column's
+  /// modeled work is about this size, and separator factorizations are
+  /// column-tiled by the same rule (DESIGN.md §3.9). Smaller = more, finer
+  /// tasks (better stealing granularity, more scheduler overhead); larger
+  /// degenerates toward one task per block; <= 0 means "as fine as the
+  /// floors allow" (dag_chunk_cols_min / dag_tile_cols_min width
+  /// everywhere). NaN is rejected by symbolic() with
+  /// Status::kInvalidInput. Default 4e5 — on a ~1 Gflop/s core a task is
+  /// then worth ~0.5 ms, comfortably above the deque/counter cost per task
+  /// (~100 ns).
   double dag_task_flops = 4e5;
 
   /// Fixed column-chunk width for separator update tasks (kSepUpdate).
@@ -109,14 +113,50 @@ struct BaskerOptions {
   /// described there; a positive value forces that width everywhere
   /// (ablation/testing only). Chunk boundaries never change the factors —
   /// each column's arithmetic is column-local — only the task granularity.
+  ///
+  /// Knob precedence (explicit; symbolic() rejects negative values with
+  /// Status::kInvalidInput): a forced width wins VERBATIM, clamped only to
+  /// [1, block-column width] — it deliberately bypasses both
+  /// dag_chunk_cols_min and dag_task_flops, so ablations can pin exact
+  /// grids. Only the derived path (0) consults the other two knobs; there,
+  /// dag_task_flops <= 0 means "as fine as the floor allows" (every block
+  /// column splits into chunks of dag_chunk_cols_min columns), and a floor
+  /// wider than the block column collapses it to a single chunk.
   Int dag_chunk_cols = 0;
 
   /// Floor on the derived chunk width: a block column is never split into
   /// chunks narrower than this many columns, bounding the task-count
   /// blowup on separators whose modeled work is large but whose columns
   /// are many and cheap. Default 16 (the static schedule's pipeline
-  /// hand-off granularity, chunk_cols).
+  /// hand-off granularity, chunk_cols). Ignored when dag_chunk_cols forces
+  /// a width; 0 is treated as 1 (no floor); negative is rejected by
+  /// symbolic() with Status::kInvalidInput.
   Int dag_chunk_cols_min = 16;
+
+  /// Fixed column-tile width for the 2D-tiled separator factorization
+  /// (DESIGN.md §3.9): separators whose factorization splits into more
+  /// than one tile are factored by a kTileGemm/kTileGetrf/kTileTrsm
+  /// dataflow instead of one monolithic kSepFactor task, which breaks the
+  /// serial top-separator critical path. 0 (default) derives the width per
+  /// separator from dag_task_flops (same work model as the chunk grid); a
+  /// positive value forces that width everywhere (ablation/testing only —
+  /// a huge value, e.g. 1<<20, forces the monolithic kernel back). Same
+  /// precedence rules as dag_chunk_cols: forced width wins verbatim
+  /// (clamped to [1, separator width]), bypassing dag_tile_cols_min and
+  /// dag_task_flops; negative values are rejected by symbolic(). Tile
+  /// boundaries never change the factors: every tile task replays the
+  /// monolithic kernel's per-column arithmetic with bit-exact accumulator
+  /// hand-off through staging, so factors are identical across tile widths
+  /// and team sizes alike.
+  Int dag_tile_cols = 0;
+
+  /// Floor on the derived tile width. Wider than the chunk floor (default
+  /// 32) because tiles pay a serial dependency: the diagonal getrf chain
+  /// runs tile-after-tile, so over-fine tiles add latency without
+  /// parallelism (the gemm/trsm tasks are where tiling wins). Ignored when
+  /// dag_tile_cols forces a width; 0 is treated as 1; negative is rejected
+  /// by symbolic() with Status::kInvalidInput.
+  Int dag_tile_cols_min = 32;
 
   /// Separator-tree depth cap for the task-DAG analysis: at most
   /// 2^dag_max_levels leaves per ND part. Default 5 (32 leaves, ~4x the
@@ -131,7 +171,8 @@ struct BaskerOptions {
   /// nested dissection is a bad ordering (the paper's Xyce3 class)
   /// therefore collapse toward depth 0 — whose analysis is bit-identical
   /// to the static p = 1 analysis — instead of paying the inflated tree
-  /// at every team size. Default 1.2.
+  /// at every team size. Default 1.2. Must be positive and finite-or-inf
+  /// (NaN or <= 0 is rejected by symbolic() with Status::kInvalidInput).
   double dag_work_inflation = 1.2;
 
   /// Minimum average rows per leaf under the task-DAG analysis: the tree
@@ -219,6 +260,17 @@ struct BaskerOptions {
 /// Read-only statistics filled by symbolic() and numeric(); see
 /// Basker::stats(). Fields map to the columns of the paper's Tables I/II
 /// and the measurements behind Figs. 5-8.
+///
+/// Lifetime semantics — every field belongs to exactly one of two groups:
+///  * PER-RUN: overwritten by each numeric execution — factor(), numeric(),
+///    and each numeric pass inside refactor() alike. This covers the factor
+///    size/work/timing fields (nnz_lu, factor_flops, factor_seconds,
+///    sync_seconds, pivot_growth, grow_events, work_per_thread_per_phase,
+///    phase_seconds) and ALL dag_* counters. After a refactor() whose
+///    replay was rejected by the growth monitor, the per-run fields
+///    describe the transparent full-numeric fallback pass (the run that
+///    produced the live factors), not the aborted replay.
+///  * CUMULATIVE since the last symbolic(): the refactor_* fields only.
 struct BaskerStats {
   Size nnz_lu = 0;            ///< |L+U| over all factored blocks (Table I column)
   double factor_flops = 0.0;  ///< numeric factorization flop count
@@ -259,7 +311,10 @@ struct BaskerStats {
   std::vector<double> phase_seconds;
 
   // -- Task-DAG execution counters (SyncMode::kTaskDag only; zero under
-  //    the static schedules). ----------------------------------------------
+  //    the static schedules). PER-RUN, like every non-refactor_* numeric
+  //    field: each numeric execution overwrites them, including the full
+  //    fallback pass a rejected refactor() replay triggers — so after any
+  //    call they describe the run that produced the live factors. ----------
   long long dag_tasks = 0;   ///< DAG nodes executed by the last numeric run
   long long dag_steals = 0;  ///< successful work-stealing deque steals
   std::vector<long long> dag_exec_per_thread;   ///< tasks run, per thread
@@ -271,6 +326,25 @@ struct BaskerStats {
   /// splitting).
   long long dag_update_chunks = 0;
   long long dag_assembles = 0;
+  /// 2D-tiled separator factorization tasks in the executed DAG
+  /// (kTileGemm + kTileGetrf + kTileTrsm; zero when every separator's
+  /// modeled work fit one monolithic kSepFactor). Per tiled separator with
+  /// nt tiles: one getrf and one diagonal gemm per tile, plus per ancestor
+  /// one trsm per tile (and one gemm per tile when the ancestor row
+  /// segment is nonempty) — at least 2*nt tasks where the monolithic
+  /// kernel had one.
+  long long dag_tile_tasks = 0;
+  /// Separators factored through the tile dataflow (seg_ntiles > 1).
+  long long dag_tiled_seps = 0;
+  /// Modeled span/work of the executed DAG in column units (each task
+  /// weighted by the factor columns it computes; sched/task_graph.hpp).
+  /// dag_critical_cols is the heaviest dependency chain — the serial floor
+  /// no team size can beat, the figure the 2D tile dataflow exists to
+  /// shrink — and dag_total_cols the graph-wide sum, so total/critical
+  /// bounds the modeled parallelism. bench_compare.py --tiles reports the
+  /// tiled-vs-monolithic critical-path reduction from these.
+  double dag_critical_cols = 0.0;
+  double dag_total_cols = 0.0;
 };
 
 }  // namespace basker

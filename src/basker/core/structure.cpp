@@ -68,18 +68,24 @@ void NdPart::adopt_tree(const NdTree& tree) {
     own_top[t] = top;
   }
 
-  // Default chunking: one chunk per block column (the unchunked layout the
-  // static schedules use). The task-DAG symbolic phase narrows separators
-  // whose modeled work justifies splitting, then sizes ublk_stage.
+  // Default chunking/tiling: one chunk per block column and one tile per
+  // separator factor (the unchunked, monolithic layout the static
+  // schedules use). The task-DAG symbolic phase narrows separators whose
+  // modeled work justifies splitting, then sizes ublk_stage /
+  // sep_red_stage / sep_u_tile.
   seg_chunk_cols.assign(static_cast<size_t>(nseg), 0);
+  seg_tile_cols.assign(static_cast<size_t>(nseg), 0);
   for (Int s = 0; s < nseg; ++s) {
     seg_chunk_cols[s] = std::max<Int>(1, seg_size(s));
+    seg_tile_cols[s] = std::max<Int>(1, seg_size(s));
   }
 
   diag.assign(static_cast<size_t>(nseg), {});
   lblk.assign(static_cast<size_t>(nseg), {});
   ublk.assign(static_cast<size_t>(nseg), {});
   ublk_stage.assign(static_cast<size_t>(nseg), {});
+  sep_red_stage.assign(static_cast<size_t>(nseg), {});
+  sep_u_tile.assign(static_cast<size_t>(nseg), {});
   for (Int s = 0; s < nseg; ++s) {
     lblk[s].resize(anc[s].size());
     ublk[s].resize(anc[s].size());

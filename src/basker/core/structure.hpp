@@ -59,6 +59,20 @@ struct NdPart {
   /// matrix, so the graph — and the factors — stay identical at every p.
   std::vector<Int> seg_chunk_cols;
 
+  /// Column-tile width of each separator's *factorization* under the
+  /// task-DAG schedule (2D-tiled kSepFactor, sched/task_graph.hpp): a
+  /// separator split into more than one tile is factored by a
+  /// kTileGemm/kTileGetrf/kTileTrsm dataflow instead of one monolithic
+  /// kSepFactor task. Defaults to the full segment width (one tile = the
+  /// monolithic kernel); the task-DAG symbolic phase narrows separators
+  /// whose modeled work justifies splitting. Like the chunk grid, the tile
+  /// grid is a pure function of the matrix — and because each tile kernel
+  /// performs exactly the monolithic kernel's per-column arithmetic
+  /// (staging hands the bit-exact accumulator state across task
+  /// boundaries), the factors are identical across tile widths and team
+  /// sizes alike (DESIGN.md §3.9).
+  std::vector<Int> seg_tile_cols;
+
   /// The part's submatrix B(lo:hi, lo:hi) with part-local indices (all
   /// orderings already folded in).
   Csc asub;
@@ -79,6 +93,28 @@ struct NdPart {
   /// across refactorizations (write-over reuse, like every factor buffer).
   std::vector<std::vector<std::vector<LuMatrix>>> ublk_stage;
 
+  // -- 2D-tiled separator factorization staging (task-DAG only; sized by
+  //    symbolic() for separators split into more than one tile, empty
+  //    otherwise). ----------------------------------------------------------
+  /// sep_red_stage[j][r][t]: the fully reduced columns ^A_rowseg(:, tile t)
+  /// of separator j, where rowseg is j itself (r = 0) or anc[j][r-1]
+  /// (r >= 1). A kTileGemm task writes each buffer by replaying the
+  /// monolithic kernel's reduction verbatim and recording the accumulator's
+  /// pattern IN INSERTION ORDER with its values (explicit zeros included):
+  /// restoring the buffer into a SparseAcc reproduces the accumulator state
+  /// bit-for-bit, which is what lets kTileGetrf/kTileTrsm continue the
+  /// monolithic arithmetic across the task boundary. Row-segment entries of
+  /// size zero keep an empty inner vector (their L columns are closed
+  /// without any reduction).
+  std::vector<std::vector<std::vector<LuMatrix>>> sep_red_stage;
+  /// sep_u_tile[j][t]: a copy of diag[j].u's tile-t columns, published by
+  /// the kTileGetrf task that closed them. kTileTrsm tasks for different
+  /// ancestors read U concurrently with the getrf chain still appending to
+  /// diag[j].u — reading through this per-tile snapshot instead of the live
+  /// LuMatrix avoids racing its vector growth. Empty when separator j is
+  /// untiled or has no nonempty ancestor row segment.
+  std::vector<std::vector<LuMatrix>> sep_u_tile;
+
   Int seg_size(Int s) const { return seg_off[s + 1] - seg_off[s]; }
   Int max_seg_size() const;
   Int participants(Int s) const { return Int{1} << seg_level[s]; }
@@ -88,6 +124,18 @@ struct NdPart {
     const Int jc = seg_size(j);
     const Int w = seg_chunk_cols[j];
     return jc <= w ? 1 : (jc + w - 1) / w;
+  }
+  /// Number of factorization tiles of separator j (>= 1; 1 = monolithic
+  /// kSepFactor, > 1 = the getrf/trsm/gemm tile dataflow).
+  Int seg_ntiles(Int j) const {
+    const Int jc = seg_size(j);
+    const Int w = seg_tile_cols[j];
+    return jc <= w ? 1 : (jc + w - 1) / w;
+  }
+  /// Column range of tile t of separator j: [tile_lo, tile_lo + width).
+  Int tile_lo(Int j, Int t) const { return t * seg_tile_cols[j]; }
+  Int tile_width(Int j, Int t) const {
+    return std::min(seg_size(j) - tile_lo(j, t), seg_tile_cols[j]);
   }
   /// Column range of chunk k of segment j: [chunk_lo, chunk_lo + width).
   Int chunk_lo(Int j, Int k) const { return k * seg_chunk_cols[j]; }

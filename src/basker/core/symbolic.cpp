@@ -47,47 +47,91 @@ double estimate_block_ops(const Csc& block) {
   return sum_sq_col_counts(symmetrize_pattern(block));
 }
 
-/// Column-chunk the separator block columns of a settled task-DAG part
-/// (tentpole of DESIGN.md §3.7): per separator j, pick the widest chunk
-/// whose share of the block column's modeled work is about
-/// `opt.dag_task_flops`, floored at `opt.dag_chunk_cols_min` columns so
-/// cheap-but-wide separators cannot blow up the task count. The model is
-/// the squared symbolic-Cholesky column counts of the part's pattern in
-/// its final ND order — a pure function of the matrix, so the chunk grid
-/// (and with it the graph and the factors) is identical at every team
-/// size. Also sizes the per-chunk staging storage for every
-/// (descendant, chunked target) pair. `counts` are the per-column model
-/// values of the part's final ND order — normally handed down from the
-/// work-inflation backoff, which computed them for the accepted tree
-/// anyway (recomputed here only if that pass was skipped).
+/// Reject nonsense task-DAG sizing knobs up front with a clear status
+/// instead of letting them feed the grid derivations silently. The
+/// precedence rules themselves are documented on the knobs (options.hpp):
+/// forced widths win verbatim (clamped to the block column), floors only
+/// constrain DERIVED widths, dag_task_flops <= 0 derives floor-width
+/// grids. Degenerate-but-meaningful combinations (floor wider than the
+/// block column, forced width 1, zero task flops) stay legal and are
+/// covered by unit tests; only values with no sane reading — negative
+/// widths/floors, NaN model inputs, a non-positive inflation bound — are
+/// errors.
+bool valid_dag_options(const BaskerOptions& opt) {
+  if (opt.sync_mode != SyncMode::kTaskDag) return true;  // knobs unread
+  if (opt.dag_chunk_cols < 0 || opt.dag_chunk_cols_min < 0) return false;
+  if (opt.dag_tile_cols < 0 || opt.dag_tile_cols_min < 0) return false;
+  if (std::isnan(opt.dag_task_flops)) return false;
+  if (std::isnan(opt.dag_work_inflation) || opt.dag_work_inflation <= 0.0) {
+    return false;
+  }
+  return true;
+}
+
+/// Split `jcols` columns carrying `work` modeled flops into pieces of
+/// about `opt.dag_task_flops` each, floored at `wmin` columns per piece;
+/// returns the piece width. The shared rule behind both task-DAG grids
+/// (update chunks and factor tiles): dag_task_flops <= 0 derives the
+/// finest grid the floor allows, a floor wider than the block collapses
+/// it to one piece.
+Int derive_grid_width(Int jcols, double work, const BaskerOptions& opt,
+                      Int wmin) {
+  const double target =
+      opt.dag_task_flops > 0.0 ? work / opt.dag_task_flops : jcols;
+  Int npieces =
+      target >= static_cast<double>(jcols) ? jcols : static_cast<Int>(target);
+  npieces = std::clamp(npieces, Int{1}, std::max<Int>(1, jcols / wmin));
+  return (jcols + npieces - 1) / npieces;
+}
+
+/// Column-chunk the separator block columns — and column-tile the
+/// separator factorizations — of a settled task-DAG part (DESIGN.md
+/// §3.7/§3.9): per separator j, pick the widest chunk (tile) whose share
+/// of the block column's modeled work is about `opt.dag_task_flops`,
+/// floored at `opt.dag_chunk_cols_min` (`opt.dag_tile_cols_min`) columns
+/// so cheap-but-wide separators cannot blow up the task count. The model
+/// is the squared symbolic-Cholesky column counts of the part's pattern in
+/// its final ND order — a pure function of the matrix, so both grids (and
+/// with them the graph and the factors) are identical at every team size.
+/// Also sizes the per-chunk staging storage for every (descendant, chunked
+/// target) pair and the reduction/U staging of every tiled separator.
+/// `counts` are the per-column model values of the part's final ND order —
+/// normally handed down from the work-inflation backoff, which computed
+/// them for the accepted tree anyway (recomputed here only if that pass
+/// was skipped).
 void assign_dag_chunks(NdPart& part, const Csc& sym,
                        const std::vector<Int>& perm, const BaskerOptions& opt,
                        std::vector<Int> counts) {
-  if (opt.dag_chunk_cols <= 0 && counts.empty()) {
+  if ((opt.dag_chunk_cols <= 0 || opt.dag_tile_cols <= 0) && counts.empty()) {
     counts = ordered_col_counts(sym, perm);
   }
   const Int wmin = std::max<Int>(1, opt.dag_chunk_cols_min);
+  const Int tmin = std::max<Int>(1, opt.dag_tile_cols_min);
   for (Int s = 0; s < part.nseg; ++s) {
     // Leaves are never update targets; single-column blocks can't split.
     const Int jcols = part.seg_size(s);
     if (part.seg_level[s] == 0 || jcols <= 1) continue;
-    Int width;
-    if (opt.dag_chunk_cols > 0) {
-      width = opt.dag_chunk_cols;  // forced width (ablation/testing)
-    } else {
-      double work = 0.0;
-      for (Int c = part.seg_off[s]; c < part.seg_off[s + 1]; ++c) {
-        work += static_cast<double>(counts[c]) * counts[c];
+    double work = -1.0;  ///< modeled block-column work, computed on demand
+    auto modeled_work = [&] {
+      if (work < 0.0) {
+        work = 0.0;
+        for (Int c = part.seg_off[s]; c < part.seg_off[s + 1]; ++c) {
+          work += static_cast<double>(counts[c]) * counts[c];
+        }
       }
-      const double target =
-          opt.dag_task_flops > 0.0 ? work / opt.dag_task_flops : jcols;
-      Int nchunks = target >= static_cast<double>(jcols)
-                        ? jcols
-                        : static_cast<Int>(target);
-      nchunks = std::clamp(nchunks, Int{1}, std::max<Int>(1, jcols / wmin));
-      width = (jcols + nchunks - 1) / nchunks;
-    }
-    part.seg_chunk_cols[s] = std::clamp(width, Int{1}, jcols);
+      return work;
+    };
+    // Forced widths win verbatim (clamped to the block column), bypassing
+    // both the floor and the work model — options.hpp documents the
+    // precedence; valid_dag_options() rejected negatives up front.
+    const Int cwidth = opt.dag_chunk_cols > 0
+                           ? opt.dag_chunk_cols
+                           : derive_grid_width(jcols, modeled_work(), opt, wmin);
+    part.seg_chunk_cols[s] = std::clamp(cwidth, Int{1}, jcols);
+    const Int twidth = opt.dag_tile_cols > 0
+                           ? opt.dag_tile_cols
+                           : derive_grid_width(jcols, modeled_work(), opt, tmin);
+    part.seg_tile_cols[s] = std::clamp(twidth, Int{1}, jcols);
   }
   for (Int d = 0; d < part.nseg; ++d) {
     for (size_t a = 0; a < part.anc[d].size(); ++a) {
@@ -95,12 +139,35 @@ void assign_dag_chunks(NdPart& part, const Csc& sym,
       part.ublk_stage[d][a].resize(nc > 1 ? static_cast<size_t>(nc) : 0);
     }
   }
+  // Tiled-separator staging: reduced-column buffers for the diagonal row
+  // segment and every nonempty ancestor row segment (kTileGemm outputs),
+  // plus the per-tile U snapshots kTileTrsm reads (only needed when some
+  // trsm will actually run, i.e. some ancestor row segment is nonempty).
+  for (Int s = 0; s < part.nseg; ++s) {
+    const Int nt = part.seg_level[s] > 0 ? part.seg_ntiles(s) : 1;
+    if (nt <= 1) {
+      part.sep_red_stage[s].clear();
+      part.sep_u_tile[s].clear();
+      continue;
+    }
+    part.sep_red_stage[s].assign(1 + part.anc[s].size(), {});
+    part.sep_red_stage[s][0].resize(static_cast<size_t>(nt));
+    bool any_anc = false;
+    for (size_t a = 0; a < part.anc[s].size(); ++a) {
+      if (part.seg_size(part.anc[s][a]) > 0) {
+        part.sep_red_stage[s][1 + a].resize(static_cast<size_t>(nt));
+        any_anc = true;
+      }
+    }
+    part.sep_u_tile[s].resize(any_anc ? static_cast<size_t>(nt) : 0);
+  }
 }
 
 }  // namespace
 
 Status Basker::symbolic(const Csc& a) {
   BASKER_REQUIRE(a.nrows == a.ncols, "basker: square required");
+  if (!valid_dag_options(opt_)) return Status::kInvalidInput;
   WallTimer timer;
   analyzed_ = false;
   factored_ = false;

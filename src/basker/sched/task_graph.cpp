@@ -1,5 +1,7 @@
 #include "basker/sched/task_graph.hpp"
 
+#include <algorithm>
+
 #include "basker/common/error.hpp"
 #include "basker/core/structure.hpp"
 
@@ -11,6 +13,8 @@ void TaskGraph::clear() {
   successors_.clear();
   roots_.clear();
   kind_count_.fill(0);
+  critical_cols_ = 0.0;
+  total_cols_ = 0.0;
   finalized_ = false;
 }
 
@@ -67,16 +71,20 @@ void TaskGraph::build(const Analysis& an) {
 
   // ND parts: per segment in postorder, so every referenced task id exists
   // by the time its dependents are added (children precede parents).
-  std::vector<Int> factor_id;
+  // factor_join[s] is the set of tasks that jointly mean "segment s fully
+  // factored" (diagonal + every L block toward every ancestor): the single
+  // kLeafFactor/kSepFactor task, or — for a tiled separator — the last
+  // kTileGetrf plus every ancestor's last kTileTrsm.
+  std::vector<std::vector<Int>> factor_join;
   std::vector<Int> update_base;  ///< per separator j: id of U_{sub_lo[j], j}'s chunk 0
   for (size_t pi = 0; pi < an.parts.size(); ++pi) {
     const NdPart& part = an.parts[pi];
-    factor_id.assign(static_cast<size_t>(part.nseg), kInvalid);
+    factor_join.assign(static_cast<size_t>(part.nseg), {});
     update_base.assign(static_cast<size_t>(part.nseg), kInvalid);
     for (Int s = 0; s < part.nseg; ++s) {
       if (part.seg_level[s] == 0) {
-        factor_id[static_cast<size_t>(s)] =
-            add_task(TaskKind::kLeafFactor, static_cast<Int>(pi), s);
+        factor_join[static_cast<size_t>(s)] = {
+            add_task(TaskKind::kLeafFactor, static_cast<Int>(pi), s)};
         continue;
       }
       // Update tasks targeting separator s are laid out in ascending
@@ -95,7 +103,9 @@ void TaskGraph::build(const Analysis& an) {
         for (Int k = 0; k < nchunks; ++k) {
           const Int id =
               add_task(TaskKind::kSepUpdate, static_cast<Int>(pi), d, s, k);
-          add_edge(factor_id[static_cast<size_t>(d)], id);
+          for (Int fid : factor_join[static_cast<size_t>(d)]) {
+            add_edge(fid, id);
+          }
           if (part.seg_level[d] > 0) {
             // An internal d consumes chunk k of U_{e,j} of its whole
             // strict subtree; depending on its two children's chunk k
@@ -115,15 +125,116 @@ void TaskGraph::build(const Analysis& an) {
           }
         }
       }
-      const Int fid = add_task(TaskKind::kSepFactor, static_cast<Int>(pi), s);
-      for (Int k = 0; k < nchunks; ++k) {
-        add_edge(update_id(part.seg_children[s][0], s, k), fid);
-        add_edge(update_id(part.seg_children[s][1], s, k), fid);
+      const Int ntiles = part.seg_ntiles(s);
+      if (ntiles == 1) {
+        // Monolithic separator factor: one task, every child chunk a dep.
+        const Int fid =
+            add_task(TaskKind::kSepFactor, static_cast<Int>(pi), s);
+        for (Int k = 0; k < nchunks; ++k) {
+          add_edge(update_id(part.seg_children[s][0], s, k), fid);
+          add_edge(update_id(part.seg_children[s][1], s, k), fid);
+        }
+        factor_join[static_cast<size_t>(s)] = {fid};
+        continue;
       }
-      factor_id[static_cast<size_t>(s)] = fid;
+      // 2D-tiled separator factor (header comment / DESIGN.md §3.9). A
+      // gemm for tile t only needs the children's U_{c,s} chunks whose
+      // column ranges overlap the tile — the tile and chunk grids both
+      // belong to s but may differ, hence the range mapping.
+      auto chunk_edges = [&](Int t, Int gid) {
+        const Int t0 = part.tile_lo(s, t);
+        const Int t1 = t0 + part.tile_width(s, t);
+        const Int cw = part.seg_chunk_cols[s];
+        for (Int k = t0 / cw; k <= (t1 - 1) / cw; ++k) {
+          add_edge(update_id(part.seg_children[s][0], s, k), gid);
+          add_edge(update_id(part.seg_children[s][1], s, k), gid);
+        }
+      };
+      std::vector<Int> gemm_d(static_cast<size_t>(ntiles));
+      std::vector<Int> getrf(static_cast<size_t>(ntiles));
+      for (Int t = 0; t < ntiles; ++t) {
+        gemm_d[static_cast<size_t>(t)] =
+            add_task(TaskKind::kTileGemm, static_cast<Int>(pi), s, 0, t);
+        chunk_edges(t, gemm_d[static_cast<size_t>(t)]);
+      }
+      for (Int t = 0; t < ntiles; ++t) {
+        getrf[static_cast<size_t>(t)] =
+            add_task(TaskKind::kTileGetrf, static_cast<Int>(pi), s, kInvalid, t);
+        add_edge(gemm_d[static_cast<size_t>(t)], getrf[static_cast<size_t>(t)]);
+        if (t > 0) {
+          add_edge(getrf[static_cast<size_t>(t - 1)],
+                   getrf[static_cast<size_t>(t)]);
+        }
+      }
+      auto& join = factor_join[static_cast<size_t>(s)];
+      join = {getrf[static_cast<size_t>(ntiles - 1)]};
+      for (size_t a = 0; a < part.anc[s].size(); ++a) {
+        const bool nonempty = part.seg_size(part.anc[s][a]) > 0;
+        std::vector<Int> gemm_a(nonempty ? static_cast<size_t>(ntiles) : 0);
+        for (Int t = 0; nonempty && t < ntiles; ++t) {
+          gemm_a[static_cast<size_t>(t)] = add_task(
+              TaskKind::kTileGemm, static_cast<Int>(pi), s,
+              static_cast<Int>(1 + a), t);
+          chunk_edges(t, gemm_a[static_cast<size_t>(t)]);
+        }
+        Int prev = kInvalid;
+        for (Int t = 0; t < ntiles; ++t) {
+          const Int tid = add_task(TaskKind::kTileTrsm, static_cast<Int>(pi),
+                                   s, static_cast<Int>(a), t);
+          add_edge(getrf[static_cast<size_t>(t)], tid);
+          if (nonempty) add_edge(gemm_a[static_cast<size_t>(t)], tid);
+          if (t > 0) add_edge(prev, tid);
+          prev = tid;
+        }
+        join.push_back(prev);
+      }
     }
   }
   finalize();
+
+  // Modeled span/work in column units (header comment). Every edge above
+  // runs from a lower to a higher task id (segments in postorder, and
+  // within a separator gemms precede getrfs precede trsms), so one
+  // ascending relaxation pass yields the longest weighted path.
+  auto weight = [&](const Task& t) -> double {
+    switch (t.kind) {
+      case TaskKind::kFineBlock:
+        return static_cast<double>(an.block_off[t.seg + 1] -
+                                   an.block_off[t.seg]);
+      case TaskKind::kLeafFactor:
+      case TaskKind::kSepFactor: {
+        // One task computes the whole block column: jcols columns toward
+        // the diagonal plus every nonempty ancestor row segment.
+        const NdPart& part = an.parts[static_cast<size_t>(t.part)];
+        Int rowsegs = 1;
+        for (Int k : part.anc[t.seg]) rowsegs += part.seg_size(k) > 0;
+        return static_cast<double>(part.seg_size(t.seg)) * rowsegs;
+      }
+      case TaskKind::kSepUpdate:
+        return static_cast<double>(an.parts[static_cast<size_t>(t.part)]
+                                       .chunk_width(t.target, t.chunk));
+      case TaskKind::kSepAssemble:
+        return static_cast<double>(
+            an.parts[static_cast<size_t>(t.part)].seg_size(t.target));
+      case TaskKind::kTileGemm:
+      case TaskKind::kTileGetrf:
+      case TaskKind::kTileTrsm:
+        return static_cast<double>(an.parts[static_cast<size_t>(t.part)]
+                                       .tile_width(t.seg, t.chunk));
+    }
+    return 0.0;
+  };
+  std::vector<double> dist(tasks_.size(), 0.0);
+  for (Int id = 0; id < size(); ++id) {
+    const double reach = dist[static_cast<size_t>(id)] +
+                         weight(tasks_[static_cast<size_t>(id)]);
+    total_cols_ += weight(tasks_[static_cast<size_t>(id)]);
+    critical_cols_ = std::max(critical_cols_, reach);
+    for (const Int* s = succ_begin(id); s != succ_end(id); ++s) {
+      dist[static_cast<size_t>(*s)] =
+          std::max(dist[static_cast<size_t>(*s)], reach);
+    }
+  }
 }
 
 }  // namespace basker::sched

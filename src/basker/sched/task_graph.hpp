@@ -37,7 +37,46 @@
 //                 the staging chunks through NdPart::ublk_col.
 //   kSepFactor    reduce + factor the diagonal block ^A_jj with pivoting
 //                 and form the L blocks toward j's ancestors. Deps: every
-//                 chunk of U_{c,j} of j's two children.
+//                 chunk of U_{c,j} of j's two children. Only lowered for
+//                 separators whose factorization fits ONE tile
+//                 (NdPart::seg_ntiles == 1); wider separators get the 2D
+//                 tile dataflow below instead.
+//
+// 2D-tiled separator factorization (separators with seg_ntiles(j) > 1,
+// DESIGN.md §3.9) — the monolithic kSepFactor's column loop split along
+// the tile grid, with the per-column arithmetic unchanged:
+//   kTileGemm     fully reduce the columns of one (row segment, tile) pair
+//                 of separator j: ^A_rowseg(:, tile) = A_rowseg(:, tile)
+//                 minus the strict-subtree products, descendants in
+//                 ascending postorder — exactly the monolithic kernel's
+//                 reduction — staged with the accumulator's insertion
+//                 order preserved (NdPart::sep_red_stage) so the consumer
+//                 task restores the accumulator state bit-for-bit.
+//                 target = row-segment index (0 = the diagonal block jj,
+//                 r >= 1 = ancestor anc[j][r-1]); chunk = tile. Deps: the
+//                 children's U_{c,j} chunks overlapping the tile's columns
+//                 (which transitively cover every deeper descendant, as
+//                 for kSepUpdate). Not lowered for empty row segments.
+//   kTileGetrf    Gilbert-Peierls-factor the staged diagonal columns of
+//                 one tile into diag[j] (pivot search confined to the
+//                 diagonal tile column, as in the monolithic kernel), then
+//                 publish the tile's closed U columns (sep_u_tile) for the
+//                 trsm tasks. Serial chain: deps = the tile's diagonal
+//                 kTileGemm + the previous tile's kTileGetrf (L/U/engine
+//                 grow strictly left to right). The last tile publishes
+//                 the segment's row_perm/pinv.
+//   kTileTrsm     form L_kj(:, tile) toward ancestor k = anc[j][target]:
+//                 restore the staged reduction, subtract the U-weighted
+//                 earlier L columns, divide by the pivot — the monolithic
+//                 kernel's ancestor loop body. Deps: the (1+target, tile)
+//                 kTileGemm (when k is nonempty), the tile's kTileGetrf
+//                 (publishes the U snapshot), and the previous tile's
+//                 kTileTrsm of the same ancestor (earlier L columns +
+//                 left-to-right closes).
+// "Separator j fully factored" then means: last kTileGetrf AND every
+// ancestor's last kTileTrsm — dependents (update tasks targeting an
+// ancestor of j) depend on that join set where they depended on the single
+// kSepFactor before.
 //
 // Dependency counters live in the *scheduler*, not here: the graph is built
 // once per symbolic analysis and replayed unchanged by every numeric
@@ -63,9 +102,15 @@ enum class TaskKind : std::uint8_t {
   kSepUpdate,    ///< part + seg = descendant d, target = separator j,
                  ///< chunk = column chunk of j
   kSepAssemble,  ///< part + seg = descendant d, target = separator j
-  kSepFactor,    ///< part + seg = separator segment
+  kSepFactor,    ///< part + seg = separator segment (untiled only)
+  kTileGemm,     ///< part + seg = tiled separator j, target = row-segment
+                 ///< index (0 = diagonal, r >= 1 = anc[j][r-1]),
+                 ///< chunk = tile
+  kTileGetrf,    ///< part + seg = tiled separator j, chunk = tile
+  kTileTrsm,     ///< part + seg = tiled separator j, target = ancestor
+                 ///< index into anc[j], chunk = tile
 };
-inline constexpr int kNumTaskKinds = 5;
+inline constexpr int kNumTaskKinds = 8;
 
 struct Task {
   TaskKind kind = TaskKind::kFineBlock;
@@ -85,7 +130,9 @@ class TaskGraph {
   /// an.fine_blocks order), then per part, per segment in postorder (per
   /// separator: every chunk of every descendant update in ascending
   /// (descendant, chunk) order, each multi-chunk block's assemble task
-  /// directly after its chunks, then the separator factor).
+  /// directly after its chunks, then the separator factor — one kSepFactor
+  /// when untiled, else diagonal kTileGemms, kTileGetrfs, then per
+  /// ancestor its kTileGemms and kTileTrsms, tiles ascending throughout).
   void build(const Analysis& an);
 
   // -- Generic construction (used by build() and by the stress tests). ----
@@ -117,12 +164,24 @@ class TaskGraph {
     return kind_count_[static_cast<size_t>(kind)];
   }
 
+  /// Modeled span/work of the graph in COLUMN units (each task weighted by
+  /// the factor columns it computes; a monolithic kSepFactor computing
+  /// jcols columns toward 1 + n_anc row segments weighs
+  /// jcols * (1 + n_anc)). critical_path_cols() is the heaviest
+  /// dependency chain — the serial floor no team size can beat — and
+  /// total_cols() the graph-wide sum, so total/critical bounds the modeled
+  /// parallelism. Computed by build(); both 0 for hand-assembled graphs.
+  double critical_path_cols() const { return critical_cols_; }
+  double total_cols() const { return total_cols_; }
+
  private:
   std::vector<Task> tasks_;
   std::vector<std::vector<Int>> pending_succ_;  ///< pre-finalize edge lists
   std::vector<Int> successors_;                 ///< flattened after finalize
   std::vector<Int> roots_;
   std::array<Int, kNumTaskKinds> kind_count_{};
+  double critical_cols_ = 0.0;
+  double total_cols_ = 0.0;
   bool finalized_ = false;
 };
 

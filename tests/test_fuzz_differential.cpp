@@ -2,9 +2,10 @@
 //
 // Each iteration draws a matrix from the generator suite at a random scale,
 // random team sizes from {1, 2, 3, 5, 6, 8}, and random task-DAG knobs
-// (chunk widths vary even BETWEEN the DAG runs of one iteration — the chunk
-// grid moves columns between tasks, never changes their arithmetic), then
-// asserts the repo's two core numeric contracts differentially:
+// (chunk AND separator-tile widths vary even BETWEEN the DAG runs of one
+// iteration — both grids move columns between tasks, never change their
+// arithmetic), then asserts the repo's two core numeric contracts
+// differentially:
 //   - every task-DAG run of the iteration produces BIT-IDENTICAL factors
 //     (same digest across team sizes, chunk widths, and a refactor replay);
 //   - both schedules solve to a bounded relative residual (the schedules
@@ -138,6 +139,11 @@ TEST(FuzzDifferential, StaticVsTaskDagRandomizedSweep) {
       opt.dag_min_leaf_rows = min_leaf_rows;
       opt.dag_chunk_cols = pick(rng, {0, 0, 1, 5, 19});  // 0 = auto width
       opt.dag_chunk_cols_min = pick(rng, {2, 8, 16});
+      // Tile grid redrawn per RUN like the chunk grid: auto, forced fine,
+      // forced misaligned, or forced monolithic (1 << 20) — all must agree
+      // to the bit (DESIGN.md §3.9).
+      opt.dag_tile_cols = pick(rng, {0, 0, 1 << 20, 3, 11});
+      opt.dag_tile_cols_min = pick(rng, {2, 8, 32});
       Basker solver(opt);
       ASSERT_EQ(solver.nthreads(), p) << "kTaskDag must grant p verbatim";
       ASSERT_EQ(solver.factor(a), Status::kOk)
@@ -155,7 +161,9 @@ TEST(FuzzDifferential, StaticVsTaskDagRandomizedSweep) {
         ASSERT_TRUE(expected == d)
             << "task-DAG factors diverged at p=" << p
             << " chunk_cols=" << solver.options().dag_chunk_cols
-            << " chunk_cols_min=" << solver.options().dag_chunk_cols_min;
+            << " chunk_cols_min=" << solver.options().dag_chunk_cols_min
+            << " tile_cols=" << solver.options().dag_tile_cols
+            << " tile_cols_min=" << solver.options().dag_tile_cols_min;
       }
       ASSERT_EQ(solver.refactor(a), Status::kOk);
       ASSERT_TRUE(expected == digest_factors(solver))
@@ -234,6 +242,8 @@ TEST(FuzzDifferential, RefactorValueRewriteSweep) {
       o.dag_task_flops = task_flops;
       o.dag_chunk_cols = pick(rng, {0, 0, 1, 5, 19});
       o.dag_chunk_cols_min = pick(rng, {2, 8, 16});
+      o.dag_tile_cols = pick(rng, {0, 0, 1 << 20, 3, 11});
+      o.dag_tile_cols_min = pick(rng, {2, 8, 32});
       return o;
     };
     Basker sdeep1(deep_opts(deep_p1));

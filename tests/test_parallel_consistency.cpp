@@ -20,6 +20,7 @@
 #include <gtest/gtest.h>
 
 #include <cctype>
+#include <cmath>
 #include <utility>
 
 #include "basker/core/basker.hpp"
@@ -248,6 +249,226 @@ TEST(ParallelConsistencyModes, TaskDagChunkGridNeverChangesFactors) {
   }
   EXPECT_TRUE(saw_chunks)
       << "no configuration exercised the staging + assemble path";
+}
+
+TEST(ParallelConsistencyModes, TaskDagTileGridNeverChangesFactors) {
+  // 2D-tiled separator factorization (DESIGN.md §3.9): the tile grid moves
+  // columns between getrf/trsm/gemm tasks — with the accumulator state
+  // handed across task boundaries bit-exactly through staging — but never
+  // changes their arithmetic. Every tile-width configuration must produce
+  // factors bit-identical to the monolithic kSepFactor graph, at every
+  // team size of the issue's p = 1,2,3,5,8 sweep. The tree depth is pinned
+  // via dag_task_flops so only the tile grid varies.
+  const Csc a = gen::make_by_name("G2_Circuit", kTestScale);
+
+  BaskerOptions base;
+  base.sync_mode = SyncMode::kTaskDag;
+  base.dag_task_flops = 1.0;      // deepest tree the row floor allows
+  base.dag_min_leaf_rows = 32;    // ...and force real separators at this scale
+  base.dag_tile_cols = 1 << 20;   // reference: every separator monolithic
+  base.nthreads = 1;
+  Basker ref(base);
+  ASSERT_EQ(ref.factor(a), Status::kOk);
+  const FactorDigest expected = digest_factors(ref);
+  ASSERT_EQ(ref.stats().dag_tile_tasks, 0);  // reference really is monolithic
+  ASSERT_EQ(ref.stats().dag_tiled_seps, 0);
+  Int max_nlev = 0;
+  for (const NdPart& part : ref.analysis().parts) {
+    max_nlev = std::max(max_nlev, part.nlev);
+  }
+  ASSERT_GE(max_nlev, 1) << "test needs separators to tile";
+
+  bool saw_tiles = false;
+  for (Int tile_cols : {0, 1, 3, 17}) {  // 0 = auto (work model)
+    for (Int p : {1, 2, 3, 5, 8}) {
+      BaskerOptions opt = base;
+      opt.dag_tile_cols = tile_cols;
+      opt.dag_tile_cols_min = 2;  // let the auto width split finely
+      opt.nthreads = p;
+      Basker solver(opt);
+      ASSERT_EQ(solver.factor(a), Status::kOk)
+          << "tile_cols=" << tile_cols << " p=" << p;
+      EXPECT_TRUE(expected == digest_factors(solver))
+          << "tile_cols=" << tile_cols << " p=" << p
+          << ": tile grid changed the factors";
+      if (solver.stats().dag_tiled_seps > 0) {
+        saw_tiles = true;
+        // A tiled separator must really decompose: at least a getrf and a
+        // diagonal gemm per tile, two tiles minimum.
+        EXPECT_GE(solver.stats().dag_tile_tasks, 4)
+            << "tile_cols=" << tile_cols << " p=" << p;
+      }
+      // Refactor replays the tiled graph to the same bits.
+      ASSERT_EQ(solver.refactor(a), Status::kOk);
+      EXPECT_TRUE(expected == digest_factors(solver))
+          << "tile_cols=" << tile_cols << " p=" << p << ": refactor diverged";
+      EXPECT_EQ(solver.stats().dag_tile_tasks > 0,
+                solver.stats().dag_tiled_seps > 0);
+    }
+  }
+  EXPECT_TRUE(saw_tiles)
+      << "no configuration exercised the tiled separator dataflow";
+}
+
+TEST(ParallelConsistencyModes, TaskDagTileAndChunkGridsComposeBitExactly) {
+  // Tile and chunk grids are independent knobs over the same separators —
+  // deliberately misaligned combinations (tile width not a multiple of the
+  // chunk width and vice versa) exercise the tile-to-chunk dependency
+  // range mapping in the lowering, and must still be bit-identical to the
+  // monolithic, unchunked reference.
+  const Csc a = gen::make_by_name("G2_Circuit", kTestScale);
+  BaskerOptions base;
+  base.sync_mode = SyncMode::kTaskDag;
+  base.dag_task_flops = 1.0;
+  base.dag_min_leaf_rows = 32;
+  base.nthreads = 1;
+  BaskerOptions mono = base;
+  mono.dag_tile_cols = 1 << 20;
+  mono.dag_chunk_cols = 1 << 20;
+  Basker ref(mono);
+  ASSERT_EQ(ref.factor(a), Status::kOk);
+  const FactorDigest expected = digest_factors(ref);
+
+  for (auto [tile, chunk] : {std::pair<Int, Int>{3, 7},
+                             std::pair<Int, Int>{7, 3},
+                             std::pair<Int, Int>{5, 1},
+                             std::pair<Int, Int>{1, 5}}) {
+    for (Int p : {1, 3}) {
+      BaskerOptions opt = base;
+      opt.dag_tile_cols = tile;
+      opt.dag_chunk_cols = chunk;
+      opt.nthreads = p;
+      Basker solver(opt);
+      ASSERT_EQ(solver.factor(a), Status::kOk)
+          << "tile=" << tile << " chunk=" << chunk << " p=" << p;
+      EXPECT_TRUE(expected == digest_factors(solver))
+          << "tile=" << tile << " chunk=" << chunk << " p=" << p
+          << ": misaligned grids changed the factors";
+    }
+  }
+}
+
+TEST(ParallelConsistencyModes, TaskDagRejectsNonsenseKnobsAcceptsDegenerate) {
+  // Knob validation (options.hpp precedence rules): values with no sane
+  // reading fail symbolic() — and therefore factor() — with
+  // kInvalidInput; degenerate-but-meaningful combinations stay legal and
+  // must still produce the reference factors.
+  const Csc a = gen::make_by_name("G2_Circuit", kTestScale);
+
+  auto expect_invalid = [&](auto&& tweak, const char* label) {
+    BaskerOptions opt;
+    opt.sync_mode = SyncMode::kTaskDag;
+    tweak(opt);
+    Basker solver(opt);
+    EXPECT_EQ(solver.factor(a), Status::kInvalidInput) << label;
+    EXPECT_FALSE(solver.factored()) << label;
+  };
+  expect_invalid([](BaskerOptions& o) { o.dag_chunk_cols = -1; },
+                 "negative dag_chunk_cols");
+  expect_invalid([](BaskerOptions& o) { o.dag_chunk_cols_min = -5; },
+                 "negative dag_chunk_cols_min");
+  expect_invalid([](BaskerOptions& o) { o.dag_tile_cols = -2; },
+                 "negative dag_tile_cols");
+  expect_invalid([](BaskerOptions& o) { o.dag_tile_cols_min = -1; },
+                 "negative dag_tile_cols_min");
+  expect_invalid([](BaskerOptions& o) { o.dag_task_flops = std::nan(""); },
+                 "NaN dag_task_flops");
+  expect_invalid([](BaskerOptions& o) { o.dag_work_inflation = 0.0; },
+                 "non-positive dag_work_inflation");
+
+  // The same nonsense knobs are unread — and therefore legal — under the
+  // static schedules.
+  {
+    BaskerOptions opt;
+    opt.dag_chunk_cols = -1;
+    Basker solver(opt);
+    EXPECT_EQ(solver.factor(a), Status::kOk)
+        << "static schedules must ignore task-DAG knobs";
+  }
+
+  // Degenerate combos, each against a monolithic/unchunked reference.
+  BaskerOptions refopt;
+  refopt.sync_mode = SyncMode::kTaskDag;
+  refopt.dag_task_flops = 1.0;
+  refopt.dag_min_leaf_rows = 32;
+  refopt.dag_chunk_cols = 1 << 20;
+  refopt.dag_tile_cols = 1 << 20;
+  Basker ref(refopt);
+  ASSERT_EQ(ref.factor(a), Status::kOk);
+  const FactorDigest expected = digest_factors(ref);
+
+  auto expect_matches = [&](auto&& tweak, const char* label) {
+    BaskerOptions opt;
+    opt.sync_mode = SyncMode::kTaskDag;
+    opt.dag_task_flops = 1.0;
+    opt.dag_min_leaf_rows = 32;
+    tweak(opt);
+    Basker solver(opt);
+    ASSERT_EQ(solver.factor(a), Status::kOk) << label;
+    EXPECT_TRUE(expected == digest_factors(solver)) << label;
+  };
+  // dag_task_flops = 0 while deriving: the documented "finest grid the
+  // floors allow" reading, not a division blowup. (The depth heuristic and
+  // the grids both degenerate the same way as the reference's 1.0 flop
+  // target, so the analysis — and the factors — must match it.)
+  expect_matches([](BaskerOptions& o) { o.dag_task_flops = 0.0; },
+                 "dag_task_flops=0");
+  // Floors wider than every block column: grids collapse to one piece.
+  expect_matches([](BaskerOptions& o) {
+    o.dag_chunk_cols_min = 1 << 20;
+    o.dag_tile_cols_min = 1 << 20;
+  }, "floors wider than the block columns");
+  // Zero floors are treated as 1 (no floor), not rejected.
+  expect_matches([](BaskerOptions& o) {
+    o.dag_chunk_cols_min = 0;
+    o.dag_tile_cols_min = 0;
+  }, "zero floors");
+  // Forced width 1: the finest legal grids, with the floors bypassed.
+  expect_matches([](BaskerOptions& o) {
+    o.dag_chunk_cols = 1;
+    o.dag_tile_cols = 1;
+  }, "forced width 1");
+}
+
+TEST(ParallelConsistencyModes, TaskDagCountersArePerRunRefactorsCumulative) {
+  // Stats lifetime semantics (options.hpp): every dag_* counter is
+  // per-run — each numeric execution, including the ones inside
+  // refactor(), overwrites them — while the refactor_* group accumulates
+  // since the analysis.
+  const Csc a = gen::make_by_name("G2_Circuit", kTestScale);
+  BaskerOptions opt;
+  opt.sync_mode = SyncMode::kTaskDag;
+  opt.dag_task_flops = 1.0;
+  opt.dag_min_leaf_rows = 32;
+  opt.dag_tile_cols_min = 2;
+  opt.nthreads = 3;
+  Basker solver(opt);
+  ASSERT_EQ(solver.factor(a), Status::kOk);
+  const long long tasks = solver.stats().dag_tasks;
+  const long long tile_tasks = solver.stats().dag_tile_tasks;
+  EXPECT_GT(tasks, 0);
+  EXPECT_EQ(solver.stats().refactors, 0);
+
+  for (int i = 1; i <= 3; ++i) {
+    ASSERT_EQ(solver.refactor(a), Status::kOk);
+    // Per-run: the replay executes the same graph, so the counters must be
+    // REWRITTEN to the same values, not accumulated.
+    EXPECT_EQ(solver.stats().dag_tasks, tasks) << "refactor " << i;
+    EXPECT_EQ(solver.stats().dag_tile_tasks, tile_tasks) << "refactor " << i;
+    // Cumulative: the refactor ledger keeps counting.
+    EXPECT_EQ(solver.stats().refactors, i);
+    EXPECT_EQ(solver.stats().refactor_fallbacks, 0);
+  }
+  EXPECT_GT(solver.stats().refactor_seconds, 0.0);
+
+  // Static schedules never execute the DAG: their runs report zeros.
+  BaskerOptions st;
+  st.nthreads = 2;
+  Basker static_solver(st);
+  ASSERT_EQ(static_solver.factor(a), Status::kOk);
+  EXPECT_EQ(static_solver.stats().dag_tasks, 0);
+  EXPECT_EQ(static_solver.stats().dag_tile_tasks, 0);
+  EXPECT_EQ(static_solver.stats().dag_tiled_seps, 0);
 }
 
 TEST(ParallelConsistencyModes, TaskDagDepthAdaptsToModeledWork) {

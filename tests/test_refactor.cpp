@@ -327,6 +327,105 @@ TEST(Refactor, GrowthMonitorCoversParallelSchedules) {
 }
 
 // ---------------------------------------------------------------------------
+// Tiled separator dataflow (DESIGN.md §3.9): the replay must run through the
+// tile-task graph, not silently fall back to the monolithic kernel.
+
+/// Task-DAG options that force a deep tree and a fine tile grid, so the top
+/// separators decompose into kTileGemm/kTileGetrf/kTileTrsm tasks.
+BaskerOptions tiled_opts(Int threads) {
+  BaskerOptions o = opts(threads, SyncMode::kTaskDag);
+  o.dag_task_flops = 1.0;      // deepest tree the row floor allows
+  o.dag_min_leaf_rows = 32;    // ...with real separators at test scale
+  o.dag_tile_cols = 3;
+  o.dag_tile_cols_min = 2;
+  return o;
+}
+
+TEST(Refactor, ReplaysThroughTiledSeparatorDataflow) {
+  // A refactor() after a tiled-separator factor() replays the SAME tiled
+  // graph: the per-run dag_tile_tasks counter is rewritten by the replay
+  // (proving the tile kernels executed, not a monolithic detour), and the
+  // factors stay bit-identical — both to the fresh pass and to a
+  // monolithic-separator replayer fed the same value sweep.
+  Csc a = gen::make_by_name("G2_Circuit", 0.2);
+
+  Basker tiled(tiled_opts(3));
+  ASSERT_EQ(tiled.factor(a), Status::kOk);
+  ASSERT_GT(tiled.stats().dag_tiled_seps, 0) << "config failed to tile";
+  const long long fresh_tiles = tiled.stats().dag_tile_tasks;
+  ASSERT_GT(fresh_tiles, 0);
+  const FactorDigest fresh = digest_factors(tiled);
+
+  // Same values: bitwise replay through the tile dataflow.
+  ASSERT_EQ(tiled.refactor(a), Status::kOk);
+  ASSERT_TRUE(fresh == digest_factors(tiled))
+      << "tiled replay with unchanged values diverged";
+  EXPECT_EQ(tiled.stats().dag_tile_tasks, fresh_tiles)
+      << "replay did not execute the tiled graph";
+  EXPECT_EQ(tiled.stats().refactor_fallbacks, 0);
+
+  // Value sweep: the tiled replay tracks a monolithic-separator replayer
+  // bit-for-bit (the tile grid changes WHERE columns are computed, never
+  // their arithmetic — also under frozen pivots).
+  BaskerOptions mono_o = tiled_opts(1);
+  mono_o.dag_tile_cols = 1 << 20;  // force every separator monolithic
+  Basker mono(mono_o);
+  ASSERT_EQ(mono.factor(a), Status::kOk);
+  ASSERT_EQ(mono.stats().dag_tile_tasks, 0);
+  Prng rng(19);
+  for (int step = 0; step < 3; ++step) {
+    gen::revalue(a, rng, 0.3);
+    ASSERT_EQ(tiled.refactor(a), Status::kOk) << "step " << step;
+    ASSERT_EQ(mono.refactor(a), Status::kOk) << "step " << step;
+    ASSERT_TRUE(digest_factors(tiled) == digest_factors(mono))
+        << "tiled vs monolithic refactor diverged at step " << step;
+    EXPECT_GT(tiled.stats().dag_tile_tasks, 0) << "step " << step;
+  }
+}
+
+TEST(Refactor, GrowthMonitorFallsBackWithTilingEnabled) {
+  // The growth monitor must work inside the tile kernels too: crush the
+  // frozen pivots of a tiled-separator factorization and a tight tolerance
+  // rejects the replay, falls back to the full re-pivoting pass (itself
+  // running the tiled graph), and leaves valid, re-frozen factors.
+  const Csc good = dominant(20, 300);
+  Csc bad = good;
+  for (Int j = 0; j < bad.ncols; ++j) {
+    for (Size p = bad.col_ptr[j]; p < bad.col_ptr[j + 1]; ++p) {
+      if (bad.row_idx[p] == j) bad.values[p] = 1e-7;  // crush the diagonal
+    }
+  }
+  for (Int p : {1, 4}) {
+    BaskerOptions o = tiled_opts(p);
+    // Force the search to the column max so the fallback's re-frozen
+    // pivots provably satisfy the monitor on a same-values replay.
+    o.pivot_tol = 1.0;
+    o.refactor_pivot_tol = 0.1;
+    Basker solver(o);
+    ASSERT_EQ(solver.factor(good), Status::kOk) << "p=" << p;
+    ASSERT_GT(solver.stats().dag_tiled_seps, 0)
+        << "p=" << p << ": config failed to tile";
+    const Status s = solver.refactor(bad);
+    ASSERT_TRUE(s == Status::kPivotGrowth || s == Status::kNumericallySingular)
+        << "p=" << p << ": " << to_string(s);
+    if (s != Status::kPivotGrowth) continue;
+    EXPECT_TRUE(solver.factored());
+    EXPECT_GE(solver.stats().refactor_fallbacks, 1);
+    // The fallback's full numeric pass ran the tiled graph (per-run
+    // counter describes the run that produced the live factors).
+    EXPECT_GT(solver.stats().dag_tile_tasks, 0) << "p=" << p;
+    EXPECT_LT(solve_residual(solver, bad, 3), 1e-6) << "p=" << p;
+    // The fallback re-froze the re-pivoted sequence: replaying the same
+    // values now succeeds, bitwise stable, with no further fallback.
+    const FactorDigest refrozen = digest_factors(solver);
+    const long long fallbacks = solver.stats().refactor_fallbacks;
+    ASSERT_EQ(solver.refactor(bad), Status::kOk) << "p=" << p;
+    EXPECT_TRUE(refrozen == digest_factors(solver)) << "p=" << p;
+    EXPECT_EQ(solver.stats().refactor_fallbacks, fallbacks);
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Preconditions and degenerate shapes.
 
 TEST(Refactor, BeforeFactorReturnsNotFactored) {
