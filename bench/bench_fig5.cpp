@@ -25,6 +25,10 @@
 // small bench scales still exercise real separators): run the taskdag
 // sweep once per --tile-cols setting, both with --deep-tree, and diff with
 // `scripts/bench_compare.py --tiles --baseline <monolithic.json>`.
+// --hybrid runs with the library's default fill-guided dense-block
+// selection and --dense-threshold X forces the selection threshold
+// (X > 1 = the all-sparse ablation): run one sweep per leg and diff with
+// `scripts/bench_compare.py --hybrid --baseline <all_sparse.json>`.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -124,6 +128,19 @@ int main(int argc, char** argv) {
       }
     } else if (std::strcmp(a, "--deep-tree") == 0) {
       cfg.deep_tree = true;
+    } else if (std::strcmp(a, "--hybrid") == 0) {
+      // Hybrid leg of the bench_compare.py --hybrid gate: the library's
+      // default dense_fill_threshold (fill-guided dense blocks on).
+      cfg.dense_fill_threshold = basker::BaskerOptions{}.dense_fill_threshold;
+    } else if (std::strcmp(a, "--dense-threshold") == 0 && i + 1 < argc) {
+      char* end = nullptr;
+      cfg.dense_fill_threshold = std::strtod(argv[++i], &end);
+      if (end == argv[i] || *end != '\0' || cfg.dense_fill_threshold < 0.0) {
+        std::fprintf(stderr,
+                     "--dense-threshold needs a non-negative number, got '%s'\n",
+                     argv[i]);
+        return 64;
+      }
     } else if (std::strcmp(a, "--tile-cols") == 0 && i + 1 < argc) {
       char* end = nullptr;
       cfg.dag_tile_cols =
@@ -175,7 +192,7 @@ int main(int argc, char** argv) {
                    "usage: bench_fig5 [--measured [--json] [--max-threads N] "
                    "[--repeats N] [--pin] [--park spin|yield|sleep|condvar] "
                    "[--schedule static|taskdag|both] [--tile-cols N] "
-                   "[--deep-tree]]\n");
+                   "[--deep-tree] [--hybrid] [--dense-threshold X]]\n");
       return 64;
     }
   }

@@ -4,6 +4,8 @@
 // behind every table in the paper. Runs on the in-tree harness
 // (bench_support/microbench.hpp) — no system Google Benchmark needed.
 #include "basker/bench_support/microbench.hpp"
+#include "basker/common/prng.hpp"
+#include "basker/dense/dense.hpp"
 #include "basker/gen/generators.hpp"
 #include "basker/graph/btf.hpp"
 #include "basker/graph/matching.hpp"
@@ -87,6 +89,84 @@ void bm_nested_dissection(bb::MicroState& state) {
   }
 }
 
+// Hybrid dense path kernels (DESIGN.md §3.10): the same m x m panel
+// factored / solved / updated at a sweep of cache-block widths
+// (BaskerOptions::dense_tile). The fastest width across the three sweeps
+// picks the library default — the factors are bitwise identical at every
+// width (per-element ascending-k update order), so this is purely a
+// throughput knob. Recorded in docs/BENCHMARKS.md.
+constexpr Int kPanelRows = 192;
+
+std::vector<Scalar> random_panel(Int m, Int n, std::uint64_t seed) {
+  Prng prng(seed);
+  std::vector<Scalar> a(static_cast<size_t>(m) * n);
+  for (Scalar& v : a) v = prng.uniform(-1.0, 1.0);
+  // Diagonal dominance keeps every pivot on the diagonal — the sweep then
+  // measures arithmetic, not swap traffic.
+  for (Int c = 0; c < std::min(m, n); ++c) {
+    a[static_cast<size_t>(c) * m + c] += 2.0 * m;
+  }
+  return a;
+}
+
+void bm_panel_getrf(bb::MicroState& state) {
+  const Int m = kPanelRows;
+  const std::vector<Scalar> a0 = random_panel(m, m, 7);
+  std::vector<Scalar> a;
+  std::vector<Int> perm(static_cast<size_t>(m)), pos(static_cast<size_t>(m));
+  PanelPivot opt;
+  opt.block = static_cast<Int>(state.range(0));
+  double flops = 0.0;
+  while (state.keep_running()) {
+    a = a0;
+    for (Int i = 0; i < m; ++i) perm[i] = pos[i] = i;
+    flops = 0.0;
+    bb::do_not_optimize(panel_getrf_range(m, m, a.data(), 0, m, perm.data(),
+                                          pos.data(), opt, &flops));
+  }
+  state.counter("flops", flops);
+  state.rate("flop_rate", flops);
+}
+
+void bm_panel_trsm(bb::MicroState& state) {
+  // X U^{-1} against a factored panel's upper triangle — the L-block solve
+  // of the hybrid path.
+  const Int m = kPanelRows;
+  std::vector<Scalar> u = random_panel(m, m, 11);
+  std::vector<Int> perm(static_cast<size_t>(m)), pos(static_cast<size_t>(m));
+  for (Int i = 0; i < m; ++i) perm[i] = pos[i] = i;
+  PanelPivot opt;
+  panel_getrf_range(m, m, u.data(), 0, m, perm.data(), pos.data(), opt,
+                    nullptr);
+  const std::vector<Scalar> x0 = random_panel(m, m, 13);
+  std::vector<Scalar> x;
+  const Int block = static_cast<Int>(state.range(0));
+  double flops = 0.0;
+  while (state.keep_running()) {
+    x = x0;
+    flops = 0.0;
+    panel_rtrsm_upper(m, m, x.data(), m, u.data(), m, block, &flops);
+    bb::do_not_optimize(x.data());
+  }
+  state.counter("flops", flops);
+  state.rate("flop_rate", flops);
+}
+
+void bm_panel_gemm(bb::MicroState& state) {
+  // C -= A B at the trailing-update shape one getrf cache block emits:
+  // k = tile width, m = n = the panel remainder.
+  const Int k = static_cast<Int>(state.range(0));
+  const Int m = kPanelRows;
+  const std::vector<Scalar> a = random_panel(m, k, 17);
+  const std::vector<Scalar> b = random_panel(k, m, 19);
+  std::vector<Scalar> c = random_panel(m, m, 23);
+  while (state.keep_running()) {
+    gemm_minus(m, m, k, a.data(), m, b.data(), k, c.data(), m);
+    bb::do_not_optimize(c.data());
+  }
+  state.rate("flop_rate", 2.0 * static_cast<double>(m) * m * k);
+}
+
 void bm_epoch_signal_wait(bb::MicroState& state) {
   // Round-trip cost of the §IV point-to-point handoff, uncontended.
   EpochCounters ep;
@@ -119,6 +199,12 @@ int main(int argc, char** argv) {
   bb::register_micro("BtfScc", bm_btf_scc).arg(2000).arg(8000);
   bb::register_micro("MinDegree", bm_min_degree).arg(24).arg(48);
   bb::register_micro("NestedDissection", bm_nested_dissection).arg(24).arg(48);
+  bb::register_micro("PanelGetrf", bm_panel_getrf)
+      .arg(8).arg(16).arg(32).arg(64).arg(128).arg(192);
+  bb::register_micro("PanelTrsmUpper", bm_panel_trsm)
+      .arg(8).arg(16).arg(32).arg(64).arg(128).arg(192);
+  bb::register_micro("PanelGemmMinus", bm_panel_gemm)
+      .arg(8).arg(16).arg(32).arg(64).arg(128);
   bb::register_micro("EpochSignalWait", bm_epoch_signal_wait);
   bb::register_micro("TeamDispatch", bm_team_dispatch).arg(2).arg(4);
   return bb::run_micro_benchmarks(argc, argv);

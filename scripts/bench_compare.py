@@ -80,6 +80,24 @@ Usage:
   build/bench/bench_fig5 --measured --schedule taskdag --tile-cols 8 --json \\
       | scripts/bench_compare.py --tiles --baseline mono.json
 
+--hybrid mode diffs a hybrid dense-block document (stdin, produced with
+`--hybrid`) against an all-sparse reference produced by the same sweep
+with `--dense-threshold 1.1` (passed via --baseline FILE). Per matrix
+and team size it prints both wall times, their ratio, and the number of
+blocks the symbolic fill model routed to the dense kernels. Gates: any
+failed run or out-of-gate residual fails; the reference document must
+really be all-sparse (dense blocks there fail the run as a harness
+bug); at least one hybrid run must engage a dense block (otherwise the
+hybrid machinery is not under test); and at p = 1 the hybrid wall time
+must stay within --max-hybrid-overhead of the all-sparse time (default
+1.0 — the dense kernels must pay for their scatter/gather).
+
+Usage:
+  build/bench/bench_fig5 --measured --dense-threshold 1.1 --json \\
+      > all_sparse.json
+  build/bench/bench_fig5 --measured --hybrid --json | \\
+      scripts/bench_compare.py --hybrid --baseline all_sparse.json
+
 --orderings mode consumes `bench_ablate_orderings --json` instead and
 gates separator quality: the multilevel ND scheme must beat the level-set
 baseline by --min-reduction (median over the Table I circuit suite), and
@@ -493,6 +511,116 @@ def tiles_main(doc, args):
     return status
 
 
+def hybrid_main(doc, args):
+    if not args.baseline:
+        print("bench_compare: --hybrid needs --baseline ALL_SPARSE.json "
+              "(the --dense-threshold 1.1 reference sweep)", file=sys.stderr)
+        return 2
+    try:
+        with open(args.baseline) as f:
+            sparse_doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench_compare: cannot read baseline: {e}", file=sys.stderr)
+        return 2
+
+    reports = doc.get("reports", [])
+    sparse_reports = {r.get("matrix"): r for r in sparse_doc.get("reports", [])}
+    if not reports or not sparse_reports:
+        print("bench_compare: document has no reports", file=sys.stderr)
+        return 2
+
+    print(f"benchmark: {doc.get('benchmark', '?')}  "
+          f"(hybrid dense blocks vs all-sparse reference)")
+    header = (f"{'matrix':<14} {'sched':<7} {'p':>3} {'sparse(s)':>10} "
+              f"{'hybrid(s)':>10} {'hyb/sparse':>10} {'dense':>5} "
+              f"{'residual':>9}")
+    print(header)
+    print("-" * len(header))
+
+    status = 0
+    failures = 0
+    bad_residual = 0
+    engaged = 0   # hybrid runs with dense blocks
+    overhead_pairs = 0
+    worst_overhead = None  # (hybrid/sparse wall ratio at p=1, matrix)
+    for report in reports:
+        name = report.get("matrix", "?")
+        sparse = sparse_reports.get(name)
+        if sparse is None:
+            print(f"bench_compare: {name} missing from the all-sparse "
+                  f"baseline document", file=sys.stderr)
+            status = 1
+            continue
+        sparse_by_key = {}
+        for run in sparse.get("runs", []):
+            if run.get("dense_blocks", 0) > 0:
+                print(f"bench_compare: baseline {name} p="
+                      f"{run.get('threads')} has dense blocks — it is not "
+                      f"an all-sparse reference", file=sys.stderr)
+                return 2
+            key = (run.get("schedule", "static"), run.get("threads"))
+            sparse_by_key[key] = run
+        for run in report.get("runs", []):
+            sched = run.get("schedule", "static")
+            p = run.get("threads")
+            srun = sparse_by_key.get((sched, p))
+            for r, tag in ((run, "hybrid"), (srun, "sparse")):
+                if r is None:
+                    continue
+                if not r.get("ok"):
+                    failures += 1
+                elif r.get("residual", 0.0) > args.max_residual:
+                    print(f"bench_compare: {name} p={p} ({tag}) residual "
+                          f"{r.get('residual', 0.0):.2e} exceeds "
+                          f"{args.max_residual:.0e}", file=sys.stderr)
+                    bad_residual += 1
+            if not run.get("ok"):
+                continue
+            dense = run.get("dense_blocks", 0)
+            if dense > 0:
+                engaged += 1
+            if srun is None or not srun.get("ok"):
+                continue
+            h_t = run.get("factor_seconds", 0.0)
+            s_t = srun.get("factor_seconds", 0.0)
+            ratio = h_t / s_t if s_t > 0 else None
+            print(f"{name:<14} {sched:<7} {p:>3} {fmt(s_t):>10} "
+                  f"{fmt(h_t):>10} "
+                  f"{fmt(ratio, 2) + 'x' if ratio is not None else '-':>10} "
+                  f"{dense:>5.0f} {run.get('residual', 0.0):>9.1e}")
+            if (p == 1 and ratio is not None and dense > 0
+                    and max(h_t, s_t) >= args.min_seconds):
+                overhead_pairs += 1
+                if worst_overhead is None or ratio > worst_overhead[0]:
+                    worst_overhead = (ratio, name)
+                if ratio > args.max_hybrid_overhead:
+                    print(f"bench_compare: {name} p=1: hybrid dense blocks "
+                          f"{fmt(ratio, 2)}x the all-sparse time (limit "
+                          f"{args.max_hybrid_overhead})", file=sys.stderr)
+                    status = 1
+
+    if worst_overhead is not None:
+        print(f"\nhybrid/sparse at p=1: worst {fmt(worst_overhead[0], 2)}x "
+              f"({worst_overhead[1]}) over {overhead_pairs} gated pairs "
+              f"(limit {args.max_hybrid_overhead}, noise floor "
+              f"{args.min_seconds}s)")
+    else:
+        print("\nno p=1 hybrid-vs-sparse pairs above the noise floor — "
+              "overhead gate skipped")
+    if engaged == 0:
+        print("bench_compare: no hybrid run engaged a dense block — the "
+              "dense path is not under test", file=sys.stderr)
+        return 2
+    print(f"{engaged} hybrid run(s) engaged dense blocks")
+    if failures:
+        print(f"bench_compare: {failures} run(s) failed to factor",
+              file=sys.stderr)
+        status = 1
+    if bad_residual:
+        status = 1
+    return status
+
+
 def refactor_main(doc, args):
     steps = doc.get("steps", 0)
     numeric_step = doc.get("numeric_step_seconds", 0.0)
@@ -555,6 +683,13 @@ def main():
                         help="tiled-vs-monolithic separator mode (tiled "
                              "taskdag sweep on stdin, --baseline = the "
                              "--tile-cols 1048576 reference sweep)")
+    parser.add_argument("--hybrid", action="store_true",
+                        help="hybrid-vs-all-sparse dense-block mode (hybrid "
+                             "sweep on stdin, --baseline = the "
+                             "--dense-threshold 1.1 reference sweep)")
+    parser.add_argument("--max-hybrid-overhead", type=float, default=1.0,
+                        help="hybrid: allowed hybrid/all-sparse wall-time "
+                             "ratio at p=1 (default 1.0)")
     parser.add_argument("--max-tile-overhead", type=float, default=1.10,
                         help="tiles: allowed tiled/monolithic wall-time "
                              "ratio at p=1 (default 1.10)")
@@ -606,14 +741,17 @@ def main():
         print(f"bench_compare: cannot read report: {e}", file=sys.stderr)
         return 2
 
-    if sum([args.orderings, args.schedule, args.refactor, args.tiles]) > 1:
-        print("bench_compare: --orderings, --schedule, --refactor and "
-              "--tiles are exclusive", file=sys.stderr)
+    if sum([args.orderings, args.schedule, args.refactor, args.tiles,
+            args.hybrid]) > 1:
+        print("bench_compare: --orderings, --schedule, --refactor, --tiles "
+              "and --hybrid are exclusive", file=sys.stderr)
         return 2
     if args.refactor:
         return refactor_main(doc, args)
     if args.tiles:
         return tiles_main(doc, args)
+    if args.hybrid:
+        return hybrid_main(doc, args)
     if args.orderings:
         if args.max_regression is None:
             args.max_regression = 1.05

@@ -69,6 +69,26 @@ BASKER_BENCH_SCALE="${BASKER_BENCH_SCALE:-0.3}" \
       --max-tile-overhead 1.1
 rm -f "$TILES_MONO_JSON"
 
+# Hybrid dense-block gate: the same Fig. 5 static sweep twice — once with
+# the fill-guided dense selection disabled (--dense-threshold 1.1, the
+# all-sparse ablation), once with the library default (--hybrid). The
+# comparison gates: every leg factors and solves within the residual
+# bound, the baseline really is all-sparse, at least one hybrid run
+# engages a dense block, and at p = 1 the hybrid wall time stays <= 1.0x
+# the all-sparse time on every pair above the noise floor — the dense
+# panel kernels must pay for their scatter/gather. Min-of-3 repeats
+# de-noises the gated ratio as in the gates above.
+HYBRID_SPARSE_JSON="$(mktemp)"
+BASKER_BENCH_SCALE="${BASKER_BENCH_SCALE:-0.3}" \
+  ./build/bench/bench_fig5 --measured --max-threads 2 --repeats 3 \
+      --dense-threshold 1.1 --json > "$HYBRID_SPARSE_JSON"
+BASKER_BENCH_SCALE="${BASKER_BENCH_SCALE:-0.3}" \
+  ./build/bench/bench_fig5 --measured --max-threads 2 --repeats 3 \
+      --hybrid --json \
+  | python3 scripts/bench_compare.py --hybrid \
+      --baseline "$HYBRID_SPARSE_JSON" --max-hybrid-overhead 1.0
+rm -f "$HYBRID_SPARSE_JSON"
+
 # Differential fuzz gate: the randomized static-vs-taskdag harness at a
 # pinned seed (reproducible everywhere) on top of the default-seed run the
 # full ctest suite above already did. Cross-p/cross-chunk bit-identity and

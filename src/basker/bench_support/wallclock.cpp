@@ -74,6 +74,9 @@ WallclockReport measure_scaling(const std::string& name, const Csc& a,
     opt.backoff = cfg.backoff;
     opt.pin_threads = cfg.pin_threads;
     opt.dag_tile_cols = cfg.dag_tile_cols;
+    if (cfg.dense_fill_threshold >= 0.0) {
+      opt.dense_fill_threshold = cfg.dense_fill_threshold;
+    }
     if (cfg.deep_tree) {
       opt.dag_task_flops = 1.0;
       opt.dag_min_leaf_rows = 32;
@@ -116,6 +119,7 @@ WallclockReport measure_scaling(const std::string& name, const Csc& a,
       run.dag_tiled_seps = solver.stats().dag_tiled_seps;
       run.dag_critical_cols = solver.stats().dag_critical_cols;
       run.dag_total_cols = solver.stats().dag_total_cols;
+      run.dense_blocks = solver.stats().dense_blocks;
       if (report.nnz_lu == 0) {
         report.nnz_lu = run.nnz_lu;
         report.flops = run.flops;
@@ -212,6 +216,7 @@ JsonValue report_to_json(const WallclockReport& report) {
     r.set("dag_tiled_seps", static_cast<double>(run.dag_tiled_seps));
     r.set("dag_critical_cols", run.dag_critical_cols);
     r.set("dag_total_cols", run.dag_total_cols);
+    r.set("dense_blocks", static_cast<double>(run.dense_blocks));
     r.set("refactor_step_seconds", run.refactor_step_seconds);
     r.set("refactors", static_cast<double>(run.refactors));
     r.set("refactor_fallbacks", static_cast<double>(run.refactor_fallbacks));
@@ -263,6 +268,7 @@ bool report_from_json(const JsonValue& v, WallclockReport& out) {
         static_cast<long long>(r.number_or("dag_tiled_seps", 0.0));
     run.dag_critical_cols = r.number_or("dag_critical_cols", 0.0);
     run.dag_total_cols = r.number_or("dag_total_cols", 0.0);
+    run.dense_blocks = static_cast<long long>(r.number_or("dense_blocks", 0.0));
     run.refactor_step_seconds = r.number_or("refactor_step_seconds", 0.0);
     run.refactors = static_cast<long long>(r.number_or("refactors", 0.0));
     run.refactor_fallbacks =

@@ -50,6 +50,12 @@ struct WallclockConfig {
   /// 0. Both legs of the --tiles gate run with this on, so they share the
   /// analysis and differ only in the tile grid.
   bool deep_tree = false;
+  /// Hybrid dense-block selection threshold
+  /// (BaskerOptions::dense_fill_threshold): negative = leave the library
+  /// default, any other value is forwarded verbatim. The bench_compare.py
+  /// --hybrid gate runs a > 1 all-sparse baseline leg against a hybrid
+  /// leg and compares p = 1 wall times.
+  double dense_fill_threshold = -1.0;
 };
 
 /// Powers of two 1..max_threads; max_threads <= 0 means
@@ -101,6 +107,11 @@ struct MeasuredRun {
   /// reference leg).
   long long dag_tile_tasks = 0;
   long long dag_tiled_seps = 0;
+  /// Blocks the symbolic fill-density model routed to the hybrid dense
+  /// kernels (BaskerStats::dense_blocks) — 0 on an all-sparse leg
+  /// (dense_fill_threshold > 1), the engagement signal the
+  /// bench_compare.py --hybrid gate requires from the hybrid leg.
+  long long dense_blocks = 0;
   /// kTaskDag: modeled span/work of the executed DAG in column units
   /// (BaskerStats::dag_critical_cols) — bench_compare.py --tiles reports
   /// the tiled-vs-monolithic critical-path reduction from these.

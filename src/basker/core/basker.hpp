@@ -109,6 +109,21 @@ class Basker {
   bool dag_tile_gemm(NdPart& part, Int tid, Int j, Int rowseg_idx, Int t);
   bool dag_tile_getrf(NdPart& part, Int part_idx, Int tid, Int j, Int t);
   bool dag_tile_trsm(NdPart& part, Int tid, Int j, Int a, Int t);
+  // Hybrid dense block path (core/numeric_dense.cpp, DESIGN.md §3.10):
+  // kernels for blocks the symbolic fill-density model tagged dense
+  // (NdPart::seg_dense / Analysis::fine_dense). Same reductions, same
+  // schedule positions and join sets as the sparse kernels — only the
+  // factorization/solve arithmetic runs through dense panels, gathered
+  // back into LuMatrix storage afterwards.
+  void dense_diag_begin(DensePanel& p, const DiagFactor& dg, Int m);
+  Status dense_diag_factor_cols(DensePanel& p, Int c0, Int c1, double* flops);
+  void dense_diag_publish(const DensePanel& p, DiagFactor& dg);
+  void dense_lblk_solve_cols(DensePanel& x, const DensePanel& u, Int c0,
+                             Int c1, double* flops);
+  Status factor_fine_block_dense(Int tid, Int blk);
+  bool dag_sep_factor_dense(NdPart& part, Int tid, Int j);
+  bool dag_tile_getrf_dense(NdPart& part, Int tid, Int j, Int t);
+  bool dag_tile_trsm_dense(NdPart& part, Int tid, Int j, Int a, Int t);
   void solve_nd_part(const NdPart& part, std::vector<Scalar>& y_local,
                      std::vector<Scalar>& x_local) const;
   void fail(Status s);
@@ -166,6 +181,14 @@ struct Basker::ThreadWs {
   std::vector<Scalar> out_vals;
   std::vector<PagedMatrix> wbuf;              ///< per level (index by level, 0 unused)
   std::vector<std::vector<SparseAcc>> wacc;   ///< [level][chunk slot]
+  /// Hybrid dense path scratch (DESIGN.md §3.10): `panel` holds the
+  /// diagonal block being factored densely, `xpanels` the per-ancestor row
+  /// segments during the blocked L-block solves. Owner-exclusive under the
+  /// static schedules; task-exclusive under kTaskDag (the DAG-tiled path
+  /// uses the persistent NdPart panels instead, since a chain's tiles may
+  /// run on different threads).
+  DensePanel panel;
+  std::vector<DensePanel> xpanels;
   double sync_seconds = 0.0;
   std::vector<double> work;     ///< per phase flop counts
 };

@@ -8,6 +8,11 @@
 namespace basker {
 
 Status Basker::factor_fine_block(Int tid, Int blk) {
+  if (an_.fine_dense[blk] != 0) {
+    // Hybrid dense path (DESIGN.md §3.10): the fill-density model routed
+    // this block to the panel kernel (core/numeric_dense.cpp).
+    return factor_fine_block_dense(tid, blk);
+  }
   ThreadWs& ws = *ws_[tid];
   GpOptions gp_opt;
   gp_opt.pivot_tol = opt_.pivot_tol;

@@ -25,6 +25,7 @@
 
 #include "basker/common/timer.hpp"
 #include "basker/core/basker.hpp"
+#include "basker/lu/panel_gather.hpp"
 
 namespace basker {
 
@@ -63,7 +64,13 @@ void Basker::part_phase_leaves(NdPart& part, Int part_idx, Int tid, Int leaf) {
   const bool replay = refactor_replay_;
   GpOptions gp_opt;
   gp_opt.pivot_tol = opt_.pivot_tol;
-  if (replay) {
+  if (part.seg_dense[leaf] != 0) {
+    // Dense path below: the panel kernel manages its own replay state and
+    // the gather sizes dg.l/dg.u exactly. The engine still needs its
+    // workspace sized — higher-level consumers sparse_lsolve U_dj columns
+    // through this segment's engine against the gathered dg.l.
+    engine.init(m);
+  } else if (replay) {
     engine.begin_replay(m, dg.row_perm, dg.pinv);
     gp_opt.refactor_growth_tol = opt_.refactor_pivot_tol;
   } else {
@@ -74,30 +81,51 @@ void Basker::part_phase_leaves(NdPart& part, Int part_idx, Int tid, Int leaf) {
   const double flops0 = engine.flops();
   double extra_flops = 0.0;
 
-  for (Int c = 0; c < m; ++c) {
-    ws.in_rows.clear();
-    ws.in_vals.clear();
-    gather_segment(part.asub, off + c, off, off + m, [&](Int r, Scalar v) {
-      ws.in_rows.push_back(r);
-      ws.in_vals.push_back(v);
-    });
-    const Status s =
-        replay ? engine.replay_column(dg.l, dg.u, c, ws.in_rows.data(),
-                                      ws.in_vals.data(),
-                                      static_cast<Int>(ws.in_rows.size()), gp_opt)
-               : engine.factor_column(dg.l, dg.u, c, ws.in_rows.data(),
-                                      ws.in_vals.data(),
-                                      static_cast<Int>(ws.in_rows.size()), c,
-                                      gp_opt);
+  if (part.seg_dense[leaf] != 0) {
+    // Hybrid dense path (DESIGN.md §3.10): scatter the diagonal block into
+    // a scratch panel, blocked getrf, gather back. The off-diagonal L
+    // blocks below read the gathered dg.u and cannot tell the difference.
+    DensePanel& p = ws.panel;
+    dense_diag_begin(p, dg, m);
+    for (Int c = 0; c < m; ++c) {
+      Scalar* pc = p.col(c);
+      gather_segment(part.asub, off + c, off, off + m,
+                     [&](Int r, Scalar v) { pc[p.pos[r]] = v; });
+    }
+    const Status s = dense_diag_factor_cols(p, 0, m, &extra_flops);
     if (s != Status::kOk) {
       fail(s);
       ep_.signal(tid, LLONG_MAX / 2);
       return;
     }
-  }
-  if (!replay) {
-    dg.row_perm = engine.row_perm();
-    dg.pinv = engine.pinv();
+    dense_diag_publish(p, dg);
+  } else {
+    for (Int c = 0; c < m; ++c) {
+      ws.in_rows.clear();
+      ws.in_vals.clear();
+      gather_segment(part.asub, off + c, off, off + m, [&](Int r, Scalar v) {
+        ws.in_rows.push_back(r);
+        ws.in_vals.push_back(v);
+      });
+      const Status s =
+          replay
+              ? engine.replay_column(dg.l, dg.u, c, ws.in_rows.data(),
+                                     ws.in_vals.data(),
+                                     static_cast<Int>(ws.in_rows.size()), gp_opt)
+              : engine.factor_column(dg.l, dg.u, c, ws.in_rows.data(),
+                                     ws.in_vals.data(),
+                                     static_cast<Int>(ws.in_rows.size()), c,
+                                     gp_opt);
+      if (s != Status::kOk) {
+        fail(s);
+        ep_.signal(tid, LLONG_MAX / 2);
+        return;
+      }
+    }
+    if (!replay) {
+      dg.row_perm = engine.row_perm();
+      dg.pinv = engine.pinv();
+    }
   }
 
   // L_ki = A_ki U_ii^{-1}, columnwise:
@@ -182,7 +210,8 @@ void Basker::part_block_column(NdPart& part, Int part_idx, Int tid, Int slevel) 
     part.ublk[d][aj].init(part.seg_size(d), jcols, est / np + 64);
   }
   GpEngine& jengine = seg_engines_[part_idx][j];
-  if (owner_j) {
+  const bool dense_j = part.seg_dense[j] != 0;
+  if (owner_j && !dense_j) {
     Size est = 0;
     for (Int c = 0; c < jcols; ++c) {
       est += part.asub.col_ptr[jo + c + 1] - part.asub.col_ptr[jo + c];
@@ -192,6 +221,23 @@ void Basker::part_block_column(NdPart& part, Int part_idx, Int tid, Int slevel) 
     jengine.init(jcols);
     for (size_t a = 0; a < part.anc[j].size(); ++a) {
       part.lblk[j][a].init(part.seg_size(part.anc[j][a]), jcols, est + 16);
+    }
+  } else if (owner_j) {
+    // Hybrid dense drain (DESIGN.md §3.10): the scratch panel accumulates
+    // the diagonal block across the pipeline chunks, the X panels the
+    // reduced ancestor row segments for the blocked solves. The LuMatrix
+    // blocks are sized exactly at gather time, after the last chunk. The
+    // engine workspace is still sized: higher levels sparse_lsolve U_jk
+    // columns through it against the gathered dg.l.
+    jengine.init(jcols);
+    dense_diag_begin(ws.panel, part.diag[j], jcols);
+    if (ws.xpanels.size() < part.anc[j].size()) {
+      ws.xpanels.resize(part.anc[j].size());
+    }
+    for (size_t a = 0; a < part.anc[j].size(); ++a) {
+      const Int mk = part.seg_size(part.anc[j][a]);
+      part.lblk[j][a].init(mk, jcols, 0);
+      if (mk > 0) ws.xpanels[a].reset_rows(mk, jcols);
     }
   }
 
@@ -328,6 +374,53 @@ void Basker::part_block_column(NdPart& part, Int part_idx, Int tid, Int slevel) 
         }
       }
       if (failed()) break;
+      if (dense_j) {
+        // Dense drain for this chunk: reduce each column exactly as the
+        // sparse drain does, scatter it at each row's CURRENT panel
+        // position (pos folds the earlier chunks' swaps — frozen pivots
+        // under replay — and scatter/swap commute bitwise), then factor
+        // the chunk's column range and extend the ancestor solves.
+        DensePanel& dp = ws.panel;
+        for (Int c = c0; c < c1; ++c) {
+          ws.acc.begin();
+          gather_segment(part.asub, jo + c, jo, jo + jcols,
+                         [&](Int r, Scalar v) { ws.acc.add(r, v); });
+          for (Int t = t0; t < t0 + np; ++t) {
+            ws_[t]->wbuf[slevel].for_each_in_column(
+                c, [&](Int r, Scalar v) { ws.acc.add(r, -v); });
+          }
+          Scalar* pc = dp.col(c);
+          for (Int r : ws.acc.pattern()) pc[dp.pos[r]] = ws.acc.value(r);
+          for (size_t a = 0; a < part.anc[j].size(); ++a) {
+            const Int kseg = part.anc[j][a];
+            const Int mk = part.seg_size(kseg);
+            if (mk == 0) continue;
+            const Int ko = part.seg_off[kseg];
+            const Int klev = part.seg_level[kseg];
+            DensePanel& xp = ws.xpanels[a];
+            ws.acc.begin();
+            gather_segment(part.asub, jo + c, ko, ko + mk,
+                           [&](Int r, Scalar v) { ws.acc.add(r, v); });
+            for (Int t = t0; t < t0 + np; ++t) {
+              ws_[t]->wbuf[klev].for_each_in_column(
+                  c, [&](Int r, Scalar v) { ws.acc.add(r, -v); });
+            }
+            Scalar* xc = xp.col(c);
+            for (Int r : ws.acc.pattern()) xc[r] = ws.acc.value(r);
+          }
+        }
+        const Status s = dense_diag_factor_cols(dp, c0, c1, &flops);
+        if (s != Status::kOk) {
+          fail(s);
+          ep_.signal(tid, LLONG_MAX / 2);
+          return;
+        }
+        for (size_t a = 0; a < part.anc[j].size(); ++a) {
+          if (part.seg_size(part.anc[j][a]) == 0) continue;
+          dense_lblk_solve_cols(ws.xpanels[a], dp, c0, c1, &flops);
+        }
+        continue;
+      }
       DiagFactor& dg = part.diag[j];
       for (Int c = c0; c < c1; ++c) {
         // ^A_jj(:,c) = A_jj(:,c) - sum_t W_{t, slevel}(:,c).
@@ -392,9 +485,23 @@ void Basker::part_block_column(NdPart& part, Int part_idx, Int tid, Int slevel) 
   }
 
   if (owner_j && !failed()) {
-    part.diag[j].row_perm = jengine.row_perm();
-    part.diag[j].pinv = jengine.pinv();
-    flops += jengine.flops() - eng_flops0;
+    if (dense_j) {
+      // All chunks drained: gather the factored panel and the ancestor
+      // X panels into the LuMatrix blocks every consumer reads.
+      dense_diag_publish(ws.panel, part.diag[j]);
+      for (size_t a = 0; a < part.anc[j].size(); ++a) {
+        LuMatrix& lb = part.lblk[j][a];
+        if (part.seg_size(part.anc[j][a]) == 0) {
+          for (Int c = 0; c < jcols; ++c) lb.close_column(c);
+        } else {
+          gather_panel_lblk(ws.xpanels[a], lb);
+        }
+      }
+    } else {
+      part.diag[j].row_perm = jengine.row_perm();
+      part.diag[j].pinv = jengine.pinv();
+      flops += jengine.flops() - eng_flops0;
+    }
   }
   ws.work[slevel] += flops;
 }
@@ -428,11 +535,19 @@ void Basker::part_block_column_1d(NdPart& part, Int part_idx, Int tid, Int sleve
     part.ublk[d][aj].init(part.seg_size(d), jcols, est / (j - sub_lo) + 64);
   }
   GpEngine& jengine = seg_engines_[part_idx][j];
-  part.diag[j].l.init(jcols, jcols, 4 * est + 64);
-  part.diag[j].u.init(jcols, jcols, 4 * est + jcols + 64);
-  jengine.init(jcols);
+  const bool dense_j = part.seg_dense[j] != 0;
+  if (!dense_j) {
+    part.diag[j].l.init(jcols, jcols, 4 * est + 64);
+    part.diag[j].u.init(jcols, jcols, 4 * est + jcols + 64);
+    jengine.init(jcols);
+  } else {
+    // Dense diagonal: size the engine workspace anyway — ancestors'
+    // produce_udj passes sparse_lsolve through this segment's engine.
+    jengine.init(jcols);
+  }
   for (size_t a = 0; a < part.anc[j].size(); ++a) {
-    part.lblk[j][a].init(part.seg_size(part.anc[j][a]), jcols, est + 16);
+    part.lblk[j][a].init(part.seg_size(part.anc[j][a]), jcols,
+                         dense_j ? 0 : est + 16);
   }
   ws.acc.ensure(part.max_seg_size());
   const double eng0 = jengine.flops();
@@ -473,32 +588,87 @@ void Basker::part_block_column_1d(NdPart& part, Int part_idx, Int tid, Int sleve
     }
   };
 
+  // U_dj production for one subtree segment/column — shared between the
+  // sparse and hybrid-dense diagonal paths (the panel kernel consumes the
+  // same gathered U blocks; DESIGN.md §3.10).
+  auto produce_udj = [&](Int d, Int c) {
+    const Int aj = slevel - part.seg_level[d] - 1;
+    LuMatrix& ub = part.ublk[d][aj];
+    if (part.seg_size(d) == 0) {
+      ub.close_column(c);
+      return;
+    }
+    reduce_into_acc(d, c);
+    ws.in_rows.assign(ws.acc.pattern().begin(), ws.acc.pattern().end());
+    ws.in_vals.resize(ws.in_rows.size());
+    for (size_t i = 0; i < ws.in_rows.size(); ++i) {
+      ws.in_vals[i] = ws.acc.value(ws.in_rows[i]);
+    }
+    GpEngine& dengine = seg_engines_[part_idx][d];
+    const double de0 = dengine.flops();
+    dengine.sparse_lsolve(part.diag[d].l, part.diag[d].pinv, ws.in_rows.data(),
+                          ws.in_vals.data(), static_cast<Int>(ws.in_rows.size()),
+                          ws.out_rows, ws.out_vals);
+    flops += dengine.flops() - de0;
+    for (size_t i = 0; i < ws.out_rows.size(); ++i) {
+      ub.append(part.diag[d].pinv[ws.out_rows[i]], ws.out_vals[i]);
+    }
+    ub.close_column(c);
+  };
+
+  if (dense_j) {
+    // Hybrid dense diagonal (DESIGN.md §3.10): same subtree U_dj
+    // production, then the whole block column is scattered into a panel,
+    // factored with the blocked dense kernel and gathered back. Column and
+    // per-element update orders match the sparse path, so the only change
+    // in the factors comes from the (legal) change of kernel selection.
+    for (Int c = 0; c < jcols && !failed(); ++c) {
+      for (Int d = sub_lo; d < j; ++d) produce_udj(d, c);
+    }
+    if (!failed()) {
+      DensePanel& dp = ws.panel;
+      dense_diag_begin(dp, part.diag[j], jcols);
+      for (Int c = 0; c < jcols; ++c) {
+        reduce_into_acc(j, c);
+        Scalar* pc = dp.col(c);
+        for (Int r : ws.acc.pattern()) pc[dp.pos[r]] = ws.acc.value(r);
+      }
+      const Status s = dense_diag_factor_cols(dp, 0, jcols, &flops);
+      if (s != Status::kOk) {
+        fail(s);
+        ep_.signal(tid, LLONG_MAX / 2);
+        return;
+      }
+      dense_diag_publish(dp, part.diag[j]);
+      if (ws.xpanels.size() < part.anc[j].size()) {
+        ws.xpanels.resize(part.anc[j].size());
+      }
+      for (size_t a = 0; a < part.anc[j].size(); ++a) {
+        const Int kseg = part.anc[j][a];
+        LuMatrix& lb = part.lblk[j][a];
+        const Int mk = part.seg_size(kseg);
+        if (mk == 0) {
+          for (Int c = 0; c < jcols; ++c) lb.close_column(c);
+          continue;
+        }
+        DensePanel& xp = ws.xpanels[a];
+        xp.reset_rows(mk, jcols);
+        for (Int c = 0; c < jcols; ++c) {
+          reduce_into_acc(kseg, c);
+          Scalar* xc = xp.col(c);
+          for (Int r : ws.acc.pattern()) xc[r] = ws.acc.value(r);
+        }
+        dense_lblk_solve_cols(xp, dp, 0, jcols, &flops);
+        gather_panel_lblk(xp, lb);
+      }
+    }
+    ws.work[slevel] += flops;
+    return;
+  }
+
   for (Int c = 0; c < jcols && !failed(); ++c) {
     // U_dj for every subtree segment, children before parents (postorder).
-    for (Int d = sub_lo; d < j; ++d) {
-      const Int aj = slevel - part.seg_level[d] - 1;
-      LuMatrix& ub = part.ublk[d][aj];
-      if (part.seg_size(d) == 0) {
-        ub.close_column(c);
-        continue;
-      }
-      reduce_into_acc(d, c);
-      ws.in_rows.assign(ws.acc.pattern().begin(), ws.acc.pattern().end());
-      ws.in_vals.resize(ws.in_rows.size());
-      for (size_t i = 0; i < ws.in_rows.size(); ++i) {
-        ws.in_vals[i] = ws.acc.value(ws.in_rows[i]);
-      }
-      GpEngine& dengine = seg_engines_[part_idx][d];
-      const double de0 = dengine.flops();
-      dengine.sparse_lsolve(part.diag[d].l, part.diag[d].pinv, ws.in_rows.data(),
-                            ws.in_vals.data(), static_cast<Int>(ws.in_rows.size()),
-                            ws.out_rows, ws.out_vals);
-      flops += dengine.flops() - de0;
-      for (size_t i = 0; i < ws.out_rows.size(); ++i) {
-        ub.append(part.diag[d].pinv[ws.out_rows[i]], ws.out_vals[i]);
-      }
-      ub.close_column(c);
-    }
+    for (Int d = sub_lo; d < j; ++d) produce_udj(d, c);
     // Diagonal column.
     reduce_into_acc(j, c);
     ws.in_rows.assign(ws.acc.pattern().begin(), ws.acc.pattern().end());

@@ -37,39 +37,9 @@
 
 namespace basker {
 
-namespace {
-
-/// Subtract the partial products L_{rowseg,e} * U_{e,j}(:,c) of every
-/// segment e in [lo, hi) into `acc`, ascending postorder — THE fixed
-/// reduction order the cross-p bit-identity rests on, shared by the
-/// update and factor kernels so it cannot diverge. `rowseg_level` selects
-/// the L block row segment (ancestors of e are indexed by level distance).
-/// `c` is a target-local column: the U block column is read through the
-/// chunk grid of target j (NdPart::seg_chunk_cols), which is a property of
-/// (j, c) alone and therefore shared by every descendant's block.
-/// Returns the flops spent.
-double subtract_descendant_products(const NdPart& part, Int j, Int lo, Int hi,
-                                    Int rowseg_level, Int c, SparseAcc& acc) {
-  double flops = 0.0;
-  for (Int e = lo; e < hi; ++e) {
-    const Int aj = part.seg_level[j] - part.seg_level[e] - 1;
-    Int lc = c;
-    const LuMatrix& ue = part.ublk_col(e, aj, j, lc);
-    const LuMatrix& lb = part.lblk[e][rowseg_level - part.seg_level[e] - 1];
-    for (Size p = ue.col_ptr[lc]; p < ue.col_ptr[lc + 1]; ++p) {
-      const Int tp = ue.row_idx[p];
-      const Scalar uval = ue.values[p];
-      if (uval == 0.0) continue;
-      for (Size q = lb.col_ptr[tp]; q < lb.col_ptr[tp + 1]; ++q) {
-        acc.add(lb.row_idx[q], -lb.values[q] * uval);
-      }
-      flops += 2.0 * static_cast<double>(lb.col_ptr[tp + 1] - lb.col_ptr[tp]);
-    }
-  }
-  return flops;
-}
-
-}  // namespace
+// subtract_descendant_products — the fixed ascending-postorder reduction
+// every separator-targeting kernel shares — lives in core/structure.cpp so
+// the hybrid dense kernels (core/numeric_dense.cpp) use the identical code.
 
 bool Basker::dag_sep_update(NdPart& part, Int tid, Int d, Int j, Int chunk) {
   ThreadWs& ws = *ws_[tid];
@@ -166,6 +136,11 @@ bool Basker::dag_sep_assemble(NdPart& part, Int d, Int j) {
 }
 
 bool Basker::dag_sep_factor(NdPart& part, Int part_idx, Int tid, Int j) {
+  if (part.seg_dense[j] != 0) {
+    // Hybrid dense path (DESIGN.md §3.10): same reductions, same task
+    // graph position — only the factorization kernel differs.
+    return dag_sep_factor_dense(part, tid, j);
+  }
   ThreadWs& ws = *ws_[tid];
   const Int jcols = part.seg_size(j);
   const Int jo = part.seg_off[j];
@@ -324,6 +299,11 @@ bool Basker::dag_tile_gemm(NdPart& part, Int tid, Int j, Int rowseg_idx,
 
 bool Basker::dag_tile_getrf(NdPart& part, Int part_idx, Int tid, Int j,
                             Int t) {
+  if (part.seg_dense[j] != 0) {
+    // Dense tile variant: identical chain position and join sets, panel
+    // kernel instead of factor_column (core/numeric_dense.cpp).
+    return dag_tile_getrf_dense(part, tid, j, t);
+  }
   ThreadWs& ws = *ws_[tid];
   const Int jcols = part.seg_size(j);
   const Int jo = part.seg_off[j];
@@ -395,6 +375,12 @@ bool Basker::dag_tile_getrf(NdPart& part, Int part_idx, Int tid, Int j,
 }
 
 bool Basker::dag_tile_trsm(NdPart& part, Int tid, Int j, Int a, Int t) {
+  if (part.seg_dense[j] != 0 &&
+      part.seg_size(part.anc[j][static_cast<size_t>(a)]) > 0) {
+    // Dense tile variant (empty row segments keep the trivial close-only
+    // handling below, which touches no values either way).
+    return dag_tile_trsm_dense(part, tid, j, a, t);
+  }
   ThreadWs& ws = *ws_[tid];
   const Int jcols = part.seg_size(j);
   const Int jo = part.seg_off[j];

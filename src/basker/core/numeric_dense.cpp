@@ -1,0 +1,266 @@
+// Hybrid dense block kernels (DESIGN.md §3.10): the numeric bodies for
+// blocks the symbolic fill-density model routed to the dense path
+// (NdPart::seg_dense / Analysis::fine_dense). Every kernel here keeps the
+// sparse path's reductions and schedule positions — only the block-local
+// factorization/solve arithmetic changes: values are scattered into
+// column-major DensePanels (sn/panel.hpp), processed with the blocked
+// getrf/trsm microkernels (dense/dense.hpp), and gathered back into
+// LuMatrix storage (lu/panel_gather.hpp), so solve/refactor/stats and the
+// sparse consumers (kSepUpdate's sparse_lsolve against a dense-factored
+// descendant) see an unchanged interface.
+//
+// Determinism: the dense kernels apply, per output element, exactly one
+// multiply-subtract per prior column k in ascending k, with the pivot
+// decision made only once a column is fully updated. Any partition of the
+// work — DAG tile chains, the static schedule's pipeline chunks, the
+// dense_tile cache blocks — replays that same per-element sequence, so for
+// a fixed kernel selection the factors are bit-identical across p, chunk
+// width, and tile width, exactly as on the sparse path. The selection
+// itself is made in symbolic() from the analysis alone (p-independent).
+#include <climits>
+
+#include "basker/common/timer.hpp"
+#include "basker/core/basker.hpp"
+#include "basker/dense/dense.hpp"
+#include "basker/lu/panel_gather.hpp"
+
+namespace basker {
+
+void Basker::dense_diag_begin(DensePanel& p, const DiagFactor& dg, Int m) {
+  if (refactor_replay_) {
+    // Pre-apply the frozen pivot sequence as the scatter maps: scattering
+    // at the swapped position commutes bitwise with the fresh
+    // factorization's interleaved swaps, so the no-search replay below
+    // reproduces the factors exactly.
+    p.reset_frozen(m, m, dg.row_perm, dg.pinv);
+  } else {
+    p.reset(m, m);
+  }
+}
+
+Status Basker::dense_diag_factor_cols(DensePanel& p, Int c0, Int c1,
+                                      double* flops) {
+  PanelPivot pp;
+  pp.pivot_tol = opt_.pivot_tol;
+  pp.block = opt_.dense_tile;
+  if (refactor_replay_) {
+    // Same frozen-pivot treatment as the sparse kernels: search off,
+    // growth monitored per column against the column max.
+    pp.no_pivoting = true;
+    pp.growth_tol = opt_.refactor_pivot_tol;
+  }
+  return panel_getrf_range(p.m, p.m, p.a.data(), c0, c1, p.perm.data(),
+                           p.pos.data(), pp, flops);
+}
+
+void Basker::dense_diag_publish(const DensePanel& p, DiagFactor& dg) {
+  gather_panel_lu(p, dg.l, dg.u);
+  // Under replay perm/pos are the frozen maps unchanged (no swaps were
+  // applied), so this assignment is bitwise idempotent.
+  dg.row_perm = p.perm;
+  dg.pinv = p.pos;
+}
+
+void Basker::dense_lblk_solve_cols(DensePanel& x, const DensePanel& u, Int c0,
+                                   Int c1, double* flops) {
+  // X(:, c0:c1) <- X(:, c0:c1) U^{-1}-style solve given X(:, 0:c0) final:
+  // first the deferred updates from the earlier columns (ascending t), then
+  // the blocked solve of the trailing square sub-problem. Per element this
+  // is one multiply-subtract per prior column t with U(t,c) != 0, ascending
+  // t, then one divide — identical for any [c0, c1) split and identical to
+  // the per-column snapshot loop of the DAG-tiled dense trsm.
+  double fl = 0.0;
+  for (Int t = 0; t < c0; ++t) {
+    const Scalar* xt = x.col(t);
+    for (Int c = c0; c < c1; ++c) {
+      const Scalar utc = u.col(c)[t];
+      if (utc == 0.0) continue;
+      Scalar* xc = x.col(c);
+      for (Int i = 0; i < x.m; ++i) xc[i] -= xt[i] * utc;
+      fl += 2.0 * static_cast<double>(x.m);
+    }
+  }
+  panel_rtrsm_upper(x.m, c1 - c0, x.col(c0), x.m, u.col(c0) + c0, u.m,
+                    opt_.dense_tile, &fl);
+  if (flops != nullptr) *flops += fl;
+}
+
+// -- Fine-BTF blocks ---------------------------------------------------------
+
+Status Basker::factor_fine_block_dense(Int tid, Int blk) {
+  ThreadWs& ws = *ws_[tid];
+  const Int lo = an_.block_off[blk];
+  const Int hi = an_.block_off[blk + 1];
+  const Int m = hi - lo;
+  DiagFactor& f = an_.fine_factor[blk];
+
+  DensePanel& p = ws.panel;
+  dense_diag_begin(p, f, m);
+  for (Int c = 0; c < m; ++c) {
+    // Same in-block entry scan as the sparse kernel (an_.b columns are not
+    // guaranteed row-sorted, so no windowed lower_bound here).
+    Scalar* pc = p.col(c);
+    const Int j = lo + c;
+    for (Size q = an_.b.col_ptr[j]; q < an_.b.col_ptr[j + 1]; ++q) {
+      const Int r = an_.b.row_idx[q];
+      if (r >= lo && r < hi) pc[p.pos[r - lo]] = an_.b.values[q];
+    }
+  }
+  double flops = 0.0;
+  const Status s = dense_diag_factor_cols(p, 0, m, &flops);
+  if (s != Status::kOk) return s;
+  dense_diag_publish(p, f);
+  ws.work[0] += flops;
+  return Status::kOk;
+}
+
+// -- Task-DAG monolithic separator factorization -----------------------------
+
+bool Basker::dag_sep_factor_dense(NdPart& part, Int tid, Int j) {
+  ThreadWs& ws = *ws_[tid];
+  const Int jcols = part.seg_size(j);
+  const Int jo = part.seg_off[j];
+  const Int sub_lo = part.seg_sub_lo[j];
+  DiagFactor& dg = part.diag[j];
+  ws.acc.ensure(part.max_seg_size());
+  double flops = 0.0;
+
+  // The monolithic sparse kernel's reduction, verbatim (fixed ascending
+  // postorder — core/structure.cpp).
+  auto reduce_into_acc = [&](Int rowseg, Int c) {
+    const Int ro = part.seg_off[rowseg];
+    const Int mr = part.seg_size(rowseg);
+    ws.acc.begin();
+    gather_segment(part.asub, jo + c, ro, ro + mr,
+                   [&](Int r, Scalar v) { ws.acc.add(r, v); });
+    flops += subtract_descendant_products(part, j, sub_lo, j,
+                                          part.seg_level[rowseg], c, ws.acc);
+  };
+
+  DensePanel& dp = ws.panel;
+  dense_diag_begin(dp, dg, jcols);
+  for (Int c = 0; c < jcols; ++c) {
+    reduce_into_acc(j, c);
+    Scalar* pc = dp.col(c);
+    for (Int r : ws.acc.pattern()) pc[dp.pos[r]] = ws.acc.value(r);
+  }
+  const Status s = dense_diag_factor_cols(dp, 0, jcols, &flops);
+  if (s != Status::kOk) {
+    fail(s);
+    return false;
+  }
+  dense_diag_publish(dp, dg);
+
+  for (size_t a = 0; a < part.anc[j].size(); ++a) {
+    const Int kseg = part.anc[j][a];
+    const Int mk = part.seg_size(kseg);
+    LuMatrix& lb = part.lblk[j][a];
+    if (mk == 0) {
+      lb.init(0, jcols, 0);
+      for (Int c = 0; c < jcols; ++c) lb.close_column(c);
+      continue;
+    }
+    if (ws.xpanels.empty()) ws.xpanels.resize(1);
+    DensePanel& xp = ws.xpanels[0];
+    xp.reset_rows(mk, jcols);
+    for (Int c = 0; c < jcols; ++c) {
+      reduce_into_acc(kseg, c);
+      Scalar* xc = xp.col(c);
+      for (Int r : ws.acc.pattern()) xc[r] = ws.acc.value(r);
+    }
+    dense_lblk_solve_cols(xp, dp, 0, jcols, &flops);
+    gather_panel_lblk(xp, lb);
+  }
+  ws.work[part.seg_level[j]] += flops;
+  return true;
+}
+
+// -- Task-DAG 2D-tiled separator factorization -------------------------------
+//
+// The tile chains keep their sparse-path structure and join sets; only the
+// per-tile bodies change. The getrf chain accumulates the diagonal block in
+// the persistent NdPart::seg_panel (serial by the tile dependencies):
+// staged columns are scattered at each row's CURRENT position (swaps from
+// earlier tiles already folded in — scatter/swap commute), the range is
+// factored, and the tile's U columns are published as a sep_u_tile snapshot
+// gathered FROM THE PANEL (dense dg.u does not exist until the last tile
+// gathers the whole block; L must wait because later swaps reorder earlier
+// columns' rows, and U rides along for simplicity). Each ancestor trsm
+// chain accumulates its row segment in NdPart::lblk_panel and gathers lb on
+// its last tile.
+
+bool Basker::dag_tile_getrf_dense(NdPart& part, Int tid, Int j, Int t) {
+  ThreadWs& ws = *ws_[tid];
+  const Int jcols = part.seg_size(j);
+  DiagFactor& dg = part.diag[j];
+  DensePanel& dp = part.seg_panel[j];
+  if (t == 0) dense_diag_begin(dp, dg, jcols);
+  const Int c0 = part.tile_lo(j, t);
+  const Int tcols = part.tile_width(j, t);
+  const LuMatrix& stage = part.sep_red_stage[j][0][static_cast<size_t>(t)];
+  for (Int lc = 0; lc < tcols; ++lc) {
+    Scalar* pc = dp.col(c0 + lc);
+    for (Size p = stage.col_ptr[static_cast<size_t>(lc)];
+         p < stage.col_ptr[static_cast<size_t>(lc) + 1]; ++p) {
+      pc[dp.pos[stage.row_idx[p]]] = stage.values[p];
+    }
+  }
+  double flops = 0.0;
+  const Status s = dense_diag_factor_cols(dp, c0, c0 + tcols, &flops);
+  if (s != Status::kOk) {
+    fail(s);
+    return false;
+  }
+  if (!part.sep_u_tile[j].empty()) {
+    gather_panel_u_tile(dp, c0, c0 + tcols,
+                        part.sep_u_tile[j][static_cast<size_t>(t)]);
+  }
+  if (c0 + tcols == jcols) dense_diag_publish(dp, dg);
+  ws.work[part.seg_level[j]] += flops;
+  return true;
+}
+
+bool Basker::dag_tile_trsm_dense(NdPart& part, Int tid, Int j, Int a, Int t) {
+  ThreadWs& ws = *ws_[tid];
+  const Int jcols = part.seg_size(j);
+  const Int kseg = part.anc[j][static_cast<size_t>(a)];
+  const Int mk = part.seg_size(kseg);
+  DensePanel& xp = part.lblk_panel[j][static_cast<size_t>(a)];
+  if (t == 0) xp.reset_rows(mk, jcols);
+  const Int c0 = part.tile_lo(j, t);
+  const Int tcols = part.tile_width(j, t);
+  const LuMatrix& stage = part.sep_red_stage[j][static_cast<size_t>(1 + a)]
+                                            [static_cast<size_t>(t)];
+  const LuMatrix& ut = part.sep_u_tile[j][static_cast<size_t>(t)];
+  double flops = 0.0;
+  for (Int lc = 0; lc < tcols; ++lc) {
+    Scalar* xc = xp.col(c0 + lc);
+    for (Size p = stage.col_ptr[static_cast<size_t>(lc)];
+         p < stage.col_ptr[static_cast<size_t>(lc) + 1]; ++p) {
+      xc[stage.row_idx[p]] = stage.values[p];
+    }
+    // Same per-element order as dense_lblk_solve_cols: one multiply-subtract
+    // per prior column with a nonzero U entry (the snapshot omits zeros,
+    // the dense loop skips them — bitwise equivalent), ascending, then the
+    // divide. Columns of this tile resolve left to right; earlier tiles'
+    // columns are final by the trsm chain's serial dependency.
+    const Size ub = ut.col_ptr[static_cast<size_t>(lc)];
+    const Size ue = ut.col_ptr[static_cast<size_t>(lc) + 1];
+    for (Size p = ub; p + 1 < ue; ++p) {
+      const Scalar uval = ut.values[p];
+      const Scalar* xt = xp.col(ut.row_idx[p]);
+      for (Int i = 0; i < mk; ++i) xc[i] -= xt[i] * uval;
+      flops += 2.0 * static_cast<double>(mk);
+    }
+    const Scalar pivot = ut.values[ue - 1];
+    for (Int i = 0; i < mk; ++i) xc[i] /= pivot;
+    flops += static_cast<double>(mk);
+  }
+  if (c0 + tcols == jcols) {
+    gather_panel_lblk(xp, part.lblk[j][static_cast<size_t>(a)]);
+  }
+  ws.work[part.seg_level[j]] += flops;
+  return true;
+}
+
+}  // namespace basker

@@ -180,6 +180,37 @@ struct BaskerOptions {
   /// this. Default 64.
   Int dag_min_leaf_rows = 64;
 
+  /// Hybrid kernel selection (DESIGN.md §3.10): predicted fill-density
+  /// threshold above which a block is factored by the dense panel kernels
+  /// instead of the per-column sparse kernel. During symbolic(), every ND
+  /// segment (leaf diagonal block and separator block, under BOTH
+  /// schedules) and every fine-BTF block is scored by the chol-colcount
+  /// work model already driving the schedules: predicted nnz(L+U) over the
+  /// squared block dimension, clamped to in-segment heights (exact for the
+  /// top separator, a proxy elsewhere). Blocks scoring >= the threshold are
+  /// scattered into dense panels at numeric time, factored with blocked
+  /// getrf/trsm/gemm, and gathered back into the sparse LuMatrix storage —
+  /// solve/refactor/stats see an unchanged interface. The selection is a
+  /// pure function of the symbolic analysis plus this knob (p-independent),
+  /// and for a fixed selection the factors stay bit-identical across p,
+  /// chunk width, and tile width. Default 0.85. 0 marks every block
+  /// dense-eligible (ablation/testing); any value > 1 disables the dense
+  /// path entirely (the all-sparse ablation baseline, e.g. 1.1); NaN or
+  /// negative is rejected by symbolic() with Status::kInvalidInput. The
+  /// per-block choice is visible in BaskerStats::dense_blocks.
+  double dense_fill_threshold = 0.85;
+
+  /// Cache-blocking width (columns) of the dense panel kernels: the
+  /// blocked getrf factors dense_tile-column panels with an unblocked
+  /// kernel and applies trailing updates via TRSM + GEMM microkernels, and
+  /// the ancestor block solves tile the same way. Purely a performance
+  /// knob: the per-element operation order is block-size-invariant, so any
+  /// value produces bit-identical factors. 1 degenerates to the unblocked
+  /// kernel and values >= the block size mean a single tile — both legal.
+  /// Default 64 (see BENCHMARKS.md for the bench_kernels sweep backing it).
+  /// Zero or negative is rejected by symbolic() with Status::kInvalidInput.
+  Int dense_tile = 64;
+
   /// Diagonal-preference partial-pivot threshold, as KLU: the diagonal
   /// candidate is taken unless the column's largest magnitude exceeds it
   /// by more than 1/pivot_tol. Default 0.001 (KLU's default). Larger is
@@ -278,6 +309,14 @@ struct BaskerStats {
   Int largest_block = 0;      ///< rows of the largest coarse block
   double btf_pct = 0.0;       ///< % rows in small fine-BTF blocks (Table I "BTF %")
   Int nd_parts = 0;           ///< large blocks given the ND treatment
+
+  /// Blocks the hybrid fill-density model routed to the dense panel
+  /// kernels (fine-BTF blocks plus ND segments scoring >=
+  /// dense_fill_threshold; DESIGN.md §3.10). Set by symbolic() — the
+  /// selection is purely symbolic and p-independent — and stable across
+  /// numeric runs until the next symbolic(). 0 means the all-sparse path
+  /// everywhere (e.g. under the threshold > 1 ablation).
+  Int dense_blocks = 0;
 
   double analyze_seconds = 0.0;  ///< symbolic phase wall time
   double factor_seconds = 0.0;   ///< numeric phase wall time

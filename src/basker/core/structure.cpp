@@ -86,11 +86,39 @@ void NdPart::adopt_tree(const NdTree& tree) {
   ublk_stage.assign(static_cast<size_t>(nseg), {});
   sep_red_stage.assign(static_cast<size_t>(nseg), {});
   sep_u_tile.assign(static_cast<size_t>(nseg), {});
+  // Hybrid tags default to all-sparse; symbolic() marks dense segments
+  // after scoring. Panel payloads stay empty until a dense tiled
+  // factorization's first tile allocates them.
+  seg_dense.assign(static_cast<size_t>(nseg), 0);
+  seg_panel.assign(static_cast<size_t>(nseg), {});
+  lblk_panel.assign(static_cast<size_t>(nseg), {});
   for (Int s = 0; s < nseg; ++s) {
     lblk[s].resize(anc[s].size());
     ublk[s].resize(anc[s].size());
     ublk_stage[s].resize(anc[s].size());
+    lblk_panel[s].resize(anc[s].size());
   }
+}
+
+double subtract_descendant_products(const NdPart& part, Int j, Int lo, Int hi,
+                                    Int rowseg_level, Int c, SparseAcc& acc) {
+  double flops = 0.0;
+  for (Int e = lo; e < hi; ++e) {
+    const Int aj = part.seg_level[j] - part.seg_level[e] - 1;
+    Int lc = c;
+    const LuMatrix& ue = part.ublk_col(e, aj, j, lc);
+    const LuMatrix& lb = part.lblk[e][rowseg_level - part.seg_level[e] - 1];
+    for (Size p = ue.col_ptr[lc]; p < ue.col_ptr[lc + 1]; ++p) {
+      const Int tp = ue.row_idx[p];
+      const Scalar uval = ue.values[p];
+      if (uval == 0.0) continue;
+      for (Size q = lb.col_ptr[tp]; q < lb.col_ptr[tp + 1]; ++q) {
+        acc.add(lb.row_idx[q], -lb.values[q] * uval);
+      }
+      flops += 2.0 * static_cast<double>(lb.col_ptr[tp + 1] - lb.col_ptr[tp]);
+    }
+  }
+  return flops;
 }
 
 }  // namespace basker

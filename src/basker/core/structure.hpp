@@ -13,6 +13,7 @@
 #include "basker/graph/nd.hpp"
 #include "basker/lu/gp.hpp"
 #include "basker/lu/lu_storage.hpp"
+#include "basker/sn/panel.hpp"
 #include "basker/sparse/csc.hpp"
 
 namespace basker {
@@ -115,6 +116,27 @@ struct NdPart {
   /// untiled or has no nonempty ancestor row segment.
   std::vector<std::vector<LuMatrix>> sep_u_tile;
 
+  // -- Hybrid dense block path (DESIGN.md §3.10). --------------------------
+  /// Kernel tag per segment: nonzero routes the segment's diagonal
+  /// factorization (and the triangular solves of its ancestor L blocks) to
+  /// the dense panel kernels instead of the per-column sparse kernel.
+  /// Filled by symbolic() from the fill-density model — a pure function of
+  /// the analysis plus the dense_fill_threshold knob, identical at every
+  /// team size and under both schedules. A separator's PR 7 tile grid
+  /// inherits the segment's tag wholesale, keeping the serial getrf chain
+  /// kernel-uniform. All-zero when the threshold disables the dense path.
+  std::vector<char> seg_dense;
+  /// Persistent dense panels for the 2D-tiled dense factorization under
+  /// the task-DAG schedule: seg_panel[j] accumulates separator j's diagonal
+  /// block across its kTileGetrf chain (serial by the tile dependencies),
+  /// and lblk_panel[j][a] accumulates the anc[j][a] row segment across its
+  /// kTileTrsm chain (serial per ancestor). Sized (outer) by adopt_tree;
+  /// payload allocated lazily by each chain's first tile. Untiled and
+  /// static-schedule dense factorizations use per-thread scratch panels
+  /// instead (ThreadWs).
+  std::vector<DensePanel> seg_panel;
+  std::vector<std::vector<DensePanel>> lblk_panel;
+
   Int seg_size(Int s) const { return seg_off[s + 1] - seg_off[s]; }
   Int max_seg_size() const;
   Int participants(Int s) const { return Int{1} << seg_level[s]; }
@@ -176,6 +198,11 @@ struct Analysis {
   std::vector<Int> fine_blocks;                  ///< small-block indices
   std::vector<std::vector<Int>> fine_of_thread;  ///< balanced assignment
   std::vector<DiagFactor> fine_factor;           ///< per coarse block (small only)
+  /// Hybrid kernel tag per coarse block (fine blocks only; zero
+  /// elsewhere): nonzero factors the block through a dense panel instead
+  /// of the per-column sparse kernel (DESIGN.md §3.10). Set by symbolic()
+  /// from the fill-density model, like NdPart::seg_dense.
+  std::vector<char> fine_dense;
   std::vector<Int> part_of_block;                ///< block -> part index or kInvalid
   std::vector<NdPart> parts;
 
@@ -196,6 +223,20 @@ inline void gather_segment(const Csc& asub, Int col, Int row_lo, Int row_hi,
     fn(*it - row_lo, asub.values[it - base]);
   }
 }
+
+class SparseAcc;
+
+/// Subtract the partial products L_{rowseg,e} * U_{e,j}(:,c) of every
+/// segment e in [lo, hi) into `acc`, ascending postorder — THE fixed
+/// reduction order the cross-p bit-identity rests on, shared by the
+/// task-DAG update/factor kernels and the hybrid dense path so it cannot
+/// diverge. `rowseg_level` selects the L block row segment (ancestors of e
+/// are indexed by level distance). `c` is a target-local column: the U
+/// block column is read through the chunk grid of target j
+/// (NdPart::seg_chunk_cols), which is a property of (j, c) alone and
+/// therefore shared by every descendant's block. Returns the flops spent.
+double subtract_descendant_products(const NdPart& part, Int j, Int lo, Int hi,
+                                    Int rowseg_level, Int c, SparseAcc& acc);
 
 /// Dense accumulator with pattern tracking (scatter/gather workspace).
 class SparseAcc {

@@ -41,10 +41,51 @@ double sum_sq_col_counts(const Csc& sym) {
   return sum_sq(chol_col_counts(sym, etree(sym)));
 }
 
-/// Flop estimate for one small block after its fill-reducing order.
-double estimate_block_ops(const Csc& block) {
-  if (block.ncols <= 1) return 1.0;
-  return sum_sq_col_counts(symmetrize_pattern(block));
+/// Predicted fill density of the column range [lo, hi) under the
+/// chol-colcount work model (DESIGN.md §3.10): per column c, the modeled
+/// factor height counts[c] is split into an L part (rows of the block at
+/// and below the diagonal, at most hi - c) and a U part (rows at and above,
+/// at most c - lo + 1), double-counting the diagonal once. The sum over the
+/// block, normalized by the dense capacity jcols^2, is a [0, 1] score: 1
+/// means the model predicts a completely filled LU for the block.
+double segment_fill_density(const std::vector<Int>& counts, Int lo, Int hi) {
+  const Int jcols = hi - lo;
+  if (jcols <= 0) return 0.0;
+  double nz = 0.0;
+  for (Int c = lo; c < hi; ++c) {
+    const double lpart = std::min<Int>(counts[c], hi - c);
+    const double upart = std::min<Int>(counts[c], c - lo + 1);
+    nz += lpart + upart - 1.0;
+  }
+  return nz / (static_cast<double>(jcols) * jcols);
+}
+
+/// Tag every segment of a settled part whose predicted fill density meets
+/// the hybrid threshold (BaskerOptions::dense_fill_threshold). `counts` is
+/// the part's per-column model in its final ND order, so the tags are a
+/// pure function of the analyzed pattern and the knob — never of the team
+/// size or any numeric value.
+void mark_dense_segments(NdPart& part, const std::vector<Int>& counts,
+                         double thr) {
+  for (Int s = 0; s < part.nseg; ++s) {
+    const Int lo = part.seg_off[s], hi = part.seg_off[s + 1];
+    if (hi <= lo) continue;
+    if (segment_fill_density(counts, lo, hi) >= thr) part.seg_dense[s] = 1;
+  }
+}
+
+/// Reject nonsense hybrid-dense knobs up front (satellite 4): unlike the
+/// DAG knobs these are read by every schedule, so the check is
+/// schedule-independent. Degenerate-but-meaningful values stay legal and
+/// are unit-tested: threshold 0 (every block dense-eligible), threshold
+/// > 1 (all-sparse ablation), dense_tile 1 and dense_tile >= the block
+/// size (unblocked / single-block kernels).
+bool valid_dense_options(const BaskerOptions& opt) {
+  if (std::isnan(opt.dense_fill_threshold) || opt.dense_fill_threshold < 0.0) {
+    return false;
+  }
+  if (opt.dense_tile <= 0) return false;
+  return true;
 }
 
 /// Reject nonsense task-DAG sizing knobs up front with a clear status
@@ -168,6 +209,11 @@ void assign_dag_chunks(NdPart& part, const Csc& sym,
 Status Basker::symbolic(const Csc& a) {
   BASKER_REQUIRE(a.nrows == a.ncols, "basker: square required");
   if (!valid_dag_options(opt_)) return Status::kInvalidInput;
+  if (!valid_dense_options(opt_)) return Status::kInvalidInput;
+  // Hybrid dense selection is on unless the threshold is the > 1 all-sparse
+  // ablation setting (options.hpp); a threshold of exactly 1.0 still tags
+  // blocks the model predicts completely full.
+  const bool hybrid = opt_.dense_fill_threshold <= 1.0;
   WallTimer timer;
   analyzed_ = false;
   factored_ = false;
@@ -335,6 +381,15 @@ Status Basker::symbolic(const Csc& a) {
     part.lo = lo;
     part.hi = hi;
     part.adopt_tree(tree);
+    // Hybrid dense tagging (DESIGN.md §3.10): score every segment of the
+    // settled tree with the same chol-colcount model the DAG grids use.
+    // The inflation backoff usually computed the accepted tree's counts
+    // already; recompute only when that pass was skipped (static schedule,
+    // depth-0 trees, forced grids).
+    if (hybrid) {
+      if (dag_counts.empty()) dag_counts = ordered_col_counts(sym, tree.perm);
+      mark_dense_segments(part, dag_counts, opt_.dense_fill_threshold);
+    }
     if (opt_.sync_mode == SyncMode::kTaskDag && part.nseg > 1) {
       assign_dag_chunks(part, sym, tree.perm, opt_, std::move(dag_counts));
     }
@@ -366,15 +421,30 @@ Status Basker::symbolic(const Csc& a) {
   }
 
   // 6. Fine-block thread assignment: longest-processing-time greedy on the
-  // estimated operation counts (Algorithm 2 line 5).
+  // estimated operation counts (Algorithm 2 line 5). The same column-count
+  // pass scores each block's predicted fill density for the hybrid dense
+  // tagging (DESIGN.md §3.10) — the blocks are already in their final
+  // AMD order inside an_.b, so the model matches what numeric will factor.
   an_.fine_factor.assign(static_cast<size_t>(an_.num_blocks()), {});
   an_.fine_of_thread.assign(static_cast<size_t>(nthreads_), {});
+  an_.fine_dense.assign(static_cast<size_t>(an_.num_blocks()), 0);
   {
     std::vector<std::pair<double, Int>> est;
     est.reserve(an_.fine_blocks.size());
     for (Int blk : an_.fine_blocks) {
       const Int lo = an_.block_off[blk], hi = an_.block_off[blk + 1];
-      est.emplace_back(estimate_block_ops(extract_block(an_.b, lo, hi, lo, hi)), blk);
+      const Int m = hi - lo;
+      double ops = 1.0;
+      double density = 1.0;  // a 1 x 1 block is trivially full
+      if (m > 1) {
+        const Csc sym_blk =
+            symmetrize_pattern(extract_block(an_.b, lo, hi, lo, hi));
+        const std::vector<Int> counts = chol_col_counts(sym_blk, etree(sym_blk));
+        ops = sum_sq(counts);
+        density = segment_fill_density(counts, 0, m);
+      }
+      if (hybrid && density >= opt_.dense_fill_threshold) an_.fine_dense[blk] = 1;
+      est.emplace_back(ops, blk);
     }
     std::sort(est.begin(), est.end(), std::greater<>());
     std::vector<double> load(static_cast<size_t>(nthreads_), 0.0);
@@ -410,6 +480,14 @@ Status Basker::symbolic(const Csc& a) {
     if (size < opt_.nd_threshold) small_rows += size;
   }
   stats_.btf_pct = n > 0 ? 100.0 * small_rows / n : 0.0;
+  // Hybrid dense selection is symbolic-time state, so the count is fixed
+  // here and stable across every numeric (re)factorization.
+  for (char d : an_.fine_dense) stats_.dense_blocks += d != 0 ? 1 : 0;
+  for (const NdPart& part : an_.parts) {
+    for (Int s = 0; s < part.nseg; ++s) {
+      if (part.seg_dense[s] != 0 && part.seg_size(s) > 0) ++stats_.dense_blocks;
+    }
+  }
   stats_.analyze_seconds = timer.seconds();
   analyzed_ = true;
   return Status::kOk;

@@ -101,4 +101,107 @@ void trsm_lower_unit(Int m, Int n, const Scalar* l, Int ldl, Scalar* b, Int ldb)
   }
 }
 
+Status panel_getrf_range(Int m, Int lda, Scalar* a, Int c0, Int c1, Int* perm,
+                         Int* pos, const PanelPivot& opt, double* flops) {
+  double fl = 0.0;
+  const auto col = [&](Int c) { return a + static_cast<size_t>(c) * lda; };
+  // Deferred left-updates from the already-factored columns [0, c0). Skipping
+  // a multiply by an exact 0.0 never changes bits for finite values, so this
+  // matches the right-looking updates the earlier ranges would have applied.
+  for (Int k = 0; k < c0; ++k) {
+    const Scalar* lk = col(k);
+    for (Int c = c0; c < c1; ++c) {
+      Scalar* xc = col(c);
+      const Scalar ukc = xc[k];
+      if (ukc == 0.0) continue;
+      for (Int i = k + 1; i < m; ++i) xc[i] -= lk[i] * ukc;
+      fl += 2.0 * static_cast<double>(m - k - 1);
+    }
+  }
+  // Blocked right-looking factorization of [c0, c1).
+  const Int nb = opt.block > 0 ? opt.block : 1;
+  for (Int k0 = c0; k0 < c1; k0 += nb) {
+    const Int k1 = k0 + nb < c1 ? k0 + nb : c1;
+    for (Int k = k0; k < k1; ++k) {
+      Scalar* ck = col(k);
+      Scalar amax = 0.0;
+      Int imax = k;
+      for (Int i = k; i < m; ++i) {
+        const Scalar v = std::abs(ck[i]);
+        if (v > amax) {  // strict >: ties resolve to the lowest row index
+          amax = v;
+          imax = i;
+        }
+      }
+      if (opt.no_pivoting) {
+        if (opt.growth_tol > 0.0 && std::abs(ck[k]) < opt.growth_tol * amax) {
+          return Status::kPivotGrowth;
+        }
+      } else {
+        // Diagonal preference, mirroring the sparse kernel: keep the
+        // diagonal unless the column max beats it by more than 1/pivot_tol.
+        const Int pv = std::abs(ck[k]) >= opt.pivot_tol * amax ? k : imax;
+        if (pv != k) {
+          // Swaps are data movement only: applying them at scatter time or
+          // here commutes bitwise with every arithmetic op.
+          for (Int c = 0; c < c1; ++c) std::swap(col(c)[k], col(c)[pv]);
+          std::swap(perm[k], perm[pv]);
+          pos[perm[k]] = k;
+          pos[perm[pv]] = pv;
+        }
+      }
+      const Scalar pivot = ck[k];
+      if (pivot == 0.0) return Status::kNumericallySingular;
+      for (Int i = k + 1; i < m; ++i) ck[i] /= pivot;
+      fl += static_cast<double>(m - k - 1);
+      for (Int c = k + 1; c < k1; ++c) {
+        Scalar* xc = col(c);
+        const Scalar ukc = xc[k];
+        if (ukc == 0.0) continue;
+        for (Int i = k + 1; i < m; ++i) xc[i] -= ck[i] * ukc;
+        fl += 2.0 * static_cast<double>(m - k - 1);
+      }
+    }
+    if (k1 < c1) {
+      trsm_lower_unit(k1 - k0, c1 - k1, col(k0) + k0, lda, col(k1) + k0, lda);
+      gemm_minus(m - k1, c1 - k1, k1 - k0, col(k0) + k1, lda, col(k1) + k0,
+                 lda, col(k1) + k1, lda);
+      fl += 2.0 * static_cast<double>(m - k0) * static_cast<double>(c1 - k1) *
+            static_cast<double>(k1 - k0);
+    }
+  }
+  if (flops != nullptr) *flops += fl;
+  return Status::kOk;
+}
+
+void panel_rtrsm_upper(Int mrows, Int n, Scalar* x, Int ldx, const Scalar* u,
+                       Int ldu, Int block, double* flops) {
+  double fl = 0.0;
+  const Int nb = block > 0 ? block : 1;
+  for (Int t0 = 0; t0 < n; t0 += nb) {
+    const Int t1 = t0 + nb < n ? t0 + nb : n;
+    for (Int t = t0; t < t1; ++t) {
+      Scalar* xt = x + static_cast<size_t>(t) * ldx;
+      const Scalar pivot = u[static_cast<size_t>(t) * ldu + t];
+      for (Int i = 0; i < mrows; ++i) xt[i] /= pivot;
+      fl += static_cast<double>(mrows);
+      for (Int c = t + 1; c < t1; ++c) {
+        const Scalar utc = u[static_cast<size_t>(c) * ldu + t];
+        if (utc == 0.0) continue;
+        Scalar* xc = x + static_cast<size_t>(c) * ldx;
+        for (Int i = 0; i < mrows; ++i) xc[i] -= xt[i] * utc;
+        fl += 2.0 * static_cast<double>(mrows);
+      }
+    }
+    if (t1 < n) {
+      gemm_minus(mrows, n - t1, t1 - t0, x + static_cast<size_t>(t0) * ldx,
+                 ldx, u + static_cast<size_t>(t1) * ldu + t0, ldu,
+                 x + static_cast<size_t>(t1) * ldx, ldx);
+      fl += 2.0 * static_cast<double>(mrows) * static_cast<double>(n - t1) *
+            static_cast<double>(t1 - t0);
+    }
+  }
+  if (flops != nullptr) *flops += fl;
+}
+
 }  // namespace basker

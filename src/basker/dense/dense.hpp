@@ -1,10 +1,12 @@
 // Small dense kernels: column-major matrix, dense LU with partial pivoting
-// (ground truth for tests), and the GEMM/TRSM micro-kernels used by the
-// supernodal baseline's panel updates.
+// (ground truth for tests), the GEMM/TRSM micro-kernels used by the
+// supernodal baseline's panel updates, and the blocked panel getrf/trsm of
+// the hybrid dense block path (DESIGN.md §3.10).
 #pragma once
 
 #include <vector>
 
+#include "basker/common/error.hpp"
 #include "basker/common/types.hpp"
 #include "basker/sparse/csc.hpp"
 
@@ -47,5 +49,43 @@ void gemm_minus(Int m, Int n, Int k, const Scalar* a, Int lda, const Scalar* b,
 /// In-place lower triangular solve L X = B where L (mxm, unit diagonal,
 /// column-major, leading dim ldl) and B is m x n (leading dim ldb).
 void trsm_lower_unit(Int m, Int n, const Scalar* l, Int ldl, Scalar* b, Int ldb);
+
+/// Pivot control for panel_getrf_range — the dense half of the hybrid
+/// block path (DESIGN.md §3.10). Mirrors GpOptions' semantics: diagonal
+/// preference with threshold `pivot_tol`, frozen-pivot replay with a
+/// relative growth monitor when `no_pivoting` is set.
+struct PanelPivot {
+  Scalar pivot_tol = 0.001;  ///< keep diagonal when |a_kk| >= tol * colmax
+  bool no_pivoting = false;  ///< replay: position k is the pivot, no search
+  Scalar growth_tol = 0.0;   ///< replay monitor: |a_kk| < tol * colmax fails
+  Int block = 64;            ///< cache-blocking width (the dense_tile knob)
+};
+
+/// Factor columns [c0, c1) of an m-row column-major panel `a` (leading dim
+/// lda >= m) whose columns [0, c0) already hold their final L\U values.
+/// Step 1 applies the deferred left-updates from columns [0, c0) to the new
+/// range — per element exactly one multiply-subtract per k, ascending in k,
+/// which is the same op sequence the monolithic factorization performs, so
+/// any split of [0, n) into ranges produces bit-identical panels. Step 2
+/// runs a blocked right-looking getrf on the range (unblocked panel +
+/// trsm_lower_unit + gemm_minus), which preserves the same per-element
+/// order for any `block`. Row swaps are applied across columns [0, c1) and
+/// mirrored into perm/pos (perm[i] = pre-pivot row at position i, pos its
+/// inverse); both may be null only when opt.no_pivoting is set. Returns
+/// kNumericallySingular on a zero pivot, kPivotGrowth when the replay
+/// monitor trips. `flops` (optional) is incremented with the multiply-add
+/// count.
+Status panel_getrf_range(Int m, Int lda, Scalar* a, Int c0, Int c1, Int* perm,
+                         Int* pos, const PanelPivot& opt, double* flops);
+
+/// In-place right-side solve X <- X * U^{-1} for a dense mrows x n block X
+/// (column-major, leading dim ldx) against the upper-triangular factor held
+/// in the top-left n x n of a factored panel `u` (leading dim ldu). Blocked
+/// to `block` columns via gemm_minus; per element the op order is "one
+/// multiply-subtract per prior column t with u(t,c) != 0, ascending t, then
+/// one divide by u(c,c)" — identical for every block width and identical to
+/// the per-column sparse-snapshot loop the tiled DAG trsm tasks run.
+void panel_rtrsm_upper(Int mrows, Int n, Scalar* x, Int ldx, const Scalar* u,
+                       Int ldu, Int block, double* flops);
 
 }  // namespace basker

@@ -1,0 +1,95 @@
+// Gather adapters from a factored DensePanel back into LuMatrix storage
+// (the hybrid block path, DESIGN.md §3.10). These enforce the storage
+// contract the sparse kernels established, so solve/refactor/stats and the
+// sparse kSepUpdate consumers cannot tell which kernel produced a block:
+//   - U column j: (pivot-position t, value) for t < j with value != 0, in
+//     ascending t, then the diagonal entry LAST (readers use values[ue-1]).
+//   - L column j: (pre-pivot row id, value) for panel positions i > j with
+//     value != 0, unit diagonal implicit. Position order is deterministic,
+//     and the (row, value) set is invariant under swaps that happen after
+//     column j closes — which is why dense L is gathered only once the
+//     whole block is factored.
+// Exact nonzero counts are passed to init(), so gathered factors never
+// trigger LuMatrix growth (grow_events stays 0 for dense blocks).
+#pragma once
+
+#include "basker/lu/lu_storage.hpp"
+#include "basker/sn/panel.hpp"
+
+namespace basker {
+
+/// Gather the fully factored square panel into L (off-diagonal, pre-pivot
+/// row ids) and U (pivot positions, diagonal last). Re-initializes both.
+inline void gather_panel_lu(const DensePanel& p, LuMatrix& l, LuMatrix& u) {
+  Size lnnz = 0;
+  Size unnz = 0;
+  for (Int c = 0; c < p.n; ++c) {
+    const Scalar* pc = p.col(c);
+    for (Int t = 0; t < c; ++t) {
+      if (pc[t] != 0.0) ++unnz;
+    }
+    ++unnz;  // diagonal, stored unconditionally
+    for (Int i = c + 1; i < p.m; ++i) {
+      if (pc[i] != 0.0) ++lnnz;
+    }
+  }
+  l.init(p.m, p.n, lnnz);
+  u.init(p.m, p.n, unnz);
+  for (Int c = 0; c < p.n; ++c) {
+    const Scalar* pc = p.col(c);
+    for (Int t = 0; t < c; ++t) {
+      if (pc[t] != 0.0) u.append(t, pc[t]);
+    }
+    u.append(c, pc[c]);
+    u.close_column(c);
+    for (Int i = c + 1; i < p.m; ++i) {
+      if (pc[i] != 0.0) l.append(p.perm[i], pc[i]);
+    }
+    l.close_column(c);
+  }
+}
+
+/// Gather columns [c0, c1) of the panel's U into a standalone tile snapshot
+/// (columns re-based to 0): the published sep_u_tile a DAG trsm tile reads.
+inline void gather_panel_u_tile(const DensePanel& p, Int c0, Int c1,
+                                LuMatrix& ut) {
+  Size nnz = 0;
+  for (Int c = c0; c < c1; ++c) {
+    const Scalar* pc = p.col(c);
+    for (Int t = 0; t < c; ++t) {
+      if (pc[t] != 0.0) ++nnz;
+    }
+    ++nnz;
+  }
+  ut.init(p.m, c1 - c0, nnz);
+  for (Int c = c0; c < c1; ++c) {
+    const Scalar* pc = p.col(c);
+    for (Int t = 0; t < c; ++t) {
+      if (pc[t] != 0.0) ut.append(t, pc[t]);
+    }
+    ut.append(c, pc[c]);
+    ut.close_column(c - c0);
+  }
+}
+
+/// Gather an unpermuted X panel (ancestor L-block after the triangular
+/// solve) into lb: ascending local rows, zeros skipped. Re-initializes lb.
+inline void gather_panel_lblk(const DensePanel& x, LuMatrix& lb) {
+  Size nnz = 0;
+  for (Int c = 0; c < x.n; ++c) {
+    const Scalar* xc = x.col(c);
+    for (Int i = 0; i < x.m; ++i) {
+      if (xc[i] != 0.0) ++nnz;
+    }
+  }
+  lb.init(x.m, x.n, nnz);
+  for (Int c = 0; c < x.n; ++c) {
+    const Scalar* xc = x.col(c);
+    for (Int i = 0; i < x.m; ++i) {
+      if (xc[i] != 0.0) lb.append(i, xc[i]);
+    }
+    lb.close_column(c);
+  }
+}
+
+}  // namespace basker

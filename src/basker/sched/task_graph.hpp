@@ -78,6 +78,15 @@
 // ancestor of j) depend on that join set where they depended on the single
 // kSepFactor before.
 //
+// Hybrid dense-aware kernels (DESIGN.md §3.10) do not change this graph: a
+// block the symbolic fill model marks dense (Analysis::fine_dense,
+// NdPart::seg_dense) keeps the exact same task kinds, join sets, and
+// chunk/tile grids — kFineBlock, kLeafFactor, kSepFactor, kTileGetrf and
+// kTileTrsm merely dispatch their bodies to the scatter / panel-factor /
+// gather kernels of core/numeric_dense.cpp. The dense kernels apply the
+// same per-element ascending-k arithmetic as the sparse ones, so the
+// bit-identity argument above is untouched by the kernel selection.
+//
 // Dependency counters live in the *scheduler*, not here: the graph is built
 // once per symbolic analysis and replayed unchanged by every numeric
 // (re)factorization.

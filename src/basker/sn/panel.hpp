@@ -1,0 +1,70 @@
+// Column-major dense panel storage for the hybrid block path
+// (DESIGN.md §3.10). Generalizes the dormant SnSolver supernode panel
+// (sn.hpp): a block marked dense by the symbolic fill-density model is
+// scattered into a DensePanel, factored/updated with the blocked dense
+// kernels in dense/dense.hpp, and gathered back into LuMatrix storage
+// (lu/panel_gather.hpp) so solve/refactor/stats see an unchanged interface.
+#pragma once
+
+#include <numeric>
+#include <vector>
+
+#include "basker/common/types.hpp"
+
+namespace basker {
+
+/// An m x n column-major panel (leading dimension m) plus the row
+/// permutation accumulated by partial pivoting: perm[i] is the pre-pivot
+/// row currently at panel position i, pos is its inverse (pos[r] = current
+/// position of pre-pivot row r). Scatters write through pos so staged
+/// values land at a row's *current* position — swaps are pure data
+/// movement, so scatter-then-swap and swap-then-scatter-at-swapped-position
+/// commute bitwise and tiled staging matches monolithic staging exactly.
+struct DensePanel {
+  Int m = 0;
+  Int n = 0;
+  std::vector<Scalar> a;    ///< column-major values, size m * n
+  std::vector<Int> perm;    ///< position -> pre-pivot row (empty for X panels)
+  std::vector<Int> pos;     ///< pre-pivot row -> position (empty for X panels)
+
+  Scalar* col(Int c) { return a.data() + static_cast<size_t>(c) * m; }
+  const Scalar* col(Int c) const {
+    return a.data() + static_cast<size_t>(c) * m;
+  }
+
+  /// Fresh factorization: zero the panel, identity row maps.
+  void reset(Int rows, Int cols) {
+    m = rows;
+    n = cols;
+    a.assign(static_cast<size_t>(rows) * static_cast<size_t>(cols), 0.0);
+    perm.resize(static_cast<size_t>(rows));
+    pos.resize(static_cast<size_t>(rows));
+    std::iota(perm.begin(), perm.end(), Int{0});
+    std::iota(pos.begin(), pos.end(), Int{0});
+  }
+
+  /// Frozen-pivot replay: zero the panel and pre-apply the stored pivot
+  /// sequence as the initial row maps. Scattering through pos then places
+  /// every value where the fresh factorization's interleaved swaps would
+  /// have moved it, so a no-search replay reproduces the factors bitwise.
+  void reset_frozen(Int rows, Int cols, const std::vector<Int>& row_perm,
+                    const std::vector<Int>& pinv) {
+    m = rows;
+    n = cols;
+    a.assign(static_cast<size_t>(rows) * static_cast<size_t>(cols), 0.0);
+    perm = row_perm;
+    pos = pinv;
+  }
+
+  /// Off-diagonal X panel (L-block solve target): rows are never permuted,
+  /// so the row maps stay empty and scatters use row indices directly.
+  void reset_rows(Int rows, Int cols) {
+    m = rows;
+    n = cols;
+    a.assign(static_cast<size_t>(rows) * static_cast<size_t>(cols), 0.0);
+    perm.clear();
+    pos.clear();
+  }
+};
+
+}  // namespace basker

@@ -1,10 +1,13 @@
 // Randomized differential harness: static schedule vs SyncMode::kTaskDag.
 //
 // Each iteration draws a matrix from the generator suite at a random scale,
-// random team sizes from {1, 2, 3, 5, 6, 8}, and random task-DAG knobs
+// random team sizes from {1, 2, 3, 5, 6, 8}, random task-DAG knobs
 // (chunk AND separator-tile widths vary even BETWEEN the DAG runs of one
 // iteration — both grids move columns between tasks, never change their
-// arithmetic), then asserts the repo's two core numeric contracts
+// arithmetic), and a random hybrid dense-selection threshold (shared by
+// every run of the iteration — it changes WHICH blocks go dense, and with
+// it the bits — while the dense_tile cache width varies per run like the
+// grids), then asserts the repo's two core numeric contracts
 // differentially:
 //   - every task-DAG run of the iteration produces BIT-IDENTICAL factors
 //     (same digest across team sizes, chunk widths, and a refactor replay);
@@ -101,12 +104,20 @@ TEST(FuzzDifferential, StaticVsTaskDagRandomizedSweep) {
     // matter to a single bit).
     const double task_flops = pick(rng, {1.0, 2.5e4, 4e5});
     const Int min_leaf_rows = pick(rng, {32, 64});
+    // One dense-selection threshold per iteration (it changes which blocks
+    // take the dense path, and with it the bits, so every run of the
+    // iteration shares it): all-sparse ablation, library default, an
+    // in-between cut, and forced all-dense (DESIGN.md §3.10). The
+    // dense_tile cache width is redrawn per RUN below — blocking must not
+    // matter to a single bit.
+    const double dense_thr = pick(rng, {1.5, 0.85, 0.6, 0.0});
 
     std::ostringstream trace;
     trace << "seed=" << seed << " iter=" << iter << " matrix=" << name
           << " scale=" << scale << " static_p=" << static_p << " dag_p={"
           << dag_p1 << "," << dag_p2 << "} dag_task_flops=" << task_flops
           << " dag_min_leaf_rows=" << min_leaf_rows
+          << " dense_fill_threshold=" << dense_thr
           << "  (rerun: BASKER_FUZZ_SEED=" << seed
           << " BASKER_FUZZ_MAX_ITERS=" << (iter + 1)
           << " BASKER_FUZZ_MS=1e9 ./test_fuzz_differential)";
@@ -119,6 +130,8 @@ TEST(FuzzDifferential, StaticVsTaskDagRandomizedSweep) {
     {
       BaskerOptions opt;
       opt.nthreads = static_p;
+      opt.dense_fill_threshold = dense_thr;
+      opt.dense_tile = pick(rng, {64, 1, 7, 1 << 20});
       Basker solver(opt);
       ASSERT_EQ(solver.factor(a), Status::kOk) << "static schedule failed";
       std::vector<Scalar> x = rhs;
@@ -144,6 +157,8 @@ TEST(FuzzDifferential, StaticVsTaskDagRandomizedSweep) {
       // to the bit (DESIGN.md §3.9).
       opt.dag_tile_cols = pick(rng, {0, 0, 1 << 20, 3, 11});
       opt.dag_tile_cols_min = pick(rng, {2, 8, 32});
+      opt.dense_fill_threshold = dense_thr;
+      opt.dense_tile = pick(rng, {64, 1, 7, 1 << 20});
       Basker solver(opt);
       ASSERT_EQ(solver.nthreads(), p) << "kTaskDag must grant p verbatim";
       ASSERT_EQ(solver.factor(a), Status::kOk)
@@ -163,7 +178,8 @@ TEST(FuzzDifferential, StaticVsTaskDagRandomizedSweep) {
             << " chunk_cols=" << solver.options().dag_chunk_cols
             << " chunk_cols_min=" << solver.options().dag_chunk_cols_min
             << " tile_cols=" << solver.options().dag_tile_cols
-            << " tile_cols_min=" << solver.options().dag_tile_cols_min;
+            << " tile_cols_min=" << solver.options().dag_tile_cols_min
+            << " dense_tile=" << solver.options().dense_tile;
       }
       ASSERT_EQ(solver.refactor(a), Status::kOk);
       ASSERT_TRUE(expected == digest_factors(solver))
@@ -210,12 +226,17 @@ TEST(FuzzDifferential, RefactorValueRewriteSweep) {
     if (deep_p2 == deep_p1) deep_p2 = deep_p1 == 8 ? 3 : deep_p1 + 1;
     const double task_flops = pick(rng, {1.0, 2.5e4, 4e5});
     const double rewrite_frac = pick(rng, {0.1, 0.3, 1.0});
+    // Shared per iteration like the depth knobs: the dense selection is
+    // part of the analysis the refactor replay is frozen against, so all
+    // four solvers must agree on it for the digest comparisons to hold.
+    const double dense_thr = pick(rng, {1.5, 0.85, 0.0});
 
     std::ostringstream trace;
     trace << "seed=" << seed << " iter=" << iter << " matrix=" << name
           << " scale=" << scale << " depth0_p=" << depth0_p << " deep_p={"
           << deep_p1 << "," << deep_p2 << "} dag_task_flops=" << task_flops
           << " rewrite_frac=" << rewrite_frac
+          << " dense_fill_threshold=" << dense_thr
           << "  (rerun: BASKER_FUZZ_SEED=" << seed
           << " BASKER_FUZZ_MAX_ITERS=" << (iter + 1)
           << " BASKER_FUZZ_MS=1e9 ./test_fuzz_differential "
@@ -226,6 +247,8 @@ TEST(FuzzDifferential, RefactorValueRewriteSweep) {
 
     BaskerOptions static_opt;
     static_opt.nthreads = 1;
+    static_opt.dense_fill_threshold = dense_thr;
+    static_opt.dense_tile = pick(rng, {64, 1, 7, 1 << 20});
     Basker sstatic(static_opt);
 
     BaskerOptions d0_opt;
@@ -233,6 +256,8 @@ TEST(FuzzDifferential, RefactorValueRewriteSweep) {
     d0_opt.nthreads = depth0_p;
     d0_opt.dag_max_levels = 0;
     d0_opt.dag_chunk_cols = pick(rng, {0, 1, 7});
+    d0_opt.dense_fill_threshold = dense_thr;
+    d0_opt.dense_tile = pick(rng, {64, 1, 7, 1 << 20});
     Basker sdepth0(d0_opt);
 
     auto deep_opts = [&](Int p) {
@@ -244,6 +269,8 @@ TEST(FuzzDifferential, RefactorValueRewriteSweep) {
       o.dag_chunk_cols_min = pick(rng, {2, 8, 16});
       o.dag_tile_cols = pick(rng, {0, 0, 1 << 20, 3, 11});
       o.dag_tile_cols_min = pick(rng, {2, 8, 32});
+      o.dense_fill_threshold = dense_thr;
+      o.dense_tile = pick(rng, {64, 1, 7, 1 << 20});
       return o;
     };
     Basker sdeep1(deep_opts(deep_p1));

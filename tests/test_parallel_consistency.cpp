@@ -430,6 +430,153 @@ TEST(ParallelConsistencyModes, TaskDagRejectsNonsenseKnobsAcceptsDegenerate) {
   }, "forced width 1");
 }
 
+TEST(ParallelConsistencyModes, HybridDenseBlocksBitIdenticalAcrossTeamsAndTiles) {
+  // Hybrid dense-aware kernels (DESIGN.md §3.10): the fill-guided dense
+  // selection happens at symbolic time from the chol-colcount work model,
+  // so it is p-independent; and the dense panel kernels apply, per output
+  // element, exactly one multiply-subtract per prior column k in ascending
+  // k, so the dense_tile cache width moves work between GEMM calls but
+  // never reorders the arithmetic. With the selection forced all-eligible
+  // (threshold 0) the factors must be bit-identical across every team
+  // size — including the non-powers of two only the task-DAG grants — and
+  // every tile width, and refactor() must replay through the frozen dense
+  // panels to the same bits.
+  const Csc a = gen::make_by_name("G2_Circuit", kTestScale);
+  const std::vector<Scalar> rhs = gen::random_rhs(a.ncols, 77);
+
+  BaskerOptions base;
+  base.sync_mode = SyncMode::kTaskDag;
+  base.dag_task_flops = 1.0;    // deepest tree the row floor allows
+  base.dag_min_leaf_rows = 32;  // ...and force real separators at this scale
+  base.dense_fill_threshold = 0.0;  // every eligible block goes dense
+  base.dense_tile = 1 << 20;        // reference: one unblocked panel per block
+  base.nthreads = 1;
+  Basker ref(base);
+  ASSERT_EQ(ref.factor(a), Status::kOk);
+  const FactorDigest expected = digest_factors(ref);
+  const Int dense_blocks = ref.stats().dense_blocks;
+  ASSERT_GT(dense_blocks, 0) << "threshold 0 must engage the dense path";
+
+  for (Int tile : {1 << 20, 64, 3}) {
+    for (Int p : {1, 2, 3, 5}) {
+      BaskerOptions opt = base;
+      opt.dense_tile = tile;
+      opt.nthreads = p;
+      Basker solver(opt);
+      ASSERT_EQ(solver.factor(a), Status::kOk) << "tile=" << tile << " p=" << p;
+      // Selection is symbolic-time: identical at every p and tile width.
+      EXPECT_EQ(solver.stats().dense_blocks, dense_blocks)
+          << "tile=" << tile << " p=" << p << ": selection is p-dependent";
+      EXPECT_TRUE(expected == digest_factors(solver))
+          << "tile=" << tile << " p=" << p
+          << ": dense tiling or team size changed the factors";
+      std::vector<Scalar> x = rhs;
+      ASSERT_EQ(solver.solve(x), Status::kOk);
+      EXPECT_LT(relative_residual(a, x, rhs), 1e-8)
+          << "tile=" << tile << " p=" << p;
+      // Refactor replays through the frozen dense panels to the same bits.
+      ASSERT_EQ(solver.refactor(a), Status::kOk);
+      EXPECT_TRUE(expected == digest_factors(solver))
+          << "tile=" << tile << " p=" << p << ": refactor diverged";
+    }
+  }
+
+  // Static schedules: the tree deepens with p, so bit-identity holds per
+  // team size — at each p the tile width and an independent instance must
+  // still not perturb a bit of the dense-path factors.
+  for (Int p : {1, 2, 4}) {
+    BaskerOptions sopt;
+    sopt.dense_fill_threshold = 0.0;
+    sopt.dense_tile = 1 << 20;
+    sopt.nthreads = p;
+    Basker sref(sopt);
+    ASSERT_EQ(sref.factor(a), Status::kOk) << "static p=" << p;
+    ASSERT_GT(sref.stats().dense_blocks, 0) << "static p=" << p;
+    const FactorDigest sexp = digest_factors(sref);
+    for (Int tile : {64, 3}) {
+      BaskerOptions opt = sopt;
+      opt.dense_tile = tile;
+      Basker solver(opt);
+      ASSERT_EQ(solver.factor(a), Status::kOk)
+          << "static tile=" << tile << " p=" << p;
+      EXPECT_TRUE(sexp == digest_factors(solver))
+          << "static tile=" << tile << " p=" << p
+          << ": dense tiling changed the factors";
+    }
+  }
+}
+
+TEST(ParallelConsistencyModes, HybridRejectsNonsenseKnobsAcceptsDegenerate) {
+  // Dense-path knob validation (options.hpp): values with no sane reading
+  // fail symbolic() — and therefore factor() — with kInvalidInput under
+  // EVERY schedule (the selection runs before the schedule is consulted);
+  // degenerate-but-meaningful settings stay legal.
+  const Csc a = gen::make_by_name("G2_Circuit", kTestScale);
+  const std::vector<Scalar> rhs = gen::random_rhs(a.ncols, 77);
+
+  auto expect_invalid = [&](auto&& tweak, const char* label) {
+    BaskerOptions opt;
+    tweak(opt);
+    Basker solver(opt);
+    EXPECT_EQ(solver.factor(a), Status::kInvalidInput) << label;
+    EXPECT_FALSE(solver.factored()) << label;
+  };
+  expect_invalid(
+      [](BaskerOptions& o) { o.dense_fill_threshold = std::nan(""); },
+      "NaN dense_fill_threshold");
+  expect_invalid([](BaskerOptions& o) { o.dense_fill_threshold = -0.25; },
+                 "negative dense_fill_threshold");
+  expect_invalid([](BaskerOptions& o) { o.dense_tile = 0; },
+                 "zero dense_tile");
+  expect_invalid([](BaskerOptions& o) { o.dense_tile = -3; },
+                 "negative dense_tile");
+  expect_invalid(
+      [](BaskerOptions& o) {
+        o.sync_mode = SyncMode::kTaskDag;
+        o.dense_tile = -1;
+      },
+      "negative dense_tile under kTaskDag");
+
+  // threshold > 1: the documented all-sparse ablation — legal, zero dense
+  // blocks, and the factorization still solves.
+  {
+    BaskerOptions opt;
+    opt.dense_fill_threshold = 1.1;
+    Basker solver(opt);
+    ASSERT_EQ(solver.factor(a), Status::kOk);
+    EXPECT_EQ(solver.stats().dense_blocks, 0)
+        << "threshold > 1 must disable the dense path entirely";
+    std::vector<Scalar> x = rhs;
+    ASSERT_EQ(solver.solve(x), Status::kOk);
+    EXPECT_LT(relative_residual(a, x, rhs), 1e-8);
+  }
+  // threshold exactly 1.0 is still hybrid: it tags only fully-full blocks
+  // (1x1 fine blocks qualify), and must stay legal.
+  {
+    BaskerOptions opt;
+    opt.dense_fill_threshold = 1.0;
+    Basker solver(opt);
+    ASSERT_EQ(solver.factor(a), Status::kOk);
+    std::vector<Scalar> x = rhs;
+    ASSERT_EQ(solver.solve(x), Status::kOk);
+    EXPECT_LT(relative_residual(a, x, rhs), 1e-8);
+  }
+  // dense_tile 1 (the finest legal blocking) against a tile wider than
+  // every block: blocking is a throughput knob, the bits must agree.
+  BaskerOptions wide;
+  wide.dense_fill_threshold = 0.0;
+  wide.dense_tile = 1 << 20;
+  Basker ref(wide);
+  ASSERT_EQ(ref.factor(a), Status::kOk);
+  EXPECT_GT(ref.stats().dense_blocks, 0);
+  BaskerOptions fine = wide;
+  fine.dense_tile = 1;
+  Basker solver(fine);
+  ASSERT_EQ(solver.factor(a), Status::kOk);
+  EXPECT_TRUE(digest_factors(ref) == digest_factors(solver))
+      << "dense_tile=1 diverged from the unblocked panel";
+}
+
 TEST(ParallelConsistencyModes, TaskDagCountersArePerRunRefactorsCumulative) {
   // Stats lifetime semantics (options.hpp): every dag_* counter is
   // per-run — each numeric execution, including the ones inside

@@ -426,6 +426,104 @@ TEST(Refactor, GrowthMonitorFallsBackWithTilingEnabled) {
 }
 
 // ---------------------------------------------------------------------------
+// Hybrid dense panels (DESIGN.md §3.10): the replay must run through the
+// frozen dense-panel kernels, not silently fall back to the sparse path.
+
+/// Options that force every eligible block onto the dense path, through the
+/// blocked (dense_tile = 3) panel kernels.
+BaskerOptions dense_opts(Int threads, SyncMode sync) {
+  BaskerOptions o = opts(threads, sync);
+  o.dense_fill_threshold = 0.0;
+  o.dense_tile = 3;
+  return o;
+}
+
+TEST(Refactor, ReplaysThroughDensePanels) {
+  // A refactor() after a hybrid factor() replays the SAME dense panels
+  // with the frozen pivot maps: same values reproduce the factors bit for
+  // bit, and new values on the dominant() family (where a fresh search
+  // provably keeps the diagonal pivots the replay froze) land bit-for-bit
+  // on a fresh factorization's digest — the dense replay IS the dense
+  // factorization minus the search.
+  const Csc a1 = dominant(22, 100);
+  const Csc a2 = dominant(22, 200);
+  for (SyncMode sync : kAllSyncModes) {
+    for (Int p : {1, 4}) {
+      Basker replayed(dense_opts(p, sync));
+      ASSERT_EQ(replayed.factor(a1), Status::kOk)
+          << sync_name(sync) << " p=" << p;
+      ASSERT_GT(replayed.stats().dense_blocks, 0)
+          << sync_name(sync) << " p=" << p << ": config engaged no dense block";
+      const FactorDigest first = digest_factors(replayed);
+
+      // Same values: bitwise replay through the dense panels.
+      ASSERT_EQ(replayed.refactor(a1), Status::kOk)
+          << sync_name(sync) << " p=" << p;
+      ASSERT_TRUE(first == digest_factors(replayed))
+          << "dense replay with unchanged values diverged: "
+          << sync_name(sync) << " p=" << p;
+      EXPECT_EQ(replayed.stats().refactor_fallbacks, 0);
+
+      // New values: the frozen-pivot dense replay equals a fresh hybrid
+      // factorization that searches its way to the same pivots.
+      ASSERT_EQ(replayed.refactor(a2), Status::kOk)
+          << sync_name(sync) << " p=" << p;
+      EXPECT_EQ(replayed.stats().refactor_fallbacks, 0);
+      Basker fresh(dense_opts(p, sync));
+      ASSERT_EQ(fresh.factor(a2), Status::kOk);
+      ASSERT_TRUE(digest_factors(fresh) == digest_factors(replayed))
+          << "dense replay != fresh factorization with the same pivots: "
+          << sync_name(sync) << " p=" << p;
+    }
+  }
+}
+
+TEST(Refactor, GrowthMonitorFallsBackWithHybridEnabled) {
+  // The growth monitor must watch the dense panels too: crush the frozen
+  // pivots of a hybrid factorization and a tight tolerance rejects the
+  // replay, falls back to the full re-pivoting pass (itself running the
+  // dense kernels), and leaves valid, re-frozen factors.
+  const Csc good = dominant(20, 300);
+  Csc bad = good;
+  for (Int j = 0; j < bad.ncols; ++j) {
+    for (Size p = bad.col_ptr[j]; p < bad.col_ptr[j + 1]; ++p) {
+      if (bad.row_idx[p] == j) bad.values[p] = 1e-7;  // crush the diagonal
+    }
+  }
+  for (SyncMode sync : kAllSyncModes) {
+    for (Int p : {1, 4}) {
+      BaskerOptions o = dense_opts(p, sync);
+      // Force the search to the column max so the fallback's re-frozen
+      // pivots provably satisfy the monitor on a same-values replay.
+      o.pivot_tol = 1.0;
+      o.refactor_pivot_tol = 0.1;
+      Basker solver(o);
+      ASSERT_EQ(solver.factor(good), Status::kOk)
+          << sync_name(sync) << " p=" << p;
+      ASSERT_GT(solver.stats().dense_blocks, 0)
+          << sync_name(sync) << " p=" << p << ": config engaged no dense block";
+      const Status s = solver.refactor(bad);
+      ASSERT_TRUE(s == Status::kPivotGrowth || s == Status::kNumericallySingular)
+          << sync_name(sync) << " p=" << p << ": " << to_string(s);
+      if (s != Status::kPivotGrowth) continue;
+      EXPECT_TRUE(solver.factored());
+      EXPECT_GE(solver.stats().refactor_fallbacks, 1);
+      EXPECT_LT(solve_residual(solver, bad, 3), 1e-6)
+          << sync_name(sync) << " p=" << p;
+      // The fallback re-froze the re-pivoted sequence: replaying the same
+      // values now succeeds, bitwise stable, with no further fallback.
+      const FactorDigest refrozen = digest_factors(solver);
+      const long long fallbacks = solver.stats().refactor_fallbacks;
+      ASSERT_EQ(solver.refactor(bad), Status::kOk)
+          << sync_name(sync) << " p=" << p;
+      EXPECT_TRUE(refrozen == digest_factors(solver))
+          << sync_name(sync) << " p=" << p;
+      EXPECT_EQ(solver.stats().refactor_fallbacks, fallbacks);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Preconditions and degenerate shapes.
 
 TEST(Refactor, BeforeFactorReturnsNotFactored) {
