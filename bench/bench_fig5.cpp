@@ -29,6 +29,10 @@
 // selection and --dense-threshold X forces the selection threshold
 // (X > 1 = the all-sparse ablation): run one sweep per leg and diff with
 // `scripts/bench_compare.py --hybrid --baseline <all_sparse.json>`.
+// --trace PATH turns on task-level tracing for every leg (per-run
+// TraceSummary fields land in the --json output; scripts/trace_report.py
+// consumes them) and writes the last traced leg's Chrome trace-event
+// timeline to PATH — open it in Perfetto (README "Profiling a run").
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -151,6 +155,13 @@ int main(int argc, char** argv) {
                      argv[i]);
         return 64;
       }
+    } else if (std::strcmp(a, "--trace") == 0 && i + 1 < argc) {
+      cfg.trace = true;
+      cfg.trace_dump = argv[++i];
+      if (cfg.trace_dump.empty()) {
+        std::fprintf(stderr, "--trace needs an output path\n");
+        return 64;
+      }
     } else if (std::strcmp(a, "--repeats") == 0 && i + 1 < argc) {
       char* end = nullptr;
       cfg.repeats = static_cast<basker::Int>(std::strtol(argv[++i], &end, 10));
@@ -192,7 +203,8 @@ int main(int argc, char** argv) {
                    "usage: bench_fig5 [--measured [--json] [--max-threads N] "
                    "[--repeats N] [--pin] [--park spin|yield|sleep|condvar] "
                    "[--schedule static|taskdag|both] [--tile-cols N] "
-                   "[--deep-tree] [--hybrid] [--dense-threshold X]]\n");
+                   "[--deep-tree] [--hybrid] [--dense-threshold X] "
+                   "[--trace PATH]]\n");
       return 64;
     }
   }

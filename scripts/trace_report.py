@@ -1,0 +1,355 @@
+#!/usr/bin/env python3
+"""Trace-summary report and CI gate over bench_fig5 --trace JSON.
+
+Consumes the wallclock document emitted by `bench_fig5 --measured --json
+--trace PATH` (every MeasuredRun carries the trace_* aggregates of its
+last numeric repeat — see bench_support/wallclock.hpp) and prints, per
+matrix / schedule / team size: wall time, span counts, per-thread
+utilization (busy / wall, worst and mean thread), steal success rate,
+summed park+idle time, and the measured critical path as a fraction of
+the run wall time next to the schedule model's critical/total column
+ratio (taskdag runs — the measured path validates the modeled one).
+
+Usage:
+  build/bench/bench_fig5 --measured --json --schedule taskdag \\
+      --trace events.json > traced.json
+  scripts/trace_report.py traced.json
+
+--gate mode is the check.sh observability gate. It takes the traced
+document (stdin or positional), an UNTRACED sweep of the same
+configuration via --baseline FILE, and optionally the Chrome trace-event
+file via --trace-json FILE, and fails when any of these hold:
+
+  * a run in either document failed to factor, or a run in the traced
+    document was not actually traced (spans == 0 counts as not traced);
+  * determinism: any (matrix, schedule, threads) leg present in both
+    documents has differing factor digests — tracing must be
+    bit-invisible to the factorization (MeasuredRun::factor_digest is
+    recorded on every run precisely so this is checkable from JSON);
+  * overhead: at p = 1, the traced wall time exceeds --max-overhead
+    (default 1.05) times the untraced wall time, for pairs above the
+    --min-seconds noise floor (default 0.02 s — below that, scheduler
+    jitter on a shared host swamps the instrumentation cost);
+  * span accounting: any traced run has open spans (a begin without an
+    end — an instrumentation bug), or any worker thread's busy time
+    exceeds the run bracket's wall time (task spans nest inside the
+    numeric() bracket by construction, so busy > wall means broken
+    timestamps);
+  * the Chrome trace file (when given) does not parse, has an empty
+    traceEvents array, lacks thread_name metadata, or contains a
+    complete event with a negative duration — i.e. it would not load
+    cleanly in Perfetto.
+
+Usage:
+  build/bench/bench_fig5 --measured --json > untraced.json
+  build/bench/bench_fig5 --measured --json --trace events.json | \\
+      scripts/trace_report.py --gate --baseline untraced.json \\
+      --trace-json events.json
+
+Stdlib only — no third-party dependencies.
+"""
+
+import argparse
+import json
+import sys
+
+
+def fmt(x, digits=4):
+    return f"{x:.{digits}f}"
+
+
+def load_document(path):
+    if path == "-":
+        return json.load(sys.stdin)
+    with open(path) as f:
+        return json.load(f)
+
+
+def runs_by_key(doc):
+    """{(matrix, schedule, threads): run} over every report in the doc."""
+    out = {}
+    for report in doc.get("reports", []):
+        name = report.get("matrix", "?")
+        for run in report.get("runs", []):
+            key = (name, run.get("schedule", "static"), run.get("threads"))
+            out[key] = run
+    return out
+
+
+def print_table(doc):
+    """Per-run trace aggregates; returns the number of failed runs."""
+    header = (f"{'matrix':<14} {'sched':<7} {'p':>3} {'wall(s)':>9} "
+              f"{'spans':>7} {'drop':>5} {'util worst':>10} "
+              f"{'util mean':>9} {'steal%':>7} {'park+idle(s)':>12} "
+              f"{'crit meas':>9} {'crit model':>10}")
+    print(header)
+    print("-" * len(header))
+    failures = 0
+    for report in doc.get("reports", []):
+        name = report.get("matrix", "?")
+        for run in report.get("runs", []):
+            if not run.get("ok"):
+                failures += 1
+                continue
+            sched = run.get("schedule", "static")
+            p = run.get("threads")
+            wall_s = run.get("factor_seconds", 0.0)
+            if not run.get("traced"):
+                print(f"{name:<14} {sched:<7} {p:>3} {fmt(wall_s):>9} "
+                      f"{'(untraced)':>7}")
+                continue
+            wall_ns = run.get("trace_wall_ns", 0.0)
+            busy = run.get("trace_busy_ns", [])
+            utils = [b / wall_ns for b in busy] if wall_ns > 0 else []
+            worst = max(utils) if utils else 0.0
+            mean = sum(utils) / len(utils) if utils else 0.0
+            att = run.get("trace_steal_attempts", 0)
+            suc = run.get("trace_steal_successes", 0)
+            steal = f"{100.0 * suc / att:.1f}%" if att > 0 else "-"
+            pi_s = (run.get("trace_park_ns", 0.0)
+                    + run.get("trace_idle_ns", 0.0)) * 1e-9
+            # Measured critical path as a fraction of the traced run's
+            # wall bracket, next to the schedule model's serialness
+            # (critical/total columns) — both only meaningful on taskdag.
+            crit_ns = run.get("trace_critical_ns", 0.0)
+            cm = fmt(crit_ns / wall_ns, 2) if crit_ns > 0 and wall_ns > 0 else "-"
+            tot_cols = run.get("dag_total_cols", 0.0)
+            cmod = (fmt(run.get("dag_critical_cols", 0.0) / tot_cols, 2)
+                    if tot_cols > 0 else "-")
+            print(f"{name:<14} {sched:<7} {p:>3} {fmt(wall_s):>9} "
+                  f"{run.get('trace_spans', 0):>7.0f} "
+                  f"{run.get('trace_dropped_spans', 0):>5.0f} "
+                  f"{fmt(worst, 2):>10} {fmt(mean, 2):>9} {steal:>7} "
+                  f"{fmt(pi_s, 3):>12} {cm:>9} {cmod:>10}")
+    return failures
+
+
+def gate_accounting(doc):
+    """Span-accounting gate; returns (errors, traced_run_count)."""
+    errors = 0
+    traced = 0
+    # Worker busy spans nest inside the numeric() bracket (summarize runs
+    # after the bracket's end push), so busy <= wall holds exactly; the
+    # slack only absorbs double round-tripping through JSON.
+    slack_ns = 1e3
+    for (name, sched, p), run in sorted(runs_by_key(doc).items()):
+        if not run.get("ok"):
+            continue
+        if not run.get("traced") or run.get("trace_spans", 0) <= 0:
+            print(f"trace_report: {name} {sched} p={p} is not traced — "
+                  f"the traced sweep must run with --trace", file=sys.stderr)
+            errors += 1
+            continue
+        traced += 1
+        open_spans = run.get("trace_open_spans", 0)
+        if open_spans != 0:
+            print(f"trace_report: {name} {sched} p={p} has "
+                  f"{open_spans:.0f} open span(s) — a begin without an "
+                  f"end", file=sys.stderr)
+            errors += 1
+        wall_ns = run.get("trace_wall_ns", 0.0)
+        if wall_ns <= 0:
+            print(f"trace_report: {name} {sched} p={p} has no run "
+                  f"bracket (trace_wall_ns == 0)", file=sys.stderr)
+            errors += 1
+            continue
+        for t, busy in enumerate(run.get("trace_busy_ns", [])):
+            if busy > wall_ns + slack_ns:
+                print(f"trace_report: {name} {sched} p={p} thread {t} "
+                      f"busy {busy:.0f} ns exceeds run wall "
+                      f"{wall_ns:.0f} ns", file=sys.stderr)
+                errors += 1
+    return errors, traced
+
+
+def gate_digests(traced, baseline):
+    """Digest-match gate; returns (errors, matched_pair_count)."""
+    errors = 0
+    matched = 0
+    base = runs_by_key(baseline)
+    for key, run in sorted(runs_by_key(traced).items()):
+        brun = base.get(key)
+        if brun is None or not run.get("ok") or not brun.get("ok"):
+            continue
+        name, sched, p = key
+        d_t = run.get("factor_digest", "")
+        d_b = brun.get("factor_digest", "")
+        if not d_t or not d_b:
+            print(f"trace_report: {name} {sched} p={p} is missing a "
+                  f"factor digest — regenerate both documents with a "
+                  f"current bench binary", file=sys.stderr)
+            errors += 1
+            continue
+        matched += 1
+        if d_t != d_b:
+            print(f"trace_report: {name} {sched} p={p}: traced digest "
+                  f"{d_t} != untraced {d_b} — tracing perturbed the "
+                  f"factorization", file=sys.stderr)
+            errors += 1
+    return errors, matched
+
+
+def gate_overhead(traced, baseline, args):
+    """p=1 overhead gate; returns errors, prints the worst ratio."""
+    errors = 0
+    base = runs_by_key(baseline)
+    pairs = 0
+    worst = None  # (ratio, matrix, sched)
+    for (name, sched, p), run in sorted(runs_by_key(traced).items()):
+        if p != 1:
+            continue
+        brun = base.get((name, sched, p))
+        if brun is None or not run.get("ok") or not brun.get("ok"):
+            continue
+        t_t = run.get("factor_seconds", 0.0)
+        b_t = brun.get("factor_seconds", 0.0)
+        if max(t_t, b_t) < args.min_seconds or b_t <= 0:
+            continue
+        pairs += 1
+        ratio = t_t / b_t
+        if worst is None or ratio > worst[0]:
+            worst = (ratio, name, sched)
+        if ratio > args.max_overhead:
+            print(f"trace_report: {name} {sched} p=1: traced run "
+                  f"{fmt(ratio, 3)}x the untraced time (limit "
+                  f"{args.max_overhead})", file=sys.stderr)
+            errors += 1
+    if worst is not None:
+        print(f"traced/untraced at p=1: worst {fmt(worst[0], 3)}x "
+              f"({worst[1]} {worst[2]}) over {pairs} gated pairs (limit "
+              f"{args.max_overhead}, noise floor {args.min_seconds}s)")
+    else:
+        print(f"no p=1 traced-vs-untraced pairs above the "
+              f"{args.min_seconds}s noise floor — overhead gate skipped")
+    return errors
+
+
+def gate_chrome_trace(path):
+    """Chrome trace-event file sanity; returns errors."""
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"trace_report: cannot parse Chrome trace {path}: {e}",
+              file=sys.stderr)
+        return 1
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        print(f"trace_report: {path} has no traceEvents — nothing for "
+              f"Perfetto to load", file=sys.stderr)
+        return 1
+    errors = 0
+    names = 0
+    complete = 0
+    instants = 0
+    for ev in events:
+        ph = ev.get("ph")
+        if ph == "M" and ev.get("name") == "thread_name":
+            names += 1
+        elif ph == "X":
+            complete += 1
+            if not isinstance(ev.get("ts"), (int, float)) or \
+                    not isinstance(ev.get("dur"), (int, float)) or \
+                    ev.get("dur") < 0:
+                print(f"trace_report: {path}: complete event with bad "
+                      f"ts/dur: {ev}", file=sys.stderr)
+                errors += 1
+        elif ph == "i":
+            instants += 1
+    if names == 0:
+        print(f"trace_report: {path} has no thread_name metadata — "
+              f"Perfetto lanes would be unlabeled", file=sys.stderr)
+        errors += 1
+    if complete == 0:
+        print(f"trace_report: {path} has no complete ('X') events — no "
+              f"spans were exported", file=sys.stderr)
+        errors += 1
+    print(f"Chrome trace {path}: {len(events)} events ({complete} spans, "
+          f"{instants} instants, {names} thread lanes)")
+    return errors
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("report", nargs="?", default="-",
+                        help="traced wallclock JSON ('-' = stdin, default)")
+    parser.add_argument("--gate", action="store_true",
+                        help="CI mode: digest match vs --baseline, p=1 "
+                             "overhead, span accounting, Chrome trace "
+                             "sanity")
+    parser.add_argument("--baseline", default=None,
+                        help="gate: UNTRACED sweep of the same "
+                             "configuration (digest + overhead reference)")
+    parser.add_argument("--trace-json", default=None,
+                        help="gate: Chrome trace-event file written by "
+                             "bench_fig5 --trace")
+    parser.add_argument("--max-overhead", type=float, default=1.05,
+                        help="gate: allowed traced/untraced wall-time "
+                             "ratio at p=1 (default 1.05)")
+    parser.add_argument("--min-seconds", type=float, default=0.02,
+                        help="gate: noise floor below which a p=1 pair is "
+                             "not overhead-gated (default 0.02)")
+    args = parser.parse_args()
+
+    try:
+        doc = load_document(args.report)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"trace_report: cannot read report: {e}", file=sys.stderr)
+        return 2
+
+    print(f"benchmark: {doc.get('benchmark', '?')}  "
+          f"(host CPUs: {doc.get('hardware_cpus', '?')})")
+    failures = print_table(doc)
+    print()
+
+    if not args.gate:
+        return 1 if failures else 0
+
+    status = 0
+    if failures:
+        print(f"trace_report: {failures} run(s) failed to factor",
+              file=sys.stderr)
+        status = 1
+
+    acct_errors, traced_runs = gate_accounting(doc)
+    if traced_runs == 0:
+        print("trace_report: no traced runs in the document — the gate "
+              "has nothing to check", file=sys.stderr)
+        return 2
+    print(f"span accounting: {traced_runs} traced run(s), "
+          f"{acct_errors} error(s)")
+    if acct_errors:
+        status = 1
+
+    if args.baseline:
+        try:
+            baseline = load_document(args.baseline)
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"trace_report: cannot read baseline: {e}",
+                  file=sys.stderr)
+            return 2
+        dig_errors, matched = gate_digests(doc, baseline)
+        if matched == 0:
+            print("trace_report: baseline matched no (matrix, schedule, "
+                  "p) legs — the determinism gate cannot run",
+                  file=sys.stderr)
+            return 2
+        print(f"determinism: {matched} digest pair(s) compared, "
+              f"{dig_errors} mismatch(es)")
+        if dig_errors:
+            status = 1
+        if gate_overhead(doc, baseline, args):
+            status = 1
+    else:
+        print("trace_report: no --baseline — determinism and overhead "
+              "gates skipped", file=sys.stderr)
+
+    if args.trace_json:
+        if gate_chrome_trace(args.trace_json):
+            status = 1
+
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

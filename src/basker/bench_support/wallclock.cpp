@@ -38,6 +38,59 @@ const char* schedule_name(SyncMode mode) {
   return "?";
 }
 
+namespace {
+
+/// FNV-1a 64 over raw bytes: the digest hashes exactly what the test-side
+/// FactorDigest (tests/factor_digest.hpp) compares — per-block nnz,
+/// pattern, values, pivot permutation — so equal hex here is the same
+/// statement as FactorDigest equality there (modulo 64-bit collisions,
+/// irrelevant for a regression gate).
+struct Fnv1a {
+  std::uint64_t h = 1469598103934665603ull;
+  void bytes(const void* p, size_t n) {
+    const unsigned char* b = static_cast<const unsigned char*>(p);
+    for (size_t i = 0; i < n; ++i) {
+      h ^= b[i];
+      h *= 1099511628211ull;
+    }
+  }
+  template <typename T>
+  void pod(const T& v) {
+    bytes(&v, sizeof(T));
+  }
+};
+
+void digest_lu(Fnv1a& f, const LuMatrix& m) {
+  f.pod(m.nnz());
+  f.bytes(m.row_idx.data(), m.row_idx.size() * sizeof(Int));
+  f.bytes(m.values.data(), m.values.size() * sizeof(Scalar));
+}
+
+void digest_diag(Fnv1a& f, const DiagFactor& d) {
+  digest_lu(f, d.l);
+  digest_lu(f, d.u);
+  f.bytes(d.row_perm.data(), d.row_perm.size() * sizeof(Int));
+}
+
+}  // namespace
+
+std::string factor_digest_hex(const Basker& solver) {
+  Fnv1a f;
+  const Analysis& an = solver.analysis();
+  for (Int blk : an.fine_blocks) digest_diag(f, an.fine_factor[blk]);
+  for (const NdPart& part : an.parts) {
+    for (Int s = 0; s < part.nseg; ++s) {
+      digest_diag(f, part.diag[s]);
+      for (const LuMatrix& m : part.lblk[s]) digest_lu(f, m);
+      for (const LuMatrix& m : part.ublk[s]) digest_lu(f, m);
+    }
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(f.h));
+  return buf;
+}
+
 const MeasuredRun* WallclockReport::serial() const {
   for (const MeasuredRun& run : runs) {
     if (run.threads == 1 && run.ok()) return &run;
@@ -74,6 +127,7 @@ WallclockReport measure_scaling(const std::string& name, const Csc& a,
     opt.backoff = cfg.backoff;
     opt.pin_threads = cfg.pin_threads;
     opt.dag_tile_cols = cfg.dag_tile_cols;
+    opt.trace = cfg.trace;
     if (cfg.dense_fill_threshold >= 0.0) {
       opt.dense_fill_threshold = cfg.dense_fill_threshold;
     }
@@ -120,6 +174,34 @@ WallclockReport measure_scaling(const std::string& name, const Csc& a,
       run.dag_critical_cols = solver.stats().dag_critical_cols;
       run.dag_total_cols = solver.stats().dag_total_cols;
       run.dense_blocks = solver.stats().dense_blocks;
+      // Digest every leg — traced or not — so the trace gate can
+      // bit-compare sweeps from the JSON alone.
+      run.factor_digest = factor_digest_hex(solver);
+      // Trace aggregates describe the LAST numeric repeat (each run
+      // resets the rings); factor_seconds above keeps the min repeat —
+      // fine, the gate's accounting checks are per-run invariants, not
+      // min-matched timings.
+      const obs::TraceSummary& ts = solver.stats().trace;
+      run.traced = ts.enabled;
+      if (ts.enabled) {
+        run.trace_spans = ts.spans;
+        run.trace_dropped_spans = ts.dropped_spans;
+        run.trace_open_spans = ts.open_spans;
+        run.trace_wall_ns = ts.wall_ns;
+        run.trace_busy_ns = ts.busy_ns;
+        for (double pk : ts.park_ns) run.trace_park_ns += pk;
+        for (double id : ts.idle_ns) run.trace_idle_ns += id;
+        run.trace_steal_attempts = ts.total_steal_attempts();
+        run.trace_steal_successes = ts.total_steal_successes();
+        run.trace_critical_ns = ts.critical_ns;
+        if (!cfg.trace_dump.empty()) {
+          // Timeline of the last numeric run; the last traced leg wins
+          // the file (document in WallclockConfig::trace_dump). Dump
+          // before the solve/refactor below so the file matches the
+          // summary captured here.
+          solver.dump_trace(cfg.trace_dump);
+        }
+      }
       if (report.nnz_lu == 0) {
         report.nnz_lu = run.nnz_lu;
         report.flops = run.flops;
@@ -220,6 +302,24 @@ JsonValue report_to_json(const WallclockReport& report) {
     r.set("refactor_step_seconds", run.refactor_step_seconds);
     r.set("refactors", static_cast<double>(run.refactors));
     r.set("refactor_fallbacks", static_cast<double>(run.refactor_fallbacks));
+    r.set("factor_digest", run.factor_digest);
+    r.set("traced", run.traced);
+    if (run.traced) {
+      r.set("trace_spans", static_cast<double>(run.trace_spans));
+      r.set("trace_dropped_spans", static_cast<double>(run.trace_dropped_spans));
+      r.set("trace_open_spans", static_cast<double>(run.trace_open_spans));
+      r.set("trace_wall_ns", run.trace_wall_ns);
+      r.set("trace_park_ns", run.trace_park_ns);
+      r.set("trace_idle_ns", run.trace_idle_ns);
+      r.set("trace_steal_attempts",
+            static_cast<double>(run.trace_steal_attempts));
+      r.set("trace_steal_successes",
+            static_cast<double>(run.trace_steal_successes));
+      r.set("trace_critical_ns", run.trace_critical_ns);
+      JsonValue busy = JsonValue::array();
+      for (double b : run.trace_busy_ns) busy.push(b);
+      r.set("trace_busy_ns", std::move(busy));
+    }
     JsonValue phases = JsonValue::array();
     for (double s : run.phase_seconds) phases.push(s);
     r.set("phase_seconds", std::move(phases));
@@ -273,6 +373,32 @@ bool report_from_json(const JsonValue& v, WallclockReport& out) {
     run.refactors = static_cast<long long>(r.number_or("refactors", 0.0));
     run.refactor_fallbacks =
         static_cast<long long>(r.number_or("refactor_fallbacks", 0.0));
+    if (r.at("factor_digest").is_string()) {
+      run.factor_digest = r.at("factor_digest").as_string();
+    }
+    run.traced = r.at("traced").kind() == JsonValue::Kind::kBool &&
+                 r.at("traced").as_bool();
+    if (run.traced) {
+      run.trace_spans = static_cast<long long>(r.number_or("trace_spans", 0.0));
+      run.trace_dropped_spans =
+          static_cast<long long>(r.number_or("trace_dropped_spans", 0.0));
+      run.trace_open_spans =
+          static_cast<long long>(r.number_or("trace_open_spans", 0.0));
+      run.trace_wall_ns = r.number_or("trace_wall_ns", 0.0);
+      run.trace_park_ns = r.number_or("trace_park_ns", 0.0);
+      run.trace_idle_ns = r.number_or("trace_idle_ns", 0.0);
+      run.trace_steal_attempts =
+          static_cast<long long>(r.number_or("trace_steal_attempts", 0.0));
+      run.trace_steal_successes =
+          static_cast<long long>(r.number_or("trace_steal_successes", 0.0));
+      run.trace_critical_ns = r.number_or("trace_critical_ns", 0.0);
+      const JsonValue& busy = r.at("trace_busy_ns");
+      if (busy.is_array()) {
+        for (size_t j = 0; j < busy.size(); ++j) {
+          run.trace_busy_ns.push_back(busy.at(j).as_number());
+        }
+      }
+    }
     const JsonValue& phases = r.at("phase_seconds");
     if (phases.is_array()) {
       for (size_t j = 0; j < phases.size(); ++j) {

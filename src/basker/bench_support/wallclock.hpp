@@ -19,6 +19,10 @@
 #include "basker/core/options.hpp"
 #include "basker/sparse/csc.hpp"
 
+namespace basker {
+class Basker;
+}
+
 namespace basker::bench {
 
 struct WallclockConfig {
@@ -56,7 +60,24 @@ struct WallclockConfig {
   /// --hybrid gate runs a > 1 all-sparse baseline leg against a hybrid
   /// leg and compares p = 1 wall times.
   double dense_fill_threshold = -1.0;
+  /// Run every leg with task-level tracing on (BaskerOptions::trace) and
+  /// fold the per-run TraceSummary into each MeasuredRun. The
+  /// trace_report.py --gate pipeline runs one traced and one untraced
+  /// sweep and digest-matches them (tracing must not perturb factors).
+  bool trace = false;
+  /// When non-empty (and trace is on), write the Chrome trace-event JSON
+  /// of each leg's last numeric run here via Basker::dump_trace — last
+  /// (matrix, schedule, p) leg wins, so point a single-leg sweep at it for
+  /// a Perfetto-ready timeline (README "Profiling a run").
+  std::string trace_dump;
 };
+
+/// FNV-1a 64 hex digest over every factor block (patterns, values, pivot
+/// permutations) of a factored solver — the bench-side mirror of
+/// tests/factor_digest.hpp, so "bit-identical factors" is checkable from
+/// bench JSON alone (trace_report.py --gate digest-matches traced vs.
+/// untraced sweeps with it).
+std::string factor_digest_hex(const Basker& solver);
 
 /// Powers of two 1..max_threads; max_threads <= 0 means
 /// max(4, hardware_cpus()) so a 1-core host still exercises the
@@ -127,6 +148,26 @@ struct MeasuredRun {
   /// BaskerStats field): the burst replays unchanged values, so any
   /// nonzero count is itself a red flag bench_compare.py surfaces.
   long long refactor_fallbacks = 0;
+  /// factor_digest_hex() of this leg's factors — recorded on EVERY run
+  /// (traced or not), so trace_report.py --gate can bit-compare a traced
+  /// sweep against an untraced baseline from the JSON alone.
+  std::string factor_digest;
+  /// Trace aggregates of the leg's LAST numeric repeat (WallclockConfig
+  /// ::trace; all zero/false when tracing was off). Mirrors
+  /// obs::TraceSummary — see there for semantics; per-thread busy times
+  /// are kept as a vector because the gate's span-accounting check is
+  /// per thread (busy <= wall for each).
+  bool traced = false;
+  long long trace_spans = 0;
+  long long trace_dropped_spans = 0;
+  long long trace_open_spans = 0;
+  double trace_wall_ns = 0.0;
+  std::vector<double> trace_busy_ns;  ///< per worker thread
+  double trace_park_ns = 0.0;         ///< summed over threads
+  double trace_idle_ns = 0.0;         ///< summed over threads
+  long long trace_steal_attempts = 0;
+  long long trace_steal_successes = 0;
+  double trace_critical_ns = 0.0;  ///< measured critical path (kTaskDag)
 
   bool ok() const { return status == Status::kOk; }
 };

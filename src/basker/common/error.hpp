@@ -17,6 +17,7 @@ enum class Status {
                            ///< BaskerOptions::refactor_pivot_tol; from
                            ///< Basker::refactor() it means the transparent
                            ///< full re-pivoting fallback ran (factors valid)
+  kIoError,                ///< file output failed (Basker::dump_trace)
 };
 
 inline const char* to_string(Status s) {
@@ -27,6 +28,7 @@ inline const char* to_string(Status s) {
     case Status::kInvalidInput: return "invalid input";
     case Status::kNotFactored: return "not factored";
     case Status::kPivotGrowth: return "pivot growth (re-pivoted)";
+    case Status::kIoError: return "i/o error";
   }
   return "unknown";
 }

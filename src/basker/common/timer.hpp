@@ -1,9 +1,27 @@
-// Monotonic wall-clock timer for the bench harness.
+// Monotonic wall-clock timing, single-sourced: every duration in the
+// library — bench harness wall times, BaskerStats phase/sync clocks, and
+// the tracing subsystem's span timestamps (obs/trace.hpp) — comes from the
+// one steady clock below, so measurements from different layers compare on
+// the same timeline and can never jump backwards with the system clock.
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 
 namespace basker {
+
+namespace detail {
+using MonotonicClock = std::chrono::steady_clock;
+static_assert(MonotonicClock::is_steady,
+              "basker: timing requires a monotonic clock");
+}  // namespace detail
+
+/// Monotonic nanosecond timestamp (arbitrary epoch; differences only).
+inline std::int64_t monotonic_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             detail::MonotonicClock::now().time_since_epoch())
+      .count();
+}
 
 class WallTimer {
  public:
@@ -17,7 +35,7 @@ class WallTimer {
   }
 
  private:
-  using Clock = std::chrono::steady_clock;
+  using Clock = detail::MonotonicClock;
   Clock::time_point start_;
 };
 

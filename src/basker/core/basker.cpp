@@ -1,7 +1,11 @@
 // Basker facade: lifecycle, value scatter, timing.
 #include "basker/core/basker.hpp"
 
+#include <algorithm>
+#include <cstdint>
+
 #include "basker/common/timer.hpp"
+#include "basker/obs/trace_export.hpp"
 #include "basker/sparse/ops.hpp"
 
 namespace basker {
@@ -30,6 +34,12 @@ Basker::Basker(BaskerOptions opt) : opt_(opt) {
   ep_.init(nthreads_);
   ws_.resize(static_cast<size_t>(nthreads_));
   for (auto& ws : ws_) ws = std::make_unique<ThreadWs>();
+  if (opt_.trace) {
+    // Rings preallocated once here; every numeric run just resets the
+    // write cursors (no allocation anywhere near the hot path).
+    tracer_ = std::make_unique<obs::Tracer>(
+        nthreads_, std::max<Int>(1, opt_.trace_buffer_spans));
+  }
 }
 
 Basker::~Basker() = default;
@@ -48,10 +58,39 @@ Status Basker::numeric(const Csc& a) {
                  "basker: numeric pattern mismatch");
   factored_ = false;
   WallTimer timer;
+  std::int64_t trace_t0 = 0;
+  if (tracer_) {
+    tracer_->begin_run();  // each numeric pass owns the rings (PER-RUN)
+    trace_t0 = tracer_->now_ns();
+  }
   scatter_values(a);
   const Status s = run_numeric();
   stats_.factor_seconds = timer.seconds();
+  if (tracer_) {
+    // The run bracket closes after the team joined, so the summary's wall
+    // clock bounds every per-thread figure. A refactor() replay brackets
+    // under the distinct kRunRefactor name (stats-semantics satellite);
+    // its transparent full-numeric fallback runs with refactor_replay_
+    // off and so brackets as a plain numeric pass — correctly, since
+    // that IS the run that produced the live factors.
+    tracer_->record_external(refactor_replay_ ? obs::SpanKind::kRunRefactor
+                                              : obs::SpanKind::kRunNumeric,
+                             trace_t0, tracer_->now_ns());
+    stats_.trace = obs::summarize(*tracer_);
+    if (opt_.sync_mode == SyncMode::kTaskDag &&
+        stats_.trace.dropped_spans == 0) {
+      stats_.trace.critical_ns = dag_trace_critical_ns();
+    }
+  } else {
+    stats_.trace = obs::TraceSummary{};
+  }
   return s;
+}
+
+Status Basker::dump_trace(const std::string& path) const {
+  if (!tracer_) return Status::kInvalidInput;  // options().trace is off
+  return obs::write_chrome_trace(*tracer_, path) ? Status::kOk
+                                                 : Status::kIoError;
 }
 
 Status Basker::factor(const Csc& a) {

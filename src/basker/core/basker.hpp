@@ -27,11 +27,14 @@
 
 #include <atomic>
 #include <memory>
+#include <mutex>
+#include <string>
 #include <vector>
 
 #include "basker/core/options.hpp"
 #include "basker/core/paged.hpp"
 #include "basker/core/structure.hpp"
+#include "basker/obs/trace.hpp"
 #include "basker/sched/scheduler.hpp"
 #include "basker/sched/task_graph.hpp"
 #include "basker/sparse/csc.hpp"
@@ -74,6 +77,14 @@ class Basker {
   /// Solve A x = b in place.
   Status solve(std::vector<Scalar>& b) const;
 
+  /// Write the last traced execution as Chrome trace-event JSON, loadable
+  /// in Perfetto / chrome://tracing (README "Profiling a run"). The file
+  /// reflects the most recent numeric()/refactor() pass (each pass resets
+  /// the rings) plus any solve() spans recorded since. Returns
+  /// Status::kInvalidInput when tracing is off (options().trace) and
+  /// Status::kIoError when the file cannot be written.
+  Status dump_trace(const std::string& path) const;
+
   const BaskerStats& stats() const { return stats_; }
   const BaskerOptions& options() const { return opt_; }
   /// Actual thread count: the request rounded down to a power of two under
@@ -100,6 +111,10 @@ class Basker {
   // kernels (arithmetic independent of the executing thread).
   Status run_numeric_dag();
   bool dag_execute(Int tid, Int task_id);
+  /// Measured critical path of the traced DAG execution: the heaviest
+  /// dependency chain through the recorded task spans along dag_'s edges,
+  /// in nanoseconds (0 when spans were dropped or tracing is off).
+  double dag_trace_critical_ns() const;
   bool dag_sep_update(NdPart& part, Int tid, Int d, Int j, Int chunk);
   bool dag_sep_assemble(NdPart& part, Int d, Int j);
   bool dag_sep_factor(NdPart& part, Int part_idx, Int tid, Int j);
@@ -116,10 +131,11 @@ class Basker {
   // factorization/solve arithmetic runs through dense panels, gathered
   // back into LuMatrix storage afterwards.
   void dense_diag_begin(DensePanel& p, const DiagFactor& dg, Int m);
-  Status dense_diag_factor_cols(DensePanel& p, Int c0, Int c1, double* flops);
+  Status dense_diag_factor_cols(Int tid, DensePanel& p, Int c0, Int c1,
+                                double* flops);
   void dense_diag_publish(const DensePanel& p, DiagFactor& dg);
-  void dense_lblk_solve_cols(DensePanel& x, const DensePanel& u, Int c0,
-                             Int c1, double* flops);
+  void dense_lblk_solve_cols(Int tid, DensePanel& x, const DensePanel& u,
+                             Int c0, Int c1, double* flops);
   Status factor_fine_block_dense(Int tid, Int blk);
   bool dag_sep_factor_dense(NdPart& part, Int tid, Int j);
   bool dag_tile_getrf_dense(NdPart& part, Int tid, Int j, Int t);
@@ -134,7 +150,11 @@ class Basker {
   void wait_epoch(Int tid, Int t, long long target);
 
   BaskerOptions opt_;
-  BaskerStats stats_;
+  /// Mutable for the const solve() path: solve-side stats (solves,
+  /// solve_seconds) are recorded under solve_mu_, which also makes the
+  /// documented concurrent-solve() usage race-free.
+  mutable BaskerStats stats_;
+  mutable std::mutex solve_mu_;
   Int nthreads_ = 1;
   /// Worker team: private by default, or a shared service team
   /// (options().team / options().share_team) that other instances may also
@@ -155,6 +175,12 @@ class Basker {
   /// numeric (re)factorization.
   sched::TaskGraph dag_;
   sched::Scheduler dag_sched_;
+  /// Task-level tracing (obs/trace.hpp): non-null only when
+  /// options().trace is on — every recording hook branches on this
+  /// pointer, so the whole subsystem costs one predictable branch when
+  /// off. Constructed once per instance (rings preallocated); numeric
+  /// runs reset it via begin_run().
+  std::unique_ptr<obs::Tracer> tracer_;
 
   bool analyzed_ = false;
   bool factored_ = false;

@@ -66,6 +66,11 @@ Status Basker::factor_fine_block(Int tid, Int blk) {
 void Basker::fine_btf_thread(Int tid) {
   for (Int blk : an_.fine_of_thread[tid]) {
     if (failed()) return;
+    // Span at the call site, not inside factor_fine_block: the body is
+    // shared with the task-DAG schedule, where dag_execute already wraps
+    // it as a kFineBlock task span.
+    obs::ScopedSpan span(tracer_.get(), tid, obs::SpanKind::kFineBlock, -1,
+                         blk);
     const Status s = factor_fine_block(tid, blk);
     if (s != Status::kOk) {
       fail(s);

@@ -92,7 +92,7 @@ void Basker::part_phase_leaves(NdPart& part, Int part_idx, Int tid, Int leaf) {
       gather_segment(part.asub, off + c, off, off + m,
                      [&](Int r, Scalar v) { pc[p.pos[r]] = v; });
     }
-    const Status s = dense_diag_factor_cols(p, 0, m, &extra_flops);
+    const Status s = dense_diag_factor_cols(tid, p, 0, m, &extra_flops);
     if (s != Status::kOk) {
       fail(s);
       ep_.signal(tid, LLONG_MAX / 2);
@@ -409,7 +409,7 @@ void Basker::part_block_column(NdPart& part, Int part_idx, Int tid, Int slevel) 
             for (Int r : ws.acc.pattern()) xc[r] = ws.acc.value(r);
           }
         }
-        const Status s = dense_diag_factor_cols(dp, c0, c1, &flops);
+        const Status s = dense_diag_factor_cols(tid, dp, c0, c1, &flops);
         if (s != Status::kOk) {
           fail(s);
           ep_.signal(tid, LLONG_MAX / 2);
@@ -417,7 +417,7 @@ void Basker::part_block_column(NdPart& part, Int part_idx, Int tid, Int slevel) 
         }
         for (size_t a = 0; a < part.anc[j].size(); ++a) {
           if (part.seg_size(part.anc[j][a]) == 0) continue;
-          dense_lblk_solve_cols(ws.xpanels[a], dp, c0, c1, &flops);
+          dense_lblk_solve_cols(tid, ws.xpanels[a], dp, c0, c1, &flops);
         }
         continue;
       }
@@ -633,7 +633,7 @@ void Basker::part_block_column_1d(NdPart& part, Int part_idx, Int tid, Int sleve
         Scalar* pc = dp.col(c);
         for (Int r : ws.acc.pattern()) pc[dp.pos[r]] = ws.acc.value(r);
       }
-      const Status s = dense_diag_factor_cols(dp, 0, jcols, &flops);
+      const Status s = dense_diag_factor_cols(tid, dp, 0, jcols, &flops);
       if (s != Status::kOk) {
         fail(s);
         ep_.signal(tid, LLONG_MAX / 2);
@@ -658,7 +658,7 @@ void Basker::part_block_column_1d(NdPart& part, Int part_idx, Int tid, Int sleve
           Scalar* xc = xp.col(c);
           for (Int r : ws.acc.pattern()) xc[r] = ws.acc.value(r);
         }
-        dense_lblk_solve_cols(xp, dp, 0, jcols, &flops);
+        dense_lblk_solve_cols(tid, xp, dp, 0, jcols, &flops);
         gather_panel_lblk(xp, lb);
       }
     }
@@ -729,10 +729,23 @@ void Basker::numeric_thread(Int tid) {
   // between consecutive barriers, so the tid-0 interval is the phase's
   // wall time. Workers never touch the stats.
   WallTimer phase_timer;
+  // Tracing mirrors the stats: thread 0 records one kPhase span per
+  // barrier-to-barrier interval (id = phase index, the same bucket
+  // phase_seconds accumulates into), and each thread wraps its own
+  // schedule bodies below — at the CALL SITES, because the bodies
+  // (factor_fine_block, part_phase_leaves) are shared with the task-DAG
+  // schedule, where dag_execute records them as task spans instead.
+  std::int64_t phase_t0 = tracer_ ? tracer_->now_ns() : 0;
   auto mark_phase = [&](Int phase) {
     if (tid == 0 && phase < static_cast<Int>(stats_.phase_seconds.size())) {
       stats_.phase_seconds[static_cast<size_t>(phase)] += phase_timer.seconds();
       phase_timer.reset();
+      if (tracer_) {
+        const std::int64_t now = tracer_->now_ns();
+        tracer_->rec(0).note_begin();
+        tracer_->rec(0).push(obs::SpanKind::kPhase, phase_t0, now, phase);
+        phase_t0 = now;
+      }
     }
   };
 
@@ -743,12 +756,18 @@ void Basker::numeric_thread(Int tid) {
   for (size_t pi = 0; pi < an_.parts.size(); ++pi) {
     NdPart& part = an_.parts[pi];
     if (part.nleaves == 1) {
-      if (tid == 0 && !failed()) part_single_leaf(part, static_cast<Int>(pi), 0);
+      if (tid == 0 && !failed()) {
+        obs::ScopedSpan span(tracer_.get(), tid, obs::SpanKind::kLeafFactor,
+                             -1, static_cast<Int>(pi));
+        part_single_leaf(part, static_cast<Int>(pi), 0);
+      }
       barrier_->arrive_and_wait();
       mark_phase(0);
       continue;
     }
     if (tid < part.nleaves && !failed()) {
+      obs::ScopedSpan span(tracer_.get(), tid, obs::SpanKind::kLeafFactor, -1,
+                           static_cast<Int>(pi), part.leaf_seg[tid]);
       part_phase_leaves(part, static_cast<Int>(pi), tid, part.leaf_seg[tid]);
     }
     barrier_->arrive_and_wait();
@@ -764,6 +783,12 @@ void Basker::numeric_thread(Int tid) {
       }
       barrier_->arrive_and_wait();
       if (tid < part.nleaves && !failed()) {
+        // One span per (thread, separator level): produce + pipeline wait
+        // + (for the owner) factor. Epoch-wait time is inside by design —
+        // sync_seconds splits it out (obs/trace.hpp on kStaticSepColumn).
+        obs::ScopedSpan span(tracer_.get(), tid,
+                             obs::SpanKind::kStaticSepColumn, -1,
+                             static_cast<Int>(pi), s);
         if (opt_.parallel_separators) {
           part_block_column(part, static_cast<Int>(pi), tid, s);
         } else {

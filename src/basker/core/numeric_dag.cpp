@@ -436,8 +436,34 @@ bool Basker::dag_tile_trsm(NdPart& part, Int tid, Int j, Int a, Int t) {
   return true;
 }
 
+// Task spans record the task's kind directly: obs::SpanKind's first eight
+// values mirror sched::TaskKind one to one, pinned here so a drift in
+// either enum is a compile error.
+static_assert(static_cast<int>(obs::SpanKind::kFineBlock) ==
+                  static_cast<int>(sched::TaskKind::kFineBlock) &&
+              static_cast<int>(obs::SpanKind::kLeafFactor) ==
+                  static_cast<int>(sched::TaskKind::kLeafFactor) &&
+              static_cast<int>(obs::SpanKind::kSepUpdate) ==
+                  static_cast<int>(sched::TaskKind::kSepUpdate) &&
+              static_cast<int>(obs::SpanKind::kSepAssemble) ==
+                  static_cast<int>(sched::TaskKind::kSepAssemble) &&
+              static_cast<int>(obs::SpanKind::kSepFactor) ==
+                  static_cast<int>(sched::TaskKind::kSepFactor) &&
+              static_cast<int>(obs::SpanKind::kTileGemm) ==
+                  static_cast<int>(sched::TaskKind::kTileGemm) &&
+              static_cast<int>(obs::SpanKind::kTileGetrf) ==
+                  static_cast<int>(sched::TaskKind::kTileGetrf) &&
+              static_cast<int>(obs::SpanKind::kTileTrsm) ==
+                  static_cast<int>(sched::TaskKind::kTileTrsm),
+              "obs::SpanKind task values must mirror sched::TaskKind");
+
 bool Basker::dag_execute(Int tid, Int task_id) {
   const sched::Task& t = dag_.task(task_id);
+  // One span per task, at the single point where every kind passes
+  // through; the dense-kernel sub-spans recorded deeper down nest inside
+  // it (and are excluded from busy accounting for exactly that reason).
+  obs::ScopedSpan span(tracer_.get(), tid, static_cast<obs::SpanKind>(t.kind),
+                       task_id, t.seg, t.target, t.chunk);
   switch (t.kind) {
     case sched::TaskKind::kFineBlock: {
       const Status s = factor_fine_block(tid, t.seg);
@@ -492,7 +518,7 @@ Status Basker::run_numeric_dag() {
   dag_sched_.run(
       dag_, *team_, opt_.backoff,
       [this](Int tid, Int task_id) { return dag_execute(tid, task_id); },
-      [this] { return failed(); }, &sstats);
+      [this] { return failed(); }, &sstats, tracer_.get());
   stats_.phase_seconds[0] = timer.seconds();
 
   stats_.dag_tasks = sstats.total_executed();
@@ -521,6 +547,53 @@ Status Basker::run_numeric_dag() {
   if (err != 0) return static_cast<Status>(err);
   factored_ = true;
   return Status::kOk;
+}
+
+double Basker::dag_trace_critical_ns() const {
+  if (!tracer_ || dag_.size() == 0) return 0.0;
+  const Int n = dag_.size();
+  // Gather each task's measured duration from the rings (task spans carry
+  // the task id; tasks never re-run within one pass, so last-write-wins is
+  // moot). A task with no surviving span contributes zero — the caller
+  // only asks when dropped_spans == 0, so in practice every executed task
+  // is here.
+  std::vector<double> dur(static_cast<size_t>(n), 0.0);
+  for (Int t = 0; t <= tracer_->nthreads(); ++t) {
+    const obs::TraceRecorder& rec = tracer_->rec(t);
+    for (Int i = 0; i < rec.size(); ++i) {
+      const obs::TraceSpan& sp = rec.span(i);
+      if (static_cast<int>(sp.kind) <
+              static_cast<int>(obs::SpanKind::kStaticSepColumn) &&
+          sp.id >= 0 && sp.id < n) {
+        dur[static_cast<size_t>(sp.id)] =
+            static_cast<double>(sp.t1_ns - sp.t0_ns);
+      }
+    }
+  }
+  // Longest finish time over the DAG in topological (Kahn) order: a
+  // task's start is the max finish of its dependencies — the measured
+  // counterpart of TaskGraph::critical_path_cols()'s column model.
+  std::vector<Int> indeg(static_cast<size_t>(n));
+  std::vector<Int> order;
+  order.reserve(static_cast<size_t>(n));
+  for (Int id = 0; id < n; ++id) {
+    indeg[static_cast<size_t>(id)] = dag_.task(id).ndeps;
+    if (indeg[static_cast<size_t>(id)] == 0) order.push_back(id);
+  }
+  std::vector<double> start(static_cast<size_t>(n), 0.0);
+  double best = 0.0;
+  for (size_t h = 0; h < order.size(); ++h) {
+    const Int id = order[h];
+    const double finish =
+        start[static_cast<size_t>(id)] + dur[static_cast<size_t>(id)];
+    best = std::max(best, finish);
+    for (const Int* s = dag_.succ_begin(id); s != dag_.succ_end(id); ++s) {
+      double& ss = start[static_cast<size_t>(*s)];
+      ss = std::max(ss, finish);
+      if (--indeg[static_cast<size_t>(*s)] == 0) order.push_back(*s);
+    }
+  }
+  return best;
 }
 
 }  // namespace basker

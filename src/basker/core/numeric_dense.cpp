@@ -38,8 +38,13 @@ void Basker::dense_diag_begin(DensePanel& p, const DiagFactor& dg, Int m) {
   }
 }
 
-Status Basker::dense_diag_factor_cols(DensePanel& p, Int c0, Int c1,
+Status Basker::dense_diag_factor_cols(Int tid, DensePanel& p, Int c0, Int c1,
                                       double* flops) {
+  // Per-kernel sub-span (nested inside the enclosing task/static span and
+  // excluded from busy accounting): feeds the per-block kernel times the
+  // tile/threshold tuning reads from trace_report.py.
+  obs::ScopedSpan span(tracer_.get(), tid, obs::SpanKind::kDenseGetrf, -1, c0,
+                       c1 - c0);
   PanelPivot pp;
   pp.pivot_tol = opt_.pivot_tol;
   pp.block = opt_.dense_tile;
@@ -61,8 +66,10 @@ void Basker::dense_diag_publish(const DensePanel& p, DiagFactor& dg) {
   dg.pinv = p.pos;
 }
 
-void Basker::dense_lblk_solve_cols(DensePanel& x, const DensePanel& u, Int c0,
-                                   Int c1, double* flops) {
+void Basker::dense_lblk_solve_cols(Int tid, DensePanel& x, const DensePanel& u,
+                                   Int c0, Int c1, double* flops) {
+  obs::ScopedSpan span(tracer_.get(), tid, obs::SpanKind::kDenseTrsm, -1, c0,
+                       c1 - c0);
   // X(:, c0:c1) <- X(:, c0:c1) U^{-1}-style solve given X(:, 0:c0) final:
   // first the deferred updates from the earlier columns (ascending t), then
   // the blocked solve of the trailing square sub-problem. Per element this
@@ -107,7 +114,7 @@ Status Basker::factor_fine_block_dense(Int tid, Int blk) {
     }
   }
   double flops = 0.0;
-  const Status s = dense_diag_factor_cols(p, 0, m, &flops);
+  const Status s = dense_diag_factor_cols(tid, p, 0, m, &flops);
   if (s != Status::kOk) return s;
   dense_diag_publish(p, f);
   ws.work[0] += flops;
@@ -144,7 +151,7 @@ bool Basker::dag_sep_factor_dense(NdPart& part, Int tid, Int j) {
     Scalar* pc = dp.col(c);
     for (Int r : ws.acc.pattern()) pc[dp.pos[r]] = ws.acc.value(r);
   }
-  const Status s = dense_diag_factor_cols(dp, 0, jcols, &flops);
+  const Status s = dense_diag_factor_cols(tid, dp, 0, jcols, &flops);
   if (s != Status::kOk) {
     fail(s);
     return false;
@@ -168,7 +175,7 @@ bool Basker::dag_sep_factor_dense(NdPart& part, Int tid, Int j) {
       Scalar* xc = xp.col(c);
       for (Int r : ws.acc.pattern()) xc[r] = ws.acc.value(r);
     }
-    dense_lblk_solve_cols(xp, dp, 0, jcols, &flops);
+    dense_lblk_solve_cols(tid, xp, dp, 0, jcols, &flops);
     gather_panel_lblk(xp, lb);
   }
   ws.work[part.seg_level[j]] += flops;
@@ -206,7 +213,7 @@ bool Basker::dag_tile_getrf_dense(NdPart& part, Int tid, Int j, Int t) {
     }
   }
   double flops = 0.0;
-  const Status s = dense_diag_factor_cols(dp, c0, c0 + tcols, &flops);
+  const Status s = dense_diag_factor_cols(tid, dp, c0, c0 + tcols, &flops);
   if (s != Status::kOk) {
     fail(s);
     return false;

@@ -11,6 +11,7 @@
 
 #include "basker/common/types.hpp"
 #include "basker/graph/nd.hpp"
+#include "basker/obs/trace.hpp"
 #include "basker/thread/backoff.hpp"
 
 namespace basker {
@@ -270,6 +271,27 @@ struct BaskerOptions {
   /// trusted).
   Scalar refactor_pivot_tol = 1e-6;
 
+  /// Task-level tracing (obs/trace.hpp, DESIGN.md §3.11): record per-thread
+  /// span timelines — task executions, steals, parks, phases — during every
+  /// numeric()/refactor()/solve() call. Off by default; when off every
+  /// hook in the hot path is a single branch on a null pointer. Turning it
+  /// on NEVER changes the factors (recording only reads the monotonic clock
+  /// and writes the calling thread's preallocated ring; bit-identity with
+  /// tracing off is pinned by tests/test_trace.cpp). Read the results via
+  /// BaskerStats::trace and Basker::dump_trace() (Chrome trace-event JSON,
+  /// loadable in Perfetto — see README "Profiling a run").
+  bool trace = false;
+
+  /// Capacity, in spans, of EACH per-thread trace ring (so the total
+  /// preallocation is (nthreads + 1) * trace_buffer_spans * 40 bytes).
+  /// Overflow keeps the newest spans, drops the oldest, and counts the loss
+  /// in TraceSummary::dropped_spans — never a realloc on the hot path.
+  /// Default 32768 spans (~1.3 MB per thread), comfortably above the span
+  /// count of any bench matrix in the suite. Must be positive when trace is
+  /// on; trace = true with trace_buffer_spans <= 0 is rejected by
+  /// symbolic() with Status::kInvalidInput (ignored when trace is off).
+  Int trace_buffer_spans = 1 << 15;
+
   /// Attach this instance to an externally owned persistent thread team
   /// instead of spawning a private one. The team must have
   /// size() >= granted_threads(sync_mode, nthreads); extra members idle
@@ -297,11 +319,12 @@ struct BaskerOptions {
 ///    and each numeric pass inside refactor() alike. This covers the factor
 ///    size/work/timing fields (nnz_lu, factor_flops, factor_seconds,
 ///    sync_seconds, pivot_growth, grow_events, work_per_thread_per_phase,
-///    phase_seconds) and ALL dag_* counters. After a refactor() whose
-///    replay was rejected by the growth monitor, the per-run fields
-///    describe the transparent full-numeric fallback pass (the run that
-///    produced the live factors), not the aborted replay.
-///  * CUMULATIVE since the last symbolic(): the refactor_* fields only.
+///    phase_seconds), ALL dag_* counters, and the `trace` summary. After a
+///    refactor() whose replay was rejected by the growth monitor, the
+///    per-run fields describe the transparent full-numeric fallback pass
+///    (the run that produced the live factors), not the aborted replay.
+///  * CUMULATIVE since the last symbolic(): the refactor_* fields and the
+///    solve-side counters (solves, solve_seconds) only.
 struct BaskerStats {
   Size nnz_lu = 0;            ///< |L+U| over all factored blocks (Table I column)
   double factor_flops = 0.0;  ///< numeric factorization flop count
@@ -329,6 +352,13 @@ struct BaskerStats {
   long long refactor_fallbacks = 0;  ///< of those, replays rejected by the
                                      ///< growth monitor (full numeric re-ran)
   double refactor_seconds = 0.0;     ///< total wall time inside refactor()
+
+  // -- solve() accounting. Cumulative since symbolic(), like refactor_*:
+  //    solve is called in bursts (one factorization, many right-hand
+  //    sides), so per-call overwrite would be useless. Guarded by an
+  //    internal mutex — concurrent solve() calls are legal. ---------------
+  long long solves = 0;         ///< solve() calls since analysis
+  double solve_seconds = 0.0;   ///< total wall time inside solve()
 
   double pivot_growth = 0.0;  ///< max|U| / max|A|: stability diagnostic
 
@@ -384,6 +414,15 @@ struct BaskerStats {
   /// tiled-vs-monolithic critical-path reduction from these.
   double dag_critical_cols = 0.0;
   double dag_total_cols = 0.0;
+
+  /// Aggregated trace of the last numeric execution (obs/trace.hpp;
+  /// enabled == false whenever BaskerOptions::trace is off). PER-RUN, like
+  /// the dag_* counters, and follows the same convention: the static
+  /// schedules leave the DAG-only fields (steal counters, critical_ns) at
+  /// zero. trace.critical_ns is the MEASURED heaviest dependency chain
+  /// through the executed task spans — the wall-clock counterpart of the
+  /// column-modeled dag_critical_cols above.
+  obs::TraceSummary trace;
 };
 
 }  // namespace basker

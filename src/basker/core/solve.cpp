@@ -2,6 +2,7 @@
 // inside an ND part, dependency-tree-ordered block triangular solves through
 // the 2D grid (forward pass pushes L-block contributions up the separator
 // tree, backward pass pulls U-block contributions down).
+#include "basker/common/timer.hpp"
 #include "basker/core/basker.hpp"
 #include "basker/lu/tri_solve.hpp"
 
@@ -64,6 +65,11 @@ void Basker::solve_nd_part(const NdPart& part, std::vector<Scalar>& y_local,
 Status Basker::solve(std::vector<Scalar>& rhs) const {
   if (!factored_) return Status::kNotFactored;
   BASKER_REQUIRE(static_cast<Int>(rhs.size()) == an_.n, "basker: rhs size");
+  // Phase-coverage satellite: solve is timed like numeric/refactor (same
+  // monotonic clock), accumulated cumulatively under solve_mu_ — solve()
+  // is const and documented safe to call concurrently.
+  WallTimer timer;
+  const std::int64_t trace_t0 = tracer_ ? tracer_->now_ns() : 0;
   const Int n = an_.n;
   std::vector<Scalar> y(static_cast<size_t>(n));
   for (Int i = 0; i < n; ++i) y[i] = rhs[an_.row_map[i]];
@@ -96,6 +102,17 @@ Status Basker::solve(std::vector<Scalar>& rhs) const {
     }
   }
   for (Int j = 0; j < n; ++j) rhs[an_.col_map[j]] = z[j];
+  if (tracer_) {
+    // External slot (internally mutex-guarded): solve runs on the
+    // caller's thread, not a team worker.
+    tracer_->record_external(obs::SpanKind::kRunSolve, trace_t0,
+                             tracer_->now_ns());
+  }
+  {
+    std::lock_guard<std::mutex> lock(solve_mu_);
+    ++stats_.solves;
+    stats_.solve_seconds += timer.seconds();
+  }
   return Status::kOk;
 }
 

@@ -109,6 +109,15 @@ bool valid_dag_options(const BaskerOptions& opt) {
   return true;
 }
 
+/// Reject a meaningless tracing configuration: an enabled tracer needs at
+/// least one span of ring capacity (obs/trace.hpp clamps defensively, but
+/// a non-positive request is caller error, not a size to guess). The knob
+/// is ignored entirely while trace is off, so only the enabled combination
+/// is an error.
+bool valid_trace_options(const BaskerOptions& opt) {
+  return !opt.trace || opt.trace_buffer_spans > 0;
+}
+
 /// Split `jcols` columns carrying `work` modeled flops into pieces of
 /// about `opt.dag_task_flops` each, floored at `wmin` columns per piece;
 /// returns the piece width. The shared rule behind both task-DAG grids
@@ -210,6 +219,7 @@ Status Basker::symbolic(const Csc& a) {
   BASKER_REQUIRE(a.nrows == a.ncols, "basker: square required");
   if (!valid_dag_options(opt_)) return Status::kInvalidInput;
   if (!valid_dense_options(opt_)) return Status::kInvalidInput;
+  if (!valid_trace_options(opt_)) return Status::kInvalidInput;
   // Hybrid dense selection is on unless the threshold is the > 1 all-sparse
   // ablation setting (options.hpp); a threshold of exactly 1.0 still tags
   // blocks the model predicts completely full.

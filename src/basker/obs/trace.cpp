@@ -1,0 +1,105 @@
+#include "basker/obs/trace.hpp"
+
+#include <algorithm>
+
+namespace basker::obs {
+
+const char* span_kind_name(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kFineBlock:
+      return "fine_block";
+    case SpanKind::kLeafFactor:
+      return "leaf_factor";
+    case SpanKind::kSepUpdate:
+      return "sep_update";
+    case SpanKind::kSepAssemble:
+      return "sep_assemble";
+    case SpanKind::kSepFactor:
+      return "sep_factor";
+    case SpanKind::kTileGemm:
+      return "tile_gemm";
+    case SpanKind::kTileGetrf:
+      return "tile_getrf";
+    case SpanKind::kTileTrsm:
+      return "tile_trsm";
+    case SpanKind::kStaticSepColumn:
+      return "static_sep_column";
+    case SpanKind::kDenseGetrf:
+      return "dense_getrf";
+    case SpanKind::kDenseTrsm:
+      return "dense_trsm";
+    case SpanKind::kPhase:
+      return "phase";
+    case SpanKind::kRunNumeric:
+      return "numeric";
+    case SpanKind::kRunRefactor:
+      return "refactor";
+    case SpanKind::kRunSolve:
+      return "solve";
+    case SpanKind::kSteal:
+      return "steal";
+    case SpanKind::kPark:
+      return "park";
+    case SpanKind::kIdle:
+      return "idle";
+  }
+  return "?";
+}
+
+bool is_busy_kind(SpanKind kind) {
+  // Task spans plus the static schedule's per-thread bodies. Dense
+  // sub-spans nest inside these and phases/run brackets overlap them, so
+  // neither may contribute to busy time.
+  return static_cast<int>(kind) <= static_cast<int>(SpanKind::kStaticSepColumn);
+}
+
+TraceSummary summarize(const Tracer& tracer) {
+  TraceSummary s;
+  s.enabled = true;
+  const Int nrec = tracer.nthreads() + 1;  // worker slots + external
+  s.kind_count.assign(static_cast<size_t>(kNumSpanKinds), 0);
+  s.kind_total_ns.assign(static_cast<size_t>(kNumSpanKinds), 0.0);
+  s.kind_max_ns.assign(static_cast<size_t>(kNumSpanKinds), 0.0);
+  s.busy_ns.assign(static_cast<size_t>(tracer.nthreads()), 0.0);
+  s.park_ns.assign(static_cast<size_t>(tracer.nthreads()), 0.0);
+  s.idle_ns.assign(static_cast<size_t>(tracer.nthreads()), 0.0);
+  s.steal_attempts.assign(static_cast<size_t>(tracer.nthreads()), 0);
+  s.steal_successes.assign(static_cast<size_t>(tracer.nthreads()), 0);
+
+  for (Int t = 0; t < nrec; ++t) {
+    const TraceRecorder& rec = tracer.rec(t);
+    const bool worker = t < tracer.nthreads();
+    s.spans += rec.completed();
+    s.dropped_spans += rec.dropped();
+    s.open_spans += rec.begun() - rec.completed();
+    if (worker) s.steal_attempts[static_cast<size_t>(t)] = rec.steal_attempts;
+    for (Int i = 0; i < rec.size(); ++i) {
+      const TraceSpan& sp = rec.span(i);
+      const size_t k = static_cast<size_t>(sp.kind);
+      const double dur = static_cast<double>(sp.t1_ns - sp.t0_ns);
+      ++s.kind_count[k];
+      s.kind_total_ns[k] += dur;
+      s.kind_max_ns[k] = std::max(s.kind_max_ns[k], dur);
+      if (worker) {
+        if (is_busy_kind(sp.kind)) {
+          s.busy_ns[static_cast<size_t>(t)] += dur;
+        } else if (sp.kind == SpanKind::kPark) {
+          s.park_ns[static_cast<size_t>(t)] += dur;
+        } else if (sp.kind == SpanKind::kIdle) {
+          s.idle_ns[static_cast<size_t>(t)] += dur;
+        } else if (sp.kind == SpanKind::kSteal) {
+          ++s.steal_successes[static_cast<size_t>(t)];
+        }
+      }
+    }
+  }
+  // The run bracket (kRunNumeric or kRunRefactor, recorded by the calling
+  // thread around the whole pass) is the wall clock every per-thread
+  // figure is bounded by; a summary taken mid-run (no bracket yet) falls
+  // back to zero and the consistency checks skip it.
+  s.wall_ns = s.kind_total_ns[static_cast<size_t>(SpanKind::kRunNumeric)] +
+              s.kind_total_ns[static_cast<size_t>(SpanKind::kRunRefactor)];
+  return s;
+}
+
+}  // namespace basker::obs

@@ -1,0 +1,298 @@
+// Task-level tracing (DESIGN.md §3.11): per-thread, preallocated span ring
+// buffers recording what every thread did when — task executions, scheduler
+// events (steals, parks, idle scans) and phase boundaries — against the
+// single monotonic clock of common/timer.hpp.
+//
+// Design constraints, in order:
+//  * Determinism. Recording must not be able to change the factors: a
+//    recorder only reads the clock and writes fixed-size records into its
+//    OWN preallocated buffer. No allocation, no locking, no shared mutable
+//    state on the recording path — nothing that could reorder the numeric
+//    kernels' floating-point arithmetic. Factors are bit-identical with
+//    tracing on vs. off (tests/test_trace.cpp pins this across schedules
+//    and team sizes).
+//  * Cheap when off. Tracing is compiled in always and enabled per instance
+//    (BaskerOptions::trace); every hot-path hook is one branch on a pointer
+//    that is null when tracing is off.
+//  * Bounded when on. Each ring holds BaskerOptions::trace_buffer_spans
+//    records; overflow drops the OLDEST spans (the ring keeps the newest)
+//    and counts them in dropped_spans. Never a realloc on the hot path.
+//
+// Thread-safety model: recorder t is written only by thread t of the team
+// dispatch; the extra "external" recorder (index nthreads) is written by
+// caller threads — numeric()'s run phases and solve() spans — under the
+// Tracer's external mutex, because concurrent solve() calls are documented
+// legal. Summaries and exports read the buffers only after the team run
+// joined (happens-before via the team barrier), so the per-thread rings
+// need no atomics.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "basker/common/timer.hpp"
+#include "basker/common/types.hpp"
+
+namespace basker::obs {
+
+/// What a span (or instant event) measured. The first eight values mirror
+/// sched::TaskKind one to one (task spans under SyncMode::kTaskDag record
+/// the task's kind directly); the rest cover the static schedule, the
+/// nested dense-kernel sub-spans, phase/run brackets, and scheduler events.
+enum class SpanKind : std::uint8_t {
+  // -- Task-DAG task spans (== sched::TaskKind values; busy time). --------
+  kFineBlock = 0,
+  kLeafFactor,
+  kSepUpdate,
+  kSepAssemble,
+  kSepFactor,
+  kTileGemm,
+  kTileGetrf,
+  kTileTrsm,
+  // -- Static-schedule busy spans. kFineBlock/kLeafFactor above are reused
+  //    for the static fine-BTF and leaf bodies (same arithmetic, same
+  //    meaning); a thread's whole participation in one separator block
+  //    column — produce, wait, and (for the owner) factor — is one span,
+  //    so epoch-wait time is inside it by design (sync_seconds splits it
+  //    out). -----------------------------------------------------------
+  kStaticSepColumn,
+  // -- Dense-panel kernel sub-spans (DESIGN.md §3.10), nested INSIDE the
+  //    task/static spans above — excluded from busy accounting to avoid
+  //    double counting; they feed per-kernel time for tile tuning. -------
+  kDenseGetrf,
+  kDenseTrsm,
+  // -- Phase / run brackets. kPhase: thread 0's static-schedule barrier
+  //    intervals (id = phase index, matching BaskerStats::phase_seconds).
+  //    kRunNumeric/kRunRefactor: the whole numeric pass, recorded on the
+  //    external slot by the calling thread — a refactor() replay brackets
+  //    its spans under the distinct kRunRefactor name. kRunSolve: one
+  //    solve() call (external slot, mutex-guarded; legal concurrently). --
+  kPhase,
+  kRunNumeric,
+  kRunRefactor,
+  kRunSolve,
+  // -- Scheduler events (sched/scheduler.cpp). kSteal is an instant event
+  //    (t0 == t1) recording a successful steal: id = the stolen task,
+  //    a = the victim thread. Failed steal scans are only counted
+  //    (TraceRecorder::steal_attempts), not recorded — a spinning idler
+  //    would flood the ring with no information. kPark brackets one
+  //    ParkingLot park; kIdle brackets one no-work episode (park spans
+  //    nest inside idle spans, so park_ns <= idle_ns per thread). --------
+  kSteal,
+  kPark,
+  kIdle,
+};
+inline constexpr int kNumSpanKinds =
+    static_cast<int>(SpanKind::kIdle) + 1;
+
+/// Export/report name for a kind ("sep_factor", "steal", ...).
+const char* span_kind_name(SpanKind kind);
+
+/// One recorded span (or instant event, t0 == t1). 40 bytes; the id/a/b/c
+/// payload is kind-specific: task spans carry (task id, seg, target,
+/// chunk), dense sub-spans (-1, first column, width, -1), steals (task,
+/// victim, -1, -1), phases (phase index, -1, -1, -1).
+struct TraceSpan {
+  std::int64_t t0_ns = 0;
+  std::int64_t t1_ns = 0;
+  Int id = -1;
+  Int a = -1;
+  Int b = -1;
+  Int c = -1;
+  SpanKind kind = SpanKind::kFineBlock;
+};
+
+/// One thread's span ring. Preallocated by init(); push() writes
+/// ring[total % capacity], so overflow silently overwrites the OLDEST
+/// record and dropped() reports how many were lost. Single-writer: only
+/// the owning thread pushes (see the file comment for the external slot's
+/// mutex).
+class TraceRecorder {
+ public:
+  void init(Int capacity) {
+    ring_.assign(static_cast<size_t>(capacity < 1 ? 1 : capacity), TraceSpan{});
+    reset();
+  }
+  void reset() {
+    total_ = 0;
+    begun_ = 0;
+    steal_attempts = 0;
+  }
+
+  void push(SpanKind kind, std::int64_t t0_ns, std::int64_t t1_ns, Int id = -1,
+            Int a = -1, Int b = -1, Int c = -1) {
+    TraceSpan& s = ring_[static_cast<size_t>(total_) % ring_.size()];
+    s.kind = kind;
+    s.t0_ns = t0_ns;
+    s.t1_ns = t1_ns;
+    s.id = id;
+    s.a = a;
+    s.b = b;
+    s.c = c;
+    ++total_;
+  }
+  /// Span-accounting hook: ScopedSpan announces the open span here, so
+  /// begun() - completed() counts spans that never closed (0 in any clean
+  /// run — the RAII close runs on every exit path short of a crash).
+  void note_begin() { ++begun_; }
+
+  long long completed() const { return total_; }
+  long long begun() const { return begun_; }
+  long long dropped() const {
+    const long long cap = static_cast<long long>(ring_.size());
+    return total_ > cap ? total_ - cap : 0;
+  }
+  Int size() const {
+    const long long cap = static_cast<long long>(ring_.size());
+    return static_cast<Int>(total_ < cap ? total_ : cap);
+  }
+  /// Retained span `i` in oldest-first order (i in [0, size())).
+  const TraceSpan& span(Int i) const {
+    const long long cap = static_cast<long long>(ring_.size());
+    const long long first = total_ > cap ? total_ - cap : 0;
+    return ring_[static_cast<size_t>(first + i) % ring_.size()];
+  }
+
+  /// Failed steal scans (counted, not recorded; see SpanKind::kSteal).
+  long long steal_attempts = 0;
+
+ private:
+  std::vector<TraceSpan> ring_;
+  long long total_ = 0;  ///< pushes ever; dropped = total - capacity when over
+  long long begun_ = 0;
+};
+
+/// Aggregated per-run view of one trace, folded into BaskerStats::trace
+/// (PER-RUN semantics: each numeric execution overwrites it, and the static
+/// schedule leaves the DAG-only fields — steal counters, critical_ns — at
+/// zero, matching the dag_* stats convention).
+struct TraceSummary {
+  bool enabled = false;       ///< false => every other field is zero
+  long long spans = 0;        ///< spans recorded (retained + dropped)
+  long long dropped_spans = 0;  ///< lost to ring overflow (oldest-first)
+  long long open_spans = 0;   ///< begun but never closed (0 in a clean run)
+  double wall_ns = 0.0;       ///< run bracket duration (kRunNumeric/kRunRefactor)
+  /// Per SpanKind (indexed by static_cast<size_t>(kind), size
+  /// kNumSpanKinds): count / total / max duration. Instant events count
+  /// with zero duration.
+  std::vector<long long> kind_count;
+  std::vector<double> kind_total_ns;
+  std::vector<double> kind_max_ns;
+  /// Per worker thread: busy time (task + static-schedule spans; dense
+  /// sub-spans excluded — they nest inside), park time and idle time
+  /// (park_ns <= idle_ns, parks nest inside idle episodes), and the
+  /// steal attempt/success counters.
+  std::vector<double> busy_ns;
+  std::vector<double> park_ns;
+  std::vector<double> idle_ns;
+  std::vector<long long> steal_attempts;
+  std::vector<long long> steal_successes;
+  /// Measured critical path: the heaviest dependency chain through the
+  /// recorded task spans along the task graph's edges, in nanoseconds —
+  /// the measured counterpart of the column-modeled
+  /// BaskerStats::dag_critical_cols. 0 under the static schedule (no
+  /// task DAG) and when task spans were dropped to overflow.
+  double critical_ns = 0.0;
+
+  double total_busy_ns() const {
+    double s = 0.0;
+    for (double b : busy_ns) s += b;
+    return s;
+  }
+  long long total_steal_attempts() const {
+    long long s = 0;
+    for (long long a : steal_attempts) s += a;
+    return s;
+  }
+  long long total_steal_successes() const {
+    long long s = 0;
+    for (long long a : steal_successes) s += a;
+    return s;
+  }
+};
+
+/// True for kinds whose spans count as per-thread busy time.
+bool is_busy_kind(SpanKind kind);
+
+/// Owner of the per-thread recorders for one Basker instance. Constructed
+/// only when BaskerOptions::trace is on; every hook checks the owning
+/// pointer for null first, so the whole subsystem costs one branch when
+/// off.
+class Tracer {
+ public:
+  Tracer(Int nthreads, Int buffer_spans) : nthreads_(nthreads) {
+    recorders_.resize(static_cast<size_t>(nthreads) + 1);
+    for (auto& r : recorders_) r.init(buffer_spans);
+    epoch_ns_ = monotonic_ns();
+  }
+
+  /// Nanoseconds since construction, from the shared monotonic clock.
+  std::int64_t now_ns() const { return monotonic_ns() - epoch_ns_; }
+
+  Int nthreads() const { return nthreads_; }
+
+  /// Worker thread t's recorder (t in [0, nthreads)); index nthreads is
+  /// the external caller slot — use record_external() for it instead.
+  TraceRecorder& rec(Int tid) { return recorders_[static_cast<size_t>(tid)]; }
+  const TraceRecorder& rec(Int tid) const {
+    return recorders_[static_cast<size_t>(tid)];
+  }
+
+  /// Record a span from a caller (non-team) thread. Mutex-guarded:
+  /// concurrent solve() calls are legal and each records a kRunSolve span.
+  void record_external(SpanKind kind, std::int64_t t0_ns, std::int64_t t1_ns,
+                       Int id = -1) {
+    std::lock_guard<std::mutex> lock(external_mu_);
+    TraceRecorder& r = recorders_[static_cast<size_t>(nthreads_)];
+    r.note_begin();
+    r.push(kind, t0_ns, t1_ns, id);
+  }
+
+  /// Reset every ring for a new numeric run (single-threaded: called by
+  /// the facade before the team is dispatched).
+  void begin_run() {
+    for (auto& r : recorders_) r.reset();
+  }
+
+ private:
+  Int nthreads_;
+  std::int64_t epoch_ns_ = 0;
+  std::vector<TraceRecorder> recorders_;  ///< [nthreads] = external slot
+  std::mutex external_mu_;
+};
+
+/// Aggregate the tracer's current buffers (critical_ns is left 0 — the
+/// task-DAG path fills it from the graph, see Basker::numeric()).
+TraceSummary summarize(const Tracer& tracer);
+
+/// RAII span: reads the clock at construction and records on destruction
+/// into the recorder for `tid`. A null tracer makes both ends a single
+/// branch — the "off" cost of every hook.
+class ScopedSpan {
+ public:
+  ScopedSpan(Tracer* tracer, Int tid, SpanKind kind, Int id = -1, Int a = -1,
+             Int b = -1, Int c = -1)
+      : tracer_(tracer), tid_(tid), kind_(kind), id_(id), a_(a), b_(b), c_(c) {
+    if (tracer_ != nullptr) {
+      tracer_->rec(tid_).note_begin();
+      t0_ = tracer_->now_ns();
+    }
+  }
+  ~ScopedSpan() {
+    if (tracer_ != nullptr) {
+      tracer_->rec(tid_).push(kind_, t0_, tracer_->now_ns(), id_, a_, b_, c_);
+    }
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  Tracer* tracer_;
+  Int tid_;
+  SpanKind kind_;
+  Int id_, a_, b_, c_;
+  std::int64_t t0_ = 0;
+};
+
+}  // namespace basker::obs

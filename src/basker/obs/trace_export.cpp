@@ -1,0 +1,122 @@
+#include "basker/obs/trace_export.hpp"
+
+#include <cstdio>
+#include <string>
+
+#include "basker/obs/trace.hpp"
+
+namespace basker::obs {
+namespace {
+
+// obs sits below bench_support, so the export hand-rolls its JSON rather
+// than reuse the bench harness's JsonValue writer. Timestamps go out in
+// microseconds (the trace-event unit) with nanosecond precision kept in
+// the fraction.
+
+void append_f(std::string& out, const char* fmt, long long v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), fmt, v);
+  out += buf;
+}
+
+void append_us(std::string& out, std::int64_t ns) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%lld.%03lld",
+                static_cast<long long>(ns / 1000),
+                static_cast<long long>(ns % 1000));
+  out += buf;
+}
+
+void append_args(std::string& out, const TraceSpan& s) {
+  out += "\"args\":{";
+  if (is_busy_kind(s.kind) && s.kind != SpanKind::kStaticSepColumn) {
+    append_f(out, "\"task\":%lld", s.id);
+    append_f(out, ",\"seg\":%lld", s.a);
+    append_f(out, ",\"target\":%lld", s.b);
+    append_f(out, ",\"chunk\":%lld", s.c);
+  } else if (s.kind == SpanKind::kStaticSepColumn) {
+    append_f(out, "\"part\":%lld", s.a);
+    append_f(out, ",\"sep\":%lld", s.b);
+  } else if (s.kind == SpanKind::kDenseGetrf || s.kind == SpanKind::kDenseTrsm) {
+    append_f(out, "\"col0\":%lld", s.a);
+    append_f(out, ",\"ncols\":%lld", s.b);
+  } else if (s.kind == SpanKind::kSteal) {
+    append_f(out, "\"task\":%lld", s.id);
+    append_f(out, ",\"victim\":%lld", s.a);
+  } else if (s.kind == SpanKind::kPhase) {
+    append_f(out, "\"phase\":%lld", s.id);
+  } else {
+    append_f(out, "\"id\":%lld", s.id);
+  }
+  out += "}";
+}
+
+void append_thread_events(std::string& out, const TraceRecorder& rec, Int tid,
+                          bool* first) {
+  for (Int i = 0; i < rec.size(); ++i) {
+    const TraceSpan& s = rec.span(i);
+    if (!*first) out += ",\n";
+    *first = false;
+    if (s.kind == SpanKind::kSteal) {
+      out += "{\"name\":\"steal\",\"ph\":\"i\",\"s\":\"t\",\"pid\":0,";
+      append_f(out, "\"tid\":%lld,", tid);
+      out += "\"ts\":";
+      append_us(out, s.t0_ns);
+      out += ",";
+    } else {
+      out += "{\"name\":\"";
+      out += span_kind_name(s.kind);
+      out += "\",\"ph\":\"X\",\"pid\":0,";
+      append_f(out, "\"tid\":%lld,", tid);
+      out += "\"ts\":";
+      append_us(out, s.t0_ns);
+      out += ",\"dur\":";
+      append_us(out, s.t1_ns - s.t0_ns);
+      out += ",";
+    }
+    append_args(out, s);
+    out += "}";
+  }
+}
+
+}  // namespace
+
+std::string chrome_trace_json(const Tracer& tracer) {
+  std::string out;
+  out.reserve(4096);
+  out += "{\"traceEvents\":[\n";
+  bool first = true;
+  // Lane names first: worker lanes 0..p-1, then the external caller lane.
+  for (Int t = 0; t <= tracer.nthreads(); ++t) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,";
+    append_f(out, "\"tid\":%lld,", t);
+    out += "\"args\":{\"name\":\"";
+    if (t < tracer.nthreads()) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "worker %lld", static_cast<long long>(t));
+      out += buf;
+    } else {
+      out += "caller";
+    }
+    out += "\"}}";
+  }
+  for (Int t = 0; t <= tracer.nthreads(); ++t) {
+    append_thread_events(out, tracer.rec(t), t, &first);
+  }
+  out += "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+bool write_chrome_trace(const Tracer& tracer, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string json = chrome_trace_json(tracer);
+  const size_t wrote = std::fwrite(json.data(), 1, json.size(), f);
+  const bool ok = wrote == json.size() && std::fclose(f) == 0;
+  if (!ok && wrote != json.size()) std::fclose(f);
+  return ok;
+}
+
+}  // namespace basker::obs

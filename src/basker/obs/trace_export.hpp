@@ -1,0 +1,22 @@
+// Chrome trace-event export for obs/trace.hpp recordings. The emitted JSON
+// is the {"traceEvents": [...]} array format that Perfetto and
+// chrome://tracing load directly: one "X" (complete) event per retained
+// span with microsecond ts/dur, one "i" (instant) event per successful
+// steal, and "M" (metadata) events naming each thread lane. The exporter
+// runs strictly after the team joined, so it reads the rings without
+// synchronization.
+#pragma once
+
+#include <string>
+
+namespace basker::obs {
+
+class Tracer;
+
+/// Serialize every retained span as Chrome trace-event JSON.
+std::string chrome_trace_json(const Tracer& tracer);
+
+/// Write chrome_trace_json() to `path`. Returns false on I/O failure.
+bool write_chrome_trace(const Tracer& tracer, const std::string& path);
+
+}  // namespace basker::obs

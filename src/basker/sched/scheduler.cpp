@@ -1,6 +1,9 @@
 #include "basker/sched/scheduler.hpp"
 
+#include <cstdint>
+
 #include "basker/common/error.hpp"
+#include "basker/obs/trace.hpp"
 
 namespace basker::sched {
 
@@ -28,7 +31,8 @@ void Scheduler::prepare(const TaskGraph& graph, Int nthreads) {
 void Scheduler::run(const TaskGraph& graph, ThreadTeam& team,
                     const BackoffPolicy& backoff,
                     const std::function<bool(Int, Int)>& execute,
-                    const std::function<bool()>& aborted, SchedulerStats* stats) {
+                    const std::function<bool()>& aborted, SchedulerStats* stats,
+                    obs::Tracer* tracer) {
   BASKER_REQUIRE(nthreads_ >= 1 && nthreads_ <= team.size(),
                  "Scheduler: prepare() team mismatch");
   BASKER_REQUIRE(graph.size() <= npending_, "Scheduler: prepare() graph mismatch");
@@ -43,7 +47,9 @@ void Scheduler::run(const TaskGraph& graph, ThreadTeam& team,
     stats->steals.assign(static_cast<size_t>(nthreads_), 0);
   }
   team.run([&](Int tid) {
-    if (tid < nthreads_) worker(graph, tid, backoff, execute, aborted, stats);
+    if (tid < nthreads_) {
+      worker(graph, tid, backoff, execute, aborted, stats, tracer);
+    }
   });
 }
 
@@ -51,7 +57,7 @@ void Scheduler::worker(const TaskGraph& graph, Int tid,
                        const BackoffPolicy& backoff,
                        const std::function<bool(Int, Int)>& execute,
                        const std::function<bool()>& aborted,
-                       SchedulerStats* stats) {
+                       SchedulerStats* stats, obs::Tracer* tracer) {
   WorkDeque& mine = *deques_[static_cast<size_t>(tid)];
   const std::vector<Int>& victims = victims_[static_cast<size_t>(tid)];
 
@@ -65,25 +71,47 @@ void Scheduler::worker(const TaskGraph& graph, Int tid,
 
   Backoff idle(backoff);
   Int task = kInvalid;
+  // Tracing (obs/trace.hpp): one kIdle span brackets each contiguous
+  // no-work episode (open span tracked by idle_t0 >= 0), kPark spans nest
+  // inside it, and each steal probe counts an attempt with successes
+  // recorded as instants. Everything writes only this thread's own ring.
+  std::int64_t idle_t0 = -1;
   while (remaining_.load(std::memory_order_acquire) > 0 && !aborted()) {
     bool got = mine.pop(task);
     if (!got) {
       for (Int v : victims) {
+        if (tracer != nullptr) ++tracer->rec(tid).steal_attempts;
         if (deques_[static_cast<size_t>(v)]->steal(task)) {
           got = true;
           if (stats != nullptr) ++stats->steals[static_cast<size_t>(tid)];
+          if (tracer != nullptr) {
+            const std::int64_t now = tracer->now_ns();
+            tracer->rec(tid).note_begin();
+            tracer->rec(tid).push(obs::SpanKind::kSteal, now, now, task, v);
+          }
           break;
         }
       }
     }
     if (!got) {
+      if (tracer != nullptr && idle_t0 < 0) {
+        tracer->rec(tid).note_begin();
+        idle_t0 = tracer->now_ns();
+      }
       // Queues ran dry: escalate through the configured wait strategy.
       if (!idle.step()) continue;
       // Predicate-free park: a producer's notify means "work may exist",
       // which no predicate can evaluate without racing the deques — the
       // outer loop re-scans after waking.
-      lot_.park(backoff.park_micros);
+      {
+        obs::ScopedSpan park(tracer, tid, obs::SpanKind::kPark);
+        lot_.park(backoff.park_micros);
+      }
       continue;
+    }
+    if (tracer != nullptr && idle_t0 >= 0) {
+      tracer->rec(tid).push(obs::SpanKind::kIdle, idle_t0, tracer->now_ns());
+      idle_t0 = -1;
     }
     idle.reset();
 
@@ -108,6 +136,10 @@ void Scheduler::worker(const TaskGraph& graph, Int tid,
     if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       lot_.notify_if_parked();  // last task: release every parked idler to exit
     }
+  }
+  if (tracer != nullptr && idle_t0 >= 0) {
+    // Close the trailing no-work episode (threads that drain out idle).
+    tracer->rec(tid).push(obs::SpanKind::kIdle, idle_t0, tracer->now_ns());
   }
 }
 

@@ -32,6 +32,10 @@
 #include "basker/thread/backoff.hpp"
 #include "basker/thread/team.hpp"
 
+namespace basker::obs {
+class Tracer;
+}
+
 namespace basker::sched {
 
 /// Per-run execution counters (see BaskerStats::dag_*).
@@ -62,15 +66,21 @@ class Scheduler {
   /// failure; `aborted()` is polled by idle and between-task threads, and
   /// a true return drains the run without executing further tasks (the
   /// caller flags failures through its own error channel, exactly like the
-  /// static schedule's fail()). Fills `stats` when non-null.
+  /// static schedule's fail()). Fills `stats` when non-null. A non-null
+  /// `tracer` additionally records scheduler events — steal
+  /// attempts/successes, park and idle episodes — into the per-thread
+  /// rings (obs/trace.hpp); task spans themselves are recorded by the
+  /// caller inside `execute`, where the task kind is known.
   void run(const TaskGraph& graph, ThreadTeam& team, const BackoffPolicy& backoff,
            const std::function<bool(Int, Int)>& execute,
-           const std::function<bool()>& aborted, SchedulerStats* stats);
+           const std::function<bool()>& aborted, SchedulerStats* stats,
+           obs::Tracer* tracer = nullptr);
 
  private:
   void worker(const TaskGraph& graph, Int tid, const BackoffPolicy& backoff,
               const std::function<bool(Int, Int)>& execute,
-              const std::function<bool()>& aborted, SchedulerStats* stats);
+              const std::function<bool()>& aborted, SchedulerStats* stats,
+              obs::Tracer* tracer);
 
   /// One dependency counter, padded to a cache line. Column-chunked update
   /// tasks give a join node (separator factor / assemble) many producers

@@ -132,6 +132,11 @@ TEST(FuzzDifferential, StaticVsTaskDagRandomizedSweep) {
       opt.nthreads = static_p;
       opt.dense_fill_threshold = dense_thr;
       opt.dense_tile = pick(rng, {64, 1, 7, 1 << 20});
+      // Tracing redrawn per RUN like the grids: recording must never
+      // change a bit, even with rings tiny enough to overflow mid-run
+      // (DESIGN.md §3.11).
+      opt.trace = pick(rng, {0, 1}) != 0;
+      opt.trace_buffer_spans = pick(rng, {1 << 15, 64});
       Basker solver(opt);
       ASSERT_EQ(solver.factor(a), Status::kOk) << "static schedule failed";
       std::vector<Scalar> x = rhs;
@@ -159,6 +164,10 @@ TEST(FuzzDifferential, StaticVsTaskDagRandomizedSweep) {
       opt.dag_tile_cols_min = pick(rng, {2, 8, 32});
       opt.dense_fill_threshold = dense_thr;
       opt.dense_tile = pick(rng, {64, 1, 7, 1 << 20});
+      // Tracing varies BETWEEN the DAG runs that must agree bitwise — the
+      // strongest form of the tracing-is-invisible contract.
+      opt.trace = pick(rng, {0, 1}) != 0;
+      opt.trace_buffer_spans = pick(rng, {1 << 15, 64});
       Basker solver(opt);
       ASSERT_EQ(solver.nthreads(), p) << "kTaskDag must grant p verbatim";
       ASSERT_EQ(solver.factor(a), Status::kOk)
@@ -179,7 +188,9 @@ TEST(FuzzDifferential, StaticVsTaskDagRandomizedSweep) {
             << " chunk_cols_min=" << solver.options().dag_chunk_cols_min
             << " tile_cols=" << solver.options().dag_tile_cols
             << " tile_cols_min=" << solver.options().dag_tile_cols_min
-            << " dense_tile=" << solver.options().dense_tile;
+            << " dense_tile=" << solver.options().dense_tile
+            << " trace=" << solver.options().trace
+            << " trace_buffer_spans=" << solver.options().trace_buffer_spans;
       }
       ASSERT_EQ(solver.refactor(a), Status::kOk);
       ASSERT_TRUE(expected == digest_factors(solver))

@@ -314,6 +314,66 @@ TEST(SchedulerOversubscribed, FourTimesHardwareCoresWithParkBackoff) {
   EXPECT_EQ(solver.stats().dag_tasks, serial.stats().dag_tasks);
 }
 
+TEST(SchedulerOversubscribed, TracingUnderContentionStaysBalancedAndExact) {
+  // Observability stress (DESIGN.md §3.11), written for the TSan
+  // configuration like the rest of this file: an oversubscribed condvar-
+  // parked team with tracing ON and rings tiny enough to overflow while
+  // the scheduler is concurrently pushing steal/park/idle events. The
+  // recorders are strictly per-thread, so TSan passing here is the proof
+  // of the "no shared mutable state on the recording path" claim; the
+  // digest check is the proof that contention + tracing still changes
+  // nothing. Concurrent solve() calls hammer the mutex-guarded external
+  // slot at the same time.
+  const Int p = std::min<Int>(8, 4 * hardware_cpus());
+  const Csc a = gen::scramble(gen::mesh2d(28, 28, 0.2, 4), 4);
+
+  BaskerOptions opt;
+  opt.sync_mode = SyncMode::kTaskDag;
+  opt.nthreads = 1;
+  opt.dag_task_flops = 1.0;
+  opt.dag_min_leaf_rows = 8;
+  opt.dag_chunk_cols_min = 2;
+  Basker serial(opt);
+  ASSERT_EQ(serial.factor(a), Status::kOk);
+  const testutil::FactorDigest expected = testutil::digest_factors(serial);
+
+  opt.nthreads = p;
+  opt.backoff.spin = 0;
+  opt.backoff.yield = 0;
+  opt.backoff.park = ParkMode::kCondvar;
+  opt.backoff.park_micros = 50;
+  opt.trace = true;
+  opt.trace_buffer_spans = 32;  // overflow under load, never realloc
+  Basker solver(opt);
+  ASSERT_EQ(solver.factor(a), Status::kOk);
+  EXPECT_TRUE(expected == testutil::digest_factors(solver))
+      << "traced oversubscribed run diverged from untraced serial";
+
+  const std::vector<Scalar> rhs = gen::random_rhs(a.ncols, 99);
+  for (int rep = 0; rep < 3; ++rep) {
+    ASSERT_EQ(solver.refactor(a), Status::kOk) << "rep " << rep;
+    EXPECT_TRUE(expected == testutil::digest_factors(solver))
+        << "traced refactor rep " << rep << " diverged";
+    const obs::TraceSummary& ts = solver.stats().trace;
+    ASSERT_TRUE(ts.enabled);
+    EXPECT_EQ(ts.open_spans, 0) << "rep " << rep;
+    EXPECT_GT(ts.spans, 0) << "rep " << rep;
+    // Concurrent solves: documented legal, each records a kRunSolve span
+    // on the external slot under the tracer's mutex.
+    std::vector<std::thread> solvers;
+    std::atomic<int> bad{0};
+    for (int s = 0; s < 4; ++s) {
+      solvers.emplace_back([&] {
+        std::vector<Scalar> x = rhs;
+        if (solver.solve(x) != Status::kOk) bad.fetch_add(1);
+      });
+    }
+    for (auto& t : solvers) t.join();
+    EXPECT_EQ(bad.load(), 0);
+  }
+  EXPECT_EQ(solver.stats().solves, 12) << "solve ledger is cumulative";
+}
+
 // ---------------------------------------------------------------------------
 // Shared thread-team service path: many solver instances multiplexed onto
 // one ThreadTeam. run() is serialized by the team's service mutex, so

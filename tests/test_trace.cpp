@@ -1,0 +1,361 @@
+// Task-level tracing (DESIGN.md §3.11): the observability subsystem's
+// contract is that it SEES everything and CHANGES nothing.
+//   - Determinism: factors are bit-identical with tracing on vs. off, for
+//     both schedules, across team sizes (including the non-powers of two
+//     only the task-DAG grants), and through refactor() — recording only
+//     reads the clock and writes fixed-size records into a preallocated
+//     per-thread ring, so any divergence is an instrumentation bug.
+//   - Bounded buffers: ring overflow drops the OLDEST spans, counts them in
+//     dropped_spans, and never reallocates on the hot path; a traced run
+//     with a tiny buffer still produces the exact same factors.
+//   - Accounting: every begun span closes (open_spans == 0), per-thread
+//     busy time fits inside the run bracket, park time nests inside idle
+//     time, and the summary's per-run/cumulative split matches the
+//     BaskerStats conventions (trace is per-run; solves accumulate).
+//   - Export: Basker::dump_trace() writes Chrome trace-event JSON that
+//     parses, names its thread lanes, and contains the run/solve spans —
+//     i.e. it would load in Perfetto (README "Profiling a run").
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "basker/bench_support/report.hpp"
+#include "basker/core/basker.hpp"
+#include "basker/gen/generators.hpp"
+#include "basker/gen/suite.hpp"
+#include "basker/obs/trace.hpp"
+#include "basker/sparse/ops.hpp"
+#include "factor_digest.hpp"
+
+namespace basker {
+namespace {
+
+using testutil::FactorDigest;
+using testutil::digest_factors;
+
+constexpr double kTestScale = 0.2;
+
+size_t kind_index(obs::SpanKind kind) { return static_cast<size_t>(kind); }
+
+// ---------------------------------------------------------------- recorder
+
+TEST(TraceRecorder, OverflowKeepsNewestCountsDroppedOldestFirst) {
+  obs::TraceRecorder rec;
+  rec.init(8);
+  for (Int i = 0; i < 20; ++i) {
+    rec.note_begin();
+    rec.push(obs::SpanKind::kFineBlock, i, i + 1, /*id=*/i);
+  }
+  EXPECT_EQ(rec.completed(), 20);
+  EXPECT_EQ(rec.begun(), 20);
+  EXPECT_EQ(rec.dropped(), 12);  // oldest 12 overwritten
+  ASSERT_EQ(rec.size(), 8);
+  for (Int i = 0; i < rec.size(); ++i) {
+    EXPECT_EQ(rec.span(i).id, 12 + i) << "retained spans must be the newest "
+                                         "8, oldest-first";
+  }
+  // reset() reuses the ring for the next run without touching capacity.
+  rec.reset();
+  EXPECT_EQ(rec.completed(), 0);
+  EXPECT_EQ(rec.dropped(), 0);
+  EXPECT_EQ(rec.size(), 0);
+  rec.push(obs::SpanKind::kPark, 5, 9);
+  ASSERT_EQ(rec.size(), 1);
+  EXPECT_EQ(rec.span(0).t0_ns, 5);
+  EXPECT_EQ(rec.span(0).t1_ns, 9);
+}
+
+TEST(TraceRecorder, DegenerateCapacityClampsToOne) {
+  obs::TraceRecorder rec;
+  rec.init(0);
+  rec.push(obs::SpanKind::kIdle, 1, 2, 7);
+  rec.push(obs::SpanKind::kIdle, 3, 4, 8);
+  EXPECT_EQ(rec.size(), 1);
+  EXPECT_EQ(rec.dropped(), 1);
+  EXPECT_EQ(rec.span(0).id, 8);
+}
+
+// ------------------------------------------------------------- determinism
+
+TEST(TraceDeterminism, FactorsBitIdenticalWithTracingOnAndOff) {
+  const Csc a = gen::make_by_name("G2_Circuit", kTestScale);
+  const std::vector<Scalar> rhs = gen::random_rhs(a.ncols, 77);
+  for (SyncMode sync : {SyncMode::kPointToPoint, SyncMode::kTaskDag}) {
+    for (Int p : {1, 2, 3, 8}) {
+      BaskerOptions opt;
+      opt.sync_mode = sync;
+      opt.nthreads = p;  // static rounds 3 down; the pair must match anyway
+      Basker plain(opt);
+      ASSERT_EQ(plain.factor(a), Status::kOk);
+
+      BaskerOptions topt = opt;
+      topt.trace = true;
+      Basker traced(topt);
+      ASSERT_EQ(traced.factor(a), Status::kOk);
+      EXPECT_TRUE(digest_factors(plain) == digest_factors(traced))
+          << "sync=" << (sync == SyncMode::kTaskDag ? "taskdag" : "static")
+          << " p=" << p << ": tracing changed the factors";
+
+      // The traced instance still solves, and a traced refactor replays to
+      // the same bits.
+      std::vector<Scalar> x = rhs;
+      ASSERT_EQ(traced.solve(x), Status::kOk);
+      EXPECT_LT(relative_residual(a, x, rhs), 1e-8);
+      ASSERT_EQ(traced.refactor(a), Status::kOk);
+      EXPECT_TRUE(digest_factors(plain) == digest_factors(traced))
+          << "traced refactor diverged";
+    }
+  }
+}
+
+TEST(TraceDeterminism, TinyRingOverflowsButNeverPerturbsFactors) {
+  // A buffer far smaller than the span count: dropped_spans must report the
+  // loss, the accounting must stay balanced (dropping affects the ring, not
+  // the counters), and the factors must still match the untraced run.
+  const Csc a = gen::make_by_name("G2_Circuit", kTestScale);
+  BaskerOptions opt;
+  opt.sync_mode = SyncMode::kTaskDag;
+  opt.nthreads = 3;
+  opt.dag_task_flops = 1.0;  // deepest tree => plenty of task spans
+  opt.dag_min_leaf_rows = 32;
+  Basker plain(opt);
+  ASSERT_EQ(plain.factor(a), Status::kOk);
+
+  BaskerOptions topt = opt;
+  topt.trace = true;
+  topt.trace_buffer_spans = 16;
+  Basker traced(topt);
+  ASSERT_EQ(traced.factor(a), Status::kOk);
+  const obs::TraceSummary& ts = traced.stats().trace;
+  ASSERT_TRUE(ts.enabled);
+  EXPECT_GT(ts.dropped_spans, 0) << "16-span rings must overflow here";
+  EXPECT_EQ(ts.open_spans, 0);
+  EXPECT_GT(ts.spans, ts.dropped_spans);
+  EXPECT_EQ(ts.critical_ns, 0.0)
+      << "a measured critical path over a partial trace would be a lie";
+  EXPECT_TRUE(digest_factors(plain) == digest_factors(traced))
+      << "ring overflow perturbed the factors";
+}
+
+// ----------------------------------------------------------------- summary
+
+TEST(TraceSummary, TaskDagRunBalancesAndMeasuresTheCriticalPath) {
+  const Csc a = gen::make_by_name("G2_Circuit", kTestScale);
+  BaskerOptions opt;
+  opt.sync_mode = SyncMode::kTaskDag;
+  opt.nthreads = 3;
+  opt.dag_task_flops = 1.0;
+  opt.dag_min_leaf_rows = 32;
+  opt.trace = true;
+  Basker solver(opt);
+  ASSERT_EQ(solver.factor(a), Status::kOk);
+  const obs::TraceSummary& ts = solver.stats().trace;
+
+  ASSERT_TRUE(ts.enabled);
+  EXPECT_GT(ts.spans, 0);
+  EXPECT_EQ(ts.open_spans, 0) << "a span began but never closed";
+  EXPECT_EQ(ts.dropped_spans, 0) << "default rings must not overflow here";
+  ASSERT_EQ(ts.kind_count.size(), static_cast<size_t>(obs::kNumSpanKinds));
+  ASSERT_EQ(ts.kind_total_ns.size(), static_cast<size_t>(obs::kNumSpanKinds));
+  ASSERT_EQ(ts.kind_max_ns.size(), static_cast<size_t>(obs::kNumSpanKinds));
+
+  // Exactly one run bracket, under the kRunNumeric name, and it dominates.
+  EXPECT_EQ(ts.kind_count[kind_index(obs::SpanKind::kRunNumeric)], 1);
+  EXPECT_EQ(ts.kind_count[kind_index(obs::SpanKind::kRunRefactor)], 0);
+  ASSERT_GT(ts.wall_ns, 0.0);
+
+  // The DAG executed: task spans account one span per executed task.
+  long long task_spans = 0;
+  for (int k = 0; k < static_cast<int>(obs::kNumSpanKinds); ++k) {
+    const auto kind = static_cast<obs::SpanKind>(k);
+    if (obs::is_busy_kind(kind) && kind != obs::SpanKind::kStaticSepColumn) {
+      task_spans += ts.kind_count[static_cast<size_t>(k)];
+    }
+  }
+  EXPECT_EQ(task_spans, solver.stats().dag_tasks)
+      << "every executed task must appear as exactly one span";
+
+  // Per-thread accounting: busy fits in the run bracket, parks nest inside
+  // idle episodes.
+  ASSERT_EQ(ts.busy_ns.size(), 3u);
+  ASSERT_EQ(ts.park_ns.size(), 3u);
+  ASSERT_EQ(ts.idle_ns.size(), 3u);
+  for (size_t t = 0; t < ts.busy_ns.size(); ++t) {
+    EXPECT_LE(ts.busy_ns[t], ts.wall_ns * 1.001 + 1e3) << "thread " << t;
+    EXPECT_LE(ts.park_ns[t], ts.idle_ns[t] * 1.001 + 1e3) << "thread " << t;
+  }
+
+  // Measured critical path: positive, at least the heaviest single task,
+  // at most the wall bracket (a chain executes sequentially in real time).
+  double max_task_ns = 0.0;
+  for (int k = 0; k < static_cast<int>(obs::kNumSpanKinds); ++k) {
+    const auto kind = static_cast<obs::SpanKind>(k);
+    if (obs::is_busy_kind(kind) && kind != obs::SpanKind::kStaticSepColumn) {
+      max_task_ns = std::max(max_task_ns, ts.kind_max_ns[static_cast<size_t>(k)]);
+    }
+  }
+  EXPECT_GT(ts.critical_ns, 0.0);
+  EXPECT_GE(ts.critical_ns, max_task_ns);
+  EXPECT_LE(ts.critical_ns, ts.wall_ns * 1.001 + 1e3);
+}
+
+TEST(TraceSummary, StaticScheduleZeroesDagOnlyFieldsRecordsPhases) {
+  const Csc a = gen::make_by_name("G2_Circuit", kTestScale);
+  BaskerOptions opt;
+  opt.nthreads = 2;
+  opt.trace = true;
+  Basker solver(opt);
+  ASSERT_EQ(solver.factor(a), Status::kOk);
+  const obs::TraceSummary& ts = solver.stats().trace;
+
+  ASSERT_TRUE(ts.enabled);
+  EXPECT_GT(ts.spans, 0);
+  EXPECT_EQ(ts.open_spans, 0);
+  // DAG-only fields stay zero, matching the dag_* stats convention.
+  EXPECT_EQ(ts.total_steal_attempts(), 0);
+  EXPECT_EQ(ts.total_steal_successes(), 0);
+  EXPECT_EQ(ts.kind_count[kind_index(obs::SpanKind::kSteal)], 0);
+  EXPECT_EQ(ts.critical_ns, 0.0);
+  // Static-schedule spans: fine-BTF/leaf bodies and thread-0 phase
+  // brackets (the same buckets BaskerStats::phase_seconds accumulates).
+  EXPECT_GT(ts.kind_count[kind_index(obs::SpanKind::kPhase)], 0);
+  EXPECT_GT(ts.kind_count[kind_index(obs::SpanKind::kFineBlock)] +
+                ts.kind_count[kind_index(obs::SpanKind::kLeafFactor)],
+            0);
+  EXPECT_LE(ts.kind_total_ns[kind_index(obs::SpanKind::kPhase)],
+            ts.wall_ns * 1.001 + 1e3)
+      << "thread-0 phase brackets are disjoint inside the run bracket";
+  EXPECT_GT(ts.total_busy_ns(), 0.0);
+}
+
+TEST(TraceSummary, PerRunSemanticsRefactorBracketsUnderItsOwnName) {
+  const Csc a = gen::make_by_name("G2_Circuit", kTestScale);
+  BaskerOptions opt;
+  opt.sync_mode = SyncMode::kTaskDag;
+  opt.nthreads = 2;
+  opt.trace = true;
+  Basker solver(opt);
+  ASSERT_EQ(solver.factor(a), Status::kOk);
+  EXPECT_EQ(solver.stats().trace.kind_count[kind_index(
+                obs::SpanKind::kRunNumeric)],
+            1);
+
+  // A refactor() replay OVERWRITES the per-run summary, bracketed under the
+  // distinct kRunRefactor name — stats-lifetime satellite of DESIGN.md
+  // §3.11 (trace is per-run; the refactor_*/solve ledgers accumulate).
+  ASSERT_EQ(solver.refactor(a), Status::kOk);
+  const obs::TraceSummary& ts = solver.stats().trace;
+  ASSERT_TRUE(ts.enabled);
+  EXPECT_EQ(ts.kind_count[kind_index(obs::SpanKind::kRunRefactor)], 1);
+  EXPECT_EQ(ts.kind_count[kind_index(obs::SpanKind::kRunNumeric)], 0)
+      << "a replay must not masquerade as a full numeric run";
+  EXPECT_GT(ts.wall_ns, 0.0) << "the run bracket covers kRunRefactor too";
+
+  // Cumulative side of the convention: solve() keeps counting across runs.
+  std::vector<Scalar> x = gen::random_rhs(a.ncols, 3);
+  ASSERT_EQ(solver.solve(x), Status::kOk);
+  ASSERT_EQ(solver.solve(x), Status::kOk);
+  EXPECT_EQ(solver.stats().solves, 2);
+  EXPECT_GE(solver.stats().solve_seconds, 0.0);
+}
+
+// ------------------------------------------------------------------ export
+
+TEST(TraceExport, ChromeJsonRoundTripsWithLanesRunAndSolveSpans) {
+  const Csc a = gen::make_by_name("G2_Circuit", kTestScale);
+  BaskerOptions opt;
+  opt.sync_mode = SyncMode::kTaskDag;
+  opt.nthreads = 2;
+  opt.trace = true;
+  Basker solver(opt);
+  ASSERT_EQ(solver.factor(a), Status::kOk);
+  std::vector<Scalar> x = gen::random_rhs(a.ncols, 5);
+  ASSERT_EQ(solver.solve(x), Status::kOk);
+
+  const std::string path = ::testing::TempDir() + "basker_trace_test.json";
+  ASSERT_EQ(solver.dump_trace(path), Status::kOk);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  std::remove(path.c_str());
+
+  // Round-trip through the bench harness's strict JSON parser: what
+  // Perfetto would load must at least be valid JSON with labeled lanes.
+  bench::JsonValue doc;
+  ASSERT_TRUE(bench::JsonValue::parse(buf.str(), doc))
+      << "dump_trace wrote unparseable JSON";
+  ASSERT_TRUE(doc.is_object());
+  const bench::JsonValue& events = doc.at("traceEvents");
+  ASSERT_TRUE(events.is_array());
+  ASSERT_GT(events.size(), 0u);
+
+  std::set<std::string> names;
+  std::set<std::string> lanes;
+  for (size_t i = 0; i < events.size(); ++i) {
+    const bench::JsonValue& ev = events.at(i);
+    ASSERT_TRUE(ev.is_object());
+    const std::string ph = ev.at("ph").as_string();
+    const std::string name = ev.at("name").as_string();
+    if (ph == "M") {
+      EXPECT_EQ(name, "thread_name");
+      lanes.insert(ev.at("args").at("name").as_string());
+    } else if (ph == "X") {
+      names.insert(name);
+      EXPECT_GE(ev.at("dur").as_number(), 0.0) << "negative span duration";
+      EXPECT_GE(ev.at("ts").as_number(), 0.0);
+    } else {
+      EXPECT_EQ(ph, "i") << "unexpected event phase " << ph;
+      names.insert(name);
+    }
+  }
+  // Worker lanes plus the external caller lane, all labeled.
+  EXPECT_TRUE(lanes.count("worker 0"));
+  EXPECT_TRUE(lanes.count("worker 1"));
+  EXPECT_TRUE(lanes.count("caller"));
+  // The run bracket and the post-factor solve both made it out.
+  EXPECT_TRUE(names.count("numeric"));
+  EXPECT_TRUE(names.count("solve"));
+}
+
+// ----------------------------------------------------------------- options
+
+TEST(TraceOptions, InvalidKnobsRejectedDumpRequiresTracing) {
+  const Csc a = gen::make_by_name("Power0", kTestScale);
+  {
+    BaskerOptions opt;
+    opt.trace = true;
+    opt.trace_buffer_spans = 0;
+    Basker solver(opt);
+    EXPECT_EQ(solver.factor(a), Status::kInvalidInput)
+        << "trace with a non-positive buffer has no sane reading";
+    EXPECT_FALSE(solver.factored());
+  }
+  {
+    // trace_buffer_spans is unread while tracing is off (same convention as
+    // the schedule-specific knobs).
+    BaskerOptions opt;
+    opt.trace_buffer_spans = 0;
+    Basker solver(opt);
+    EXPECT_EQ(solver.factor(a), Status::kOk);
+    EXPECT_EQ(solver.dump_trace(::testing::TempDir() + "never.json"),
+              Status::kInvalidInput)
+        << "dump_trace without tracing must refuse, not write an empty file";
+    EXPECT_FALSE(solver.stats().trace.enabled);
+  }
+  {
+    BaskerOptions opt;
+    opt.trace = true;
+    Basker solver(opt);
+    ASSERT_EQ(solver.factor(a), Status::kOk);
+    EXPECT_EQ(solver.dump_trace("/nonexistent-dir/trace.json"),
+              Status::kIoError);
+  }
+}
+
+}  // namespace
+}  // namespace basker
