@@ -42,7 +42,7 @@ int main(int argc, char** argv) {
     std::printf("base-case factorization failed\n");
     return 1;
   }
-  std::printf("base case: %.1f%% of rows in small BTF blocks, %d blocks\n",
+  std::printf("base case: %.1f%% of rows in small BTF blocks, %lld blocks\n",
               basker.stats().btf_pct, basker.stats().nblocks);
 
   // Base-case injections.

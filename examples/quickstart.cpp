@@ -45,9 +45,9 @@ int main() {
 
   // 4. What did the hierarchy look like?
   const BaskerStats& stats = solver.stats();
-  std::printf("coarse BTF blocks: %d (largest %d, %.1f%% of rows in small blocks)\n",
+  std::printf("coarse BTF blocks: %lld (largest %lld, %.1f%% of rows in small blocks)\n",
               stats.nblocks, stats.largest_block, stats.btf_pct);
-  std::printf("ND-treated large blocks: %d\n", stats.nd_parts);
+  std::printf("ND-treated large blocks: %lld\n", stats.nd_parts);
   std::printf("|L+U| = %lld (%.2fx of |A|), %.2e flops\n",
               static_cast<long long>(stats.nnz_lu),
               static_cast<double>(stats.nnz_lu) / a.nnz(), stats.factor_flops);

@@ -57,7 +57,7 @@ int main(int argc, char** argv) {
   const RefineResult r = solve_refined(solver, a, b, x, 3);
   std::printf("solved with %d refinement sweep(s); residual %.3e\n",
               static_cast<int>(r.iterations), r.final_residual);
-  std::printf("|L+U| = %lld, pivot growth %.2e, BTF blocks %d, ND parts %d\n",
+  std::printf("|L+U| = %lld, pivot growth %.2e, BTF blocks %lld, ND parts %lld\n",
               static_cast<long long>(solver.stats().nnz_lu),
               solver.stats().pivot_growth, solver.stats().nblocks,
               solver.stats().nd_parts);

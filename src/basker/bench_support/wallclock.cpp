@@ -74,7 +74,7 @@ void digest_diag(Fnv1a& f, const DiagFactor& d) {
 
 }  // namespace
 
-std::string factor_digest_hex(const Basker& solver) {
+std::string factor_digest_hex(const Basker<Int, Scalar>& solver) {
   Fnv1a f;
   const Analysis& an = solver.analysis();
   for (Int blk : an.fine_blocks) digest_diag(f, an.fine_factor[blk]);

@@ -20,7 +20,8 @@
 #include "basker/sparse/csc.hpp"
 
 namespace basker {
-class Basker;
+template <class IntT, class ScalarT>
+class Basker;  // core/basker.hpp
 }
 
 namespace basker::bench {
@@ -77,7 +78,7 @@ struct WallclockConfig {
 /// tests/factor_digest.hpp, so "bit-identical factors" is checkable from
 /// bench JSON alone (trace_report.py --gate digest-matches traced vs.
 /// untraced sweeps with it).
-std::string factor_digest_hex(const Basker& solver);
+std::string factor_digest_hex(const Basker<Int, Scalar>& solver);
 
 /// Powers of two 1..max_threads; max_threads <= 0 means
 /// max(4, hardware_cpus()) so a 1-core host still exercises the

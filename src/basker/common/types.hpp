@@ -1,24 +1,177 @@
-// Fundamental scalar/index types shared across the library.
+// Fundamental scalar/index types shared across the library, plus the trait
+// layer the templated stack is built on (docs/DESIGN.md, "Template
+// architecture"): every templated entity is parameterized on an (index,
+// scalar) pair, the reference pair below keeps the historical spellings
+// (`Csc`, `Basker`, ...) source-compatible, and the traits here answer the
+// three questions templated code may not answer for itself — what is a
+// magnitude (RealOf), what accumulates a residual (WideOf), and which pairs
+// are supported at all (IsSupportedIndex / IsSupportedScalar).
 #pragma once
 
+#include <complex>
 #include <cstdint>
 #include <limits>
+#include <type_traits>
+
+#include "basker/common/error.hpp"
 
 namespace basker {
 
-/// Ordinal used for matrix dimensions and nonzero indices. 32-bit keeps the
-/// 2D block structures compact; all suite matrices fit comfortably.
+/// Ordinal used for matrix dimensions and nonzero indices in the reference
+/// instantiation. 32-bit keeps the 2D block structures compact; all suite
+/// matrices fit comfortably. Templated code takes the index type as a
+/// parameter (conventionally also named `Int`) and int64 instantiations
+/// lift the ~2^31 row/column ceiling.
 using Int = std::int32_t;
 
-/// Nonzero counters that may exceed 2^31 on high fill-in factors.
+/// Nonzero counters that may exceed 2^31 on high fill-in factors. Kept a
+/// fixed 64-bit type in every instantiation: a 32-bit *index* build can
+/// still meet a > 2^31-nonzero factor.
 using Size = std::int64_t;
 
 /// Numeric value type of the reference instantiation.
 using Scalar = double;
 
-inline constexpr Int kInvalid = -1;
+/// Index pairs the library is built (explicitly instantiated) for.
+template <class I>
+struct IsSupportedIndex : std::false_type {};
+template <>
+struct IsSupportedIndex<std::int32_t> : std::true_type {};
+template <>
+struct IsSupportedIndex<std::int64_t> : std::true_type {};
 
-/// Marker used by symbolic phases for "not yet visited".
-inline constexpr Int kUnvisited = std::numeric_limits<Int>::min();
+/// Scalar types the library is built for. `long double` and integral
+/// scalars are rejected at compile time rather than miscompiling the
+/// magnitude rule below.
+template <class S>
+struct IsSupportedScalar : std::false_type {};
+template <>
+struct IsSupportedScalar<float> : std::true_type {};
+template <>
+struct IsSupportedScalar<double> : std::true_type {};
+template <>
+struct IsSupportedScalar<std::complex<double>> : std::true_type {};
+
+/// BaskerReal: the real-valued magnitude type of a scalar. Pivot searches,
+/// growth monitors, norms and residuals are magnitudes — under complex they
+/// must be |z|-typed (double), never the scalar itself (which has no
+/// ordering). The float instantiation keeps float magnitudes; refinement
+/// accumulates in WideOf instead.
+template <class S>
+struct BaskerReal {
+  using type = S;
+};
+template <class T>
+struct BaskerReal<std::complex<T>> {
+  using type = T;
+};
+template <class S>
+using RealOf = typename BaskerReal<S>::type;
+
+/// BaskerWide: the accumulation type for iterative refinement
+/// (core/refine.hpp). Residuals of a float factorization are computed and
+/// accumulated in double — the standard mixed-precision route — while the
+/// double and complex<double> instantiations widen to themselves, keeping
+/// the reference refinement loop bit-identical.
+template <class S>
+struct BaskerWide {
+  using type = S;
+};
+template <>
+struct BaskerWide<float> {
+  using type = double;
+};
+template <>
+struct BaskerWide<std::complex<float>> {
+  using type = std::complex<double>;
+};
+template <class S>
+using WideOf = typename BaskerWide<S>::type;
+
+/// Invalid-index sentinel. -1 survives every integral conversion unchanged,
+/// so the width-agnostic spelling `kInvalid` remains correct inside
+/// templated code; the variable template exists for symmetry and for
+/// contexts that need the exact parameterized type.
+template <class I>
+inline constexpr I kInvalidIndex = static_cast<I>(-1);
+inline constexpr Int kInvalid = kInvalidIndex<Int>;
+
+/// Marker used by symbolic phases for "not yet visited". Width-SENSITIVE:
+/// numeric_limits<int32>::min() is a legal int64 value, so templated code
+/// must spell this `kUnvisitedIndex<Int>` — the historical `kUnvisited`
+/// alias is only correct for the reference index width.
+template <class I>
+inline constexpr I kUnvisitedIndex = std::numeric_limits<I>::lowest();
+inline constexpr Int kUnvisited = kUnvisitedIndex<Int>;
+
+/// True when `v` is exactly representable as index type `I`. Accepts any
+/// integral or floating source; floating sources additionally reject
+/// non-finite values.
+template <class I, class From>
+constexpr bool fits_index(From v) {
+  static_assert(std::is_integral_v<I>, "fits_index: integral index required");
+  if constexpr (std::is_floating_point_v<From>) {
+    // Compare in long double so int64 bounds do not round through the
+    // source type; the -1/+1 slack keeps the boundary conservative where
+    // the bound itself is not representable.
+    return v == v &&
+           static_cast<long double>(v) >=
+               static_cast<long double>(std::numeric_limits<I>::min()) &&
+           static_cast<long double>(v) <=
+               static_cast<long double>(std::numeric_limits<I>::max());
+  } else if constexpr (std::is_signed_v<From> == std::is_signed_v<I>) {
+    return v >= std::numeric_limits<I>::min() && v <= std::numeric_limits<I>::max();
+  } else if constexpr (std::is_signed_v<From>) {  // signed -> unsigned I
+    return v >= 0 && static_cast<std::uintmax_t>(v) <=
+                         static_cast<std::uintmax_t>(std::numeric_limits<I>::max());
+  } else {  // unsigned -> signed I
+    return static_cast<std::uintmax_t>(v) <=
+           static_cast<std::uintmax_t>(std::numeric_limits<I>::max());
+  }
+}
+
+/// Overflow on a checked index conversion: a container outgrew the build's
+/// index width. Basker's entry points catch this and surface
+/// Status::kInvalidInput instead of silently wrapping (the pre-template
+/// code static_cast'ed and wrapped).
+class IndexOverflowError : public BaskerError {
+ public:
+  explicit IndexOverflowError(const std::string& what) : BaskerError(what) {}
+};
+
+/// Checked narrowing to an index type: every static_cast<Int> from
+/// size_t/Size/double in the symbolic machinery routes through here.
+template <class I, class From>
+constexpr I to_index(From v) {
+  if (!fits_index<I>(v)) {
+    throw IndexOverflowError("index overflow: value exceeds index-type range");
+  }
+  return static_cast<I>(v);
+}
+
+/// Non-deduced helper: parameters typed NonDeduced<Int> accept literals
+/// without fighting template argument deduction driven by other parameters.
+template <class T>
+struct TypeIdentity {
+  using type = T;
+};
+template <class T>
+using NonDeduced = typename TypeIdentity<T>::type;
+
+/// X-macro over the explicitly instantiated (index, scalar) pairs. Every
+/// templated .cpp ends with BASKER_INSTANTIATE_PAIRS over its own
+/// instantiation macro; the list is the single source of truth for which
+/// pairs link without the member definitions being visible.
+#define BASKER_INSTANTIATE_PAIRS(M)        \
+  M(std::int32_t, double)                  \
+  M(std::int64_t, double)                  \
+  M(std::int32_t, float)                   \
+  M(std::int32_t, std::complex<double>)
+
+/// Index-only counterpart for pattern/partitioning code that never touches
+/// scalar values (graph/coarsen, graph/fm).
+#define BASKER_INSTANTIATE_INDEXES(M)      \
+  M(std::int32_t)                          \
+  M(std::int64_t)
 
 }  // namespace basker

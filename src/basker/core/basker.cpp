@@ -10,7 +10,8 @@
 
 namespace basker {
 
-Basker::Basker(BaskerOptions opt) : opt_(opt) {
+template <class Int, class Scalar>
+Basker<Int, Scalar>::Basker(BaskerOptions opt) : opt_(opt) {
   // Static schedules need a power of two (one thread per separator-tree
   // leaf); kTaskDag runs any count verbatim. options.hpp single-sources
   // the rule so the bench sweeps can predict the grant.
@@ -26,32 +27,38 @@ Basker::Basker(BaskerOptions opt) : opt_(opt) {
                    "basker: shared team smaller than granted thread count");
     team_ = opt_.team;
   } else if (opt_.share_team) {
-    team_ = acquire_team(nthreads_, team_cfg);
+    team_ = acquire_team(static_cast<basker::Int>(nthreads_), team_cfg);
   } else {
-    team_ = std::make_shared<ThreadTeam>(nthreads_, team_cfg);
+    team_ = std::make_shared<ThreadTeam>(static_cast<basker::Int>(nthreads_),
+                                         team_cfg);
   }
-  barrier_ = std::make_unique<SpinBarrier>(nthreads_, opt_.backoff);
-  ep_.init(nthreads_);
+  barrier_ = std::make_unique<SpinBarrier>(static_cast<basker::Int>(nthreads_),
+                                           opt_.backoff);
+  ep_.init(static_cast<basker::Int>(nthreads_));
   ws_.resize(static_cast<size_t>(nthreads_));
   for (auto& ws : ws_) ws = std::make_unique<ThreadWs>();
   if (opt_.trace) {
     // Rings preallocated once here; every numeric run just resets the
     // write cursors (no allocation anywhere near the hot path).
     tracer_ = std::make_unique<obs::Tracer>(
-        nthreads_, std::max<Int>(1, opt_.trace_buffer_spans));
+        static_cast<basker::Int>(nthreads_),
+        std::max<basker::Int>(1, opt_.trace_buffer_spans));
   }
 }
 
-Basker::~Basker() = default;
+template <class Int, class Scalar>
+Basker<Int, Scalar>::~Basker() = default;
 
-void Basker::scatter_values(const Csc& a) {
+template <class Int, class Scalar>
+void Basker<Int, Scalar>::scatter_values(const Csc& a) {
   for (Size p = 0; p < a.nnz(); ++p) an_.b.values[an_.value_map[p]] = a.values[p];
   for (NdPart& part : an_.parts) {
     part.asub = extract_block(an_.b, part.lo, part.hi, part.lo, part.hi);
   }
 }
 
-Status Basker::numeric(const Csc& a) {
+template <class Int, class Scalar>
+Status Basker<Int, Scalar>::numeric(const Csc& a) {
   if (!analyzed_) return Status::kNotFactored;
   BASKER_REQUIRE(a.ncols == an_.n &&
                      a.nnz() == static_cast<Size>(an_.value_map.size()),
@@ -63,8 +70,16 @@ Status Basker::numeric(const Csc& a) {
     tracer_->begin_run();  // each numeric pass owns the rings (PER-RUN)
     trace_t0 = tracer_->now_ns();
   }
-  scatter_values(a);
-  const Status s = run_numeric();
+  Status s;
+  try {
+    scatter_values(a);
+    s = run_numeric();
+  } catch (const IndexOverflowError&) {
+    // A checked narrowing (common/types.hpp to_index) overflowed this
+    // instantiation's index type: the matrix is too large for the chosen
+    // Int, which is an input problem, not a numeric failure.
+    return Status::kInvalidInput;
+  }
   stats_.factor_seconds = timer.seconds();
   if (tracer_) {
     // The run bracket closes after the team joined, so the summary's wall
@@ -87,19 +102,22 @@ Status Basker::numeric(const Csc& a) {
   return s;
 }
 
-Status Basker::dump_trace(const std::string& path) const {
+template <class Int, class Scalar>
+Status Basker<Int, Scalar>::dump_trace(const std::string& path) const {
   if (!tracer_) return Status::kInvalidInput;  // options().trace is off
   return obs::write_chrome_trace(*tracer_, path) ? Status::kOk
                                                  : Status::kIoError;
 }
 
-Status Basker::factor(const Csc& a) {
+template <class Int, class Scalar>
+Status Basker<Int, Scalar>::factor(const Csc& a) {
   const Status s = symbolic(a);
   if (s != Status::kOk) return s;
   return numeric(a);
 }
 
-Status Basker::refactor(const Csc& a) {
+template <class Int, class Scalar>
+Status Basker<Int, Scalar>::refactor(const Csc& a) {
   // Values-only replay needs a complete frozen pivot sequence and live
   // factor allocations — i.e. a prior *successful* numeric pass.
   if (!analyzed_ || !factored_) return Status::kNotFactored;
@@ -121,5 +139,12 @@ Status Basker::refactor(const Csc& a) {
   stats_.refactor_seconds += timer.seconds();
   return s;
 }
+
+// Each core TU explicitly instantiates the class: the instantiation covers
+// the members *defined in that TU*, and the per-TU copies of the in-class
+// inline members merge at link time (vague linkage).
+#define BASKER_BASKER_INST(I, S) template class Basker<I, S>;
+BASKER_INSTANTIATE_PAIRS(BASKER_BASKER_INST)
+#undef BASKER_BASKER_INST
 
 }  // namespace basker

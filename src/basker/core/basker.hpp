@@ -42,8 +42,32 @@
 
 namespace basker {
 
+/// The solver is a class template over the index and scalar type; the
+/// template parameters default to the reference aliases of
+/// common/types.hpp, so `Basker<>` (and, through CTAD, a plain
+/// `Basker solver(opt);`) is the historical int32/double solver.
+/// Supported pairs are the BASKER_INSTANTIATE_PAIRS set — the class is
+/// explicitly instantiated in the core .cpp files, so instantiating an
+/// unsupported pair fails at link time (and the static_asserts below fail
+/// at compile time for types outside the supported index/scalar sets).
+template <class IntT = Int, class ScalarT = Scalar>
 class Basker {
  public:
+  static_assert(IsSupportedIndex<IntT>::value,
+                "Basker: index type must be std::int32_t or std::int64_t");
+  static_assert(IsSupportedScalar<ScalarT>::value,
+                "Basker: scalar type must be float, double, or "
+                "std::complex of either");
+
+  // Instantiation-local aliases: member bodies (and the per-thread
+  // workspace below) are written against these names, so they read exactly
+  // like the pre-template code did against the namespace-scope aliases.
+  using Int = IntT;
+  using Scalar = ScalarT;
+  using Real = RealOf<ScalarT>;  ///< magnitude type (|z| for complex)
+  using Csc = CscT<IntT, ScalarT>;
+  using Analysis = AnalysisT<IntT, ScalarT>;
+
   explicit Basker(BaskerOptions opt = {});
   ~Basker();
 
@@ -94,8 +118,20 @@ class Basker {
   const Analysis& analysis() const { return an_; }
 
  private:
+  using NdPart = NdPartT<IntT, ScalarT>;
+  using DiagFactor = DiagFactorT<IntT, ScalarT>;
+  using DensePanel = DensePanelT<IntT, ScalarT>;
+  using SparseAcc = SparseAccT<IntT, ScalarT>;
+  using GpEngine = GpEngineT<IntT, ScalarT>;
+  using PagedMatrix = PagedMatrixT<IntT, ScalarT>;
+  using LuMatrix = LuMatrixT<IntT, ScalarT>;
+
   struct ThreadWs;
 
+  /// symbolic() body; the public entry wraps it to map IndexOverflowError
+  /// (a checked to_index narrowing overflowing this instantiation's index
+  /// type) onto Status::kInvalidInput.
+  Status symbolic_impl(const Csc& a);
   void scatter_values(const Csc& a);
   Status run_numeric();
   void collect_numeric_stats();
@@ -129,7 +165,9 @@ class Basker {
   // (NdPart::seg_dense / Analysis::fine_dense). Same reductions, same
   // schedule positions and join sets as the sparse kernels — only the
   // factorization/solve arithmetic runs through dense panels, gathered
-  // back into LuMatrix storage afterwards.
+  // back into LuMatrix storage afterwards. The `flops` out-params are
+  // deliberately plain double in every instantiation: flop counts are
+  // statistics, independent of both the index and the scalar type.
   void dense_diag_begin(DensePanel& p, const DiagFactor& dg, Int m);
   Status dense_diag_factor_cols(Int tid, DensePanel& p, Int c0, Int c1,
                                 double* flops);
@@ -192,7 +230,8 @@ class Basker {
 
 /// Per-thread numeric workspace (definition public to the implementation
 /// files only through basker.cpp includes).
-struct Basker::ThreadWs {
+template <class IntT, class ScalarT>
+struct Basker<IntT, ScalarT>::ThreadWs {
   GpEngine engine;              ///< for fine-BTF blocks
   GpEngine lsolve_engine;       ///< scratch for task-DAG U_dj lsolves: a
                                 ///< kSepUpdate task may run concurrently
@@ -218,5 +257,13 @@ struct Basker::ThreadWs {
   double sync_seconds = 0.0;
   std::vector<double> work;     ///< per phase flop counts
 };
+
+// Member definitions live in the core .cpp files (basker.cpp, symbolic.cpp,
+// numeric.cpp, numeric_dag.cpp, numeric_dense.cpp, solve.cpp,
+// fine_btf.cpp); each instantiates the class for the supported pairs, so
+// users of the header never instantiate solver internals themselves.
+#define BASKER_BASKER_EXTERN(I, S) extern template class Basker<I, S>;
+BASKER_INSTANTIATE_PAIRS(BASKER_BASKER_EXTERN)
+#undef BASKER_BASKER_EXTERN
 
 }  // namespace basker

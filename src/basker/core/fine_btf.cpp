@@ -7,7 +7,8 @@
 
 namespace basker {
 
-Status Basker::factor_fine_block(Int tid, Int blk) {
+template <class Int, class Scalar>
+Status Basker<Int, Scalar>::factor_fine_block(Int tid, Int blk) {
   if (an_.fine_dense[blk] != 0) {
     // Hybrid dense path (DESIGN.md §3.10): the fill-density model routed
     // this block to the panel kernel (core/numeric_dense.cpp).
@@ -16,6 +17,8 @@ Status Basker::factor_fine_block(Int tid, Int blk) {
   ThreadWs& ws = *ws_[tid];
   GpOptions gp_opt;
   gp_opt.pivot_tol = opt_.pivot_tol;
+  // rows.size() below is bounded by the block size m, which fits Int by
+  // construction — the bounded static_casts stay unchecked on this hot path.
   std::vector<Int>& rows = ws.in_rows;
   std::vector<Scalar>& vals = ws.in_vals;
 
@@ -63,7 +66,8 @@ Status Basker::factor_fine_block(Int tid, Int blk) {
   return Status::kOk;
 }
 
-void Basker::fine_btf_thread(Int tid) {
+template <class Int, class Scalar>
+void Basker<Int, Scalar>::fine_btf_thread(Int tid) {
   for (Int blk : an_.fine_of_thread[tid]) {
     if (failed()) return;
     // Span at the call site, not inside factor_fine_block: the body is
@@ -78,5 +82,9 @@ void Basker::fine_btf_thread(Int tid) {
     }
   }
 }
+
+#define BASKER_BASKER_INST(I, S) template class Basker<I, S>;
+BASKER_INSTANTIATE_PAIRS(BASKER_BASKER_INST)
+#undef BASKER_BASKER_INST
 
 }  // namespace basker

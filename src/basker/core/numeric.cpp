@@ -29,12 +29,14 @@
 
 namespace basker {
 
-void Basker::fail(Status s) {
+template <class Int, class Scalar>
+void Basker<Int, Scalar>::fail(Status s) {
   int expected = 0;
   error_.compare_exchange_strong(expected, static_cast<int>(s));
 }
 
-void Basker::wait_epoch(Int tid, Int t, long long target) {
+template <class Int, class Scalar>
+void Basker<Int, Scalar>::wait_epoch(Int tid, Int t, long long target) {
   if (ep_.load(t) >= target) return;
   WallTimer timer;
   ep_.wait_at_least(t, target, opt_.backoff, [this] { return failed(); });
@@ -47,7 +49,8 @@ void Basker::wait_epoch(Int tid, Int t, long long target) {
 // function of (part, leaf), which is why the task-DAG schedule can hand the
 // same body to any thread (core/numeric_dag.cpp).
 
-void Basker::part_phase_leaves(NdPart& part, Int part_idx, Int tid, Int leaf) {
+template <class Int, class Scalar>
+void Basker<Int, Scalar>::part_phase_leaves(NdPart& part, Int part_idx, Int tid, Int leaf) {
   ThreadWs& ws = *ws_[tid];
   const Int m = part.seg_size(leaf);
   const Int off = part.seg_off[leaf];
@@ -168,14 +171,16 @@ void Basker::part_phase_leaves(NdPart& part, Int part_idx, Int tid, Int leaf) {
 // --------------------------------------------------------------------------
 // Single-leaf degenerate part (one thread): plain Gilbert-Peierls.
 
-void Basker::part_single_leaf(NdPart& part, Int part_idx, Int tid) {
+template <class Int, class Scalar>
+void Basker<Int, Scalar>::part_single_leaf(NdPart& part, Int part_idx, Int tid) {
   part_phase_leaves(part, part_idx, tid, part.leaf_seg[tid]);
 }
 
 // --------------------------------------------------------------------------
 // slevel >= 1: one separator block column, 2D parallel path.
 
-void Basker::part_block_column(NdPart& part, Int part_idx, Int tid, Int slevel) {
+template <class Int, class Scalar>
+void Basker<Int, Scalar>::part_block_column(NdPart& part, Int part_idx, Int tid, Int slevel) {
   ThreadWs& ws = *ws_[tid];
   const Int j = part.path[tid][slevel];
   const Int jcols = part.seg_size(j);
@@ -510,7 +515,8 @@ void Basker::part_block_column(NdPart& part, Int part_idx, Int tid, Int slevel) 
 // 1D ablation: the owning thread factors the whole separator block column
 // serially (paper Fig. 1: the root block column is a serial bottleneck).
 
-void Basker::part_block_column_1d(NdPart& part, Int part_idx, Int tid, Int slevel) {
+template <class Int, class Scalar>
+void Basker<Int, Scalar>::part_block_column_1d(NdPart& part, Int part_idx, Int tid, Int slevel) {
   const Int j = part.path[tid][slevel];
   if (tid != part.first_thread[j]) return;
   ThreadWs& ws = *ws_[tid];
@@ -723,7 +729,8 @@ void Basker::part_block_column_1d(NdPart& part, Int part_idx, Int tid, Int sleve
 // --------------------------------------------------------------------------
 // Orchestration.
 
-void Basker::numeric_thread(Int tid) {
+template <class Int, class Scalar>
+void Basker<Int, Scalar>::numeric_thread(Int tid) {
   // Thread 0 records per-phase wall time between the team-wide barriers
   // (BaskerStats::phase_seconds): every thread is inside the same phase
   // between consecutive barriers, so the tid-0 interval is the phase's
@@ -801,7 +808,8 @@ void Basker::numeric_thread(Int tid) {
   }
 }
 
-Status Basker::run_numeric() {
+template <class Int, class Scalar>
+Status Basker<Int, Scalar>::run_numeric() {
   if (opt_.sync_mode == SyncMode::kTaskDag) return run_numeric_dag();
   error_.store(0, std::memory_order_relaxed);
   Int phases = 1;
@@ -842,7 +850,8 @@ Status Basker::run_numeric() {
 
 // Post-run statistics shared by the static and task-DAG schedules: fold the
 // per-thread work/sync counters into BaskerStats and account the factors.
-void Basker::collect_numeric_stats() {
+template <class Int, class Scalar>
+void Basker<Int, Scalar>::collect_numeric_stats() {
   stats_.sync_seconds = 0.0;
   stats_.work_per_thread_per_phase.assign(static_cast<size_t>(nthreads_), {});
   stats_.factor_flops = 0.0;
@@ -854,12 +863,14 @@ void Basker::collect_numeric_stats() {
 
   stats_.nnz_lu = 0;
   stats_.grow_events = 0;
-  Scalar max_u = 0.0;
+  // Magnitudes, so Real (RealOf<Scalar>): |z| ordering is what pivot
+  // growth means, and complex Scalar has no operator< at all.
+  Real max_u = 0.0;
   auto count = [&](const LuMatrix& m, bool is_u) {
     stats_.nnz_lu += m.nnz();
     stats_.grow_events += m.grow_events;
     if (is_u) {
-      for (Scalar v : m.values) max_u = std::max(max_u, std::abs(v));
+      for (const Scalar& v : m.values) max_u = std::max(max_u, std::abs(v));
     }
   };
   for (Int blk : an_.fine_blocks) {
@@ -874,9 +885,14 @@ void Basker::collect_numeric_stats() {
       for (const LuMatrix& m : part.ublk[s]) count(m, true);
     }
   }
-  Scalar max_a = 0.0;
-  for (Scalar v : an_.b.values) max_a = std::max(max_a, std::abs(v));
-  stats_.pivot_growth = max_a > 0.0 ? max_u / max_a : 0.0;
+  Real max_a = 0.0;
+  for (const Scalar& v : an_.b.values) max_a = std::max(max_a, std::abs(v));
+  stats_.pivot_growth =
+      max_a > 0.0 ? static_cast<double>(max_u / max_a) : 0.0;
 }
+
+#define BASKER_BASKER_INST(I, S) template class Basker<I, S>;
+BASKER_INSTANTIATE_PAIRS(BASKER_BASKER_INST)
+#undef BASKER_BASKER_INST
 
 }  // namespace basker

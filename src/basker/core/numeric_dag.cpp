@@ -41,7 +41,8 @@ namespace basker {
 // every separator-targeting kernel shares — lives in core/structure.cpp so
 // the hybrid dense kernels (core/numeric_dense.cpp) use the identical code.
 
-bool Basker::dag_sep_update(NdPart& part, Int tid, Int d, Int j, Int chunk) {
+template <class Int, class Scalar>
+bool Basker<Int, Scalar>::dag_sep_update(NdPart& part, Int tid, Int d, Int j, Int chunk) {
   ThreadWs& ws = *ws_[tid];
   const Int jo = part.seg_off[j];
   const Int md = part.seg_size(d);
@@ -103,7 +104,8 @@ bool Basker::dag_sep_update(NdPart& part, Int tid, Int d, Int j, Int chunk) {
   return true;
 }
 
-bool Basker::dag_sep_assemble(NdPart& part, Int d, Int j) {
+template <class Int, class Scalar>
+bool Basker<Int, Scalar>::dag_sep_assemble(NdPart& part, Int d, Int j) {
   const Int aj = part.seg_level[j] - part.seg_level[d] - 1;
   const Int nchunks = part.seg_nchunks(j);
   auto& stage = part.ublk_stage[d][static_cast<size_t>(aj)];
@@ -135,7 +137,8 @@ bool Basker::dag_sep_assemble(NdPart& part, Int d, Int j) {
   return true;
 }
 
-bool Basker::dag_sep_factor(NdPart& part, Int part_idx, Int tid, Int j) {
+template <class Int, class Scalar>
+bool Basker<Int, Scalar>::dag_sep_factor(NdPart& part, Int part_idx, Int tid, Int j) {
   if (part.seg_dense[j] != 0) {
     // Hybrid dense path (DESIGN.md §3.10): same reductions, same task
     // graph position — only the factorization kernel differs.
@@ -262,7 +265,8 @@ bool Basker::dag_sep_factor(NdPart& part, Int part_idx, Int tid, Int j) {
 // bit-identical across tile widths (including "one tile" = the monolithic
 // kernel itself) and, as everywhere in this schedule, across team sizes.
 
-bool Basker::dag_tile_gemm(NdPart& part, Int tid, Int j, Int rowseg_idx,
+template <class Int, class Scalar>
+bool Basker<Int, Scalar>::dag_tile_gemm(NdPart& part, Int tid, Int j, Int rowseg_idx,
                            Int t) {
   ThreadWs& ws = *ws_[tid];
   const Int rowseg =
@@ -297,7 +301,8 @@ bool Basker::dag_tile_gemm(NdPart& part, Int tid, Int j, Int rowseg_idx,
   return true;
 }
 
-bool Basker::dag_tile_getrf(NdPart& part, Int part_idx, Int tid, Int j,
+template <class Int, class Scalar>
+bool Basker<Int, Scalar>::dag_tile_getrf(NdPart& part, Int part_idx, Int tid, Int j,
                             Int t) {
   if (part.seg_dense[j] != 0) {
     // Dense tile variant: identical chain position and join sets, panel
@@ -374,7 +379,8 @@ bool Basker::dag_tile_getrf(NdPart& part, Int part_idx, Int tid, Int j,
   return true;
 }
 
-bool Basker::dag_tile_trsm(NdPart& part, Int tid, Int j, Int a, Int t) {
+template <class Int, class Scalar>
+bool Basker<Int, Scalar>::dag_tile_trsm(NdPart& part, Int tid, Int j, Int a, Int t) {
   if (part.seg_dense[j] != 0 &&
       part.seg_size(part.anc[j][static_cast<size_t>(a)]) > 0) {
     // Dense tile variant (empty row segments keep the trivial close-only
@@ -457,7 +463,8 @@ static_assert(static_cast<int>(obs::SpanKind::kFineBlock) ==
                   static_cast<int>(sched::TaskKind::kTileTrsm),
               "obs::SpanKind task values must mirror sched::TaskKind");
 
-bool Basker::dag_execute(Int tid, Int task_id) {
+template <class Int, class Scalar>
+bool Basker<Int, Scalar>::dag_execute(Int tid, Int task_id) {
   const sched::Task& t = dag_.task(task_id);
   // One span per task, at the single point where every kind passes
   // through; the dense-kernel sub-spans recorded deeper down nest inside
@@ -501,7 +508,8 @@ bool Basker::dag_execute(Int tid, Int task_id) {
   return false;  // unreachable
 }
 
-Status Basker::run_numeric_dag() {
+template <class Int, class Scalar>
+Status Basker<Int, Scalar>::run_numeric_dag() {
   error_.store(0, std::memory_order_relaxed);
   Int phases = 1;
   for (const NdPart& part : an_.parts) phases = std::max(phases, part.nlev + 1);
@@ -549,7 +557,8 @@ Status Basker::run_numeric_dag() {
   return Status::kOk;
 }
 
-double Basker::dag_trace_critical_ns() const {
+template <class Int, class Scalar>
+double Basker<Int, Scalar>::dag_trace_critical_ns() const {
   if (!tracer_ || dag_.size() == 0) return 0.0;
   const Int n = dag_.size();
   // Gather each task's measured duration from the rings (task spans carry
@@ -587,7 +596,10 @@ double Basker::dag_trace_critical_ns() const {
     const double finish =
         start[static_cast<size_t>(id)] + dur[static_cast<size_t>(id)];
     best = std::max(best, finish);
-    for (const Int* s = dag_.succ_begin(id); s != dag_.succ_end(id); ++s) {
+    // Graph-side ids stay the default index type in every instantiation
+    // (sched/task_graph.hpp), so the successor pointer is basker::Int.
+    for (const basker::Int* s = dag_.succ_begin(id); s != dag_.succ_end(id);
+         ++s) {
       double& ss = start[static_cast<size_t>(*s)];
       ss = std::max(ss, finish);
       if (--indeg[static_cast<size_t>(*s)] == 0) order.push_back(*s);
@@ -595,5 +607,9 @@ double Basker::dag_trace_critical_ns() const {
   }
   return best;
 }
+
+#define BASKER_BASKER_INST(I, S) template class Basker<I, S>;
+BASKER_INSTANTIATE_PAIRS(BASKER_BASKER_INST)
+#undef BASKER_BASKER_INST
 
 }  // namespace basker

@@ -26,7 +26,8 @@
 
 namespace basker {
 
-void Basker::dense_diag_begin(DensePanel& p, const DiagFactor& dg, Int m) {
+template <class Int, class Scalar>
+void Basker<Int, Scalar>::dense_diag_begin(DensePanel& p, const DiagFactor& dg, Int m) {
   if (refactor_replay_) {
     // Pre-apply the frozen pivot sequence as the scatter maps: scattering
     // at the swapped position commutes bitwise with the fresh
@@ -38,7 +39,8 @@ void Basker::dense_diag_begin(DensePanel& p, const DiagFactor& dg, Int m) {
   }
 }
 
-Status Basker::dense_diag_factor_cols(Int tid, DensePanel& p, Int c0, Int c1,
+template <class Int, class Scalar>
+Status Basker<Int, Scalar>::dense_diag_factor_cols(Int tid, DensePanel& p, Int c0, Int c1,
                                       double* flops) {
   // Per-kernel sub-span (nested inside the enclosing task/static span and
   // excluded from busy accounting): feeds the per-block kernel times the
@@ -58,7 +60,8 @@ Status Basker::dense_diag_factor_cols(Int tid, DensePanel& p, Int c0, Int c1,
                            p.pos.data(), pp, flops);
 }
 
-void Basker::dense_diag_publish(const DensePanel& p, DiagFactor& dg) {
+template <class Int, class Scalar>
+void Basker<Int, Scalar>::dense_diag_publish(const DensePanel& p, DiagFactor& dg) {
   gather_panel_lu(p, dg.l, dg.u);
   // Under replay perm/pos are the frozen maps unchanged (no swaps were
   // applied), so this assignment is bitwise idempotent.
@@ -66,7 +69,8 @@ void Basker::dense_diag_publish(const DensePanel& p, DiagFactor& dg) {
   dg.pinv = p.pos;
 }
 
-void Basker::dense_lblk_solve_cols(Int tid, DensePanel& x, const DensePanel& u,
+template <class Int, class Scalar>
+void Basker<Int, Scalar>::dense_lblk_solve_cols(Int tid, DensePanel& x, const DensePanel& u,
                                    Int c0, Int c1, double* flops) {
   obs::ScopedSpan span(tracer_.get(), tid, obs::SpanKind::kDenseTrsm, -1, c0,
                        c1 - c0);
@@ -88,13 +92,14 @@ void Basker::dense_lblk_solve_cols(Int tid, DensePanel& x, const DensePanel& u,
     }
   }
   panel_rtrsm_upper(x.m, c1 - c0, x.col(c0), x.m, u.col(c0) + c0, u.m,
-                    opt_.dense_tile, &fl);
+                    static_cast<Int>(opt_.dense_tile), &fl);
   if (flops != nullptr) *flops += fl;
 }
 
 // -- Fine-BTF blocks ---------------------------------------------------------
 
-Status Basker::factor_fine_block_dense(Int tid, Int blk) {
+template <class Int, class Scalar>
+Status Basker<Int, Scalar>::factor_fine_block_dense(Int tid, Int blk) {
   ThreadWs& ws = *ws_[tid];
   const Int lo = an_.block_off[blk];
   const Int hi = an_.block_off[blk + 1];
@@ -123,7 +128,8 @@ Status Basker::factor_fine_block_dense(Int tid, Int blk) {
 
 // -- Task-DAG monolithic separator factorization -----------------------------
 
-bool Basker::dag_sep_factor_dense(NdPart& part, Int tid, Int j) {
+template <class Int, class Scalar>
+bool Basker<Int, Scalar>::dag_sep_factor_dense(NdPart& part, Int tid, Int j) {
   ThreadWs& ws = *ws_[tid];
   const Int jcols = part.seg_size(j);
   const Int jo = part.seg_off[j];
@@ -196,7 +202,8 @@ bool Basker::dag_sep_factor_dense(NdPart& part, Int tid, Int j) {
 // chain accumulates its row segment in NdPart::lblk_panel and gathers lb on
 // its last tile.
 
-bool Basker::dag_tile_getrf_dense(NdPart& part, Int tid, Int j, Int t) {
+template <class Int, class Scalar>
+bool Basker<Int, Scalar>::dag_tile_getrf_dense(NdPart& part, Int tid, Int j, Int t) {
   ThreadWs& ws = *ws_[tid];
   const Int jcols = part.seg_size(j);
   DiagFactor& dg = part.diag[j];
@@ -227,7 +234,8 @@ bool Basker::dag_tile_getrf_dense(NdPart& part, Int tid, Int j, Int t) {
   return true;
 }
 
-bool Basker::dag_tile_trsm_dense(NdPart& part, Int tid, Int j, Int a, Int t) {
+template <class Int, class Scalar>
+bool Basker<Int, Scalar>::dag_tile_trsm_dense(NdPart& part, Int tid, Int j, Int a, Int t) {
   ThreadWs& ws = *ws_[tid];
   const Int jcols = part.seg_size(j);
   const Int kseg = part.anc[j][static_cast<size_t>(a)];
@@ -269,5 +277,9 @@ bool Basker::dag_tile_trsm_dense(NdPart& part, Int tid, Int j, Int a, Int t) {
   ws.work[part.seg_level[j]] += flops;
   return true;
 }
+
+#define BASKER_BASKER_INST(I, S) template class Basker<I, S>;
+BASKER_INSTANTIATE_PAIRS(BASKER_BASKER_INST)
+#undef BASKER_BASKER_INST
 
 }  // namespace basker

@@ -57,6 +57,12 @@ inline Int granted_threads(SyncMode sync, Int requested) {
   return pow2;
 }
 
+/// Options are shared by every Basker instantiation (Basker<Int, Scalar>,
+/// core/basker.hpp): integer knobs use the default index type and are
+/// widened internally, and magnitude knobs (pivot_tol,
+/// refactor_pivot_tol, dense_fill_threshold, ...) are plain double —
+/// magnitudes are real even for complex scalars. Knobs whose *defaults*
+/// assume double working precision say so at their declaration.
 struct BaskerOptions {
   /// Worker threads for the numeric phase. Default 1 (serial). Under the
   /// static schedules (kPointToPoint/kBarrier) the request is rounded DOWN
@@ -216,7 +222,12 @@ struct BaskerOptions {
   /// candidate is taken unless the column's largest magnitude exceeds it
   /// by more than 1/pivot_tol. Default 0.001 (KLU's default). Larger is
   /// more stable, smaller preserves more of the matching/ordering.
-  Scalar pivot_tol = 0.001;
+  ///
+  /// Magnitude knob: typed double in every instantiation (magnitudes are
+  /// real even when Scalar is complex; pivot searches compare RealOf
+  /// values against it). The default is scalar-independent — it is a
+  /// *ratio* of magnitudes, not an absolute tolerance.
+  double pivot_tol = 0.001;
 
   /// Bottleneck weighted matching MWCM (§III-A, the paper's Pm) before
   /// BTF. Default true. False falls back to maximum-cardinality matching;
@@ -269,7 +280,15 @@ struct BaskerOptions {
   /// tight enough that the residual stays within the accuracy a searching
   /// factorization would deliver. 0 disables the monitor (replay always
   /// trusted).
-  Scalar refactor_pivot_tol = 1e-6;
+  ///
+  /// Magnitude knob, typed double like pivot_tol. Unlike pivot_tol this
+  /// one IS scalar-dependent in spirit: it guards against drift measured
+  /// in units of the working precision, and the default is tuned for
+  /// double (eps ~ 1e-16). A float instantiation (eps ~ 1e-7) that leans
+  /// on refactor() should raise it toward ~1e-3 — the monitor compares
+  /// float-precision magnitudes, so 1e-6 is below float noise and would
+  /// effectively disable the guard.
+  double refactor_pivot_tol = 1e-6;
 
   /// Task-level tracing (obs/trace.hpp, DESIGN.md §3.11): record per-thread
   /// span timelines — task executions, steals, parks, phases — during every
@@ -326,12 +345,15 @@ struct BaskerOptions {
 ///  * CUMULATIVE since the last symbolic(): the refactor_* fields and the
 ///    solve-side counters (solves, solve_seconds) only.
 struct BaskerStats {
+  // Structure counters are long long, not Int: stats are shared by every
+  // (index, scalar) instantiation, and a 64-bit count holds any
+  // instantiation's block sizes without narrowing.
   Size nnz_lu = 0;            ///< |L+U| over all factored blocks (Table I column)
   double factor_flops = 0.0;  ///< numeric factorization flop count
-  Int nblocks = 1;            ///< coarse BTF diagonal blocks (Table I "blocks")
-  Int largest_block = 0;      ///< rows of the largest coarse block
+  long long nblocks = 1;      ///< coarse BTF diagonal blocks (Table I "blocks")
+  long long largest_block = 0;  ///< rows of the largest coarse block
   double btf_pct = 0.0;       ///< % rows in small fine-BTF blocks (Table I "BTF %")
-  Int nd_parts = 0;           ///< large blocks given the ND treatment
+  long long nd_parts = 0;     ///< large blocks given the ND treatment
 
   /// Blocks the hybrid fill-density model routed to the dense panel
   /// kernels (fine-BTF blocks plus ND segments scoring >=
@@ -339,7 +361,7 @@ struct BaskerStats {
   /// selection is purely symbolic and p-independent — and stable across
   /// numeric runs until the next symbolic(). 0 means the all-sparse path
   /// everywhere (e.g. under the threshold > 1 ablation).
-  Int dense_blocks = 0;
+  long long dense_blocks = 0;
 
   double analyze_seconds = 0.0;  ///< symbolic phase wall time
   double factor_seconds = 0.0;   ///< numeric phase wall time

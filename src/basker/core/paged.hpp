@@ -20,8 +20,12 @@
 
 namespace basker {
 
-class PagedMatrix {
+template <class IntT, class ScalarT>
+class PagedMatrixT {
  public:
+  using Int = IntT;
+  using Scalar = ScalarT;
+
   static constexpr Size kPageSize = 4096;
 
   /// Prepare for a new block column phase: `ncols` columns over a target
@@ -89,5 +93,8 @@ class PagedMatrix {
   Size size_ = 0;
   Int next_col_ = 0;
 };
+
+/// Reference instantiation (common/types.hpp aliases).
+using PagedMatrix = PagedMatrixT<Int, Scalar>;
 
 }  // namespace basker

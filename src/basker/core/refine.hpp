@@ -1,6 +1,15 @@
 // Iterative refinement on top of any solver with a solve() method: standard
 // practice for circuit simulators when static pivoting (the supernodal
 // baseline) or mild pivot-tolerance choices leave residual headroom.
+//
+// The refinement loop runs in the solver's *wide* type (WideOf<Scalar>,
+// common/types.hpp): the matrix, right-hand side, solution and residual are
+// all wide, while each correction is solved in the solver's own scalar.
+// For double/complex<double> solvers the wide type IS the scalar type and
+// every conversion below is the identity, so the loop is operation-for-
+// operation the classic same-precision refinement. For a float solver this
+// is mixed-precision refinement: factor in float, accumulate the solution
+// and residual in double.
 #pragma once
 
 #include <vector>
@@ -11,36 +20,56 @@
 
 namespace basker {
 
-struct RefineResult {
+/// Result of solve_refined for a solver with scalar type `Scalar`. The
+/// residual is a magnitude, so it is real-typed (RealOf) in the refinement
+/// precision (WideOf) — never the solver scalar itself, which would be
+/// wrong-by-construction for complex solvers.
+template <class Scalar>
+struct RefineResultT {
   Status status = Status::kOk;
-  Int iterations = 0;        ///< refinement sweeps actually performed
-  Scalar final_residual = 0.0;  ///< componentwise relative residual
+  Int iterations = 0;  ///< refinement sweeps actually performed
+  RealOf<WideOf<Scalar>> final_residual = 0.0;  ///< componentwise relative residual
 };
+
+/// Reference instantiation (common/types.hpp scalar).
+using RefineResult = RefineResultT<Scalar>;
 
 /// Solve A x = b with up to `max_iters` refinement sweeps; `x` holds the
 /// solution on return. Stops early when the relative residual falls below
-/// `tol` or stops improving.
-template <typename Solver>
-RefineResult solve_refined(Solver& solver, const Csc& a,
-                           const std::vector<Scalar>& b, std::vector<Scalar>& x,
-                           Int max_iters = 3, Scalar tol = 1e-14) {
-  RefineResult result;
-  x = b;
-  result.status = solver.solve(x);
+/// `tol` or stops improving. `a`, `b` and `x` are in the solver's wide type
+/// (identical to its scalar type except for float solvers, where they are
+/// double); `tol` is a magnitude threshold in that precision.
+template <typename Solver, class Int, class Wide>
+RefineResultT<typename Solver::Scalar> solve_refined(
+    Solver& solver, const CscT<Int, Wide>& a, const std::vector<Wide>& b,
+    std::vector<Wide>& x, NonDeduced<Int> max_iters = 3,
+    RealOf<Wide> tol = 1e-14) {
+  using S = typename Solver::Scalar;
+  static_assert(std::is_same_v<WideOf<S>, Wide>,
+                "solve_refined: the system must be given in the solver's "
+                "wide type (WideOf<Solver::Scalar>)");
+  RefineResultT<S> result;
+
+  // Initial solve in the solver's own precision, then widen.
+  std::vector<S> work(b.size());
+  for (size_t i = 0; i < b.size(); ++i) work[i] = static_cast<S>(b[i]);
+  result.status = solver.solve(work);
   if (result.status != Status::kOk) return result;
+  x.resize(b.size());
+  for (size_t i = 0; i < b.size(); ++i) x[i] = static_cast<Wide>(work[i]);
   result.final_residual = relative_residual(a, x, b);
 
-  std::vector<Scalar> r, dx;
+  std::vector<Wide> r;
   for (Int it = 0; it < max_iters && result.final_residual > tol; ++it) {
-    // r = b - A x, solve A dx = r, x += dx.
+    // r = b - A x (wide), solve A dx = r (solver precision), x += dx.
     spmv(a, x, r);
     for (size_t i = 0; i < r.size(); ++i) r[i] = b[i] - r[i];
-    dx = r;
-    result.status = solver.solve(dx);
+    for (size_t i = 0; i < r.size(); ++i) work[i] = static_cast<S>(r[i]);
+    result.status = solver.solve(work);
     if (result.status != Status::kOk) return result;
-    std::vector<Scalar> x_new = x;
-    for (size_t i = 0; i < x.size(); ++i) x_new[i] += dx[i];
-    const Scalar res_new = relative_residual(a, x_new, b);
+    std::vector<Wide> x_new = x;
+    for (size_t i = 0; i < x.size(); ++i) x_new[i] += static_cast<Wide>(work[i]);
+    const RealOf<Wide> res_new = relative_residual(a, x_new, b);
     ++result.iterations;
     if (res_new >= result.final_residual) break;  // no further progress
     x = std::move(x_new);

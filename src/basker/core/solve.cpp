@@ -8,8 +8,10 @@
 
 namespace basker {
 
-void Basker::solve_nd_part(const NdPart& part, std::vector<Scalar>& y_local,
-                           std::vector<Scalar>& x_local) const {
+template <class Int, class Scalar>
+void Basker<Int, Scalar>::solve_nd_part(const NdPart& part,
+                                        std::vector<Scalar>& y_local,
+                                        std::vector<Scalar>& x_local) const {
   const Int m = part.hi - part.lo;
   std::vector<Scalar> yhat(static_cast<size_t>(m), 0.0);
   std::vector<Scalar> tmp, w;
@@ -62,7 +64,8 @@ void Basker::solve_nd_part(const NdPart& part, std::vector<Scalar>& y_local,
   }
 }
 
-Status Basker::solve(std::vector<Scalar>& rhs) const {
+template <class Int, class Scalar>
+Status Basker<Int, Scalar>::solve(std::vector<Scalar>& rhs) const {
   if (!factored_) return Status::kNotFactored;
   BASKER_REQUIRE(static_cast<Int>(rhs.size()) == an_.n, "basker: rhs size");
   // Phase-coverage satellite: solve is timed like numeric/refactor (same
@@ -115,5 +118,9 @@ Status Basker::solve(std::vector<Scalar>& rhs) const {
   }
   return Status::kOk;
 }
+
+#define BASKER_BASKER_INST(I, S) template class Basker<I, S>;
+BASKER_INSTANTIATE_PAIRS(BASKER_BASKER_INST)
+#undef BASKER_BASKER_INST
 
 }  // namespace basker

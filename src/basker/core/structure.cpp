@@ -6,13 +6,15 @@
 
 namespace basker {
 
-Int NdPart::max_seg_size() const {
+template <class Int, class Scalar>
+Int NdPartT<Int, Scalar>::max_seg_size() const {
   Int best = 0;
   for (Int s = 0; s < nseg; ++s) best = std::max(best, seg_size(s));
   return best;
 }
 
-void NdPart::adopt_tree(const NdTree& tree) {
+template <class Int, class Scalar>
+void NdPartT<Int, Scalar>::adopt_tree(const NdTreeT<Int>& tree) {
   nlev = tree.nlevels;
   nleaves = tree.nleaves;
   nseg = tree.nsegments;
@@ -100,8 +102,11 @@ void NdPart::adopt_tree(const NdTree& tree) {
   }
 }
 
-double subtract_descendant_products(const NdPart& part, Int j, Int lo, Int hi,
-                                    Int rowseg_level, Int c, SparseAcc& acc) {
+template <class Int, class Scalar>
+double subtract_descendant_products(const NdPartT<Int, Scalar>& part, Int j,
+                                    Int lo, Int hi, Int rowseg_level, Int c,
+                                    SparseAccT<Int, Scalar>& acc) {
+  using LuMatrix = LuMatrixT<Int, Scalar>;
   double flops = 0.0;
   for (Int e = lo; e < hi; ++e) {
     const Int aj = part.seg_level[j] - part.seg_level[e] - 1;
@@ -111,7 +116,7 @@ double subtract_descendant_products(const NdPart& part, Int j, Int lo, Int hi,
     for (Size p = ue.col_ptr[lc]; p < ue.col_ptr[lc + 1]; ++p) {
       const Int tp = ue.row_idx[p];
       const Scalar uval = ue.values[p];
-      if (uval == 0.0) continue;
+      if (uval == Scalar{0.0}) continue;
       for (Size q = lb.col_ptr[tp]; q < lb.col_ptr[tp + 1]; ++q) {
         acc.add(lb.row_idx[q], -lb.values[q] * uval);
       }
@@ -120,5 +125,15 @@ double subtract_descendant_products(const NdPart& part, Int j, Int lo, Int hi,
   }
   return flops;
 }
+
+#define BASKER_STRUCTURE_INST(I, S)                                         \
+  template struct DiagFactorT<I, S>;                                        \
+  template struct NdPartT<I, S>;                                            \
+  template struct AnalysisT<I, S>;                                          \
+  template class SparseAccT<I, S>;                                          \
+  template double subtract_descendant_products<I, S>(                       \
+      const NdPartT<I, S>&, I, I, I, I, I, SparseAccT<I, S>&);
+BASKER_INSTANTIATE_PAIRS(BASKER_STRUCTURE_INST)
+#undef BASKER_STRUCTURE_INST
 
 }  // namespace basker

@@ -19,13 +19,26 @@
 namespace basker {
 
 /// Factors of one diagonal block (fine-BTF block or ND segment).
-struct DiagFactor {
-  LuMatrix l, u;
+template <class IntT, class ScalarT>
+struct DiagFactorT {
+  using Int = IntT;
+  using Scalar = ScalarT;
+
+  LuMatrixT<IntT, ScalarT> l, u;
   std::vector<Int> row_perm, pinv;
 };
 
+/// Reference instantiation (common/types.hpp aliases).
+using DiagFactor = DiagFactorT<Int, Scalar>;
+
 /// One large BTF block under the fine nested-dissection treatment.
-struct NdPart {
+template <class IntT, class ScalarT>
+struct NdPartT {
+  using Int = IntT;
+  using Scalar = ScalarT;
+  using LuMatrix = LuMatrixT<IntT, ScalarT>;
+  using DensePanel = DensePanelT<IntT, ScalarT>;
+
   Int lo = 0, hi = 0;  ///< row/col range in the globally permuted matrix B
 
   // Separator tree (segments in postorder; leaves level 0).
@@ -76,13 +89,13 @@ struct NdPart {
 
   /// The part's submatrix B(lo:hi, lo:hi) with part-local indices (all
   /// orderings already folded in).
-  Csc asub;
+  CscT<IntT, ScalarT> asub;
 
   // Factors. lblk[s][a] = L_{anc[s][a], s} (rows: pre-pivot ids local to the
   // ancestor segment; cols: pivot positions of segment s). ublk[s][a] =
   // U_{s, anc[s][a]} (rows: pivot positions of segment s; cols: columns of
   // the ancestor segment).
-  std::vector<DiagFactor> diag;
+  std::vector<DiagFactorT<IntT, ScalarT>> diag;
   std::vector<std::vector<LuMatrix>> lblk;
   std::vector<std::vector<LuMatrix>> ublk;
   /// Per-chunk staging for column-chunked task-DAG updates:
@@ -180,11 +193,18 @@ struct NdPart {
   /// Build tree metadata (anc/paths/owners) from an NdTree; called by the
   /// symbolic phase after the tree's permutation was folded into the global
   /// maps.
-  void adopt_tree(const NdTree& tree);
+  void adopt_tree(const NdTreeT<IntT>& tree);
 };
 
+/// Reference instantiation (common/types.hpp aliases).
+using NdPart = NdPartT<Int, Scalar>;
+
 /// Full analysis + factor state shared by symbolic, numeric and solve.
-struct Analysis {
+template <class IntT, class ScalarT>
+struct AnalysisT {
+  using Int = IntT;
+  using Scalar = ScalarT;
+
   Int n = 0;
   Int nthreads = 1;
 
@@ -192,58 +212,51 @@ struct Analysis {
   // a same-pattern matrix's values into b.
   std::vector<Int> row_map, col_map;
   std::vector<Int> block_off;
-  Csc b;
+  CscT<IntT, ScalarT> b;
   std::vector<Size> value_map;
 
   std::vector<Int> fine_blocks;                  ///< small-block indices
   std::vector<std::vector<Int>> fine_of_thread;  ///< balanced assignment
-  std::vector<DiagFactor> fine_factor;           ///< per coarse block (small only)
+  std::vector<DiagFactorT<IntT, ScalarT>> fine_factor;  ///< per coarse block (small only)
   /// Hybrid kernel tag per coarse block (fine blocks only; zero
   /// elsewhere): nonzero factors the block through a dense panel instead
   /// of the per-column sparse kernel (DESIGN.md §3.10). Set by symbolic()
   /// from the fill-density model, like NdPart::seg_dense.
   std::vector<char> fine_dense;
   std::vector<Int> part_of_block;                ///< block -> part index or kInvalid
-  std::vector<NdPart> parts;
+  std::vector<NdPartT<IntT, ScalarT>> parts;
 
   Int num_blocks() const { return static_cast<Int>(block_off.size()) - 1; }
 };
 
+/// Reference instantiation (common/types.hpp aliases).
+using Analysis = AnalysisT<Int, Scalar>;
+
 /// Gather the entries of `asub` column `col` whose rows fall in
 /// [row_lo, row_hi), reported as (row - row_lo, value) via fn — the
 /// segment-windowed column read both numeric schedules are built on.
-template <typename Fn>
-inline void gather_segment(const Csc& asub, Int col, Int row_lo, Int row_hi,
-                           Fn&& fn) {
+template <class Int, class Scalar, typename Fn>
+inline void gather_segment(const CscT<Int, Scalar>& asub, Int col, Int row_lo,
+                           Int row_hi, Fn&& fn) {
   const Int* base = asub.row_idx.data();
   const Int* begin = base + asub.col_ptr[col];
   const Int* end = base + asub.col_ptr[col + 1];
   const Int* it = std::lower_bound(begin, end, row_lo);
   for (; it != end && *it < row_hi; ++it) {
-    fn(*it - row_lo, asub.values[it - base]);
+    fn(static_cast<Int>(*it - row_lo), asub.values[it - base]);
   }
 }
 
-class SparseAcc;
-
-/// Subtract the partial products L_{rowseg,e} * U_{e,j}(:,c) of every
-/// segment e in [lo, hi) into `acc`, ascending postorder — THE fixed
-/// reduction order the cross-p bit-identity rests on, shared by the
-/// task-DAG update/factor kernels and the hybrid dense path so it cannot
-/// diverge. `rowseg_level` selects the L block row segment (ancestors of e
-/// are indexed by level distance). `c` is a target-local column: the U
-/// block column is read through the chunk grid of target j
-/// (NdPart::seg_chunk_cols), which is a property of (j, c) alone and
-/// therefore shared by every descendant's block. Returns the flops spent.
-double subtract_descendant_products(const NdPart& part, Int j, Int lo, Int hi,
-                                    Int rowseg_level, Int c, SparseAcc& acc);
-
 /// Dense accumulator with pattern tracking (scatter/gather workspace).
-class SparseAcc {
+template <class IntT, class ScalarT>
+class SparseAccT {
  public:
+  using Int = IntT;
+  using Scalar = ScalarT;
+
   void ensure(Int n) {
     if (static_cast<Int>(x_.size()) < n) {
-      x_.resize(static_cast<size_t>(n), 0.0);
+      x_.resize(static_cast<size_t>(n), Scalar{0.0});
       mark_.resize(static_cast<size_t>(n), -1);
     }
   }
@@ -261,7 +274,7 @@ class SparseAcc {
     }
   }
   const std::vector<Int>& pattern() const { return pat_; }
-  Scalar value(Int r) const { return mark_[r] == stamp_ ? x_[r] : 0.0; }
+  Scalar value(Int r) const { return mark_[r] == stamp_ ? x_[r] : Scalar{0.0}; }
   bool has(Int r) const { return mark_[r] == stamp_; }
 
  private:
@@ -270,5 +283,32 @@ class SparseAcc {
   Int stamp_ = 0;
   std::vector<Int> pat_;
 };
+
+/// Reference instantiation (common/types.hpp aliases).
+using SparseAcc = SparseAccT<Int, Scalar>;
+
+/// Subtract the partial products L_{rowseg,e} * U_{e,j}(:,c) of every
+/// segment e in [lo, hi) into `acc`, ascending postorder — THE fixed
+/// reduction order the cross-p bit-identity rests on, shared by the
+/// task-DAG update/factor kernels and the hybrid dense path so it cannot
+/// diverge. `rowseg_level` selects the L block row segment (ancestors of e
+/// are indexed by level distance). `c` is a target-local column: the U
+/// block column is read through the chunk grid of target j
+/// (NdPart::seg_chunk_cols), which is a property of (j, c) alone and
+/// therefore shared by every descendant's block. Returns the flops spent.
+template <class Int, class Scalar>
+double subtract_descendant_products(const NdPartT<Int, Scalar>& part, Int j,
+                                    Int lo, Int hi, Int rowseg_level, Int c,
+                                    SparseAccT<Int, Scalar>& acc);
+
+#define BASKER_STRUCTURE_EXTERN(I, S)                                       \
+  extern template struct DiagFactorT<I, S>;                                 \
+  extern template struct NdPartT<I, S>;                                     \
+  extern template struct AnalysisT<I, S>;                                   \
+  extern template class SparseAccT<I, S>;                                   \
+  extern template double subtract_descendant_products<I, S>(                \
+      const NdPartT<I, S>&, I, I, I, I, I, SparseAccT<I, S>&);
+BASKER_INSTANTIATE_PAIRS(BASKER_STRUCTURE_EXTERN)
+#undef BASKER_STRUCTURE_EXTERN
 
 }  // namespace basker

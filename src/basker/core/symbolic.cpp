@@ -24,19 +24,22 @@ namespace {
 /// The symbolic work model every task-DAG sizing decision shares: squared
 /// symbolic-Cholesky column counts of a symmetric pattern (paper
 /// Algorithm 2 line 3: "Compute column count and number of operations").
-std::vector<Int> ordered_col_counts(const Csc& sym,
+template <class Int, class Scalar>
+std::vector<Int> ordered_col_counts(const CscT<Int, Scalar>& sym,
                                     const std::vector<Int>& perm) {
-  const Csc ordered = permute(sym, perm, perm);
+  const CscT<Int, Scalar> ordered = permute(sym, perm, perm);
   return chol_col_counts(ordered, etree(ordered));
 }
 
+template <class Int>
 double sum_sq(const std::vector<Int>& counts) {
   double ops = 0.0;
   for (Int c : counts) ops += static_cast<double>(c) * c;
   return ops;
 }
 
-double sum_sq_col_counts(const Csc& sym) {
+template <class Int, class Scalar>
+double sum_sq_col_counts(const CscT<Int, Scalar>& sym) {
   if (sym.ncols <= 1) return 1.0;
   return sum_sq(chol_col_counts(sym, etree(sym)));
 }
@@ -48,6 +51,7 @@ double sum_sq_col_counts(const Csc& sym) {
 /// at most c - lo + 1), double-counting the diagonal once. The sum over the
 /// block, normalized by the dense capacity jcols^2, is a [0, 1] score: 1
 /// means the model predicts a completely filled LU for the block.
+template <class Int>
 double segment_fill_density(const std::vector<Int>& counts, Int lo, Int hi) {
   const Int jcols = hi - lo;
   if (jcols <= 0) return 0.0;
@@ -65,8 +69,9 @@ double segment_fill_density(const std::vector<Int>& counts, Int lo, Int hi) {
 /// the part's per-column model in its final ND order, so the tags are a
 /// pure function of the analyzed pattern and the knob — never of the team
 /// size or any numeric value.
-void mark_dense_segments(NdPart& part, const std::vector<Int>& counts,
-                         double thr) {
+template <class Int, class Scalar>
+void mark_dense_segments(NdPartT<Int, Scalar>& part,
+                         const std::vector<Int>& counts, double thr) {
   for (Int s = 0; s < part.nseg; ++s) {
     const Int lo = part.seg_off[s], hi = part.seg_off[s + 1];
     if (hi <= lo) continue;
@@ -124,10 +129,12 @@ bool valid_trace_options(const BaskerOptions& opt) {
 /// (update chunks and factor tiles): dag_task_flops <= 0 derives the
 /// finest grid the floor allows, a floor wider than the block collapses
 /// it to one piece.
+template <class Int>
 Int derive_grid_width(Int jcols, double work, const BaskerOptions& opt,
                       Int wmin) {
   const double target =
       opt.dag_task_flops > 0.0 ? work / opt.dag_task_flops : jcols;
+  // Bounded cast: the false branch only runs when target < jcols.
   Int npieces =
       target >= static_cast<double>(jcols) ? jcols : static_cast<Int>(target);
   npieces = std::clamp(npieces, Int{1}, std::max<Int>(1, jcols / wmin));
@@ -149,7 +156,8 @@ Int derive_grid_width(Int jcols, double work, const BaskerOptions& opt,
 /// normally handed down from the work-inflation backoff, which computed
 /// them for the accepted tree anyway (recomputed here only if that pass
 /// was skipped).
-void assign_dag_chunks(NdPart& part, const Csc& sym,
+template <class Int, class Scalar>
+void assign_dag_chunks(NdPartT<Int, Scalar>& part, const CscT<Int, Scalar>& sym,
                        const std::vector<Int>& perm, const BaskerOptions& opt,
                        std::vector<Int> counts) {
   if ((opt.dag_chunk_cols <= 0 || opt.dag_tile_cols <= 0) && counts.empty()) {
@@ -215,7 +223,21 @@ void assign_dag_chunks(NdPart& part, const Csc& sym,
 
 }  // namespace
 
-Status Basker::symbolic(const Csc& a) {
+template <class Int, class Scalar>
+Status Basker<Int, Scalar>::symbolic(const Csc& a) {
+  try {
+    return symbolic_impl(a);
+  } catch (const IndexOverflowError&) {
+    // A checked narrowing (common/types.hpp to_index) overflowed — the
+    // analysis (tree sizing, DAG lowering) does not fit this
+    // instantiation's index type, which is an input problem.
+    analyzed_ = false;
+    return Status::kInvalidInput;
+  }
+}
+
+template <class Int, class Scalar>
+Status Basker<Int, Scalar>::symbolic_impl(const Csc& a) {
   BASKER_REQUIRE(a.nrows == a.ncols, "basker: square required");
   if (!valid_dag_options(opt_)) return Status::kInvalidInput;
   if (!valid_dense_options(opt_)) return Status::kInvalidInput;
@@ -234,16 +256,16 @@ Status Basker::symbolic(const Csc& a) {
   const Int n = a.ncols;
 
   // 1. Global matching (Pm1): zero-free, large diagonal.
-  const Matching match =
+  const MatchingT<Int> match =
       opt_.use_mwcm ? bottleneck_matching(a) : max_cardinality_matching(a);
   if (!match.is_perfect(n)) return Status::kStructurallySingular;
   an_.row_map = match.row_of_col;
   an_.col_map.resize(static_cast<size_t>(n));
-  std::iota(an_.col_map.begin(), an_.col_map.end(), 0);
+  std::iota(an_.col_map.begin(), an_.col_map.end(), Int{0});
 
   // 2. Coarse BTF (Pc).
   if (opt_.use_btf) {
-    const BtfResult btf = btf_order(permute(a, an_.row_map, {}));
+    const BtfResultT<Int> btf = btf_order(permute(a, an_.row_map, {}));
     an_.block_off = btf.block_offsets;
     std::vector<Int> new_row(static_cast<size_t>(n));
     for (Int i = 0; i < n; ++i) new_row[i] = an_.row_map[btf.perm[i]];
@@ -278,8 +300,9 @@ Status Basker::symbolic(const Csc& a) {
     // Fine ND part: local MWCM (Pm2) then nested dissection (Pnd).
     an_.part_of_block[blk] = static_cast<Int>(an_.parts.size());
     const Csc block = extract_block(pre, lo, hi, lo, hi);
-    const Matching m2 = opt_.use_mwcm ? bottleneck_matching(block)
-                                      : max_cardinality_matching(block);
+    const MatchingT<Int> m2 = opt_.use_mwcm
+                                  ? bottleneck_matching(block)
+                                  : max_cardinality_matching(block);
     // The global matching guarantees a zero-free diagonal, so the local one
     // is perfect as well.
     BASKER_REQUIRE(m2.is_perfect(m), "basker: local matching not perfect");
@@ -333,7 +356,7 @@ Status Basker::symbolic(const Csc& a) {
     // caveat); leaf ordering (which cannot change the splits) is likewise
     // deferred until the depth settles.
     const Int dissected_levels = nlevels;
-    NdTree tree = nested_dissect(sym, nlevels, false, opt_.nd_scheme);
+    NdTreeT<Int> tree = nested_dissect(sym, nlevels, false, opt_.nd_scheme);
     while (nlevels > 0 && tree.separator_mass() * 8 > m) {
       --nlevels;
       tree = merge_bottom_level(tree);
@@ -363,7 +386,7 @@ Status Basker::symbolic(const Csc& a) {
           // the exact-parity property the p = 1 overhead gate leans on.
           tree = nested_dissect(sym, 0, false, opt_.nd_scheme);
         }
-        NdTree cand = tree;
+        NdTreeT<Int> cand = tree;
         if (opt_.order_leaves) order_tree_leaves(sym, cand);
         if (nlevels == 0) {
           tree = std::move(cand);
@@ -451,7 +474,7 @@ Status Basker::symbolic(const Csc& a) {
             symmetrize_pattern(extract_block(an_.b, lo, hi, lo, hi));
         const std::vector<Int> counts = chol_col_counts(sym_blk, etree(sym_blk));
         ops = sum_sq(counts);
-        density = segment_fill_density(counts, 0, m);
+        density = segment_fill_density(counts, Int{0}, m);
       }
       if (hybrid && density >= opt_.dense_fill_threshold) an_.fine_dense[blk] = 1;
       est.emplace_back(ops, blk);
@@ -482,14 +505,17 @@ Status Basker::symbolic(const Csc& a) {
   // Stats.
   stats_ = BaskerStats{};
   stats_.nblocks = an_.num_blocks();
-  stats_.nd_parts = static_cast<Int>(an_.parts.size());
+  stats_.nd_parts = static_cast<long long>(an_.parts.size());
   Int small_rows = 0;
   for (Int blk = 0; blk < an_.num_blocks(); ++blk) {
     const Int size = an_.block_off[blk + 1] - an_.block_off[blk];
-    stats_.largest_block = std::max(stats_.largest_block, size);
+    stats_.largest_block =
+        std::max(stats_.largest_block, static_cast<long long>(size));
     if (size < opt_.nd_threshold) small_rows += size;
   }
-  stats_.btf_pct = n > 0 ? 100.0 * small_rows / n : 0.0;
+  stats_.btf_pct =
+      n > 0 ? 100.0 * static_cast<double>(small_rows) / static_cast<double>(n)
+            : 0.0;
   // Hybrid dense selection is symbolic-time state, so the count is fixed
   // here and stable across every numeric (re)factorization.
   for (char d : an_.fine_dense) stats_.dense_blocks += d != 0 ? 1 : 0;
@@ -502,5 +528,9 @@ Status Basker::symbolic(const Csc& a) {
   analyzed_ = true;
   return Status::kOk;
 }
+
+#define BASKER_BASKER_INST(I, S) template class Basker<I, S>;
+BASKER_INSTANTIATE_PAIRS(BASKER_BASKER_INST)
+#undef BASKER_BASKER_INST
 
 }  // namespace basker

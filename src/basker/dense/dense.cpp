@@ -6,8 +6,9 @@
 
 namespace basker {
 
-DenseMatrix DenseMatrix::from_csc(const Csc& a) {
-  DenseMatrix d(a.nrows, a.ncols);
+template <class Int, class Scalar>
+DenseMatrixT<Int, Scalar> DenseMatrixT<Int, Scalar>::from_csc(const Csc& a) {
+  DenseMatrixT d(a.nrows, a.ncols);
   for (Int j = 0; j < a.ncols; ++j) {
     for (Size p = a.col_ptr[j]; p < a.col_ptr[j + 1]; ++p) {
       d.at(a.row_idx[p], j) += a.values[p];
@@ -16,16 +17,18 @@ DenseMatrix DenseMatrix::from_csc(const Csc& a) {
   return d;
 }
 
-bool dense_lu_factor(DenseMatrix& a, std::vector<Int>& piv) {
+template <class Int, class Scalar>
+bool dense_lu_factor(DenseMatrixT<Int, Scalar>& a, std::vector<Int>& piv) {
+  using Real = RealOf<Scalar>;
   BASKER_REQUIRE(a.nrows == a.ncols, "dense_lu_factor: square required");
   const Int n = a.nrows;
   piv.assign(static_cast<size_t>(n), 0);
   for (Int k = 0; k < n; ++k) {
     // Partial pivot: largest magnitude in column k at or below the diagonal.
     Int p = k;
-    Scalar best = std::abs(a.at(k, k));
+    Real best = std::abs(a.at(k, k));
     for (Int i = k + 1; i < n; ++i) {
-      const Scalar v = std::abs(a.at(i, k));
+      const Real v = std::abs(a.at(i, k));
       if (v > best) {
         best = v;
         p = i;
@@ -40,14 +43,15 @@ bool dense_lu_factor(DenseMatrix& a, std::vector<Int>& piv) {
     for (Int i = k + 1; i < n; ++i) a.at(i, k) /= pivot;
     for (Int j = k + 1; j < n; ++j) {
       const Scalar akj = a.at(k, j);
-      if (akj == 0.0) continue;
+      if (akj == Scalar{0.0}) continue;
       for (Int i = k + 1; i < n; ++i) a.at(i, j) -= a.at(i, k) * akj;
     }
   }
   return true;
 }
 
-void dense_lu_solve(const DenseMatrix& lu, const std::vector<Int>& piv,
+template <class Int, class Scalar>
+void dense_lu_solve(const DenseMatrixT<Int, Scalar>& lu, const std::vector<Int>& piv,
                     std::vector<Scalar>& b) {
   const Int n = lu.nrows;
   BASKER_REQUIRE(static_cast<Int>(b.size()) == n, "dense_lu_solve: rhs size");
@@ -56,19 +60,21 @@ void dense_lu_solve(const DenseMatrix& lu, const std::vector<Int>& piv,
   }
   for (Int j = 0; j < n; ++j) {  // L y = Pb, unit diagonal
     const Scalar bj = b[j];
-    if (bj == 0.0) continue;
+    if (bj == Scalar{0.0}) continue;
     for (Int i = j + 1; i < n; ++i) b[i] -= lu.at(i, j) * bj;
   }
   for (Int j = n - 1; j >= 0; --j) {  // U x = y
     b[j] /= lu.at(j, j);
     const Scalar bj = b[j];
-    if (bj == 0.0) continue;
+    if (bj == Scalar{0.0}) continue;
     for (Int i = 0; i < j; ++i) b[i] -= lu.at(i, j) * bj;
   }
 }
 
-bool dense_solve(const Csc& a, const std::vector<Scalar>& b, std::vector<Scalar>& x) {
-  DenseMatrix d = DenseMatrix::from_csc(a);
+template <class Int, class Scalar>
+bool dense_solve(const CscT<Int, Scalar>& a, const std::vector<Scalar>& b,
+                 std::vector<Scalar>& x) {
+  DenseMatrixT<Int, Scalar> d = DenseMatrixT<Int, Scalar>::from_csc(a);
   std::vector<Int> piv;
   if (!dense_lu_factor(d, piv)) return false;
   x = b;
@@ -76,12 +82,13 @@ bool dense_solve(const Csc& a, const std::vector<Scalar>& b, std::vector<Scalar>
   return true;
 }
 
+template <class Int, class Scalar>
 void gemm_minus(Int m, Int n, Int k, const Scalar* a, Int lda, const Scalar* b,
                 Int ldb, Scalar* c, Int ldc) {
   for (Int j = 0; j < n; ++j) {
     for (Int l = 0; l < k; ++l) {
       const Scalar blj = b[static_cast<size_t>(j) * ldb + l];
-      if (blj == 0.0) continue;
+      if (blj == Scalar{0.0}) continue;
       const Scalar* acol = a + static_cast<size_t>(l) * lda;
       Scalar* ccol = c + static_cast<size_t>(j) * ldc;
       for (Int i = 0; i < m; ++i) ccol[i] -= acol[i] * blj;
@@ -89,20 +96,23 @@ void gemm_minus(Int m, Int n, Int k, const Scalar* a, Int lda, const Scalar* b,
   }
 }
 
+template <class Int, class Scalar>
 void trsm_lower_unit(Int m, Int n, const Scalar* l, Int ldl, Scalar* b, Int ldb) {
   for (Int j = 0; j < n; ++j) {
     Scalar* bcol = b + static_cast<size_t>(j) * ldb;
     for (Int k = 0; k < m; ++k) {
       const Scalar bk = bcol[k];
-      if (bk == 0.0) continue;
+      if (bk == Scalar{0.0}) continue;
       const Scalar* lcol = l + static_cast<size_t>(k) * ldl;
       for (Int i = k + 1; i < m; ++i) bcol[i] -= lcol[i] * bk;
     }
   }
 }
 
+template <class Int, class Scalar>
 Status panel_getrf_range(Int m, Int lda, Scalar* a, Int c0, Int c1, Int* perm,
                          Int* pos, const PanelPivot& opt, double* flops) {
+  using Real = RealOf<Scalar>;
   double fl = 0.0;
   const auto col = [&](Int c) { return a + static_cast<size_t>(c) * lda; };
   // Deferred left-updates from the already-factored columns [0, c0). Skipping
@@ -113,21 +123,21 @@ Status panel_getrf_range(Int m, Int lda, Scalar* a, Int c0, Int c1, Int* perm,
     for (Int c = c0; c < c1; ++c) {
       Scalar* xc = col(c);
       const Scalar ukc = xc[k];
-      if (ukc == 0.0) continue;
+      if (ukc == Scalar{0.0}) continue;
       for (Int i = k + 1; i < m; ++i) xc[i] -= lk[i] * ukc;
       fl += 2.0 * static_cast<double>(m - k - 1);
     }
   }
   // Blocked right-looking factorization of [c0, c1).
-  const Int nb = opt.block > 0 ? opt.block : 1;
+  const Int nb = opt.block > 0 ? static_cast<Int>(opt.block) : Int{1};
   for (Int k0 = c0; k0 < c1; k0 += nb) {
     const Int k1 = k0 + nb < c1 ? k0 + nb : c1;
     for (Int k = k0; k < k1; ++k) {
       Scalar* ck = col(k);
-      Scalar amax = 0.0;
+      Real amax = 0.0;
       Int imax = k;
       for (Int i = k; i < m; ++i) {
-        const Scalar v = std::abs(ck[i]);
+        const Real v = std::abs(ck[i]);
         if (v > amax) {  // strict >: ties resolve to the lowest row index
           amax = v;
           imax = i;
@@ -151,13 +161,13 @@ Status panel_getrf_range(Int m, Int lda, Scalar* a, Int c0, Int c1, Int* perm,
         }
       }
       const Scalar pivot = ck[k];
-      if (pivot == 0.0) return Status::kNumericallySingular;
+      if (pivot == Scalar{0.0}) return Status::kNumericallySingular;
       for (Int i = k + 1; i < m; ++i) ck[i] /= pivot;
       fl += static_cast<double>(m - k - 1);
       for (Int c = k + 1; c < k1; ++c) {
         Scalar* xc = col(c);
         const Scalar ukc = xc[k];
-        if (ukc == 0.0) continue;
+        if (ukc == Scalar{0.0}) continue;
         for (Int i = k + 1; i < m; ++i) xc[i] -= ck[i] * ukc;
         fl += 2.0 * static_cast<double>(m - k - 1);
       }
@@ -174,10 +184,11 @@ Status panel_getrf_range(Int m, Int lda, Scalar* a, Int c0, Int c1, Int* perm,
   return Status::kOk;
 }
 
+template <class Int, class Scalar>
 void panel_rtrsm_upper(Int mrows, Int n, Scalar* x, Int ldx, const Scalar* u,
                        Int ldu, Int block, double* flops) {
   double fl = 0.0;
-  const Int nb = block > 0 ? block : 1;
+  const Int nb = block > 0 ? block : Int{1};
   for (Int t0 = 0; t0 < n; t0 += nb) {
     const Int t1 = t0 + nb < n ? t0 + nb : n;
     for (Int t = t0; t < t1; ++t) {
@@ -187,7 +198,7 @@ void panel_rtrsm_upper(Int mrows, Int n, Scalar* x, Int ldx, const Scalar* u,
       fl += static_cast<double>(mrows);
       for (Int c = t + 1; c < t1; ++c) {
         const Scalar utc = u[static_cast<size_t>(c) * ldu + t];
-        if (utc == 0.0) continue;
+        if (utc == Scalar{0.0}) continue;
         Scalar* xc = x + static_cast<size_t>(c) * ldx;
         for (Int i = 0; i < mrows; ++i) xc[i] -= xt[i] * utc;
         fl += 2.0 * static_cast<double>(mrows);
@@ -203,5 +214,20 @@ void panel_rtrsm_upper(Int mrows, Int n, Scalar* x, Int ldx, const Scalar* u,
   }
   if (flops != nullptr) *flops += fl;
 }
+
+#define BASKER_DENSE_INST(I, S)                                                 \
+  template struct DenseMatrixT<I, S>;                                           \
+  template bool dense_lu_factor<I, S>(DenseMatrixT<I, S>&, std::vector<I>&);    \
+  template void dense_lu_solve<I, S>(const DenseMatrixT<I, S>&,                 \
+                                     const std::vector<I>&, std::vector<S>&);   \
+  template bool dense_solve<I, S>(const CscT<I, S>&, const std::vector<S>&,     \
+                                  std::vector<S>&);                             \
+  template void gemm_minus<I, S>(I, I, I, const S*, I, const S*, I, S*, I);     \
+  template void trsm_lower_unit<I, S>(I, I, const S*, I, S*, I);                \
+  template Status panel_getrf_range<I, S>(I, I, S*, I, I, I*, I*,               \
+                                          const PanelPivot&, double*);          \
+  template void panel_rtrsm_upper<I, S>(I, I, S*, I, const S*, I, I, double*);
+BASKER_INSTANTIATE_PAIRS(BASKER_DENSE_INST)
+#undef BASKER_DENSE_INST
 
 }  // namespace basker

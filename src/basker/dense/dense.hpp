@@ -13,51 +13,70 @@
 namespace basker {
 
 /// Column-major dense matrix.
-struct DenseMatrix {
+template <class IntT, class ScalarT>
+struct DenseMatrixT {
+  using Int = IntT;
+  using Scalar = ScalarT;
+  using Csc = CscT<IntT, ScalarT>;
+
   Int nrows = 0;
   Int ncols = 0;
   std::vector<Scalar> data;  ///< size nrows*ncols, column-major
 
-  DenseMatrix() = default;
-  DenseMatrix(Int rows, Int cols)
+  DenseMatrixT() = default;
+  DenseMatrixT(Int rows, Int cols)
       : nrows(rows), ncols(cols),
-        data(static_cast<size_t>(rows) * static_cast<size_t>(cols), 0.0) {}
+        data(static_cast<size_t>(rows) * static_cast<size_t>(cols), Scalar{0.0}) {}
 
   Scalar& at(Int i, Int j) { return data[static_cast<size_t>(j) * nrows + i]; }
   Scalar at(Int i, Int j) const { return data[static_cast<size_t>(j) * nrows + i]; }
 
-  static DenseMatrix from_csc(const Csc& a);
+  static DenseMatrixT from_csc(const Csc& a);
 };
+
+/// Reference instantiation (common/types.hpp pair).
+using DenseMatrix = DenseMatrixT<Int, Scalar>;
+
+#define BASKER_DENSEMAT_EXTERN(I, S) extern template struct DenseMatrixT<I, S>;
+BASKER_INSTANTIATE_PAIRS(BASKER_DENSEMAT_EXTERN)
+#undef BASKER_DENSEMAT_EXTERN
 
 /// Dense LU with partial pivoting, in place: A -> L\U with unit lower
 /// diagonal implicit; piv[k] = row swapped into position k at step k
 /// (LAPACK getrf convention). Returns false if exactly singular.
-bool dense_lu_factor(DenseMatrix& a, std::vector<Int>& piv);
+template <class Int, class Scalar>
+bool dense_lu_factor(DenseMatrixT<Int, Scalar>& a, std::vector<Int>& piv);
 
 /// Solve using factors from dense_lu_factor. b is overwritten with x.
-void dense_lu_solve(const DenseMatrix& lu, const std::vector<Int>& piv,
+template <class Int, class Scalar>
+void dense_lu_solve(const DenseMatrixT<Int, Scalar>& lu, const std::vector<Int>& piv,
                     std::vector<Scalar>& b);
 
 /// Convenience: solve A x = b densely from a sparse A; returns false if
 /// singular. Used only by tests and tiny fallback paths.
-bool dense_solve(const Csc& a, const std::vector<Scalar>& b, std::vector<Scalar>& x);
+template <class Int, class Scalar>
+bool dense_solve(const CscT<Int, Scalar>& a, const std::vector<Scalar>& b,
+                 std::vector<Scalar>& x);
 
 /// C(mxn) -= A(mxk) * B(kxn); all column-major with given leading dims.
+template <class Int, class Scalar>
 void gemm_minus(Int m, Int n, Int k, const Scalar* a, Int lda, const Scalar* b,
                 Int ldb, Scalar* c, Int ldc);
 
 /// In-place lower triangular solve L X = B where L (mxm, unit diagonal,
 /// column-major, leading dim ldl) and B is m x n (leading dim ldb).
+template <class Int, class Scalar>
 void trsm_lower_unit(Int m, Int n, const Scalar* l, Int ldl, Scalar* b, Int ldb);
 
 /// Pivot control for panel_getrf_range — the dense half of the hybrid
 /// block path (DESIGN.md §3.10). Mirrors GpOptions' semantics: diagonal
 /// preference with threshold `pivot_tol`, frozen-pivot replay with a
-/// relative growth monitor when `no_pivoting` is set.
+/// relative growth monitor when `no_pivoting` is set. Thresholds compare
+/// magnitudes, so they are plain double in every instantiation.
 struct PanelPivot {
-  Scalar pivot_tol = 0.001;  ///< keep diagonal when |a_kk| >= tol * colmax
+  double pivot_tol = 0.001;  ///< keep diagonal when |a_kk| >= tol * colmax
   bool no_pivoting = false;  ///< replay: position k is the pivot, no search
-  Scalar growth_tol = 0.0;   ///< replay monitor: |a_kk| < tol * colmax fails
+  double growth_tol = 0.0;   ///< replay monitor: |a_kk| < tol * colmax fails
   Int block = 64;            ///< cache-blocking width (the dense_tile knob)
 };
 
@@ -75,6 +94,7 @@ struct PanelPivot {
 /// kNumericallySingular on a zero pivot, kPivotGrowth when the replay
 /// monitor trips. `flops` (optional) is incremented with the multiply-add
 /// count.
+template <class Int, class Scalar>
 Status panel_getrf_range(Int m, Int lda, Scalar* a, Int c0, Int c1, Int* perm,
                          Int* pos, const PanelPivot& opt, double* flops);
 
@@ -85,7 +105,27 @@ Status panel_getrf_range(Int m, Int lda, Scalar* a, Int c0, Int c1, Int* perm,
 /// multiply-subtract per prior column t with u(t,c) != 0, ascending t, then
 /// one divide by u(c,c)" — identical for every block width and identical to
 /// the per-column sparse-snapshot loop the tiled DAG trsm tasks run.
+template <class Int, class Scalar>
 void panel_rtrsm_upper(Int mrows, Int n, Scalar* x, Int ldx, const Scalar* u,
                        Int ldu, Int block, double* flops);
+
+#define BASKER_DENSE_FN_EXTERN(I, S)                                            \
+  extern template bool dense_lu_factor<I, S>(DenseMatrixT<I, S>&,               \
+                                             std::vector<I>&);                  \
+  extern template void dense_lu_solve<I, S>(const DenseMatrixT<I, S>&,          \
+                                            const std::vector<I>&,              \
+                                            std::vector<S>&);                   \
+  extern template bool dense_solve<I, S>(const CscT<I, S>&,                     \
+                                         const std::vector<S>&,                 \
+                                         std::vector<S>&);                      \
+  extern template void gemm_minus<I, S>(I, I, I, const S*, I, const S*, I, S*,  \
+                                        I);                                     \
+  extern template void trsm_lower_unit<I, S>(I, I, const S*, I, S*, I);         \
+  extern template Status panel_getrf_range<I, S>(I, I, S*, I, I, I*, I*,        \
+                                                 const PanelPivot&, double*);   \
+  extern template void panel_rtrsm_upper<I, S>(I, I, S*, I, const S*, I, I,     \
+                                               double*);
+BASKER_INSTANTIATE_PAIRS(BASKER_DENSE_FN_EXTERN)
+#undef BASKER_DENSE_FN_EXTERN
 
 }  // namespace basker

@@ -6,7 +6,8 @@
 
 namespace basker {
 
-Int BtfResult::largest_block() const {
+template <class Int>
+Int BtfResultT<Int>::largest_block() const {
   Int best = 0;
   for (Int b = 0; b < num_blocks(); ++b) best = std::max(best, block_size(b));
   return best;
@@ -17,7 +18,8 @@ Int BtfResult::largest_block() const {
 // order of the condensation, so if A(i, j) != 0 crosses components then
 // comp(i) is emitted no later than comp(j); laying blocks out in emission
 // order therefore puts every cross-block entry in the upper triangle.
-BtfResult btf_order(const Csc& a) {
+template <class Int, class Scalar>
+BtfResultT<Int> btf_order(const CscT<Int, Scalar>& a) {
   BASKER_REQUIRE(a.nrows == a.ncols, "btf_order: square required");
   const Int n = a.ncols;
 
@@ -77,7 +79,7 @@ BtfResult btf_order(const Csc& a) {
   }
 
   // Bucket vertices by component in emission order.
-  BtfResult r;
+  BtfResultT<Int> r;
   r.block_offsets.assign(static_cast<size_t>(num_comps) + 1, 0);
   for (Int v = 0; v < n; ++v) r.block_offsets[comp_of[v] + 1]++;
   for (Int c = 0; c < num_comps; ++c) r.block_offsets[c + 1] += r.block_offsets[c];
@@ -86,5 +88,14 @@ BtfResult btf_order(const Csc& a) {
   for (Int v = 0; v < n; ++v) r.perm[next[comp_of[v]]++] = v;
   return r;
 }
+
+#define BASKER_BTFRESULT_INST(I) template struct BtfResultT<I>;
+BASKER_INSTANTIATE_INDEXES(BASKER_BTFRESULT_INST)
+#undef BASKER_BTFRESULT_INST
+
+#define BASKER_BTF_INST(I, S) \
+  template BtfResultT<I> btf_order<I, S>(const CscT<I, S>&);
+BASKER_INSTANTIATE_PAIRS(BASKER_BTF_INST)
+#undef BASKER_BTF_INST
 
 }  // namespace basker

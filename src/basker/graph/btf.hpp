@@ -10,7 +10,10 @@
 
 namespace basker {
 
-struct BtfResult {
+template <class IntT>
+struct BtfResultT {
+  using Int = IntT;
+
   /// Symmetric permutation: B = A(perm, perm) is block *upper* triangular.
   std::vector<Int> perm;
   /// Block boundaries in the permuted matrix; block b spans rows/cols
@@ -22,10 +25,23 @@ struct BtfResult {
   Int largest_block() const;
 };
 
+/// Reference instantiation (common/types.hpp index).
+using BtfResult = BtfResultT<Int>;
+
+#define BASKER_BTFRESULT_EXTERN(I) extern template struct BtfResultT<I>;
+BASKER_INSTANTIATE_INDEXES(BASKER_BTFRESULT_EXTERN)
+#undef BASKER_BTFRESULT_EXTERN
+
 /// Compute the BTF permutation of a square matrix whose diagonal should
 /// already be (mostly) zero-free — callers apply a matching permutation
 /// first. Each diagonal block is one strongly connected component of the
 /// digraph with an edge j -> i per stored entry A(i, j).
-BtfResult btf_order(const Csc& a);
+template <class Int, class Scalar>
+BtfResultT<Int> btf_order(const CscT<Int, Scalar>& a);
+
+#define BASKER_BTF_EXTERN(I, S) \
+  extern template BtfResultT<I> btf_order<I, S>(const CscT<I, S>&);
+BASKER_INSTANTIATE_PAIRS(BASKER_BTF_EXTERN)
+#undef BASKER_BTF_EXTERN
 
 }  // namespace basker

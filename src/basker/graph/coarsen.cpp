@@ -6,18 +6,19 @@
 
 namespace basker {
 
-std::vector<Int> heavy_edge_matching(const Csc& g) {
+template <class Int>
+std::vector<Int> heavy_edge_matching(const CscT<Int, double>& g) {
   BASKER_REQUIRE(g.nrows == g.ncols, "heavy_edge_matching: square required");
   const Int n = g.ncols;
   std::vector<Int> match(static_cast<size_t>(n), kInvalid);
   for (Int v = 0; v < n; ++v) {
     if (match[v] != kInvalid) continue;
     Int best = v;  // stay single unless an unmatched neighbour exists
-    Scalar best_w = 0.0;
+    double best_w = 0.0;
     for (Size p = g.col_ptr[v]; p < g.col_ptr[v + 1]; ++p) {
       const Int u = g.row_idx[p];
       if (u == v || match[u] != kInvalid) continue;
-      const Scalar w = g.values[p];
+      const double w = g.values[p];
       // Strict > keeps the smallest-index neighbour on ties (rows are
       // sorted ascending), which is the determinism contract.
       if (best == v || w > best_w) {
@@ -31,13 +32,14 @@ std::vector<Int> heavy_edge_matching(const Csc& g) {
   return match;
 }
 
-CoarseLevel contract(const Csc& g, const std::vector<Int>& vwgt,
-                     const std::vector<Int>& match) {
+template <class Int>
+CoarseLevelT<Int> contract(const CscT<Int, double>& g, const std::vector<Int>& vwgt,
+                           const std::vector<Int>& match) {
   const Int n = g.ncols;
   BASKER_REQUIRE(static_cast<Int>(vwgt.size()) == n &&
                      static_cast<Int>(match.size()) == n,
                  "contract: size mismatch");
-  CoarseLevel out;
+  CoarseLevelT<Int> out;
   out.fine_to_coarse.assign(static_cast<size_t>(n), kInvalid);
   Int nc = 0;
   for (Int v = 0; v < n; ++v) {
@@ -54,7 +56,7 @@ CoarseLevel contract(const Csc& g, const std::vector<Int>& vwgt,
   // with a stamp array. Visiting fine pairs (v, match[v]) in coarse-id
   // order emits columns already in ascending coarse order; row indices are
   // sorted per column afterwards to restore the Csc invariant.
-  Csc c(nc, nc);
+  CscT<Int, double> c(nc, nc);
   std::vector<Int> first_fine(static_cast<size_t>(nc), kInvalid);
   for (Int v = n - 1; v >= 0; --v) first_fine[out.fine_to_coarse[v]] = v;
   std::vector<Int> stamp(static_cast<size_t>(nc), kInvalid);
@@ -83,5 +85,12 @@ CoarseLevel contract(const Csc& g, const std::vector<Int>& vwgt,
   out.graph = std::move(c);
   return out;
 }
+
+#define BASKER_COARSEN_INST(I)                                          \
+  template std::vector<I> heavy_edge_matching<I>(const CscT<I, double>&); \
+  template CoarseLevelT<I> contract<I>(                                 \
+      const CscT<I, double>&, const std::vector<I>&, const std::vector<I>&);
+BASKER_INSTANTIATE_INDEXES(BASKER_COARSEN_INST)
+#undef BASKER_COARSEN_INST
 
 }  // namespace basker

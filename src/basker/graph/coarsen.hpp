@@ -9,6 +9,10 @@
 // and break ties toward the smallest index, so identical inputs always
 // produce identical coarse graphs — required for the solver's bit-identical
 // refactorization guarantee (test_parallel_consistency).
+//
+// The cut machinery is index-templated only: partition weights are always
+// double regardless of the solver's scalar type (weights need an ordering,
+// which complex scalars lack), so the working graphs are CscT<Int, double>.
 #pragma once
 
 #include <vector>
@@ -21,23 +25,38 @@ namespace basker {
 /// One level of a coarsening hierarchy. The coarse adjacency stores summed
 /// edge weights in `graph.values` (self loops removed); `vwgt[c]` is the
 /// number of finest-level vertices collapsed into coarse vertex c.
-struct CoarseLevel {
-  Csc graph;
+template <class IntT>
+struct CoarseLevelT {
+  using Int = IntT;
+
+  CscT<IntT, double> graph;
   std::vector<Int> vwgt;
   std::vector<Int> fine_to_coarse;  ///< size = fine vertex count
 };
+
+/// Reference instantiation (common/types.hpp index).
+using CoarseLevel = CoarseLevelT<Int>;
 
 /// Heavy-edge matching: scan vertices in index order; an unmatched vertex
 /// grabs its unmatched neighbour with the heaviest connecting edge (ties:
 /// smallest index). Returns match with match[v] == partner, or v itself for
 /// vertices left unmatched. `g` must be a symmetric-pattern adjacency whose
 /// values are positive edge weights (self loops ignored).
-std::vector<Int> heavy_edge_matching(const Csc& g);
+template <class Int>
+std::vector<Int> heavy_edge_matching(const CscT<Int, double>& g);
 
 /// Contract matched pairs into single vertices: coarse ids are assigned in
 /// increasing order of each pair's smaller fine index, parallel edges merge
 /// by weight summation, and fine vertex weights add.
-CoarseLevel contract(const Csc& g, const std::vector<Int>& vwgt,
-                     const std::vector<Int>& match);
+template <class Int>
+CoarseLevelT<Int> contract(const CscT<Int, double>& g, const std::vector<Int>& vwgt,
+                           const std::vector<Int>& match);
+
+#define BASKER_COARSEN_EXTERN(I)                                               \
+  extern template std::vector<I> heavy_edge_matching<I>(const CscT<I, double>&); \
+  extern template CoarseLevelT<I> contract<I>(                                 \
+      const CscT<I, double>&, const std::vector<I>&, const std::vector<I>&);
+BASKER_INSTANTIATE_INDEXES(BASKER_COARSEN_EXTERN)
+#undef BASKER_COARSEN_EXTERN
 
 }  // namespace basker

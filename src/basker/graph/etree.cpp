@@ -6,7 +6,8 @@
 
 namespace basker {
 
-std::vector<Int> etree(const Csc& a) {
+template <class Int, class Scalar>
+std::vector<Int> etree(const CscT<Int, Scalar>& a) {
   BASKER_REQUIRE(a.nrows == a.ncols, "etree: square required");
   const Int n = a.ncols;
   std::vector<Int> parent(static_cast<size_t>(n), kInvalid);
@@ -27,7 +28,8 @@ std::vector<Int> etree(const Csc& a) {
   return parent;
 }
 
-std::vector<Int> col_etree(const Csc& a) {
+template <class Int, class Scalar>
+std::vector<Int> col_etree(const CscT<Int, Scalar>& a) {
   const Int n = a.ncols;
   std::vector<Int> parent(static_cast<size_t>(n), kInvalid);
   std::vector<Int> ancestor(static_cast<size_t>(n), kInvalid);
@@ -48,6 +50,7 @@ std::vector<Int> col_etree(const Csc& a) {
   return parent;
 }
 
+template <class Int>
 std::vector<Int> postorder(const std::vector<Int>& parent) {
   const Int n = static_cast<Int>(parent.size());
   std::vector<Int> head(static_cast<size_t>(n), kInvalid);
@@ -87,9 +90,9 @@ namespace {
 /// Visit row k's subtree rows: for every i < k with A(i, k) stored, walk up
 /// the etree from i to the first already-visited node, invoking fn(j) for
 /// every new node j (these are exactly the columns j with L(k, j) != 0).
-template <typename Fn>
-void walk_row_subtree(const Csc& a, const std::vector<Int>& parent, Int k,
-                      std::vector<Int>& mark, Fn&& fn) {
+template <class Int, class Scalar, typename Fn>
+void walk_row_subtree(const CscT<Int, Scalar>& a, const std::vector<Int>& parent,
+                      Int k, std::vector<Int>& mark, Fn&& fn) {
   mark[k] = k;
   for (Size p = a.col_ptr[k]; p < a.col_ptr[k + 1]; ++p) {
     Int j = a.row_idx[p];
@@ -105,7 +108,9 @@ void walk_row_subtree(const Csc& a, const std::vector<Int>& parent, Int k,
 
 }  // namespace
 
-std::vector<Int> chol_col_counts(const Csc& a, const std::vector<Int>& parent) {
+template <class Int, class Scalar>
+std::vector<Int> chol_col_counts(const CscT<Int, Scalar>& a,
+                                 const std::vector<Int>& parent) {
   const Int n = a.ncols;
   std::vector<Int> counts(static_cast<size_t>(n), 1);  // diagonal
   std::vector<Int> mark(static_cast<size_t>(n), kInvalid);
@@ -115,13 +120,15 @@ std::vector<Int> chol_col_counts(const Csc& a, const std::vector<Int>& parent) {
   return counts;
 }
 
-Csc chol_pattern(const Csc& a, const std::vector<Int>& parent) {
+template <class Int, class Scalar>
+CscT<Int, Scalar> chol_pattern(const CscT<Int, Scalar>& a,
+                               const std::vector<Int>& parent) {
   const Int n = a.ncols;
   const std::vector<Int> counts = chol_col_counts(a, parent);
-  Csc l(n, n);
+  CscT<Int, Scalar> l(n, n);
   for (Int j = 0; j < n; ++j) l.col_ptr[j + 1] = l.col_ptr[j] + counts[j];
   l.row_idx.resize(static_cast<size_t>(l.nnz()));
-  l.values.assign(static_cast<size_t>(l.nnz()), 1.0);
+  l.values.assign(static_cast<size_t>(l.nnz()), Scalar{1.0});
   std::vector<Size> next(l.col_ptr.begin(), l.col_ptr.end() - 1);
   for (Int j = 0; j < n; ++j) l.row_idx[next[j]++] = j;  // diagonal first
   std::vector<Int> mark(static_cast<size_t>(n), kInvalid);
@@ -132,5 +139,20 @@ Csc chol_pattern(const Csc& a, const std::vector<Int>& parent) {
   // Row indices were appended in increasing k, so columns are sorted.
   return l;
 }
+
+#define BASKER_ETREE_INST(I, S)                                                \
+  template std::vector<I> etree<I, S>(const CscT<I, S>&);                      \
+  template std::vector<I> col_etree<I, S>(const CscT<I, S>&);                  \
+  template std::vector<I> chol_col_counts<I, S>(const CscT<I, S>&,             \
+                                                const std::vector<I>&);        \
+  template CscT<I, S> chol_pattern<I, S>(const CscT<I, S>&,                    \
+                                         const std::vector<I>&);
+BASKER_INSTANTIATE_PAIRS(BASKER_ETREE_INST)
+#undef BASKER_ETREE_INST
+
+#define BASKER_POSTORDER_INST(I) \
+  template std::vector<I> postorder<I>(const std::vector<I>&);
+BASKER_INSTANTIATE_INDEXES(BASKER_POSTORDER_INST)
+#undef BASKER_POSTORDER_INST
 
 }  // namespace basker

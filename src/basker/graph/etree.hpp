@@ -14,23 +14,44 @@ namespace basker {
 /// Elimination tree of a matrix with *symmetric pattern* (only the lower
 /// triangle is consulted, via the upper triangle of columns). parent[j] is
 /// the etree parent, kInvalid for roots.
-std::vector<Int> etree(const Csc& sym_pattern);
+template <class Int, class Scalar>
+std::vector<Int> etree(const CscT<Int, Scalar>& sym_pattern);
 
 /// Elimination tree of A^T A (column etree) without forming A^T A; used for
 /// unsymmetric factorizations with pivoting (fill-path bound).
-std::vector<Int> col_etree(const Csc& a);
+template <class Int, class Scalar>
+std::vector<Int> col_etree(const CscT<Int, Scalar>& a);
 
 /// Postorder of a forest given parent[]; returns post with post[k] = k-th
 /// node in postorder.
+template <class Int>
 std::vector<Int> postorder(const std::vector<Int>& parent);
 
 /// Symbolic Cholesky of a symmetric pattern: per-column nonzero counts of L
 /// (diagonal included). O(|L|) up-looking row traversal.
-std::vector<Int> chol_col_counts(const Csc& sym_pattern,
+template <class Int, class Scalar>
+std::vector<Int> chol_col_counts(const CscT<Int, Scalar>& sym_pattern,
                                  const std::vector<Int>& parent);
 
 /// Full symbolic Cholesky pattern of L (lower triangle, diagonal included),
 /// columns sorted. Used by the supernodal baseline's static-pattern LU.
-Csc chol_pattern(const Csc& sym_pattern, const std::vector<Int>& parent);
+template <class Int, class Scalar>
+CscT<Int, Scalar> chol_pattern(const CscT<Int, Scalar>& sym_pattern,
+                               const std::vector<Int>& parent);
+
+#define BASKER_ETREE_EXTERN(I, S)                                             \
+  extern template std::vector<I> etree<I, S>(const CscT<I, S>&);              \
+  extern template std::vector<I> col_etree<I, S>(const CscT<I, S>&);          \
+  extern template std::vector<I> chol_col_counts<I, S>(const CscT<I, S>&,     \
+                                                       const std::vector<I>&); \
+  extern template CscT<I, S> chol_pattern<I, S>(const CscT<I, S>&,            \
+                                                const std::vector<I>&);
+BASKER_INSTANTIATE_PAIRS(BASKER_ETREE_EXTERN)
+#undef BASKER_ETREE_EXTERN
+
+#define BASKER_POSTORDER_EXTERN(I) \
+  extern template std::vector<I> postorder<I>(const std::vector<I>&);
+BASKER_INSTANTIATE_INDEXES(BASKER_POSTORDER_EXTERN)
+#undef BASKER_POSTORDER_EXTERN
 
 }  // namespace basker

@@ -9,12 +9,13 @@ namespace basker {
 
 namespace {
 
-inline long long iwgt(Scalar w) { return std::llround(w); }
+inline long long iwgt(double w) { return std::llround(w); }
 
 /// Intrusive bucket lists over gains in [-max_gain, +max_gain]. Vertices
 /// within a bucket are kept in ascending index order by construction
 /// (seeded back-to-front, updates re-insert at the head only after a
 /// gain change, which preserves determinism if not strict ordering).
+template <class Int>
 class GainBuckets {
  public:
   GainBuckets(Int nverts, long long max_gain)
@@ -93,7 +94,8 @@ class GainBuckets {
 
 }  // namespace
 
-long long weighted_cut(const Csc& g, const std::vector<Int>& part) {
+template <class Int>
+long long weighted_cut(const CscT<Int, double>& g, const std::vector<Int>& part) {
   long long cut = 0;
   for (Int v = 0; v < g.ncols; ++v) {
     for (Size p = g.col_ptr[v]; p < g.col_ptr[v + 1]; ++p) {
@@ -104,7 +106,8 @@ long long weighted_cut(const Csc& g, const std::vector<Int>& part) {
   return cut;
 }
 
-bool fm_refine(const Csc& g, const std::vector<Int>& vwgt,
+template <class Int>
+bool fm_refine(const CscT<Int, double>& g, const std::vector<Int>& vwgt,
                std::vector<Int>& part, const FmLimits& lim) {
   const Int n = g.ncols;
   BASKER_REQUIRE(static_cast<Int>(part.size()) == n &&
@@ -135,7 +138,8 @@ bool fm_refine(const Csc& g, const std::vector<Int>& vwgt,
   std::vector<Int> moved;
   bool improved_any = false;
 
-  GainBuckets buckets[2] = {GainBuckets(n, max_deg), GainBuckets(n, max_deg)};
+  GainBuckets<Int> buckets[2] = {GainBuckets<Int>(n, max_deg),
+                                 GainBuckets<Int>(n, max_deg)};
   for (Int pass = 0; pass < lim.max_passes; ++pass) {
     // Seed gains and buckets; back-to-front insertion keeps each bucket's
     // list in ascending vertex order.
@@ -209,8 +213,9 @@ bool fm_refine(const Csc& g, const std::vector<Int>& vwgt,
   return improved_any;
 }
 
-void refine_vertex_separator(const Csc& g, const std::vector<Int>& vwgt,
-                             std::vector<Int>& part, Int max_passes,
+template <class Int>
+void refine_vertex_separator(const CscT<Int, double>& g, const std::vector<Int>& vwgt,
+                             std::vector<Int>& part, NonDeduced<Int> max_passes,
                              double max_side) {
   const Int n = g.ncols;
   BASKER_REQUIRE(static_cast<Int>(part.size()) == n &&
@@ -238,7 +243,8 @@ void refine_vertex_separator(const Csc& g, const std::vector<Int>& vwgt,
   const long long floor_w = entry_total - cap;
   // Plateau/negative moves beyond this net separator growth are hopeless.
   const long long slack =
-      2 * std::max<long long>(1, (entry_total + sep_w) / std::max(n, 1));
+      2 * std::max<long long>(1, (entry_total + sep_w) /
+                                     std::max<long long>(static_cast<long long>(n), 1));
 
   // Releasing separator vertex v to side s pulls the (1-s)-side neighbours
   // into the separator: net separator growth = absorbed weight - vwgt[v].
@@ -330,7 +336,8 @@ void refine_vertex_separator(const Csc& g, const std::vector<Int>& vwgt,
   }
 }
 
-void extract_vertex_separator(const Csc& g, std::vector<Int>& part) {
+template <class Int>
+void extract_vertex_separator(const CscT<Int, double>& g, std::vector<Int>& part) {
   const Int n = g.ncols;
   BASKER_REQUIRE(static_cast<Int>(part.size()) == n,
                  "extract_vertex_separator: size mismatch");
@@ -424,5 +431,19 @@ void extract_vertex_separator(const Csc& g, std::vector<Int>& part) {
     }
   }
 }
+
+#define BASKER_FM_INST(I)                                               \
+  template long long weighted_cut<I>(const CscT<I, double>&,            \
+                                     const std::vector<I>&);            \
+  template bool fm_refine<I>(const CscT<I, double>&,                    \
+                             const std::vector<I>&, std::vector<I>&,    \
+                             const FmLimits&);                          \
+  template void refine_vertex_separator<I>(                             \
+      const CscT<I, double>&, const std::vector<I>&, std::vector<I>&,   \
+      NonDeduced<I>, double);                                           \
+  template void extract_vertex_separator<I>(const CscT<I, double>&,     \
+                                            std::vector<I>&);
+BASKER_INSTANTIATE_INDEXES(BASKER_FM_INST)
+#undef BASKER_FM_INST
 
 }  // namespace basker

@@ -10,6 +10,10 @@
 // tie (equal gain, equal side weight) breaks toward the smaller vertex
 // index / side 0, and rollback keeps the first best prefix — identical
 // inputs always yield identical partitions.
+//
+// Like graph/coarsen.hpp, this is index-templated only: partition weights
+// are double in every instantiation, so the working graphs are
+// CscT<Int, double>.
 #pragma once
 
 #include <vector>
@@ -26,13 +30,15 @@ struct FmLimits {
 
 /// Sum of edge weights crossing the partition (each undirected edge counted
 /// once). `part[v]` must be 0 or 1; `g.values` are positive edge weights.
-long long weighted_cut(const Csc& g, const std::vector<Int>& part);
+template <class Int>
+long long weighted_cut(const CscT<Int, double>& g, const std::vector<Int>& part);
 
 /// Refine `part` in place; returns true if the cut strictly improved.
 /// `vwgt` are vertex weights (coarse vertices carry the number of fine
 /// vertices they absorbed). Passes that do not improve are rolled back
 /// entirely, so the result is never worse than the input.
-bool fm_refine(const Csc& g, const std::vector<Int>& vwgt,
+template <class Int>
+bool fm_refine(const CscT<Int, double>& g, const std::vector<Int>& vwgt,
                std::vector<Int>& part, const FmLimits& lim = {});
 
 /// Shrink a vertex separator in place by node moves: a separator vertex
@@ -43,8 +49,9 @@ bool fm_refine(const Csc& g, const std::vector<Int>& vwgt,
 /// rolls back to the lightest separator seen. `vwgt` weighs both the
 /// separator mass being minimized and the side balance (capped at max_side
 /// of the non-separator total). Deterministic.
-void refine_vertex_separator(const Csc& g, const std::vector<Int>& vwgt,
-                             std::vector<Int>& part, Int max_passes = 8,
+template <class Int>
+void refine_vertex_separator(const CscT<Int, double>& g, const std::vector<Int>& vwgt,
+                             std::vector<Int>& part, NonDeduced<Int> max_passes = 8,
                              double max_side = 0.6);
 
 /// Turn an edge-separated bipartition into a vertex-separated tripartition:
@@ -53,6 +60,21 @@ void refine_vertex_separator(const Csc& g, const std::vector<Int>& vwgt,
 /// After the call no edge connects part 0 to part 1. Intended for the
 /// finest (unit-weight) level, where minimum cover = fewest separator
 /// vertices.
-void extract_vertex_separator(const Csc& g, std::vector<Int>& part);
+template <class Int>
+void extract_vertex_separator(const CscT<Int, double>& g, std::vector<Int>& part);
+
+#define BASKER_FM_EXTERN(I)                                                    \
+  extern template long long weighted_cut<I>(const CscT<I, double>&,            \
+                                            const std::vector<I>&);            \
+  extern template bool fm_refine<I>(const CscT<I, double>&,                    \
+                                    const std::vector<I>&, std::vector<I>&,    \
+                                    const FmLimits&);                          \
+  extern template void refine_vertex_separator<I>(                             \
+      const CscT<I, double>&, const std::vector<I>&, std::vector<I>&,          \
+      NonDeduced<I>, double);                                                  \
+  extern template void extract_vertex_separator<I>(const CscT<I, double>&,     \
+                                                   std::vector<I>&);
+BASKER_INSTANTIATE_INDEXES(BASKER_FM_EXTERN)
+#undef BASKER_FM_EXTERN
 
 }  // namespace basker

@@ -7,7 +7,8 @@
 
 namespace basker {
 
-std::vector<Int> Matching::row_permutation() const {
+template <class Int>
+std::vector<Int> MatchingT<Int>::row_permutation() const {
   BASKER_REQUIRE(size == static_cast<Int>(row_of_col.size()),
                  "row_permutation requires a perfect matching");
   return row_of_col;
@@ -18,10 +19,11 @@ namespace {
 /// One augmenting-path search from column k (iterative DFS with cheap
 /// assignment, MC21 / cs_maxtrans style). Entries with |value| < min_abs are
 /// invisible. Returns true if an augmenting path was found and applied.
-bool augment(const Csc& a, Int k, Scalar min_abs, std::vector<Int>& row_of_col,
-             std::vector<Int>& col_of_row, std::vector<Size>& cheap,
-             std::vector<Size>& ps, std::vector<Int>& js, std::vector<Int>& is,
-             std::vector<Int>& visited) {
+template <class Int, class Scalar>
+bool augment(const CscT<Int, Scalar>& a, Int k, RealOf<Scalar> min_abs,
+             std::vector<Int>& row_of_col, std::vector<Int>& col_of_row,
+             std::vector<Size>& cheap, std::vector<Size>& ps, std::vector<Int>& js,
+             std::vector<Int>& is, std::vector<Int>& visited) {
   Int head = 0;
   js[0] = k;
   ps[static_cast<size_t>(head)] = a.col_ptr[k];
@@ -73,8 +75,9 @@ bool augment(const Csc& a, Int k, Scalar min_abs, std::vector<Int>& row_of_col,
   return true;
 }
 
-Matching run_matching(const Csc& a, Scalar min_abs) {
-  Matching m;
+template <class Int, class Scalar>
+MatchingT<Int> run_matching(const CscT<Int, Scalar>& a, RealOf<Scalar> min_abs) {
+  MatchingT<Int> m;
   m.row_of_col.assign(static_cast<size_t>(a.ncols), kInvalid);
   m.col_of_row.assign(static_cast<size_t>(a.nrows), kInvalid);
   std::vector<Size> cheap(a.col_ptr.begin(), a.col_ptr.end() - 1);
@@ -93,20 +96,24 @@ Matching run_matching(const Csc& a, Scalar min_abs) {
 
 }  // namespace
 
-Matching max_cardinality_matching(const Csc& a, Scalar min_abs) {
+template <class Int, class Scalar>
+MatchingT<Int> max_cardinality_matching(const CscT<Int, Scalar>& a,
+                                        NonDeduced<RealOf<Scalar>> min_abs) {
   return run_matching(a, min_abs);
 }
 
-Matching bottleneck_matching(const Csc& a) {
+template <class Int, class Scalar>
+MatchingT<Int> bottleneck_matching(const CscT<Int, Scalar>& a) {
+  using Real = RealOf<Scalar>;
   BASKER_REQUIRE(a.nrows == a.ncols, "bottleneck_matching: square required");
   const Int n = a.ncols;
-  Matching best = run_matching(a, 0.0);
+  MatchingT<Int> best = run_matching(a, Real{0.0});
   if (!best.is_perfect(n) || a.nnz() == 0) return best;  // caller handles singular
 
   // Candidate thresholds: the distinct absolute values present. A perfect
   // matching exists at threshold t iff t <= the bottleneck value, so binary
   // search for the largest feasible threshold.
-  std::vector<Scalar> vals(a.values.size());
+  std::vector<Real> vals(a.values.size());
   for (size_t i = 0; i < vals.size(); ++i) vals[i] = std::abs(a.values[i]);
   std::sort(vals.begin(), vals.end());
   vals.erase(std::unique(vals.begin(), vals.end()), vals.end());
@@ -117,7 +124,7 @@ Matching bottleneck_matching(const Csc& a) {
   if (run_matching(a, vals[lo]).size < n) return best;
   while (lo < hi) {
     const size_t mid = lo + (hi - lo + 1) / 2;
-    Matching m = run_matching(a, vals[mid]);
+    MatchingT<Int> m = run_matching(a, vals[mid]);
     if (m.is_perfect(n)) {
       lo = mid;
       best = std::move(m);
@@ -127,5 +134,16 @@ Matching bottleneck_matching(const Csc& a) {
   }
   return best;
 }
+
+#define BASKER_MATCHINGT_INST(I) template struct MatchingT<I>;
+BASKER_INSTANTIATE_INDEXES(BASKER_MATCHINGT_INST)
+#undef BASKER_MATCHINGT_INST
+
+#define BASKER_MATCHING_INST(I, S)                                     \
+  template MatchingT<I> max_cardinality_matching<I, S>(                \
+      const CscT<I, S>&, NonDeduced<RealOf<S>>);                       \
+  template MatchingT<I> bottleneck_matching<I, S>(const CscT<I, S>&);
+BASKER_INSTANTIATE_PAIRS(BASKER_MATCHING_INST)
+#undef BASKER_MATCHING_INST
 
 }  // namespace basker

@@ -16,7 +16,10 @@
 
 namespace basker {
 
-struct Matching {
+template <class IntT>
+struct MatchingT {
+  using Int = IntT;
+
   std::vector<Int> row_of_col;  ///< row matched to each column, kInvalid if none
   std::vector<Int> col_of_row;  ///< column matched to each row, kInvalid if none
   Int size = 0;                 ///< number of matched pairs
@@ -28,14 +31,32 @@ struct Matching {
   std::vector<Int> row_permutation() const;
 };
 
+/// Reference instantiation (common/types.hpp index).
+using Matching = MatchingT<Int>;
+
+#define BASKER_MATCHINGT_EXTERN(I) extern template struct MatchingT<I>;
+BASKER_INSTANTIATE_INDEXES(BASKER_MATCHINGT_EXTERN)
+#undef BASKER_MATCHINGT_EXTERN
+
 /// MC21: maximum cardinality matching using entries with |value| >= min_abs
-/// (min_abs == 0 admits every stored entry).
-Matching max_cardinality_matching(const Csc& a, Scalar min_abs = 0.0);
+/// (min_abs == 0 admits every stored entry). min_abs is a magnitude
+/// threshold, hence RealOf-typed.
+template <class Int, class Scalar>
+MatchingT<Int> max_cardinality_matching(const CscT<Int, Scalar>& a,
+                                        NonDeduced<RealOf<Scalar>> min_abs = 0.0);
 
 /// MC64-style bottleneck matching: the perfect matching maximizing
 /// min |a_ij| over matched entries. Falls back to plain maximum cardinality
 /// if no perfect matching exists (structurally singular input); callers can
 /// detect that via size < n.
-Matching bottleneck_matching(const Csc& a);
+template <class Int, class Scalar>
+MatchingT<Int> bottleneck_matching(const CscT<Int, Scalar>& a);
+
+#define BASKER_MATCHING_EXTERN(I, S)                                          \
+  extern template MatchingT<I> max_cardinality_matching<I, S>(                \
+      const CscT<I, S>&, NonDeduced<RealOf<S>>);                              \
+  extern template MatchingT<I> bottleneck_matching<I, S>(const CscT<I, S>&);
+BASKER_INSTANTIATE_PAIRS(BASKER_MATCHING_EXTERN)
+#undef BASKER_MATCHING_EXTERN
 
 }  // namespace basker

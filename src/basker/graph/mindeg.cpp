@@ -10,7 +10,8 @@
 
 namespace basker {
 
-std::vector<Int> min_degree_order(const Csc& g) {
+template <class Int, class Scalar>
+std::vector<Int> min_degree_order(const CscT<Int, Scalar>& g) {
   BASKER_REQUIRE(g.nrows == g.ncols, "min_degree_order: square required");
   const Int n = g.ncols;
   std::vector<Int> perm;
@@ -55,7 +56,7 @@ std::vector<Int> min_degree_order(const Csc& g) {
   std::vector<Int> dense_rows;
   {
     const Int cutoff = std::max<Int>(
-        16, static_cast<Int>(10.0 * std::sqrt(static_cast<double>(n))));
+        16, to_index<Int>(10.0 * std::sqrt(static_cast<double>(n))));
     for (Int v = 0; v < n; ++v) {
       if (static_cast<Int>(adj_var[v].size()) > cutoff) dense_rows.push_back(v);
     }
@@ -276,9 +277,10 @@ std::vector<Int> min_degree_order(const Csc& g) {
   return perm;
 }
 
-Size symbolic_fill_count(const Csc& g, const std::vector<Int>& perm) {
+template <class Int, class Scalar>
+Size symbolic_fill_count(const CscT<Int, Scalar>& g, const std::vector<Int>& perm) {
   BASKER_REQUIRE(is_permutation(perm, g.ncols), "symbolic_fill_count: bad perm");
-  const Csc b = permute(g, perm, perm);
+  const CscT<Int, Scalar> b = permute(g, perm, perm);
   // nnz(L) below diagonal of the Cholesky factor of the permuted pattern.
   const std::vector<Int> parent = etree(b);
   const std::vector<Int> counts = chol_col_counts(b, parent);
@@ -286,5 +288,12 @@ Size symbolic_fill_count(const Csc& g, const std::vector<Int>& perm) {
   for (Int c : counts) total += c - 1;  // exclude diagonal
   return total;
 }
+
+#define BASKER_MINDEG_INST(I, S)                                        \
+  template std::vector<I> min_degree_order<I, S>(const CscT<I, S>&);    \
+  template Size symbolic_fill_count<I, S>(const CscT<I, S>&,            \
+                                          const std::vector<I>&);
+BASKER_INSTANTIATE_PAIRS(BASKER_MINDEG_INST)
+#undef BASKER_MINDEG_INST
 
 }  // namespace basker

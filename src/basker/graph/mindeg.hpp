@@ -27,11 +27,21 @@ namespace basker {
 /// pattern (callers pass symmetrize_pattern(A) for unsymmetric A). The
 /// diagonal is ignored. Returns perm with perm[k] = node eliminated at step
 /// k, i.e. B = A(perm, perm) is the reordered matrix.
-std::vector<Int> min_degree_order(const Csc& sym_pattern);
+template <class Int, class Scalar>
+std::vector<Int> min_degree_order(const CscT<Int, Scalar>& sym_pattern);
 
 /// Exact fill count (nnz of L below diagonal) of eliminating `sym_pattern`
 /// in the order `perm`; brute-force symbolic elimination, O(|L| * deg).
 /// Used by tests and the symbolic flop estimates.
-Size symbolic_fill_count(const Csc& sym_pattern, const std::vector<Int>& perm);
+template <class Int, class Scalar>
+Size symbolic_fill_count(const CscT<Int, Scalar>& sym_pattern,
+                         const std::vector<Int>& perm);
+
+#define BASKER_MINDEG_EXTERN(I, S)                                             \
+  extern template std::vector<I> min_degree_order<I, S>(const CscT<I, S>&);    \
+  extern template Size symbolic_fill_count<I, S>(const CscT<I, S>&,            \
+                                                 const std::vector<I>&);
+BASKER_INSTANTIATE_PAIRS(BASKER_MINDEG_EXTERN)
+#undef BASKER_MINDEG_EXTERN
 
 }  // namespace basker

@@ -12,14 +12,16 @@
 
 namespace basker {
 
-bool NdTree::is_ancestor_or_self(Int anc, Int s) const {
+template <class Int>
+bool NdTreeT<Int>::is_ancestor_or_self(Int anc, Int s) const {
   for (Int cur = s; cur != kInvalid; cur = seg_parent[cur]) {
     if (cur == anc) return true;
   }
   return false;
 }
 
-Int NdTree::separator_mass() const {
+template <class Int>
+Int NdTreeT<Int>::separator_mass() const {
   Int mass = 0;
   for (Int s = 0; s < nsegments; ++s) {
     if (!is_leaf(s)) mass += seg_size(s);
@@ -30,15 +32,17 @@ Int NdTree::separator_mass() const {
 namespace {
 
 /// Scratch shared by the whole dissection: one marker array over the global
-/// graph avoids re-allocating per recursion level.
+/// graph avoids re-allocating per recursion level. Only the pattern of the
+/// input matrix is read, so any scalar type works.
+template <class Int, class Scalar>
 struct Workspace {
-  const Csc& g;
+  const CscT<Int, Scalar>& g;
   NdScheme scheme;
   std::vector<Int> inset;    ///< stamp marking the active vertex subset
   std::vector<Int> visited;  ///< BFS stamp
   std::vector<Int> local_of; ///< global -> subgraph index (multilevel path)
   Int stamp = 0;
-  Workspace(const Csc& graph, NdScheme s)
+  Workspace(const CscT<Int, Scalar>& graph, NdScheme s)
       : g(graph), scheme(s), inset(static_cast<size_t>(graph.ncols), kInvalid),
         visited(static_cast<size_t>(graph.ncols), kInvalid),
         local_of(static_cast<size_t>(graph.ncols), kInvalid) {}
@@ -47,7 +51,8 @@ struct Workspace {
 /// BFS over the active subset from `start`; appends visited vertices to
 /// `order` in discovery order and records their BFS level. Returns the
 /// number of levels.
-Int bfs(Workspace& ws, Int start, Int set_stamp, Int visit_stamp,
+template <class Int, class Scalar>
+Int bfs(Workspace<Int, Scalar>& ws, Int start, Int set_stamp, Int visit_stamp,
         std::vector<Int>& order, std::vector<Int>& level) {
   size_t begin = order.size();
   order.push_back(start);
@@ -72,7 +77,8 @@ Int bfs(Workspace& ws, Int start, Int set_stamp, Int visit_stamp,
 /// level structure from a pseudo-peripheral vertex, cut on the narrowest
 /// level whose prefix lands in the 25-75% balance band; suffix vertices
 /// adjacent to the prefix form the separator. Appends to a/b/sep.
-void levelset_split(Workspace& ws, const std::vector<Int>& component,
+template <class Int, class Scalar>
+void levelset_split(Workspace<Int, Scalar>& ws, const std::vector<Int>& component,
                     Int set_stamp, std::vector<Int>& level, std::vector<Int>& a,
                     std::vector<Int>& b, std::vector<Int>& sep) {
   Int seed = component.front();
@@ -129,8 +135,9 @@ void levelset_split(Workspace& ws, const std::vector<Int>& component,
 /// pseudo-peripheral vertex (found from `start`), absorbing vertices until
 /// half the total vertex weight is on side 0. FM cleans up whatever
 /// imbalance remains.
-std::vector<Int> grow_initial_partition(const Csc& g, const std::vector<Int>& vwgt,
-                                        Int start) {
+template <class Int>
+std::vector<Int> grow_initial_partition(const CscT<Int, double>& g,
+                                        const std::vector<Int>& vwgt, Int start) {
   const Int n = g.ncols;
   std::vector<Int> part(static_cast<size_t>(n), 1);
   if (n == 0) return part;
@@ -140,7 +147,7 @@ std::vector<Int> grow_initial_partition(const Csc& g, const std::vector<Int>& vw
   Int seed = start;
   for (int iter = 0; iter < 3; ++iter) {
     order.clear();
-    std::fill(seen.begin(), seen.end(), 0);
+    std::fill(seen.begin(), seen.end(), Int{0});
     order.push_back(seed);
     seen[seed] = 1;
     for (size_t qi = 0; qi < order.size(); ++qi) {
@@ -177,7 +184,8 @@ std::vector<Int> grow_initial_partition(const Csc& g, const std::vector<Int>& vw
 /// halves of a contracted pair inherit the coarse label (which keeps a
 /// vertex separator valid: any fine cross-side edge would imply a coarse
 /// cross-side edge).
-std::vector<Int> project_down(const CoarseLevel& lvl, Int fine_n,
+template <class Int>
+std::vector<Int> project_down(const CoarseLevelT<Int>& lvl, Int fine_n,
                               const std::vector<Int>& coarse_part) {
   std::vector<Int> fine_part(static_cast<size_t>(fine_n));
   for (Int v = 0; v < fine_n; ++v) {
@@ -191,14 +199,16 @@ std::vector<Int> project_down(const CoarseLevel& lvl, Int fine_n,
 /// coarsest graph, FM-refine the cut at every uncoarsening level, then
 /// convert the edge cut into a minimum vertex separator. Appends to
 /// a/b/sep.
-void multilevel_split(Workspace& ws, const std::vector<Int>& component,
+template <class Int, class Scalar>
+void multilevel_split(Workspace<Int, Scalar>& ws, const std::vector<Int>& component,
                       std::vector<Int>& a, std::vector<Int>& b,
                       std::vector<Int>& sep) {
   const Int nloc = static_cast<Int>(component.size());
   for (Int i = 0; i < nloc; ++i) ws.local_of[component[i]] = i;
 
-  // Induced subgraph in local indices, unit edge weights.
-  Csc g0(nloc, nloc);
+  // Induced subgraph in local indices, unit edge weights. The cut machinery
+  // always runs on double-weighted graphs (graph/coarsen.hpp).
+  CscT<Int, double> g0(nloc, nloc);
   for (Int i = 0; i < nloc; ++i) {
     const Int v = component[i];
     for (Size p = ws.g.col_ptr[v]; p < ws.g.col_ptr[v + 1]; ++p) {
@@ -216,12 +226,12 @@ void multilevel_split(Workspace& ws, const std::vector<Int>& component,
   // Coarsening hierarchy: contract heavy-edge matchings until the graph is
   // small enough to bisect directly or stops shrinking (tightly clustered
   // graphs saturate once most edges are internal to matched pairs).
-  std::vector<CoarseLevel> levels;
+  std::vector<CoarseLevelT<Int>> levels;
   std::vector<Int> unit_wgt(static_cast<size_t>(nloc), 1);
-  const Csc* cur = &g0;
+  const CscT<Int, double>* cur = &g0;
   const std::vector<Int>* curw = &unit_wgt;
   while (cur->ncols > 64) {
-    CoarseLevel next = contract(*cur, *curw, heavy_edge_matching(*cur));
+    CoarseLevelT<Int> next = contract(*cur, *curw, heavy_edge_matching(*cur));
     if (next.graph.ncols * 20 >= cur->ncols * 19) break;  // < 5% shrink
     levels.push_back(std::move(next));
     cur = &levels.back().graph;
@@ -235,7 +245,7 @@ void multilevel_split(Workspace& ws, const std::vector<Int>& component,
   const Int nc = cur->ncols;
   std::vector<Int> part;
   long long best_cut = -1;
-  for (Int start : {Int{0}, nc / 3, (2 * nc) / 3}) {
+  for (Int start : {Int{0}, Int(nc / 3), Int((2 * nc) / 3)}) {
     if (start >= nc) continue;
     std::vector<Int> cand = grow_initial_partition(*cur, *curw, start);
     fm_refine(*cur, *curw, cand, lim);
@@ -256,7 +266,7 @@ void multilevel_split(Workspace& ws, const std::vector<Int>& component,
   // circuit graphs).
   std::vector<Int> part_a = part;
   for (size_t li = levels.size(); li-- > 0;) {
-    const Csc& fine = li == 0 ? g0 : levels[li - 1].graph;
+    const CscT<Int, double>& fine = li == 0 ? g0 : levels[li - 1].graph;
     const std::vector<Int>& fw = li == 0 ? unit_wgt : levels[li - 1].vwgt;
     part_a = project_down(levels[li], fine.ncols, part_a);
     fm_refine(fine, fw, part_a, lim);
@@ -282,7 +292,7 @@ void multilevel_split(Workspace& ws, const std::vector<Int>& component,
     extract_vertex_separator(*cur, part_b);
     refine_vertex_separator(*cur, *curw, part_b);
     for (size_t li = levels.size(); li-- > 0;) {
-      const Csc& fine = li == 0 ? g0 : levels[li - 1].graph;
+      const CscT<Int, double>& fine = li == 0 ? g0 : levels[li - 1].graph;
       const std::vector<Int>& fw = li == 0 ? unit_wgt : levels[li - 1].vwgt;
       part_b = project_down(levels[li], fine.ncols, part_b);
       refine_vertex_separator(fine, fw, part_b);
@@ -294,9 +304,12 @@ void multilevel_split(Workspace& ws, const std::vector<Int>& component,
     for (Int i = 0; i < nloc; ++i) c += p[i] == label ? 1 : 0;
     return c;
   };
+  // Explicit difference instead of std::abs: the integer abs overload set
+  // does not cover every instantiated index type.
+  auto absdiff = [](Int x, Int y) { return x >= y ? x - y : y - x; };
   const Int sep_a = count(part_a, 2), sep_b = count(part_b, 2);
-  const Int imb_a = std::abs(count(part_a, 0) - count(part_a, 1));
-  const Int imb_b = std::abs(count(part_b, 0) - count(part_b, 1));
+  const Int imb_a = absdiff(count(part_a, 0), count(part_a, 1));
+  const Int imb_b = absdiff(count(part_b, 0), count(part_b, 1));
   const std::vector<Int>& chosen =
       sep_a != sep_b ? (sep_a < sep_b ? part_a : part_b)
                      : (imb_a <= imb_b ? part_a : part_b);
@@ -306,8 +319,9 @@ void multilevel_split(Workspace& ws, const std::vector<Int>& component,
 }
 
 /// Split `verts` into (a, b, sep) with no edges between a and b.
-void bisect(Workspace& ws, const std::vector<Int>& verts, std::vector<Int>& a,
-            std::vector<Int>& b, std::vector<Int>& sep) {
+template <class Int, class Scalar>
+void bisect(Workspace<Int, Scalar>& ws, const std::vector<Int>& verts,
+            std::vector<Int>& a, std::vector<Int>& b, std::vector<Int>& sep) {
   a.clear();
   b.clear();
   sep.clear();
@@ -397,18 +411,22 @@ void bisect(Workspace& ws, const std::vector<Int>& verts, std::vector<Int>& a,
   for (Int v : verts) ws.inset[v] = kInvalid;  // reset for reuse
 }
 
+template <class Int, class Scalar>
 struct Builder {
-  Workspace ws;
-  const Csc& g;
+  Workspace<Int, Scalar> ws;
+  const CscT<Int, Scalar>& g;
   std::vector<Int> perm;
   std::vector<Int> seg_offset{0};
   std::vector<Int> seg_parent;
   std::vector<Int> seg_level;
   std::vector<std::array<Int, 2>> seg_children;
 
-  Builder(const Csc& graph, NdScheme scheme) : ws(graph, scheme), g(graph) {}
+  Builder(const CscT<Int, Scalar>& graph, NdScheme scheme)
+      : ws(graph, scheme), g(graph) {}
 
   Int add_segment(Int level, std::array<Int, 2> children) {
+    // Segment and vertex counts are bounded by 2*nleaves-1 and ncols, both
+    // of which fit Int for any valid input.
     const Int id = static_cast<Int>(seg_parent.size());
     seg_parent.push_back(kInvalid);
     seg_level.push_back(level);
@@ -443,8 +461,9 @@ struct Builder {
 /// One full dissection with a fixed scheme, leaves in discovery order
 /// (the nested_dissect body; leaf ordering is applied post-hoc to the
 /// winning tree, so guard comparisons never pay for it).
-NdTree build_tree(const Csc& g, Int nlevels, NdScheme scheme) {
-  Builder builder(g, scheme);
+template <class Int, class Scalar>
+NdTreeT<Int> build_tree(const CscT<Int, Scalar>& g, Int nlevels, NdScheme scheme) {
+  Builder<Int, Scalar> builder(g, scheme);
 
   // High-degree vertices (circuit supply rails, dense columns) defeat BFS
   // level structures: they shortcut every distance, producing terrible
@@ -453,8 +472,8 @@ NdTree build_tree(const Csc& g, Int nlevels, NdScheme scheme) {
   std::vector<Int> all, dense;
   const Int n = g.ncols;
   if (nlevels > 0 && n > 0) {
-    const double avg_deg = static_cast<double>(g.nnz()) / n;
-    const Int threshold = std::max<Int>(24, static_cast<Int>(8.0 * avg_deg));
+    const double avg_deg = static_cast<double>(g.nnz()) / static_cast<double>(n);
+    const Int threshold = std::max<Int>(24, to_index<Int>(8.0 * avg_deg));
     for (Int v = 0; v < n; ++v) {
       const Int deg = static_cast<Int>(g.col_ptr[v + 1] - g.col_ptr[v]);
       // Cap the hoisted set so a uniformly dense graph is still dissected.
@@ -466,11 +485,11 @@ NdTree build_tree(const Csc& g, Int nlevels, NdScheme scheme) {
     }
   } else {
     all.resize(static_cast<size_t>(n));
-    std::iota(all.begin(), all.end(), 0);
+    std::iota(all.begin(), all.end(), Int{0});
   }
   builder.dissect(all, nlevels, dense.empty() ? nullptr : &dense);
 
-  NdTree t;
+  NdTreeT<Int> t;
   t.perm = std::move(builder.perm);
   t.nlevels = nlevels;
   t.nleaves = Int{1} << nlevels;
@@ -487,14 +506,17 @@ NdTree build_tree(const Csc& g, Int nlevels, NdScheme scheme) {
 
 }  // namespace
 
-void order_tree_leaves(const Csc& g, NdTree& t) {
+template <class Int, class Scalar>
+void order_tree_leaves(const CscT<Int, Scalar>& g, NdTreeT<Int>& t) {
   std::vector<Int> local_of(static_cast<size_t>(g.ncols), kInvalid);
   for (Int s = 0; s < t.nsegments; ++s) {
     if (!t.is_leaf(s) || t.seg_size(s) <= 2) continue;
     const Int* verts = t.perm.data() + t.seg_offset[s];
     const Int m = t.seg_size(s);
     for (Int i = 0; i < m; ++i) local_of[verts[i]] = i;
-    Triplets t_local(m, m);
+    // The fill estimate only needs the pattern; build the local graph with
+    // unit double weights like the rest of the ordering machinery.
+    TripletsT<Int, double> t_local(m, m);
     for (Int i = 0; i < m; ++i) {
       const Int v = verts[i];
       for (Size p = g.col_ptr[v]; p < g.col_ptr[v + 1]; ++p) {
@@ -511,9 +533,10 @@ void order_tree_leaves(const Csc& g, NdTree& t) {
   }
 }
 
-NdTree merge_bottom_level(const NdTree& t) {
+template <class Int>
+NdTreeT<Int> merge_bottom_level(const NdTreeT<Int>& t) {
   BASKER_REQUIRE(t.nlevels >= 1, "merge_bottom_level: tree has no levels");
-  NdTree out;
+  NdTreeT<Int> out;
   out.perm = t.perm;
   out.nlevels = t.nlevels - 1;
   out.nleaves = t.nleaves / 2;
@@ -556,11 +579,12 @@ NdTree merge_bottom_level(const NdTree& t) {
   return out;
 }
 
-NdTree nested_dissect(const Csc& g, Int nlevels, bool order_leaves,
-                      NdScheme scheme) {
+template <class Int, class Scalar>
+NdTreeT<Int> nested_dissect(const CscT<Int, Scalar>& g, NonDeduced<Int> nlevels,
+                            bool order_leaves, NdScheme scheme) {
   BASKER_REQUIRE(g.nrows == g.ncols, "nested_dissect: square required");
   BASKER_REQUIRE(nlevels >= 0, "nested_dissect: nlevels >= 0");
-  NdTree t;
+  NdTreeT<Int> t;
   if (scheme == NdScheme::kLevelSet || nlevels == 0) {
     t = build_tree(g, nlevels, scheme);
   } else {
@@ -569,8 +593,8 @@ NdTree nested_dissect(const Csc& g, Int nlevels, bool order_leaves,
     // the recursion then descends into different subsets, so the full
     // level-set tree can occasionally still end up with less total
     // separator mass. Compare complete trees and keep the better one.
-    NdTree ml = build_tree(g, nlevels, NdScheme::kMultilevel);
-    NdTree ls = build_tree(g, nlevels, NdScheme::kLevelSet);
+    NdTreeT<Int> ml = build_tree(g, nlevels, NdScheme::kMultilevel);
+    NdTreeT<Int> ls = build_tree(g, nlevels, NdScheme::kLevelSet);
     t = ml.separator_mass() <= ls.separator_mass() ? std::move(ml) : std::move(ls);
   }
   // Leaf ordering cannot change the splits, so it is applied once to the
@@ -578,5 +602,21 @@ NdTree nested_dissect(const Csc& g, Int nlevels, bool order_leaves,
   if (order_leaves) order_tree_leaves(g, t);
   return t;
 }
+
+#define BASKER_NDTREE_INST(I) template struct NdTreeT<I>;
+BASKER_INSTANTIATE_INDEXES(BASKER_NDTREE_INST)
+#undef BASKER_NDTREE_INST
+
+#define BASKER_ND_PAIR_INST(I, S)                                            \
+  template NdTreeT<I> nested_dissect<I, S>(const CscT<I, S>&, NonDeduced<I>, \
+                                           bool, NdScheme);                  \
+  template void order_tree_leaves<I, S>(const CscT<I, S>&, NdTreeT<I>&);
+BASKER_INSTANTIATE_PAIRS(BASKER_ND_PAIR_INST)
+#undef BASKER_ND_PAIR_INST
+
+#define BASKER_ND_INDEX_INST(I)                                              \
+  template NdTreeT<I> merge_bottom_level<I>(const NdTreeT<I>&);
+BASKER_INSTANTIATE_INDEXES(BASKER_ND_INDEX_INST)
+#undef BASKER_ND_INDEX_INST
 
 }  // namespace basker

@@ -10,6 +10,11 @@
 // graph/fm.hpp). Multilevel is the default: separator block columns are the
 // serial-ish tail of the parallel factorization, so smaller separators
 // translate directly into scaling headroom.
+//
+// Dissection reads only the pattern of the input matrix, so the entry
+// points are templated on (Int, Scalar); the internal multilevel cut
+// machinery runs on CscT<Int, double> weighted graphs regardless of the
+// solver scalar (see graph/coarsen.hpp).
 #pragma once
 
 #include <array>
@@ -40,7 +45,10 @@ enum class NdScheme {
 /// paper's matrix layout: for 4 leaves the permuted matrix is
 /// [leaf0 | leaf1 | sep01 | leaf2 | leaf3 | sep23 | root-sep], segments
 /// 0..6. Leaves have level 0; the root has level nlevels.
-struct NdTree {
+template <class IntT>
+struct NdTreeT {
+  using Int = IntT;
+
   std::vector<Int> perm;  ///< B = A(perm, perm)
   Int nlevels = 0;        ///< tree depth; nleaves = 2^nlevels
   Int nleaves = 1;
@@ -59,6 +67,13 @@ struct NdTree {
   Int separator_mass() const;
 };
 
+/// Reference instantiation (common/types.hpp index).
+using NdTree = NdTreeT<Int>;
+
+#define BASKER_NDTREE_EXTERN(I) extern template struct NdTreeT<I>;
+BASKER_INSTANTIATE_INDEXES(BASKER_NDTREE_EXTERN)
+#undef BASKER_NDTREE_EXTERN
+
 /// Dissect a symmetric-pattern graph into 2^nlevels leaves. When
 /// `order_leaves` is set, vertices inside each leaf are ordered with
 /// min_degree_order for fill reduction (separator segments keep their
@@ -66,15 +81,18 @@ struct NdTree {
 /// graphs; callers must tolerate them. Both schemes are deterministic:
 /// identical inputs produce identical trees (the solver's bit-identical
 /// refactorization contract depends on this).
-NdTree nested_dissect(const Csc& sym_pattern, Int nlevels, bool order_leaves = true,
-                      NdScheme scheme = NdScheme::kMultilevel);
+template <class Int, class Scalar>
+NdTreeT<Int> nested_dissect(const CscT<Int, Scalar>& sym_pattern,
+                            NonDeduced<Int> nlevels, bool order_leaves = true,
+                            NdScheme scheme = NdScheme::kMultilevel);
 
 /// Apply the `order_leaves` step to an existing tree: replace each leaf
 /// segment's slice of tree.perm with a min_degree_order of the leaf's
 /// induced subgraph. Leaf ordering never changes the splits, so callers
 /// that search over tree depths (core/symbolic.cpp) dissect with
 /// `order_leaves = false` and order the settled tree once.
-void order_tree_leaves(const Csc& sym_pattern, NdTree& tree);
+template <class Int, class Scalar>
+void order_tree_leaves(const CscT<Int, Scalar>& sym_pattern, NdTreeT<Int>& tree);
 
 /// Derive the depth-(nlevels-1) tree from `t` by merging each bottom-level
 /// sibling leaf pair together with its parent separator into one leaf.
@@ -94,6 +112,20 @@ void order_tree_leaves(const Csc& sym_pattern, NdTree& tree);
 /// fires on graphs that bisect badly under both schemes) for a dissection
 /// cost independent of how far the depth search walks.
 /// Requires t.nlevels >= 1; t.perm is preserved verbatim.
-NdTree merge_bottom_level(const NdTree& t);
+template <class Int>
+NdTreeT<Int> merge_bottom_level(const NdTreeT<Int>& t);
+
+#define BASKER_ND_PAIR_EXTERN(I, S)                                          \
+  extern template NdTreeT<I> nested_dissect<I, S>(                           \
+      const CscT<I, S>&, NonDeduced<I>, bool, NdScheme);                     \
+  extern template void order_tree_leaves<I, S>(const CscT<I, S>&,            \
+                                               NdTreeT<I>&);
+BASKER_INSTANTIATE_PAIRS(BASKER_ND_PAIR_EXTERN)
+#undef BASKER_ND_PAIR_EXTERN
+
+#define BASKER_ND_INDEX_EXTERN(I)                                            \
+  extern template NdTreeT<I> merge_bottom_level<I>(const NdTreeT<I>&);
+BASKER_INSTANTIATE_INDEXES(BASKER_ND_INDEX_EXTERN)
+#undef BASKER_ND_INDEX_EXTERN
 
 }  // namespace basker

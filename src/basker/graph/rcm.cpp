@@ -1,6 +1,7 @@
 #include "basker/graph/rcm.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "basker/common/error.hpp"
 
@@ -10,8 +11,9 @@ namespace {
 
 /// BFS collecting visit order; neighbours expanded by increasing degree.
 /// Returns the farthest vertex reached (for pseudo-peripheral iteration).
-Int bfs_ordered(const Csc& g, Int start, std::vector<Int>& visited, Int stamp,
-                std::vector<Int>* order) {
+template <class Int, class Scalar>
+Int bfs_ordered(const CscT<Int, Scalar>& g, Int start, std::vector<Int>& visited,
+                Int stamp, NonDeduced<std::vector<Int>*> order) {
   std::vector<Int> queue{start};
   visited[start] = stamp;
   std::vector<std::pair<Int, Int>> nbrs;  // (degree, vertex)
@@ -36,7 +38,8 @@ Int bfs_ordered(const Csc& g, Int start, std::vector<Int>& visited, Int stamp,
 
 }  // namespace
 
-std::vector<Int> rcm_order(const Csc& g) {
+template <class Int, class Scalar>
+std::vector<Int> rcm_order(const CscT<Int, Scalar>& g) {
   BASKER_REQUIRE(g.nrows == g.ncols, "rcm_order: square required");
   const Int n = g.ncols;
   std::vector<bool> done(static_cast<size_t>(n), false);
@@ -58,14 +61,22 @@ std::vector<Int> rcm_order(const Csc& g) {
   return order;
 }
 
-Int bandwidth(const Csc& a) {
+template <class Int, class Scalar>
+Int bandwidth(const CscT<Int, Scalar>& a) {
   Int band = 0;
   for (Int j = 0; j < a.ncols; ++j) {
     for (Size p = a.col_ptr[j]; p < a.col_ptr[j + 1]; ++p) {
-      band = std::max(band, std::abs(a.row_idx[p] - j));
+      const Int d = a.row_idx[p] >= j ? a.row_idx[p] - j : j - a.row_idx[p];
+      band = std::max(band, d);
     }
   }
   return band;
 }
+
+#define BASKER_RCM_INST(I, S)                                   \
+  template std::vector<I> rcm_order<I, S>(const CscT<I, S>&);   \
+  template I bandwidth<I, S>(const CscT<I, S>&);
+BASKER_INSTANTIATE_PAIRS(BASKER_RCM_INST)
+#undef BASKER_RCM_INST
 
 }  // namespace basker

@@ -14,9 +14,17 @@ namespace basker {
 /// RCM order of a symmetric-pattern graph: BFS from a pseudo-peripheral
 /// vertex of each component, neighbours visited in increasing-degree order,
 /// final order reversed. Returns perm with B = A(perm, perm) banded.
-std::vector<Int> rcm_order(const Csc& sym_pattern);
+template <class Int, class Scalar>
+std::vector<Int> rcm_order(const CscT<Int, Scalar>& sym_pattern);
 
 /// Bandwidth of A: max |i - j| over stored entries (0 for diagonal/empty).
-Int bandwidth(const Csc& a);
+template <class Int, class Scalar>
+Int bandwidth(const CscT<Int, Scalar>& a);
+
+#define BASKER_RCM_EXTERN(I, S)                                        \
+  extern template std::vector<I> rcm_order<I, S>(const CscT<I, S>&);   \
+  extern template I bandwidth<I, S>(const CscT<I, S>&);
+BASKER_INSTANTIATE_PAIRS(BASKER_RCM_EXTERN)
+#undef BASKER_RCM_EXTERN
 
 }  // namespace basker

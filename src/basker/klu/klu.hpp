@@ -41,6 +41,9 @@ struct KluStats {
 
 class KluSolver {
  public:
+  using Int = basker::Int;        // solve_refined keys on these aliases
+  using Scalar = basker::Scalar;
+
   explicit KluSolver(KluOptions opt = {}) : opt_(opt) {}
 
   /// Full factorization: ordering analysis + numeric.

@@ -5,9 +5,10 @@
 
 namespace basker {
 
-void GpEngine::init(Int n) {
+template <class Int, class Scalar>
+void GpEngineT<Int, Scalar>::init(Int n) {
   n_ = n;
-  x_.assign(static_cast<size_t>(n), 0.0);
+  x_.assign(static_cast<size_t>(n), Scalar{0.0});
   xi_.assign(static_cast<size_t>(n), 0);
   dfs_rows_.assign(static_cast<size_t>(n), 0);
   dfs_pos_.assign(static_cast<size_t>(n), 0);
@@ -17,8 +18,9 @@ void GpEngine::init(Int n) {
   pinv_.assign(static_cast<size_t>(n), kInvalid);
 }
 
-Int GpEngine::reach(const LuMatrix& l, const std::vector<Int>& pinv,
-                    const Int* in_rows, Int in_nnz) {
+template <class Int, class Scalar>
+Int GpEngineT<Int, Scalar>::reach(const LuMatrix& l, const std::vector<Int>& pinv,
+                                  const Int* in_rows, Int in_nnz) {
   Int top = n_;
   const Int stamp = ++stamp_;
   for (Int s = 0; s < in_nnz; ++s) {
@@ -54,14 +56,15 @@ Int GpEngine::reach(const LuMatrix& l, const std::vector<Int>& pinv,
   return top;
 }
 
-void GpEngine::solve_reached(const LuMatrix& l, const std::vector<Int>& pinv,
-                             Int top) {
+template <class Int, class Scalar>
+void GpEngineT<Int, Scalar>::solve_reached(const LuMatrix& l,
+                                           const std::vector<Int>& pinv, Int top) {
   for (Int p = top; p < n_; ++p) {
     const Int r = xi_[p];
     const Int t = pinv[r];
     if (t == kInvalid) continue;  // non-pivotal rows do not propagate
     const Scalar y = x_[r];
-    if (y == 0.0) continue;
+    if (y == Scalar{0.0}) continue;
     const Size begin = l.col_ptr[t], end = l.col_ptr[t + 1];
     for (Size q = begin; q < end; ++q) {
       x_[l.row_idx[q]] -= l.values[q] * y;
@@ -70,9 +73,11 @@ void GpEngine::solve_reached(const LuMatrix& l, const std::vector<Int>& pinv,
   }
 }
 
-Status GpEngine::factor_column(LuMatrix& l, LuMatrix& u, Int k, const Int* in_rows,
-                               const Scalar* in_vals, Int in_nnz, Int diag_row,
-                               const GpOptions& opt) {
+template <class Int, class Scalar>
+Status GpEngineT<Int, Scalar>::factor_column(LuMatrix& l, LuMatrix& u, Int k,
+                                             const Int* in_rows, const Scalar* in_vals,
+                                             Int in_nnz, Int diag_row,
+                                             const GpOptions& opt) {
   if (in_nnz == 0) return Status::kStructurallySingular;
   const Int top = reach(l, pinv_, in_rows, in_nnz);
   // Canonical solve order: pivotal rows ascending by pivot position,
@@ -90,13 +95,14 @@ Status GpEngine::factor_column(LuMatrix& l, LuMatrix& u, Int k, const Int* in_ro
   for (Int s = 0; s < in_nnz; ++s) x_[in_rows[s]] = in_vals[s];
   solve_reached(l, pinv_, top);
 
-  // Pivot selection among non-pivotal rows of the pattern.
-  Scalar max_abs = 0.0;
+  // Pivot selection among non-pivotal rows of the pattern. Magnitudes are
+  // Real-typed: complex scalars have no ordering of their own.
+  Real max_abs = 0.0;
   Int best = kInvalid;
   for (Int p = top; p < n_; ++p) {
     const Int r = xi_[p];
     if (pinv_[r] != kInvalid) continue;
-    const Scalar a = std::abs(x_[r]);
+    const Real a = std::abs(x_[r]);
     if (a > max_abs) {
       max_abs = a;
       best = r;
@@ -113,12 +119,12 @@ Status GpEngine::factor_column(LuMatrix& l, LuMatrix& u, Int k, const Int* in_ro
       status = Status::kPivotGrowth;
     }
   } else if (diag_row != kInvalid && pinv_[diag_row] == kInvalid) {
-    const Scalar d = std::abs(x_[diag_row]);
+    const Real d = std::abs(x_[diag_row]);
     if (d > opt.zero_pivot_abs && d >= opt.pivot_tol * max_abs) best = diag_row;
   }
   if (status == Status::kOk &&
       (best == kInvalid || std::abs(x_[best]) <= opt.zero_pivot_abs ||
-       x_[best] == 0.0)) {
+       x_[best] == Scalar{0.0})) {
     status = Status::kNumericallySingular;
   }
 
@@ -147,7 +153,7 @@ Status GpEngine::factor_column(LuMatrix& l, LuMatrix& u, Int k, const Int* in_ro
   }
 
   // Always clear the accumulator, even on failure.
-  for (Int p = top; p < n_; ++p) x_[xi_[p]] = 0.0;
+  for (Int p = top; p < n_; ++p) x_[xi_[p]] = Scalar{0.0};
   if (status == Status::kOk) {
     l.close_column(k);
     u.close_column(k);
@@ -155,17 +161,19 @@ Status GpEngine::factor_column(LuMatrix& l, LuMatrix& u, Int k, const Int* in_ro
   return status;
 }
 
-void GpEngine::begin_replay(Int n, const std::vector<Int>& row_perm,
-                            const std::vector<Int>& pinv) {
+template <class Int, class Scalar>
+void GpEngineT<Int, Scalar>::begin_replay(Int n, const std::vector<Int>& row_perm,
+                                          const std::vector<Int>& pinv) {
   n_ = n;
-  x_.assign(static_cast<size_t>(n), 0.0);
+  x_.assign(static_cast<size_t>(n), Scalar{0.0});
   row_perm_ = row_perm;
   pinv_ = pinv;
 }
 
-Status GpEngine::replay_column(LuMatrix& l, LuMatrix& u, Int k, const Int* in_rows,
-                               const Scalar* in_vals, Int in_nnz,
-                               const GpOptions& opt) {
+template <class Int, class Scalar>
+Status GpEngineT<Int, Scalar>::replay_column(LuMatrix& l, LuMatrix& u, Int k,
+                                             const Int* in_rows, const Scalar* in_vals,
+                                             Int in_nnz, const GpOptions& opt) {
   if (in_nnz == 0) return Status::kStructurallySingular;
   for (Int s = 0; s < in_nnz; ++s) x_[in_rows[s]] = in_vals[s];
   // Walk the stored U column (sorted ascending by pivot position, diagonal
@@ -177,7 +185,7 @@ Status GpEngine::replay_column(LuMatrix& l, LuMatrix& u, Int k, const Int* in_ro
     const Int t = u.row_idx[p];
     const Scalar y = x_[row_perm_[t]];
     u.values[p] = y;
-    if (y != 0.0) {
+    if (y != Scalar{0.0}) {
       const Size lb = l.col_ptr[t], le = l.col_ptr[t + 1];
       for (Size q = lb; q < le; ++q) x_[l.row_idx[q]] -= l.values[q] * y;
       flops_ += 2.0 * static_cast<double>(le - lb);
@@ -189,14 +197,14 @@ Status GpEngine::replay_column(LuMatrix& l, LuMatrix& u, Int k, const Int* in_ro
   if (opt.refactor_growth_tol > 0.0) {
     // Same candidate set as the fresh pass: the frozen pivot plus the rows
     // that landed in L (the non-pivotal reach).
-    Scalar max_abs = std::abs(pivot);
+    Real max_abs = std::abs(pivot);
     for (Size q = l.col_ptr[k]; q < l.col_ptr[k + 1]; ++q)
       max_abs = std::max(max_abs, std::abs(x_[l.row_idx[q]]));
     if (std::abs(pivot) < opt.refactor_growth_tol * max_abs)
       status = Status::kPivotGrowth;
   }
   if (status == Status::kOk &&
-      (std::abs(pivot) <= opt.zero_pivot_abs || pivot == 0.0)) {
+      (std::abs(pivot) <= opt.zero_pivot_abs || pivot == Scalar{0.0})) {
     status = Status::kNumericallySingular;
   }
   if (status == Status::kOk) {
@@ -207,19 +215,22 @@ Status GpEngine::replay_column(LuMatrix& l, LuMatrix& u, Int k, const Int* in_ro
     }
   }
   // Clear the accumulator along the stored patterns, even on failure.
-  for (Size p = ub; p < ue; ++p) x_[row_perm_[u.row_idx[p]]] = 0.0;
-  for (Size q = l.col_ptr[k]; q < l.col_ptr[k + 1]; ++q) x_[l.row_idx[q]] = 0.0;
+  for (Size p = ub; p < ue; ++p) x_[row_perm_[u.row_idx[p]]] = Scalar{0.0};
+  for (Size q = l.col_ptr[k]; q < l.col_ptr[k + 1]; ++q) x_[l.row_idx[q]] = Scalar{0.0};
   return status;
 }
 
-Status GpEngine::factor_block(const Csc& a, LuMatrix& l, LuMatrix& u,
-                              Size nnz_estimate, const GpOptions& opt) {
+template <class Int, class Scalar>
+Status GpEngineT<Int, Scalar>::factor_block(const Csc& a, LuMatrix& l, LuMatrix& u,
+                                            Size nnz_estimate, const GpOptions& opt) {
   BASKER_REQUIRE(a.nrows == a.ncols, "factor_block: square required");
   init(a.nrows);
   l.init(a.nrows, a.ncols, nnz_estimate);
   u.init(a.nrows, a.ncols, nnz_estimate);
   for (Int k = 0; k < a.ncols; ++k) {
     const Size p0 = a.col_ptr[k];
+    // Column length is bounded by nrows (rows strictly increase within a
+    // column), so the narrowing cannot overflow a valid matrix.
     const Int len = static_cast<Int>(a.col_ptr[k + 1] - p0);
     const Status s = factor_column(l, u, k, a.row_idx.data() + p0,
                                    a.values.data() + p0, len, k, opt);
@@ -228,9 +239,12 @@ Status GpEngine::factor_block(const Csc& a, LuMatrix& l, LuMatrix& u,
   return Status::kOk;
 }
 
-void GpEngine::sparse_lsolve(const LuMatrix& l, const std::vector<Int>& pinv,
-                             const Int* in_rows, const Scalar* in_vals, Int in_nnz,
-                             std::vector<Int>& out_rows, std::vector<Scalar>& out_vals) {
+template <class Int, class Scalar>
+void GpEngineT<Int, Scalar>::sparse_lsolve(const LuMatrix& l,
+                                           const std::vector<Int>& pinv,
+                                           const Int* in_rows, const Scalar* in_vals,
+                                           Int in_nnz, std::vector<Int>& out_rows,
+                                           std::vector<Scalar>& out_vals) {
   out_rows.clear();
   out_vals.clear();
   if (in_nnz == 0) return;
@@ -243,8 +257,12 @@ void GpEngine::sparse_lsolve(const LuMatrix& l, const std::vector<Int>& pinv,
     const Int r = xi_[p];
     out_rows.push_back(r);
     out_vals.push_back(x_[r]);
-    x_[r] = 0.0;
+    x_[r] = Scalar{0.0};
   }
 }
+
+#define BASKER_GP_INST(I, S) template class GpEngineT<I, S>;
+BASKER_INSTANTIATE_PAIRS(BASKER_GP_INST)
+#undef BASKER_GP_INST
 
 }  // namespace basker

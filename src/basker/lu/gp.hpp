@@ -17,18 +17,19 @@ namespace basker {
 
 struct GpOptions {
   /// Diagonal preference threshold: keep the diagonal as pivot when
-  /// |diag| >= pivot_tol * max|candidate| (KLU's default 0.001).
-  Scalar pivot_tol = 0.001;
+  /// |diag| >= pivot_tol * max|candidate| (KLU's default 0.001). Thresholds
+  /// compare magnitudes, so they are plain double in every instantiation.
+  double pivot_tol = 0.001;
   /// Forbid off-diagonal pivots entirely (refactorization-style paths).
   bool no_pivoting = false;
   /// Absolute value below which a pivot counts as numerically zero.
-  Scalar zero_pivot_abs = 0.0;
+  double zero_pivot_abs = 0.0;
   /// Frozen-pivot growth monitor (no_pivoting / replay paths only): when
   /// positive, a column whose forced pivot satisfies
   /// |pivot| < refactor_growth_tol * max|candidate| fails with
   /// Status::kPivotGrowth so the caller can fall back to re-pivoting.
   /// 0 (default) disables the monitor.
-  Scalar refactor_growth_tol = 0.0;
+  double refactor_growth_tol = 0.0;
 };
 
 /// Column-at-a-time Gilbert-Peierls engine for one diagonal block.
@@ -38,8 +39,15 @@ struct GpOptions {
 /// inverse. L columns store off-diagonal entries (unit diagonal implicit)
 /// with pre-pivot row ids; U columns store entries as (pivot position,
 /// value) sorted ascending, diagonal last.
-class GpEngine {
+template <class IntT, class ScalarT>
+class GpEngineT {
  public:
+  using Int = IntT;
+  using Scalar = ScalarT;
+  using Real = RealOf<ScalarT>;
+  using Csc = CscT<IntT, ScalarT>;
+  using LuMatrix = LuMatrixT<IntT, ScalarT>;
+
   /// Prepare for a block of dimension n (reusable across blocks; reuses
   /// scratch if n fits).
   void init(Int n);
@@ -109,5 +117,12 @@ class GpEngine {
   std::vector<Int> pinv_;
   double flops_ = 0.0;
 };
+
+/// Reference instantiation (common/types.hpp pair).
+using GpEngine = GpEngineT<Int, Scalar>;
+
+#define BASKER_GP_EXTERN(I, S) extern template class GpEngineT<I, S>;
+BASKER_INSTANTIATE_PAIRS(BASKER_GP_EXTERN)
+#undef BASKER_GP_EXTERN
 
 }  // namespace basker

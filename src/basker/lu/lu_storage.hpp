@@ -17,7 +17,12 @@ namespace basker {
 /// CSC-like factor storage filled strictly left to right, one closed column
 /// at a time. Row indices are block-local; for L they are pre-pivot row ids,
 /// for U they are pivot positions.
-struct LuMatrix {
+template <class IntT, class ScalarT>
+struct LuMatrixT {
+  using Int = IntT;
+  using Scalar = ScalarT;
+  using Csc = CscT<IntT, ScalarT>;
+
   Int nrows = 0;
   Int ncols = 0;
   std::vector<Size> col_ptr;
@@ -58,5 +63,8 @@ struct LuMatrix {
     return a;
   }
 };
+
+/// Reference instantiation (common/types.hpp pair).
+using LuMatrix = LuMatrixT<Int, Scalar>;
 
 }  // namespace basker

@@ -20,17 +20,19 @@ namespace basker {
 
 /// Gather the fully factored square panel into L (off-diagonal, pre-pivot
 /// row ids) and U (pivot positions, diagonal last). Re-initializes both.
-inline void gather_panel_lu(const DensePanel& p, LuMatrix& l, LuMatrix& u) {
+template <class Int, class Scalar>
+void gather_panel_lu(const DensePanelT<Int, Scalar>& p, LuMatrixT<Int, Scalar>& l,
+                     LuMatrixT<Int, Scalar>& u) {
   Size lnnz = 0;
   Size unnz = 0;
   for (Int c = 0; c < p.n; ++c) {
     const Scalar* pc = p.col(c);
     for (Int t = 0; t < c; ++t) {
-      if (pc[t] != 0.0) ++unnz;
+      if (pc[t] != Scalar{0.0}) ++unnz;
     }
     ++unnz;  // diagonal, stored unconditionally
     for (Int i = c + 1; i < p.m; ++i) {
-      if (pc[i] != 0.0) ++lnnz;
+      if (pc[i] != Scalar{0.0}) ++lnnz;
     }
   }
   l.init(p.m, p.n, lnnz);
@@ -38,12 +40,12 @@ inline void gather_panel_lu(const DensePanel& p, LuMatrix& l, LuMatrix& u) {
   for (Int c = 0; c < p.n; ++c) {
     const Scalar* pc = p.col(c);
     for (Int t = 0; t < c; ++t) {
-      if (pc[t] != 0.0) u.append(t, pc[t]);
+      if (pc[t] != Scalar{0.0}) u.append(t, pc[t]);
     }
     u.append(c, pc[c]);
     u.close_column(c);
     for (Int i = c + 1; i < p.m; ++i) {
-      if (pc[i] != 0.0) l.append(p.perm[i], pc[i]);
+      if (pc[i] != Scalar{0.0}) l.append(p.perm[i], pc[i]);
     }
     l.close_column(c);
   }
@@ -51,13 +53,14 @@ inline void gather_panel_lu(const DensePanel& p, LuMatrix& l, LuMatrix& u) {
 
 /// Gather columns [c0, c1) of the panel's U into a standalone tile snapshot
 /// (columns re-based to 0): the published sep_u_tile a DAG trsm tile reads.
-inline void gather_panel_u_tile(const DensePanel& p, Int c0, Int c1,
-                                LuMatrix& ut) {
+template <class Int, class Scalar>
+void gather_panel_u_tile(const DensePanelT<Int, Scalar>& p, NonDeduced<Int> c0,
+                         NonDeduced<Int> c1, LuMatrixT<Int, Scalar>& ut) {
   Size nnz = 0;
   for (Int c = c0; c < c1; ++c) {
     const Scalar* pc = p.col(c);
     for (Int t = 0; t < c; ++t) {
-      if (pc[t] != 0.0) ++nnz;
+      if (pc[t] != Scalar{0.0}) ++nnz;
     }
     ++nnz;
   }
@@ -65,7 +68,7 @@ inline void gather_panel_u_tile(const DensePanel& p, Int c0, Int c1,
   for (Int c = c0; c < c1; ++c) {
     const Scalar* pc = p.col(c);
     for (Int t = 0; t < c; ++t) {
-      if (pc[t] != 0.0) ut.append(t, pc[t]);
+      if (pc[t] != Scalar{0.0}) ut.append(t, pc[t]);
     }
     ut.append(c, pc[c]);
     ut.close_column(c - c0);
@@ -74,19 +77,20 @@ inline void gather_panel_u_tile(const DensePanel& p, Int c0, Int c1,
 
 /// Gather an unpermuted X panel (ancestor L-block after the triangular
 /// solve) into lb: ascending local rows, zeros skipped. Re-initializes lb.
-inline void gather_panel_lblk(const DensePanel& x, LuMatrix& lb) {
+template <class Int, class Scalar>
+void gather_panel_lblk(const DensePanelT<Int, Scalar>& x, LuMatrixT<Int, Scalar>& lb) {
   Size nnz = 0;
   for (Int c = 0; c < x.n; ++c) {
     const Scalar* xc = x.col(c);
     for (Int i = 0; i < x.m; ++i) {
-      if (xc[i] != 0.0) ++nnz;
+      if (xc[i] != Scalar{0.0}) ++nnz;
     }
   }
   lb.init(x.m, x.n, nnz);
   for (Int c = 0; c < x.n; ++c) {
     const Scalar* xc = x.col(c);
     for (Int i = 0; i < x.m; ++i) {
-      if (xc[i] != 0.0) lb.append(i, xc[i]);
+      if (xc[i] != Scalar{0.0}) lb.append(i, xc[i]);
     }
     lb.close_column(c);
   }

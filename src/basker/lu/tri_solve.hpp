@@ -1,8 +1,11 @@
 // Triangular solves against Gilbert-Peierls factors of one diagonal block.
+// Header-only function templates deducing the (index, scalar) pair from the
+// factor storage.
 #pragma once
 
 #include <vector>
 
+#include "basker/common/error.hpp"
 #include "basker/common/types.hpp"
 #include "basker/lu/lu_storage.hpp"
 
@@ -11,12 +14,40 @@ namespace basker {
 /// Forward solve L y = b for one block. `b` is indexed by pre-pivot row ids
 /// and is consumed (overwritten with zeros-and-partials); `y` is resized to
 /// the block dimension and indexed by pivot position.
-void block_lsolve(const LuMatrix& l, const std::vector<Int>& row_perm,
-                  std::vector<Scalar>& b, std::vector<Scalar>& y);
+template <class Int, class Scalar>
+void block_lsolve(const LuMatrixT<Int, Scalar>& l, const std::vector<Int>& row_perm,
+                  std::vector<Scalar>& b, std::vector<Scalar>& y) {
+  const Int n = l.ncols;
+  BASKER_REQUIRE(static_cast<Int>(b.size()) == n, "block_lsolve: rhs size");
+  y.assign(static_cast<size_t>(n), Scalar{0.0});
+  for (Int t = 0; t < n; ++t) {
+    const Scalar v = b[row_perm[t]];
+    y[t] = v;
+    if (v == Scalar{0.0}) continue;
+    for (Size p = l.col_ptr[t]; p < l.col_ptr[t + 1]; ++p) {
+      b[l.row_idx[p]] -= l.values[p] * v;
+    }
+  }
+}
 
 /// Backward solve U x = y in place; `y` is indexed by pivot position on
 /// entry and by column index on exit (they coincide: column k's pivot is
 /// position k). Requires U columns sorted with the diagonal entry last.
-void block_usolve(const LuMatrix& u, std::vector<Scalar>& y);
+template <class Int, class Scalar>
+void block_usolve(const LuMatrixT<Int, Scalar>& u, std::vector<Scalar>& y) {
+  const Int n = u.ncols;
+  BASKER_REQUIRE(static_cast<Int>(y.size()) == n, "block_usolve: rhs size");
+  for (Int t = n - 1; t >= 0; --t) {
+    const Size begin = u.col_ptr[t], end = u.col_ptr[t + 1];
+    BASKER_REQUIRE(end > begin && u.row_idx[end - 1] == t,
+                   "block_usolve: missing diagonal");
+    y[t] /= u.values[end - 1];
+    const Scalar v = y[t];
+    if (v == Scalar{0.0}) continue;
+    for (Size p = begin; p + 1 < end; ++p) {
+      y[u.row_idx[p]] -= u.values[p] * v;
+    }
+  }
+}
 
 }  // namespace basker

@@ -61,12 +61,17 @@ void TaskGraph::finalize() {
   finalized_ = true;
 }
 
-void TaskGraph::build(const Analysis& an) {
+template <class I, class S>
+void TaskGraph::build(const AnalysisT<I, S>& an) {
   clear();
 
+  // Every analysis-side id (segment, block, chunk, tile) narrows into the
+  // graph's int32 fields through to_index — checked, so an analysis too
+  // large for the DAG surfaces as IndexOverflowError instead of wrapping.
+  // Graph-side ids (task ids, update_base arithmetic) are already Int.
   // Fine-BTF blocks: independent roots.
-  for (Int blk : an.fine_blocks) {
-    add_task(TaskKind::kFineBlock, kInvalid, blk);
+  for (I blk : an.fine_blocks) {
+    add_task(TaskKind::kFineBlock, kInvalid, to_index<Int>(blk));
   }
 
   // ND parts: per segment in postorder, so every referenced task id exists
@@ -78,31 +83,34 @@ void TaskGraph::build(const Analysis& an) {
   std::vector<std::vector<Int>> factor_join;
   std::vector<Int> update_base;  ///< per separator j: id of U_{sub_lo[j], j}'s chunk 0
   for (size_t pi = 0; pi < an.parts.size(); ++pi) {
-    const NdPart& part = an.parts[pi];
+    const NdPartT<I, S>& part = an.parts[pi];
+    const Int pid = to_index<Int>(pi);
     factor_join.assign(static_cast<size_t>(part.nseg), {});
     update_base.assign(static_cast<size_t>(part.nseg), kInvalid);
-    for (Int s = 0; s < part.nseg; ++s) {
+    for (I s = 0; s < part.nseg; ++s) {
+      const Int s32 = to_index<Int>(s);
       if (part.seg_level[s] == 0) {
         factor_join[static_cast<size_t>(s)] = {
-            add_task(TaskKind::kLeafFactor, static_cast<Int>(pi), s)};
+            add_task(TaskKind::kLeafFactor, pid, s32)};
         continue;
       }
       // Update tasks targeting separator s are laid out in ascending
       // (descendant, chunk) order with a fixed stride per descendant, so
       // ids are pure arithmetic: nchunks chunk tasks plus, for multi-chunk
       // blocks, the assemble task directly after its chunks.
-      const Int lo = part.seg_sub_lo[s];
-      const Int nchunks = part.seg_nchunks(s);
-      const Int stride = nchunks + (nchunks > 1 ? 1 : 0);
+      const I lo = part.seg_sub_lo[s];
+      const I nchunks = part.seg_nchunks(s);
+      const I stride = nchunks + (nchunks > 1 ? 1 : 0);
       update_base[static_cast<size_t>(s)] = size();
-      auto update_id = [&](Int d, Int j, Int k) {
+      auto update_id = [&](I d, I j, I k) {
         return update_base[static_cast<size_t>(j)] +
-               (d - part.seg_sub_lo[j]) * stride + k;
+               to_index<Int>((d - part.seg_sub_lo[j]) * stride + k);
       };
-      for (Int d = lo; d < s; ++d) {
-        for (Int k = 0; k < nchunks; ++k) {
-          const Int id =
-              add_task(TaskKind::kSepUpdate, static_cast<Int>(pi), d, s, k);
+      for (I d = lo; d < s; ++d) {
+        const Int d32 = to_index<Int>(d);
+        for (I k = 0; k < nchunks; ++k) {
+          const Int id = add_task(TaskKind::kSepUpdate, pid, d32, s32,
+                                  to_index<Int>(k));
           for (Int fid : factor_join[static_cast<size_t>(d)]) {
             add_edge(fid, id);
           }
@@ -118,19 +126,17 @@ void TaskGraph::build(const Analysis& an) {
           }
         }
         if (nchunks > 1) {
-          const Int aid =
-              add_task(TaskKind::kSepAssemble, static_cast<Int>(pi), d, s);
-          for (Int k = 0; k < nchunks; ++k) {
+          const Int aid = add_task(TaskKind::kSepAssemble, pid, d32, s32);
+          for (I k = 0; k < nchunks; ++k) {
             add_edge(update_id(d, s, k), aid);
           }
         }
       }
-      const Int ntiles = part.seg_ntiles(s);
+      const I ntiles = part.seg_ntiles(s);
       if (ntiles == 1) {
         // Monolithic separator factor: one task, every child chunk a dep.
-        const Int fid =
-            add_task(TaskKind::kSepFactor, static_cast<Int>(pi), s);
-        for (Int k = 0; k < nchunks; ++k) {
+        const Int fid = add_task(TaskKind::kSepFactor, pid, s32);
+        for (I k = 0; k < nchunks; ++k) {
           add_edge(update_id(part.seg_children[s][0], s, k), fid);
           add_edge(update_id(part.seg_children[s][1], s, k), fid);
         }
@@ -141,25 +147,25 @@ void TaskGraph::build(const Analysis& an) {
       // gemm for tile t only needs the children's U_{c,s} chunks whose
       // column ranges overlap the tile — the tile and chunk grids both
       // belong to s but may differ, hence the range mapping.
-      auto chunk_edges = [&](Int t, Int gid) {
-        const Int t0 = part.tile_lo(s, t);
-        const Int t1 = t0 + part.tile_width(s, t);
-        const Int cw = part.seg_chunk_cols[s];
-        for (Int k = t0 / cw; k <= (t1 - 1) / cw; ++k) {
+      auto chunk_edges = [&](I t, Int gid) {
+        const I t0 = part.tile_lo(s, t);
+        const I t1 = t0 + part.tile_width(s, t);
+        const I cw = part.seg_chunk_cols[s];
+        for (I k = t0 / cw; k <= (t1 - 1) / cw; ++k) {
           add_edge(update_id(part.seg_children[s][0], s, k), gid);
           add_edge(update_id(part.seg_children[s][1], s, k), gid);
         }
       };
       std::vector<Int> gemm_d(static_cast<size_t>(ntiles));
       std::vector<Int> getrf(static_cast<size_t>(ntiles));
-      for (Int t = 0; t < ntiles; ++t) {
+      for (I t = 0; t < ntiles; ++t) {
         gemm_d[static_cast<size_t>(t)] =
-            add_task(TaskKind::kTileGemm, static_cast<Int>(pi), s, 0, t);
+            add_task(TaskKind::kTileGemm, pid, s32, 0, to_index<Int>(t));
         chunk_edges(t, gemm_d[static_cast<size_t>(t)]);
       }
-      for (Int t = 0; t < ntiles; ++t) {
-        getrf[static_cast<size_t>(t)] =
-            add_task(TaskKind::kTileGetrf, static_cast<Int>(pi), s, kInvalid, t);
+      for (I t = 0; t < ntiles; ++t) {
+        getrf[static_cast<size_t>(t)] = add_task(TaskKind::kTileGetrf, pid,
+                                                 s32, kInvalid, to_index<Int>(t));
         add_edge(gemm_d[static_cast<size_t>(t)], getrf[static_cast<size_t>(t)]);
         if (t > 0) {
           add_edge(getrf[static_cast<size_t>(t - 1)],
@@ -171,16 +177,16 @@ void TaskGraph::build(const Analysis& an) {
       for (size_t a = 0; a < part.anc[s].size(); ++a) {
         const bool nonempty = part.seg_size(part.anc[s][a]) > 0;
         std::vector<Int> gemm_a(nonempty ? static_cast<size_t>(ntiles) : 0);
-        for (Int t = 0; nonempty && t < ntiles; ++t) {
-          gemm_a[static_cast<size_t>(t)] = add_task(
-              TaskKind::kTileGemm, static_cast<Int>(pi), s,
-              static_cast<Int>(1 + a), t);
+        for (I t = 0; nonempty && t < ntiles; ++t) {
+          gemm_a[static_cast<size_t>(t)] =
+              add_task(TaskKind::kTileGemm, pid, s32, to_index<Int>(1 + a),
+                       to_index<Int>(t));
           chunk_edges(t, gemm_a[static_cast<size_t>(t)]);
         }
         Int prev = kInvalid;
-        for (Int t = 0; t < ntiles; ++t) {
-          const Int tid = add_task(TaskKind::kTileTrsm, static_cast<Int>(pi),
-                                   s, static_cast<Int>(a), t);
+        for (I t = 0; t < ntiles; ++t) {
+          const Int tid = add_task(TaskKind::kTileTrsm, pid, s32,
+                                   to_index<Int>(a), to_index<Int>(t));
           add_edge(getrf[static_cast<size_t>(t)], tid);
           if (nonempty) add_edge(gemm_a[static_cast<size_t>(t)], tid);
           if (t > 0) add_edge(prev, tid);
@@ -205,9 +211,9 @@ void TaskGraph::build(const Analysis& an) {
       case TaskKind::kSepFactor: {
         // One task computes the whole block column: jcols columns toward
         // the diagonal plus every nonempty ancestor row segment.
-        const NdPart& part = an.parts[static_cast<size_t>(t.part)];
-        Int rowsegs = 1;
-        for (Int k : part.anc[t.seg]) rowsegs += part.seg_size(k) > 0;
+        const NdPartT<I, S>& part = an.parts[static_cast<size_t>(t.part)];
+        double rowsegs = 1.0;
+        for (I k : part.anc[t.seg]) rowsegs += part.seg_size(k) > 0 ? 1.0 : 0.0;
         return static_cast<double>(part.seg_size(t.seg)) * rowsegs;
       }
       case TaskKind::kSepUpdate:
@@ -236,5 +242,10 @@ void TaskGraph::build(const Analysis& an) {
     }
   }
 }
+
+#define BASKER_TASKGRAPH_INST(I, S)                                        \
+  template void TaskGraph::build<I, S>(const AnalysisT<I, S>&);
+BASKER_INSTANTIATE_PAIRS(BASKER_TASKGRAPH_INST)
+#undef BASKER_TASKGRAPH_INST
 
 }  // namespace basker::sched

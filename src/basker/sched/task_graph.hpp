@@ -100,7 +100,8 @@
 #include "basker/common/types.hpp"
 
 namespace basker {
-struct Analysis;  // core/structure.hpp
+template <class IntT, class ScalarT>
+struct AnalysisT;  // core/structure.hpp
 }
 
 namespace basker::sched {
@@ -132,6 +133,14 @@ struct Task {
   Int succ_end = 0;
 };
 
+/// The graph itself is instantiation-independent: task ids, dependency
+/// lists, and the Task descriptor fields all use the default index type
+/// regardless of the analysis's (Int, Scalar) pair — a DAG node count
+/// never approaches 2^31 before memory runs out, and keeping the scheduler
+/// untemplated keeps one copy of the stealing machinery in the binary.
+/// build() is templated on the analysis types and narrows every id through
+/// to_index (checked; an overflowing analysis throws IndexOverflowError,
+/// surfaced as Status::kInvalidInput by the Basker entry points).
 class TaskGraph {
  public:
   /// Lower a full analysis (fine-BTF blocks + every ND part) into the DAG.
@@ -142,7 +151,8 @@ class TaskGraph {
   /// directly after its chunks, then the separator factor — one kSepFactor
   /// when untiled, else diagonal kTileGemms, kTileGetrfs, then per
   /// ancestor its kTileGemms and kTileTrsms, tiles ascending throughout).
-  void build(const Analysis& an);
+  template <class IntT, class ScalarT>
+  void build(const AnalysisT<IntT, ScalarT>& an);
 
   // -- Generic construction (used by build() and by the stress tests). ----
   void clear();
@@ -193,5 +203,10 @@ class TaskGraph {
   double total_cols_ = 0.0;
   bool finalized_ = false;
 };
+
+#define BASKER_TASKGRAPH_EXTERN(I, S)                                      \
+  extern template void TaskGraph::build<I, S>(const AnalysisT<I, S>&);
+BASKER_INSTANTIATE_PAIRS(BASKER_TASKGRAPH_EXTERN)
+#undef BASKER_TASKGRAPH_EXTERN
 
 }  // namespace basker::sched

@@ -20,7 +20,11 @@ namespace basker {
 /// values land at a row's *current* position — swaps are pure data
 /// movement, so scatter-then-swap and swap-then-scatter-at-swapped-position
 /// commute bitwise and tiled staging matches monolithic staging exactly.
-struct DensePanel {
+template <class IntT, class ScalarT>
+struct DensePanelT {
+  using Int = IntT;
+  using Scalar = ScalarT;
+
   Int m = 0;
   Int n = 0;
   std::vector<Scalar> a;    ///< column-major values, size m * n
@@ -36,7 +40,7 @@ struct DensePanel {
   void reset(Int rows, Int cols) {
     m = rows;
     n = cols;
-    a.assign(static_cast<size_t>(rows) * static_cast<size_t>(cols), 0.0);
+    a.assign(static_cast<size_t>(rows) * static_cast<size_t>(cols), Scalar{0.0});
     perm.resize(static_cast<size_t>(rows));
     pos.resize(static_cast<size_t>(rows));
     std::iota(perm.begin(), perm.end(), Int{0});
@@ -51,7 +55,7 @@ struct DensePanel {
                     const std::vector<Int>& pinv) {
     m = rows;
     n = cols;
-    a.assign(static_cast<size_t>(rows) * static_cast<size_t>(cols), 0.0);
+    a.assign(static_cast<size_t>(rows) * static_cast<size_t>(cols), Scalar{0.0});
     perm = row_perm;
     pos = pinv;
   }
@@ -61,10 +65,13 @@ struct DensePanel {
   void reset_rows(Int rows, Int cols) {
     m = rows;
     n = cols;
-    a.assign(static_cast<size_t>(rows) * static_cast<size_t>(cols), 0.0);
+    a.assign(static_cast<size_t>(rows) * static_cast<size_t>(cols), Scalar{0.0});
     perm.clear();
     pos.clear();
   }
 };
+
+/// Reference instantiation (common/types.hpp pair).
+using DensePanel = DensePanelT<Int, Scalar>;
 
 }  // namespace basker

@@ -58,6 +58,9 @@ struct SnStats {
 
 class SnSolver {
  public:
+  using Int = basker::Int;        // solve_refined keys on these aliases
+  using Scalar = basker::Scalar;
+
   explicit SnSolver(SnOptions opt = {}) : opt_(opt) {}
 
   Status factor(const Csc& a);

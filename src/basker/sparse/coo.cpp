@@ -6,7 +6,8 @@
 
 namespace basker {
 
-void Triplets::add(Int i, Int j, Scalar v) {
+template <class Int, class Scalar>
+void TripletsT<Int, Scalar>::add(Int i, Int j, Scalar v) {
   BASKER_REQUIRE(i >= 0 && i < nrows_ && j >= 0 && j < ncols_,
                  "triplet index out of range");
   rows_.push_back(i);
@@ -14,8 +15,9 @@ void Triplets::add(Int i, Int j, Scalar v) {
   vals_.push_back(v);
 }
 
-Csc Triplets::to_csc() const {
-  Csc a(nrows_, ncols_);
+template <class Int, class Scalar>
+CscT<Int, Scalar> TripletsT<Int, Scalar>::to_csc() const {
+  CscT<Int, Scalar> a(nrows_, ncols_);
   const size_t nz = rows_.size();
   // Counting pass.
   for (size_t k = 0; k < nz; ++k) a.col_ptr[static_cast<size_t>(cols_[k]) + 1]++;
@@ -31,5 +33,9 @@ Csc Triplets::to_csc() const {
   a.sort_columns();  // sorts and sums duplicates
   return a;
 }
+
+#define BASKER_COO_INST(I, S) template class TripletsT<I, S>;
+BASKER_INSTANTIATE_PAIRS(BASKER_COO_INST)
+#undef BASKER_COO_INST
 
 }  // namespace basker

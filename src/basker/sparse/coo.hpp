@@ -10,9 +10,14 @@ namespace basker {
 
 /// Accumulates (i, j, v) triplets; duplicates are summed on conversion,
 /// matching Matrix-Market and finite-element assembly semantics.
-class Triplets {
+template <class IntT, class ScalarT>
+class TripletsT {
  public:
-  Triplets(Int nrows, Int ncols) : nrows_(nrows), ncols_(ncols) {}
+  using Int = IntT;
+  using Scalar = ScalarT;
+  using Csc = CscT<IntT, ScalarT>;
+
+  TripletsT(Int nrows, Int ncols) : nrows_(nrows), ncols_(ncols) {}
 
   void add(Int i, Int j, Scalar v);
 
@@ -32,5 +37,14 @@ class Triplets {
   std::vector<Int> rows_, cols_;
   std::vector<Scalar> vals_;
 };
+
+/// Reference instantiation (common/types.hpp pair).
+using Triplets = TripletsT<Int, Scalar>;
+
+#define BASKER_COO_EXTERN(I, S) extern template class TripletsT<I, S>;
+BASKER_INSTANTIATE_PAIRS(BASKER_COO_EXTERN)
+#undef BASKER_COO_EXTERN
+// Pattern graphs in graph/nd.cpp assemble TripletsT<Int, double> for every
+// scalar instantiation; <int64_t, double> is already in the pair list.
 
 }  // namespace basker

@@ -5,10 +5,11 @@
 
 namespace basker {
 
-Csc Csc::identity(Int n) {
-  Csc a(n, n);
+template <class Int, class Scalar>
+CscT<Int, Scalar> CscT<Int, Scalar>::identity(Int n) {
+  CscT a(n, n);
   a.row_idx.resize(static_cast<size_t>(n));
-  a.values.assign(static_cast<size_t>(n), 1.0);
+  a.values.assign(static_cast<size_t>(n), Scalar{1.0});
   for (Int j = 0; j < n; ++j) {
     a.col_ptr[static_cast<size_t>(j) + 1] = j + 1;
     a.row_idx[static_cast<size_t>(j)] = j;
@@ -16,7 +17,8 @@ Csc Csc::identity(Int n) {
   return a;
 }
 
-void Csc::check_valid() const {
+template <class Int, class Scalar>
+void CscT<Int, Scalar>::check_valid() const {
   BASKER_REQUIRE(nrows >= 0 && ncols >= 0, "negative dimension");
   BASKER_REQUIRE(col_ptr.size() == static_cast<size_t>(ncols) + 1, "col_ptr size");
   BASKER_REQUIRE(col_ptr[0] == 0, "col_ptr[0] != 0");
@@ -35,7 +37,8 @@ void Csc::check_valid() const {
   }
 }
 
-bool Csc::columns_sorted() const {
+template <class Int, class Scalar>
+bool CscT<Int, Scalar>::columns_sorted() const {
   for (Int j = 0; j < ncols; ++j) {
     for (Size p = col_ptr[j] + 1; p < col_ptr[j + 1]; ++p) {
       if (row_idx[p - 1] >= row_idx[p]) return false;
@@ -44,7 +47,8 @@ bool Csc::columns_sorted() const {
   return true;
 }
 
-void Csc::sort_columns() {
+template <class Int, class Scalar>
+void CscT<Int, Scalar>::sort_columns() {
   std::vector<std::pair<Int, Scalar>> buf;
   std::vector<Size> new_ptr(static_cast<size_t>(ncols) + 1, 0);
   std::vector<Int> new_rows;
@@ -74,13 +78,18 @@ void Csc::sort_columns() {
   values = std::move(new_vals);
 }
 
-Scalar Csc::value_at(Int i, Int j) const {
-  if (j < 0 || j >= ncols) return 0.0;
+template <class Int, class Scalar>
+Scalar CscT<Int, Scalar>::value_at(Int i, Int j) const {
+  if (j < 0 || j >= ncols) return Scalar{0.0};
   const Int* begin = row_idx.data() + col_ptr[j];
   const Int* end = row_idx.data() + col_ptr[j + 1];
   const Int* it = std::lower_bound(begin, end, i);
   if (it != end && *it == i) return values[it - row_idx.data()];
-  return 0.0;
+  return Scalar{0.0};
 }
+
+#define BASKER_CSC_INST(I, S) template struct CscT<I, S>;
+BASKER_INSTANTIATE_PAIRS(BASKER_CSC_INST)
+#undef BASKER_CSC_INST
 
 }  // namespace basker

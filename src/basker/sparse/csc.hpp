@@ -10,25 +10,30 @@
 
 namespace basker {
 
-/// CSC sparse matrix. Invariant after construction through the public
-/// factories: col_ptr is monotone with col_ptr[0]==0, row indices within a
-/// column are strictly increasing (sorted, no duplicates), and values has
-/// the same length as row_idx.
-struct Csc {
+/// CSC sparse matrix over an (index, scalar) pair. Invariant after
+/// construction through the public factories: col_ptr is monotone with
+/// col_ptr[0]==0, row indices within a column are strictly increasing
+/// (sorted, no duplicates), and values has the same length as row_idx.
+template <class IntT, class ScalarT>
+struct CscT {
+  using Int = IntT;
+  using Scalar = ScalarT;
+
   Int nrows = 0;
   Int ncols = 0;
   std::vector<Size> col_ptr;   ///< size ncols+1
   std::vector<Int> row_idx;    ///< size nnz
   std::vector<Scalar> values;  ///< size nnz
 
-  Csc() : col_ptr(1, 0) {}
-  Csc(Int rows, Int cols) : nrows(rows), ncols(cols), col_ptr(static_cast<size_t>(cols) + 1, 0) {}
+  CscT() : col_ptr(1, 0) {}
+  CscT(Int rows, Int cols)
+      : nrows(rows), ncols(cols), col_ptr(static_cast<size_t>(cols) + 1, 0) {}
 
   Size nnz() const { return col_ptr.empty() ? 0 : col_ptr.back(); }
   bool empty() const { return nrows == 0 || ncols == 0; }
 
   /// n-by-n identity.
-  static Csc identity(Int n);
+  static CscT identity(Int n);
 
   /// Verify all structural invariants; throws BaskerError on violation.
   void check_valid() const;
@@ -43,5 +48,12 @@ struct Csc {
   /// Value at (i, j), zero if not stored. O(log nnz(col)) via binary search.
   Scalar value_at(Int i, Int j) const;
 };
+
+/// Reference instantiation (common/types.hpp pair).
+using Csc = CscT<Int, Scalar>;
+
+#define BASKER_CSC_EXTERN(I, S) extern template struct CscT<I, S>;
+BASKER_INSTANTIATE_PAIRS(BASKER_CSC_EXTERN)
+#undef BASKER_CSC_EXTERN
 
 }  // namespace basker

@@ -1,56 +1,276 @@
 // Structural and numeric operations on CSC matrices used by orderings,
-// solvers and the 2D block machinery.
+// solvers and the 2D block machinery. Header-only function templates: every
+// operation deduces its (index, scalar) pair from the matrix argument, and
+// magnitudes (norms, residuals, diffs) are RealOf-typed — |z| under complex
+// (docs/DESIGN.md, "real-type rule").
 #pragma once
 
+#include <algorithm>
+#include <cmath>
+#include <complex>
 #include <vector>
 
+#include "basker/common/error.hpp"
 #include "basker/common/types.hpp"
 #include "basker/sparse/csc.hpp"
 
 namespace basker {
 
 /// B = A^T (columns of B sorted).
-Csc transpose(const Csc& a);
+template <class Int, class Scalar>
+CscT<Int, Scalar> transpose(const CscT<Int, Scalar>& a) {
+  CscT<Int, Scalar> t(a.ncols, a.nrows);
+  t.col_ptr.assign(static_cast<size_t>(a.nrows) + 1, 0);
+  for (Size p = 0; p < a.nnz(); ++p) t.col_ptr[static_cast<size_t>(a.row_idx[p]) + 1]++;
+  for (Int i = 0; i < a.nrows; ++i) t.col_ptr[i + 1] += t.col_ptr[i];
+  t.row_idx.resize(static_cast<size_t>(a.nnz()));
+  t.values.resize(static_cast<size_t>(a.nnz()));
+  std::vector<Size> next(t.col_ptr.begin(), t.col_ptr.end() - 1);
+  for (Int j = 0; j < a.ncols; ++j) {
+    for (Size p = a.col_ptr[j]; p < a.col_ptr[j + 1]; ++p) {
+      const Size q = next[a.row_idx[p]]++;
+      t.row_idx[q] = j;
+      t.values[q] = a.values[p];
+    }
+  }
+  // Scanning columns of A in order writes rows of each output column in
+  // increasing order, so t is sorted by construction.
+  return t;
+}
+
+/// inv[p[k]] = k.
+template <class Int>
+std::vector<Int> inverse_permutation(const std::vector<Int>& p) {
+  std::vector<Int> inv(p.size(), kInvalidIndex<Int>);
+  for (size_t k = 0; k < p.size(); ++k) {
+    BASKER_REQUIRE(p[k] >= 0 && static_cast<size_t>(p[k]) < p.size() &&
+                       inv[p[k]] == kInvalidIndex<Int>,
+                   "not a permutation");
+    inv[p[k]] = static_cast<Int>(k);
+  }
+  return inv;
+}
 
 /// B(i, j) = A(p[i], q[j]) — i.e. row k of B is row p[k] of A (MATLAB
 /// A(p, q)). p must have a.nrows entries, q a.ncols. Either may be empty,
 /// meaning identity.
-Csc permute(const Csc& a, const std::vector<Int>& p, const std::vector<Int>& q);
-
-/// inv[p[k]] = k.
-std::vector<Int> inverse_permutation(const std::vector<Int>& p);
+template <class Int, class Scalar>
+CscT<Int, Scalar> permute(const CscT<Int, Scalar>& a, const std::vector<Int>& p,
+                          const std::vector<Int>& q) {
+  BASKER_REQUIRE(p.empty() || static_cast<Int>(p.size()) == a.nrows, "bad row perm size");
+  BASKER_REQUIRE(q.empty() || static_cast<Int>(q.size()) == a.ncols, "bad col perm size");
+  // Row mapping: new row of old row r is pinv[r].
+  std::vector<Int> pinv;
+  if (!p.empty()) pinv = inverse_permutation(p);
+  CscT<Int, Scalar> b(a.nrows, a.ncols);
+  b.row_idx.reserve(static_cast<size_t>(a.nnz()));
+  b.values.reserve(static_cast<size_t>(a.nnz()));
+  for (Int jn = 0; jn < a.ncols; ++jn) {
+    const Int j = q.empty() ? jn : q[jn];
+    for (Size t = a.col_ptr[j]; t < a.col_ptr[j + 1]; ++t) {
+      const Int r = a.row_idx[t];
+      b.row_idx.push_back(p.empty() ? r : pinv[r]);
+      b.values.push_back(a.values[t]);
+    }
+    b.col_ptr[static_cast<size_t>(jn) + 1] = static_cast<Size>(b.row_idx.size());
+  }
+  b.sort_columns();
+  return b;
+}
 
 /// True if p is a permutation of 0..n-1.
-bool is_permutation(const std::vector<Int>& p, Int n);
-
-/// y = A x (y resized to a.nrows, overwritten).
-void spmv(const Csc& a, const std::vector<Scalar>& x, std::vector<Scalar>& y);
+template <class Int>
+bool is_permutation(const std::vector<Int>& p, NonDeduced<Int> n) {
+  if (static_cast<Int>(p.size()) != n) return false;
+  std::vector<bool> seen(static_cast<size_t>(n), false);
+  for (Int v : p) {
+    if (v < 0 || v >= n || seen[v]) return false;
+    seen[v] = true;
+  }
+  return true;
+}
 
 /// y += alpha * A x.
-void spmv_acc(const Csc& a, Scalar alpha, const std::vector<Scalar>& x,
-              std::vector<Scalar>& y);
+template <class Int, class Scalar>
+void spmv_acc(const CscT<Int, Scalar>& a, NonDeduced<Scalar> alpha,
+              const std::vector<Scalar>& x, std::vector<Scalar>& y) {
+  BASKER_REQUIRE(static_cast<Int>(x.size()) == a.ncols, "spmv: x size");
+  BASKER_REQUIRE(static_cast<Int>(y.size()) == a.nrows, "spmv: y size");
+  for (Int j = 0; j < a.ncols; ++j) {
+    const Scalar xj = alpha * x[j];
+    if (xj == Scalar{0.0}) continue;
+    for (Size p = a.col_ptr[j]; p < a.col_ptr[j + 1]; ++p) {
+      y[a.row_idx[p]] += a.values[p] * xj;
+    }
+  }
+}
+
+/// y = A x (y resized to a.nrows, overwritten).
+template <class Int, class Scalar>
+void spmv(const CscT<Int, Scalar>& a, const std::vector<Scalar>& x,
+          std::vector<Scalar>& y) {
+  y.assign(static_cast<size_t>(a.nrows), Scalar{0.0});
+  spmv_acc(a, Scalar{1.0}, x, y);
+}
 
 /// Submatrix A(r0:r1, c0:c1) (half-open) with re-based indices.
-Csc extract_block(const Csc& a, Int r0, Int r1, Int c0, Int c1);
+template <class Int, class Scalar>
+CscT<Int, Scalar> extract_block(const CscT<Int, Scalar>& a, NonDeduced<Int> r0,
+                                NonDeduced<Int> r1, NonDeduced<Int> c0,
+                                NonDeduced<Int> c1) {
+  BASKER_REQUIRE(0 <= r0 && r0 <= r1 && r1 <= a.nrows, "extract_block: rows");
+  BASKER_REQUIRE(0 <= c0 && c0 <= c1 && c1 <= a.ncols, "extract_block: cols");
+  CscT<Int, Scalar> b(r1 - r0, c1 - c0);
+  b.row_idx.reserve(static_cast<size_t>(a.nnz()) / (a.ncols > 0 ? a.ncols : 1) + 8);
+  for (Int j = c0; j < c1; ++j) {
+    for (Size p = a.col_ptr[j]; p < a.col_ptr[j + 1]; ++p) {
+      const Int r = a.row_idx[p];
+      if (r >= r0 && r < r1) {
+        b.row_idx.push_back(r - r0);
+        b.values.push_back(a.values[p]);
+      }
+    }
+    b.col_ptr[static_cast<size_t>(j - c0) + 1] = static_cast<Size>(b.row_idx.size());
+  }
+  return b;  // sorted columns inherit sortedness of a
+}
 
 /// Pattern of A + A^T (values all 1.0, diagonal included iff present in A).
 /// Input must be square.
-Csc symmetrize_pattern(const Csc& a);
+template <class Int, class Scalar>
+CscT<Int, Scalar> symmetrize_pattern(const CscT<Int, Scalar>& a) {
+  BASKER_REQUIRE(a.nrows == a.ncols, "symmetrize_pattern: square required");
+  const CscT<Int, Scalar> at = transpose(a);
+  const Int n = a.ncols;
+  CscT<Int, Scalar> s(n, n);
+  s.row_idx.reserve(static_cast<size_t>(2 * a.nnz()));
+  for (Int j = 0; j < n; ++j) {
+    // Merge sorted row lists of a(:,j) and at(:,j).
+    Size pa = a.col_ptr[j], ea = a.col_ptr[j + 1];
+    Size pt = at.col_ptr[j], et = at.col_ptr[j + 1];
+    while (pa < ea || pt < et) {
+      Int r;
+      if (pa < ea && (pt >= et || a.row_idx[pa] <= at.row_idx[pt])) {
+        r = a.row_idx[pa];
+        if (pt < et && at.row_idx[pt] == r) ++pt;
+        ++pa;
+      } else {
+        r = at.row_idx[pt];
+        ++pt;
+      }
+      s.row_idx.push_back(r);
+    }
+    s.col_ptr[static_cast<size_t>(j) + 1] = static_cast<Size>(s.row_idx.size());
+  }
+  s.values.assign(s.row_idx.size(), Scalar{1.0});
+  return s;
+}
 
 /// Pattern-only copy (all stored values replaced by 1.0).
-Csc pattern_of(const Csc& a);
+template <class Int, class Scalar>
+CscT<Int, Scalar> pattern_of(const CscT<Int, Scalar>& a) {
+  CscT<Int, Scalar> b = a;
+  std::fill(b.values.begin(), b.values.end(), Scalar{1.0});
+  return b;
+}
 
-/// Infinity norm of A (max absolute row sum).
-Scalar norm_inf(const Csc& a);
+/// Infinity norm of A (max absolute row sum). A magnitude: RealOf-typed.
+template <class Int, class Scalar>
+RealOf<Scalar> norm_inf(const CscT<Int, Scalar>& a) {
+  using Real = RealOf<Scalar>;
+  std::vector<Real> rowsum(static_cast<size_t>(a.nrows), Real{0.0});
+  for (Size p = 0; p < a.nnz(); ++p) rowsum[a.row_idx[p]] += std::abs(a.values[p]);
+  Real m = 0.0;
+  for (Real v : rowsum) m = std::max(m, v);
+  return m;
+}
 
 /// Componentwise relative residual ||Ax - b||_inf / (||A||_inf ||x||_inf + ||b||_inf).
-Scalar relative_residual(const Csc& a, const std::vector<Scalar>& x,
-                         const std::vector<Scalar>& b);
+template <class Int, class Scalar>
+RealOf<Scalar> relative_residual(const CscT<Int, Scalar>& a,
+                                 const std::vector<Scalar>& x,
+                                 const std::vector<Scalar>& b) {
+  using Real = RealOf<Scalar>;
+  std::vector<Scalar> r;
+  spmv(a, x, r);
+  Real rmax = 0.0, xmax = 0.0, bmax = 0.0;
+  for (size_t i = 0; i < r.size(); ++i) rmax = std::max(rmax, std::abs(r[i] - b[i]));
+  for (const Scalar& v : x) xmax = std::max(xmax, std::abs(v));
+  for (const Scalar& v : b) bmax = std::max(bmax, std::abs(v));
+  const Real denom = norm_inf(a) * xmax + bmax;
+  return denom > 0.0 ? rmax / denom : rmax;
+}
 
-/// ||u - v||_inf.
-Scalar max_abs_diff(const std::vector<Scalar>& u, const std::vector<Scalar>& v);
+/// ||u - v||_inf. A magnitude: RealOf-typed.
+template <class Scalar>
+RealOf<Scalar> max_abs_diff(const std::vector<Scalar>& u, const std::vector<Scalar>& v) {
+  using Real = RealOf<Scalar>;
+  BASKER_REQUIRE(u.size() == v.size(), "max_abs_diff: size mismatch");
+  Real m = 0.0;
+  for (size_t i = 0; i < u.size(); ++i) m = std::max(m, std::abs(u[i] - v[i]));
+  return m;
+}
 
 /// Number of structurally nonzero diagonal entries.
-Int structural_diag_count(const Csc& a);
+template <class Int, class Scalar>
+Int structural_diag_count(const CscT<Int, Scalar>& a) {
+  Int count = 0;
+  const Int n = std::min(a.nrows, a.ncols);
+  for (Int j = 0; j < n; ++j) {
+    for (Size p = a.col_ptr[j]; p < a.col_ptr[j + 1]; ++p) {
+      if (a.row_idx[p] == j) {
+        ++count;
+        break;
+      }
+    }
+  }
+  return count;
+}
+
+// -- Wide-precision helpers (core/refine.hpp mixed-precision loop) -----------
+
+/// yw = A xw - b, computed entirely in WideOf<Scalar> (double for float
+/// factorizations): every A entry and b entry is widened per use, so the
+/// residual of a narrow solve is accumulated at full precision. For
+/// Scalar == WideOf<Scalar> this is exactly spmv + subtraction.
+template <class Int, class Scalar>
+void residual_wide(const CscT<Int, Scalar>& a,
+                   const std::vector<WideOf<Scalar>>& xw,
+                   const std::vector<Scalar>& b,
+                   std::vector<WideOf<Scalar>>& yw) {
+  using Wide = WideOf<Scalar>;
+  BASKER_REQUIRE(static_cast<Int>(xw.size()) == a.ncols, "residual_wide: x size");
+  BASKER_REQUIRE(static_cast<Int>(b.size()) == a.nrows, "residual_wide: b size");
+  yw.assign(static_cast<size_t>(a.nrows), Wide{0.0});
+  for (Int j = 0; j < a.ncols; ++j) {
+    const Wide xj = xw[j];
+    if (xj == Wide{0.0}) continue;
+    for (Size p = a.col_ptr[j]; p < a.col_ptr[j + 1]; ++p) {
+      yw[a.row_idx[p]] += static_cast<Wide>(a.values[p]) * xj;
+    }
+  }
+  for (size_t i = 0; i < yw.size(); ++i) yw[i] -= static_cast<Wide>(b[i]);
+}
+
+/// relative_residual with the solution held (and the residual accumulated)
+/// in WideOf<Scalar>; ||A||_inf is widened too so the float instantiation's
+/// convergence test happens entirely in double. Structured exactly like
+/// relative_residual so the Scalar == Wide instantiations agree with it
+/// bit for bit.
+template <class Int, class Scalar>
+RealOf<WideOf<Scalar>> relative_residual_wide(const CscT<Int, Scalar>& a,
+                                              const std::vector<WideOf<Scalar>>& xw,
+                                              const std::vector<Scalar>& b) {
+  using Wide = WideOf<Scalar>;
+  using WReal = RealOf<Wide>;
+  std::vector<Wide> r;
+  residual_wide(a, xw, b, r);
+  WReal rmax = 0.0, xmax = 0.0, bmax = 0.0;
+  for (const Wide& v : r) rmax = std::max(rmax, std::abs(v));
+  for (const Wide& v : xw) xmax = std::max(xmax, std::abs(v));
+  for (const Scalar& v : b) bmax = std::max(bmax, static_cast<WReal>(std::abs(v)));
+  const WReal denom = static_cast<WReal>(norm_inf(a)) * xmax + bmax;
+  return denom > 0.0 ? rmax / denom : rmax;
+}
 
 }  // namespace basker

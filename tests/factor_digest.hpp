@@ -4,6 +4,11 @@
 // Used by test_parallel_consistency (cross-p bit-identity), the randomized
 // differential harness (test_fuzz_differential) and the oversubscription
 // stress test; bit-identity claims in all of them mean *this* digest.
+//
+// Templated over the solver's (index, scalar) pair so the non-default
+// instantiations (Int64/float/complex) get the identical bit-identity
+// instrument; FactorDigest / digest_factors keep naming the reference
+// instantiation.
 #pragma once
 
 #include <vector>
@@ -12,38 +17,45 @@
 
 namespace basker::testutil {
 
-struct FactorDigest {
+template <class IntT, class ScalarT>
+struct FactorDigestT {
   std::vector<Size> shape;
-  std::vector<Int> pattern;
-  std::vector<Scalar> values;
+  std::vector<IntT> pattern;
+  std::vector<ScalarT> values;
 
-  void add(const LuMatrix& m) {
+  void add(const LuMatrixT<IntT, ScalarT>& m) {
     shape.push_back(m.nnz());
     pattern.insert(pattern.end(), m.row_idx.begin(), m.row_idx.end());
     values.insert(values.end(), m.values.begin(), m.values.end());
   }
-  void add(const DiagFactor& f) {
+  void add(const DiagFactorT<IntT, ScalarT>& f) {
     add(f.l);
     add(f.u);
     pattern.insert(pattern.end(), f.row_perm.begin(), f.row_perm.end());
   }
 
-  bool operator==(const FactorDigest& other) const {
+  bool operator==(const FactorDigestT& other) const {
     return shape == other.shape && pattern == other.pattern &&
            values == other.values;
   }
-  bool operator!=(const FactorDigest& other) const { return !(*this == other); }
+  bool operator!=(const FactorDigestT& other) const {
+    return !(*this == other);
+  }
 };
 
-inline FactorDigest digest_factors(const Basker& solver) {
-  FactorDigest d;
-  const Analysis& an = solver.analysis();
-  for (Int blk : an.fine_blocks) d.add(an.fine_factor[blk]);
-  for (const NdPart& part : an.parts) {
-    for (Int s = 0; s < part.nseg; ++s) {
+using FactorDigest = FactorDigestT<Int, Scalar>;
+
+template <class IntT, class ScalarT>
+FactorDigestT<IntT, ScalarT> digest_factors(
+    const Basker<IntT, ScalarT>& solver) {
+  FactorDigestT<IntT, ScalarT> d;
+  const AnalysisT<IntT, ScalarT>& an = solver.analysis();
+  for (IntT blk : an.fine_blocks) d.add(an.fine_factor[blk]);
+  for (const NdPartT<IntT, ScalarT>& part : an.parts) {
+    for (IntT s = 0; s < part.nseg; ++s) {
       d.add(part.diag[s]);
-      for (const LuMatrix& m : part.lblk[s]) d.add(m);
-      for (const LuMatrix& m : part.ublk[s]) d.add(m);
+      for (const LuMatrixT<IntT, ScalarT>& m : part.lblk[s]) d.add(m);
+      for (const LuMatrixT<IntT, ScalarT>& m : part.ublk[s]) d.add(m);
     }
   }
   return d;

@@ -15,7 +15,7 @@
 namespace basker {
 namespace {
 
-double basker_solve_residual(Basker& solver, const Csc& a, std::uint64_t seed) {
+double basker_solve_residual(Basker<>& solver, const Csc& a, std::uint64_t seed) {
   std::vector<Scalar> b = gen::random_rhs(a.ncols, seed);
   const std::vector<Scalar> b_orig = b;
   EXPECT_EQ(solver.solve(b), Status::kOk);

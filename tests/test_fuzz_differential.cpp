@@ -37,6 +37,7 @@
 #include "basker/common/prng.hpp"
 #include "basker/common/timer.hpp"
 #include "basker/core/basker.hpp"
+#include "basker/core/refine.hpp"
 #include "basker/gen/generators.hpp"
 #include "basker/gen/suite.hpp"
 #include "basker/sparse/ops.hpp"
@@ -327,6 +328,91 @@ TEST(FuzzDifferential, RefactorValueRewriteSweep) {
     ++iter;
   }
   std::printf("[          ] refactor fuzz: %llu iteration(s), seed %llu, %.1f s\n",
+              static_cast<unsigned long long>(iter),
+              static_cast<unsigned long long>(seed), budget.seconds());
+}
+
+// Float-instantiation smoke leg: the randomized sweep above pinned to the
+// <int32_t, float> instantiation. Shorter default budget — this is a smoke
+// gate that the non-default scalar type survives the same randomized
+// schedule/knob space, not a full differential sweep:
+//   - task-DAG float factors are bit-identical across two team sizes and
+//     independently redrawn chunk/tile grids (the determinism contract is
+//     scalar-type-independent);
+//   - iterative refinement against the double-precision matrix recovers far
+//     more accuracy than a raw float solve can (the mixed-precision
+//     contract of core/refine.hpp).
+TEST(FuzzDifferential, FloatInstantiationSmoke) {
+  const std::uint64_t seed = env_u64("BASKER_FUZZ_SEED", 20260808ULL);
+  const double budget_ms = env_double("BASKER_FUZZ_FLOAT_MS", 1500.0);
+  const std::uint64_t max_iters = env_u64("BASKER_FUZZ_MAX_ITERS", 16);
+
+  Prng rng(seed ^ 0xf10a7ULL);
+  WallTimer budget;
+  std::uint64_t iter = 0;
+  while (iter == 0 ||
+         (budget.seconds() * 1000.0 < budget_ms && iter < max_iters)) {
+    const std::string name =
+        suite_names()[static_cast<size_t>(rng.next_int(
+            static_cast<Int>(suite_names().size())))];
+    const double scale = rng.uniform(0.08, 0.18);
+    const Int p1 = pick(rng, {1, 2, 3, 5, 8});
+    Int p2 = pick(rng, {1, 2, 3, 5, 8});
+    if (p2 == p1) p2 = p1 == 8 ? 3 : p1 + 1;
+    const double task_flops = pick(rng, {1.0, 2.5e4});
+
+    std::ostringstream trace;
+    trace << "seed=" << seed << " iter=" << iter << " matrix=" << name
+          << " scale=" << scale << " p={" << p1 << "," << p2 << "}"
+          << " dag_task_flops=" << task_flops
+          << "  (rerun: BASKER_FUZZ_SEED=" << seed
+          << " BASKER_FUZZ_MAX_ITERS=" << (iter + 1)
+          << " BASKER_FUZZ_FLOAT_MS=1e9 ./test_fuzz_differential "
+             "--gtest_filter='FuzzDifferential.FloatInstantiationSmoke')";
+    SCOPED_TRACE(trace.str());
+
+    const Csc a = gen::make_by_name(name, scale);
+    CscT<Int, float> af(a.nrows, a.ncols);
+    af.col_ptr = a.col_ptr;
+    af.row_idx = a.row_idx;
+    af.values.reserve(a.values.size());
+    for (double v : a.values) af.values.push_back(static_cast<float>(v));
+
+    testutil::FactorDigestT<Int, float> expected;
+    bool have_expected = false;
+    for (const Int p : {p1, p2}) {
+      BaskerOptions opt;
+      opt.sync_mode = SyncMode::kTaskDag;
+      opt.nthreads = p;
+      opt.dag_task_flops = task_flops;
+      opt.dag_chunk_cols = pick(rng, {0, 1, 5});
+      opt.dag_tile_cols = pick(rng, {0, 3, 1 << 20});
+      opt.dense_tile = pick(rng, {64, 7});
+      Basker<Int, float> solver(opt);
+      ASSERT_EQ(solver.factor(af), Status::kOk)
+          << "float task-DAG factor failed at p=" << p;
+
+      const auto d = testutil::digest_factors(solver);
+      if (!have_expected) {
+        expected = d;
+        have_expected = true;
+      } else {
+        ASSERT_TRUE(expected == d)
+            << "float task-DAG factors diverged at p=" << p;
+      }
+
+      // Mixed precision: refine against the double matrix. A raw float
+      // solve bottoms out around 1e-4..1e-6; refinement must go well past.
+      const std::vector<double> rhs = gen::random_rhs(a.ncols, seed ^ iter);
+      std::vector<double> x;
+      const RefineResultT<float> r = solve_refined(solver, a, rhs, x, 5, 1e-12);
+      ASSERT_EQ(r.status, Status::kOk);
+      EXPECT_LT(r.final_residual, 1e-9)
+          << "refined float residual out of bounds at p=" << p;
+    }
+    ++iter;
+  }
+  std::printf("[          ] float fuzz: %llu iteration(s), seed %llu, %.1f s\n",
               static_cast<unsigned long long>(iter),
               static_cast<unsigned long long>(seed), budget.seconds());
 }

@@ -58,7 +58,7 @@ BaskerOptions opts(Int threads, SyncMode sync = SyncMode::kPointToPoint) {
   return o;
 }
 
-double solve_residual(Basker& solver, const Csc& a, std::uint64_t seed) {
+double solve_residual(Basker<>& solver, const Csc& a, std::uint64_t seed) {
   std::vector<Scalar> b = gen::random_rhs(a.ncols, seed);
   const std::vector<Scalar> b_orig = b;
   EXPECT_EQ(solver.solve(b), Status::kOk);
@@ -150,11 +150,11 @@ TEST(Refactor, BitIdenticalAcrossTaskDagTeamsAndChunks) {
   Prng rng(7);
   // Fresh task-DAG factors are bit-identical across p and chunk grids;
   // the frozen-pivot replay must preserve that through a value sweep.
-  std::vector<std::unique_ptr<Basker>> pool;
+  std::vector<std::unique_ptr<Basker<>>> pool;
   for (Int p : {1, 2, 3, 8}) {
     BaskerOptions o = opts(p, SyncMode::kTaskDag);
     o.dag_chunk_cols = p;  // different chunk grid per solver
-    pool.push_back(std::make_unique<Basker>(o));
+    pool.push_back(std::make_unique<Basker<>>(o));
   }
   for (auto& s : pool) ASSERT_EQ(s->factor(a), Status::kOk);
   for (int step = 0; step < 3; ++step) {

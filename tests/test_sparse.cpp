@@ -95,14 +95,14 @@ TEST(Ops, InversePermutationRoundTrip) {
   const std::vector<Int> p{3, 1, 0, 2};
   const std::vector<Int> inv = inverse_permutation(p);
   for (size_t k = 0; k < p.size(); ++k) EXPECT_EQ(inv[p[k]], static_cast<Int>(k));
-  EXPECT_THROW(inverse_permutation({0, 0, 1}), BaskerError);
+  EXPECT_THROW(inverse_permutation<Int>({0, 0, 1}), BaskerError);
 }
 
 TEST(Ops, IsPermutationDetectsDuplicatesAndRange) {
-  EXPECT_TRUE(is_permutation({2, 0, 1}, 3));
-  EXPECT_FALSE(is_permutation({2, 2, 1}, 3));
-  EXPECT_FALSE(is_permutation({0, 1}, 3));
-  EXPECT_FALSE(is_permutation({0, 1, 3}, 3));
+  EXPECT_TRUE(is_permutation<Int>({2, 0, 1}, 3));
+  EXPECT_FALSE(is_permutation<Int>({2, 2, 1}, 3));
+  EXPECT_FALSE(is_permutation<Int>({0, 1}, 3));
+  EXPECT_FALSE(is_permutation<Int>({0, 1, 3}, 3));
 }
 
 TEST(Ops, SpmvMatchesDense) {
